@@ -1,0 +1,324 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   1. emotional feature group on/off (same-world rescoring)
+//   2. personalized vs standard messaging (two-world deployment effect)
+//   3. Gradual EIT answer rate (the paper's sparsity problem)
+//   4. classifier choice: SVM vs logistic regression vs naive Bayes
+//   5. SVM-RFE dimensionality-reduction depth
+//   6. message assignment policy (priority vs max-sensibility)
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "fig6_common.h"
+#include "ml/cross_validation.h"
+#include "ml/feature_selection.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+
+namespace spa::bench {
+namespace {
+
+Fig6Setup SmallSetup(const CommonFlags& flags) {
+  Fig6Setup setup;
+  setup.seed = flags.seed;
+  setup.pool = flags.users > 0 ? flags.users : 30'000;
+  setup.targets = static_cast<size_t>(
+      static_cast<double>(setup.pool) * 0.424);
+  return setup;
+}
+
+void AblationEmotionalFeatures(const Fig6Result& result) {
+  PrintHeader("Ablation 1 - emotional feature group (same outcomes, "
+              "two models)");
+  std::printf("%-28s %10s %10s\n", "model", "AUC", "capt@40%");
+  PrintRule();
+  std::printf("%-28s %10.3f %9.1f%%\n", "full (emotional)",
+              result.report.auc, result.report.captured_at_40 * 100.0);
+  std::printf("%-28s %10.3f %9.1f%%\n", "objective-only rescoring",
+              result.objective_report.auc,
+              result.objective_report.captured_at_40 * 100.0);
+}
+
+void AblationMessaging(const Fig6Setup& base, const Fig6Result& with) {
+  PrintHeader("Ablation 2 - personalized messaging (deployment effect, "
+              "two worlds)");
+  Fig6Setup without = base;
+  without.personalized_messaging = false;
+  without.compute_objective_ablation = false;
+  const Fig6Result plain = RunTenCampaigns(without);
+  std::printf("%-28s %12s %12s\n", "messaging", "base rate",
+              "impacts/campaign");
+  PrintRule();
+  std::printf("%-28s %11.1f%% %12zu\n", "individualized (SPA)",
+              with.report.base_rate * 100.0,
+              with.report.total_useful_impacts / 10);
+  std::printf("%-28s %11.1f%% %12zu\n", "standard message",
+              plain.report.base_rate * 100.0,
+              plain.report.total_useful_impacts / 10);
+  std::printf("\nemotional arguments lift useful impacts by %+.0f%% "
+              "(the paper's \"more empathic recommendations\")\n",
+              (with.report.base_rate / plain.report.base_rate - 1.0) *
+                  100.0);
+}
+
+void AblationAnswerRate(const Fig6Setup& base) {
+  PrintHeader("Ablation 3 - Gradual EIT answer rate (sparsity)");
+  std::printf("%-14s %10s %12s %12s\n", "answer rate", "AUC",
+              "capt@40%", "base rate");
+  PrintRule();
+  for (double rate : {0.05, 0.2, 0.35, 0.6, 0.9}) {
+    Fig6Setup setup = base;
+    setup.pool = std::min<size_t>(base.pool, 15'000);
+    setup.targets = static_cast<size_t>(
+        static_cast<double>(setup.pool) * 0.424);
+    setup.eit_answer_prob = rate;
+    setup.compute_objective_ablation = false;
+    const Fig6Result result = RunTenCampaigns(setup);
+    std::printf("%-14.2f %10.3f %11.1f%% %11.1f%%\n", rate,
+                result.report.auc,
+                result.report.captured_at_40 * 100.0,
+                result.report.base_rate * 100.0);
+  }
+  std::printf("(more answered questions -> better emotional discovery "
+              "-> more well-argued messages -> higher base rate;\n"
+              " the argument-driven share of the response is harder to "
+              "rank, so the AUC dips slightly as impacts rise)\n");
+}
+
+void AblationClassifier(const campaign::CampaignRunner& runner) {
+  PrintHeader("Ablation 4 - classifier choice on campaign snapshots");
+  // Train/evaluate on the accumulated snapshot history (chronological
+  // split: first 70% train, last 30% test).
+  const auto& features = runner.history_features();
+  const auto& labels = runner.history_labels();
+  const size_t split = features.size() * 7 / 10;
+  ml::Dataset train, test;
+  for (size_t i = 0; i < features.size(); ++i) {
+    auto& target = i < split ? train : test;
+    target.x.AppendRow(features[i]);
+    target.y.push_back(labels[i]);
+  }
+  const int32_t cols = std::max(train.x.cols(), test.x.cols());
+  train.x.SetCols(cols);
+  test.x.SetCols(cols);
+  ml::ColumnScaler scaler;
+  (void)scaler.Fit(train.x);
+  (void)scaler.Transform(&train.x);
+  (void)scaler.Transform(&test.x);
+
+  std::printf("%-28s %10s %12s\n", "classifier", "AUC", "prec@40%");
+  PrintRule();
+  auto evaluate = [&](ml::BinaryClassifier* model) {
+    if (!model->Train(train).ok()) {
+      std::printf("%-28s %10s\n", model->name().c_str(), "FAILED");
+      return;
+    }
+    const auto scores = model->ScoreAll(test);
+    std::printf("%-28s %10.3f %11.1f%%\n", model->name().c_str(),
+                ml::RocAuc(scores, test.y),
+                ml::PredictiveScore(scores, test.y, 0.4) * 100.0);
+  };
+  ml::SvmConfig svm_config;
+  svm_config.c = 0.1;
+  svm_config.max_iterations = 60;
+  svm_config.tolerance = 1e-3;
+  svm_config.positive_class_weight = 7.0;
+  ml::LinearSvm svm(svm_config);
+  evaluate(&svm);
+  ml::LogisticRegression logreg;
+  evaluate(&logreg);
+  ml::BernoulliNaiveBayes nb;
+  evaluate(&nb);
+  ml::PegasosSvm pegasos(svm_config);
+  evaluate(&pegasos);
+}
+
+void AblationRfe(const campaign::CampaignRunner& runner) {
+  PrintHeader("Ablation 5 - SVM-RFE dimensionality reduction depth");
+  const auto& features = runner.history_features();
+  const auto& labels = runner.history_labels();
+  // Subsample for RFE cost.
+  ml::Dataset data;
+  const size_t step = std::max<size_t>(1, features.size() / 20'000);
+  for (size_t i = 0; i < features.size(); i += step) {
+    data.x.AppendRow(features[i]);
+    data.y.push_back(labels[i]);
+  }
+  ml::ColumnScaler scaler;
+  (void)scaler.Fit(data.x);
+  (void)scaler.Transform(&data.x);
+
+  Rng rng(99);
+  const auto split = ml::MakeStratifiedSplit(data.y, 0.3, &rng);
+  const ml::Dataset train = data.Subset(split.train);
+  const ml::Dataset test = data.Subset(split.test);
+
+  std::printf("%-16s %10s  (full space: %d features)\n", "kept features",
+              "AUC", data.features());
+  PrintRule();
+  for (int32_t keep : {8, 16, 32, 64}) {
+    if (keep >= data.features()) continue;
+    ml::RfeConfig config;
+    config.target_features = keep;
+    config.svm.c = 0.1;
+    config.svm.max_iterations = 40;
+    config.svm.positive_class_weight = 7.0;
+    const auto selection = ml::SvmRfe(train, config);
+    if (!selection.ok()) continue;
+    const ml::Dataset train_proj =
+        ml::ProjectDataset(train, selection.value().selected);
+    const ml::Dataset test_proj =
+        ml::ProjectDataset(test, selection.value().selected);
+    ml::SvmConfig svm_config;
+    svm_config.c = 0.1;
+    svm_config.max_iterations = 60;
+    svm_config.positive_class_weight = 7.0;
+    ml::LinearSvm svm(svm_config);
+    if (!svm.Train(train_proj).ok()) continue;
+    std::printf("%-16d %10.3f\n", keep,
+                ml::RocAuc(svm.ScoreAll(test_proj), test_proj.y));
+  }
+  {
+    ml::SvmConfig svm_config;
+    svm_config.c = 0.1;
+    svm_config.max_iterations = 60;
+    svm_config.positive_class_weight = 7.0;
+    ml::LinearSvm svm(svm_config);
+    if (svm.Train(train).ok()) {
+      std::printf("%-16s %10.3f\n", "all",
+                  ml::RocAuc(svm.ScoreAll(test), test.y));
+    }
+  }
+  std::printf("(the paper uses SVMs to \"reduce the dimensionality of "
+              "the matrix\"; a compact attribute set retains most of "
+              "the ranking power)\n");
+}
+
+void AblationMessagePolicy(const Fig6Setup& base) {
+  PrintHeader("Ablation 6 - message assignment policy (case 3.c.i vs "
+              "3.c.ii)");
+  std::printf("%-28s %12s\n", "policy", "base rate");
+  PrintRule();
+  // Policy is a platform config; run two small worlds.
+  for (const bool use_max : {true, false}) {
+    Fig6Setup setup = base;
+    setup.pool = std::min<size_t>(base.pool, 15'000);
+    setup.targets = static_cast<size_t>(
+        static_cast<double>(setup.pool) * 0.424);
+    setup.compute_objective_ablation = false;
+    // RunTenCampaigns does not expose the policy; emulate via seed-
+    // stable manual run.
+    core::SpaConfig config;
+    config.seed = setup.seed;
+    config.messaging.policy =
+        use_max ? agents::MultiMatchPolicy::kMaxSensibility
+                : agents::MultiMatchPolicy::kPriority;
+    auto spa = std::make_unique<core::Spa>(config);
+    campaign::PopulationConfig pop_config;
+    pop_config.seed = setup.seed;
+    const campaign::PopulationModel population(pop_config);
+    const campaign::CourseCatalog courses =
+        campaign::CourseCatalog::Generate(
+            setup.courses, spa->attribute_catalog(), setup.seed);
+    const campaign::ResponseModel responses;
+    campaign::RunnerConfig runner_config;
+    runner_config.seed = setup.seed;
+    campaign::CampaignRunner runner(spa.get(), &population, &courses,
+                                    &responses, runner_config);
+    runner.RegisterCourses();
+    std::vector<sum::UserId> candidates;
+    for (size_t u = 0; u < setup.pool; ++u) {
+      candidates.push_back(static_cast<sum::UserId>(u));
+    }
+    runner.BootstrapUsers(candidates);
+    const auto schedule = runner.DefaultSchedule(
+        setup.targets, 5, campaign::TargetingMode::kRandom);
+    size_t impacts = 0, targeted = 0;
+    for (const auto& spec : schedule) {
+      const auto outcome = runner.RunCampaign(spec, candidates);
+      impacts += outcome.useful_impacts;
+      targeted += outcome.targeted;
+    }
+    std::printf("%-28s %11.2f%%\n",
+                use_max ? "3.c.ii max sensibility" : "3.c.i priority",
+                100.0 * static_cast<double>(impacts) /
+                    static_cast<double>(targeted));
+  }
+}
+
+int Main(int argc, char** argv) {
+  const CommonFlags flags = ParseFlags(argc, argv);
+  const Fig6Setup base = SmallSetup(flags);
+
+  // One shared full-world run feeds ablations 1 and 2; runner history
+  // feeds 4 and 5. Re-build the world once more to get the runner
+  // (RunTenCampaigns owns its runner internally), so construct the
+  // heavy pieces here.
+  core::SpaConfig config;
+  config.seed = base.seed;
+  auto spa = std::make_unique<core::Spa>(config);
+  campaign::PopulationConfig pop_config;
+  pop_config.seed = base.seed;
+  const campaign::PopulationModel population(pop_config);
+  const campaign::CourseCatalog courses =
+      campaign::CourseCatalog::Generate(base.courses,
+                                        spa->attribute_catalog(),
+                                        base.seed);
+  const campaign::ResponseModel responses;
+  campaign::RunnerConfig runner_config;
+  runner_config.seed = base.seed;
+  campaign::CampaignRunner runner(spa.get(), &population, &courses,
+                                  &responses, runner_config);
+  runner.RegisterCourses();
+  std::vector<sum::UserId> candidates;
+  for (size_t u = 0; u < base.pool; ++u) {
+    candidates.push_back(static_cast<sum::UserId>(u));
+  }
+  runner.BootstrapUsers(candidates);
+  {
+    campaign::CampaignSpec pilot;
+    pilot.id = 0;
+    pilot.target_count = base.targets / 4;
+    const auto schedule = runner.DefaultSchedule(
+        base.targets, 5, campaign::TargetingMode::kRandom);
+    pilot.featured_courses = schedule.front().featured_courses;
+    runner.RunCampaign(pilot, candidates);
+  }
+  std::vector<campaign::CampaignOutcome> outcomes;
+  const auto schedule = runner.DefaultSchedule(
+      base.targets, 5, campaign::TargetingMode::kRandom);
+  for (const auto& spec : schedule) {
+    outcomes.push_back(runner.RunCampaign(spec, candidates));
+  }
+  Fig6Result shared;
+  shared.outcomes = outcomes;
+  shared.report = campaign::ComputeRedemption(outcomes);
+  {
+    const auto dropped = EmotionalFeatureIndices(spa.get());
+    const auto replayed = ReplayAblatedScores(
+        runner, dropped, config.svm,
+        runner_config.training_window_campaigns);
+    shared.objective_outcomes = outcomes;
+    for (size_t c = 0; c < shared.objective_outcomes.size(); ++c) {
+      if (c + 1 < replayed.size()) {
+        shared.objective_outcomes[c].scores = replayed[c + 1];
+      }
+    }
+    shared.objective_report =
+        campaign::ComputeRedemption(shared.objective_outcomes);
+  }
+
+  AblationEmotionalFeatures(shared);
+  AblationMessaging(base, shared);
+  AblationAnswerRate(base);
+  AblationClassifier(runner);
+  AblationRfe(runner);
+  AblationMessagePolicy(base);
+  return 0;
+}
+
+}  // namespace
+}  // namespace spa::bench
+
+int main(int argc, char** argv) { return spa::bench::Main(argc, argv); }

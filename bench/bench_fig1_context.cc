@@ -1,0 +1,129 @@
+// Reproduces Fig. 1: the context dimensions of Ambient Recommender
+// Systems (the paper's extension of Burke's knowledge-source taxonomy).
+// For each context dimension the SUM models, we exercise the feature
+// path through the recommender stack and report the score movement it
+// produces — demonstrating that every dimension is wired in, with the
+// emotional context as the paper's focus.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "campaign/course.h"
+#include "core/spa.h"
+
+namespace spa::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const CommonFlags flags = ParseFlags(argc, argv);
+  (void)flags;
+
+  PrintHeader("Fig. 1 - Context dimensions of Ambient Recommender "
+              "Systems");
+
+  struct Dimension {
+    const char* name;
+    const char* representation;
+  };
+  const Dimension dimensions[] = {
+      {"cognitive context",
+       "stated topic interests (sum.value.topic_*), 15 attributes"},
+      {"task context",
+       "behaviour features: session counts, searches, info requests"},
+      {"social context",
+       "group_learning_preference / social_influence attributes"},
+      {"emotional context",
+       "10 valenced emotional attributes + learned sensibilities"},
+      {"cultural context", "language_es/en/ca + region_code attributes"},
+      {"physical context", "device_desktop_ratio / mobile_user"},
+      {"location context", "city_size / distance_to_center"},
+  };
+  std::printf("\ncontext dimensions modeled by the SUM:\n");
+  for (const Dimension& d : dimensions) {
+    std::printf("  %-20s %s\n", d.name, d.representation);
+  }
+
+  // Exercise each dimension: perturb the corresponding attributes of a
+  // user and measure how the propensity feature vector reacts.
+  core::SpaConfig config;
+  config.seed = flags.seed;
+  auto spa = std::make_unique<core::Spa>(config);
+  const auto& catalog = spa->attribute_catalog();
+
+  const std::vector<std::pair<const char*, std::vector<std::string>>>
+      perturbations = {
+          {"cognitive context", {"topic_it", "topic_business"}},
+          {"social context",
+           {"group_learning_preference", "social_influence"}},
+          {"cultural context", {"language_en", "region_code"}},
+          {"physical context", {"device_desktop_ratio", "mobile_user"}},
+          {"location context", {"city_size", "distance_to_center"}},
+          {"emotional context", {"hopeful", "motivated"}},
+      };
+
+  std::printf("\nfeature-path check (non-zero feature deltas when the "
+              "dimension changes):\n");
+  PrintRule();
+  for (const auto& [name, attrs] : perturbations) {
+    sum::SmartUserModel base(1, &catalog);
+    sum::SmartUserModel shifted(2, &catalog);
+    for (const std::string& attr : attrs) {
+      const auto id = catalog.IdOf(attr);
+      if (!id.ok()) continue;
+      shifted.set_value(id.value(), 0.9);
+      if (catalog.def(id.value()).kind ==
+          sum::AttributeKind::kEmotional) {
+        shifted.set_sensibility(id.value(), 0.9);
+      }
+    }
+    const auto f_base = spa->smart_component()->FeaturesFor(
+        base, {}, spa->clock()->now());
+    const auto f_shift = spa->smart_component()->FeaturesFor(
+        shifted, {}, spa->clock()->now());
+    std::printf("  %-20s feature nnz %zu -> %zu\n", name, f_base.nnz(),
+                f_shift.nnz());
+  }
+
+  // Emotional context's effect on actual rankings: the same candidate
+  // list re-ranked for an enthusiastic vs an apathetic user.
+  const campaign::CourseCatalog courses =
+      campaign::CourseCatalog::Generate(40, catalog, flags.seed);
+  recsys::EmotionAwareReranker reranker;
+  for (const auto& course : courses.courses()) {
+    reranker.SetItemProfile(course.id, course.emotion_profile);
+  }
+  std::vector<recsys::Scored> base_scores;
+  for (size_t i = 0; i < courses.size(); ++i) {
+    base_scores.push_back(
+        {courses.course(i).id, 1.0 - static_cast<double>(i) * 0.01});
+  }
+  sum::SmartUserModel enthusiastic(10, &catalog);
+  enthusiastic.set_sensibility(
+      catalog.EmotionalId(eit::EmotionalAttribute::kEnthusiastic), 0.9);
+  sum::SmartUserModel apathetic(11, &catalog);
+  apathetic.set_sensibility(
+      catalog.EmotionalId(eit::EmotionalAttribute::kApathetic), 0.9);
+
+  const auto ranked_enthusiastic =
+      reranker.Rerank(enthusiastic, base_scores);
+  const auto ranked_apathetic = reranker.Rerank(apathetic, base_scores);
+  size_t moved = 0;
+  for (size_t i = 0; i < ranked_enthusiastic.size(); ++i) {
+    if (ranked_enthusiastic[i].item != ranked_apathetic[i].item) {
+      ++moved;
+    }
+  }
+  std::printf("\nemotional re-ranking: %zu of %zu positions differ "
+              "between an enthusiastic and an apathetic user given "
+              "identical base scores\n",
+              moved, ranked_enthusiastic.size());
+  std::printf("(the paper's point: context — emotional context above "
+              "all — changes what should be recommended)\n");
+  return moved > 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace spa::bench
+
+int main(int argc, char** argv) { return spa::bench::Main(argc, argv); }

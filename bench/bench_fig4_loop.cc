@@ -1,0 +1,164 @@
+// Reproduces Fig. 4: the iterative automatic process to discover,
+// manage and update emotional attributes. We measure how the platform's
+// learned sensibility estimates converge toward the users' latent
+// emotional attributes as contacts accumulate — the quantitative
+// content of the discover -> advise -> update loop.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "campaign/runner.h"
+#include "core/spa.h"
+
+namespace spa::bench {
+namespace {
+
+struct LoopStats {
+  double mae = 0.0;          // mean |learned - latent|
+  double corr = 0.0;         // Pearson over (user, attribute) pairs
+  double dominant_hit = 0.0; // P(top learned attr == top latent attr)
+  double coverage = 0.0;     // share of attrs with any evidence
+};
+
+LoopStats Measure(core::Spa* spa,
+                  const campaign::PopulationModel& population,
+                  size_t users) {
+  LoopStats stats;
+  const auto& catalog = spa->attribute_catalog();
+  double sum_abs = 0.0;
+  double ml = 0.0, mt = 0.0;
+  std::vector<double> learned_v, latent_v;
+  size_t hits = 0;
+  size_t covered = 0, total = 0;
+  for (size_t u = 0; u < users; ++u) {
+    const campaign::LatentUser latent =
+        population.UserAt(static_cast<sum::UserId>(u));
+    const auto model = spa->sums()->Get(static_cast<sum::UserId>(u));
+    if (!model.ok()) continue;
+    double best_learned = -1.0;
+    eit::EmotionalAttribute best_attr =
+        eit::EmotionalAttribute::kEnthusiastic;
+    for (eit::EmotionalAttribute e : eit::AllEmotionalAttributes()) {
+      const double learned =
+          model.value()->sensibility(catalog.EmotionalId(e));
+      const double truth = latent.emotional[static_cast<size_t>(e)];
+      sum_abs += std::abs(learned - truth);
+      learned_v.push_back(learned);
+      latent_v.push_back(truth);
+      ml += learned;
+      mt += truth;
+      if (learned > best_learned) {
+        best_learned = learned;
+        best_attr = e;
+      }
+      if (model.value()->evidence(catalog.EmotionalId(e)) > 0.0) {
+        ++covered;
+      }
+      ++total;
+    }
+    if (best_attr == latent.DominantEmotion()) ++hits;
+  }
+  const double n = static_cast<double>(learned_v.size());
+  stats.mae = sum_abs / n;
+  ml /= n;
+  mt /= n;
+  double num = 0.0, dl = 0.0, dt = 0.0;
+  for (size_t i = 0; i < learned_v.size(); ++i) {
+    num += (learned_v[i] - ml) * (latent_v[i] - mt);
+    dl += (learned_v[i] - ml) * (learned_v[i] - ml);
+    dt += (latent_v[i] - mt) * (latent_v[i] - mt);
+  }
+  stats.corr = num / std::sqrt(dl * dt + 1e-12);
+  stats.dominant_hit =
+      static_cast<double>(hits) / static_cast<double>(users);
+  stats.coverage =
+      static_cast<double>(covered) / static_cast<double>(total);
+  return stats;
+}
+
+void RunCohort(const CommonFlags& flags, size_t users, size_t rounds,
+               double answer_prob, const char* label) {
+  std::printf("\n--- cohort: %s (EIT answer probability %.2f) ---\n",
+              label, answer_prob);
+
+  core::SpaConfig config;
+  config.seed = flags.seed;
+  auto spa = std::make_unique<core::Spa>(config);
+  campaign::PopulationConfig pop_config;
+  pop_config.seed = flags.seed;
+  pop_config.mean_eit_answer_prob = answer_prob;
+  const campaign::PopulationModel population(pop_config);
+  const campaign::CourseCatalog courses =
+      campaign::CourseCatalog::Generate(100, spa->attribute_catalog(),
+                                        flags.seed);
+  const campaign::ResponseModel responses;
+
+  campaign::RunnerConfig runner_config;
+  runner_config.seed = flags.seed;
+  runner_config.eit_warmup_contacts = 0;  // measure the loop from zero
+  runner_config.bootstrap_events_per_user = 6;
+  runner_config.retrain_after_campaign = false;
+  campaign::CampaignRunner runner(spa.get(), &population, &courses,
+                                  &responses, runner_config);
+  runner.RegisterCourses();
+
+  std::vector<sum::UserId> candidates;
+  for (size_t u = 0; u < users; ++u) {
+    candidates.push_back(static_cast<sum::UserId>(u));
+  }
+  runner.BootstrapUsers(candidates);
+
+  std::printf("\n%-7s %10s %10s %14s %10s\n", "round", "MAE",
+              "corr", "dominant-hit", "coverage");
+  PrintRule();
+  {
+    const LoopStats s0 = Measure(spa.get(), population, users);
+    std::printf("%-7d %10.3f %10.3f %13.1f%% %9.1f%%\n", 0, s0.mae,
+                s0.corr, s0.dominant_hit * 100.0, s0.coverage * 100.0);
+  }
+
+  const auto schedule = runner.DefaultSchedule(
+      users, 5, campaign::TargetingMode::kRandom);
+  for (size_t round = 1; round <= rounds; ++round) {
+    campaign::CampaignSpec spec =
+        schedule[(round - 1) % schedule.size()];
+    spec.id = static_cast<int>(round);
+    spec.target_count = users;  // contact everyone each round
+    runner.RunCampaign(spec, candidates);
+    const LoopStats s = Measure(spa.get(), population, users);
+    std::printf("%-7zu %10.3f %10.3f %13.1f%% %9.1f%%\n", round, s.mae,
+                s.corr, s.dominant_hit * 100.0, s.coverage * 100.0);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const CommonFlags flags = ParseFlags(argc, argv);
+  const size_t users = flags.users > 0 ? flags.users : 20'000;
+  const size_t rounds = 12;
+
+  PrintHeader(StrFormat(
+      "Fig. 4 - Iterative discovery of emotional attributes "
+      "(%zu users, %zu contact rounds)",
+      users, rounds));
+
+  // The paper's deployment suffered the sparsity problem (§5.2: "in
+  // many occasions users do not answer questions"); contrast the
+  // production-like cohort with a cooperative one.
+  RunCohort(flags, users, rounds, 0.35, "production sparsity");
+  RunCohort(flags, users, rounds, 0.9, "cooperative");
+
+  std::printf("\nexpected shape: correlation and dominant-attribute hit "
+              "rate rise monotonically as the\n"
+              "discover/advise/update loop accumulates EIT answers and "
+              "reinforcement evidence; the\n"
+              "cooperative cohort converges several times faster "
+              "(sparsity is the limiting factor).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace spa::bench
+
+int main(int argc, char** argv) { return spa::bench::Main(argc, argv); }

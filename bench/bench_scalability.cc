@@ -1,0 +1,214 @@
+// Benchmarks the §4 scalability claims: "With SPA the scalability has
+// been improved from hundreds of thousands of users to millions of
+// users" and "SPA has high performance pre-processing proactively
+// LifeLogs of millions of customers". Measures WebLog pre-processing
+// throughput, feature extraction, SVM training and population-scoring
+// rates with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/smart_component.h"
+#include "lifelog/features.h"
+#include "lifelog/preprocessor.h"
+#include "lifelog/session.h"
+#include "lifelog/weblog.h"
+#include "ml/platt.h"
+#include "ml/svm_linear.h"
+
+namespace spa {
+namespace {
+
+std::vector<std::string> MakeLogLines(size_t n, uint64_t seed) {
+  Rng rng(seed, 31);
+  std::vector<lifelog::Event> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    lifelog::Event e;
+    e.user = static_cast<lifelog::UserId>(rng.UniformInt(0, 99'999));
+    e.time = static_cast<TimeMicros>(i) * kMicrosPerSecond;
+    e.action_code = static_cast<int32_t>(rng.UniformInt(0, 983));
+    if (rng.Bernoulli(0.4)) {
+      e.item = static_cast<lifelog::ItemId>(rng.UniformInt(0, 499));
+    }
+    events.push_back(e);
+  }
+  lifelog::WeblogNoiseOptions noise;
+  noise.bot_fraction = 0.05;
+  noise.error_fraction = 0.03;
+  noise.malformed_fraction = 0.01;
+  lifelog::WeblogSynthesizer synth(noise);
+  std::vector<std::string> lines;
+  synth.Synthesize(events, &lines);
+  return lines;
+}
+
+void BM_WeblogParse(benchmark::State& state) {
+  const auto lines = MakeLogLines(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    size_t parsed = 0;
+    for (const std::string& line : lines) {
+      const auto record = lifelog::ParseCombined(line);
+      if (record.ok()) ++parsed;
+    }
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lines.size()));
+}
+BENCHMARK(BM_WeblogParse)->Arg(10'000)->Arg(100'000);
+
+void BM_PreprocessPipeline(benchmark::State& state) {
+  const auto lines = MakeLogLines(static_cast<size_t>(state.range(0)), 2);
+  const lifelog::ActionCatalog catalog = lifelog::ActionCatalog::Standard();
+  for (auto _ : state) {
+    lifelog::LifeLogStore store;
+    lifelog::LifeLogPreprocessor preprocessor(&catalog);
+    preprocessor.ProcessLines(lines, &store);
+    benchmark::DoNotOptimize(store.total_events());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lines.size()));
+}
+BENCHMARK(BM_PreprocessPipeline)->Arg(10'000)->Arg(100'000);
+
+void BM_Sessionize(benchmark::State& state) {
+  Rng rng(3);
+  const lifelog::ActionCatalog catalog = lifelog::ActionCatalog::Standard();
+  std::vector<lifelog::Event> events;
+  const size_t n = static_cast<size_t>(state.range(0));
+  TimeMicros t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    lifelog::Event e;
+    e.user = static_cast<lifelog::UserId>(i / 50);  // 50 events/user
+    t += static_cast<TimeMicros>(rng.Exponential(1.0 / 600.0)) *
+         kMicrosPerSecond;
+    e.time = t;
+    e.action_code = static_cast<int32_t>(rng.UniformInt(0, 983));
+    events.push_back(e);
+  }
+  for (auto _ : state) {
+    const auto sessions = lifelog::Sessionize(events, catalog);
+    benchmark::DoNotOptimize(sessions.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sessionize)->Arg(100'000);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  Rng rng(4);
+  const lifelog::ActionCatalog catalog = lifelog::ActionCatalog::Standard();
+  lifelog::FeatureSpace space;
+  const lifelog::BehaviorFeatureExtractor extractor(&catalog, &space);
+  // One user's events.
+  std::vector<lifelog::Event> events;
+  TimeMicros t = 0;
+  for (int i = 0; i < 40; ++i) {
+    lifelog::Event e;
+    e.user = 1;
+    t += static_cast<TimeMicros>(rng.Exponential(0.5)) * kMicrosPerHour;
+    e.time = t;
+    e.action_code = static_cast<int32_t>(rng.UniformInt(0, 983));
+    events.push_back(e);
+  }
+  for (auto _ : state) {
+    const auto features = extractor.Extract(events, t + kMicrosPerDay);
+    benchmark::DoNotOptimize(features.nnz());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeatureExtraction);
+
+ml::Dataset MakeTrainingSet(size_t n, int32_t dims, uint64_t seed) {
+  Rng rng(seed, 17);
+  ml::Dataset data;
+  data.x.SetCols(dims);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<ml::SparseEntry> entries;
+    const bool pos = rng.Bernoulli(0.12);
+    for (int32_t f = 0; f < dims; ++f) {
+      if (!rng.Bernoulli(0.3)) continue;
+      const double center = pos && f < 10 ? 0.8 : 0.3;
+      entries.push_back({f, rng.Normal(center, 0.3)});
+    }
+    data.x.AppendRow(entries);
+    data.y.push_back(pos ? 1 : -1);
+  }
+  return data;
+}
+
+void BM_SvmTrain(benchmark::State& state) {
+  const ml::Dataset data =
+      MakeTrainingSet(static_cast<size_t>(state.range(0)), 80, 5);
+  ml::SvmConfig config;
+  config.c = 0.1;
+  config.max_iterations = 60;
+  config.tolerance = 1e-3;
+  for (auto _ : state) {
+    ml::LinearSvm svm(config);
+    benchmark::DoNotOptimize(svm.Train(data).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SvmTrain)->Arg(10'000)->Arg(50'000);
+
+void BM_PopulationScoring(benchmark::State& state) {
+  // The selection function at scale: score N users with the trained
+  // linear model + Platt calibration.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ml::Dataset train = MakeTrainingSet(20'000, 80, 6);
+  ml::SvmConfig config;
+  config.c = 0.1;
+  config.max_iterations = 60;
+  ml::LinearSvm svm(config);
+  if (!svm.Train(train).ok()) state.SkipWithError("train failed");
+  ml::PlattScaler platt;
+  (void)platt.Fit(svm.ScoreAll(train), train.y);
+  const ml::Dataset score_set = MakeTrainingSet(n, 80, 7);
+
+  for (auto _ : state) {
+    double checksum = 0.0;
+    for (size_t i = 0; i < score_set.size(); ++i) {
+      checksum += platt.Transform(svm.Score(score_set.x.row(i)));
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PopulationScoring)->Arg(100'000)->Arg(1'000'000);
+
+void BM_PopulationScoringParallel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ml::Dataset train = MakeTrainingSet(20'000, 80, 6);
+  ml::SvmConfig config;
+  config.c = 0.1;
+  config.max_iterations = 60;
+  ml::LinearSvm svm(config);
+  if (!svm.Train(train).ok()) state.SkipWithError("train failed");
+  const ml::Dataset score_set = MakeTrainingSet(n, 80, 7);
+  ThreadPool pool;
+
+  for (auto _ : state) {
+    std::vector<double> scores(n);
+    ParallelFor(&pool, n, [&](size_t i) {
+      scores[i] = svm.Score(score_set.x.row(i));
+    });
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PopulationScoringParallel)
+    ->Arg(1'000'000)
+    ->UseRealTime();  // wall clock: the pool does the work off-thread
+
+}  // namespace
+}  // namespace spa
+
+BENCHMARK_MAIN();

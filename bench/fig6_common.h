@@ -1,0 +1,209 @@
+#ifndef SPA_BENCH_FIG6_COMMON_H_
+#define SPA_BENCH_FIG6_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "campaign/redemption.h"
+#include "campaign/runner.h"
+#include "core/spa.h"
+#include "ml/scaler.h"
+#include "ml/svm_linear.h"
+
+/// Shared driver for the Fig. 6 reproductions: bootstraps a synthetic
+/// population, pre-trains the propensity model on a pilot blast, then
+/// runs the paper's 10-campaign schedule (8 Push + 2 newsletters) with
+/// randomly chosen targets scored by the model — exactly the §5.4
+/// evaluation design.
+///
+/// The emotional ablation is computed on the SAME deployment data:
+/// a second model, trained on identical contact-time snapshots with the
+/// emotional feature group removed, re-scores every campaign. This
+/// isolates what the emotional context contributes to prediction
+/// quality, holding the world fixed.
+
+namespace spa::bench {
+
+struct Fig6Setup {
+  size_t pool = 100'000;          ///< candidate population
+  size_t targets = 42'400;        ///< per campaign (paper ratio ~42 %)
+  size_t courses = 200;
+  uint64_t seed = 42;
+  bool emotional_features = true;     ///< platform-side ablation switch
+  bool personalized_messaging = true;
+  double eit_answer_prob = 0.35;
+  /// Also compute the same-world objective-only rescoring.
+  bool compute_objective_ablation = true;
+};
+
+struct Fig6Result {
+  std::vector<campaign::CampaignOutcome> outcomes;  // the 10 campaigns
+  campaign::RedemptionReport report;
+  /// Same outcomes re-scored by the emotion-blind model.
+  std::vector<campaign::CampaignOutcome> objective_outcomes;
+  campaign::RedemptionReport objective_report;
+  double model_auc = 0.0;  ///< SmartComponent validation AUC
+};
+
+/// Removes the given feature indices from a sparse snapshot.
+inline ml::SparseVector DropFeatures(
+    const ml::SparseVector& v,
+    const std::unordered_set<int32_t>& dropped) {
+  ml::SparseVector out;
+  for (size_t i = 0; i < v.nnz(); ++i) {
+    if (!dropped.contains(v.index(i))) {
+      out.PushBack(v.index(i), v.value(i));
+    }
+  }
+  return out;
+}
+
+/// Indices of the emotional feature group (sens + emotional values).
+inline std::unordered_set<int32_t> EmotionalFeatureIndices(
+    core::Spa* spa) {
+  std::unordered_set<int32_t> indices;
+  const auto& space = *spa->feature_space();
+  const auto& catalog = spa->attribute_catalog();
+  for (int32_t f = 0; f < space.size(); ++f) {
+    const std::string& name = space.NameOf(f);
+    if (name.rfind("sum.sens.", 0) == 0) {
+      indices.insert(f);
+      continue;
+    }
+    for (eit::EmotionalAttribute e : eit::AllEmotionalAttributes()) {
+      const std::string value_name =
+          "sum.value." + std::string(eit::EmotionalAttributeName(e));
+      if (name == value_name) indices.insert(f);
+    }
+    (void)catalog;
+  }
+  return indices;
+}
+
+/// Replays the runner's retraining cadence on ablated snapshots:
+/// campaign k is scored by a model trained on the preceding `window`
+/// campaigns' (filtered) snapshots. Returns one score vector per
+/// recorded campaign (index 0 = pilot).
+inline std::vector<std::vector<double>> ReplayAblatedScores(
+    const campaign::CampaignRunner& runner,
+    const std::unordered_set<int32_t>& dropped_features,
+    const ml::SvmConfig& svm_config, size_t window) {
+  const auto& features = runner.history_features();
+  const auto& labels = runner.history_labels();
+  const auto& starts = runner.campaign_starts();
+
+  std::vector<std::vector<double>> scores_per_campaign(starts.size());
+  for (size_t k = 0; k < starts.size(); ++k) {
+    const size_t begin = starts[k];
+    const size_t end =
+        (k + 1 < starts.size()) ? starts[k + 1] : labels.size();
+    scores_per_campaign[k].assign(end - begin, 0.5);
+    if (k == 0) continue;  // pilot scored by the untrained prior
+
+    const size_t train_first = k > window ? starts[k - window] : 0;
+    const size_t train_last = starts[k];
+
+    ml::Dataset train;
+    for (size_t i = train_first; i < train_last; ++i) {
+      train.x.AppendRow(DropFeatures(features[i], dropped_features));
+      train.y.push_back(labels[i]);
+    }
+    if (train.positives() == 0 ||
+        train.positives() == train.size()) {
+      continue;
+    }
+    ml::ColumnScaler scaler;
+    if (!scaler.Fit(train.x).ok() ||
+        !scaler.Transform(&train.x).ok()) {
+      continue;
+    }
+    ml::LinearSvm svm(svm_config);
+    if (!svm.Train(train).ok()) continue;
+
+    for (size_t i = begin; i < end; ++i) {
+      const ml::SparseVector filtered =
+          DropFeatures(features[i], dropped_features);
+      const ml::SparseVector scaled =
+          scaler.TransformRow(filtered.view());
+      scores_per_campaign[k][i - begin] = svm.Score(scaled.view());
+    }
+  }
+  return scores_per_campaign;
+}
+
+inline Fig6Result RunTenCampaigns(const Fig6Setup& setup) {
+  core::SpaConfig config;
+  config.seed = setup.seed;
+  config.include_emotional_features = setup.emotional_features;
+  auto spa = std::make_unique<core::Spa>(config);
+
+  campaign::PopulationConfig pop_config;
+  pop_config.seed = setup.seed;
+  pop_config.mean_eit_answer_prob = setup.eit_answer_prob;
+  const campaign::PopulationModel population(pop_config);
+
+  const campaign::CourseCatalog courses =
+      campaign::CourseCatalog::Generate(
+          setup.courses, spa->attribute_catalog(), setup.seed);
+  const campaign::ResponseModel responses;
+
+  campaign::RunnerConfig runner_config;
+  runner_config.seed = setup.seed;
+  runner_config.personalized_messaging = setup.personalized_messaging;
+  runner_config.bootstrap_events_per_user = 8;
+  campaign::CampaignRunner runner(spa.get(), &population, &courses,
+                                  &responses, runner_config);
+  runner.RegisterCourses();
+
+  std::vector<sum::UserId> candidates;
+  candidates.reserve(setup.pool);
+  for (size_t u = 0; u < setup.pool; ++u) {
+    candidates.push_back(static_cast<sum::UserId>(u));
+  }
+  runner.BootstrapUsers(candidates);
+
+  // Pilot blast (not part of the 10 campaigns): gives the Smart
+  // Component its initial training data, mirroring the production
+  // platform that had historical campaigns before the evaluation.
+  {
+    campaign::CampaignSpec pilot;
+    pilot.id = 0;
+    pilot.target_count = setup.targets / 4;
+    const auto schedule = runner.DefaultSchedule(
+        setup.targets, 5, campaign::TargetingMode::kRandom);
+    pilot.featured_courses = schedule.front().featured_courses;
+    runner.RunCampaign(pilot, candidates);
+  }
+
+  Fig6Result result;
+  const auto schedule = runner.DefaultSchedule(
+      setup.targets, 5, campaign::TargetingMode::kRandom);
+  for (const campaign::CampaignSpec& spec : schedule) {
+    result.outcomes.push_back(runner.RunCampaign(spec, candidates));
+  }
+  result.report = campaign::ComputeRedemption(result.outcomes);
+  result.model_auc = spa->smart_component()->last_validation_auc();
+
+  if (setup.compute_objective_ablation) {
+    const auto dropped = EmotionalFeatureIndices(spa.get());
+    const auto replayed = ReplayAblatedScores(
+        runner, dropped, config.svm,
+        runner_config.training_window_campaigns);
+    // replayed[0] is the pilot; campaigns are 1..10.
+    result.objective_outcomes = result.outcomes;
+    for (size_t c = 0; c < result.objective_outcomes.size(); ++c) {
+      if (c + 1 < replayed.size()) {
+        result.objective_outcomes[c].scores = replayed[c + 1];
+      }
+    }
+    result.objective_report =
+        campaign::ComputeRedemption(result.objective_outcomes);
+  }
+  return result;
+}
+
+}  // namespace spa::bench
+
+#endif  // SPA_BENCH_FIG6_COMMON_H_

@@ -1,0 +1,113 @@
+// The business case of §5: an Intelligent Learning Guide. Simulates an
+// emagister-like deployment — synthetic user population with latent
+// emotional sensibilities, a course catalog, Gradual EIT delivery
+// through push campaigns, reward/punish updates and model-retraining —
+// then prints the campaign dashboard a marketing analyst would read.
+//
+// Build & run:  ./build/examples/learning_guide [users]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "campaign/redemption.h"
+#include "campaign/runner.h"
+#include "core/spa.h"
+#include "sum/human_values.h"
+
+int main(int argc, char** argv) {
+  using namespace spa;
+  const size_t users =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 10'000;
+
+  core::SpaConfig config;
+  config.seed = 42;
+  auto platform = std::make_unique<core::Spa>(config);
+  campaign::PopulationConfig pop_config;
+  pop_config.seed = 42;
+  const campaign::PopulationModel population(pop_config);
+  const campaign::CourseCatalog courses =
+      campaign::CourseCatalog::Generate(
+          150, platform->attribute_catalog(), 42);
+  const campaign::ResponseModel responses;
+
+  campaign::RunnerConfig runner_config;
+  runner_config.seed = 42;
+  campaign::CampaignRunner runner(platform.get(), &population, &courses,
+                                  &responses, runner_config);
+  runner.RegisterCourses();
+
+  std::vector<sum::UserId> everyone;
+  for (size_t u = 0; u < users; ++u) {
+    everyone.push_back(static_cast<sum::UserId>(u));
+  }
+  std::printf("bootstrapping %zu users (profiles, browsing history, "
+              "EIT warm-up)...\n",
+              users);
+  runner.BootstrapUsers(everyone);
+  std::printf("  lifelog: %zu events, %zu EIT answers recorded\n",
+              platform->lifelog()->total_events(),
+              static_cast<size_t>(
+                  platform->attributes_manager()->stats().eit_answers));
+
+  // Pilot to train the initial model, then three production campaigns.
+  const auto schedule = runner.DefaultSchedule(
+      users * 42 / 100, 5, campaign::TargetingMode::kRandom);
+  campaign::CampaignSpec pilot;
+  pilot.id = 0;
+  pilot.target_count = users / 10;
+  pilot.featured_courses = schedule.front().featured_courses;
+  runner.RunCampaign(pilot, everyone);
+
+  std::vector<campaign::CampaignOutcome> outcomes;
+  for (int c = 0; c < 3; ++c) {
+    outcomes.push_back(runner.RunCampaign(schedule[c], everyone));
+  }
+
+  std::printf("\ncampaign dashboard\n");
+  std::printf("%-10s %-11s %9s %7s %8s %13s %11s\n", "campaign",
+              "channel", "targeted", "opened", "clicked",
+              "transactions", "impacts");
+  for (const auto& o : outcomes) {
+    std::printf("%-10d %-11s %9zu %7zu %8zu %13zu %10.1f%%\n",
+                o.campaign_id,
+                o.channel == campaign::Channel::kPush ? "push"
+                                                      : "newsletter",
+                o.targeted, o.opened, o.clicked, o.transactions,
+                o.PredictiveScore() * 100.0);
+  }
+
+  const campaign::RedemptionReport report =
+      campaign::ComputeRedemption(outcomes);
+  std::printf("\ntargeting quality: AUC %.3f; top-40%% of the ranking "
+              "captures %.0f%% of impacts (+%.0f%% redemption)\n",
+              report.auc, report.captured_at_40 * 100.0,
+              report.redemption_improvement * 100.0);
+
+  // What the Attributes Manager learned about one engaged user.
+  for (sum::UserId u : everyone) {
+    const auto model = platform->sums()->Get(u);
+    if (!model.ok()) continue;
+    const auto dominant = model.value()->Dominant(
+        sum::AttributeKind::kEmotional, 0.3, 3);
+    if (dominant.size() < 2) continue;
+    std::printf("\nuser %lld dominant emotional sensibilities:",
+                static_cast<long long>(u));
+    for (const auto& d : dominant) {
+      std::printf("  %s=%.2f",
+                  platform->attribute_catalog().def(d.id).name.c_str(),
+                  d.sensibility);
+    }
+    const auto values = sum::ComputeHumanValues(*model.value());
+    std::printf("\n  dominant human value: %s\n",
+                std::string(sum::HumanValueName(values.Dominant()))
+                    .c_str());
+    std::printf("  action/preference coherence: %.2f\n",
+                sum::CoherenceFunction(*model.value()));
+    const agents::ComposedMessage message = platform->MessageFor(
+        u, courses.course(0).id, courses.course(0).sellable_attributes);
+    std::printf("  next message: \"%s\"\n", message.text.c_str());
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "agents/attributes_agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace spa::agents {
+
+AttributesManagerAgent::AttributesManagerAgent(
+    sum::SumStore* sums, AttributesAgentConfig config)
+    : Agent("attributes-manager"),
+      sums_(sums),
+      config_(config),
+      updater_(config.reinforcement) {
+  SPA_CHECK(sums != nullptr);
+}
+
+void AttributesManagerAgent::OnMessage(const Envelope& envelope,
+                                       AgentContext* ctx) {
+  (void)ctx;
+  if (const auto* answer =
+          std::get_if<EitAnswerObserved>(&envelope.payload)) {
+    HandleEitAnswer(*answer);
+  } else if (const auto* interaction =
+                 std::get_if<InteractionObserved>(&envelope.payload)) {
+    HandleInteraction(*interaction);
+  } else if (std::get_if<PreprocessReport>(&envelope.payload) !=
+             nullptr) {
+    ++stats_.preprocess_reports;
+  } else if (std::get_if<Tick>(&envelope.payload) != nullptr) {
+    if (config_.decay_on_tick) {
+      sums_->ForEach([this](const sum::SmartUserModel& model) {
+        // ForEach hands out const refs; fetch mutable via the store.
+        auto mutable_model = sums_->GetMutable(model.user());
+        if (mutable_model.ok()) {
+          updater_.Decay(mutable_model.value(),
+                         sum::AttributeKind::kEmotional);
+        }
+      });
+      ++stats_.decay_rounds;
+    }
+  }
+}
+
+void AttributesManagerAgent::HandleEitAnswer(
+    const EitAnswerObserved& answer) {
+  ++stats_.eit_answers;
+  sum::SmartUserModel* model = sums_->GetOrCreate(answer.user);
+  const sum::AttributeCatalog& catalog = model->catalog();
+  const double neutral = config_.eit_neutral_consensus;
+  for (const eit::AttributeImpact& impact : answer.activations) {
+    const sum::AttributeId id = catalog.EmotionalId(impact.attribute);
+    // `impact.weight` arrives as item weight x consensus score; recover
+    // the consensus level relative to the neutral point so that
+    // high-consensus answers activate and low-consensus answers
+    // inhibit the impacted attribute.
+    const double consensus_part =
+        impact.weight;  // in [0, weight]; weight <= 1
+    const double signal =
+        (consensus_part - neutral) / (1.0 - neutral);
+    const double magnitude =
+        std::min(1.5, std::abs(signal) * config_.eit_gain);
+    if (signal >= 0.0) {
+      updater_.Reward(model, id, magnitude);
+      ++stats_.reinforcements;
+    } else {
+      updater_.Punish(model, id, magnitude);
+      ++stats_.punishments;
+    }
+    // The attribute *value* tracks the activation level too (it feeds
+    // the propensity features).
+    model->set_value(id, model->sensibility(id));
+  }
+}
+
+void AttributesManagerAgent::HandleInteraction(
+    const InteractionObserved& interaction) {
+  sum::SmartUserModel* model = sums_->GetOrCreate(interaction.user);
+  if (interaction.argued_attribute < 0) return;  // standard message
+  if (interaction.positive) {
+    updater_.Reward(model, interaction.argued_attribute,
+                    interaction.magnitude);
+    ++stats_.reinforcements;
+  } else {
+    updater_.Punish(model, interaction.argued_attribute,
+                    interaction.magnitude);
+    ++stats_.punishments;
+  }
+}
+
+}  // namespace spa::agents

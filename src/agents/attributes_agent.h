@@ -1,0 +1,61 @@
+#ifndef SPA_AGENTS_ATTRIBUTES_AGENT_H_
+#define SPA_AGENTS_ATTRIBUTES_AGENT_H_
+
+#include "agents/runtime.h"
+#include "sum/reward_punish.h"
+#include "sum/sum_store.h"
+
+/// \file
+/// The Attributes Manager Agent (SPA component 3): creates, extracts,
+/// selects and fuses attributes, and "automatically detects the level of
+/// sensibility of each user for each of his/her dominant attributes by
+/// automatically assigning weights (relevancies)" (§4). Sensibility
+/// weights are maintained through the SUM reward/punish mechanism:
+/// EIT answers activate emotional attributes, observed reactions to
+/// argued messages reinforce or weaken them (Fig. 4).
+
+namespace spa::agents {
+
+struct AttributesAgentConfig {
+  sum::ReinforcementConfig reinforcement;
+  /// Decay applied to emotional sensibilities on every Tick.
+  bool decay_on_tick = true;
+  /// Consensus score at which an EIT answer is emotionally neutral;
+  /// answers above it reward the impacted attributes, answers below it
+  /// punish them (disagreeing with the population consensus on an
+  /// "enthusiasm" item is evidence of low enthusiasm).
+  double eit_neutral_consensus = 0.3;
+  /// Gain applied to the signed EIT evidence before reinforcement.
+  double eit_gain = 5.0;
+};
+
+/// \brief Maintains SUM sensibility weights from the event stream.
+class AttributesManagerAgent : public Agent {
+ public:
+  AttributesManagerAgent(sum::SumStore* sums,
+                         AttributesAgentConfig config = {});
+
+  void OnMessage(const Envelope& envelope, AgentContext* ctx) override;
+
+  struct Stats {
+    uint64_t eit_answers = 0;
+    uint64_t reinforcements = 0;
+    uint64_t punishments = 0;
+    uint64_t decay_rounds = 0;
+    uint64_t preprocess_reports = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void HandleEitAnswer(const EitAnswerObserved& answer);
+  void HandleInteraction(const InteractionObserved& interaction);
+
+  sum::SumStore* sums_;
+  AttributesAgentConfig config_;
+  sum::ReinforcementUpdater updater_;
+  Stats stats_;
+};
+
+}  // namespace spa::agents
+
+#endif  // SPA_AGENTS_ATTRIBUTES_AGENT_H_

@@ -1,0 +1,30 @@
+#include "agents/message.h"
+
+namespace spa::agents {
+
+std::string_view PayloadName(const Payload& payload) {
+  struct Visitor {
+    std::string_view operator()(const RawLogBatch&) const {
+      return "RawLogBatch";
+    }
+    std::string_view operator()(const PreprocessReport&) const {
+      return "PreprocessReport";
+    }
+    std::string_view operator()(const EitAnswerObserved&) const {
+      return "EitAnswerObserved";
+    }
+    std::string_view operator()(const InteractionObserved&) const {
+      return "InteractionObserved";
+    }
+    std::string_view operator()(const ComposeMessageRequest&) const {
+      return "ComposeMessageRequest";
+    }
+    std::string_view operator()(const ComposedMessage&) const {
+      return "ComposedMessage";
+    }
+    std::string_view operator()(const Tick&) const { return "Tick"; }
+  };
+  return std::visit(Visitor{}, payload);
+}
+
+}  // namespace spa::agents

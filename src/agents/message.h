@@ -1,0 +1,102 @@
+#ifndef SPA_AGENTS_MESSAGE_H_
+#define SPA_AGENTS_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "eit/question_bank.h"
+#include "lifelog/event.h"
+#include "sum/attribute.h"
+
+/// \file
+/// Typed inter-agent messages. The SPA architecture (Fig. 3) is a
+/// message-passing multi-agent system; every interaction between the
+/// LifeLogs Pre-processor, Attributes Manager, Smart Component and
+/// Messaging Agent travels as one of these payloads.
+
+namespace spa::agents {
+
+/// A batch of raw WebLog lines for pre-processing.
+struct RawLogBatch {
+  std::vector<std::string> lines;
+};
+
+/// Pre-processing progress report (emitted by preprocessor replicas).
+struct PreprocessReport {
+  uint64_t lines_processed = 0;
+  uint64_t events_out = 0;
+  std::string replica;
+};
+
+/// A user answered a Gradual EIT question: activation evidence for the
+/// impacted emotional attributes (already consensus-scaled).
+struct EitAnswerObserved {
+  sum::UserId user = 0;
+  int32_t question_id = -1;
+  std::vector<eit::AttributeImpact> activations;
+};
+
+/// A user reacted (or failed to react) to a recommendation that was
+/// argued through `argued_attribute`.
+struct InteractionObserved {
+  sum::UserId user = 0;
+  lifelog::ItemId item = lifelog::kNoItem;
+  sum::AttributeId argued_attribute = -1;  ///< -1 when standard message
+  bool positive = false;  ///< transaction followed vs. ignored
+  double magnitude = 1.0;
+};
+
+/// Ask the Messaging Agent to compose a sales talk for (user, course).
+struct ComposeMessageRequest {
+  sum::UserId user = 0;
+  lifelog::ItemId course = lifelog::kNoItem;
+  /// Sellable attribute ids of the course, in priority order
+  /// (step 1 of §5.3).
+  std::vector<sum::AttributeId> product_attributes;
+};
+
+/// Which of the paper's Fig. 5 cases produced the message.
+enum class MessageCase : uint8_t {
+  kStandard = 0,      ///< 3.a: no matching sensibility
+  kSingleMatch = 1,   ///< 3.b: exactly one match
+  kPriority = 2,      ///< 3.c.i: several, picked by priority
+  kMaxSensibility = 3 ///< 3.c.ii: several, picked by max sensibility
+};
+
+/// The composed individualized message.
+struct ComposedMessage {
+  sum::UserId user = 0;
+  lifelog::ItemId course = lifelog::kNoItem;
+  MessageCase message_case = MessageCase::kStandard;
+  sum::AttributeId argued_attribute = -1;
+  std::string text;
+};
+
+/// Periodic maintenance tick (decay rounds etc.).
+struct Tick {
+  spa::TimeMicros now = 0;
+};
+
+using Payload =
+    std::variant<RawLogBatch, PreprocessReport, EitAnswerObserved,
+                 InteractionObserved, ComposeMessageRequest,
+                 ComposedMessage, Tick>;
+
+/// \brief A routed message.
+struct Envelope {
+  int64_t seq = 0;          ///< delivery sequence number
+  std::string from;
+  std::string to;
+  spa::TimeMicros at = 0;   ///< simulated send time
+  Payload payload;
+};
+
+/// Name of the payload alternative (for traces).
+std::string_view PayloadName(const Payload& payload);
+
+}  // namespace spa::agents
+
+#endif  // SPA_AGENTS_MESSAGE_H_

@@ -1,0 +1,154 @@
+#include "agents/messaging_agent.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::agents {
+
+MessagingAgent::MessagingAgent(const sum::SumStore* sums,
+                               MessagingAgentConfig config)
+    : Agent("messaging"), sums_(sums), config_(config),
+      standard_template_(
+          "Discover our featured training courses - enrol today.") {
+  SPA_CHECK(sums != nullptr);
+}
+
+void MessagingAgent::OnMessage(const Envelope& envelope,
+                               AgentContext* ctx) {
+  if (const auto* request =
+          std::get_if<ComposeMessageRequest>(&envelope.payload)) {
+    ComposedMessage message = Compose(*request);
+    ctx->Send(envelope.from, std::move(message));
+  }
+}
+
+void MessagingAgent::SetTemplate(sum::AttributeId attribute,
+                                 std::string text) {
+  templates_[attribute] = std::move(text);
+}
+
+void MessagingAgent::SetStandardTemplate(std::string text) {
+  standard_template_ = std::move(text);
+}
+
+std::string MessagingAgent::RenderTemplate(
+    sum::AttributeId attribute) const {
+  const auto it = templates_.find(attribute);
+  const std::string& name =
+      sums_->catalog().def(attribute).name;
+  if (it == templates_.end()) {
+    return spa::StrFormat(
+        "This course is perfect for people who value %s.", name.c_str());
+  }
+  if (it->second.find("%s") != std::string::npos) {
+    return spa::StrFormat(it->second.c_str(), name.c_str());
+  }
+  return it->second;
+}
+
+ComposedMessage MessagingAgent::Compose(
+    const ComposeMessageRequest& request) const {
+  ComposedMessage out;
+  out.user = request.user;
+  out.course = request.course;
+
+  const auto model = sums_->Get(request.user);
+
+  // Matching sensibilities among the product attributes, preserving the
+  // product's priority order.
+  std::vector<sum::AttributeId> matches;
+  if (model.ok()) {
+    for (sum::AttributeId attr : request.product_attributes) {
+      if (model.value()->sensibility(attr) >=
+          config_.sensibility_threshold) {
+        matches.push_back(attr);
+      }
+    }
+  }
+
+  if (matches.empty()) {
+    out.message_case = MessageCase::kStandard;
+    out.argued_attribute = -1;
+    out.text = standard_template_;
+  } else if (matches.size() == 1) {
+    out.message_case = MessageCase::kSingleMatch;
+    out.argued_attribute = matches[0];
+    out.text = RenderTemplate(matches[0]);
+  } else if (config_.policy == MultiMatchPolicy::kPriority) {
+    out.message_case = MessageCase::kPriority;
+    out.argued_attribute = matches[0];  // priority order preserved
+    out.text = RenderTemplate(matches[0]);
+  } else {
+    out.message_case = MessageCase::kMaxSensibility;
+    const sum::SmartUserModel& m = *model.value();
+    out.argued_attribute = *std::max_element(
+        matches.begin(), matches.end(),
+        [&m](sum::AttributeId a, sum::AttributeId b) {
+          if (m.sensibility(a) != m.sensibility(b)) {
+            return m.sensibility(a) < m.sensibility(b);
+          }
+          return a > b;  // ties: lower id wins
+        });
+    out.text = RenderTemplate(out.argued_attribute);
+  }
+
+  ++stats_.by_case[static_cast<size_t>(out.message_case)];
+  ++stats_.composed;
+  return out;
+}
+
+void InstallDefaultTemplates(const sum::AttributeCatalog& catalog,
+                             MessagingAgent* agent) {
+  struct NamedTemplate {
+    std::string_view attribute;
+    std::string_view text;
+  };
+  static constexpr NamedTemplate kTemplates[] = {
+      {"enthusiastic",
+       "Bring your enthusiasm to life! This course gives you the spark "
+       "to turn energy into real skills."},
+      {"motivated",
+       "You know where you are going. This course is the next step for "
+       "people as motivated as you."},
+      {"empathic",
+       "Learn alongside people who care. A course designed for those "
+       "who understand others."},
+      {"hopeful",
+       "A better future starts today: this course opens the doors you "
+       "have been hoping for."},
+      {"lively",
+       "Dynamic classes, hands-on projects, zero boredom. Made for "
+       "lively minds like yours."},
+      {"stimulated",
+       "New challenges every week - a course that keeps your curiosity "
+       "fully stimulated."},
+      {"impatient",
+       "Fast-track format: results from day one, no time wasted."},
+      {"frightened",
+       "Step by step, with tutors beside you the whole way. Learning "
+       "without fear."},
+      {"shy",
+       "Learn at your own pace from home - no crowded classrooms, full "
+       "personal support."},
+      {"apathetic",
+       "Not sure anything is worth it? This short course has surprised "
+       "people just like you."},
+      {"price_sensitivity",
+       "Best value guaranteed: top training at a price that respects "
+       "your budget."},
+      {"certification_value",
+       "Finish with an accredited certificate employers recognize."},
+      {"flexibility_importance",
+       "Study when it suits you: evenings, weekends, fully flexible."},
+  };
+  for (const NamedTemplate& t : kTemplates) {
+    const auto id = catalog.IdOf(std::string(t.attribute));
+    if (id.ok()) {
+      agent->SetTemplate(id.value(), std::string(t.text));
+    }
+  }
+}
+
+}  // namespace spa::agents

@@ -1,0 +1,80 @@
+#ifndef SPA_AGENTS_MESSAGING_AGENT_H_
+#define SPA_AGENTS_MESSAGING_AGENT_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+#include "agents/runtime.h"
+#include "sum/sum_store.h"
+
+/// \file
+/// The Messaging Agent (SPA component 4): simulates the salesman who
+/// adapts the sales talk to the customer's sensibilities (§5.3).
+/// Message generation follows the paper's three steps: (1) select the
+/// product attributes usable as sales arguments, (2) keep one message
+/// template per attribute in a database, (3) assign a message per user:
+///   a)   no matching sensibility        -> standard message
+///   b)   exactly one match              -> that attribute's message
+///   c.i)  several matches, priority     -> highest-priority attribute
+///   c.ii) several matches, sensibility  -> strongest sensibility
+/// Fig. 5 shows one example of each case.
+
+namespace spa::agents {
+
+/// Tie-break policy for case (c).
+enum class MultiMatchPolicy : uint8_t {
+  kPriority = 0,        ///< 3.c.i — product attribute priority order
+  kMaxSensibility = 1,  ///< 3.c.ii — user's strongest sensibility
+};
+
+struct MessagingAgentConfig {
+  /// Sensibility threshold for an attribute to count as a match.
+  double sensibility_threshold = 0.5;
+  MultiMatchPolicy policy = MultiMatchPolicy::kMaxSensibility;
+};
+
+/// \brief Composes individualized messages from SUM sensibilities.
+class MessagingAgent : public Agent {
+ public:
+  MessagingAgent(const sum::SumStore* sums,
+                 MessagingAgentConfig config = {});
+
+  void OnMessage(const Envelope& envelope, AgentContext* ctx) override;
+
+  /// Registers/overrides the message template for a product attribute.
+  /// `%s` in the template is substituted with the attribute name.
+  void SetTemplate(sum::AttributeId attribute, std::string text);
+
+  /// The standard (non-personalized) fallback message.
+  void SetStandardTemplate(std::string text);
+
+  /// Pure composition entry point (also used by the benches directly,
+  /// without going through the mailbox).
+  ComposedMessage Compose(const ComposeMessageRequest& request) const;
+
+  struct Stats {
+    std::array<uint64_t, 4> by_case{};  ///< indexed by MessageCase
+    uint64_t composed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string RenderTemplate(sum::AttributeId attribute) const;
+
+  const sum::SumStore* sums_;
+  MessagingAgentConfig config_;
+  std::unordered_map<sum::AttributeId, std::string> templates_;
+  std::string standard_template_;
+  mutable Stats stats_;
+};
+
+/// Installs the default template set for the emagister catalog: one
+/// emotionally-argued template per emotional attribute plus a handful of
+/// subjective ones (price, certification, flexibility).
+void InstallDefaultTemplates(const sum::AttributeCatalog& catalog,
+                             MessagingAgent* agent);
+
+}  // namespace spa::agents
+
+#endif  // SPA_AGENTS_MESSAGING_AGENT_H_

@@ -1,0 +1,78 @@
+#include "agents/preprocessor_agent.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace spa::agents {
+
+namespace {
+std::string ReplicaName(size_t index) {
+  return spa::StrFormat("preproc-%zu", index);
+}
+}  // namespace
+
+PreprocessorAgent::PreprocessorAgent(
+    const lifelog::ActionCatalog* catalog, lifelog::LifeLogStore* store,
+    PreprocessorAgentConfig config)
+    : Agent(ReplicaName(0)),
+      family_(std::make_shared<Family>(catalog, store, config)),
+      index_(0) {}
+
+PreprocessorAgent::PreprocessorAgent(std::shared_ptr<Family> family,
+                                     size_t index)
+    : Agent(ReplicaName(index)), family_(std::move(family)),
+      index_(index) {}
+
+void PreprocessorAgent::OnMessage(const Envelope& envelope,
+                                  AgentContext* ctx) {
+  if (const auto* batch = std::get_if<RawLogBatch>(&envelope.payload)) {
+    HandleBatch(*batch, ctx);
+  }
+  // Ticks and other payloads are no-ops for the pre-processor.
+}
+
+void PreprocessorAgent::HandleBatch(const RawLogBatch& batch,
+                                    AgentContext* ctx) {
+  Family& family = *family_;
+  ++family.stats.batches;
+
+  const size_t capacity = family.config.capacity_per_batch;
+  const size_t take = std::min(batch.lines.size(), capacity);
+
+  for (size_t i = 0; i < take; ++i) {
+    family.preprocessor.ProcessLine(batch.lines[i], family.store);
+  }
+
+  if (take < batch.lines.size()) {
+    // Overflow: replicate proactively (up to the cap) and hand the rest
+    // of the batch to the next replica in the ring.
+    ++family.stats.overflow_handoffs;
+    const size_t next = (index_ + 1) % family.config.max_replicas;
+    const std::string next_name = ReplicaName(next);
+    if (next != 0 && family.stats.replicas < family.config.max_replicas &&
+        next >= family.stats.replicas) {
+      std::unique_ptr<Agent> replica(
+          new PreprocessorAgent(family_, next));
+      if (ctx->SpawnAgent(std::move(replica))) {
+        ++family.stats.replicas;
+        SPA_LOG(Debug) << "preprocessor replicated to "
+                       << family.stats.replicas << " replicas";
+      }
+    }
+    RawLogBatch rest;
+    rest.lines.assign(batch.lines.begin() + static_cast<long>(take),
+                      batch.lines.end());
+    ctx->Send(next_name, std::move(rest));
+  }
+
+  // Refresh the family-level aggregate from the shared preprocessor.
+  family.stats.preprocess = family.preprocessor.stats();
+
+  PreprocessReport report;
+  report.lines_processed = take;
+  report.events_out = family.preprocessor.stats().events_out;
+  report.replica = name();
+  ctx->Send("attributes-manager", std::move(report));
+}
+
+}  // namespace spa::agents

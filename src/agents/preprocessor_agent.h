@@ -1,0 +1,76 @@
+#ifndef SPA_AGENTS_PREPROCESSOR_AGENT_H_
+#define SPA_AGENTS_PREPROCESSOR_AGENT_H_
+
+#include <memory>
+#include <string>
+
+#include "agents/runtime.h"
+#include "lifelog/preprocessor.h"
+#include "lifelog/store.h"
+
+/// \file
+/// The LifeLogs Pre-processor Agent (SPA component 1): "replicates
+/// itself in pro-active way depending of user's interaction with several
+/// applications" (§4). When a replica's backlog exceeds its capacity it
+/// spawns a sibling and splits the batch, so ingest throughput scales
+/// with load.
+
+namespace spa::agents {
+
+struct PreprocessorAgentConfig {
+  /// Lines one replica is willing to take from a single batch before
+  /// off-loading the rest to a (possibly new) sibling.
+  size_t capacity_per_batch = 10'000;
+  /// Upper bound on the replica population.
+  size_t max_replicas = 8;
+};
+
+/// \brief Self-replicating log pre-processing agent.
+///
+/// All replicas share the target store and the replication bookkeeping
+/// through a shared Family block owned by the primary.
+class PreprocessorAgent : public Agent {
+ public:
+  /// Creates the primary replica ("preproc-0").
+  PreprocessorAgent(const lifelog::ActionCatalog* catalog,
+                    lifelog::LifeLogStore* store,
+                    PreprocessorAgentConfig config = {});
+
+  void OnMessage(const Envelope& envelope, AgentContext* ctx) override;
+
+  /// Aggregate statistics across every replica.
+  struct FamilyStats {
+    lifelog::PreprocessStats preprocess;
+    size_t replicas = 1;
+    uint64_t batches = 0;
+    uint64_t overflow_handoffs = 0;
+  };
+  const FamilyStats& family_stats() const { return family_->stats; }
+
+ private:
+  struct Family {
+    FamilyStats stats;
+    const lifelog::ActionCatalog* catalog;
+    lifelog::LifeLogStore* store;
+    PreprocessorAgentConfig config;
+    /// Shared dedup state lives in one preprocessor per family so that
+    /// replicas do not re-admit each other's duplicates.
+    lifelog::LifeLogPreprocessor preprocessor;
+
+    Family(const lifelog::ActionCatalog* cat,
+           lifelog::LifeLogStore* st, PreprocessorAgentConfig cfg)
+        : catalog(cat), store(st), config(cfg), preprocessor(cat) {}
+  };
+
+  /// Replica constructor.
+  PreprocessorAgent(std::shared_ptr<Family> family, size_t index);
+
+  void HandleBatch(const RawLogBatch& batch, AgentContext* ctx);
+
+  std::shared_ptr<Family> family_;
+  size_t index_;
+};
+
+}  // namespace spa::agents
+
+#endif  // SPA_AGENTS_PREPROCESSOR_AGENT_H_

@@ -1,0 +1,85 @@
+#include "agents/runtime.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::agents {
+
+AgentContext::AgentContext(AgentRuntime* runtime, std::string self)
+    : runtime_(runtime), self_(std::move(self)) {}
+
+void AgentContext::Send(const std::string& to, Payload payload) {
+  runtime_->Enqueue(self_, to, std::move(payload));
+  ++runtime_->stats_[self_].sent;
+}
+
+bool AgentContext::SpawnAgent(std::unique_ptr<Agent> agent) {
+  return runtime_->Register(std::move(agent)).ok();
+}
+
+spa::TimeMicros AgentContext::now() const {
+  return runtime_->clock_->now();
+}
+
+AgentRuntime::AgentRuntime(spa::SimClock* clock) : clock_(clock) {
+  SPA_CHECK(clock != nullptr);
+}
+
+spa::Status AgentRuntime::Register(std::unique_ptr<Agent> agent) {
+  SPA_CHECK(agent != nullptr);
+  const std::string name = agent->name();
+  if (agents_.contains(name)) {
+    return spa::Status::AlreadyExists(
+        spa::StrFormat("agent '%s' already registered", name.c_str()));
+  }
+  agents_.emplace(name, std::move(agent));
+  names_.push_back(name);
+  stats_.emplace(name, AgentStats{});
+  return spa::Status::OK();
+}
+
+bool AgentRuntime::HasAgent(const std::string& name) const {
+  return agents_.contains(name);
+}
+
+void AgentRuntime::Inject(const std::string& to, Payload payload) {
+  Enqueue("external", to, std::move(payload));
+}
+
+void AgentRuntime::Enqueue(const std::string& from, const std::string& to,
+                           Payload payload) {
+  Envelope envelope;
+  envelope.seq = next_seq_++;
+  envelope.from = from;
+  envelope.to = to;
+  envelope.at = clock_->now();
+  envelope.payload = std::move(payload);
+  queue_.push_back(std::move(envelope));
+}
+
+size_t AgentRuntime::RunUntilIdle(size_t max_deliveries) {
+  size_t delivered = 0;
+  while (!queue_.empty() && delivered < max_deliveries) {
+    Envelope envelope = std::move(queue_.front());
+    queue_.pop_front();
+    const auto it = agents_.find(envelope.to);
+    if (it == agents_.end()) {
+      ++dropped_;
+      continue;
+    }
+    AgentContext ctx(this, envelope.to);
+    ++stats_[envelope.to].delivered;
+    it->second->OnMessage(envelope, &ctx);
+    ++delivered;
+  }
+  return delivered;
+}
+
+size_t AgentRuntime::TickAll() {
+  for (const std::string& name : names_) {
+    Inject(name, Tick{clock_->now()});
+  }
+  return RunUntilIdle();
+}
+
+}  // namespace spa::agents

@@ -1,0 +1,107 @@
+#ifndef SPA_AGENTS_RUNTIME_H_
+#define SPA_AGENTS_RUNTIME_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agents/message.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+/// \file
+/// Deterministic cooperative agent runtime: agents exchange envelopes
+/// through a global FIFO; delivery order is completely determined by
+/// send order, so every multi-agent experiment is reproducible.
+
+namespace spa::agents {
+
+class AgentRuntime;
+
+/// \brief Capabilities an agent gets while handling a message.
+class AgentContext {
+ public:
+  AgentContext(AgentRuntime* runtime, std::string self);
+
+  /// Sends a payload to another agent (queued FIFO).
+  void Send(const std::string& to, Payload payload);
+
+  /// Registers a new agent (the pre-processor's self-replication path).
+  /// Returns false if the name is already taken.
+  bool SpawnAgent(std::unique_ptr<class Agent> agent);
+
+  spa::TimeMicros now() const;
+  const std::string& self() const { return self_; }
+
+ private:
+  AgentRuntime* runtime_;
+  std::string self_;
+};
+
+/// \brief Base class for all agents.
+class Agent {
+ public:
+  explicit Agent(std::string name) : name_(std::move(name)) {}
+  virtual ~Agent() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Handles one delivered envelope.
+  virtual void OnMessage(const Envelope& envelope, AgentContext* ctx) = 0;
+
+ private:
+  std::string name_;
+};
+
+/// \brief Per-agent delivery statistics.
+struct AgentStats {
+  uint64_t delivered = 0;
+  uint64_t sent = 0;
+};
+
+/// \brief Deterministic single-threaded runtime.
+class AgentRuntime {
+ public:
+  explicit AgentRuntime(spa::SimClock* clock);
+
+  /// Registers an agent; fails on duplicate names.
+  spa::Status Register(std::unique_ptr<Agent> agent);
+
+  bool HasAgent(const std::string& name) const;
+
+  /// Queues an envelope from outside the agent system.
+  void Inject(const std::string& to, Payload payload);
+
+  /// Delivers queued envelopes until the queue drains or `max_deliveries`
+  /// is hit. Returns the number of envelopes delivered.
+  size_t RunUntilIdle(size_t max_deliveries = 1'000'000);
+
+  /// Broadcasts a Tick to every agent, then drains.
+  size_t TickAll();
+
+  size_t queue_depth() const { return queue_.size(); }
+  const std::unordered_map<std::string, AgentStats>& stats() const {
+    return stats_;
+  }
+  const std::vector<std::string>& agent_names() const { return names_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  friend class AgentContext;
+  void Enqueue(const std::string& from, const std::string& to,
+               Payload payload);
+
+  spa::SimClock* clock_;
+  std::unordered_map<std::string, std::unique_ptr<Agent>> agents_;
+  std::vector<std::string> names_;  // registration order
+  std::deque<Envelope> queue_;
+  std::unordered_map<std::string, AgentStats> stats_;
+  int64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;  // envelopes to unknown agents
+};
+
+}  // namespace spa::agents
+
+#endif  // SPA_AGENTS_RUNTIME_H_

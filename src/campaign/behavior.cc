@@ -1,0 +1,88 @@
+#include "campaign/behavior.h"
+
+#include <algorithm>
+
+#include "ml/logreg.h"
+
+namespace spa::campaign {
+
+ResponseModel::ResponseModel(ResponseConfig config) : config_(config) {}
+
+double ResponseModel::ArgumentAlignment(
+    const LatentUser& user, sum::AttributeId argued_attribute,
+    const sum::AttributeCatalog& catalog) const {
+  if (argued_attribute < 0) return 0.0;
+  const sum::AttributeDef& def = catalog.def(argued_attribute);
+  if (def.kind == sum::AttributeKind::kEmotional) {
+    // A well-aimed emotional argument lands with the user's true
+    // sensibility — this holds for negative-valence attributes too,
+    // whose templates are crafted to reassure (Fig. 5(b)).
+    return user.emotional[static_cast<size_t>(def.emotion)];
+  }
+  if (def.name == "price_sensitivity") return user.price_sensitivity;
+  if (def.name == "certification_value") {
+    return user.certification_value;
+  }
+  if (def.name == "flexibility_importance") {
+    return user.flexibility_importance;
+  }
+  return 0.0;
+}
+
+double ResponseModel::TopicMatch(const LatentUser& user,
+                                 const Course& course) const {
+  return user.topics[static_cast<size_t>(course.topic)];
+}
+
+double ResponseModel::OpenProbability(const LatentUser& user,
+                                      Channel channel) const {
+  const double scale = channel == Channel::kPush
+                           ? config_.open_scale_push
+                           : config_.open_scale_newsletter;
+  return std::clamp(user.open_rate * scale, 0.0, 1.0);
+}
+
+double ResponseModel::ClickProbability(const LatentUser& user,
+                                       const Course& course,
+                                       double argument_alignment) const {
+  const double logit = config_.click_bias +
+                       config_.click_topic_weight *
+                           TopicMatch(user, course) +
+                       config_.click_argument_weight *
+                           argument_alignment +
+                       config_.click_propensity_weight *
+                           user.base_propensity;
+  return ml::Sigmoid(logit);
+}
+
+double ResponseModel::TransactionProbability(
+    const LatentUser& user, const Course& course,
+    double argument_alignment) const {
+  const double logit = config_.trans_bias +
+                       config_.trans_topic_weight *
+                           TopicMatch(user, course) +
+                       config_.trans_argument_weight *
+                           argument_alignment +
+                       config_.trans_propensity_weight *
+                           user.base_propensity;
+  return ml::Sigmoid(logit);
+}
+
+ContactOutcome ResponseModel::Sample(
+    Rng* rng, const LatentUser& user, const Course& course,
+    sum::AttributeId argued_attribute,
+    const sum::AttributeCatalog& catalog, Channel channel) const {
+  ContactOutcome outcome;
+  outcome.opened = rng->Bernoulli(OpenProbability(user, channel));
+  if (!outcome.opened) return outcome;
+  const double alignment =
+      ArgumentAlignment(user, argued_attribute, catalog);
+  outcome.clicked =
+      rng->Bernoulli(ClickProbability(user, course, alignment));
+  if (!outcome.clicked) return outcome;
+  outcome.transacted =
+      rng->Bernoulli(TransactionProbability(user, course, alignment));
+  return outcome;
+}
+
+}  // namespace spa::campaign

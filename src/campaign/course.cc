@@ -1,0 +1,103 @@
+#include "campaign/course.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace spa::campaign {
+
+namespace {
+constexpr std::string_view kTopicNames[kNumTopics] = {
+    "business",  "it",        "health",      "languages", "arts",
+    "law",       "science",   "education",   "marketing", "finance",
+    "tourism",   "sports",    "design",      "engineering",
+    "psychology",
+};
+}  // namespace
+
+CourseCatalog CourseCatalog::Generate(
+    size_t n, const sum::AttributeCatalog& attributes, uint64_t seed) {
+  Rng rng(seed, /*stream=*/11);
+  CourseCatalog catalog;
+  catalog.courses_.reserve(n);
+
+  const auto emotional_attrs = eit::AllEmotionalAttributes();
+
+  for (size_t i = 0; i < n; ++i) {
+    Course course;
+    course.id = static_cast<ItemId>(i);
+    course.topic = static_cast<int32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kNumTopics) - 1));
+    course.name = spa::StrFormat(
+        "%s-course-%zu",
+        std::string(kTopicNames[static_cast<size_t>(course.topic)])
+            .c_str(),
+        i);
+    course.price_level = rng.Uniform();
+    course.duration_norm = rng.Uniform();
+    course.online = rng.Bernoulli(0.6);
+    course.certified = rng.Bernoulli(0.5);
+
+    // Emotional resonance: 2-3 strongly resonant attributes, rest low.
+    for (double& r : course.emotion_profile) r = rng.Uniform(0.0, 0.25);
+    const int strong = static_cast<int>(rng.UniformInt(2, 3));
+    for (int s = 0; s < strong; ++s) {
+      const size_t a = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(
+                                eit::kNumEmotionalAttributes) -
+                                1));
+      course.emotion_profile[a] = rng.Uniform(0.6, 1.0);
+    }
+
+    // Sellable attributes, priority-ordered: the strongest emotional
+    // resonances first, then matching subjective arguments.
+    std::vector<std::pair<double, size_t>> by_resonance;
+    for (size_t a = 0; a < eit::kNumEmotionalAttributes; ++a) {
+      by_resonance.emplace_back(course.emotion_profile[a], a);
+    }
+    std::sort(by_resonance.rbegin(), by_resonance.rend());
+    for (size_t s = 0; s < 4; ++s) {
+      course.sellable_attributes.push_back(attributes.EmotionalId(
+          emotional_attrs[by_resonance[s].second]));
+    }
+    if (course.price_level < 0.35) {
+      course.sellable_attributes.push_back(
+          attributes.IdOf("price_sensitivity").value());
+    }
+    if (course.certified) {
+      course.sellable_attributes.push_back(
+          attributes.IdOf("certification_value").value());
+    }
+    if (course.online) {
+      course.sellable_attributes.push_back(
+          attributes.IdOf("flexibility_importance").value());
+    }
+
+    catalog.courses_.push_back(std::move(course));
+  }
+  return catalog;
+}
+
+spa::Result<const Course*> CourseCatalog::ById(ItemId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= courses_.size()) {
+    return spa::Status::NotFound(
+        spa::StrFormat("no course with id %d", id));
+  }
+  return &courses_[static_cast<size_t>(id)];
+}
+
+ml::SparseVector CourseCatalog::ContentFeatures(
+    const Course& course) const {
+  ml::SparseVector features;
+  features.PushBack(course.topic, 1.0);  // topic one-hot
+  const int32_t base = static_cast<int32_t>(kNumTopics);
+  features.PushBack(base + 0, course.price_level);
+  features.PushBack(base + 1, course.duration_norm);
+  features.PushBack(base + 2, course.online ? 1.0 : 0.0);
+  features.PushBack(base + 3, course.certified ? 1.0 : 0.0);
+  return features;
+}
+
+}  // namespace spa::campaign

@@ -1,0 +1,66 @@
+#ifndef SPA_CAMPAIGN_COURSE_H_
+#define SPA_CAMPAIGN_COURSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/sparse.h"
+#include "recsys/emotion_aware.h"
+#include "sum/catalog.h"
+
+/// \file
+/// Synthetic training-course catalog standing in for emagister.com's
+/// course inventory. Each course carries content features (topic,
+/// price, modality), an emotional-resonance profile for the advice
+/// stage, and the priority-ordered *sellable attributes* the Messaging
+/// Agent argues with (§5.3 step 1).
+
+namespace spa::campaign {
+
+using ItemId = lifelog::ItemId;
+
+inline constexpr size_t kNumTopics = 15;  ///< matches the topic_* attributes
+
+/// \brief One training course.
+struct Course {
+  ItemId id = -1;
+  std::string name;
+  int32_t topic = 0;             ///< [0, kNumTopics)
+  double price_level = 0.5;      ///< 0 cheap .. 1 premium
+  double duration_norm = 0.5;    ///< 0 short .. 1 year-long
+  bool online = false;
+  bool certified = false;
+  /// Resonance of the course's presentation with each emotional
+  /// attribute (drives the emotion-aware re-ranker).
+  recsys::EmotionProfile emotion_profile{};
+  /// Priority-ordered attributes usable as sales arguments.
+  std::vector<sum::AttributeId> sellable_attributes;
+};
+
+/// \brief Deterministic generated catalog.
+class CourseCatalog {
+ public:
+  /// Generates `n` courses; sellable attributes reference the given
+  /// attribute catalog.
+  static CourseCatalog Generate(size_t n,
+                                const sum::AttributeCatalog& attributes,
+                                uint64_t seed);
+
+  size_t size() const { return courses_.size(); }
+  const Course& course(size_t i) const { return courses_[i]; }
+  spa::Result<const Course*> ById(ItemId id) const;
+  const std::vector<Course>& courses() const { return courses_; }
+
+  /// Content feature vector (topic one-hot + numeric attributes) in the
+  /// catalog's private item-feature space (kNumTopics + 4 dims).
+  ml::SparseVector ContentFeatures(const Course& course) const;
+
+ private:
+  std::vector<Course> courses_;
+};
+
+}  // namespace spa::campaign
+
+#endif  // SPA_CAMPAIGN_COURSE_H_

@@ -1,0 +1,128 @@
+#include "campaign/population.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace spa::campaign {
+
+eit::EmotionalAttribute LatentUser::DominantEmotion() const {
+  const size_t best = static_cast<size_t>(
+      std::max_element(emotional.begin(), emotional.end()) -
+      emotional.begin());
+  return static_cast<eit::EmotionalAttribute>(best);
+}
+
+PopulationModel::PopulationModel(PopulationConfig config)
+    : config_(config) {}
+
+LatentUser PopulationModel::UserAt(sum::UserId id) const {
+  // Each user is an independent deterministic stream of the seed.
+  Rng rng(config_.seed, static_cast<uint64_t>(id) + 1);
+  LatentUser user;
+  user.id = id;
+
+  // Emotional sensibilities: a few strong attributes, rest weak.
+  for (double& s : user.emotional) {
+    if (rng.Bernoulli(config_.strong_emotion_prob)) {
+      s = rng.Uniform(0.6, 0.95);
+    } else {
+      s = rng.Uniform(0.0, 0.3);
+    }
+  }
+
+  // Topic interests: sparse Dirichlet-like with 1-3 favourites.
+  for (double& t : user.topics) t = rng.Uniform(0.0, 0.2);
+  const int favourites = static_cast<int>(rng.UniformInt(1, 3));
+  for (int f = 0; f < favourites; ++f) {
+    user.topics[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(kNumTopics) - 1))] =
+        rng.Uniform(0.6, 1.0);
+  }
+
+  user.base_propensity = std::clamp(
+      rng.LogNormal(-2.2, 0.9) * config_.base_propensity_scale, 0.0,
+      0.95);
+  // Engaged users open their mail: the open rate is anchored to the
+  // same engagement trait that drives transactions (plus noise), which
+  // is what makes campaign response predictable from behaviour.
+  user.open_rate = std::clamp(
+      0.16 + 1.25 * user.base_propensity + rng.Normal(0.0, 0.05), 0.03,
+      0.95);
+  user.eit_answer_prob = std::clamp(
+      rng.Normal(config_.mean_eit_answer_prob, 0.15), 0.0, 1.0);
+
+  user.price_sensitivity = rng.Uniform();
+  user.certification_value = rng.Uniform();
+  user.flexibility_importance = rng.Uniform();
+
+  user.age_norm = std::clamp(rng.Normal(0.45, 0.18), 0.0, 1.0);
+  user.education = rng.Uniform();
+  user.income = std::clamp(rng.Normal(0.5, 0.2), 0.0, 1.0);
+  user.city_size = rng.Uniform();
+  return user;
+}
+
+void PopulationModel::InitializeSum(const LatentUser& user,
+                                    sum::SmartUserModel* model) const {
+  const sum::AttributeCatalog& catalog = model->catalog();
+  Rng rng(config_.seed ^ 0xabcdef1234567890ULL,
+          static_cast<uint64_t>(user.id) + 1);
+
+  auto set = [&](const char* name, double value) {
+    const auto id = catalog.IdOf(name);
+    if (id.ok()) model->set_value(id.value(), value);
+  };
+
+  // Observable socio-demographics (exact).
+  set("age_norm", user.age_norm);
+  set("education_level", user.education);
+  set("income_band", user.income);
+  set("city_size", user.city_size);
+  set("newsletter_optin", 1.0);
+  set("profile_completeness", rng.Uniform(0.3, 1.0));
+
+  // Stated topic interests: noisy versions of the truth (profile forms
+  // are unreliable).
+  for (size_t t = 0; t < kNumTopics; ++t) {
+    const std::string name =
+        spa::StrFormat("topic_%s",
+                       t == 0    ? "business"
+                       : t == 1  ? "it"
+                       : t == 2  ? "health"
+                       : t == 3  ? "languages"
+                       : t == 4  ? "arts"
+                       : t == 5  ? "law"
+                       : t == 6  ? "science"
+                       : t == 7  ? "education"
+                       : t == 8  ? "marketing"
+                       : t == 9  ? "finance"
+                       : t == 10 ? "tourism"
+                       : t == 11 ? "sports"
+                       : t == 12 ? "design"
+                       : t == 13 ? "engineering"
+                                 : "psychology");
+    const auto id = catalog.IdOf(name);
+    if (id.ok()) {
+      const double stated =
+          std::clamp(user.topics[t] + rng.Normal(0.0, 0.1), 0.0, 1.0);
+      model->set_value(id.value(), stated);
+    }
+  }
+
+  // Stated subjective preferences (noisy).
+  set("price_sensitivity",
+      std::clamp(user.price_sensitivity + rng.Normal(0.0, 0.15), 0.0,
+                 1.0));
+  set("certification_value",
+      std::clamp(user.certification_value + rng.Normal(0.0, 0.15), 0.0,
+                 1.0));
+  set("flexibility_importance",
+      std::clamp(user.flexibility_importance + rng.Normal(0.0, 0.15),
+                 0.0, 1.0));
+  // Emotional attributes are deliberately NOT initialized: the platform
+  // has to discover them through the Gradual EIT and reinforcement.
+}
+
+}  // namespace spa::campaign

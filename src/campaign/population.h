@@ -1,0 +1,81 @@
+#ifndef SPA_CAMPAIGN_POPULATION_H_
+#define SPA_CAMPAIGN_POPULATION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "campaign/course.h"
+#include "eit/emotion.h"
+#include "sum/user_model.h"
+
+/// \file
+/// The synthetic population standing in for emagister's 3.16 M
+/// registered users. Each user has *latent* ground truth — emotional
+/// sensibilities, topic interests, base propensity — that the platform
+/// can only observe through EIT answers, click streams and campaign
+/// outcomes. Users are generated on demand from (seed, id) so that
+/// paper-scale populations need no storage.
+
+namespace spa::campaign {
+
+/// \brief Latent (ground-truth) description of one user.
+struct LatentUser {
+  sum::UserId id = 0;
+  /// True emotional sensibilities, indexed by EmotionalAttribute.
+  std::array<double, eit::kNumEmotionalAttributes> emotional{};
+  /// True interest per course topic.
+  std::array<double, kNumTopics> topics{};
+  /// Base willingness to transact, independent of message/course fit.
+  double base_propensity = 0.1;
+  /// Probability of opening a push/newsletter at all.
+  double open_rate = 0.5;
+  /// Probability of answering an embedded EIT question (the paper
+  /// notes many users never answer — the sparsity problem).
+  double eit_answer_prob = 0.3;
+  /// True subjective traits (price/certification/flexibility).
+  double price_sensitivity = 0.5;
+  double certification_value = 0.5;
+  double flexibility_importance = 0.5;
+  /// Observable socio-demographics (normalized).
+  double age_norm = 0.5;
+  double education = 0.5;
+  double income = 0.5;
+  double city_size = 0.5;
+
+  /// The user's strongest latent emotional attribute.
+  eit::EmotionalAttribute DominantEmotion() const;
+};
+
+struct PopulationConfig {
+  uint64_t seed = 42;
+  /// Mean EIT answer probability (sparsity knob for the ablations).
+  double mean_eit_answer_prob = 0.35;
+  /// Scales everyone's base propensity (campaign base-rate knob).
+  double base_propensity_scale = 1.0;
+  /// Probability that an emotional attribute is "strong" for a user.
+  double strong_emotion_prob = 0.25;
+};
+
+/// \brief Deterministic on-demand population.
+class PopulationModel {
+ public:
+  explicit PopulationModel(PopulationConfig config = {});
+
+  /// Ground truth for user `id` (pure function of (seed, id)).
+  LatentUser UserAt(sum::UserId id) const;
+
+  /// Initializes a SUM with the *observable* part of the user: stated
+  /// demographics, stated topic interests and subjective preferences
+  /// (noisy versions of the truth) — never the emotional latents.
+  void InitializeSum(const LatentUser& user,
+                     sum::SmartUserModel* model) const;
+
+  const PopulationConfig& config() const { return config_; }
+
+ private:
+  PopulationConfig config_;
+};
+
+}  // namespace spa::campaign
+
+#endif  // SPA_CAMPAIGN_POPULATION_H_

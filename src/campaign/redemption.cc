@@ -1,0 +1,50 @@
+#include "campaign/redemption.h"
+
+namespace spa::campaign {
+
+RedemptionReport ComputeRedemption(
+    const std::vector<CampaignOutcome>& outcomes, size_t curve_points) {
+  RedemptionReport report;
+  std::vector<double> scores;
+  std::vector<ml::Label> labels;
+  for (const CampaignOutcome& outcome : outcomes) {
+    scores.insert(scores.end(), outcome.scores.begin(),
+                  outcome.scores.end());
+    labels.insert(labels.end(), outcome.labels.begin(),
+                  outcome.labels.end());
+    report.total_targeted += outcome.targeted;
+    report.total_useful_impacts += outcome.useful_impacts;
+  }
+  if (scores.empty()) return report;
+
+  report.curve = ml::CumulativeGains(scores, labels, curve_points);
+  report.captured_at_40 = ml::CapturedAt(report.curve, 0.4);
+  report.base_rate =
+      static_cast<double>(report.total_useful_impacts) /
+      static_cast<double>(report.total_targeted);
+  report.precision_at_40 = ml::PredictiveScore(scores, labels, 0.4);
+  if (report.base_rate > 0.0) {
+    report.redemption_improvement =
+        report.precision_at_40 / report.base_rate - 1.0;
+  }
+  report.auc = ml::RocAuc(scores, labels);
+  return report;
+}
+
+std::vector<CampaignScoreRow> PredictiveScores(
+    const std::vector<CampaignOutcome>& outcomes) {
+  std::vector<CampaignScoreRow> rows;
+  rows.reserve(outcomes.size());
+  for (const CampaignOutcome& outcome : outcomes) {
+    CampaignScoreRow row;
+    row.campaign_id = outcome.campaign_id;
+    row.channel = outcome.channel;
+    row.targeted = outcome.targeted;
+    row.useful_impacts = outcome.useful_impacts;
+    row.predictive_score = outcome.PredictiveScore();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace spa::campaign

@@ -1,0 +1,56 @@
+#ifndef SPA_CAMPAIGN_REDEMPTION_H_
+#define SPA_CAMPAIGN_REDEMPTION_H_
+
+#include <vector>
+
+#include "campaign/runner.h"
+#include "ml/metrics.h"
+
+/// \file
+/// Fig. 6 analytics: the cumulative redemption curve (6a) and the
+/// per-campaign predictive scores (6b), computed from campaign
+/// outcomes exactly as the paper defines them.
+
+namespace spa::campaign {
+
+/// \brief Aggregate over a set of campaigns.
+struct RedemptionReport {
+  /// Cumulative redemption curve over the pooled (score, label) pairs.
+  std::vector<ml::GainsPoint> curve;
+  /// Share of useful impacts captured at 40 % commercial action (the
+  /// paper reports > 76 %).
+  double captured_at_40 = 0.0;
+  /// Base response rate across all targeted users.
+  double base_rate = 0.0;
+  /// Precision when targeting the top 40 % by score.
+  double precision_at_40 = 0.0;
+  /// Relative redemption improvement of top-40 %-targeting over an
+  /// untargeted blast: precision_at_40 / base_rate - 1 (the paper
+  /// reports ~ 90 %).
+  double redemption_improvement = 0.0;
+  /// Pooled ranking quality.
+  double auc = 0.5;
+  size_t total_targeted = 0;
+  size_t total_useful_impacts = 0;
+};
+
+/// Pools outcomes and computes the Fig. 6(a) quantities.
+RedemptionReport ComputeRedemption(
+    const std::vector<CampaignOutcome>& outcomes, size_t curve_points = 20);
+
+/// \brief One Fig. 6(b) row.
+struct CampaignScoreRow {
+  int campaign_id = 0;
+  Channel channel = Channel::kPush;
+  size_t targeted = 0;
+  size_t useful_impacts = 0;
+  double predictive_score = 0.0;
+};
+
+/// Per-campaign predictive scores plus the average row.
+std::vector<CampaignScoreRow> PredictiveScores(
+    const std::vector<CampaignOutcome>& outcomes);
+
+}  // namespace spa::campaign
+
+#endif  // SPA_CAMPAIGN_REDEMPTION_H_

@@ -1,0 +1,355 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace spa::campaign {
+
+CampaignRunner::CampaignRunner(core::Spa* spa,
+                               const PopulationModel* population,
+                               const CourseCatalog* courses,
+                               const ResponseModel* responses,
+                               RunnerConfig config)
+    : spa_(spa),
+      population_(population),
+      courses_(courses),
+      responses_(responses),
+      config_(config),
+      rng_(config.seed, /*stream=*/101) {
+  SPA_CHECK(spa != nullptr && population != nullptr &&
+            courses != nullptr && responses != nullptr);
+}
+
+void CampaignRunner::RegisterCourses() {
+  for (const Course& course : courses_->courses()) {
+    spa_->SetItemFeatures(course.id,
+                          courses_->ContentFeatures(course));
+    spa_->SetItemEmotionProfile(course.id, course.emotion_profile);
+  }
+}
+
+void CampaignRunner::BootstrapUsers(
+    const std::vector<sum::UserId>& users) {
+  const auto& actions = spa_->action_catalog();
+  const auto& pageviews =
+      actions.CodesFor(lifelog::ActionType::kPageView);
+  const auto& searches = actions.CodesFor(lifelog::ActionType::kSearch);
+  const auto& clicks = actions.CodesFor(lifelog::ActionType::kClick);
+
+  for (sum::UserId id : users) {
+    const LatentUser latent = population_->UserAt(id);
+    sum::SmartUserModel* model = spa_->sums()->GetOrCreate(id);
+    population_->InitializeSum(latent, model);
+
+    // Browsing history: activity volume correlates with the latent
+    // base propensity (active users buy more), giving the objective
+    // baseline its legitimate signal.
+    Rng rng(config_.seed ^ 0x5eed5eed5eed5eedULL,
+            static_cast<uint64_t>(id) + 1);
+    const size_t base = config_.bootstrap_events_per_user;
+    const size_t events =
+        1 + static_cast<size_t>(
+                static_cast<double>(base) *
+                (0.4 + 3.0 * latent.base_propensity +
+                 rng.Uniform(0.0, 0.1)));
+    spa::TimeMicros t =
+        spa_->clock()->now() -
+        static_cast<spa::TimeMicros>(rng.Uniform(5.0, 40.0) *
+                                     static_cast<double>(
+                                         spa::kMicrosPerDay));
+    for (size_t e = 0; e < events; ++e) {
+      lifelog::Event event;
+      event.user = id;
+      event.time = t;
+      const double kind = rng.Uniform();
+      if (kind < 0.6) {
+        event.action_code = pageviews[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(pageviews.size()) -
+                                  1))];
+      } else if (kind < 0.8) {
+        event.action_code = searches[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(searches.size()) - 1))];
+      } else {
+        event.action_code = clicks[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(clicks.size()) - 1))];
+      }
+      // Visits gravitate to courses in the user's favourite topics.
+      if (!courses_->courses().empty() && rng.Bernoulli(0.7)) {
+        // Try a few random courses, keep the best topic match.
+        const Course* best = nullptr;
+        double best_match = -1.0;
+        for (int trial = 0; trial < 3; ++trial) {
+          const Course& candidate = courses_->course(
+              static_cast<size_t>(rng.UniformInt(
+                  0,
+                  static_cast<int64_t>(courses_->size()) - 1)));
+          const double match =
+              latent.topics[static_cast<size_t>(candidate.topic)];
+          if (match > best_match) {
+            best_match = match;
+            best = &candidate;
+          }
+        }
+        event.item = best->id;
+      }
+      spa_->RecordEvent(event);
+      t += static_cast<spa::TimeMicros>(
+          rng.Exponential(1.0) *
+          static_cast<double>(spa::kMicrosPerDay));
+    }
+
+    // Gradual EIT warm-up: the platform had been asking one question
+    // per historical newsletter long before the evaluated campaigns
+    // (§5.2); simulate those earlier contacts.
+    for (size_t c = 0; c < config_.eit_warmup_contacts; ++c) {
+      MaybeDeliverEitQuestion(latent, &rng);
+    }
+  }
+}
+
+const Course& CampaignRunner::PickCourse(
+    const CampaignSpec& spec, const sum::SmartUserModel& model) const {
+  SPA_CHECK(!spec.featured_courses.empty());
+  const sum::AttributeCatalog& catalog = model.catalog();
+  const Course* best = nullptr;
+  double best_match = -1.0;
+  for (ItemId id : spec.featured_courses) {
+    const auto course = courses_->ById(id);
+    if (!course.ok()) continue;
+    // Observable proxy: the user's *stated* interest in the topic.
+    static constexpr const char* kTopicAttr[kNumTopics] = {
+        "topic_business",  "topic_it",        "topic_health",
+        "topic_languages", "topic_arts",      "topic_law",
+        "topic_science",   "topic_education", "topic_marketing",
+        "topic_finance",   "topic_tourism",   "topic_sports",
+        "topic_design",    "topic_engineering",
+        "topic_psychology"};
+    const auto attr = catalog.IdOf(
+        kTopicAttr[static_cast<size_t>(course.value()->topic)]);
+    const double match =
+        attr.ok() ? model.value(attr.value()) : 0.0;
+    if (match > best_match) {
+      best_match = match;
+      best = course.value();
+    }
+  }
+  SPA_CHECK(best != nullptr);
+  return *best;
+}
+
+bool CampaignRunner::MaybeDeliverEitQuestion(const LatentUser& latent,
+                                             Rng* rng) {
+  if (!config_.deliver_eit_question) return false;
+  if (!rng->Bernoulli(latent.eit_answer_prob)) return false;  // ignored
+  const auto question_id = spa_->NextEitQuestion(latent.id);
+  if (!question_id.ok()) return false;  // bank exhausted
+  const auto question =
+      spa_->gradual_eit().bank().ById(question_id.value());
+  if (!question.ok()) return false;
+
+  // Answer simulation: the more sensitive the user truly is to the
+  // item's primary attribute, the more likely they endorse the modal
+  // (population-consensus) option — which in turn activates the
+  // impacted attributes more strongly.
+  const eit::EitQuestion& q = *question.value();
+  const double primary_sens =
+      q.impacts.empty()
+          ? 0.0
+          : latent.emotional[static_cast<size_t>(
+                q.impacts.front().attribute)];
+  size_t option;
+  if (rng->Bernoulli(0.1 + 0.85 * primary_sens)) {
+    option = q.ModalOption();
+  } else {
+    option = static_cast<size_t>(
+        rng->UniformInt(0, eit::kOptionsPerQuestion - 1));
+  }
+  return spa_->RecordEitAnswer(latent.id, question_id.value(), option)
+      .ok();
+}
+
+CampaignOutcome CampaignRunner::RunCampaign(
+    const CampaignSpec& spec,
+    const std::vector<sum::UserId>& candidates) {
+  CampaignOutcome outcome;
+  outcome.campaign_id = spec.id;
+  outcome.channel = spec.channel;
+  campaign_starts_.push_back(history_labels_.size());
+
+  // ---- target selection ---------------------------------------------------
+  std::vector<sum::UserId> targets;
+  const size_t count = std::min(spec.target_count, candidates.size());
+  if (spec.targeting == TargetingMode::kPropensity) {
+    const auto ranked = spa_->SelectTopProspects(candidates, count);
+    if (ranked.ok()) {
+      for (const auto& [user, score] : ranked.value()) {
+        targets.push_back(user);
+      }
+    }
+  }
+  if (targets.empty()) {
+    // Random targeting (the paper's evaluation design); scores are
+    // snapshotted per contact below so the redemption curve can be
+    // computed.
+    std::vector<size_t> picks =
+        rng_.SampleWithoutReplacement(candidates.size(), count);
+    targets.reserve(count);
+    for (size_t p : picks) targets.push_back(candidates[p]);
+  }
+
+  const auto& actions = spa_->action_catalog();
+  const auto& open_codes =
+      actions.CodesFor(lifelog::ActionType::kEmailOpen);
+  const auto& click_codes =
+      actions.CodesFor(lifelog::ActionType::kEmailClick);
+  const auto& info_codes =
+      actions.CodesFor(lifelog::ActionType::kInfoRequest);
+  const auto& enroll_codes =
+      actions.CodesFor(lifelog::ActionType::kEnrollment);
+
+  // ---- delivery loop (Fig. 4) ----------------------------------------------
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const sum::UserId user = targets[i];
+    const LatentUser latent = population_->UserAt(user);
+    Rng contact_rng(config_.seed ^ (0x1111 * (spec.id + 1)),
+                    static_cast<uint64_t>(user) + 1);
+
+    // Pre-contact snapshot: the features the model is allowed to see
+    // when predicting this contact's outcome. Captured before the EIT
+    // question and before any response events are recorded.
+    ml::SparseVector snapshot = spa_->SnapshotFeatures(user);
+    const auto model_score = spa_->ScoreSnapshot(snapshot);
+    const double score = model_score.value_or(0.5);
+
+    sum::SmartUserModel* model = spa_->sums()->GetOrCreate(user);
+    const Course& course = PickCourse(spec, *model);
+
+    // Compose the (possibly personalized) message.
+    sum::AttributeId argued = -1;
+    if (config_.personalized_messaging) {
+      const agents::ComposedMessage message =
+          spa_->MessageFor(user, course.id, course.sellable_attributes);
+      argued = message.argued_attribute;
+      ++outcome.message_cases[static_cast<size_t>(
+          message.message_case)];
+    } else {
+      ++outcome.message_cases[0];  // standard for everyone
+    }
+
+    // EIT question embedded in the contact (initialization stage).
+    if (MaybeDeliverEitQuestion(latent, &contact_rng)) {
+      ++outcome.eit_questions_answered;
+    }
+
+    // Ground-truth funnel.
+    const ContactOutcome contact = responses_->Sample(
+        &contact_rng, latent, course, argued,
+        spa_->attribute_catalog(), spec.channel);
+
+    // Record observable events.
+    const spa::TimeMicros now = spa_->clock()->now();
+    auto log_event = [&](const std::vector<int32_t>& codes,
+                         double value) {
+      lifelog::Event event;
+      event.user = user;
+      event.time = now;
+      event.action_code = codes[static_cast<size_t>(user) % codes.size()];
+      event.item = course.id;
+      event.value = value;
+      spa_->RecordEvent(event);
+    };
+    if (contact.opened) {
+      ++outcome.opened;
+      log_event(open_codes, 0.0);
+    }
+    if (contact.clicked) {
+      ++outcome.clicked;
+      log_event(click_codes, 0.0);
+      log_event(info_codes, 0.0);
+    }
+    if (contact.transacted) {
+      ++outcome.transactions;
+      log_event(enroll_codes, 1.0);
+    }
+
+    // Update stage: reward the argued attribute on engagement, punish
+    // when the user saw the argument and ignored it.
+    if (argued >= 0 && contact.opened) {
+      if (contact.UsefulImpact()) {
+        spa_->ObserveInteraction(user, course.id, argued, true,
+                                 contact.transacted ? 1.0 : 0.6);
+      } else {
+        spa_->ObserveInteraction(user, course.id, argued, false, 0.3);
+      }
+    }
+
+    const bool label = contact.UsefulImpact();
+    if (label) ++outcome.useful_impacts;
+    outcome.labels.push_back(label ? 1 : -1);
+    outcome.scores.push_back(score);
+    history_features_.push_back(std::move(snapshot));
+    history_labels_.push_back(label ? 1 : -1);
+  }
+  outcome.targeted = targets.size();
+
+  // A campaign takes days of wall-clock; tick the platform forward.
+  spa_->Tick(3 * spa::kMicrosPerDay);
+
+  if (config_.retrain_after_campaign) {
+    const spa::Status status = RetrainFromHistory();
+    if (!status.ok()) {
+      SPA_LOG(Debug) << "retrain skipped: " << status;
+    }
+  }
+  return outcome;
+}
+
+spa::Status CampaignRunner::RetrainFromHistory() {
+  size_t begin = 0;
+  if (config_.training_window_campaigns > 0 &&
+      campaign_starts_.size() > config_.training_window_campaigns) {
+    begin = campaign_starts_[campaign_starts_.size() -
+                             config_.training_window_campaigns];
+  }
+  if (begin == 0) {
+    return spa_->TrainPropensityOnSnapshots(history_features_,
+                                            history_labels_);
+  }
+  const std::vector<ml::SparseVector> window_features(
+      history_features_.begin() + static_cast<long>(begin),
+      history_features_.end());
+  const std::vector<ml::Label> window_labels(
+      history_labels_.begin() + static_cast<long>(begin),
+      history_labels_.end());
+  return spa_->TrainPropensityOnSnapshots(window_features,
+                                          window_labels);
+}
+
+std::vector<CampaignSpec> CampaignRunner::DefaultSchedule(
+    size_t targets, size_t courses_per_campaign,
+    TargetingMode targeting) const {
+  std::vector<CampaignSpec> schedule;
+  Rng rng(config_.seed, /*stream=*/404);
+  for (int c = 0; c < 10; ++c) {
+    CampaignSpec spec;
+    spec.id = c + 1;
+    // 8 Push + 2 newsletters (§5.4).
+    spec.channel = (c == 4 || c == 9) ? Channel::kNewsletter
+                                      : Channel::kPush;
+    spec.target_count = targets;
+    spec.targeting = targeting;
+    const size_t n_courses =
+        std::min(courses_per_campaign, courses_->size());
+    const auto picks =
+        rng.SampleWithoutReplacement(courses_->size(), n_courses);
+    for (size_t p : picks) {
+      spec.featured_courses.push_back(courses_->course(p).id);
+    }
+    schedule.push_back(std::move(spec));
+  }
+  return schedule;
+}
+
+}  // namespace spa::campaign

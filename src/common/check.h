@@ -1,0 +1,38 @@
+#ifndef SPA_COMMON_CHECK_H_
+#define SPA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant checking. `SPA_CHECK` aborts on violated invariants with a
+/// source location; it is for programmer errors, not recoverable failures
+/// (those use spa::Status). `SPA_DCHECK` compiles out in NDEBUG builds.
+
+#define SPA_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SPA_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define SPA_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SPA_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define SPA_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define SPA_DCHECK(cond) SPA_CHECK(cond)
+#endif
+
+#endif  // SPA_COMMON_CHECK_H_

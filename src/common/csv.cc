@@ -1,0 +1,103 @@
+#include "common/csv.h"
+
+namespace spa {
+
+namespace {
+bool NeedsQuoting(const std::string& field, char delim) {
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+}  // namespace
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) (*out_) << delim_;
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f, delim_)) {
+      (*out_) << '"';
+      for (char c : f) {
+        if (c == '"') (*out_) << '"';
+        (*out_) << c;
+      }
+      (*out_) << '"';
+    } else {
+      (*out_) << f;
+    }
+  }
+  (*out_) << '\n';
+}
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+    } else {
+      if (c == '"') {
+        if (!current.empty()) {
+          return Status::InvalidArgument(
+              "quote inside unquoted CSV field");
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == delim) {
+        fields.push_back(std::move(current));
+        current.clear();
+        ++i;
+      } else if (c == '\r') {
+        ++i;  // tolerate CRLF
+      } else {
+        current.push_back(c);
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, char delim) {
+  std::vector<std::vector<std::string>> rows;
+  size_t start = 0;
+  while (start <= text.size()) {
+    if (start == text.size()) break;
+    size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    if (!line.empty() || end != std::string_view::npos) {
+      if (!line.empty()) {
+        SPA_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                             ParseCsvLine(line, delim));
+        rows.push_back(std::move(fields));
+      }
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return rows;
+}
+
+}  // namespace spa

@@ -1,0 +1,59 @@
+#ifndef SPA_COMMON_CSV_H_
+#define SPA_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// RFC-4180-ish CSV reading/writing used by the LifeLog store, the bench
+/// harnesses (series output) and SUM serialization. Fields containing the
+/// delimiter, quotes or newlines are quoted; embedded quotes are doubled.
+
+namespace spa {
+
+/// \brief Streams rows to an std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream* out, char delim = ',')
+      : out_(out), delim_(delim) {}
+
+  /// Writes one row; escapes fields as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of already-stringified cells.
+  template <typename... Ts>
+  void WriteCells(const Ts&... cells) {
+    WriteRow({ToCell(cells)...});
+  }
+
+ private:
+  template <typename T>
+  static std::string ToCell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::ostream* out_;
+  char delim_;
+};
+
+/// Parses a single CSV line into fields (handles quoting). Returns an
+/// error when quoting is malformed.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delim = ',');
+
+/// Reads a whole CSV document (no embedded newlines inside quoted fields
+/// across buffer boundaries — rows are line-delimited in all our files).
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, char delim = ',');
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_CSV_H_

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace spa {
+
+namespace {
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) { g_min_level.store(level); }
+LogLevel MinLogLevel() { return g_min_level.load(); }
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LogLevelName(level) << " " << Basename(file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < MinLogLevel()) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace spa

@@ -1,0 +1,45 @@
+#ifndef SPA_COMMON_LOGGING_H_
+#define SPA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file
+/// Minimal leveled logging. Usage: `SPA_LOG(INFO) << "trained " << n;`
+/// Messages below the global minimum level are discarded without
+/// formatting cost for the stream arguments' side effects (arguments are
+/// still evaluated; keep them cheap).
+
+namespace spa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level (default kInfo).
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+const char* LogLevelName(LogLevel level);
+
+/// \brief One log statement; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace spa
+
+#define SPA_LOG(severity)                                             \
+  ::spa::LogMessage(::spa::LogLevel::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+#endif  // SPA_COMMON_LOGGING_H_

@@ -1,0 +1,175 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace spa {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  // Mix the stream id into the seed so that (seed, 0) and (seed, 1) start
+  // from unrelated states.
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  for (auto& s : s_) s = sm.Next();
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::U64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(U64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SPA_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SPA_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(U64());  // full 64-bit range
+  // Lemire's rejection method for unbiased bounded integers.
+  uint64_t x = U64();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < span) {
+    const uint64_t t = (0 - span) % span;
+    while (l < t) {
+      x = U64();
+      m = static_cast<__uint128_t>(x) * span;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return lo + static_cast<int64_t>(m >> 64);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Exponential(double lambda) {
+  SPA_DCHECK(lambda > 0.0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+int Rng::Poisson(double mean) {
+  SPA_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  double product = Uniform();
+  int count = 0;
+  while (product > limit) {
+    product *= Uniform();
+    ++count;
+  }
+  return count;
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  SPA_CHECK(n >= 1);
+  SPA_CHECK(s > 0.0);
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996).
+  const double b = std::pow(2.0, s - 1.0);
+  double x, t;
+  do {
+    const double u = Uniform();
+    const double v = Uniform();
+    x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (x > static_cast<double>(n)) continue;
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) break;
+  } while (true);
+  return static_cast<int64_t>(x);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  SPA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SPA_DCHECK(w >= 0.0);
+    total += w;
+  }
+  SPA_CHECK(total > 0.0);
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge case
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SPA_CHECK(k <= n);
+  // Floyd's algorithm then shuffle for random order.
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  std::vector<bool> seen(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (seen[t]) t = j;
+    seen[t] = true;
+    picked.push_back(t);
+  }
+  Shuffle(&picked);
+  return picked;
+}
+
+}  // namespace spa

@@ -1,0 +1,43 @@
+#ifndef SPA_COMMON_SIM_CLOCK_H_
+#define SPA_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+/// \file
+/// Simulated wall-clock used by the LifeLog store, campaign runner and the
+/// agent scheduler. Time is microseconds since an arbitrary epoch; using a
+/// logical clock keeps every experiment deterministic.
+
+namespace spa {
+
+/// Simulated timestamp, microseconds since epoch.
+using TimeMicros = int64_t;
+
+constexpr TimeMicros kMicrosPerSecond = 1'000'000;
+constexpr TimeMicros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr TimeMicros kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr TimeMicros kMicrosPerDay = 24 * kMicrosPerHour;
+
+/// \brief Monotonic simulated clock.
+class SimClock {
+ public:
+  explicit SimClock(TimeMicros start = 0) : now_(start) {}
+
+  TimeMicros now() const { return now_; }
+
+  /// Advances the clock; negative deltas are ignored (monotonicity).
+  void Advance(TimeMicros delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  void AdvanceDays(double days) {
+    Advance(static_cast<TimeMicros>(days * static_cast<double>(kMicrosPerDay)));
+  }
+
+ private:
+  TimeMicros now_;
+};
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,99 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa {
+
+void StreamingStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  SPA_CHECK(!values.empty());
+  SPA_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  SPA_CHECK(hi > lo);
+  SPA_CHECK(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  const double scaled =
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  int64_t idx = static_cast<int64_t>(std::floor(scaled));
+  idx = std::clamp<int64_t>(idx, 0,
+                            static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(size_t i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar_len =
+        peak == 0 ? 0
+                  : static_cast<size_t>(static_cast<double>(counts_[i]) /
+                                        static_cast<double>(peak) *
+                                        static_cast<double>(max_width));
+    out += StrFormat("[%8.3f, %8.3f) %8llu |", bucket_lo(i), bucket_hi(i),
+                     static_cast<unsigned long long>(counts_[i]));
+    out.append(bar_len, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace spa

@@ -1,0 +1,71 @@
+#ifndef SPA_COMMON_STATS_H_
+#define SPA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+/// \file
+/// Streaming statistics and simple histograms used by the evaluator and
+/// the benchmark harnesses.
+
+namespace spa {
+
+/// \brief Welford online mean/variance plus min/max.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction).
+  void Merge(const StreamingStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the q-quantile (0<=q<=1) of the data using linear
+/// interpolation; copies and sorts internally.
+double Quantile(std::vector<double> values, double q);
+
+/// \brief Fixed-width histogram over [lo, hi); out-of-range values clamp
+/// to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+  double bucket_lo(size_t i) const;
+  double bucket_hi(size_t i) const;
+
+  /// Multi-line ASCII rendering (for bench output).
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_STATS_H_

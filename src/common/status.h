@@ -1,0 +1,155 @@
+#ifndef SPA_COMMON_STATUS_H_
+#define SPA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file
+/// Status / Result error model. Library code never throws; fallible
+/// operations return `spa::Status` or `spa::Result<T>` (value-or-status).
+
+namespace spa {
+
+/// Machine-readable error category, modeled after the usual database
+/// engine conventions (Arrow/RocksDB style).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kIOError,
+  kUnimplemented,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a contextual message.
+///
+/// `Status` is cheap to copy in the OK case (empty message). Use the
+/// factory functions (`Status::OK()`, `Status::InvalidArgument(...)`, ...)
+/// rather than the raw constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Value-or-Status. Holds either a `T` or a non-OK `Status`.
+///
+/// Access the value with `value()`/`operator*` only after checking `ok()`;
+/// accessing the value of an errored result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (OK result).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Status of the operation; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SPA_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::spa::Status spa_status_ = (expr);            \
+    if (!spa_status_.ok()) return spa_status_;     \
+  } while (false)
+
+#define SPA_CONCAT_IMPL_(a, b) a##b
+#define SPA_CONCAT_(a, b) SPA_CONCAT_IMPL_(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define SPA_ASSIGN_OR_RETURN(lhs, expr)                               \
+  SPA_ASSIGN_OR_RETURN_IMPL_(SPA_CONCAT_(spa_result_, __LINE__), lhs, \
+                             expr)
+#define SPA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef SPA_COMMON_STRING_UTIL_H_
+#define SPA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Small string helpers shared across the library (no locale surprises,
+/// ASCII-only semantics).
+
+namespace spa {
+
+/// Splits on a single character; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders 1234567 as "1,234,567".
+std::string WithThousandsSep(int64_t value);
+
+/// Strict full-string integer parse; false on any trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Strict full-string floating-point parse.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,67 @@
+#ifndef SPA_CORE_CONFIG_H_
+#define SPA_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "agents/messaging_agent.h"
+#include "agents/preprocessor_agent.h"
+#include "ml/logreg.h"
+#include "ml/svm_linear.h"
+#include "recsys/emotion_aware.h"
+#include "sum/reward_punish.h"
+
+/// \file
+/// Platform-wide configuration for SPA.
+
+namespace spa::core {
+
+/// \brief Tunables of the whole platform. Defaults reproduce the
+/// paper's deployment behaviour.
+struct SpaConfig {
+  uint64_t seed = 42;
+
+  /// The central ablation switch: when false, the Smart Component
+  /// ignores every emotional feature (the Habitat-Pro-like baseline).
+  bool include_emotional_features = true;
+
+  /// EIT bank size: questions generated per MSCEIT task section.
+  size_t eit_questions_per_section = 12;
+
+  /// Which learner powers the Smart Component (the paper uses SVMs;
+  /// the alternatives exist for the classifier-choice ablation).
+  enum class Learner { kLinearSvm, kLogisticRegression, kNaiveBayes };
+  Learner learner = Learner::kLinearSvm;
+
+  /// Propensity model (Smart Component). Stronger regularization plus
+  /// an inverse-prevalence positive class weight keep the hinge loss
+  /// ranking well on the ~8:1 imbalanced campaign-response data.
+  ml::SvmConfig svm{.c = 0.1,
+                    .max_iterations = 60,
+                    .tolerance = 1e-3,
+                    .positive_class_weight = 7.0};
+  ml::LogRegConfig logreg;
+  /// Calibrate raw scores into probabilities with Platt scaling.
+  bool calibrate_probabilities = true;
+
+  /// SUM reinforcement (Attributes Manager).
+  sum::ReinforcementConfig reinforcement{.learning_rate = 0.12,
+                                         .decay_rate = 0.01,
+                                         .floor = 0.0};
+
+  /// Messaging Agent behaviour. The lower-than-default threshold lets
+  /// personalization engage as soon as the Gradual EIT has gathered
+  /// moderate evidence.
+  agents::MessagingAgentConfig messaging{
+      .sensibility_threshold = 0.3,
+      .policy = agents::MultiMatchPolicy::kMaxSensibility};
+
+  /// Pre-processor replication policy.
+  agents::PreprocessorAgentConfig preprocessor;
+
+  /// Emotion-aware re-ranking of course recommendations.
+  recsys::EmotionRerankConfig rerank;
+};
+
+}  // namespace spa::core
+
+#endif  // SPA_CORE_CONFIG_H_

@@ -1,0 +1,218 @@
+#include "core/smart_component.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace spa::core {
+
+SmartComponent::SmartComponent(const lifelog::ActionCatalog* actions,
+                               const sum::AttributeCatalog* attributes,
+                               lifelog::FeatureSpace* space,
+                               SpaConfig config)
+    : actions_(actions),
+      attributes_(attributes),
+      space_(space),
+      config_(config),
+      behavior_(actions, space) {
+  SPA_CHECK(actions != nullptr && attributes != nullptr &&
+            space != nullptr);
+  sum::SmartUserModel::RegisterFeatures(*attributes, space);
+}
+
+std::unique_ptr<ml::BinaryClassifier> SmartComponent::MakeLearner()
+    const {
+  switch (config_.learner) {
+    case SpaConfig::Learner::kLinearSvm:
+      return std::make_unique<ml::LinearSvm>(config_.svm);
+    case SpaConfig::Learner::kLogisticRegression:
+      return std::make_unique<ml::LogisticRegression>(config_.logreg);
+    case SpaConfig::Learner::kNaiveBayes:
+      return std::make_unique<ml::BernoulliNaiveBayes>();
+  }
+  return std::make_unique<ml::LinearSvm>(config_.svm);
+}
+
+ml::SparseVector SmartComponent::FeaturesFor(
+    const sum::SmartUserModel& model,
+    const std::vector<lifelog::Event>& events,
+    spa::TimeMicros now) const {
+  const ml::SparseVector behavior = behavior_.Extract(events, now);
+  const ml::SparseVector sum_features =
+      model.Features(*space_, config_.include_emotional_features);
+
+  // Merge the two sorted sparse vectors.
+  std::vector<ml::SparseEntry> merged;
+  merged.reserve(behavior.nnz() + sum_features.nnz());
+  size_t i = 0, j = 0;
+  while (i < behavior.nnz() || j < sum_features.nnz()) {
+    if (j >= sum_features.nnz() ||
+        (i < behavior.nnz() &&
+         behavior.index(i) < sum_features.index(j))) {
+      merged.push_back({behavior.index(i), behavior.value(i)});
+      ++i;
+    } else if (i >= behavior.nnz() ||
+               sum_features.index(j) < behavior.index(i)) {
+      merged.push_back({sum_features.index(j), sum_features.value(j)});
+      ++j;
+    } else {
+      // Same index (should not happen: disjoint name prefixes).
+      merged.push_back({behavior.index(i),
+                        behavior.value(i) + sum_features.value(j)});
+      ++i;
+      ++j;
+    }
+  }
+  return ml::SparseVector(merged);
+}
+
+spa::Status SmartComponent::TrainPropensity(
+    const std::vector<PropensityExample>& examples,
+    const sum::SumStore& sums, const lifelog::LifeLogStore& logs,
+    spa::TimeMicros now) {
+  if (examples.size() < 10) {
+    return spa::Status::InvalidArgument(
+        "need at least 10 labeled examples");
+  }
+  std::vector<ml::SparseVector> features;
+  std::vector<ml::Label> labels;
+  features.reserve(examples.size());
+  labels.reserve(examples.size());
+  for (const PropensityExample& example : examples) {
+    const auto model = sums.Get(example.user);
+    if (!model.ok()) continue;
+    features.push_back(
+        FeaturesFor(*model.value(), logs.UserEvents(example.user), now));
+    labels.push_back(example.responded ? 1 : -1);
+  }
+  return TrainOnSnapshots(features, labels);
+}
+
+spa::Status SmartComponent::TrainOnSnapshots(
+    const std::vector<ml::SparseVector>& features,
+    const std::vector<ml::Label>& labels) {
+  if (features.size() != labels.size()) {
+    return spa::Status::InvalidArgument(
+        "feature/label count mismatch");
+  }
+  if (features.size() < 10) {
+    return spa::Status::FailedPrecondition(
+        "fewer than 10 usable training examples");
+  }
+  ml::Dataset data;
+  data.x.SetCols(space_->size());
+  data.x.Reserve(features.size(), features.size() * 24);
+  for (size_t i = 0; i < features.size(); ++i) {
+    data.x.AppendRow(features[i]);
+    data.y.push_back(labels[i]);
+  }
+  const size_t positives = data.positives();
+  if (positives == 0 || positives == data.size()) {
+    return spa::Status::FailedPrecondition(
+        "training set needs both responders and non-responders");
+  }
+  // Feature-name list may lag behind new registrations; align columns.
+  data.x.SetCols(space_->size());
+  data.feature_names = space_->names();
+
+  // Scale columns for SVM conditioning.
+  SPA_RETURN_IF_ERROR(scaler_.Fit(data.x));
+  SPA_RETURN_IF_ERROR(scaler_.Transform(&data.x));
+
+  // Internal validation split for the reported AUC.
+  Rng rng(config_.seed, /*stream=*/3);
+  const ml::TrainTestSplit split =
+      ml::MakeStratifiedSplit(data.y, 0.2, &rng);
+  const ml::Dataset train = data.Subset(split.train);
+  const ml::Dataset valid = data.Subset(split.test);
+
+  model_ = MakeLearner();
+  SPA_RETURN_IF_ERROR(model_->Train(train));
+  const std::vector<double> valid_scores = model_->ScoreAll(valid);
+  last_auc_ = ml::RocAuc(valid_scores, valid.y);
+  last_train_size_ = train.size();
+
+  if (config_.calibrate_probabilities) {
+    // Calibrate on the validation fold (unbiased wrt training margins).
+    spa::Status platt_status = platt_.Fit(valid_scores, valid.y);
+    if (!platt_status.ok()) {
+      // Degenerate fold; fall back to calibrating on train.
+      SPA_RETURN_IF_ERROR(
+          platt_.Fit(model_->ScoreAll(train), train.y));
+    }
+  }
+  trained_ = true;
+  return spa::Status::OK();
+}
+
+spa::Result<double> SmartComponent::ScoreFeatures(
+    const ml::SparseVector& features) const {
+  if (!trained_) {
+    return spa::Status::FailedPrecondition("propensity model not trained");
+  }
+  const ml::SparseVector scaled = scaler_.TransformRow(features.view());
+  const double margin = model_->Score(scaled.view());
+  if (config_.calibrate_probabilities && platt_.fitted()) {
+    return platt_.Transform(margin);
+  }
+  return margin;
+}
+
+spa::Result<double> SmartComponent::Propensity(
+    const sum::SmartUserModel& model,
+    const std::vector<lifelog::Event>& events,
+    spa::TimeMicros now) const {
+  return ScoreFeatures(FeaturesFor(model, events, now));
+}
+
+spa::Result<std::vector<std::pair<sum::UserId, double>>>
+SmartComponent::RankUsers(const std::vector<sum::UserId>& candidates,
+                          const sum::SumStore& sums,
+                          const lifelog::LifeLogStore& logs,
+                          spa::TimeMicros now) const {
+  if (!trained_) {
+    return spa::Status::FailedPrecondition("propensity model not trained");
+  }
+  std::vector<std::pair<sum::UserId, double>> ranked;
+  ranked.reserve(candidates.size());
+  for (sum::UserId user : candidates) {
+    const auto model = sums.Get(user);
+    if (!model.ok()) continue;
+    const auto score =
+        Propensity(*model.value(), logs.UserEvents(user), now);
+    if (score.ok()) ranked.emplace_back(user, score.value());
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return ranked;
+}
+
+std::vector<std::pair<std::string, double>> SmartComponent::TopFeatures(
+    size_t k) const {
+  std::vector<std::pair<std::string, double>> ranked;
+  if (!trained_) return ranked;
+  const auto* linear =
+      dynamic_cast<const ml::LinearClassifier*>(model_.get());
+  if (linear == nullptr) return ranked;  // NB exposes no weights
+  const std::vector<double>& w = linear->weights();
+  for (size_t f = 0; f < w.size(); ++f) {
+    if (w[f] != 0.0 && f < static_cast<size_t>(space_->size())) {
+      ranked.emplace_back(space_->NameOf(static_cast<int32_t>(f)),
+                          w[f]);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return std::abs(a.second) > std::abs(b.second);
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace spa::core

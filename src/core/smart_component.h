@@ -1,0 +1,112 @@
+#ifndef SPA_CORE_SMART_COMPONENT_H_
+#define SPA_CORE_SMART_COMPONENT_H_
+
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "lifelog/features.h"
+#include "lifelog/store.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/platt.h"
+#include "ml/scaler.h"
+#include "ml/svm_linear.h"
+#include "sum/sum_store.h"
+
+/// \file
+/// The Smart Component (SPA component 2): "implements advanced
+/// algorithms and methods for incremental learning in order to
+/// accurately predict user behavior ... scorings, classifications,
+/// rankings of attributes, items and users, user propensity" (§4).
+/// An SVM over the assembled behaviour+SUM features predicts the
+/// propensity to transact; Platt scaling turns margins into the
+/// probabilities that drive campaign targeting.
+
+namespace spa::core {
+
+/// One labeled training observation: did the user transact after the
+/// last contact?
+struct PropensityExample {
+  sum::UserId user = 0;
+  bool responded = false;
+};
+
+/// \brief Propensity learner + scorer over the shared feature space.
+class SmartComponent {
+ public:
+  SmartComponent(const lifelog::ActionCatalog* actions,
+                 const sum::AttributeCatalog* attributes,
+                 lifelog::FeatureSpace* space, SpaConfig config);
+
+  /// Assembles the full feature vector of one user (behaviour features
+  /// from the LifeLog + SUM attribute/sensibility features, the latter
+  /// only when emotional features are enabled).
+  ml::SparseVector FeaturesFor(const sum::SmartUserModel& model,
+                               const std::vector<lifelog::Event>& events,
+                               spa::TimeMicros now) const;
+
+  /// Trains the propensity SVM from labeled users, assembling features
+  /// from the *current* stores. Needs both classes. NOTE: when labels
+  /// come from past campaign responses, prefer TrainOnSnapshots with
+  /// features captured at contact time — training on current state
+  /// leaks the response events into the features.
+  spa::Status TrainPropensity(const std::vector<PropensityExample>& examples,
+                              const sum::SumStore& sums,
+                              const lifelog::LifeLogStore& logs,
+                              spa::TimeMicros now);
+
+  /// Trains from pre-assembled (feature, label) pairs — the leak-free
+  /// path used by the campaign loop, where features are snapshotted
+  /// the moment the contact goes out.
+  spa::Status TrainOnSnapshots(const std::vector<ml::SparseVector>& features,
+                               const std::vector<ml::Label>& labels);
+
+  bool trained() const { return trained_; }
+
+  /// Calibrated transaction propensity in [0,1] (raw margin mapped by
+  /// Platt scaling; monotone in the SVM score).
+  spa::Result<double> Propensity(const sum::SmartUserModel& model,
+                                 const std::vector<lifelog::Event>& events,
+                                 spa::TimeMicros now) const;
+
+  /// Raw decision value for an already-assembled feature vector.
+  spa::Result<double> ScoreFeatures(const ml::SparseVector& features) const;
+
+  /// The selection function: ranks candidate users by propensity,
+  /// highest first (returns all candidates, ordered).
+  spa::Result<std::vector<std::pair<sum::UserId, double>>> RankUsers(
+      const std::vector<sum::UserId>& candidates,
+      const sum::SumStore& sums, const lifelog::LifeLogStore& logs,
+      spa::TimeMicros now) const;
+
+  /// Ranking of attributes: the most predictive features by |weight|.
+  std::vector<std::pair<std::string, double>> TopFeatures(size_t k) const;
+
+  /// AUC measured on the internal validation split of the last train.
+  double last_validation_auc() const { return last_auc_; }
+  size_t last_train_size() const { return last_train_size_; }
+
+ private:
+  /// Builds a fresh learner instance per the configuration.
+  std::unique_ptr<ml::BinaryClassifier> MakeLearner() const;
+
+  const lifelog::ActionCatalog* actions_;
+  const sum::AttributeCatalog* attributes_;
+  lifelog::FeatureSpace* space_;
+  SpaConfig config_;
+  lifelog::BehaviorFeatureExtractor behavior_;
+  std::unique_ptr<ml::BinaryClassifier> model_;
+  ml::ColumnScaler scaler_;
+  ml::PlattScaler platt_;
+  bool trained_ = false;
+  double last_auc_ = 0.0;
+  size_t last_train_size_ = 0;
+};
+
+}  // namespace spa::core
+
+#endif  // SPA_CORE_SMART_COMPONENT_H_

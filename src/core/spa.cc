@@ -1,0 +1,274 @@
+#include "core/spa.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "recsys/knn_cf.h"
+#include "recsys/popularity.h"
+
+namespace spa::core {
+
+namespace {
+
+/// Simulation epoch: 2006-01-01 (the business case ran to March 2006).
+constexpr spa::TimeMicros kSimEpoch =
+    int64_t{13149} * spa::kMicrosPerDay;
+
+/// Interaction strength per action category (enrolment weighs most).
+double InteractionWeight(lifelog::ActionType type, double value) {
+  using lifelog::ActionType;
+  switch (type) {
+    case ActionType::kPageView:
+      return 0.2;
+    case ActionType::kClick:
+      return 0.5;
+    case ActionType::kSearch:
+      return 0.3;
+    case ActionType::kEmailOpen:
+      return 0.3;
+    case ActionType::kEmailClick:
+      return 0.6;
+    case ActionType::kInfoRequest:
+      return 1.5;
+    case ActionType::kEnrollment:
+      return 3.0;
+    case ActionType::kRating:
+      return value / 5.0 * 2.0;
+    case ActionType::kOpinion:
+      return 1.0;
+    case ActionType::kEitAnswer:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Spa::Spa(SpaConfig config)
+    : config_(config),
+      clock_(kSimEpoch),
+      actions_(lifelog::ActionCatalog::Standard()),
+      attrs_(sum::AttributeCatalog::EmagisterDefault()),
+      sums_(&attrs_),
+      bank_(eit::QuestionBank::Generate(config.eit_questions_per_section,
+                                        config.seed)),
+      eit_(std::make_unique<eit::GradualEit>(&bank_)),
+      runtime_(&clock_),
+      smart_(&actions_, &attrs_, &space_, config),
+      reranker_(config.rerank) {
+  auto preprocessor = std::make_unique<agents::PreprocessorAgent>(
+      &actions_, &logs_, config.preprocessor);
+  preprocessor_ = preprocessor.get();
+  SPA_CHECK(runtime_.Register(std::move(preprocessor)).ok());
+
+  agents::AttributesAgentConfig attributes_config;
+  attributes_config.reinforcement = config.reinforcement;
+  auto attributes_agent = std::make_unique<agents::AttributesManagerAgent>(
+      &sums_, attributes_config);
+  attributes_agent_ = attributes_agent.get();
+  SPA_CHECK(runtime_.Register(std::move(attributes_agent)).ok());
+
+  auto messaging = std::make_unique<agents::MessagingAgent>(
+      &sums_, config.messaging);
+  messaging_ = messaging.get();
+  SPA_CHECK(runtime_.Register(std::move(messaging)).ok());
+  InstallDefaultTemplates(attrs_, messaging_);
+}
+
+size_t Spa::IngestLogLines(std::vector<std::string> lines) {
+  agents::RawLogBatch batch;
+  batch.lines = std::move(lines);
+  runtime_.Inject("preproc-0", std::move(batch));
+  const size_t delivered = runtime_.RunUntilIdle();
+  recommenders_ready_ = false;  // interactions changed
+  return delivered;
+}
+
+void Spa::RecordEvent(const lifelog::Event& event) {
+  logs_.Append(event);
+  recommenders_ready_ = false;
+}
+
+eit::UserEitState& Spa::EitStateFor(sum::UserId user) {
+  auto it = eit_states_.find(user);
+  if (it == eit_states_.end()) {
+    it = eit_states_.emplace(user, eit::UserEitState(bank_.size())).first;
+  }
+  return it->second;
+}
+
+spa::Result<int32_t> Spa::NextEitQuestion(sum::UserId user) {
+  return eit_->NextQuestionFor(EitStateFor(user));
+}
+
+spa::Status Spa::RecordEitAnswer(sum::UserId user, int32_t question_id,
+                                 size_t option) {
+  eit::UserEitState& state = EitStateFor(user);
+  SPA_ASSIGN_OR_RETURN(eit::GradualEit::AnswerOutcome outcome,
+                       eit_->RecordAnswer(&state, question_id, option));
+
+  // Log the answer as a LifeLog event.
+  const auto& codes =
+      actions_.CodesFor(lifelog::ActionType::kEitAnswer);
+  lifelog::Event event;
+  event.user = user;
+  event.time = clock_.now();
+  event.action_code =
+      codes[static_cast<size_t>(question_id) % codes.size()];
+  event.value = outcome.consensus_score;
+  logs_.Append(event);
+
+  // Route the activations to the Attributes Manager.
+  agents::EitAnswerObserved observed;
+  observed.user = user;
+  observed.question_id = question_id;
+  observed.activations = std::move(outcome.activations);
+  runtime_.Inject("attributes-manager", std::move(observed));
+  runtime_.RunUntilIdle();
+  return spa::Status::OK();
+}
+
+eit::EitScores Spa::EitScoresFor(sum::UserId user) const {
+  const auto it = eit_states_.find(user);
+  if (it == eit_states_.end()) {
+    return eit::EitScores{};
+  }
+  return eit_->ScoresFor(it->second);
+}
+
+void Spa::ObserveInteraction(sum::UserId user, lifelog::ItemId item,
+                             sum::AttributeId argued_attribute,
+                             bool positive, double magnitude) {
+  agents::InteractionObserved observed;
+  observed.user = user;
+  observed.item = item;
+  observed.argued_attribute = argued_attribute;
+  observed.positive = positive;
+  observed.magnitude = magnitude;
+  runtime_.Inject("attributes-manager", std::move(observed));
+  runtime_.RunUntilIdle();
+}
+
+void Spa::Tick(spa::TimeMicros advance) {
+  clock_.Advance(advance);
+  runtime_.TickAll();
+}
+
+void Spa::SetItemFeatures(lifelog::ItemId item,
+                          ml::SparseVector features) {
+  item_features_[item] = std::move(features);
+  recommenders_ready_ = false;
+}
+
+void Spa::SetItemEmotionProfile(lifelog::ItemId item,
+                                const recsys::EmotionProfile& profile) {
+  reranker_.SetItemProfile(item, profile);
+}
+
+spa::Status Spa::RefreshRecommenders() {
+  // Rebuild the interaction matrix from the LifeLog (single source of
+  // truth for what users touched).
+  interactions_ = recsys::InteractionMatrix();
+  logs_.ForEachUser([this](sum::UserId user,
+                           const std::vector<lifelog::Event>& events) {
+    for (const lifelog::Event& event : events) {
+      if (event.item == lifelog::kNoItem) continue;
+      const auto type = actions_.TypeOf(event.action_code);
+      if (!type.ok()) continue;
+      const double weight =
+          InteractionWeight(type.value(), event.value);
+      if (weight > 0.0) interactions_.Add(user, event.item, weight);
+    }
+  });
+
+  if (interactions_.interaction_count() == 0) {
+    return spa::Status::FailedPrecondition(
+        "no item interactions recorded yet");
+  }
+
+  hybrid_ = std::make_unique<recsys::HybridRecommender>();
+  hybrid_->AddComponent(std::make_unique<recsys::ItemKnnRecommender>(),
+                        0.45);
+  hybrid_->AddComponent(std::make_unique<recsys::PopularityRecommender>(),
+                        0.10);
+  if (!item_features_.empty()) {
+    auto content = std::make_unique<recsys::ContentBasedRecommender>();
+    for (const auto& [item, features] : item_features_) {
+      content->SetItemFeatures(item, features);
+    }
+    hybrid_->AddComponent(std::move(content), 0.45);
+  }
+  SPA_RETURN_IF_ERROR(hybrid_->Fit(interactions_));
+  recommenders_ready_ = true;
+  return spa::Status::OK();
+}
+
+std::vector<recsys::Scored> Spa::RecommendCourses(sum::UserId user,
+                                                  size_t k) {
+  if (!recommenders_ready_) {
+    if (!RefreshRecommenders().ok()) return {};
+  }
+  // Over-fetch so the re-ranker has room to move items into the top-k.
+  std::vector<recsys::Scored> candidates =
+      hybrid_->Recommend(user, k * 3);
+  if (config_.include_emotional_features) {
+    const auto model = sums_.Get(user);
+    if (model.ok()) {
+      candidates = reranker_.Rerank(*model.value(), std::move(candidates));
+    }
+  }
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+agents::ComposedMessage Spa::MessageFor(
+    sum::UserId user, lifelog::ItemId course,
+    const std::vector<sum::AttributeId>& product_attributes) {
+  agents::ComposeMessageRequest request;
+  request.user = user;
+  request.course = course;
+  request.product_attributes = product_attributes;
+  return messaging_->Compose(request);
+}
+
+spa::Status Spa::TrainPropensity(
+    const std::vector<PropensityExample>& examples) {
+  return smart_.TrainPropensity(examples, sums_, logs_, clock_.now());
+}
+
+ml::SparseVector Spa::SnapshotFeatures(sum::UserId user) const {
+  const auto model = sums_.Get(user);
+  if (!model.ok()) return ml::SparseVector();
+  return smart_.FeaturesFor(*model.value(), logs_.UserEvents(user),
+                            clock_.now());
+}
+
+spa::Status Spa::TrainPropensityOnSnapshots(
+    const std::vector<ml::SparseVector>& features,
+    const std::vector<ml::Label>& labels) {
+  return smart_.TrainOnSnapshots(features, labels);
+}
+
+spa::Result<double> Spa::ScoreSnapshot(
+    const ml::SparseVector& features) const {
+  return smart_.ScoreFeatures(features);
+}
+
+spa::Result<double> Spa::Propensity(sum::UserId user) const {
+  SPA_ASSIGN_OR_RETURN(const sum::SmartUserModel* model,
+                       sums_.Get(user));
+  return smart_.Propensity(*model, logs_.UserEvents(user), clock_.now());
+}
+
+spa::Result<std::vector<std::pair<sum::UserId, double>>>
+Spa::SelectTopProspects(const std::vector<sum::UserId>& candidates,
+                        size_t k) const {
+  SPA_ASSIGN_OR_RETURN(auto ranked,
+                       smart_.RankUsers(candidates, sums_, logs_,
+                                        clock_.now()));
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace spa::core

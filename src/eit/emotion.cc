@@ -1,0 +1,68 @@
+#include "eit/emotion.h"
+
+namespace spa::eit {
+
+std::string_view EmotionalAttributeName(EmotionalAttribute attr) {
+  switch (attr) {
+    case EmotionalAttribute::kEnthusiastic:
+      return "enthusiastic";
+    case EmotionalAttribute::kMotivated:
+      return "motivated";
+    case EmotionalAttribute::kEmpathic:
+      return "empathic";
+    case EmotionalAttribute::kHopeful:
+      return "hopeful";
+    case EmotionalAttribute::kLively:
+      return "lively";
+    case EmotionalAttribute::kStimulated:
+      return "stimulated";
+    case EmotionalAttribute::kImpatient:
+      return "impatient";
+    case EmotionalAttribute::kFrightened:
+      return "frightened";
+    case EmotionalAttribute::kShy:
+      return "shy";
+    case EmotionalAttribute::kApathetic:
+      return "apathetic";
+  }
+  return "unknown";
+}
+
+bool ParseEmotionalAttribute(std::string_view name,
+                             EmotionalAttribute* out) {
+  for (EmotionalAttribute attr : AllEmotionalAttributes()) {
+    if (EmotionalAttributeName(attr) == name) {
+      *out = attr;
+      return true;
+    }
+  }
+  return false;
+}
+
+Valence ValenceOf(EmotionalAttribute attr) {
+  switch (attr) {
+    case EmotionalAttribute::kEnthusiastic:
+    case EmotionalAttribute::kMotivated:
+    case EmotionalAttribute::kEmpathic:
+    case EmotionalAttribute::kHopeful:
+    case EmotionalAttribute::kLively:
+    case EmotionalAttribute::kStimulated:
+      return Valence::kPositive;
+    case EmotionalAttribute::kImpatient:
+    case EmotionalAttribute::kFrightened:
+    case EmotionalAttribute::kShy:
+    case EmotionalAttribute::kApathetic:
+      return Valence::kNegative;
+  }
+  return Valence::kPositive;
+}
+
+double ValenceSign(EmotionalAttribute attr) {
+  return ValenceOf(attr) == Valence::kPositive ? 1.0 : -1.0;
+}
+
+std::string_view ValenceName(Valence v) {
+  return v == Valence::kPositive ? "positive" : "negative";
+}
+
+}  // namespace spa::eit

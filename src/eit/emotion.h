@@ -1,0 +1,67 @@
+#ifndef SPA_EIT_EMOTION_H_
+#define SPA_EIT_EMOTION_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+/// \file
+/// The emotional attribute vocabulary of the business case (§5.1): ten
+/// attributes, each carrying a valence — "the degree of attraction or
+/// aversion that a person feels toward a specific object or event".
+
+namespace spa::eit {
+
+/// Direction of an emotional attribute's pull on behaviour.
+enum class Valence : uint8_t {
+  kPositive,  ///< attraction (activating)
+  kNegative,  ///< aversion (inhibiting)
+};
+
+/// The ten emotional attributes used in the emagister deployment:
+/// "enthusiastic, motivated, empathic, hopeful, lively, stimulated,
+/// impatient, frightened, shy and apathetic" (§5.1).
+enum class EmotionalAttribute : uint8_t {
+  kEnthusiastic = 0,
+  kMotivated,
+  kEmpathic,
+  kHopeful,
+  kLively,
+  kStimulated,
+  kImpatient,
+  kFrightened,
+  kShy,
+  kApathetic,
+};
+
+inline constexpr size_t kNumEmotionalAttributes = 10;
+
+/// All attributes in declaration order.
+constexpr std::array<EmotionalAttribute, kNumEmotionalAttributes>
+AllEmotionalAttributes() {
+  return {EmotionalAttribute::kEnthusiastic, EmotionalAttribute::kMotivated,
+          EmotionalAttribute::kEmpathic,     EmotionalAttribute::kHopeful,
+          EmotionalAttribute::kLively,       EmotionalAttribute::kStimulated,
+          EmotionalAttribute::kImpatient,    EmotionalAttribute::kFrightened,
+          EmotionalAttribute::kShy,          EmotionalAttribute::kApathetic};
+}
+
+/// Stable lowercase name (matches the paper's wording).
+std::string_view EmotionalAttributeName(EmotionalAttribute attr);
+
+/// Parses a name back to the attribute; returns false on unknown names.
+bool ParseEmotionalAttribute(std::string_view name,
+                             EmotionalAttribute* out);
+
+/// Valence of each attribute: the first six are attraction-valenced,
+/// the last four aversion-valenced.
+Valence ValenceOf(EmotionalAttribute attr);
+
+/// +1 for positive valence, -1 for negative (activation sign).
+double ValenceSign(EmotionalAttribute attr);
+
+std::string_view ValenceName(Valence v);
+
+}  // namespace spa::eit
+
+#endif  // SPA_EIT_EMOTION_H_

@@ -1,0 +1,67 @@
+#include "eit/four_branch.h"
+
+namespace spa::eit {
+
+const std::array<TaskSection, kNumTaskSections>& TaskSections() {
+  static const std::array<TaskSection, kNumTaskSections> kSections = {{
+      {"Faces", Branch::kPerceiving},
+      {"Pictures", Branch::kPerceiving},
+      {"Facilitation", Branch::kFacilitating},
+      {"Sensations", Branch::kFacilitating},
+      {"Changes", Branch::kUnderstanding},
+      {"Blends", Branch::kUnderstanding},
+      {"Emotion Management", Branch::kManaging},
+      {"Emotional Relations", Branch::kManaging},
+  }};
+  return kSections;
+}
+
+std::string_view BranchName(Branch b) {
+  switch (b) {
+    case Branch::kPerceiving:
+      return "Perceiving Emotions";
+    case Branch::kFacilitating:
+      return "Facilitating Thought";
+    case Branch::kUnderstanding:
+      return "Understanding Emotions";
+    case Branch::kManaging:
+      return "Managing Emotions";
+  }
+  return "unknown";
+}
+
+std::string_view AreaName(Area a) {
+  return a == Area::kExperiential ? "Experiential" : "Strategic";
+}
+
+std::string_view BranchDescription(Branch b) {
+  switch (b) {
+    case Branch::kPerceiving:
+      return "ability to perceive emotions in oneself and others, as "
+             "well as in objects, art and stories";
+    case Branch::kFacilitating:
+      return "ability to generate and use emotions to facilitate "
+             "thinking and communicate feelings";
+    case Branch::kUnderstanding:
+      return "ability to understand emotional information, how emotions "
+             "combine and progress through relationship transitions";
+    case Branch::kManaging:
+      return "ability to be open to feelings and to manage them in "
+             "oneself and others to promote personal growth";
+  }
+  return "unknown";
+}
+
+Area AreaOf(Branch b) {
+  switch (b) {
+    case Branch::kPerceiving:
+    case Branch::kFacilitating:
+      return Area::kExperiential;
+    case Branch::kUnderstanding:
+    case Branch::kManaging:
+      return Area::kStrategic;
+  }
+  return Area::kExperiential;
+}
+
+}  // namespace spa::eit

@@ -1,0 +1,61 @@
+#ifndef SPA_EIT_FOUR_BRANCH_H_
+#define SPA_EIT_FOUR_BRANCH_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+/// \file
+/// The Four-Branch Model of Emotional Intelligence (Table 1 of the
+/// paper), as operationalized by the MSCEIT V2.0 (Mayer, Salovey,
+/// Caruso): four ability branches, each measured by two task sections,
+/// grouped into the Experiential and Strategic areas.
+
+namespace spa::eit {
+
+/// The four ability branches.
+enum class Branch : uint8_t {
+  kPerceiving = 0,     ///< perceiving emotions (in faces, pictures)
+  kFacilitating = 1,   ///< using emotions to facilitate thought
+  kUnderstanding = 2,  ///< understanding emotional chains and blends
+  kManaging = 3,       ///< managing emotions in self and relations
+};
+
+inline constexpr size_t kNumBranches = 4;
+
+constexpr std::array<Branch, kNumBranches> AllBranches() {
+  return {Branch::kPerceiving, Branch::kFacilitating,
+          Branch::kUnderstanding, Branch::kManaging};
+}
+
+/// MSCEIT area grouping over the branches.
+enum class Area : uint8_t {
+  kExperiential = 0,  ///< Perceiving + Facilitating
+  kStrategic = 1,     ///< Understanding + Managing
+};
+
+inline constexpr size_t kNumAreas = 2;
+
+/// The eight MSCEIT task sections (two per branch).
+struct TaskSection {
+  std::string_view name;
+  Branch branch;
+};
+
+inline constexpr size_t kNumTaskSections = 8;
+
+/// Section table in MSCEIT order (A..H).
+const std::array<TaskSection, kNumTaskSections>& TaskSections();
+
+std::string_view BranchName(Branch b);
+std::string_view AreaName(Area a);
+
+/// One-line ability description per branch (Table 1 wording).
+std::string_view BranchDescription(Branch b);
+
+/// Area a branch belongs to.
+Area AreaOf(Branch b);
+
+}  // namespace spa::eit
+
+#endif  // SPA_EIT_FOUR_BRANCH_H_

@@ -1,0 +1,131 @@
+#include "eit/gradual_eit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::eit {
+
+double EitScores::Standardized() const {
+  // Consensus-score means cluster near the modal endorsement mass; map
+  // [0,1] to an IQ-like scale anchored at total=0.35 -> 100.
+  return 100.0 + (total - 0.35) * 150.0;
+}
+
+UserEitState::UserEitState(size_t bank_size)
+    : answered_(bank_size, false) {}
+
+bool UserEitState::Answered(int32_t question_id) const {
+  SPA_DCHECK(question_id >= 0 &&
+             static_cast<size_t>(question_id) < answered_.size());
+  return answered_[static_cast<size_t>(question_id)];
+}
+
+GradualEit::GradualEit(const QuestionBank* bank) : bank_(bank) {
+  SPA_CHECK(bank != nullptr);
+}
+
+spa::Result<int32_t> GradualEit::NextQuestionFor(
+    const UserEitState& state) const {
+  if (state.bank_size() != bank_->size()) {
+    return spa::Status::InvalidArgument(
+        "state was created for a different bank");
+  }
+  // Round-robin across branches starting at the user's cursor so that
+  // single-question contacts still cover all four abilities over time;
+  // within a branch, prefer the item that probes the user's
+  // least-covered emotional attributes.
+  for (size_t offset = 0; offset < kNumBranches; ++offset) {
+    const size_t b = (state.next_branch_ + offset) % kNumBranches;
+    int32_t best_id = -1;
+    double best_novelty = -1.0;
+    for (int32_t id : bank_->BranchItems(static_cast<Branch>(b))) {
+      if (state.Answered(id)) continue;
+      const EitQuestion& q =
+          *bank_->ById(id).value();  // ids are valid by construction
+      double novelty = 0.0;
+      for (const AttributeImpact& impact : q.impacts) {
+        const size_t probes = state.probe_counts()[static_cast<size_t>(
+            impact.attribute)];
+        novelty +=
+            impact.weight / (1.0 + static_cast<double>(probes));
+      }
+      if (novelty > best_novelty) {
+        best_novelty = novelty;
+        best_id = id;
+      }
+    }
+    if (best_id >= 0) return best_id;
+  }
+  return spa::Status::NotFound("question bank exhausted for this user");
+}
+
+spa::Result<GradualEit::AnswerOutcome> GradualEit::RecordAnswer(
+    UserEitState* state, int32_t question_id, size_t option) const {
+  if (option >= kOptionsPerQuestion) {
+    return spa::Status::InvalidArgument(
+        spa::StrFormat("option %zu out of range", option));
+  }
+  SPA_ASSIGN_OR_RETURN(const EitQuestion* q, bank_->ById(question_id));
+  if (state->Answered(question_id)) {
+    return spa::Status::AlreadyExists(
+        spa::StrFormat("question %d already answered", question_id));
+  }
+
+  const double score = q->consensus[option];
+  state->answered_[static_cast<size_t>(question_id)] = true;
+  ++state->answered_count_;
+  const size_t b = static_cast<size_t>(q->branch);
+  state->branch_sum_[b] += score;
+  ++state->branch_count_[b];
+  state->next_branch_ = (b + 1) % kNumBranches;
+  for (const AttributeImpact& impact : q->impacts) {
+    ++state->probe_counts_[static_cast<size_t>(impact.attribute)];
+  }
+
+  AnswerOutcome outcome;
+  outcome.consensus_score = score;
+  outcome.activations.reserve(q->impacts.size());
+  for (const AttributeImpact& impact : q->impacts) {
+    outcome.activations.push_back(
+        {impact.attribute, impact.weight * score});
+  }
+  return outcome;
+}
+
+EitScores GradualEit::ScoresFor(const UserEitState& state) const {
+  EitScores scores;
+  double total_sum = 0.0;
+  size_t total_count = 0;
+  for (size_t b = 0; b < kNumBranches; ++b) {
+    scores.branch_answered[b] = state.branch_count()[b];
+    if (state.branch_count()[b] > 0) {
+      scores.branch_score[b] =
+          state.branch_sum()[b] /
+          static_cast<double>(state.branch_count()[b]);
+    }
+    total_sum += state.branch_sum()[b];
+    total_count += state.branch_count()[b];
+  }
+  for (size_t a = 0; a < kNumAreas; ++a) {
+    double sum = 0.0;
+    size_t cnt = 0;
+    for (Branch b : AllBranches()) {
+      if (static_cast<size_t>(AreaOf(b)) != a) continue;
+      const size_t bi = static_cast<size_t>(b);
+      if (state.branch_count()[bi] > 0) {
+        sum += scores.branch_score[bi];
+        ++cnt;
+      }
+    }
+    if (cnt > 0) scores.area_score[a] = sum / static_cast<double>(cnt);
+  }
+  scores.answered = total_count;
+  if (total_count > 0) {
+    scores.total = total_sum / static_cast<double>(total_count);
+  }
+  return scores;
+}
+
+}  // namespace spa::eit

@@ -1,0 +1,101 @@
+#ifndef SPA_EIT_GRADUAL_EIT_H_
+#define SPA_EIT_GRADUAL_EIT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "eit/question_bank.h"
+
+/// \file
+/// The Gradual EIT engine (§3 stage 1, §5.2): the test is administered
+/// one question per push/newsletter contact, in a "gradual and
+/// noninvasive" way; each answer contributes consensus-scored evidence
+/// and activates the impacted emotional attributes.
+
+namespace spa::eit {
+
+/// \brief Per-branch and aggregate consensus scores for one respondent.
+struct EitScores {
+  std::array<double, kNumBranches> branch_score{};    ///< [0,1] each
+  std::array<size_t, kNumBranches> branch_answered{};
+  std::array<double, kNumAreas> area_score{};
+  double total = 0.0;  ///< overall emotional-intelligence quotient [0,1]
+  size_t answered = 0;
+
+  /// MSCEIT-style standardized quotient (mean 100, sd 15) assuming the
+  /// consensus scores are roughly Beta-distributed around 0.35.
+  double Standardized() const;
+};
+
+/// \brief Per-user test progress.
+class UserEitState {
+ public:
+  explicit UserEitState(size_t bank_size);
+
+  bool Answered(int32_t question_id) const;
+  size_t answered_count() const { return answered_count_; }
+  size_t bank_size() const { return answered_.size(); }
+
+  /// Consensus score sum / count per branch, for score computation.
+  const std::array<double, kNumBranches>& branch_sum() const {
+    return branch_sum_;
+  }
+  const std::array<size_t, kNumBranches>& branch_count() const {
+    return branch_count_;
+  }
+
+  /// How often each emotional attribute has been probed for this user.
+  const std::array<size_t, kNumEmotionalAttributes>& probe_counts()
+      const {
+    return probe_counts_;
+  }
+
+ private:
+  friend class GradualEit;
+  std::vector<bool> answered_;
+  size_t answered_count_ = 0;
+  std::array<double, kNumBranches> branch_sum_{};
+  std::array<size_t, kNumBranches> branch_count_{};
+  std::array<size_t, kNumEmotionalAttributes> probe_counts_{};
+  size_t next_branch_ = 0;  // round-robin cursor
+};
+
+/// \brief Engine that selects questions and scores answers.
+class GradualEit {
+ public:
+  explicit GradualEit(const QuestionBank* bank);
+
+  /// Next unanswered question for this user. Branches rotate so the
+  /// four abilities accrue evidence evenly; within the branch the item
+  /// probing the user's least-covered emotional attributes is chosen
+  /// (adaptive coverage: the gradual test explores every attribute
+  /// instead of replaying the bank order). NotFound when exhausted.
+  spa::Result<int32_t> NextQuestionFor(const UserEitState& state) const;
+
+  /// Outcome of recording one answer.
+  struct AnswerOutcome {
+    double consensus_score = 0.0;  ///< [0,1] agreement with population
+    /// Activation deltas for the impacted emotional attributes:
+    /// impact weight x consensus score (the Fig. 4 "discover" signal).
+    std::vector<AttributeImpact> activations;
+  };
+
+  /// Records `option` for `question_id`; rejects repeats/bad ids.
+  spa::Result<AnswerOutcome> RecordAnswer(UserEitState* state,
+                                          int32_t question_id,
+                                          size_t option) const;
+
+  /// Current scores (consensus means per branch, areas, total).
+  EitScores ScoresFor(const UserEitState& state) const;
+
+  const QuestionBank& bank() const { return *bank_; }
+
+ private:
+  const QuestionBank* bank_;
+};
+
+}  // namespace spa::eit
+
+#endif  // SPA_EIT_GRADUAL_EIT_H_

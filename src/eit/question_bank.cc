@@ -1,0 +1,106 @@
+#include "eit/question_bank.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace spa::eit {
+
+namespace {
+
+// Item text templates per task section; {} is filled with a stimulus.
+constexpr std::string_view kTemplates[kNumTaskSections] = {
+    "How much %s is expressed in this face?",
+    "How much %s does this landscape photograph convey?",
+    "How useful is feeling %s when meeting new colleagues?",
+    "Which sensations accompany feeling %s?",
+    "A feeling of %s most likely changes into what under stress?",
+    "Which blend of feelings contains %s?",
+    "How effective is this action for preserving a feeling of %s?",
+    "How effective is this response for handling a %s friend?",
+};
+
+}  // namespace
+
+size_t EitQuestion::ModalOption() const {
+  return static_cast<size_t>(
+      std::max_element(consensus.begin(), consensus.end()) -
+      consensus.begin());
+}
+
+QuestionBank QuestionBank::Generate(size_t per_section, uint64_t seed) {
+  SPA_CHECK(per_section > 0);
+  Rng rng(seed);
+  QuestionBank bank;
+  bank.questions_.reserve(per_section * kNumTaskSections);
+
+  const auto attrs = AllEmotionalAttributes();
+  int32_t next_id = 0;
+  for (size_t s = 0; s < kNumTaskSections; ++s) {
+    const TaskSection& section = TaskSections()[s];
+    for (size_t q = 0; q < per_section; ++q) {
+      EitQuestion item;
+      item.id = next_id++;
+      item.branch = section.branch;
+      item.section = static_cast<int32_t>(s);
+
+      // Stimulus attribute drives both the text and the primary impact.
+      const EmotionalAttribute primary =
+          attrs[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(attrs.size()) - 1))];
+      item.text = StrFormat(
+          std::string(kTemplates[s]).c_str(),
+          std::string(EmotionalAttributeName(primary)).c_str());
+
+      // Consensus distribution: one dominant option plus noise mass.
+      const size_t dominant = static_cast<size_t>(
+          rng.UniformInt(0, kOptionsPerQuestion - 1));
+      double total = 0.0;
+      for (size_t o = 0; o < kOptionsPerQuestion; ++o) {
+        const double mass =
+            (o == dominant) ? rng.Uniform(0.9, 2.0) : rng.Uniform(0.05, 0.4);
+        item.consensus[o] = mass;
+        total += mass;
+      }
+      for (double& c : item.consensus) c /= total;
+
+      // 1-3 impacted attributes; the primary always included.
+      item.impacts.push_back({primary, rng.Uniform(0.6, 1.0)});
+      const int extra = static_cast<int>(rng.UniformInt(0, 2));
+      for (int e = 0; e < extra; ++e) {
+        const EmotionalAttribute other =
+            attrs[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(attrs.size()) - 1))];
+        const bool duplicate =
+            std::any_of(item.impacts.begin(), item.impacts.end(),
+                        [other](const AttributeImpact& i) {
+                          return i.attribute == other;
+                        });
+        if (!duplicate) {
+          item.impacts.push_back({other, rng.Uniform(0.2, 0.6)});
+        }
+      }
+
+      bank.by_branch_[static_cast<size_t>(section.branch)].push_back(
+          item.id);
+      bank.questions_.push_back(std::move(item));
+    }
+  }
+  return bank;
+}
+
+spa::Result<const EitQuestion*> QuestionBank::ById(int32_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= questions_.size()) {
+    return spa::Status::NotFound(
+        spa::StrFormat("no EIT question with id %d", id));
+  }
+  return &questions_[static_cast<size_t>(id)];
+}
+
+const std::vector<int32_t>& QuestionBank::BranchItems(Branch b) const {
+  return by_branch_[static_cast<size_t>(b)];
+}
+
+}  // namespace spa::eit

@@ -1,0 +1,68 @@
+#ifndef SPA_EIT_QUESTION_BANK_H_
+#define SPA_EIT_QUESTION_BANK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eit/emotion.h"
+#include "eit/four_branch.h"
+
+/// \file
+/// The Gradual EIT item bank. The real MSCEIT V2.0 item content is
+/// proprietary; we generate a bank with the published *structure* (eight
+/// task sections across four branches, consensus-scored multiple-choice
+/// items) and attach to each item the emotional attributes it activates,
+/// which is what the paper's Fig. 4 loop consumes.
+
+namespace spa::eit {
+
+/// Number of response options per item (Likert-style).
+inline constexpr size_t kOptionsPerQuestion = 5;
+
+/// How strongly answering an item touches one emotional attribute.
+struct AttributeImpact {
+  EmotionalAttribute attribute;
+  double weight;  ///< in (0, 1]; scaled by the answer's consensus score
+};
+
+/// \brief One consensus-scored item.
+struct EitQuestion {
+  int32_t id = -1;
+  Branch branch = Branch::kPerceiving;
+  int32_t section = 0;  ///< index into TaskSections()
+  std::string text;
+  /// General-consensus scoring weights: the fraction of the norming
+  /// population endorsing each option. Sums to 1.
+  std::array<double, kOptionsPerQuestion> consensus{};
+  /// Emotional attributes this item activates when answered.
+  std::vector<AttributeImpact> impacts;
+
+  /// Index of the modal (most-endorsed) option.
+  size_t ModalOption() const;
+};
+
+/// \brief Deterministic generated item bank.
+class QuestionBank {
+ public:
+  /// Generates `per_section` items for each of the eight task sections.
+  static QuestionBank Generate(size_t per_section, uint64_t seed);
+
+  size_t size() const { return questions_.size(); }
+  const EitQuestion& question(size_t i) const { return questions_[i]; }
+
+  /// Item by id (ids are dense, 0..size-1).
+  spa::Result<const EitQuestion*> ById(int32_t id) const;
+
+  /// Ids of all items in a branch.
+  const std::vector<int32_t>& BranchItems(Branch b) const;
+
+ private:
+  std::vector<EitQuestion> questions_;
+  std::array<std::vector<int32_t>, kNumBranches> by_branch_;
+};
+
+}  // namespace spa::eit
+
+#endif  // SPA_EIT_QUESTION_BANK_H_

@@ -1,0 +1,112 @@
+#include "lifelog/event.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::lifelog {
+
+std::string_view ActionTypeName(ActionType t) {
+  switch (t) {
+    case ActionType::kPageView:
+      return "pageview";
+    case ActionType::kClick:
+      return "click";
+    case ActionType::kSearch:
+      return "search";
+    case ActionType::kEmailOpen:
+      return "email_open";
+    case ActionType::kEmailClick:
+      return "email_click";
+    case ActionType::kInfoRequest:
+      return "info_request";
+    case ActionType::kEnrollment:
+      return "enrollment";
+    case ActionType::kRating:
+      return "rating";
+    case ActionType::kOpinion:
+      return "opinion";
+    case ActionType::kEitAnswer:
+      return "eit_answer";
+  }
+  return "unknown";
+}
+
+ActionCatalog ActionCatalog::FromCounts(
+    const std::array<size_t, kNumActionTypes>& counts) {
+  ActionCatalog catalog;
+  catalog.codes_by_type_.resize(kNumActionTypes);
+  int32_t code = 0;
+  for (size_t t = 0; t < kNumActionTypes; ++t) {
+    for (size_t i = 0; i < counts[t]; ++i) {
+      catalog.types_.push_back(static_cast<ActionType>(t));
+      catalog.codes_by_type_[t].push_back(code);
+      ++code;
+    }
+  }
+  return catalog;
+}
+
+ActionCatalog ActionCatalog::Standard() {
+  // Category mix summing to the paper's 984 observable actions.
+  static constexpr std::array<size_t, kNumActionTypes> kCounts = {
+      400,  // pageview
+      250,  // click
+      100,  // search
+      50,   // email_open
+      50,   // email_click
+      50,   // info_request
+      30,   // enrollment
+      24,   // rating
+      20,   // opinion
+      10,   // eit_answer
+  };
+  ActionCatalog catalog = FromCounts(kCounts);
+  SPA_CHECK(catalog.size() == 984);
+  return catalog;
+}
+
+ActionCatalog ActionCatalog::Small(size_t per_type) {
+  std::array<size_t, kNumActionTypes> counts;
+  counts.fill(per_type);
+  return FromCounts(counts);
+}
+
+spa::Result<ActionType> ActionCatalog::TypeOf(int32_t code) const {
+  if (code < 0 || static_cast<size_t>(code) >= types_.size()) {
+    return spa::Status::OutOfRange(
+        spa::StrFormat("action code %d outside catalog of %zu", code,
+                       types_.size()));
+  }
+  return types_[static_cast<size_t>(code)];
+}
+
+std::string ActionCatalog::NameOf(int32_t code) const {
+  if (code < 0 || static_cast<size_t>(code) >= types_.size()) {
+    return spa::StrFormat("invalid/%d", code);
+  }
+  const ActionType t = types_[static_cast<size_t>(code)];
+  const auto& codes = codes_by_type_[static_cast<size_t>(t)];
+  // Codes within a category are contiguous: offset from the first.
+  const size_t pos = static_cast<size_t>(code - codes.front());
+  return spa::StrFormat("%s/%zu", std::string(ActionTypeName(t)).c_str(),
+                        pos);
+}
+
+const std::vector<int32_t>& ActionCatalog::CodesFor(ActionType t) const {
+  return codes_by_type_[static_cast<size_t>(t)];
+}
+
+bool ActionCatalog::IsTransaction(ActionType t) {
+  switch (t) {
+    case ActionType::kClick:
+    case ActionType::kEmailClick:
+    case ActionType::kInfoRequest:
+    case ActionType::kEnrollment:
+    case ActionType::kOpinion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace spa::lifelog

@@ -1,0 +1,140 @@
+#include "lifelog/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::lifelog {
+
+int32_t FeatureSpace::Intern(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const int32_t idx = static_cast<int32_t>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, idx);
+  return idx;
+}
+
+spa::Result<int32_t> FeatureSpace::IndexOf(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return spa::Status::NotFound(
+        spa::StrFormat("unknown feature '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+const std::string& FeatureSpace::NameOf(int32_t index) const {
+  SPA_CHECK(index >= 0 && static_cast<size_t>(index) < names_.size());
+  return names_[static_cast<size_t>(index)];
+}
+
+BehaviorFeatureExtractor::BehaviorFeatureExtractor(
+    const ActionCatalog* catalog, FeatureSpace* space)
+    : catalog_(catalog) {
+  SPA_CHECK(catalog != nullptr && space != nullptr);
+  for (size_t t = 0; t < kNumActionTypes; ++t) {
+    type_count_idx_[t] = space->Intern(spa::StrFormat(
+        "behavior.count.%s",
+        std::string(ActionTypeName(static_cast<ActionType>(t))).c_str()));
+  }
+  recency_idx_ = space->Intern("behavior.recency_days");
+  frequency_idx_ = space->Intern("behavior.events_per_day");
+  distinct_items_idx_ = space->Intern("behavior.distinct_items");
+  session_count_idx_ = space->Intern("behavior.session_count");
+  mean_session_minutes_idx_ =
+      space->Intern("behavior.mean_session_minutes");
+  mean_rating_idx_ = space->Intern("behavior.mean_rating");
+  transactions_idx_ = space->Intern("behavior.transactions");
+}
+
+ml::SparseVector BehaviorFeatureExtractor::Extract(
+    const std::vector<Event>& events, spa::TimeMicros now) const {
+  // Collect (index, value) pairs then sort: feature indices from
+  // different groups are interleaved in the shared space.
+  std::vector<ml::SparseEntry> entries;
+  if (events.empty()) return ml::SparseVector();
+
+  std::array<size_t, kNumActionTypes> counts{};
+  std::set<ItemId> items;
+  double rating_sum = 0.0;
+  size_t rating_count = 0;
+  size_t transactions = 0;
+  spa::TimeMicros first = events.front().time;
+  spa::TimeMicros last = events.front().time;
+
+  for (const Event& e : events) {
+    first = std::min(first, e.time);
+    last = std::max(last, e.time);
+    const auto type = catalog_->TypeOf(e.action_code);
+    if (type.ok()) {
+      ++counts[static_cast<size_t>(type.value())];
+      if (type.value() == ActionType::kRating) {
+        rating_sum += e.value;
+        ++rating_count;
+      }
+      if (ActionCatalog::IsTransaction(type.value())) ++transactions;
+    }
+    if (e.item != kNoItem) items.insert(e.item);
+  }
+
+  for (size_t t = 0; t < kNumActionTypes; ++t) {
+    if (counts[t] > 0) {
+      entries.push_back({type_count_idx_[t],
+                         std::log1p(static_cast<double>(counts[t]))});
+    }
+  }
+
+  const double recency_days =
+      static_cast<double>(std::max<spa::TimeMicros>(0, now - last)) /
+      static_cast<double>(spa::kMicrosPerDay);
+  entries.push_back({recency_idx_, recency_days});
+
+  const double active_days =
+      1.0 + static_cast<double>(last - first) /
+                static_cast<double>(spa::kMicrosPerDay);
+  entries.push_back(
+      {frequency_idx_,
+       static_cast<double>(events.size()) / active_days});
+
+  if (!items.empty()) {
+    entries.push_back({distinct_items_idx_,
+                       std::log1p(static_cast<double>(items.size()))});
+  }
+
+  const auto sessions = Sessionize(events, *catalog_);
+  if (!sessions.empty()) {
+    entries.push_back(
+        {session_count_idx_,
+         std::log1p(static_cast<double>(sessions.size()))});
+    double total_minutes = 0.0;
+    for (const Session& s : sessions) {
+      total_minutes += static_cast<double>(s.duration()) /
+                       static_cast<double>(spa::kMicrosPerMinute);
+    }
+    entries.push_back(
+        {mean_session_minutes_idx_,
+         total_minutes / static_cast<double>(sessions.size())});
+  }
+
+  if (rating_count > 0) {
+    entries.push_back(
+        {mean_rating_idx_,
+         rating_sum / static_cast<double>(rating_count)});
+  }
+  if (transactions > 0) {
+    entries.push_back({transactions_idx_,
+                       std::log1p(static_cast<double>(transactions))});
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const ml::SparseEntry& a, const ml::SparseEntry& b) {
+              return a.index < b.index;
+            });
+  return ml::SparseVector(entries);
+}
+
+}  // namespace spa::lifelog

@@ -1,0 +1,71 @@
+#ifndef SPA_LIFELOG_FEATURES_H_
+#define SPA_LIFELOG_FEATURES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "lifelog/event.h"
+#include "lifelog/session.h"
+#include "ml/sparse.h"
+
+/// \file
+/// Behavioural feature extraction: turns a user's LifeLog into the
+/// sparse feature vector consumed by the Smart Component. Covers the
+/// classic RFM triple, per-category activity, and session statistics.
+
+namespace spa::lifelog {
+
+/// \brief Name <-> index registry for a feature space. Indices are
+/// assigned densely in registration order so multiple producers
+/// (behavioural, SUM, EIT) can share one space.
+class FeatureSpace {
+ public:
+  /// Registers (or finds) a feature, returning its index.
+  int32_t Intern(const std::string& name);
+
+  /// Index of an existing feature; NotFound otherwise.
+  spa::Result<int32_t> IndexOf(const std::string& name) const;
+
+  const std::string& NameOf(int32_t index) const;
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> names_;
+};
+
+/// \brief Extracts behavioural features from one user's events.
+///
+/// Registers its features in the shared FeatureSpace at construction;
+/// extraction is then allocation-light and thread-safe.
+class BehaviorFeatureExtractor {
+ public:
+  BehaviorFeatureExtractor(const ActionCatalog* catalog,
+                           FeatureSpace* space);
+
+  /// Features for `events` (one user's, time-sorted) as of `now`.
+  /// Produces: log1p counts per action category, recency in days,
+  /// frequency (events/active-day), distinct items, session count,
+  /// mean session duration minutes, mean rating given.
+  ml::SparseVector Extract(const std::vector<Event>& events,
+                           spa::TimeMicros now) const;
+
+ private:
+  const ActionCatalog* catalog_;
+  std::array<int32_t, kNumActionTypes> type_count_idx_{};
+  int32_t recency_idx_ = -1;
+  int32_t frequency_idx_ = -1;
+  int32_t distinct_items_idx_ = -1;
+  int32_t session_count_idx_ = -1;
+  int32_t mean_session_minutes_idx_ = -1;
+  int32_t mean_rating_idx_ = -1;
+  int32_t transactions_idx_ = -1;
+};
+
+}  // namespace spa::lifelog
+
+#endif  // SPA_LIFELOG_FEATURES_H_

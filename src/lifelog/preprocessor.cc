@@ -1,0 +1,82 @@
+#include "lifelog/preprocessor.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::lifelog {
+
+void PreprocessStats::Merge(const PreprocessStats& other) {
+  lines_in += other.lines_in;
+  parse_errors += other.parse_errors;
+  bot_lines += other.bot_lines;
+  error_status += other.error_status;
+  anonymous += other.anonymous;
+  non_action += other.non_action;
+  unknown_action += other.unknown_action;
+  duplicates += other.duplicates;
+  events_out += other.events_out;
+}
+
+bool IsBotUserAgent(std::string_view user_agent) {
+  const std::string lowered = spa::ToLower(user_agent);
+  return lowered.find("bot") != std::string::npos ||
+         lowered.find("crawler") != std::string::npos ||
+         lowered.find("spider") != std::string::npos;
+}
+
+LifeLogPreprocessor::LifeLogPreprocessor(const ActionCatalog* catalog)
+    : catalog_(catalog) {
+  SPA_CHECK(catalog != nullptr);
+}
+
+bool LifeLogPreprocessor::ProcessLine(std::string_view line,
+                                      LifeLogStore* store) {
+  ++stats_.lines_in;
+  const auto record = ParseCombined(line);
+  if (!record.ok()) {
+    ++stats_.parse_errors;
+    return false;
+  }
+  if (IsBotUserAgent(record->user_agent)) {
+    ++stats_.bot_lines;
+    return false;
+  }
+  if (record->status >= 400) {
+    ++stats_.error_status;
+    return false;
+  }
+  if (record->user.empty() || record->user == "-") {
+    ++stats_.anonymous;
+    return false;
+  }
+  const auto event = EventFromRecord(record.value());
+  if (!event.ok()) {
+    if (event.status().code() == spa::StatusCode::kNotFound) {
+      ++stats_.non_action;
+    } else {
+      ++stats_.parse_errors;
+    }
+    return false;
+  }
+  if (!catalog_->TypeOf(event->action_code).ok()) {
+    ++stats_.unknown_action;
+    return false;
+  }
+  const SeenKey key{event->user, event->time, event->action_code};
+  if (!seen_.insert(key).second) {
+    ++stats_.duplicates;
+    return false;
+  }
+  store->Append(event.value());
+  ++stats_.events_out;
+  return true;
+}
+
+void LifeLogPreprocessor::ProcessLines(
+    const std::vector<std::string>& lines, LifeLogStore* store) {
+  for (const std::string& line : lines) {
+    ProcessLine(line, store);
+  }
+}
+
+}  // namespace spa::lifelog

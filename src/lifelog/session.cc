@@ -1,0 +1,49 @@
+#include "lifelog/session.h"
+
+#include <algorithm>
+#include <set>
+
+namespace spa::lifelog {
+
+std::vector<Session> Sessionize(const std::vector<Event>& events,
+                                const ActionCatalog& catalog,
+                                spa::TimeMicros gap) {
+  std::vector<Session> sessions;
+  if (events.empty()) return sessions;
+
+  Session current;
+  std::set<ItemId> items;
+  bool open = false;
+
+  auto flush = [&] {
+    if (open) {
+      current.distinct_items = items.size();
+      sessions.push_back(current);
+      items.clear();
+      open = false;
+    }
+  };
+
+  for (const Event& event : events) {
+    const bool new_session = !open || event.user != current.user ||
+                             event.time - current.end > gap;
+    if (new_session) {
+      flush();
+      current = Session{};
+      current.user = event.user;
+      current.start = event.time;
+      open = true;
+    }
+    current.end = event.time;
+    ++current.event_count;
+    const auto type = catalog.TypeOf(event.action_code);
+    if (type.ok()) {
+      ++current.type_counts[static_cast<size_t>(type.value())];
+    }
+    if (event.item != kNoItem) items.insert(event.item);
+  }
+  flush();
+  return sessions;
+}
+
+}  // namespace spa::lifelog

@@ -1,0 +1,42 @@
+#ifndef SPA_LIFELOG_SESSION_H_
+#define SPA_LIFELOG_SESSION_H_
+
+#include <array>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "lifelog/event.h"
+
+/// \file
+/// Sessionization of LifeLog streams (click-stream analysis, §5): events
+/// of one user separated by less than an inactivity gap belong to the
+/// same visit.
+
+namespace spa::lifelog {
+
+/// \brief One user visit.
+struct Session {
+  UserId user = 0;
+  spa::TimeMicros start = 0;
+  spa::TimeMicros end = 0;
+  size_t event_count = 0;
+  std::array<size_t, kNumActionTypes> type_counts{};
+  size_t distinct_items = 0;
+
+  spa::TimeMicros duration() const { return end - start; }
+};
+
+/// Default inactivity gap closing a session (industry-standard 30 min).
+inline constexpr spa::TimeMicros kDefaultSessionGap =
+    30 * spa::kMicrosPerMinute;
+
+/// Splits per-user, time-sorted events into sessions. Events must be
+/// grouped by user and sorted by time within each user (the LifeLog
+/// store's natural order); the catalog maps codes to categories.
+std::vector<Session> Sessionize(const std::vector<Event>& events,
+                                const ActionCatalog& catalog,
+                                spa::TimeMicros gap = kDefaultSessionGap);
+
+}  // namespace spa::lifelog
+
+#endif  // SPA_LIFELOG_SESSION_H_

@@ -1,0 +1,77 @@
+#include "lifelog/store.h"
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace spa::lifelog {
+
+void LifeLogStore::Append(const Event& event) {
+  auto [it, inserted] = by_user_.try_emplace(event.user);
+  if (inserted) user_order_.push_back(event.user);
+  it->second.push_back(event);
+  ++total_events_;
+}
+
+const std::vector<Event>& LifeLogStore::UserEvents(UserId user) const {
+  static const std::vector<Event> kEmpty;
+  const auto it = by_user_.find(user);
+  return it == by_user_.end() ? kEmpty : it->second;
+}
+
+void LifeLogStore::ForEachUser(
+    const std::function<void(UserId, const std::vector<Event>&)>& fn)
+    const {
+  for (UserId user : user_order_) {
+    fn(user, by_user_.at(user));
+  }
+}
+
+std::string LifeLogStore::ToCsv() const {
+  std::ostringstream out;
+  spa::CsvWriter writer(&out);
+  writer.WriteRow({"user", "time", "action_code", "item", "value"});
+  ForEachUser([&writer](UserId user, const std::vector<Event>& events) {
+    for (const Event& e : events) {
+      writer.WriteRow({std::to_string(user), std::to_string(e.time),
+                       std::to_string(e.action_code),
+                       std::to_string(e.item),
+                       spa::StrFormat("%.6f", e.value)});
+    }
+  });
+  return out.str();
+}
+
+spa::Result<LifeLogStore> LifeLogStore::FromCsv(const std::string& text) {
+  SPA_ASSIGN_OR_RETURN(auto rows, spa::ParseCsv(text));
+  if (rows.empty()) {
+    return spa::Status::InvalidArgument("empty LifeLog CSV");
+  }
+  LifeLogStore store;
+  for (size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const auto& row = rows[i];
+    if (row.size() != 5) {
+      return spa::Status::InvalidArgument(
+          spa::StrFormat("row %zu has %zu fields, expected 5", i,
+                         row.size()));
+    }
+    Event e;
+    int64_t action_code, item;
+    const bool parsed = spa::ParseInt64(row[0], &e.user) &&
+                        spa::ParseInt64(row[1], &e.time) &&
+                        spa::ParseInt64(row[2], &action_code) &&
+                        spa::ParseInt64(row[3], &item) &&
+                        spa::ParseDouble(row[4], &e.value);
+    if (!parsed) {
+      return spa::Status::InvalidArgument(
+          spa::StrFormat("row %zu has non-numeric fields", i));
+    }
+    e.action_code = static_cast<int32_t>(action_code);
+    e.item = static_cast<ItemId>(item);
+    store.Append(e);
+  }
+  return store;
+}
+
+}  // namespace spa::lifelog

@@ -1,0 +1,54 @@
+#ifndef SPA_LIFELOG_STORE_H_
+#define SPA_LIFELOG_STORE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "lifelog/event.h"
+
+/// \file
+/// In-memory LifeLog store: append-only event log with a per-user index,
+/// the substrate behind "the continuous storage of raw information
+/// streams" (§4). Supports CSV spill/load for offline processing.
+
+namespace spa::lifelog {
+
+/// \brief Append-only per-user event store.
+class LifeLogStore {
+ public:
+  /// Appends one event (events should arrive in nondecreasing time per
+  /// user; the store keeps arrival order).
+  void Append(const Event& event);
+
+  /// All events of one user, in arrival order (empty if unknown).
+  const std::vector<Event>& UserEvents(UserId user) const;
+
+  size_t total_events() const { return total_events_; }
+  size_t user_count() const { return by_user_.size(); }
+
+  /// Applies `fn` to every (user, events) pair; iteration order is
+  /// unspecified but deterministic for a fixed insertion sequence.
+  void ForEachUser(
+      const std::function<void(UserId, const std::vector<Event>&)>& fn)
+      const;
+
+  /// Users in insertion order of first appearance.
+  const std::vector<UserId>& users() const { return user_order_; }
+
+  /// Serializes all events as CSV (header + one row per event).
+  std::string ToCsv() const;
+
+  /// Restores a store from ToCsv() output.
+  static spa::Result<LifeLogStore> FromCsv(const std::string& text);
+
+ private:
+  std::unordered_map<UserId, std::vector<Event>> by_user_;
+  std::vector<UserId> user_order_;
+  size_t total_events_ = 0;
+};
+
+}  // namespace spa::lifelog
+
+#endif  // SPA_LIFELOG_STORE_H_

@@ -1,0 +1,282 @@
+#include "lifelog/weblog.h"
+
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace spa::lifelog {
+
+namespace {
+
+constexpr const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr",
+                                     "May", "Jun", "Jul", "Aug",
+                                     "Sep", "Oct", "Nov", "Dec"};
+
+// Days from civil date (Howard Hinnant's algorithm), days since
+// 1970-01-01.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 +
+         static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse: civil date from days since epoch.
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y_ = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(y_ + (*m <= 2));
+}
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::string FormatClfTime(spa::TimeMicros time) {
+  const int64_t secs = time / spa::kMicrosPerSecond;
+  const int64_t days = secs >= 0 ? secs / 86400
+                                 : (secs - 86399) / 86400;
+  const int64_t sod = secs - days * 86400;
+  int y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return spa::StrFormat("%02u/%s/%04d:%02lld:%02lld:%02lld +0000", d,
+                        kMonths[m - 1], y,
+                        static_cast<long long>(sod / 3600),
+                        static_cast<long long>((sod / 60) % 60),
+                        static_cast<long long>(sod % 60));
+}
+
+spa::Result<spa::TimeMicros> ParseClfTime(std::string_view text) {
+  // dd/Mon/yyyy:HH:MM:SS +0000
+  if (text.size() < 26) {
+    return spa::Status::InvalidArgument("CLF time too short");
+  }
+  int64_t day, year, hh, mm, ss;
+  if (!ParseInt(text.substr(0, 2), &day) ||
+      !ParseInt(text.substr(7, 4), &year) ||
+      !ParseInt(text.substr(12, 2), &hh) ||
+      !ParseInt(text.substr(15, 2), &mm) ||
+      !ParseInt(text.substr(18, 2), &ss)) {
+    return spa::Status::InvalidArgument("bad CLF time numerals");
+  }
+  const std::string_view mon = text.substr(3, 3);
+  int month = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (mon == kMonths[i]) {
+      month = i + 1;
+      break;
+    }
+  }
+  if (month == 0) {
+    return spa::Status::InvalidArgument("bad CLF month");
+  }
+  const int64_t days =
+      DaysFromCivil(static_cast<int>(year), month, static_cast<int>(day));
+  const int64_t secs = days * 86400 + hh * 3600 + mm * 60 + ss;
+  return secs * spa::kMicrosPerSecond;
+}
+
+std::string FormatCombined(const WeblogRecord& r) {
+  return spa::StrFormat(
+      "%s - %s [%s] \"%s %s HTTP/1.1\" %d %lld \"%s\" \"%s\"",
+      r.host.c_str(), r.user.c_str(), FormatClfTime(r.time).c_str(),
+      r.method.c_str(), r.path.c_str(), r.status,
+      static_cast<long long>(r.bytes), r.referrer.c_str(),
+      r.user_agent.c_str());
+}
+
+spa::Result<WeblogRecord> ParseCombined(std::string_view line) {
+  WeblogRecord r;
+  // %h - %u [time] "req" status bytes "ref" "ua"
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return spa::Status::InvalidArgument("missing host field");
+  }
+  r.host = std::string(line.substr(0, sp1));
+
+  const size_t bracket_open = line.find('[');
+  const size_t bracket_close = line.find(']');
+  if (bracket_open == std::string_view::npos ||
+      bracket_close == std::string_view::npos ||
+      bracket_close < bracket_open) {
+    return spa::Status::InvalidArgument("missing timestamp brackets");
+  }
+  // ident + user between host and '['.
+  const std::string_view mid =
+      spa::Trim(line.substr(sp1, bracket_open - sp1));
+  const auto mid_parts = spa::Split(std::string(mid), ' ');
+  if (mid_parts.size() != 2) {
+    return spa::Status::InvalidArgument("bad ident/user fields");
+  }
+  r.user = mid_parts[1];
+
+  SPA_ASSIGN_OR_RETURN(
+      r.time, ParseClfTime(line.substr(bracket_open + 1,
+                                       bracket_close - bracket_open - 1)));
+
+  const size_t q1 = line.find('"', bracket_close);
+  if (q1 == std::string_view::npos) {
+    return spa::Status::InvalidArgument("missing request quote");
+  }
+  const size_t q2 = line.find('"', q1 + 1);
+  if (q2 == std::string_view::npos) {
+    return spa::Status::InvalidArgument("unterminated request");
+  }
+  const std::string_view request = line.substr(q1 + 1, q2 - q1 - 1);
+  const auto req_parts = spa::Split(std::string(request), ' ');
+  if (req_parts.size() != 3) {
+    return spa::Status::InvalidArgument("malformed request line");
+  }
+  r.method = req_parts[0];
+  r.path = req_parts[1];
+
+  const std::string_view tail = spa::Trim(line.substr(q2 + 1));
+  const auto tail_parts = spa::Split(std::string(tail), ' ');
+  if (tail_parts.size() < 2) {
+    return spa::Status::InvalidArgument("missing status/bytes");
+  }
+  int64_t status;
+  if (!ParseInt(tail_parts[0], &status)) {
+    return spa::Status::InvalidArgument("bad status");
+  }
+  r.status = static_cast<int>(status);
+  int64_t bytes = 0;
+  if (tail_parts[1] != "-" && !ParseInt(tail_parts[1], &bytes)) {
+    return spa::Status::InvalidArgument("bad byte count");
+  }
+  r.bytes = bytes;
+
+  // Referrer and UA are the remaining quoted strings (optional).
+  const size_t q3 = line.find('"', q2 + 1);
+  if (q3 != std::string_view::npos) {
+    const size_t q4 = line.find('"', q3 + 1);
+    if (q4 != std::string_view::npos) {
+      r.referrer = std::string(line.substr(q3 + 1, q4 - q3 - 1));
+      const size_t q5 = line.find('"', q4 + 1);
+      const size_t q6 =
+          q5 == std::string_view::npos ? q5 : line.find('"', q5 + 1);
+      if (q5 != std::string_view::npos &&
+          q6 != std::string_view::npos) {
+        r.user_agent = std::string(line.substr(q5 + 1, q6 - q5 - 1));
+      }
+    }
+  }
+  return r;
+}
+
+std::string PathForEvent(const Event& event) {
+  if (event.item == kNoItem) {
+    return spa::StrFormat("/a/%d?v=%.3f", event.action_code,
+                          event.value);
+  }
+  return spa::StrFormat("/a/%d?item=%d&v=%.3f", event.action_code,
+                        event.item, event.value);
+}
+
+spa::Result<Event> EventFromRecord(const WeblogRecord& record) {
+  if (record.path.rfind("/a/", 0) != 0) {
+    return spa::Status::NotFound("not an action path");
+  }
+  if (record.user.empty() || record.user == "-") {
+    return spa::Status::InvalidArgument("anonymous record");
+  }
+  Event event;
+  int64_t user;
+  if (!ParseInt(record.user, &user)) {
+    return spa::Status::InvalidArgument("non-numeric user id");
+  }
+  event.user = user;
+  event.time = record.time;
+
+  std::string_view rest = std::string_view(record.path).substr(3);
+  const size_t qpos = rest.find('?');
+  std::string_view code_part =
+      qpos == std::string_view::npos ? rest : rest.substr(0, qpos);
+  int64_t code;
+  if (!ParseInt(code_part, &code)) {
+    return spa::Status::InvalidArgument("bad action code in path");
+  }
+  event.action_code = static_cast<int32_t>(code);
+
+  if (qpos != std::string_view::npos) {
+    const auto params =
+        spa::Split(std::string(rest.substr(qpos + 1)), '&');
+    for (const std::string& param : params) {
+      const size_t eq = param.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = param.substr(0, eq);
+      const std::string value = param.substr(eq + 1);
+      if (key == "item") {
+        int64_t item;
+        if (!ParseInt(value, &item)) {
+          return spa::Status::InvalidArgument("bad item id");
+        }
+        event.item = static_cast<ItemId>(item);
+      } else if (key == "v") {
+        event.value = std::strtod(value.c_str(), nullptr);
+      }
+    }
+  }
+  return event;
+}
+
+WeblogSynthesizer::WeblogSynthesizer(WeblogNoiseOptions options)
+    : options_(options), rng_(options.seed, /*stream=*/77) {}
+
+void WeblogSynthesizer::Synthesize(const std::vector<Event>& events,
+                                   std::vector<std::string>* out) {
+  for (const Event& event : events) {
+    WeblogRecord r;
+    r.host = spa::StrFormat("10.%d.%d.%d",
+                            static_cast<int>(rng_.UniformInt(0, 255)),
+                            static_cast<int>(rng_.UniformInt(0, 255)),
+                            static_cast<int>(rng_.UniformInt(0, 255)));
+    r.user = std::to_string(event.user);
+    r.time = event.time;
+    r.method = "GET";
+    r.path = PathForEvent(event);
+    r.status = 200;
+    r.bytes = rng_.UniformInt(200, 40000);
+    r.referrer = "https://www.emagister-sim.test/";
+    r.user_agent = "Mozilla/5.0 (SimBrowser)";
+    out->push_back(FormatCombined(r));
+
+    if (rng_.Bernoulli(options_.bot_fraction)) {
+      WeblogRecord bot = r;
+      bot.user = "-";
+      bot.user_agent = "CrawlerBot/1.0";
+      bot.path = "/robots.txt";
+      out->push_back(FormatCombined(bot));
+    }
+    if (rng_.Bernoulli(options_.error_fraction)) {
+      WeblogRecord err = r;
+      err.status = rng_.Bernoulli(0.7) ? 404 : 500;
+      err.path = "/missing/page";
+      out->push_back(FormatCombined(err));
+    }
+    if (rng_.Bernoulli(options_.malformed_fraction)) {
+      std::string broken = FormatCombined(r);
+      broken.resize(broken.size() / 2);  // truncate mid-line
+      out->push_back(broken);
+    }
+  }
+}
+
+}  // namespace spa::lifelog

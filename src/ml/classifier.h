@@ -1,0 +1,64 @@
+#ifndef SPA_ML_CLASSIFIER_H_
+#define SPA_ML_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/sparse.h"
+
+/// \file
+/// Common interface for the binary classifiers the Smart Component can
+/// plug in (the paper uses SVMs; logistic regression and naive Bayes are
+/// baselines for the ablation benches).
+
+namespace spa::ml {
+
+/// \brief A trainable binary classifier with a real-valued decision
+/// function (sign gives the label; magnitude orders by confidence).
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on the dataset; implementations validate the input.
+  virtual spa::Status Train(const Dataset& data) = 0;
+
+  /// Real-valued score; >= 0 means predicted positive.
+  virtual double Score(const SparseRowView& row) const = 0;
+
+  /// Human-readable model name for reports.
+  virtual std::string name() const = 0;
+
+  double Score(const SparseVector& v) const { return Score(v.view()); }
+
+  Label Predict(const SparseRowView& row) const {
+    return Score(row) >= 0.0 ? Label{1} : Label{-1};
+  }
+
+  /// Scores every row of a dataset (test-time helper).
+  std::vector<double> ScoreAll(const Dataset& data) const {
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (size_t i = 0; i < data.size(); ++i) out.push_back(Score(data.x.row(i)));
+    return out;
+  }
+};
+
+/// \brief A linear model exposing its weights (for SVM-RFE and for the
+/// Attributes Manager's per-attribute relevance ranking).
+class LinearClassifier : public BinaryClassifier {
+ public:
+  /// Weight vector, one entry per feature.
+  virtual const std::vector<double>& weights() const = 0;
+  /// Intercept.
+  virtual double bias() const = 0;
+
+  double Score(const SparseRowView& row) const override {
+    return row.Dot(weights()) + bias();
+  }
+};
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_CLASSIFIER_H_

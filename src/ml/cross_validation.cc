@@ -1,0 +1,74 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/stats.h"
+#include "ml/metrics.h"
+
+namespace spa::ml {
+
+Result<CvResult> CrossValidateAuc(const Dataset& data,
+                                  const ClassifierFactory& factory,
+                                  size_t folds, uint64_t seed) {
+  SPA_RETURN_IF_ERROR(data.Validate());
+  if (folds < 2) {
+    return spa::Status::InvalidArgument("need at least 2 folds");
+  }
+  Rng rng(seed);
+  const auto fold_indices = StratifiedKFoldIndices(data.y, folds, &rng);
+
+  CvResult result;
+  StreamingStats stats;
+  for (size_t f = 0; f < folds; ++f) {
+    std::vector<size_t> train_rows;
+    for (size_t g = 0; g < folds; ++g) {
+      if (g == f) continue;
+      train_rows.insert(train_rows.end(), fold_indices[g].begin(),
+                        fold_indices[g].end());
+    }
+    const Dataset train = data.Subset(train_rows);
+    const Dataset test = data.Subset(fold_indices[f]);
+
+    auto model = factory();
+    SPA_RETURN_IF_ERROR(model->Train(train));
+    const std::vector<double> scores = model->ScoreAll(test);
+    const double auc = RocAuc(scores, test.y);
+    result.fold_aucs.push_back(auc);
+    stats.Add(auc);
+  }
+  result.mean_auc = stats.mean();
+  result.stddev_auc = stats.stddev();
+  return result;
+}
+
+Result<GridSearchResult> GridSearchSvmC(const Dataset& data,
+                                        const std::vector<double>& candidates,
+                                        SvmConfig base_config, size_t folds,
+                                        uint64_t seed) {
+  if (candidates.empty()) {
+    return spa::Status::InvalidArgument("empty candidate grid");
+  }
+  GridSearchResult out;
+  out.best_auc = -1.0;
+  for (double c : candidates) {
+    SvmConfig config = base_config;
+    config.c = c;
+    SPA_ASSIGN_OR_RETURN(
+        CvResult cv,
+        CrossValidateAuc(
+            data,
+            [&config]() -> std::unique_ptr<BinaryClassifier> {
+              return std::make_unique<LinearSvm>(config);
+            },
+            folds, seed));
+    out.tried.emplace_back(c, cv.mean_auc);
+    if (cv.mean_auc > out.best_auc) {
+      out.best_auc = cv.mean_auc;
+      out.best_c = c;
+    }
+  }
+  return out;
+}
+
+}  // namespace spa::ml

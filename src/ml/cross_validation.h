@@ -1,0 +1,49 @@
+#ifndef SPA_ML_CROSS_VALIDATION_H_
+#define SPA_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/svm_linear.h"
+
+/// \file
+/// K-fold cross-validation and the C grid search the Smart Component
+/// runs when (re)fitting its propensity SVM.
+
+namespace spa::ml {
+
+/// Builds a classifier instance for evaluation (fresh per fold).
+using ClassifierFactory =
+    std::function<std::unique_ptr<BinaryClassifier>()>;
+
+struct CvResult {
+  double mean_auc = 0.0;
+  double stddev_auc = 0.0;
+  std::vector<double> fold_aucs;
+};
+
+/// Runs stratified k-fold CV and reports test-fold ROC-AUC.
+Result<CvResult> CrossValidateAuc(const Dataset& data,
+                                  const ClassifierFactory& factory,
+                                  size_t folds, uint64_t seed);
+
+struct GridSearchResult {
+  double best_c = 1.0;
+  double best_auc = 0.0;
+  std::vector<std::pair<double, double>> tried;  // (C, mean AUC)
+};
+
+/// Sweeps C over `candidates` with k-fold CV; returns the best value.
+Result<GridSearchResult> GridSearchSvmC(const Dataset& data,
+                                        const std::vector<double>& candidates,
+                                        SvmConfig base_config, size_t folds,
+                                        uint64_t seed);
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,124 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::ml {
+
+size_t Dataset::positives() const {
+  size_t p = 0;
+  for (Label l : y) {
+    if (l > 0) ++p;
+  }
+  return p;
+}
+
+spa::Status Dataset::Validate() const {
+  if (x.rows() != y.size()) {
+    return spa::Status::InvalidArgument(
+        StrFormat("row count %zu != label count %zu", x.rows(), y.size()));
+  }
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] != 1 && y[i] != -1) {
+      return spa::Status::InvalidArgument(
+          StrFormat("label at row %zu is %d, expected +1/-1", i,
+                    static_cast<int>(y[i])));
+    }
+  }
+  if (!feature_names.empty() &&
+      feature_names.size() != static_cast<size_t>(x.cols())) {
+    return spa::Status::InvalidArgument(
+        StrFormat("feature_names size %zu != cols %d", feature_names.size(),
+                  x.cols()));
+  }
+  return spa::Status::OK();
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
+  Dataset out;
+  out.x.SetCols(x.cols());
+  out.x.Reserve(rows.size(), rows.size() * 8);
+  out.y.reserve(rows.size());
+  out.feature_names = feature_names;
+  for (size_t r : rows) {
+    SPA_CHECK(r < size());
+    const SparseRowView v = x.row(r);
+    std::vector<SparseEntry> entries;
+    entries.reserve(v.nnz);
+    for (size_t i = 0; i < v.nnz; ++i) {
+      entries.push_back({v.indices[i], v.values[i]});
+    }
+    out.x.AppendRow(entries);
+    out.y.push_back(y[r]);
+  }
+  return out;
+}
+
+TrainTestSplit MakeTrainTestSplit(size_t n, double test_fraction, Rng* rng) {
+  SPA_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  const size_t test_n = static_cast<size_t>(
+      static_cast<double>(n) * test_fraction);
+  TrainTestSplit split;
+  split.test.assign(idx.begin(), idx.begin() + static_cast<long>(test_n));
+  split.train.assign(idx.begin() + static_cast<long>(test_n), idx.end());
+  return split;
+}
+
+TrainTestSplit MakeStratifiedSplit(const std::vector<Label>& y,
+                                   double test_fraction, Rng* rng) {
+  SPA_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] > 0 ? pos : neg).push_back(i);
+  }
+  rng->Shuffle(&pos);
+  rng->Shuffle(&neg);
+  TrainTestSplit split;
+  auto take = [&](std::vector<size_t>& src) {
+    const size_t test_n = static_cast<size_t>(
+        static_cast<double>(src.size()) * test_fraction);
+    for (size_t i = 0; i < src.size(); ++i) {
+      (i < test_n ? split.test : split.train).push_back(src[i]);
+    }
+  };
+  take(pos);
+  take(neg);
+  rng->Shuffle(&split.train);
+  rng->Shuffle(&split.test);
+  return split;
+}
+
+std::vector<std::vector<size_t>> KFoldIndices(size_t n, size_t folds,
+                                              Rng* rng) {
+  SPA_CHECK(folds >= 2);
+  SPA_CHECK(n >= folds);
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  std::vector<std::vector<size_t>> out(folds);
+  for (size_t i = 0; i < n; ++i) out[i % folds].push_back(idx[i]);
+  return out;
+}
+
+std::vector<std::vector<size_t>> StratifiedKFoldIndices(
+    const std::vector<Label>& y, size_t folds, Rng* rng) {
+  SPA_CHECK(folds >= 2);
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < y.size(); ++i) {
+    (y[i] > 0 ? pos : neg).push_back(i);
+  }
+  rng->Shuffle(&pos);
+  rng->Shuffle(&neg);
+  std::vector<std::vector<size_t>> out(folds);
+  for (size_t i = 0; i < pos.size(); ++i) out[i % folds].push_back(pos[i]);
+  for (size_t i = 0; i < neg.size(); ++i) out[i % folds].push_back(neg[i]);
+  for (auto& fold : out) rng->Shuffle(&fold);
+  return out;
+}
+
+}  // namespace spa::ml

@@ -1,0 +1,62 @@
+#ifndef SPA_ML_DATASET_H_
+#define SPA_ML_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/sparse.h"
+
+/// \file
+/// Labeled datasets for binary classification / ranking, plus the split
+/// utilities the Smart Component uses for its offline evaluation.
+
+namespace spa::ml {
+
+/// Binary label, +1 / -1.
+using Label = int8_t;
+
+/// \brief Sparse design matrix with binary labels.
+struct Dataset {
+  SparseMatrix x;
+  std::vector<Label> y;
+  std::vector<std::string> feature_names;  // optional, size == x.cols()
+
+  size_t size() const { return y.size(); }
+  int32_t features() const { return x.cols(); }
+
+  /// Number of positive labels.
+  size_t positives() const;
+
+  /// Validates shape invariants (row/label counts match, labels in
+  /// {-1,+1}).
+  spa::Status Validate() const;
+
+  /// Builds a dataset containing the given row indices (in order).
+  Dataset Subset(const std::vector<size_t>& rows) const;
+};
+
+/// Train/test split by shuffled indices. `test_fraction` in (0,1).
+struct TrainTestSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+TrainTestSplit MakeTrainTestSplit(size_t n, double test_fraction, Rng* rng);
+
+/// Stratified variant: preserves the positive rate in both parts.
+TrainTestSplit MakeStratifiedSplit(const std::vector<Label>& y,
+                                   double test_fraction, Rng* rng);
+
+/// K-fold cross-validation index sets; fold f is the test set of split f.
+std::vector<std::vector<size_t>> KFoldIndices(size_t n, size_t folds,
+                                              Rng* rng);
+
+/// Stratified K-fold (each fold keeps the global positive rate).
+std::vector<std::vector<size_t>> StratifiedKFoldIndices(
+    const std::vector<Label>& y, size_t folds, Rng* rng);
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_DATASET_H_

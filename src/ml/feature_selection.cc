@@ -1,0 +1,162 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace spa::ml {
+
+Result<FeatureSelection> SvmRfe(const Dataset& data,
+                                const RfeConfig& config) {
+  SPA_RETURN_IF_ERROR(data.Validate());
+  const int32_t total = data.features();
+  if (config.target_features <= 0 || config.target_features > total) {
+    return spa::Status::InvalidArgument("target_features out of range");
+  }
+
+  std::vector<int32_t> surviving(static_cast<size_t>(total));
+  std::iota(surviving.begin(), surviving.end(), 0);
+
+  FeatureSelection result;
+  result.elimination_rank.assign(static_cast<size_t>(total), 0);
+  int32_t round = 0;
+
+  while (static_cast<int32_t>(surviving.size()) > config.target_features) {
+    Dataset projected = ProjectDataset(data, surviving);
+    LinearSvm svm(config.svm);
+    SPA_RETURN_IF_ERROR(svm.Train(projected));
+    const std::vector<double>& w = svm.weights();
+
+    // Order surviving features by |w| ascending (weakest first).
+    std::vector<size_t> order(surviving.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return std::abs(w[a]) < std::abs(w[b]);
+    });
+
+    size_t drop = static_cast<size_t>(
+        std::floor(static_cast<double>(surviving.size()) *
+                   config.drop_fraction));
+    drop = std::max<size_t>(1, drop);
+    drop = std::min(drop, surviving.size() -
+                              static_cast<size_t>(config.target_features));
+
+    ++round;
+    std::vector<bool> dropped(surviving.size(), false);
+    for (size_t k = 0; k < drop; ++k) {
+      dropped[order[k]] = true;
+      result.elimination_rank[static_cast<size_t>(surviving[order[k]])] =
+          round;
+    }
+    std::vector<int32_t> next;
+    next.reserve(surviving.size() - drop);
+    for (size_t k = 0; k < surviving.size(); ++k) {
+      if (!dropped[k]) next.push_back(surviving[k]);
+    }
+    surviving = std::move(next);
+  }
+
+  ++round;
+  for (int32_t f : surviving) {
+    result.elimination_rank[static_cast<size_t>(f)] = round;
+  }
+  result.selected = std::move(surviving);
+  return result;
+}
+
+std::vector<double> ChiSquareScores(const Dataset& data) {
+  const size_t dims = static_cast<size_t>(data.features());
+  const size_t n = data.size();
+  std::vector<double> pos_present(dims, 0.0);
+  std::vector<double> neg_present(dims, 0.0);
+  double n_pos = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool pos = data.y[i] > 0;
+    if (pos) n_pos += 1.0;
+    const SparseRowView row = data.x.row(i);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      if (row.values[k] != 0.0) {
+        auto& counts = pos ? pos_present : neg_present;
+        counts[static_cast<size_t>(row.indices[k])] += 1.0;
+      }
+    }
+  }
+  const double n_neg = static_cast<double>(n) - n_pos;
+
+  std::vector<double> scores(dims, 0.0);
+  for (size_t f = 0; f < dims; ++f) {
+    // 2x2 contingency: present/absent x positive/negative.
+    const double a = pos_present[f];
+    const double b = neg_present[f];
+    const double c = n_pos - a;
+    const double d = n_neg - b;
+    const double total = a + b + c + d;
+    if (total == 0.0) continue;
+    const double denom = (a + b) * (c + d) * (a + c) * (b + d);
+    if (denom == 0.0) continue;
+    const double num = a * d - b * c;
+    scores[f] = total * num * num / denom;
+  }
+  return scores;
+}
+
+std::vector<int32_t> SelectKBest(const std::vector<double>& scores,
+                                 int32_t k) {
+  SPA_CHECK(k >= 0);
+  const int32_t n = static_cast<int32_t>(scores.size());
+  k = std::min(k, n);
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    const double sa = scores[static_cast<size_t>(a)];
+    const double sb = scores[static_cast<size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  std::vector<int32_t> selected(order.begin(),
+                                order.begin() + k);
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+Dataset ProjectDataset(const Dataset& data,
+                       const std::vector<int32_t>& selected) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < selected.size(); ++i) {
+    SPA_CHECK(selected[i - 1] < selected[i]);
+  }
+#endif
+  // Old index -> new compact index (or -1).
+  std::vector<int32_t> remap(static_cast<size_t>(data.features()), -1);
+  for (size_t j = 0; j < selected.size(); ++j) {
+    SPA_CHECK(selected[j] >= 0 && selected[j] < data.features());
+    remap[static_cast<size_t>(selected[j])] = static_cast<int32_t>(j);
+  }
+
+  Dataset out;
+  out.x.SetCols(static_cast<int32_t>(selected.size()));
+  out.x.Reserve(data.size(), data.x.nnz());
+  out.y = data.y;
+  if (!data.feature_names.empty()) {
+    out.feature_names.reserve(selected.size());
+    for (int32_t f : selected) {
+      out.feature_names.push_back(
+          data.feature_names[static_cast<size_t>(f)]);
+    }
+  }
+  std::vector<SparseEntry> entries;
+  for (size_t i = 0; i < data.size(); ++i) {
+    entries.clear();
+    const SparseRowView row = data.x.row(i);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      const int32_t nf = remap[static_cast<size_t>(row.indices[k])];
+      if (nf >= 0) entries.push_back({nf, row.values[k]});
+    }
+    out.x.AppendRow(entries);
+  }
+  return out;
+}
+
+}  // namespace spa::ml

@@ -1,0 +1,56 @@
+#ifndef SPA_ML_FEATURE_SELECTION_H_
+#define SPA_ML_FEATURE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/svm_linear.h"
+
+/// \file
+/// Dimensionality reduction. The paper: "To reduce the dimensionality of
+/// the matrix generated we use Support Vector Machines (SVM)" — the
+/// standard reading is SVM-based feature selection; we implement SVM-RFE
+/// (Guyon et al., 2002) plus a chi-square filter baseline.
+
+namespace spa::ml {
+
+struct RfeConfig {
+  /// Features to keep at the end.
+  int32_t target_features = 20;
+  /// Fraction of surviving features dropped per elimination round.
+  double drop_fraction = 0.25;
+  /// SVM trainer used to score features each round.
+  SvmConfig svm;
+};
+
+/// \brief Result of a feature-selection pass.
+struct FeatureSelection {
+  /// Selected original feature indices, sorted ascending.
+  std::vector<int32_t> selected;
+  /// Rank of every original feature: 0 = eliminated first; higher ranks
+  /// survived longer (selected features share the top rank).
+  std::vector<int32_t> elimination_rank;
+};
+
+/// Runs SVM-RFE: repeatedly trains a linear SVM and drops the features
+/// with the smallest |w| until `target_features` remain.
+Result<FeatureSelection> SvmRfe(const Dataset& data, const RfeConfig& config);
+
+/// Chi-square statistic of each (binarized) feature against the label;
+/// higher = more dependent. Returns one score per feature.
+std::vector<double> ChiSquareScores(const Dataset& data);
+
+/// Top-k features by score (descending); ties broken by lower index.
+std::vector<int32_t> SelectKBest(const std::vector<double>& scores,
+                                 int32_t k);
+
+/// Projects a dataset onto the selected features, remapping indices to
+/// [0, selected.size()). `selected` must be sorted ascending.
+Dataset ProjectDataset(const Dataset& data,
+                       const std::vector<int32_t>& selected);
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_FEATURE_SELECTION_H_

@@ -1,0 +1,63 @@
+#include "ml/logreg.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace spa::ml {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+LogisticRegression::LogisticRegression(LogRegConfig config)
+    : config_(config) {}
+
+spa::Status LogisticRegression::Train(const Dataset& data) {
+  SPA_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return spa::Status::InvalidArgument("empty training set");
+  }
+  const size_t n = data.size();
+  const size_t dims = static_cast<size_t>(data.features());
+  weights_.assign(dims, 0.0);
+  bias_ = 0.0;
+
+  Rng rng(config_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  int64_t t = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t k = 0; k < n; ++k) {
+      ++t;
+      const size_t i = order[k];
+      const SparseRowView xi = data.x.row(i);
+      const double yi = data.y[i] > 0 ? 1.0 : 0.0;
+      const double p = Sigmoid(xi.Dot(weights_) + bias_);
+      const double err = p - yi;  // gradient of BCE wrt logit
+      const double eta = config_.learning_rate /
+                         (1.0 + config_.learning_rate * config_.l2 *
+                                    static_cast<double>(t));
+      // L2 shrink applied lazily via multiplicative decay.
+      const double shrink = 1.0 - eta * config_.l2;
+      if (shrink > 0.0) Scale(shrink, &weights_);
+      xi.AxpyInto(-eta * err, &weights_);
+      if (config_.fit_bias) bias_ -= eta * err;
+    }
+  }
+  return spa::Status::OK();
+}
+
+double LogisticRegression::PredictProbability(
+    const SparseRowView& row) const {
+  return Sigmoid(Score(row));
+}
+
+}  // namespace spa::ml

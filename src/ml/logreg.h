@@ -1,0 +1,52 @@
+#ifndef SPA_ML_LOGREG_H_
+#define SPA_ML_LOGREG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+/// \file
+/// L2-regularized logistic regression (SGD). Baseline comparator for the
+/// paper's SVM choice; also gives calibrated probabilities directly.
+
+namespace spa::ml {
+
+struct LogRegConfig {
+  double l2 = 1e-4;          ///< L2 regularization strength (lambda)
+  double learning_rate = 0.1;  ///< initial step size eta0
+  int epochs = 50;
+  uint64_t seed = 42;
+  bool fit_bias = true;
+};
+
+/// \brief Binary logistic regression trained by decaying-step SGD.
+class LogisticRegression : public LinearClassifier {
+ public:
+  explicit LogisticRegression(LogRegConfig config = {});
+
+  spa::Status Train(const Dataset& data) override;
+  std::string name() const override { return "LogisticRegression"; }
+
+  const std::vector<double>& weights() const override { return weights_; }
+  double bias() const override { return bias_; }
+
+  /// P(y = +1 | x) = sigmoid(w.x + b).
+  double PredictProbability(const SparseRowView& row) const;
+  double PredictProbability(const SparseVector& v) const {
+    return PredictProbability(v.view());
+  }
+
+ private:
+  LogRegConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Numerically-stable logistic sigmoid.
+double Sigmoid(double z);
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_LOGREG_H_

@@ -1,0 +1,208 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace spa::ml {
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision() const {
+  if (tp + fp == 0) return 0.0;
+  return static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double ConfusionMatrix::Recall() const {
+  if (tp + fn == 0) return 0.0;
+  return static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix Confusion(const std::vector<double>& scores,
+                          const std::vector<Label>& labels,
+                          double threshold) {
+  SPA_CHECK(scores.size() == labels.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted_pos = scores[i] >= threshold;
+    const bool actual_pos = labels[i] > 0;
+    if (predicted_pos && actual_pos) ++cm.tp;
+    if (predicted_pos && !actual_pos) ++cm.fp;
+    if (!predicted_pos && actual_pos) ++cm.fn;
+    if (!predicted_pos && !actual_pos) ++cm.tn;
+  }
+  return cm;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<Label>& labels) {
+  SPA_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Average ranks over tied scores, then use the Mann-Whitney statistic.
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double pos_rank_sum = 0.0;
+  size_t pos = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0) {
+      pos_rank_sum += rank[k];
+      ++pos;
+    }
+  }
+  const size_t neg = n - pos;
+  if (pos == 0 || neg == 0) return 0.5;
+  const double u = pos_rank_sum -
+                   static_cast<double>(pos) * (static_cast<double>(pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double LogLoss(const std::vector<double>& probabilities,
+               const std::vector<Label>& labels) {
+  SPA_CHECK(probabilities.size() == labels.size());
+  SPA_CHECK(!labels.empty());
+  constexpr double kEps = 1e-12;
+  double acc = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    const double p = std::clamp(probabilities[k], kEps, 1.0 - kEps);
+    acc -= labels[k] > 0 ? std::log(p) : std::log(1.0 - p);
+  }
+  return acc / static_cast<double>(labels.size());
+}
+
+std::vector<GainsPoint> CumulativeGains(const std::vector<double>& scores,
+                                        const std::vector<Label>& labels,
+                                        size_t points) {
+  SPA_CHECK(scores.size() == labels.size());
+  SPA_CHECK(points >= 1);
+  const size_t n = scores.size();
+  SPA_CHECK(n > 0);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  size_t total_pos = 0;
+  for (Label l : labels) {
+    if (l > 0) ++total_pos;
+  }
+
+  std::vector<GainsPoint> curve;
+  curve.reserve(points);
+  size_t captured = 0;
+  size_t next_row = 0;
+  for (size_t p = 1; p <= points; ++p) {
+    const size_t depth = (n * p) / points;
+    while (next_row < depth) {
+      if (labels[order[next_row]] > 0) ++captured;
+      ++next_row;
+    }
+    GainsPoint point;
+    point.fraction_targeted =
+        static_cast<double>(depth) / static_cast<double>(n);
+    point.fraction_captured =
+        total_pos == 0 ? 0.0
+                       : static_cast<double>(captured) /
+                             static_cast<double>(total_pos);
+    point.lift = point.fraction_targeted == 0.0
+                     ? 0.0
+                     : point.fraction_captured / point.fraction_targeted;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double CapturedAt(const std::vector<GainsPoint>& curve,
+                  double fraction_targeted) {
+  SPA_CHECK(!curve.empty());
+  double prev_x = 0.0;
+  double prev_y = 0.0;
+  for (const auto& pt : curve) {
+    if (pt.fraction_targeted >= fraction_targeted) {
+      const double span = pt.fraction_targeted - prev_x;
+      if (span <= 0.0) return pt.fraction_captured;
+      const double w = (fraction_targeted - prev_x) / span;
+      return prev_y + w * (pt.fraction_captured - prev_y);
+    }
+    prev_x = pt.fraction_targeted;
+    prev_y = pt.fraction_captured;
+  }
+  return curve.back().fraction_captured;
+}
+
+double PredictiveScore(const std::vector<double>& scores,
+                       const std::vector<Label>& labels,
+                       double fraction_targeted) {
+  SPA_CHECK(scores.size() == labels.size());
+  SPA_CHECK(fraction_targeted > 0.0 && fraction_targeted <= 1.0);
+  const size_t n = scores.size();
+  const size_t depth = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(n) * fraction_targeted));
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  size_t hits = 0;
+  for (size_t i = 0; i < depth; ++i) {
+    if (labels[order[i]] > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(depth);
+}
+
+std::vector<CalibrationBin> CalibrationCurve(
+    const std::vector<double>& probabilities,
+    const std::vector<Label>& labels, size_t bins) {
+  SPA_CHECK(probabilities.size() == labels.size());
+  SPA_CHECK(bins >= 1);
+  std::vector<CalibrationBin> out(bins);
+  std::vector<double> pred_sum(bins, 0.0);
+  std::vector<size_t> pos(bins, 0);
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    const double p = std::clamp(probabilities[i], 0.0, 1.0);
+    size_t b = static_cast<size_t>(p * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;
+    pred_sum[b] += p;
+    if (labels[i] > 0) ++pos[b];
+    ++out[b].count;
+  }
+  for (size_t b = 0; b < bins; ++b) {
+    if (out[b].count > 0) {
+      out[b].mean_predicted =
+          pred_sum[b] / static_cast<double>(out[b].count);
+      out[b].fraction_positive =
+          static_cast<double>(pos[b]) / static_cast<double>(out[b].count);
+    }
+  }
+  return out;
+}
+
+}  // namespace spa::ml

@@ -1,0 +1,85 @@
+#ifndef SPA_ML_METRICS_H_
+#define SPA_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+
+/// \file
+/// Classification and targeting metrics. The cumulative-gains machinery
+/// here regenerates the paper's Fig. 6(a) redemption curve; the predictive
+/// score matches Fig. 6(b)'s definition (useful impacts / targeted users).
+
+namespace spa::ml {
+
+/// \brief 2x2 confusion counts at a fixed decision threshold.
+struct ConfusionMatrix {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  size_t total() const { return tp + fp + tn + fn; }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Builds the confusion matrix of `scores >= threshold` vs labels.
+ConfusionMatrix Confusion(const std::vector<double>& scores,
+                          const std::vector<Label>& labels,
+                          double threshold = 0.0);
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+/// Returns 0.5 when one class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<Label>& labels);
+
+/// Binary cross-entropy of probabilities in (0,1) against labels.
+double LogLoss(const std::vector<double>& probabilities,
+               const std::vector<Label>& labels);
+
+/// One point of a cumulative-gains (redemption) curve.
+struct GainsPoint {
+  double fraction_targeted;  ///< x: share of population contacted
+  double fraction_captured;  ///< y: share of all positives captured
+  double lift;               ///< fraction_captured / fraction_targeted
+};
+
+/// \brief Cumulative-gains curve: sort by score descending, walk deciles.
+///
+/// `points` controls the granularity (20 = 5 % steps). The curve always
+/// starts implicitly at (0, 0) and ends at (1, 1).
+std::vector<GainsPoint> CumulativeGains(const std::vector<double>& scores,
+                                        const std::vector<Label>& labels,
+                                        size_t points = 20);
+
+/// Fraction of all positives captured when targeting the top
+/// `fraction_targeted` of the population by score (linear interpolation
+/// between curve points).
+double CapturedAt(const std::vector<GainsPoint>& curve,
+                  double fraction_targeted);
+
+/// The paper's "predictive score": positives among the targeted set
+/// divided by the number targeted (a precision-at-depth).
+double PredictiveScore(const std::vector<double>& scores,
+                       const std::vector<Label>& labels,
+                       double fraction_targeted);
+
+/// \brief Reliability-diagram bin.
+struct CalibrationBin {
+  double mean_predicted = 0.0;
+  double fraction_positive = 0.0;
+  size_t count = 0;
+};
+
+/// Bins probability predictions into `bins` equal-width bins.
+std::vector<CalibrationBin> CalibrationCurve(
+    const std::vector<double>& probabilities,
+    const std::vector<Label>& labels, size_t bins = 10);
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_METRICS_H_

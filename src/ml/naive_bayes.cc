@@ -1,0 +1,66 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+namespace spa::ml {
+
+BernoulliNaiveBayes::BernoulliNaiveBayes(NaiveBayesConfig config)
+    : config_(config) {}
+
+spa::Status BernoulliNaiveBayes::Train(const Dataset& data) {
+  SPA_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return spa::Status::InvalidArgument("empty training set");
+  }
+  const size_t dims = static_cast<size_t>(data.features());
+  std::vector<double> present_pos(dims, 0.0);
+  std::vector<double> present_neg(dims, 0.0);
+  double n_pos = 0.0;
+  double n_neg = 0.0;
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    const bool pos = data.y[i] > 0;
+    (pos ? n_pos : n_neg) += 1.0;
+    const SparseRowView row = data.x.row(i);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      if (row.values[k] != 0.0) {
+        auto& counts = pos ? present_pos : present_neg;
+        counts[static_cast<size_t>(row.indices[k])] += 1.0;
+      }
+    }
+  }
+  if (n_pos == 0.0 || n_neg == 0.0) {
+    return spa::Status::FailedPrecondition(
+        "naive Bayes needs both classes present");
+  }
+
+  const double alpha = config_.smoothing;
+  base_ = std::log(n_pos / n_neg);
+  delta_.assign(dims, 0.0);
+  for (size_t f = 0; f < dims; ++f) {
+    const double theta_pos =
+        (present_pos[f] + alpha) / (n_pos + 2.0 * alpha);
+    const double theta_neg =
+        (present_neg[f] + alpha) / (n_neg + 2.0 * alpha);
+    // Absent-feature term folded into the constant.
+    base_ += std::log1p(-theta_pos) - std::log1p(-theta_neg);
+    // Present-feature adjustment: log-odds of presence minus the folded
+    // absence term.
+    delta_[f] = std::log(theta_pos) - std::log(theta_neg) -
+                (std::log1p(-theta_pos) - std::log1p(-theta_neg));
+  }
+  return spa::Status::OK();
+}
+
+double BernoulliNaiveBayes::Score(const SparseRowView& row) const {
+  double score = base_;
+  const int32_t limit = static_cast<int32_t>(delta_.size());
+  for (size_t k = 0; k < row.nnz; ++k) {
+    if (row.values[k] == 0.0) continue;
+    if (row.indices[k] >= limit) continue;  // unseen feature: ignore
+    score += delta_[static_cast<size_t>(row.indices[k])];
+  }
+  return score;
+}
+
+}  // namespace spa::ml

@@ -1,0 +1,40 @@
+#ifndef SPA_ML_NAIVE_BAYES_H_
+#define SPA_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+/// \file
+/// Bernoulli naive Bayes over binarized features (value != 0 counts as
+/// present). Cheap baseline used in the classifier-choice ablation; also
+/// mirrors the "statistical techniques" the paper says most commercial
+/// recommenders of the era used.
+
+namespace spa::ml {
+
+struct NaiveBayesConfig {
+  double smoothing = 1.0;  ///< Laplace/Lidstone alpha
+};
+
+/// \brief Bernoulli NB; the decision function is the class log-odds.
+class BernoulliNaiveBayes : public BinaryClassifier {
+ public:
+  explicit BernoulliNaiveBayes(NaiveBayesConfig config = {});
+
+  spa::Status Train(const Dataset& data) override;
+  double Score(const SparseRowView& row) const override;
+  std::string name() const override { return "BernoulliNB"; }
+
+ private:
+  NaiveBayesConfig config_;
+  // Score(x) = base_ + sum_{f present} delta_[f]; the absent-feature
+  // contributions are folded into base_ at train time.
+  double base_ = 0.0;
+  std::vector<double> delta_;
+};
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_NAIVE_BAYES_H_

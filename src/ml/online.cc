@@ -1,0 +1,76 @@
+#include "ml/online.h"
+
+#include <algorithm>
+
+namespace spa::ml {
+
+namespace {
+size_t MaxIndexPlusOne(const SparseRowView& x) {
+  size_t needed = 0;
+  for (size_t i = 0; i < x.nnz; ++i) {
+    needed = std::max(needed, static_cast<size_t>(x.indices[i]) + 1);
+  }
+  return needed;
+}
+}  // namespace
+
+Perceptron::Perceptron(bool averaged) : averaged_(averaged) {}
+
+void Perceptron::EnsureDims(const SparseRowView& x) {
+  const size_t needed = MaxIndexPlusOne(x);
+  if (needed > w_.size()) {
+    w_.resize(needed, 0.0);
+    if (averaged_) w_accum_.resize(needed, 0.0);
+  }
+}
+
+void Perceptron::Update(const SparseRowView& x, Label y) {
+  EnsureDims(x);
+  ++updates_;
+  const double yd = static_cast<double>(y);
+  const double margin = yd * (x.Dot(w_) + bias_);
+  if (margin <= 0.0) {
+    x.AxpyInto(yd, &w_);
+    bias_ += yd;
+    ++mistakes_;
+  }
+  if (averaged_) {
+    Axpy(1.0, w_, &w_accum_);
+    bias_accum_ += bias_;
+  }
+}
+
+double Perceptron::Score(const SparseRowView& x) const {
+  if (averaged_ && updates_ > 0) {
+    const double inv = 1.0 / static_cast<double>(updates_);
+    return (x.Dot(w_accum_) + bias_accum_) * inv;
+  }
+  return x.Dot(w_) + bias_;
+}
+
+PassiveAggressive::PassiveAggressive(double aggressiveness)
+    : c_(aggressiveness) {}
+
+void PassiveAggressive::EnsureDims(const SparseRowView& x) {
+  const size_t needed = MaxIndexPlusOne(x);
+  if (needed > w_.size()) w_.resize(needed, 0.0);
+}
+
+void PassiveAggressive::Update(const SparseRowView& x, Label y) {
+  EnsureDims(x);
+  ++updates_;
+  const double yd = static_cast<double>(y);
+  const double loss =
+      std::max(0.0, 1.0 - yd * (x.Dot(w_) + bias_));
+  if (loss == 0.0) return;
+  const double norm_sq = x.L2NormSquared() + 1.0;  // +1 for the bias
+  const double tau = std::min(c_, loss / norm_sq);
+  x.AxpyInto(tau * yd, &w_);
+  bias_ += tau * yd;
+}
+
+double PassiveAggressive::Score(const SparseRowView& x) const {
+  return x.Dot(w_) + bias_;
+}
+
+}  // namespace spa::ml

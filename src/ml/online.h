@@ -1,0 +1,83 @@
+#ifndef SPA_ML_ONLINE_H_
+#define SPA_ML_ONLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/sparse.h"
+
+/// \file
+/// Online (one-example-at-a-time) learners backing the paper's
+/// "incremental learning" claims: the Smart Component refreshes user
+/// propensity models from the event stream without batch retraining.
+
+namespace spa::ml {
+
+/// \brief Interface for online linear learners.
+class OnlineLearner {
+ public:
+  virtual ~OnlineLearner() = default;
+
+  /// Consumes one labeled example. Feature space grows on demand.
+  virtual void Update(const SparseRowView& x, Label y) = 0;
+  void Update(const SparseVector& x, Label y) { Update(x.view(), y); }
+
+  /// Current decision value for an example.
+  virtual double Score(const SparseRowView& x) const = 0;
+  double Score(const SparseVector& x) const { return Score(x.view()); }
+
+  virtual std::string name() const = 0;
+
+  /// Number of Update() calls so far.
+  virtual int64_t updates() const = 0;
+};
+
+/// \brief Classic perceptron with optional averaging.
+class Perceptron : public OnlineLearner {
+ public:
+  explicit Perceptron(bool averaged = true);
+
+  void Update(const SparseRowView& x, Label y) override;
+  double Score(const SparseRowView& x) const override;
+  std::string name() const override {
+    return averaged_ ? "AveragedPerceptron" : "Perceptron";
+  }
+  int64_t updates() const override { return updates_; }
+  int64_t mistakes() const { return mistakes_; }
+
+ private:
+  void EnsureDims(const SparseRowView& x);
+
+  bool averaged_;
+  std::vector<double> w_;
+  std::vector<double> w_accum_;  // sum of w over steps (averaging)
+  double bias_ = 0.0;
+  double bias_accum_ = 0.0;
+  int64_t updates_ = 0;
+  int64_t mistakes_ = 0;
+};
+
+/// \brief Passive-Aggressive I (Crammer et al., 2006).
+class PassiveAggressive : public OnlineLearner {
+ public:
+  /// `aggressiveness` is the PA-I C parameter (step-size cap).
+  explicit PassiveAggressive(double aggressiveness = 1.0);
+
+  void Update(const SparseRowView& x, Label y) override;
+  double Score(const SparseRowView& x) const override;
+  std::string name() const override { return "PassiveAggressiveI"; }
+  int64_t updates() const override { return updates_; }
+
+ private:
+  void EnsureDims(const SparseRowView& x);
+
+  double c_;
+  std::vector<double> w_;
+  double bias_ = 0.0;
+  int64_t updates_ = 0;
+};
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_ONLINE_H_

@@ -1,0 +1,129 @@
+#include "ml/platt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace spa::ml {
+
+spa::Status PlattScaler::Fit(const std::vector<double>& decision_values,
+                             const std::vector<Label>& labels) {
+  if (decision_values.size() != labels.size()) {
+    return spa::Status::InvalidArgument(
+        "decision value / label size mismatch");
+  }
+  const size_t n = labels.size();
+  if (n == 0) return spa::Status::InvalidArgument("empty calibration set");
+
+  double prior1 = 0.0;
+  for (Label l : labels) {
+    if (l > 0) prior1 += 1.0;
+  }
+  const double prior0 = static_cast<double>(n) - prior1;
+  if (prior1 == 0.0 || prior0 == 0.0) {
+    return spa::Status::FailedPrecondition(
+        "Platt scaling needs both classes in the calibration set");
+  }
+
+  // Target probabilities with the Platt correction for overfitting.
+  const double hi_target = (prior1 + 1.0) / (prior1 + 2.0);
+  const double lo_target = 1.0 / (prior0 + 2.0);
+  std::vector<double> t(n);
+  for (size_t i = 0; i < n; ++i) {
+    t[i] = labels[i] > 0 ? hi_target : lo_target;
+  }
+
+  double a = 0.0;
+  double b = std::log((prior0 + 1.0) / (prior1 + 1.0));
+
+  auto objective = [&](double aa, double bb) {
+    double obj = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double f_apb = decision_values[i] * aa + bb;
+      // Stable: log(1+exp(x)) split by sign.
+      if (f_apb >= 0.0) {
+        obj += t[i] * f_apb + std::log1p(std::exp(-f_apb));
+      } else {
+        obj += (t[i] - 1.0) * f_apb + std::log1p(std::exp(f_apb));
+      }
+    }
+    return obj;
+  };
+
+  constexpr int kMaxIter = 100;
+  constexpr double kMinStep = 1e-10;
+  constexpr double kSigma = 1e-12;
+  double fval = objective(a, b);
+
+  for (int it = 0; it < kMaxIter; ++it) {
+    double h11 = kSigma, h22 = kSigma, h21 = 0.0;
+    double g1 = 0.0, g2 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double f_apb = decision_values[i] * a + b;
+      double p, q;
+      if (f_apb >= 0.0) {
+        const double e = std::exp(-f_apb);
+        p = e / (1.0 + e);
+        q = 1.0 / (1.0 + e);
+      } else {
+        const double e = std::exp(f_apb);
+        p = 1.0 / (1.0 + e);
+        q = e / (1.0 + e);
+      }
+      const double d2 = p * q;
+      h11 += decision_values[i] * decision_values[i] * d2;
+      h22 += d2;
+      h21 += decision_values[i] * d2;
+      const double d1 = t[i] - p;
+      g1 += decision_values[i] * d1;
+      g2 += d1;
+    }
+    if (std::abs(g1) < 1e-5 && std::abs(g2) < 1e-5) break;
+
+    const double det = h11 * h22 - h21 * h21;
+    const double da = -(h22 * g1 - h21 * g2) / det;
+    const double db = -(-h21 * g1 + h11 * g2) / det;
+    const double gd = g1 * da + g2 * db;
+
+    double step = 1.0;
+    while (step >= kMinStep) {
+      const double new_a = a + step * da;
+      const double new_b = b + step * db;
+      const double new_f = objective(new_a, new_b);
+      if (new_f < fval + 1e-4 * step * gd) {
+        a = new_a;
+        b = new_b;
+        fval = new_f;
+        break;
+      }
+      step /= 2.0;
+    }
+    if (step < kMinStep) break;  // line search failed; accept current
+  }
+
+  a_ = a;
+  b_ = b;
+  fitted_ = true;
+  return spa::Status::OK();
+}
+
+double PlattScaler::Transform(double decision_value) const {
+  SPA_DCHECK(fitted_);
+  const double f_apb = decision_value * a_ + b_;
+  if (f_apb >= 0.0) {
+    const double e = std::exp(-f_apb);
+    return e / (1.0 + e);
+  }
+  return 1.0 / (1.0 + std::exp(f_apb));
+}
+
+std::vector<double> PlattScaler::TransformAll(
+    const std::vector<double>& decision_values) const {
+  std::vector<double> out;
+  out.reserve(decision_values.size());
+  for (double f : decision_values) out.push_back(Transform(f));
+  return out;
+}
+
+}  // namespace spa::ml

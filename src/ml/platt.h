@@ -1,0 +1,44 @@
+#ifndef SPA_ML_PLATT_H_
+#define SPA_ML_PLATT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+/// \file
+/// Platt scaling: maps raw SVM decision values to calibrated
+/// probabilities P(y=+1|f) = 1 / (1 + exp(A f + B)). The Smart Component
+/// uses the calibrated probabilities as the user "propensity" scores that
+/// drive campaign targeting (Fig. 6).
+
+namespace spa::ml {
+
+/// \brief Sigmoid calibrator fitted by the Lin-Lin-Weng (2007) Newton
+/// method with backtracking — the numerically robust version of Platt's
+/// original pseudo-code.
+class PlattScaler {
+ public:
+  /// Fits A and B from decision values and labels.
+  spa::Status Fit(const std::vector<double>& decision_values,
+                  const std::vector<Label>& labels);
+
+  /// Calibrated probability for a raw decision value.
+  double Transform(double decision_value) const;
+
+  std::vector<double> TransformAll(
+      const std::vector<double>& decision_values) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double a_ = -1.0;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_PLATT_H_

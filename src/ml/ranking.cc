@@ -1,0 +1,108 @@
+#include "ml/ranking.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace spa::ml {
+
+RankSvm::RankSvm(RankSvmConfig config) : config_(config) {}
+
+spa::Status RankSvm::Train(const Dataset& data) {
+  SPA_RETURN_IF_ERROR(data.Validate());
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < data.size(); ++i) {
+    (data.y[i] > 0 ? pos : neg).push_back(i);
+  }
+  if (pos.empty() || neg.empty()) {
+    return spa::Status::FailedPrecondition(
+        "RankSVM needs both relevant and irrelevant examples");
+  }
+
+  // Build difference vectors x_pos - x_neg with label +1, plus the
+  // mirrored pair with label -1 to keep the classes balanced.
+  Rng rng(config_.seed);
+  Dataset pairs;
+  pairs.x.SetCols(data.features());
+  const size_t per_pos =
+      static_cast<size_t>(std::max(1, config_.pairs_per_positive));
+  pairs.x.Reserve(pos.size() * per_pos * 2,
+                  pos.size() * per_pos * 2 * 16);
+
+  std::vector<double> dense(static_cast<size_t>(data.features()), 0.0);
+  std::vector<SparseEntry> entries;
+  for (size_t p : pos) {
+    for (size_t k = 0; k < per_pos; ++k) {
+      const size_t q = neg[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(neg.size()) - 1))];
+      // diff = x_p - x_q, materialized sparsely via a scatter buffer.
+      const SparseRowView xp = data.x.row(p);
+      const SparseRowView xq = data.x.row(q);
+      xp.AxpyInto(1.0, &dense);
+      xq.AxpyInto(-1.0, &dense);
+      entries.clear();
+      for (size_t i = 0; i < xp.nnz; ++i) {
+        entries.push_back({xp.indices[i], 0.0});
+      }
+      for (size_t i = 0; i < xq.nnz; ++i) {
+        entries.push_back({xq.indices[i], 0.0});
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const SparseEntry& a, const SparseEntry& b) {
+                  return a.index < b.index;
+                });
+      entries.erase(std::unique(entries.begin(), entries.end(),
+                                [](const SparseEntry& a,
+                                   const SparseEntry& b) {
+                                  return a.index == b.index;
+                                }),
+                    entries.end());
+      for (auto& e : entries) {
+        e.value = dense[static_cast<size_t>(e.index)];
+        dense[static_cast<size_t>(e.index)] = 0.0;
+      }
+      std::vector<SparseEntry> mirrored = entries;
+      for (auto& e : mirrored) e.value = -e.value;
+      pairs.x.AppendRow(entries);
+      pairs.y.push_back(1);
+      pairs.x.AppendRow(mirrored);
+      pairs.y.push_back(-1);
+    }
+  }
+
+  SvmConfig svm_config = config_.svm;
+  svm_config.fit_bias = false;  // ranking is translation-invariant
+  LinearSvm svm(svm_config);
+  SPA_RETURN_IF_ERROR(svm.Train(pairs));
+  weights_ = svm.weights();
+  weights_.resize(static_cast<size_t>(data.features()), 0.0);
+  return spa::Status::OK();
+}
+
+double RankSvm::Score(const SparseRowView& row) const {
+  return row.Dot(weights_);
+}
+
+double KendallTau(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  SPA_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0.0) ++concordant;
+      if (prod < 0.0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) *
+                       (static_cast<double>(n) - 1.0) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+}  // namespace spa::ml

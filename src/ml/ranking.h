@@ -1,0 +1,54 @@
+#ifndef SPA_ML_RANKING_H_
+#define SPA_ML_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/svm_linear.h"
+
+/// \file
+/// RankSVM (Joachims, 2002) via the pairwise transformation: learn a
+/// linear scorer such that positive examples outrank negatives. The
+/// paper: "SVMs have been used as a learning component in ranking users
+/// to assess their propensity to accept a recommended item" — this is
+/// the selection function's learner.
+
+namespace spa::ml {
+
+struct RankSvmConfig {
+  SvmConfig svm;
+  /// Number of (positive, negative) difference pairs sampled per
+  /// positive example (bounds the pairwise blow-up).
+  int pairs_per_positive = 8;
+  uint64_t seed = 42;
+};
+
+/// \brief Pairwise linear ranking model.
+class RankSvm {
+ public:
+  explicit RankSvm(RankSvmConfig config = {});
+
+  /// Trains from binary relevance labels (+1 relevant, -1 not).
+  spa::Status Train(const Dataset& data);
+
+  /// Ranking score (higher = more relevant). No bias: only order matters.
+  double Score(const SparseRowView& row) const;
+  double Score(const SparseVector& v) const { return Score(v.view()); }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  RankSvmConfig config_;
+  std::vector<double> weights_;
+};
+
+/// Kendall tau-a rank correlation between two score vectors (O(n^2);
+/// evaluation helper for tests/benches).
+double KendallTau(const std::vector<double>& a,
+                  const std::vector<double>& b);
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_RANKING_H_

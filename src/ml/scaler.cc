@@ -1,0 +1,68 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace spa::ml {
+
+spa::Status ColumnScaler::Fit(const SparseMatrix& x) {
+  const size_t dims = static_cast<size_t>(x.cols());
+  std::vector<double> accum(dims, 0.0);
+  std::vector<size_t> counts(dims, 0);
+
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const SparseRowView row = x.row(r);
+    for (size_t k = 0; k < row.nnz; ++k) {
+      const size_t f = static_cast<size_t>(row.indices[k]);
+      const double v = row.values[k];
+      if (kind_ == ScalingKind::kMaxAbs) {
+        accum[f] = std::max(accum[f], std::abs(v));
+      } else {
+        accum[f] += v * v;
+        ++counts[f];
+      }
+    }
+  }
+
+  factors_.assign(dims, 1.0);
+  for (size_t f = 0; f < dims; ++f) {
+    double denom = 0.0;
+    if (kind_ == ScalingKind::kMaxAbs) {
+      denom = accum[f];
+    } else if (x.rows() > 0) {
+      // Uncentered stddev over ALL rows (zeros included) keeps sparsity
+      // semantics: E[v^2] with implicit zeros.
+      denom = std::sqrt(accum[f] / static_cast<double>(x.rows()));
+    }
+    if (denom > 0.0) factors_[f] = 1.0 / denom;
+  }
+  fitted_ = true;
+  return spa::Status::OK();
+}
+
+spa::Status ColumnScaler::Transform(SparseMatrix* x) const {
+  if (!fitted_) {
+    return spa::Status::FailedPrecondition("scaler not fitted");
+  }
+  if (static_cast<size_t>(x->cols()) != factors_.size()) {
+    return spa::Status::InvalidArgument(
+        StrFormat("column mismatch: fitted %zu, got %d", factors_.size(),
+                  x->cols()));
+  }
+  x->ScaleColumns(factors_);
+  return spa::Status::OK();
+}
+
+SparseVector ColumnScaler::TransformRow(const SparseRowView& row) const {
+  SparseVector out;
+  for (size_t k = 0; k < row.nnz; ++k) {
+    const size_t f = static_cast<size_t>(row.indices[k]);
+    const double factor = f < factors_.size() ? factors_[f] : 1.0;
+    out.PushBack(row.indices[k], row.values[k] * factor);
+  }
+  return out;
+}
+
+}  // namespace spa::ml

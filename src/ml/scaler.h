@@ -1,0 +1,48 @@
+#ifndef SPA_ML_SCALER_H_
+#define SPA_ML_SCALER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+/// \file
+/// Feature scaling. Sparse-safe (no centering): per-column scale factors
+/// only, preserving sparsity of the design matrix.
+
+namespace spa::ml {
+
+enum class ScalingKind {
+  kMaxAbs,       ///< divide by max |value| per column
+  kUnitStddev,   ///< divide by the column's (uncentered) standard deviation
+};
+
+/// \brief Fits per-column factors on a matrix and applies them in place.
+class ColumnScaler {
+ public:
+  explicit ColumnScaler(ScalingKind kind = ScalingKind::kMaxAbs)
+      : kind_(kind) {}
+
+  /// Learns factors from the matrix. Columns that are all-zero get
+  /// factor 1 (no-op).
+  spa::Status Fit(const SparseMatrix& x);
+
+  /// Applies the learned factors in place. Matrix must have the same
+  /// column count as the fitted one.
+  spa::Status Transform(SparseMatrix* x) const;
+
+  /// Scales a single row (e.g. a query vector at serving time).
+  SparseVector TransformRow(const SparseRowView& row) const;
+
+  const std::vector<double>& factors() const { return factors_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  ScalingKind kind_;
+  std::vector<double> factors_;
+  bool fitted_ = false;
+};
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_SCALER_H_

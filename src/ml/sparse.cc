@@ -1,0 +1,147 @@
+#include "ml/sparse.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace spa::ml {
+
+double SparseRowView::Dot(const std::vector<double>& dense) const {
+  double acc = 0.0;
+  const int32_t limit = static_cast<int32_t>(dense.size());
+  for (size_t i = 0; i < nnz; ++i) {
+    if (indices[i] >= limit) break;
+    acc += values[i] * dense[static_cast<size_t>(indices[i])];
+  }
+  return acc;
+}
+
+void SparseRowView::AxpyInto(double alpha, std::vector<double>* dense) const {
+  for (size_t i = 0; i < nnz; ++i) {
+    SPA_DCHECK(static_cast<size_t>(indices[i]) < dense->size());
+    (*dense)[static_cast<size_t>(indices[i])] += alpha * values[i];
+  }
+}
+
+double SparseRowView::L2NormSquared() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < nnz; ++i) acc += values[i] * values[i];
+  return acc;
+}
+
+double SparseRowView::Dot(const SparseRowView& other) const {
+  double acc = 0.0;
+  size_t i = 0, j = 0;
+  while (i < nnz && j < other.nnz) {
+    const int32_t a = indices[i];
+    const int32_t b = other.indices[j];
+    if (a == b) {
+      acc += values[i] * other.values[j];
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+SparseVector::SparseVector(const std::vector<SparseEntry>& entries) {
+  indices_.reserve(entries.size());
+  values_.reserve(entries.size());
+  for (const auto& e : entries) {
+    SPA_DCHECK(indices_.empty() || indices_.back() < e.index);
+    indices_.push_back(e.index);
+    values_.push_back(e.value);
+  }
+}
+
+void SparseVector::PushBack(int32_t index, double value) {
+  SPA_DCHECK(indices_.empty() || indices_.back() < index);
+  indices_.push_back(index);
+  values_.push_back(value);
+}
+
+void SparseMatrix::AppendRow(const SparseRowView& row) {
+  for (size_t i = 0; i < row.nnz; ++i) {
+    const int32_t idx = row.indices[i];
+    SPA_DCHECK(idx >= 0);
+    if (idx >= cols_) cols_ = idx + 1;
+    indices_.push_back(idx);
+    values_.push_back(row.values[i]);
+  }
+  indptr_.push_back(indices_.size());
+}
+
+void SparseMatrix::AppendRow(const std::vector<SparseEntry>& entries) {
+  for (const auto& e : entries) {
+    SPA_DCHECK(e.index >= 0);
+    if (e.index >= cols_) cols_ = e.index + 1;
+    indices_.push_back(e.index);
+    values_.push_back(e.value);
+  }
+  indptr_.push_back(indices_.size());
+}
+
+SparseRowView SparseMatrix::row(size_t r) const {
+  SPA_DCHECK(r < rows());
+  const size_t begin = indptr_[r];
+  const size_t end = indptr_[r + 1];
+  SparseRowView view;
+  view.indices = indices_.data() + begin;
+  view.values = values_.data() + begin;
+  view.nnz = end - begin;
+  return view;
+}
+
+SparseVector SparseMatrix::RowCopy(size_t r) const {
+  const SparseRowView v = row(r);
+  SparseVector out;
+  for (size_t i = 0; i < v.nnz; ++i) out.PushBack(v.indices[i], v.values[i]);
+  return out;
+}
+
+void SparseMatrix::Reserve(size_t expected_rows, size_t expected_nnz) {
+  indptr_.reserve(expected_rows + 1);
+  indices_.reserve(expected_nnz);
+  values_.reserve(expected_nnz);
+}
+
+void SparseMatrix::SetCols(int32_t cols) {
+  SPA_CHECK(cols >= cols_);
+  cols_ = cols;
+}
+
+void SparseMatrix::ScaleColumns(const std::vector<double>& factors) {
+  SPA_CHECK(factors.size() == static_cast<size_t>(cols_));
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    values_[i] *= factors[static_cast<size_t>(indices_[i])];
+  }
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  SPA_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double L2NormSquared(const std::vector<double>& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v * v;
+  return acc;
+}
+
+void Axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>* y) {
+  SPA_DCHECK(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+}  // namespace spa::ml

@@ -1,0 +1,123 @@
+#ifndef SPA_ML_SPARSE_H_
+#define SPA_ML_SPARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Sparse vectors and CSR matrices. The user-attribute design matrices in
+/// SPA are sparse (the paper's "sparsity problem": most users never answer
+/// EIT questions and touch only a handful of the 984 actions), so all
+/// learners consume this representation.
+
+namespace spa::ml {
+
+/// One (feature index, value) pair; construction convenience only —
+/// storage is structure-of-arrays.
+struct SparseEntry {
+  int32_t index;
+  double value;
+};
+
+/// Lightweight non-owning view over a sparse row (SoA layout).
+struct SparseRowView {
+  const int32_t* indices = nullptr;
+  const double* values = nullptr;
+  size_t nnz = 0;
+
+  /// Dot product with a dense vector (indices beyond its size count as 0).
+  double Dot(const std::vector<double>& dense) const;
+  /// dense += alpha * this (dense must cover all indices).
+  void AxpyInto(double alpha, std::vector<double>* dense) const;
+  /// Sum of squared values.
+  double L2NormSquared() const;
+  /// Merge-join dot product with another sparse row.
+  double Dot(const SparseRowView& other) const;
+};
+
+/// \brief Owning sorted-by-index sparse vector.
+class SparseVector {
+ public:
+  SparseVector() = default;
+  /// Entries must be sorted by index, no duplicates (checked in debug).
+  explicit SparseVector(const std::vector<SparseEntry>& entries);
+
+  /// Appends an entry with index strictly greater than any existing one.
+  void PushBack(int32_t index, double value);
+
+  size_t nnz() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+  int32_t index(size_t i) const { return indices_[i]; }
+  double value(size_t i) const { return values_[i]; }
+
+  /// Non-owning view (valid while this vector is alive and unmodified).
+  SparseRowView view() const {
+    return SparseRowView{indices_.data(), values_.data(), indices_.size()};
+  }
+
+  double Dot(const std::vector<double>& dense) const {
+    return view().Dot(dense);
+  }
+  void AxpyInto(double alpha, std::vector<double>* dense) const {
+    view().AxpyInto(alpha, dense);
+  }
+  double L2NormSquared() const { return view().L2NormSquared(); }
+  double Dot(const SparseVector& other) const {
+    return view().Dot(other.view());
+  }
+
+ private:
+  std::vector<int32_t> indices_;
+  std::vector<double> values_;
+};
+
+/// \brief Compressed sparse row matrix built by appending rows.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(int32_t cols = 0) : cols_(cols) {
+    indptr_.push_back(0);
+  }
+
+  /// Appends a row; column count grows to cover the largest index.
+  void AppendRow(const SparseVector& row) { AppendRow(row.view()); }
+  void AppendRow(const SparseRowView& row);
+  void AppendRow(const std::vector<SparseEntry>& entries);
+
+  size_t rows() const { return indptr_.size() - 1; }
+  int32_t cols() const { return cols_; }
+  size_t nnz() const { return indices_.size(); }
+
+  SparseRowView row(size_t r) const;
+
+  /// Copies a row into an owning SparseVector.
+  SparseVector RowCopy(size_t r) const;
+
+  /// Reserves storage for an expected number of rows / nonzeros.
+  void Reserve(size_t expected_rows, size_t expected_nnz);
+
+  /// Sets the column count (must be >= current column count).
+  void SetCols(int32_t cols);
+
+  /// Multiplies every value in column c by factors[c] (factors size ==
+  /// cols). Used by the scalers.
+  void ScaleColumns(const std::vector<double>& factors);
+
+ private:
+  int32_t cols_;
+  std::vector<size_t> indptr_;
+  std::vector<int32_t> indices_;
+  std::vector<double> values_;
+};
+
+/// Dense helpers shared by the learners.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+double L2NormSquared(const std::vector<double>& a);
+/// y += alpha * x.
+void Axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>* y);
+void Scale(double alpha, std::vector<double>* x);
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_SPARSE_H_

@@ -1,0 +1,178 @@
+#include "ml/svm_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace spa::ml {
+
+LinearSvm::LinearSvm(SvmConfig config) : config_(config) {}
+
+spa::Status LinearSvm::Train(const Dataset& data) {
+  SPA_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return spa::Status::InvalidArgument("empty training set");
+  }
+  const size_t n = data.size();
+  const size_t dims = static_cast<size_t>(data.features());
+
+  // Bias is learned as an extra always-on feature with value bias_scale.
+  const size_t wdims = dims + (config_.fit_bias ? 1 : 0);
+  weights_.assign(wdims, 0.0);
+  alphas_.assign(n, 0.0);
+
+  // Per-example upper bound U and diagonal shift D (Hsieh et al. 2008,
+  // Table 1): hinge -> U=C, D=0; squared hinge -> U=inf, D=1/(2C).
+  const bool l2loss = config_.loss == SvmLoss::kSquaredHinge;
+
+  std::vector<double> q_diag(n);
+  for (size_t i = 0; i < n; ++i) {
+    double q = data.x.row(i).L2NormSquared();
+    if (config_.fit_bias) q += config_.bias_scale * config_.bias_scale;
+    q_diag[i] = q;
+  }
+
+  auto c_of = [&](size_t i) {
+    const double c =
+        data.y[i] > 0 ? config_.c * config_.positive_class_weight : config_.c;
+    return c;
+  };
+
+  Rng rng(config_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  iterations_run_ = 0;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    rng.Shuffle(&order);
+    double max_pg = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = order[k];
+      const SparseRowView xi = data.x.row(i);
+      const double yi = static_cast<double>(data.y[i]);
+      const double diag = l2loss ? 1.0 / (2.0 * c_of(i)) : 0.0;
+      const double upper =
+          l2loss ? std::numeric_limits<double>::infinity() : c_of(i);
+
+      double wx = xi.Dot(weights_);
+      if (config_.fit_bias) wx += weights_[dims] * config_.bias_scale;
+      const double g = yi * wx - 1.0 + diag * alphas_[i];
+
+      // Projected gradient for the box constraint 0 <= alpha <= U.
+      double pg = g;
+      if (alphas_[i] <= 0.0) {
+        pg = std::min(g, 0.0);
+      } else if (alphas_[i] >= upper) {
+        pg = std::max(g, 0.0);
+      }
+      max_pg = std::max(max_pg, std::abs(pg));
+      if (pg == 0.0) continue;
+
+      const double qii = q_diag[i] + diag;
+      if (qii <= 0.0) continue;
+      const double old_alpha = alphas_[i];
+      alphas_[i] = std::clamp(old_alpha - g / qii, 0.0, upper);
+      const double delta = (alphas_[i] - old_alpha) * yi;
+      if (delta != 0.0) {
+        xi.AxpyInto(delta, &weights_);
+        if (config_.fit_bias) {
+          weights_[dims] += delta * config_.bias_scale;
+        }
+      }
+    }
+    ++iterations_run_;
+    if (max_pg < config_.tolerance) break;
+  }
+
+  if (config_.fit_bias) {
+    bias_ = weights_[dims] * config_.bias_scale;
+    weights_.resize(dims);
+  } else {
+    bias_ = 0.0;
+  }
+  return spa::Status::OK();
+}
+
+PegasosSvm::PegasosSvm(SvmConfig config) : config_(config) {}
+
+spa::Status PegasosSvm::Train(const Dataset& data) {
+  initialized_ = false;
+  step_ = 0;
+  return RunEpochs(data, config_.max_iterations);
+}
+
+spa::Status PegasosSvm::PartialTrain(const Dataset& data) {
+  return RunEpochs(data, 1);
+}
+
+spa::Status PegasosSvm::RunEpochs(const Dataset& data, int epochs) {
+  SPA_RETURN_IF_ERROR(data.Validate());
+  if (data.size() == 0) {
+    return spa::Status::InvalidArgument("empty training set");
+  }
+  const size_t n = data.size();
+  const size_t dims = static_cast<size_t>(data.features());
+
+  if (!initialized_) {
+    weights_.assign(dims, 0.0);
+    weight_sum_.assign(dims, 0.0);
+    bias_ = 0.0;
+    bias_sum_ = 0.0;
+    // lambda = 1 / (C n): matches the SVM objective scaling.
+    lambda_ = 1.0 / (config_.c * static_cast<double>(n));
+    initialized_ = true;
+  } else if (weights_.size() < dims) {
+    weights_.resize(dims, 0.0);  // feature space can only grow
+    weight_sum_.resize(dims, 0.0);
+  }
+
+  Rng rng(config_.seed + static_cast<uint64_t>(step_));
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = order[k];
+      ++step_;
+      const double eta = 1.0 / (lambda_ * static_cast<double>(step_));
+      const SparseRowView xi = data.x.row(i);
+      const double yi = static_cast<double>(data.y[i]);
+      const double margin = yi * (xi.Dot(weights_) + bias_);
+
+      // w <- (1 - eta lambda) w  [+ eta y x when the margin is violated]
+      const double shrink = 1.0 - eta * lambda_;
+      if (shrink > 0.0) {
+        Scale(shrink, &weights_);
+      } else {
+        std::fill(weights_.begin(), weights_.end(), 0.0);
+      }
+      if (margin < 1.0) {
+        const double class_w =
+            yi > 0.0 ? config_.positive_class_weight : 1.0;
+        xi.AxpyInto(eta * yi * class_w, &weights_);
+        if (config_.fit_bias) bias_ += eta * yi * class_w;
+      }
+      // Projection onto the ball of radius 1/sqrt(lambda) (Pegasos
+      // step 5); bounds the early iterates so averaging is stable.
+      const double norm_sq = L2NormSquared(weights_);
+      const double radius_sq = 1.0 / lambda_;
+      if (norm_sq > radius_sq) {
+        Scale(std::sqrt(radius_sq / norm_sq), &weights_);
+      }
+      Axpy(1.0, weights_, &weight_sum_);
+      bias_sum_ += bias_;
+    }
+  }
+  // Materialize the averaged iterate used for scoring.
+  avg_weights_ = weight_sum_;
+  const double inv = 1.0 / static_cast<double>(step_);
+  Scale(inv, &avg_weights_);
+  avg_bias_ = bias_sum_ * inv;
+  return spa::Status::OK();
+}
+
+}  // namespace spa::ml

@@ -1,0 +1,106 @@
+#ifndef SPA_ML_SVM_LINEAR_H_
+#define SPA_ML_SVM_LINEAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+/// \file
+/// Linear support vector machines — the workhorse learner of the paper's
+/// Smart Component ("SVMs are used to classify and to predict users'
+/// behaviors ... and as a learning component in ranking users").
+///
+/// Two trainers are provided:
+///  * `LinearSvm` — dual coordinate descent (Hsieh et al., ICML 2008;
+///    the liblinear algorithm), exact and fast for the mid-sized design
+///    matrices the Smart Component assembles per campaign.
+///  * `PegasosSvm` — primal stochastic sub-gradient (Shalev-Shwartz et
+///    al., 2007), used where incremental refresh matters.
+
+namespace spa::ml {
+
+/// Hinge-loss flavour for the dual coordinate descent trainer.
+enum class SvmLoss {
+  kHinge,         ///< L1-loss SVM (standard hinge)
+  kSquaredHinge,  ///< L2-loss SVM
+};
+
+/// \brief Configuration for both SVM trainers.
+struct SvmConfig {
+  double c = 1.0;             ///< inverse regularization strength
+  SvmLoss loss = SvmLoss::kHinge;
+  int max_iterations = 200;   ///< outer passes over the data (DCD) / epochs
+  double tolerance = 1e-4;    ///< stop when max projected gradient < tol
+  bool fit_bias = true;       ///< learn an intercept (augmented feature)
+  double bias_scale = 1.0;    ///< value of the augmented bias feature
+  uint64_t seed = 42;         ///< permutation / sampling seed
+  /// Weight applied to positive examples' C (class imbalance control;
+  /// 1.0 = balanced treatment).
+  double positive_class_weight = 1.0;
+};
+
+/// \brief L2-regularized hinge-loss SVM trained by dual coordinate descent.
+class LinearSvm : public LinearClassifier {
+ public:
+  explicit LinearSvm(SvmConfig config = {});
+
+  spa::Status Train(const Dataset& data) override;
+  std::string name() const override { return "LinearSVM(DCD)"; }
+
+  const std::vector<double>& weights() const override { return weights_; }
+  double bias() const override { return bias_; }
+
+  /// Number of outer iterations the last Train() used.
+  int iterations_run() const { return iterations_run_; }
+  /// Dual variables (support-vector structure; alpha > 0).
+  const std::vector<double>& alphas() const { return alphas_; }
+
+ private:
+  SvmConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> alphas_;
+  int iterations_run_ = 0;
+};
+
+/// \brief Pegasos primal SGD SVM; supports warm-started incremental
+/// refresh via `PartialTrain`.
+class PegasosSvm : public LinearClassifier {
+ public:
+  explicit PegasosSvm(SvmConfig config = {});
+
+  spa::Status Train(const Dataset& data) override;
+
+  /// One additional pass over `data` continuing from the current weights
+  /// (incremental learning; the step-size schedule continues).
+  spa::Status PartialTrain(const Dataset& data);
+
+  std::string name() const override { return "LinearSVM(Pegasos)"; }
+
+  /// Averaged weights (ASGD): the mean iterate, which converges far more
+  /// stably than the last iterate.
+  const std::vector<double>& weights() const override {
+    return avg_weights_;
+  }
+  double bias() const override { return avg_bias_; }
+
+ private:
+  spa::Status RunEpochs(const Dataset& data, int epochs);
+
+  SvmConfig config_;
+  std::vector<double> weights_;      // current iterate
+  std::vector<double> weight_sum_;   // sum of iterates (for averaging)
+  std::vector<double> avg_weights_;  // materialized average
+  double bias_ = 0.0;
+  double bias_sum_ = 0.0;
+  double avg_bias_ = 0.0;
+  int64_t step_ = 0;  // global step count for the 1/(lambda t) schedule
+  double lambda_ = 1e-4;
+  bool initialized_ = false;
+};
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_SVM_LINEAR_H_

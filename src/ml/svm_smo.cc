@@ -1,0 +1,173 @@
+#include "ml/svm_smo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace spa::ml {
+
+double EvalKernel(const KernelConfig& kernel, const SparseRowView& a,
+                  const SparseRowView& b) {
+  switch (kernel.kind) {
+    case KernelKind::kLinear:
+      return a.Dot(b);
+    case KernelKind::kRbf: {
+      const double dist_sq =
+          a.L2NormSquared() + b.L2NormSquared() - 2.0 * a.Dot(b);
+      return std::exp(-kernel.gamma * std::max(0.0, dist_sq));
+    }
+    case KernelKind::kPolynomial: {
+      const double base = kernel.gamma * a.Dot(b) + kernel.coef0;
+      double acc = 1.0;
+      for (int i = 0; i < kernel.degree; ++i) acc *= base;
+      return acc;
+    }
+  }
+  return 0.0;
+}
+
+SmoSvm::SmoSvm(SmoConfig config) : config_(config) {}
+
+spa::Status SmoSvm::Train(const Dataset& data) {
+  SPA_RETURN_IF_ERROR(data.Validate());
+  const size_t n = data.size();
+  if (n == 0) return spa::Status::InvalidArgument("empty training set");
+  if (data.positives() == 0 || data.positives() == n) {
+    return spa::Status::FailedPrecondition(
+        "SMO needs both classes in the training set");
+  }
+
+  const bool cache_full =
+      n <= config_.dense_cache_limit;
+
+  // Kernel access: full cache when affordable, row-on-demand otherwise.
+  std::vector<double> kcache;
+  if (cache_full) {
+    kcache.resize(n * n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i; j < n; ++j) {
+        const double k =
+            EvalKernel(config_.kernel, data.x.row(i), data.x.row(j));
+        kcache[i * n + j] = k;
+        kcache[j * n + i] = k;
+      }
+    }
+  }
+  auto kij = [&](size_t i, size_t j) {
+    if (cache_full) return kcache[i * n + j];
+    return EvalKernel(config_.kernel, data.x.row(i), data.x.row(j));
+  };
+
+  std::vector<double> alpha(n, 0.0);
+  // Gradient of the dual objective: g_i = y_i * f(x_i) - 1 where f uses
+  // the current alphas (initially all zero -> g_i = -1).
+  std::vector<double> grad(n, -1.0);
+
+  const double c = config_.c;
+  const double tol = config_.tolerance;
+  iterations_run_ = 0;
+
+  for (int pass = 0; pass < config_.max_passes; ++pass) {
+    // Maximum-violating pair selection.
+    double g_max = -std::numeric_limits<double>::infinity();
+    double g_min = std::numeric_limits<double>::infinity();
+    size_t i_up = n, i_low = n;
+    for (size_t t = 0; t < n; ++t) {
+      const double y = static_cast<double>(data.y[t]);
+      // I_up: y=+1 & alpha<C, or y=-1 & alpha>0.
+      if ((y > 0.0 && alpha[t] < c) || (y < 0.0 && alpha[t] > 0.0)) {
+        const double v = -y * grad[t];
+        if (v > g_max) {
+          g_max = v;
+          i_up = t;
+        }
+      }
+      // I_low: y=+1 & alpha>0, or y=-1 & alpha<C.
+      if ((y > 0.0 && alpha[t] > 0.0) || (y < 0.0 && alpha[t] < c)) {
+        const double v = -y * grad[t];
+        if (v < g_min) {
+          g_min = v;
+          i_low = t;
+        }
+      }
+    }
+    if (i_up == n || i_low == n || g_max - g_min < tol) break;
+    ++iterations_run_;
+
+    const size_t i = i_up;
+    const size_t j = i_low;
+    const double yi = static_cast<double>(data.y[i]);
+    const double yj = static_cast<double>(data.y[j]);
+
+    const double kii = kij(i, i);
+    const double kjj = kij(j, j);
+    const double kij_v = kij(i, j);
+    double eta = kii + kjj - 2.0 * kij_v;
+    if (eta <= 0.0) eta = 1e-12;
+
+    // Unconstrained step along the (i, j) pair.
+    const double delta = (-yi * grad[i] + yj * grad[j]) / eta;
+
+    // Box constraints: alpha_i' = alpha_i + yi*d, alpha_j' = alpha_j - yj*d
+    // with d chosen to keep both in [0, C].
+    double d = delta;
+    const double ai = alpha[i];
+    const double aj = alpha[j];
+    // yi * d must keep ai in [0, C].
+    double d_max = yi > 0.0 ? (c - ai) : ai;
+    double d_min = yi > 0.0 ? -ai : -(c - ai);
+    // -yj * d must keep aj in [0, C]  =>  d in [...] as well.
+    d_max = std::min(d_max, yj > 0.0 ? aj : (c - aj));
+    d_min = std::max(d_min, yj > 0.0 ? -(c - aj) : -aj);
+    d = std::clamp(d, d_min, d_max);
+    if (d == 0.0) continue;
+
+    alpha[i] = ai + yi * d;
+    alpha[j] = aj - yj * d;
+
+    // Gradient maintenance: g_t += y_t * (K_ti * yi * dai + K_tj * yj * daj)
+    const double dai = alpha[i] - ai;  // = yi * d
+    const double daj = alpha[j] - aj;  // = -yj * d
+    for (size_t t = 0; t < n; ++t) {
+      const double yt = static_cast<double>(data.y[t]);
+      grad[t] += yt * (kij(t, i) * yi * dai + kij(t, j) * yj * daj);
+    }
+  }
+
+  // Bias from the KKT midpoint of the final violating pair set.
+  double g_max = -std::numeric_limits<double>::infinity();
+  double g_min = std::numeric_limits<double>::infinity();
+  for (size_t t = 0; t < n; ++t) {
+    const double y = static_cast<double>(data.y[t]);
+    if ((y > 0.0 && alpha[t] < c) || (y < 0.0 && alpha[t] > 0.0)) {
+      g_max = std::max(g_max, -y * grad[t]);
+    }
+    if ((y > 0.0 && alpha[t] > 0.0) || (y < 0.0 && alpha[t] < c)) {
+      g_min = std::min(g_min, -y * grad[t]);
+    }
+  }
+  bias_ = (g_max + g_min) / 2.0;
+
+  support_vectors_.clear();
+  sv_coeffs_.clear();
+  for (size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-12) {
+      support_vectors_.push_back(data.x.RowCopy(t));
+      sv_coeffs_.push_back(alpha[t] * static_cast<double>(data.y[t]));
+    }
+  }
+  return spa::Status::OK();
+}
+
+double SmoSvm::Score(const SparseRowView& row) const {
+  double acc = bias_;
+  for (size_t s = 0; s < support_vectors_.size(); ++s) {
+    acc += sv_coeffs_[s] *
+           EvalKernel(config_.kernel, support_vectors_[s].view(), row);
+  }
+  return acc;
+}
+
+}  // namespace spa::ml

@@ -1,0 +1,65 @@
+#ifndef SPA_ML_SVM_SMO_H_
+#define SPA_ML_SVM_SMO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+/// \file
+/// Kernel SVM trained by Sequential Minimal Optimization with
+/// maximum-violating-pair working-set selection (Keerthi et al., 2001).
+/// Used where the emotional-response surface is not linearly separable
+/// (small/medium design matrices; the linear DCD trainer handles the
+/// campaign-scale ones).
+
+namespace spa::ml {
+
+enum class KernelKind { kLinear, kRbf, kPolynomial };
+
+struct KernelConfig {
+  KernelKind kind = KernelKind::kRbf;
+  double gamma = 0.5;    ///< RBF: exp(-gamma |x-z|^2); poly: (gamma x.z + c0)^d
+  double coef0 = 1.0;    ///< polynomial offset
+  int degree = 3;        ///< polynomial degree
+};
+
+/// Evaluates the configured kernel on two sparse rows.
+double EvalKernel(const KernelConfig& kernel, const SparseRowView& a,
+                  const SparseRowView& b);
+
+struct SmoConfig {
+  double c = 1.0;
+  double tolerance = 1e-3;   ///< KKT violation tolerance
+  int max_passes = 10'000;   ///< max working-set iterations
+  KernelConfig kernel;
+  /// Cache the full kernel matrix when n <= this bound (O(n^2) doubles).
+  size_t dense_cache_limit = 4096;
+};
+
+/// \brief Kernel SVM (binary). Keeps its support vectors as copies so the
+/// training dataset may be discarded after Train().
+class SmoSvm : public BinaryClassifier {
+ public:
+  explicit SmoSvm(SmoConfig config = {});
+
+  spa::Status Train(const Dataset& data) override;
+  double Score(const SparseRowView& row) const override;
+  std::string name() const override { return "KernelSVM(SMO)"; }
+
+  size_t support_vector_count() const { return support_vectors_.size(); }
+  double bias() const { return bias_; }
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  SmoConfig config_;
+  std::vector<SparseVector> support_vectors_;
+  std::vector<double> sv_coeffs_;  // alpha_i * y_i
+  double bias_ = 0.0;
+  int iterations_run_ = 0;
+};
+
+}  // namespace spa::ml
+
+#endif  // SPA_ML_SVM_SMO_H_

@@ -1,0 +1,58 @@
+#include "recsys/emotion_aware.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spa::recsys {
+
+EmotionAwareReranker::EmotionAwareReranker(EmotionRerankConfig config)
+    : config_(config) {}
+
+void EmotionAwareReranker::SetItemProfile(ItemId item,
+                                          const EmotionProfile& profile) {
+  profiles_[item] = profile;
+}
+
+double EmotionAwareReranker::Alignment(const sum::SmartUserModel& model,
+                                       ItemId item) const {
+  const auto it = profiles_.find(item);
+  if (it == profiles_.end()) return 0.0;
+  const EmotionProfile& resonance = it->second;
+
+  double signal = 0.0;
+  double weight_total = 0.0;
+  for (eit::EmotionalAttribute attr : eit::AllEmotionalAttributes()) {
+    const size_t i = static_cast<size_t>(attr);
+    const double sens =
+        model.sensibility(model.catalog().EmotionalId(attr));
+    if (sens < config_.sensibility_threshold) continue;
+    // Activation for positive valence, inhibition for negative.
+    signal += eit::ValenceSign(attr) * sens * resonance[i];
+    weight_total += sens;
+  }
+  if (weight_total == 0.0) return 0.0;
+  return std::clamp(signal / weight_total, -1.0, 1.0);
+}
+
+std::vector<Scored> EmotionAwareReranker::Rerank(
+    const sum::SmartUserModel& model,
+    std::vector<Scored> candidates) const {
+  if (candidates.empty()) return candidates;
+  // Min-max normalize base scores so beta blends comparable scales.
+  double lo = candidates.front().score;
+  double hi = candidates.front().score;
+  for (const Scored& s : candidates) {
+    lo = std::min(lo, s.score);
+    hi = std::max(hi, s.score);
+  }
+  const double span = hi - lo;
+  for (Scored& s : candidates) {
+    const double base = span > 0.0 ? (s.score - lo) / span : 1.0;
+    const double alignment = Alignment(model, s.item);
+    s.score = (1.0 - config_.beta) * base + config_.beta * alignment;
+  }
+  SortAndTruncate(&candidates, candidates.size());
+  return candidates;
+}
+
+}  // namespace spa::recsys

@@ -1,0 +1,70 @@
+#include "recsys/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spa::recsys {
+
+TopKMetrics EvaluateTopK(const Recommender& recommender,
+                         const RelevanceSets& held_out, size_t k) {
+  TopKMetrics metrics;
+  if (k == 0) return metrics;
+
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  double ndcg_sum = 0.0;
+  double ap_sum = 0.0;
+  size_t hits_users = 0;
+  size_t evaluated = 0;
+
+  for (const auto& [user, relevant] : held_out) {
+    if (relevant.empty()) continue;
+    const std::vector<Scored> recs = recommender.Recommend(user, k);
+    if (recs.empty()) {
+      ++evaluated;  // counted with zero contribution
+      continue;
+    }
+    ++evaluated;
+
+    size_t hits = 0;
+    double dcg = 0.0;
+    double ap = 0.0;
+    for (size_t rank = 0; rank < recs.size(); ++rank) {
+      if (relevant.contains(recs[rank].item)) {
+        ++hits;
+        dcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+        ap += static_cast<double>(hits) /
+              (static_cast<double>(rank) + 1.0);
+      }
+    }
+    const size_t ideal_hits = std::min(relevant.size(), k);
+    double idcg = 0.0;
+    for (size_t rank = 0; rank < ideal_hits; ++rank) {
+      idcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+    }
+
+    precision_sum +=
+        static_cast<double>(hits) / static_cast<double>(recs.size());
+    recall_sum +=
+        static_cast<double>(hits) / static_cast<double>(relevant.size());
+    if (idcg > 0.0) ndcg_sum += dcg / idcg;
+    if (!relevant.empty()) {
+      ap_sum += ap / static_cast<double>(
+                         std::min(relevant.size(), k));
+    }
+    if (hits > 0) ++hits_users;
+  }
+
+  if (evaluated > 0) {
+    const double n = static_cast<double>(evaluated);
+    metrics.precision = precision_sum / n;
+    metrics.recall = recall_sum / n;
+    metrics.ndcg = ndcg_sum / n;
+    metrics.map = ap_sum / n;
+    metrics.hit_rate = static_cast<double>(hits_users) / n;
+  }
+  metrics.users_evaluated = evaluated;
+  return metrics;
+}
+
+}  // namespace spa::recsys

@@ -1,0 +1,39 @@
+#ifndef SPA_RECSYS_EVALUATOR_H_
+#define SPA_RECSYS_EVALUATOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "recsys/recommender.h"
+
+/// \file
+/// Offline top-K evaluation: precision/recall/NDCG/MAP/hit-rate against
+/// held-out interactions.
+
+namespace spa::recsys {
+
+/// \brief Held-out relevance sets per user.
+using RelevanceSets =
+    std::unordered_map<UserId, std::unordered_set<ItemId>>;
+
+/// \brief Aggregate top-K metrics over all evaluated users.
+struct TopKMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double ndcg = 0.0;
+  double map = 0.0;
+  double hit_rate = 0.0;
+  size_t users_evaluated = 0;
+};
+
+/// Evaluates `recommender` (already fitted on the training matrix)
+/// against held-out sets at cutoff k. Users with empty held-out sets
+/// are skipped.
+TopKMetrics EvaluateTopK(const Recommender& recommender,
+                         const RelevanceSets& held_out, size_t k);
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_EVALUATOR_H_

@@ -1,0 +1,54 @@
+#include "recsys/hybrid.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace spa::recsys {
+
+void HybridRecommender::AddComponent(
+    std::unique_ptr<Recommender> component, double weight) {
+  SPA_CHECK(component != nullptr);
+  SPA_CHECK(weight >= 0.0);
+  components_.push_back({std::move(component), weight});
+}
+
+spa::Status HybridRecommender::Fit(const InteractionMatrix& matrix) {
+  if (components_.empty()) {
+    return spa::Status::FailedPrecondition("hybrid has no components");
+  }
+  for (Component& c : components_) {
+    SPA_RETURN_IF_ERROR(c.recommender->Fit(matrix));
+  }
+  return spa::Status::OK();
+}
+
+std::vector<Scored> HybridRecommender::Recommend(UserId user,
+                                                 size_t k) const {
+  std::unordered_map<ItemId, double> blended;
+  for (const Component& c : components_) {
+    const std::vector<Scored> scored =
+        c.recommender->Recommend(user, kComponentDepth);
+    if (scored.empty()) continue;
+    // Min-max normalize this component's scores to [0,1].
+    double lo = scored.back().score;
+    double hi = scored.front().score;
+    for (const Scored& s : scored) {
+      lo = std::min(lo, s.score);
+      hi = std::max(hi, s.score);
+    }
+    const double span = hi - lo;
+    for (const Scored& s : scored) {
+      const double normalized =
+          span > 0.0 ? (s.score - lo) / span : 1.0;
+      blended[s.item] += c.weight * normalized;
+    }
+  }
+  std::vector<Scored> out;
+  out.reserve(blended.size());
+  for (const auto& [item, score] : blended) out.push_back({item, score});
+  SortAndTruncate(&out, k);
+  return out;
+}
+
+}  // namespace spa::recsys

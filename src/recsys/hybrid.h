@@ -1,0 +1,40 @@
+#ifndef SPA_RECSYS_HYBRID_H_
+#define SPA_RECSYS_HYBRID_H_
+
+#include <memory>
+
+#include "recsys/recommender.h"
+
+/// \file
+/// Weighted hybrid recommender (Burke's taxonomy, [2]): combines the
+/// min-max-normalized scores of several base recommenders.
+
+namespace spa::recsys {
+
+/// \brief Weighted-combination hybrid.
+class HybridRecommender : public Recommender {
+ public:
+  /// Adds a component with its blending weight (weights need not sum
+  /// to 1; they are used as given).
+  void AddComponent(std::unique_ptr<Recommender> component,
+                    double weight);
+
+  spa::Status Fit(const InteractionMatrix& matrix) override;
+  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::string name() const override { return "WeightedHybrid"; }
+
+  size_t component_count() const { return components_.size(); }
+
+ private:
+  struct Component {
+    std::unique_ptr<Recommender> recommender;
+    double weight;
+  };
+  std::vector<Component> components_;
+  /// Candidates requested from each component before blending.
+  static constexpr size_t kComponentDepth = 100;
+};
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_HYBRID_H_

@@ -1,0 +1,66 @@
+#include "recsys/interaction_matrix.h"
+
+namespace spa::recsys {
+
+void InteractionMatrix::Add(UserId user, ItemId item, double weight) {
+  auto [uit, user_new] = by_user_.try_emplace(user);
+  if (user_new) user_order_.push_back(user);
+  bool accumulated = false;
+  for (auto& [existing_item, w] : uit->second) {
+    if (existing_item == item) {
+      w += weight;
+      accumulated = true;
+      break;
+    }
+  }
+  if (!accumulated) uit->second.emplace_back(item, weight);
+
+  auto [iit, item_new] = by_item_.try_emplace(item);
+  if (item_new) item_order_.push_back(item);
+  if (accumulated) {
+    for (auto& [existing_user, w] : iit->second) {
+      if (existing_user == user) {
+        w += weight;
+        break;
+      }
+    }
+  } else {
+    iit->second.emplace_back(user, weight);
+  }
+  ++interactions_;
+}
+
+const std::vector<std::pair<ItemId, double>>& InteractionMatrix::ItemsOf(
+    UserId user) const {
+  static const std::vector<std::pair<ItemId, double>> kEmpty;
+  const auto it = by_user_.find(user);
+  return it == by_user_.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::pair<UserId, double>>& InteractionMatrix::UsersOf(
+    ItemId item) const {
+  static const std::vector<std::pair<UserId, double>> kEmpty;
+  const auto it = by_item_.find(item);
+  return it == by_item_.end() ? kEmpty : it->second;
+}
+
+bool InteractionMatrix::Seen(UserId user, ItemId item) const {
+  for (const auto& [existing, w] : ItemsOf(user)) {
+    if (existing == item) return true;
+  }
+  return false;
+}
+
+double InteractionMatrix::UserNormSquared(UserId user) const {
+  double acc = 0.0;
+  for (const auto& [item, w] : ItemsOf(user)) acc += w * w;
+  return acc;
+}
+
+double InteractionMatrix::ItemNormSquared(ItemId item) const {
+  double acc = 0.0;
+  for (const auto& [user, w] : UsersOf(item)) acc += w * w;
+  return acc;
+}
+
+}  // namespace spa::recsys

@@ -1,0 +1,65 @@
+#ifndef SPA_RECSYS_INTERACTION_MATRIX_H_
+#define SPA_RECSYS_INTERACTION_MATRIX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lifelog/event.h"
+
+/// \file
+/// User-item interaction matrix backing the collaborative-filtering
+/// baselines. Weights encode interaction strength (view < click <
+/// info-request < enrolment).
+
+namespace spa::recsys {
+
+using UserId = lifelog::UserId;
+using ItemId = lifelog::ItemId;
+
+/// One weighted user-item interaction.
+struct Interaction {
+  UserId user = 0;
+  ItemId item = lifelog::kNoItem;
+  double weight = 1.0;
+};
+
+/// \brief Bidirectional sparse interaction index.
+class InteractionMatrix {
+ public:
+  /// Adds (accumulates) one interaction.
+  void Add(UserId user, ItemId item, double weight = 1.0);
+
+  /// Items of one user as (item, weight), unordered.
+  const std::vector<std::pair<ItemId, double>>& ItemsOf(UserId user) const;
+
+  /// Users of one item as (user, weight), unordered.
+  const std::vector<std::pair<UserId, double>>& UsersOf(ItemId item) const;
+
+  bool Seen(UserId user, ItemId item) const;
+
+  size_t user_count() const { return by_user_.size(); }
+  size_t item_count() const { return by_item_.size(); }
+  size_t interaction_count() const { return interactions_; }
+
+  const std::vector<UserId>& users() const { return user_order_; }
+  const std::vector<ItemId>& items() const { return item_order_; }
+
+  /// Squared L2 norm of a user's interaction vector.
+  double UserNormSquared(UserId user) const;
+  /// Squared L2 norm of an item's interaction vector.
+  double ItemNormSquared(ItemId item) const;
+
+ private:
+  std::unordered_map<UserId, std::vector<std::pair<ItemId, double>>>
+      by_user_;
+  std::unordered_map<ItemId, std::vector<std::pair<UserId, double>>>
+      by_item_;
+  std::vector<UserId> user_order_;
+  std::vector<ItemId> item_order_;
+  size_t interactions_ = 0;
+};
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_INTERACTION_MATRIX_H_

@@ -1,0 +1,148 @@
+#include "recsys/knn_cf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace spa::recsys {
+
+namespace {
+
+/// Sparse cosine between two (key, weight) lists.
+template <typename K>
+double CosineOf(const std::vector<std::pair<K, double>>& a,
+                const std::vector<std::pair<K, double>>& b,
+                double norm_a_sq, double norm_b_sq) {
+  if (norm_a_sq == 0.0 || norm_b_sq == 0.0) return 0.0;
+  // Hash the shorter list for the join.
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  std::unordered_map<K, double> index;
+  index.reserve(small.size());
+  for (const auto& [key, w] : small) index.emplace(key, w);
+  double dot = 0.0;
+  for (const auto& [key, w] : large) {
+    const auto it = index.find(key);
+    if (it != index.end()) dot += w * it->second;
+  }
+  return dot / (std::sqrt(norm_a_sq) * std::sqrt(norm_b_sq));
+}
+
+}  // namespace
+
+UserKnnRecommender::UserKnnRecommender(KnnConfig config)
+    : config_(config) {}
+
+spa::Status UserKnnRecommender::Fit(const InteractionMatrix& matrix) {
+  matrix_ = &matrix;
+  return spa::Status::OK();
+}
+
+double UserKnnRecommender::Similarity(UserId a, UserId b) const {
+  return CosineOf(matrix_->ItemsOf(a), matrix_->ItemsOf(b),
+                  matrix_->UserNormSquared(a),
+                  matrix_->UserNormSquared(b));
+}
+
+std::vector<Scored> UserKnnRecommender::Recommend(UserId user,
+                                                  size_t k) const {
+  std::vector<Scored> out;
+  if (matrix_ == nullptr) return out;
+  const auto& own_items = matrix_->ItemsOf(user);
+
+  // Candidate neighbors: users sharing at least one item.
+  std::unordered_map<UserId, double> similarity;
+  for (const auto& [item, w] : own_items) {
+    for (const auto& [other, w2] : matrix_->UsersOf(item)) {
+      if (other != user) similarity.emplace(other, 0.0);
+    }
+  }
+  for (auto& [other, sim] : similarity) {
+    sim = Similarity(user, other);
+  }
+
+  // Keep the top-k neighbors.
+  std::vector<std::pair<UserId, double>> neighbors(similarity.begin(),
+                                                   similarity.end());
+  std::sort(neighbors.begin(), neighbors.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (neighbors.size() > config_.neighbors) {
+    neighbors.resize(config_.neighbors);
+  }
+
+  std::unordered_map<ItemId, double> scores;
+  for (const auto& [other, sim] : neighbors) {
+    if (sim < config_.min_similarity) continue;
+    for (const auto& [item, w] : matrix_->ItemsOf(other)) {
+      if (!matrix_->Seen(user, item)) scores[item] += sim * w;
+    }
+  }
+  out.reserve(scores.size());
+  for (const auto& [item, score] : scores) out.push_back({item, score});
+  SortAndTruncate(&out, k);
+  return out;
+}
+
+ItemKnnRecommender::ItemKnnRecommender(KnnConfig config)
+    : config_(config) {}
+
+spa::Status ItemKnnRecommender::Fit(const InteractionMatrix& matrix) {
+  matrix_ = &matrix;
+  return spa::Status::OK();
+}
+
+double ItemKnnRecommender::Similarity(ItemId a, ItemId b) const {
+  return CosineOf(matrix_->UsersOf(a), matrix_->UsersOf(b),
+                  matrix_->ItemNormSquared(a),
+                  matrix_->ItemNormSquared(b));
+}
+
+std::vector<Scored> ItemKnnRecommender::Recommend(UserId user,
+                                                  size_t k) const {
+  std::vector<Scored> out;
+  if (matrix_ == nullptr) return out;
+  const auto& own_items = matrix_->ItemsOf(user);
+
+  // Candidate items: co-interacted with the user's items.
+  std::unordered_map<ItemId, double> scores;
+  for (const auto& [item, weight] : own_items) {
+    // Items sharing a user with `item`.
+    std::unordered_map<ItemId, bool> candidates;
+    for (const auto& [other_user, w2] : matrix_->UsersOf(item)) {
+      for (const auto& [candidate, w3] :
+           matrix_->ItemsOf(other_user)) {
+        if (!matrix_->Seen(user, candidate)) {
+          candidates.emplace(candidate, true);
+        }
+      }
+    }
+    // Rank neighbor similarities for this source item.
+    std::vector<std::pair<ItemId, double>> sims;
+    sims.reserve(candidates.size());
+    for (const auto& [candidate, unused] : candidates) {
+      const double sim = Similarity(item, candidate);
+      if (sim >= config_.min_similarity) {
+        sims.emplace_back(candidate, sim);
+      }
+    }
+    std::sort(sims.begin(), sims.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (sims.size() > config_.neighbors) sims.resize(config_.neighbors);
+    for (const auto& [candidate, sim] : sims) {
+      scores[candidate] += sim * weight;
+    }
+  }
+
+  out.reserve(scores.size());
+  for (const auto& [item, score] : scores) out.push_back({item, score});
+  SortAndTruncate(&out, k);
+  return out;
+}
+
+}  // namespace spa::recsys

@@ -1,0 +1,57 @@
+#ifndef SPA_RECSYS_KNN_CF_H_
+#define SPA_RECSYS_KNN_CF_H_
+
+#include <cstdint>
+
+#include "recsys/recommender.h"
+
+/// \file
+/// Neighborhood collaborative filtering: the canonical memory-based
+/// recommenders of the survey literature the paper cites ([1], [2]).
+/// Both variants use cosine similarity over interaction weights.
+
+namespace spa::recsys {
+
+struct KnnConfig {
+  size_t neighbors = 20;     ///< k in k-nearest-neighbors
+  double min_similarity = 1e-6;
+};
+
+/// \brief User-based CF: score(u, i) = sum over similar users v of
+/// sim(u, v) * weight(v, i).
+class UserKnnRecommender : public Recommender {
+ public:
+  explicit UserKnnRecommender(KnnConfig config = {});
+
+  spa::Status Fit(const InteractionMatrix& matrix) override;
+  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::string name() const override { return "UserKNN"; }
+
+  /// Cosine similarity between two users (exposed for tests).
+  double Similarity(UserId a, UserId b) const;
+
+ private:
+  KnnConfig config_;
+  const InteractionMatrix* matrix_ = nullptr;
+};
+
+/// \brief Item-based CF: score(u, i) = sum over items j the user has,
+/// of sim(i, j) * weight(u, j).
+class ItemKnnRecommender : public Recommender {
+ public:
+  explicit ItemKnnRecommender(KnnConfig config = {});
+
+  spa::Status Fit(const InteractionMatrix& matrix) override;
+  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::string name() const override { return "ItemKNN"; }
+
+  double Similarity(ItemId a, ItemId b) const;
+
+ private:
+  KnnConfig config_;
+  const InteractionMatrix* matrix_ = nullptr;
+};
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_KNN_CF_H_

@@ -1,0 +1,29 @@
+#include "recsys/popularity.h"
+
+namespace spa::recsys {
+
+spa::Status PopularityRecommender::Fit(const InteractionMatrix& matrix) {
+  matrix_ = &matrix;
+  ranked_.clear();
+  ranked_.reserve(matrix.item_count());
+  for (ItemId item : matrix.items()) {
+    double total = 0.0;
+    for (const auto& [user, w] : matrix.UsersOf(item)) total += w;
+    ranked_.push_back({item, total});
+  }
+  SortAndTruncate(&ranked_, ranked_.size());
+  return spa::Status::OK();
+}
+
+std::vector<Scored> PopularityRecommender::Recommend(UserId user,
+                                                     size_t k) const {
+  std::vector<Scored> out;
+  if (matrix_ == nullptr) return out;
+  for (const Scored& candidate : ranked_) {
+    if (out.size() >= k) break;
+    if (!matrix_->Seen(user, candidate.item)) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace spa::recsys

@@ -1,0 +1,26 @@
+#ifndef SPA_RECSYS_POPULARITY_H_
+#define SPA_RECSYS_POPULARITY_H_
+
+#include "recsys/recommender.h"
+
+/// \file
+/// Non-personalized popularity baseline: the weakest comparator every
+/// personalization claim must beat.
+
+namespace spa::recsys {
+
+/// \brief Ranks items by total interaction weight.
+class PopularityRecommender : public Recommender {
+ public:
+  spa::Status Fit(const InteractionMatrix& matrix) override;
+  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::string name() const override { return "Popularity"; }
+
+ private:
+  const InteractionMatrix* matrix_ = nullptr;
+  std::vector<Scored> ranked_;  // all items by popularity
+};
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_POPULARITY_H_

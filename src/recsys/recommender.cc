@@ -1,0 +1,16 @@
+#include "recsys/recommender.h"
+
+#include <algorithm>
+
+namespace spa::recsys {
+
+void SortAndTruncate(std::vector<Scored>* candidates, size_t k) {
+  std::sort(candidates->begin(), candidates->end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (candidates->size() > k) candidates->resize(k);
+}
+
+}  // namespace spa::recsys

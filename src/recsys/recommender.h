@@ -1,0 +1,43 @@
+#ifndef SPA_RECSYS_RECOMMENDER_H_
+#define SPA_RECSYS_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "recsys/interaction_matrix.h"
+
+/// \file
+/// Common recommender interface for the Burke-taxonomy baselines the
+/// paper positions itself against (collaborative, content-based,
+/// hybrid) and for SPA's emotion-aware layer on top.
+
+namespace spa::recsys {
+
+/// A scored candidate item.
+struct Scored {
+  ItemId item = lifelog::kNoItem;
+  double score = 0.0;
+};
+
+/// \brief Interface: fit on interactions, produce ranked suggestions.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Fits internal structures; the matrix must outlive the recommender.
+  virtual spa::Status Fit(const InteractionMatrix& matrix) = 0;
+
+  /// Top-k items for the user, highest score first, excluding items the
+  /// user already interacted with.
+  virtual std::vector<Scored> Recommend(UserId user, size_t k) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Sorts candidates by (score desc, item asc) and truncates to k.
+void SortAndTruncate(std::vector<Scored>* candidates, size_t k);
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_RECOMMENDER_H_

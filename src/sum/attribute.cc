@@ -1,0 +1,17 @@
+#include "sum/attribute.h"
+
+namespace spa::sum {
+
+std::string_view AttributeKindName(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kObjective:
+      return "objective";
+    case AttributeKind::kSubjective:
+      return "subjective";
+    case AttributeKind::kEmotional:
+      return "emotional";
+  }
+  return "unknown";
+}
+
+}  // namespace spa::sum

@@ -1,0 +1,45 @@
+#ifndef SPA_SUM_ATTRIBUTE_H_
+#define SPA_SUM_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "eit/emotion.h"
+
+/// \file
+/// Attribute definitions for Smart User Models. The business case models
+/// each user with 75 "objective, subjective and emotional attributes"
+/// (§5.1); every attribute value and sensibility weight is normalized to
+/// [0, 1].
+
+namespace spa::sum {
+
+using AttributeId = int32_t;
+using UserId = int64_t;
+
+/// The three attribute families of the SUM.
+enum class AttributeKind : uint8_t {
+  kObjective = 0,   ///< socio-demographic facts
+  kSubjective = 1,  ///< stated/inferred preferences and tastes
+  kEmotional = 2,   ///< the ten valenced emotional attributes
+};
+
+std::string_view AttributeKindName(AttributeKind kind);
+
+/// \brief Static definition of one attribute.
+struct AttributeDef {
+  AttributeId id = -1;
+  std::string name;
+  AttributeKind kind = AttributeKind::kObjective;
+  /// Valence; meaningful only for emotional attributes.
+  eit::Valence valence = eit::Valence::kPositive;
+  /// The underlying emotional attribute for kEmotional defs.
+  eit::EmotionalAttribute emotion = eit::EmotionalAttribute::kEnthusiastic;
+  /// Default value a fresh SUM starts from.
+  double default_value = 0.0;
+};
+
+}  // namespace spa::sum
+
+#endif  // SPA_SUM_ATTRIBUTE_H_

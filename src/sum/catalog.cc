@@ -1,0 +1,148 @@
+#include "sum/catalog.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::sum {
+
+namespace {
+
+constexpr std::string_view kObjectiveNames[] = {
+    "age_norm",
+    "gender",
+    "region_code",
+    "education_level",
+    "employment_status",
+    "income_band",
+    "household_size",
+    "has_children",
+    "years_experience",
+    "city_size",
+    "owns_computer",
+    "internet_at_home",
+    "mobile_user",
+    "newsletter_optin",
+    "registration_months",
+    "profile_completeness",
+    "language_es",
+    "language_en",
+    "language_ca",
+    "marital_status",
+    "budget_level",
+    "available_hours_week",
+    "prefers_onsite",
+    "distance_to_center",
+    "device_desktop_ratio",
+    "weekend_activity_ratio",
+    "morning_activity_ratio",
+    "evening_activity_ratio",
+    "discount_usage",
+    "referral_source",
+};
+
+constexpr std::string_view kTopicNames[] = {
+    "topic_business",    "topic_it",        "topic_health",
+    "topic_languages",   "topic_arts",      "topic_law",
+    "topic_science",     "topic_education", "topic_marketing",
+    "topic_finance",     "topic_tourism",   "topic_sports",
+    "topic_design",      "topic_engineering",
+    "topic_psychology",
+};
+
+constexpr std::string_view kPreferenceNames[] = {
+    "price_sensitivity",
+    "brand_affinity",
+    "quality_focus",
+    "novelty_seeking",
+    "certification_value",
+    "practical_orientation",
+    "theoretical_orientation",
+    "group_learning_preference",
+    "self_paced_preference",
+    "instructor_importance",
+    "flexibility_importance",
+    "career_ambition",
+    "learning_enjoyment",
+    "risk_tolerance",
+    "tech_savviness",
+    "social_influence",
+    "time_pressure",
+    "loyalty",
+    "exploration",
+    "patience",
+};
+
+}  // namespace
+
+void AttributeCatalog::Add(AttributeDef def) {
+  def.id = static_cast<AttributeId>(defs_.size());
+  by_name_.emplace(def.name, def.id);
+  by_kind_[static_cast<size_t>(def.kind)].push_back(def.id);
+  if (def.kind == AttributeKind::kEmotional) {
+    emotional_ids_[static_cast<size_t>(def.emotion)] = def.id;
+  }
+  defs_.push_back(std::move(def));
+}
+
+AttributeCatalog AttributeCatalog::EmagisterDefault() {
+  AttributeCatalog catalog;
+  for (std::string_view name : kObjectiveNames) {
+    AttributeDef def;
+    def.name = std::string(name);
+    def.kind = AttributeKind::kObjective;
+    def.default_value = 0.0;
+    catalog.Add(std::move(def));
+  }
+  for (std::string_view name : kTopicNames) {
+    AttributeDef def;
+    def.name = std::string(name);
+    def.kind = AttributeKind::kSubjective;
+    def.default_value = 0.0;
+    catalog.Add(std::move(def));
+  }
+  for (std::string_view name : kPreferenceNames) {
+    AttributeDef def;
+    def.name = std::string(name);
+    def.kind = AttributeKind::kSubjective;
+    def.default_value = 0.5;  // neutral prior for preferences
+    catalog.Add(std::move(def));
+  }
+  for (eit::EmotionalAttribute emotion : eit::AllEmotionalAttributes()) {
+    AttributeDef def;
+    def.name = std::string(eit::EmotionalAttributeName(emotion));
+    def.kind = AttributeKind::kEmotional;
+    def.valence = eit::ValenceOf(emotion);
+    def.emotion = emotion;
+    def.default_value = 0.0;
+    catalog.Add(std::move(def));
+  }
+  SPA_CHECK(catalog.size() == 75);
+  return catalog;
+}
+
+const AttributeDef& AttributeCatalog::def(AttributeId id) const {
+  SPA_CHECK(id >= 0 && static_cast<size_t>(id) < defs_.size());
+  return defs_[static_cast<size_t>(id)];
+}
+
+spa::Result<AttributeId> AttributeCatalog::IdOf(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return spa::Status::NotFound(
+        spa::StrFormat("unknown attribute '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+const std::vector<AttributeId>& AttributeCatalog::ids_of(
+    AttributeKind kind) const {
+  return by_kind_[static_cast<size_t>(kind)];
+}
+
+AttributeId AttributeCatalog::EmotionalId(
+    eit::EmotionalAttribute emotion) const {
+  return emotional_ids_[static_cast<size_t>(emotion)];
+}
+
+}  // namespace spa::sum

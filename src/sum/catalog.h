@@ -1,0 +1,49 @@
+#ifndef SPA_SUM_CATALOG_H_
+#define SPA_SUM_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sum/attribute.h"
+
+/// \file
+/// The 75-attribute catalog of the emagister business case: objective
+/// socio-demographics, subjective preferences/topic affinities, and the
+/// ten valenced emotional attributes (§5.1).
+
+namespace spa::sum {
+
+/// \brief Immutable attribute registry shared by all SUMs.
+class AttributeCatalog {
+ public:
+  /// The deployment catalog: 30 objective + 35 subjective + 10
+  /// emotional = 75 attributes.
+  static AttributeCatalog EmagisterDefault();
+
+  size_t size() const { return defs_.size(); }
+  const AttributeDef& def(AttributeId id) const;
+
+  /// Lookup by name; NotFound for unknown names.
+  spa::Result<AttributeId> IdOf(const std::string& name) const;
+
+  const std::vector<AttributeId>& ids_of(AttributeKind kind) const;
+
+  /// Attribute id of one of the ten emotional attributes.
+  AttributeId EmotionalId(eit::EmotionalAttribute emotion) const;
+
+  const std::vector<AttributeDef>& defs() const { return defs_; }
+
+ private:
+  void Add(AttributeDef def);
+
+  std::vector<AttributeDef> defs_;
+  std::unordered_map<std::string, AttributeId> by_name_;
+  std::vector<AttributeId> by_kind_[3];
+  std::array<AttributeId, eit::kNumEmotionalAttributes> emotional_ids_{};
+};
+
+}  // namespace spa::sum
+
+#endif  // SPA_SUM_CATALOG_H_

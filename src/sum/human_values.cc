@@ -1,0 +1,128 @@
+#include "sum/human_values.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spa::sum {
+
+std::string_view HumanValueName(HumanValue v) {
+  switch (v) {
+    case HumanValue::kPower:
+      return "power";
+    case HumanValue::kAchievement:
+      return "achievement";
+    case HumanValue::kHedonism:
+      return "hedonism";
+    case HumanValue::kStimulation:
+      return "stimulation";
+    case HumanValue::kSelfDirection:
+      return "self_direction";
+    case HumanValue::kUniversalism:
+      return "universalism";
+    case HumanValue::kBenevolence:
+      return "benevolence";
+    case HumanValue::kTradition:
+      return "tradition";
+    case HumanValue::kConformity:
+      return "conformity";
+    case HumanValue::kSecurity:
+      return "security";
+  }
+  return "unknown";
+}
+
+HumanValue HumanValuesScale::Dominant() const {
+  const size_t best = static_cast<size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  return static_cast<HumanValue>(best);
+}
+
+namespace {
+
+/// Contribution of an attribute (by name) to each human value. Returns
+/// weight 0 for unmapped attributes.
+struct ValueMapping {
+  std::string_view attribute;
+  HumanValue value;
+  double weight;
+};
+
+constexpr ValueMapping kMappings[] = {
+    {"career_ambition", HumanValue::kAchievement, 1.0},
+    {"career_ambition", HumanValue::kPower, 0.6},
+    {"quality_focus", HumanValue::kAchievement, 0.4},
+    {"brand_affinity", HumanValue::kPower, 0.5},
+    {"learning_enjoyment", HumanValue::kHedonism, 1.0},
+    {"novelty_seeking", HumanValue::kStimulation, 1.0},
+    {"exploration", HumanValue::kStimulation, 0.7},
+    {"risk_tolerance", HumanValue::kStimulation, 0.5},
+    {"self_paced_preference", HumanValue::kSelfDirection, 1.0},
+    {"theoretical_orientation", HumanValue::kSelfDirection, 0.4},
+    {"topic_education", HumanValue::kUniversalism, 0.6},
+    {"topic_health", HumanValue::kUniversalism, 0.5},
+    {"group_learning_preference", HumanValue::kBenevolence, 0.8},
+    {"social_influence", HumanValue::kBenevolence, 0.5},
+    {"loyalty", HumanValue::kTradition, 1.0},
+    {"patience", HumanValue::kTradition, 0.4},
+    {"instructor_importance", HumanValue::kConformity, 0.7},
+    {"certification_value", HumanValue::kConformity, 0.6},
+    {"price_sensitivity", HumanValue::kSecurity, 0.7},
+    {"practical_orientation", HumanValue::kSecurity, 0.5},
+    // Emotional attributes feed the experiential values.
+    {"enthusiastic", HumanValue::kStimulation, 0.6},
+    {"lively", HumanValue::kHedonism, 0.5},
+    {"stimulated", HumanValue::kStimulation, 0.6},
+    {"hopeful", HumanValue::kAchievement, 0.4},
+    {"motivated", HumanValue::kAchievement, 0.6},
+    {"empathic", HumanValue::kBenevolence, 0.8},
+    {"frightened", HumanValue::kSecurity, 0.6},
+    {"shy", HumanValue::kConformity, 0.4},
+    {"impatient", HumanValue::kPower, 0.3},
+    {"apathetic", HumanValue::kTradition, 0.2},
+};
+
+}  // namespace
+
+HumanValuesScale ComputeHumanValues(const SmartUserModel& model) {
+  HumanValuesScale scale;
+  std::array<double, kNumHumanValues> weight_sum{};
+  const AttributeCatalog& catalog = model.catalog();
+  for (const ValueMapping& m : kMappings) {
+    const auto id = catalog.IdOf(std::string(m.attribute));
+    if (!id.ok()) continue;
+    const AttributeDef& def = catalog.def(id.value());
+    // Subjective attributes contribute their value; emotional ones
+    // contribute their learned sensibility.
+    const double signal = def.kind == AttributeKind::kEmotional
+                              ? model.sensibility(id.value())
+                              : model.value(id.value());
+    const size_t v = static_cast<size_t>(m.value);
+    scale.scores[v] += m.weight * signal;
+    weight_sum[v] += m.weight;
+  }
+  for (size_t v = 0; v < kNumHumanValues; ++v) {
+    if (weight_sum[v] > 0.0) scale.scores[v] /= weight_sum[v];
+  }
+  return scale;
+}
+
+double CoherenceFunction(const SmartUserModel& model) {
+  const AttributeCatalog& catalog = model.catalog();
+  double dot = 0.0, norm_stated = 0.0, norm_observed = 0.0;
+  for (AttributeId id : catalog.ids_of(AttributeKind::kSubjective)) {
+    const double stated = model.value(id);
+    const double observed = model.sensibility(id);
+    dot += stated * observed;
+    norm_stated += stated * stated;
+    norm_observed += observed * observed;
+  }
+  if (norm_stated == 0.0 || norm_observed == 0.0) return 0.5;
+  const double cosine =
+      dot / (std::sqrt(norm_stated) * std::sqrt(norm_observed));
+  // Map cosine [0,1] (all-nonnegative vectors) onto [0.5, 1]; a fully
+  // orthogonal action/preference pair scores 0.5 ("unknown"), aligned
+  // pairs approach 1.
+  return 0.5 + 0.5 * cosine;
+}
+
+}  // namespace spa::sum

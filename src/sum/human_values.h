@@ -1,0 +1,56 @@
+#ifndef SPA_SUM_HUMAN_VALUES_H_
+#define SPA_SUM_HUMAN_VALUES_H_
+
+#include <array>
+#include <string_view>
+
+#include "sum/user_model.h"
+
+/// \file
+/// The Human Values Scale of SPA's Intelligent User Interface (§4
+/// component 5, following Guzmán et al. 2005): an individualized
+/// Schwartz-style value scale derived from the user's dominant
+/// attributes, plus the *coherence function* between a user's actions
+/// and his/her implicit and explicit preferences.
+
+namespace spa::sum {
+
+/// The ten Schwartz basic human values.
+enum class HumanValue : uint8_t {
+  kPower = 0,
+  kAchievement,
+  kHedonism,
+  kStimulation,
+  kSelfDirection,
+  kUniversalism,
+  kBenevolence,
+  kTradition,
+  kConformity,
+  kSecurity,
+};
+
+inline constexpr size_t kNumHumanValues = 10;
+
+std::string_view HumanValueName(HumanValue v);
+
+/// \brief Individualized value scale: one score in [0,1] per value.
+struct HumanValuesScale {
+  std::array<double, kNumHumanValues> scores{};
+
+  /// The highest-scoring value.
+  HumanValue Dominant() const;
+};
+
+/// Derives the scale from a SUM's subjective and emotional
+/// sensibilities through a fixed attribute-to-value mapping.
+HumanValuesScale ComputeHumanValues(const SmartUserModel& model);
+
+/// Coherence between stated preferences (subjective attribute values)
+/// and observed behaviour (sensibility weights learned from actions):
+/// cosine similarity over the subjective attributes, in [0,1]
+/// (0.5 = orthogonal, 1 = perfectly aligned).
+double CoherenceFunction(const SmartUserModel& model);
+
+}  // namespace spa::sum
+
+#endif  // SPA_SUM_HUMAN_VALUES_H_

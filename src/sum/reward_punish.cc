@@ -1,0 +1,47 @@
+#include "sum/reward_punish.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace spa::sum {
+
+ReinforcementUpdater::ReinforcementUpdater(ReinforcementConfig config)
+    : config_(config) {
+  SPA_CHECK(config_.learning_rate > 0.0 && config_.learning_rate <= 1.0);
+  SPA_CHECK(config_.decay_rate >= 0.0 && config_.decay_rate < 1.0);
+  SPA_CHECK(config_.floor >= 0.0 && config_.floor < 1.0);
+}
+
+void ReinforcementUpdater::Reward(SmartUserModel* model, AttributeId id,
+                                  double magnitude) const {
+  SPA_DCHECK(magnitude >= 0.0);
+  const double w = model->sensibility(id);
+  const double step =
+      std::min(1.0, config_.learning_rate * magnitude);
+  model->set_sensibility(id, w + step * (1.0 - w));
+  model->add_evidence(id, magnitude);
+}
+
+void ReinforcementUpdater::Punish(SmartUserModel* model, AttributeId id,
+                                  double magnitude) const {
+  SPA_DCHECK(magnitude >= 0.0);
+  const double w = model->sensibility(id);
+  const double step =
+      std::min(1.0, config_.learning_rate * magnitude);
+  model->set_sensibility(id, std::max(config_.floor, w - step * w));
+  model->add_evidence(id, magnitude);
+}
+
+void ReinforcementUpdater::Decay(SmartUserModel* model,
+                                 AttributeKind kind) const {
+  for (AttributeId id : model->catalog().ids_of(kind)) {
+    const double w = model->sensibility(id);
+    if (w > config_.floor) {
+      model->set_sensibility(
+          id, std::max(config_.floor, w * (1.0 - config_.decay_rate)));
+    }
+  }
+}
+
+}  // namespace spa::sum

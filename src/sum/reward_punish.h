@@ -1,0 +1,48 @@
+#ifndef SPA_SUM_REWARD_PUNISH_H_
+#define SPA_SUM_REWARD_PUNISH_H_
+
+#include "sum/user_model.h"
+
+/// \file
+/// The Update stage of the SUM lifecycle (§3 stage 3): "keeps the SUM
+/// informed of user changes according to recent interactions based on
+/// reward and punish mechanisms". Multiplicative updates keep every
+/// sensibility inside [0,1] by construction.
+
+namespace spa::sum {
+
+struct ReinforcementConfig {
+  /// Step size of a unit-magnitude reward/punishment.
+  double learning_rate = 0.15;
+  /// Per-round multiplicative decay toward 0 (forgetting).
+  double decay_rate = 0.01;
+  /// Sensibility floor applied after punish/decay (attributes never
+  /// become unrecoverable).
+  double floor = 0.0;
+};
+
+/// \brief Applies reward/punish reinforcement to SUM sensibilities.
+class ReinforcementUpdater {
+ public:
+  explicit ReinforcementUpdater(ReinforcementConfig config = {});
+
+  /// w += lr * magnitude * (1 - w); also accrues evidence.
+  void Reward(SmartUserModel* model, AttributeId id,
+              double magnitude = 1.0) const;
+
+  /// w -= lr * magnitude * w; also accrues evidence.
+  void Punish(SmartUserModel* model, AttributeId id,
+              double magnitude = 1.0) const;
+
+  /// Applies one decay round to every attribute of the given kind.
+  void Decay(SmartUserModel* model, AttributeKind kind) const;
+
+  const ReinforcementConfig& config() const { return config_; }
+
+ private:
+  ReinforcementConfig config_;
+};
+
+}  // namespace spa::sum
+
+#endif  // SPA_SUM_REWARD_PUNISH_H_

@@ -1,0 +1,107 @@
+#include "sum/sum_store.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace spa::sum {
+
+SumStore::SumStore(const AttributeCatalog* catalog) : catalog_(catalog) {
+  SPA_CHECK(catalog != nullptr);
+}
+
+SmartUserModel* SumStore::GetOrCreate(UserId user) {
+  auto it = models_.find(user);
+  if (it == models_.end()) {
+    it = models_.emplace(user, SmartUserModel(user, catalog_)).first;
+    order_.push_back(user);
+  }
+  return &it->second;
+}
+
+spa::Result<const SmartUserModel*> SumStore::Get(UserId user) const {
+  const auto it = models_.find(user);
+  if (it == models_.end()) {
+    return spa::Status::NotFound(
+        spa::StrFormat("no SUM for user %lld",
+                       static_cast<long long>(user)));
+  }
+  return &it->second;
+}
+
+spa::Result<SmartUserModel*> SumStore::GetMutable(UserId user) {
+  const auto it = models_.find(user);
+  if (it == models_.end()) {
+    return spa::Status::NotFound(
+        spa::StrFormat("no SUM for user %lld",
+                       static_cast<long long>(user)));
+  }
+  return &it->second;
+}
+
+void SumStore::ForEach(
+    const std::function<void(const SmartUserModel&)>& fn) const {
+  for (UserId user : order_) {
+    fn(models_.at(user));
+  }
+}
+
+std::string SumStore::ToCsv() const {
+  std::ostringstream out;
+  spa::CsvWriter writer(&out);
+  writer.WriteRow({"user", "attribute", "value", "sensibility",
+                   "evidence"});
+  ForEach([&](const SmartUserModel& model) {
+    for (const AttributeDef& def : catalog_->defs()) {
+      const double value = model.value(def.id);
+      const double sensibility = model.sensibility(def.id);
+      const double evidence = model.evidence(def.id);
+      if (value == def.default_value && sensibility == 0.0 &&
+          evidence == 0.0) {
+        continue;  // sparse: skip untouched attributes
+      }
+      writer.WriteRow({std::to_string(model.user()), def.name,
+                       spa::StrFormat("%.9g", value),
+                       spa::StrFormat("%.9g", sensibility),
+                       spa::StrFormat("%.9g", evidence)});
+    }
+  });
+  return out.str();
+}
+
+spa::Result<SumStore> SumStore::FromCsv(
+    const std::string& text, const AttributeCatalog* catalog) {
+  SPA_CHECK(catalog != nullptr);
+  SPA_ASSIGN_OR_RETURN(auto rows, spa::ParseCsv(text));
+  if (rows.empty()) {
+    return spa::Status::InvalidArgument("empty SUM CSV");
+  }
+  SumStore store(catalog);
+  for (size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const auto& row = rows[i];
+    if (row.size() != 5) {
+      return spa::Status::InvalidArgument(
+          spa::StrFormat("row %zu has %zu fields, expected 5", i,
+                         row.size()));
+    }
+    int64_t user;
+    double value, sensibility, evidence;
+    if (!spa::ParseInt64(row[0], &user) ||
+        !spa::ParseDouble(row[2], &value) ||
+        !spa::ParseDouble(row[3], &sensibility) ||
+        !spa::ParseDouble(row[4], &evidence)) {
+      return spa::Status::InvalidArgument(
+          spa::StrFormat("row %zu has non-numeric fields", i));
+    }
+    SPA_ASSIGN_OR_RETURN(AttributeId attr, catalog->IdOf(row[1]));
+    SmartUserModel* model = store.GetOrCreate(user);
+    model->set_value(attr, value);
+    model->set_sensibility(attr, sensibility);
+    model->add_evidence(attr, evidence);
+  }
+  return store;
+}
+
+}  // namespace spa::sum

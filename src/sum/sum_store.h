@@ -1,0 +1,56 @@
+#ifndef SPA_SUM_SUM_STORE_H_
+#define SPA_SUM_SUM_STORE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sum/user_model.h"
+
+/// \file
+/// Collection of Smart User Models, keyed by user. The store owns the
+/// models; the shared catalog is borrowed and must outlive the store.
+
+namespace spa::sum {
+
+/// \brief Owning map of SUMs.
+class SumStore {
+ public:
+  explicit SumStore(const AttributeCatalog* catalog);
+
+  /// Existing model or a freshly initialized one.
+  SmartUserModel* GetOrCreate(UserId user);
+
+  /// Existing model; NotFound otherwise.
+  spa::Result<const SmartUserModel*> Get(UserId user) const;
+  spa::Result<SmartUserModel*> GetMutable(UserId user);
+
+  size_t size() const { return models_.size(); }
+
+  /// Users in creation order.
+  const std::vector<UserId>& users() const { return order_; }
+
+  void ForEach(
+      const std::function<void(const SmartUserModel&)>& fn) const;
+
+  const AttributeCatalog& catalog() const { return *catalog_; }
+
+  /// Serializes every model as CSV: one row per (user, attribute) with
+  /// a non-default value, sensibility or evidence.
+  std::string ToCsv() const;
+
+  /// Restores a store from ToCsv() output. Attribute names must exist
+  /// in `catalog` (rows naming unknown attributes fail the load).
+  static spa::Result<SumStore> FromCsv(const std::string& text,
+                                       const AttributeCatalog* catalog);
+
+ private:
+  const AttributeCatalog* catalog_;
+  std::unordered_map<UserId, SmartUserModel> models_;
+  std::vector<UserId> order_;
+};
+
+}  // namespace spa::sum
+
+#endif  // SPA_SUM_SUM_STORE_H_

@@ -1,0 +1,119 @@
+#include "sum/user_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace spa::sum {
+
+SmartUserModel::SmartUserModel(UserId user,
+                               const AttributeCatalog* catalog)
+    : user_(user), catalog_(catalog) {
+  SPA_CHECK(catalog != nullptr);
+  values_.resize(catalog->size());
+  sensibility_.assign(catalog->size(), 0.0);
+  evidence_.assign(catalog->size(), 0.0);
+  for (size_t i = 0; i < catalog->size(); ++i) {
+    values_[i] = catalog->defs()[i].default_value;
+  }
+}
+
+double SmartUserModel::value(AttributeId id) const {
+  SPA_DCHECK(id >= 0 && static_cast<size_t>(id) < values_.size());
+  return values_[static_cast<size_t>(id)];
+}
+
+void SmartUserModel::set_value(AttributeId id, double v) {
+  SPA_DCHECK(id >= 0 && static_cast<size_t>(id) < values_.size());
+  values_[static_cast<size_t>(id)] = std::clamp(v, 0.0, 1.0);
+}
+
+double SmartUserModel::sensibility(AttributeId id) const {
+  SPA_DCHECK(id >= 0 && static_cast<size_t>(id) < sensibility_.size());
+  return sensibility_[static_cast<size_t>(id)];
+}
+
+void SmartUserModel::set_sensibility(AttributeId id, double w) {
+  SPA_DCHECK(id >= 0 && static_cast<size_t>(id) < sensibility_.size());
+  sensibility_[static_cast<size_t>(id)] = std::clamp(w, 0.0, 1.0);
+}
+
+double SmartUserModel::evidence(AttributeId id) const {
+  SPA_DCHECK(id >= 0 && static_cast<size_t>(id) < evidence_.size());
+  return evidence_[static_cast<size_t>(id)];
+}
+
+void SmartUserModel::add_evidence(AttributeId id, double amount) {
+  SPA_DCHECK(id >= 0 && static_cast<size_t>(id) < evidence_.size());
+  evidence_[static_cast<size_t>(id)] += amount;
+}
+
+std::vector<DominantAttribute> SmartUserModel::Dominant(
+    AttributeKind kind, double threshold, size_t max_count) const {
+  std::vector<DominantAttribute> out;
+  for (AttributeId id : catalog_->ids_of(kind)) {
+    const double w = sensibility_[static_cast<size_t>(id)];
+    if (w >= threshold) out.push_back({id, w});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DominantAttribute& a, const DominantAttribute& b) {
+              if (a.sensibility != b.sensibility) {
+                return a.sensibility > b.sensibility;
+              }
+              return a.id < b.id;
+            });
+  if (out.size() > max_count) out.resize(max_count);
+  return out;
+}
+
+std::vector<double> SmartUserModel::EmotionalSensibilities() const {
+  std::vector<double> out;
+  out.reserve(eit::kNumEmotionalAttributes);
+  for (eit::EmotionalAttribute emotion : eit::AllEmotionalAttributes()) {
+    out.push_back(sensibility(catalog_->EmotionalId(emotion)));
+  }
+  return out;
+}
+
+void SmartUserModel::RegisterFeatures(const AttributeCatalog& catalog,
+                                      lifelog::FeatureSpace* space) {
+  for (const AttributeDef& def : catalog.defs()) {
+    space->Intern(spa::StrFormat("sum.value.%s", def.name.c_str()));
+    if (def.kind == AttributeKind::kEmotional) {
+      space->Intern(spa::StrFormat("sum.sens.%s", def.name.c_str()));
+    }
+  }
+}
+
+ml::SparseVector SmartUserModel::Features(
+    const lifelog::FeatureSpace& space, bool include_emotional) const {
+  std::vector<ml::SparseEntry> entries;
+  for (const AttributeDef& def : catalog_->defs()) {
+    const bool emotional = def.kind == AttributeKind::kEmotional;
+    if (emotional && !include_emotional) continue;
+    const double v = values_[static_cast<size_t>(def.id)];
+    if (v != 0.0) {
+      const auto idx = space.IndexOf(
+          spa::StrFormat("sum.value.%s", def.name.c_str()));
+      SPA_CHECK(idx.ok());
+      entries.push_back({idx.value(), v});
+    }
+    if (emotional) {
+      const double w = sensibility_[static_cast<size_t>(def.id)];
+      if (w != 0.0) {
+        const auto idx = space.IndexOf(
+            spa::StrFormat("sum.sens.%s", def.name.c_str()));
+        SPA_CHECK(idx.ok());
+        entries.push_back({idx.value(), w});
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ml::SparseEntry& a, const ml::SparseEntry& b) {
+              return a.index < b.index;
+            });
+  return ml::SparseVector(entries);
+}
+
+}  // namespace spa::sum

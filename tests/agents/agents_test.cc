@@ -1,0 +1,453 @@
+#include <memory>
+
+#include "agents/attributes_agent.h"
+#include "agents/messaging_agent.h"
+#include "agents/preprocessor_agent.h"
+#include "agents/runtime.h"
+#include "gtest/gtest.h"
+#include "lifelog/weblog.h"
+
+namespace spa::agents {
+namespace {
+
+/// Test agent that records everything it receives.
+class RecorderAgent : public Agent {
+ public:
+  explicit RecorderAgent(std::string name) : Agent(std::move(name)) {}
+  void OnMessage(const Envelope& envelope, AgentContext* ctx) override {
+    (void)ctx;
+    received.push_back(envelope);
+  }
+  std::vector<Envelope> received;
+};
+
+/// Test agent that forwards ticks to a peer.
+class ForwarderAgent : public Agent {
+ public:
+  ForwarderAgent(std::string name, std::string peer)
+      : Agent(std::move(name)), peer_(std::move(peer)) {}
+  void OnMessage(const Envelope& envelope, AgentContext* ctx) override {
+    if (std::get_if<Tick>(&envelope.payload) != nullptr &&
+        envelope.from == "external") {
+      ctx->Send(peer_, envelope.payload);
+    }
+  }
+
+ private:
+  std::string peer_;
+};
+
+TEST(RuntimeTest, RegisterRejectsDuplicates) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  ASSERT_TRUE(
+      runtime.Register(std::make_unique<RecorderAgent>("a")).ok());
+  EXPECT_EQ(runtime.Register(std::make_unique<RecorderAgent>("a")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(runtime.HasAgent("a"));
+  EXPECT_FALSE(runtime.HasAgent("b"));
+}
+
+TEST(RuntimeTest, DeliversInFifoOrder) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  auto recorder = std::make_unique<RecorderAgent>("rec");
+  RecorderAgent* rec = recorder.get();
+  ASSERT_TRUE(runtime.Register(std::move(recorder)).ok());
+  for (int i = 0; i < 5; ++i) {
+    runtime.Inject("rec", Tick{static_cast<TimeMicros>(i)});
+  }
+  EXPECT_EQ(runtime.RunUntilIdle(), 5u);
+  ASSERT_EQ(rec->received.size(), 5u);
+  for (size_t i = 1; i < rec->received.size(); ++i) {
+    EXPECT_LT(rec->received[i - 1].seq, rec->received[i].seq);
+  }
+}
+
+TEST(RuntimeTest, UnknownRecipientCountsAsDropped) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  runtime.Inject("ghost", Tick{});
+  EXPECT_EQ(runtime.RunUntilIdle(), 0u);
+  EXPECT_EQ(runtime.dropped(), 1u);
+}
+
+TEST(RuntimeTest, AgentToAgentDelivery) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  ASSERT_TRUE(runtime
+                  .Register(std::make_unique<ForwarderAgent>("fwd",
+                                                             "rec"))
+                  .ok());
+  auto recorder = std::make_unique<RecorderAgent>("rec");
+  RecorderAgent* rec = recorder.get();
+  ASSERT_TRUE(runtime.Register(std::move(recorder)).ok());
+
+  runtime.Inject("fwd", Tick{});
+  runtime.RunUntilIdle();
+  ASSERT_EQ(rec->received.size(), 1u);
+  EXPECT_EQ(rec->received[0].from, "fwd");
+  EXPECT_EQ(runtime.stats().at("fwd").sent, 1u);
+  EXPECT_EQ(runtime.stats().at("rec").delivered, 1u);
+}
+
+TEST(RuntimeTest, TickAllReachesEveryAgent) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  std::vector<RecorderAgent*> recs;
+  for (int i = 0; i < 3; ++i) {
+    auto r = std::make_unique<RecorderAgent>("rec" + std::to_string(i));
+    recs.push_back(r.get());
+    ASSERT_TRUE(runtime.Register(std::move(r)).ok());
+  }
+  runtime.TickAll();
+  for (RecorderAgent* r : recs) {
+    EXPECT_EQ(r->received.size(), 1u);
+  }
+}
+
+TEST(PayloadNameTest, AllAlternativesNamed) {
+  EXPECT_EQ(PayloadName(RawLogBatch{}), "RawLogBatch");
+  EXPECT_EQ(PayloadName(PreprocessReport{}), "PreprocessReport");
+  EXPECT_EQ(PayloadName(EitAnswerObserved{}), "EitAnswerObserved");
+  EXPECT_EQ(PayloadName(InteractionObserved{}), "InteractionObserved");
+  EXPECT_EQ(PayloadName(ComposeMessageRequest{}),
+            "ComposeMessageRequest");
+  EXPECT_EQ(PayloadName(ComposedMessage{}), "ComposedMessage");
+  EXPECT_EQ(PayloadName(Tick{}), "Tick");
+}
+
+class PreprocessorAgentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = lifelog::ActionCatalog::Standard();
+  }
+
+  std::vector<std::string> MakeLines(size_t n) {
+    std::vector<lifelog::Event> events;
+    for (size_t i = 0; i < n; ++i) {
+      lifelog::Event e;
+      e.user = static_cast<lifelog::UserId>(100 + i % 50);
+      e.time = static_cast<TimeMicros>(i) * kMicrosPerMinute;
+      e.action_code = static_cast<int32_t>((i * 7) % 984);
+      events.push_back(e);
+    }
+    lifelog::WeblogSynthesizer synth({0.0, 0.0, 0.0, 9});
+    std::vector<std::string> lines;
+    synth.Synthesize(events, &lines);
+    return lines;
+  }
+
+  lifelog::ActionCatalog catalog_;
+};
+
+TEST_F(PreprocessorAgentTest, ProcessesWithinCapacityWithoutReplicating) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  lifelog::LifeLogStore store;
+  PreprocessorAgentConfig config;
+  config.capacity_per_batch = 1000;
+  auto agent = std::make_unique<PreprocessorAgent>(&catalog_, &store,
+                                                   config);
+  const PreprocessorAgent* primary = agent.get();
+  ASSERT_TRUE(runtime.Register(std::move(agent)).ok());
+
+  runtime.Inject("preproc-0", RawLogBatch{MakeLines(500)});
+  runtime.RunUntilIdle();
+  EXPECT_EQ(store.total_events(), 500u);
+  EXPECT_EQ(primary->family_stats().replicas, 1u);
+  EXPECT_EQ(primary->family_stats().overflow_handoffs, 0u);
+}
+
+TEST_F(PreprocessorAgentTest, ReplicatesUnderOverload) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  lifelog::LifeLogStore store;
+  PreprocessorAgentConfig config;
+  config.capacity_per_batch = 100;
+  config.max_replicas = 4;
+  auto agent = std::make_unique<PreprocessorAgent>(&catalog_, &store,
+                                                   config);
+  const PreprocessorAgent* primary = agent.get();
+  ASSERT_TRUE(runtime.Register(std::move(agent)).ok());
+
+  runtime.Inject("preproc-0", RawLogBatch{MakeLines(950)});
+  runtime.RunUntilIdle();
+  // All lines processed despite the tiny per-replica capacity...
+  EXPECT_EQ(store.total_events(), 950u);
+  // ...because the family replicated.
+  EXPECT_GT(primary->family_stats().replicas, 1u);
+  EXPECT_LE(primary->family_stats().replicas, 4u);
+  EXPECT_GT(primary->family_stats().overflow_handoffs, 0u);
+  EXPECT_TRUE(runtime.HasAgent("preproc-1"));
+}
+
+TEST_F(PreprocessorAgentTest, ReplicaCountCapped) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  lifelog::LifeLogStore store;
+  PreprocessorAgentConfig config;
+  config.capacity_per_batch = 10;
+  config.max_replicas = 2;
+  auto agent = std::make_unique<PreprocessorAgent>(&catalog_, &store,
+                                                   config);
+  const PreprocessorAgent* primary = agent.get();
+  ASSERT_TRUE(runtime.Register(std::move(agent)).ok());
+
+  runtime.Inject("preproc-0", RawLogBatch{MakeLines(500)});
+  runtime.RunUntilIdle();
+  EXPECT_EQ(store.total_events(), 500u);
+  EXPECT_LE(primary->family_stats().replicas, 2u);
+}
+
+class AttributesAgentTest : public ::testing::Test {
+ protected:
+  AttributesAgentTest()
+      : catalog_(sum::AttributeCatalog::EmagisterDefault()),
+        sums_(&catalog_) {}
+
+  sum::AttributeCatalog catalog_;
+  sum::SumStore sums_;
+};
+
+TEST_F(AttributesAgentTest, EitAnswerActivatesAttributes) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  auto agent = std::make_unique<AttributesManagerAgent>(&sums_);
+  const AttributesManagerAgent* manager = agent.get();
+  ASSERT_TRUE(runtime.Register(std::move(agent)).ok());
+
+  // Signed evidence: 0.5 is above the neutral consensus (reward),
+  // 0.1 is below it (punish — disagreeing with the consensus is
+  // evidence of a weak attribute).
+  EitAnswerObserved answer;
+  answer.user = 7;
+  answer.question_id = 3;
+  answer.activations = {
+      {eit::EmotionalAttribute::kHopeful, 0.5},
+      {eit::EmotionalAttribute::kShy, 0.1},
+  };
+  runtime.Inject("attributes-manager", answer);
+  runtime.RunUntilIdle();
+
+  const auto model = sums_.Get(7);
+  ASSERT_TRUE(model.ok());
+  const auto hopeful =
+      catalog_.EmotionalId(eit::EmotionalAttribute::kHopeful);
+  const auto shy = catalog_.EmotionalId(eit::EmotionalAttribute::kShy);
+  EXPECT_GT(model.value()->sensibility(hopeful), 0.0);
+  EXPECT_DOUBLE_EQ(model.value()->sensibility(shy), 0.0);  // punished
+  EXPECT_EQ(manager->stats().eit_answers, 1u);
+  EXPECT_EQ(manager->stats().reinforcements, 1u);
+  EXPECT_EQ(manager->stats().punishments, 1u);
+}
+
+TEST_F(AttributesAgentTest, InteractionRewardAndPunish) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  auto agent = std::make_unique<AttributesManagerAgent>(&sums_);
+  ASSERT_TRUE(runtime.Register(std::move(agent)).ok());
+
+  const auto lively =
+      catalog_.EmotionalId(eit::EmotionalAttribute::kLively);
+  InteractionObserved good;
+  good.user = 9;
+  good.argued_attribute = lively;
+  good.positive = true;
+  runtime.Inject("attributes-manager", good);
+  runtime.RunUntilIdle();
+  const double after_reward = sums_.Get(9).value()->sensibility(lively);
+  EXPECT_GT(after_reward, 0.0);
+
+  InteractionObserved bad = good;
+  bad.positive = false;
+  runtime.Inject("attributes-manager", bad);
+  runtime.RunUntilIdle();
+  EXPECT_LT(sums_.Get(9).value()->sensibility(lively), after_reward);
+}
+
+TEST_F(AttributesAgentTest, StandardMessageInteractionIsNoOp) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  auto agent = std::make_unique<AttributesManagerAgent>(&sums_);
+  const AttributesManagerAgent* manager = agent.get();
+  ASSERT_TRUE(runtime.Register(std::move(agent)).ok());
+
+  InteractionObserved standard;
+  standard.user = 5;
+  standard.argued_attribute = -1;
+  standard.positive = true;
+  runtime.Inject("attributes-manager", standard);
+  runtime.RunUntilIdle();
+  EXPECT_EQ(manager->stats().reinforcements, 0u);
+}
+
+TEST_F(AttributesAgentTest, TickAppliesDecay) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  AttributesAgentConfig config;
+  config.reinforcement.decay_rate = 0.5;
+  auto agent =
+      std::make_unique<AttributesManagerAgent>(&sums_, config);
+  ASSERT_TRUE(runtime.Register(std::move(agent)).ok());
+
+  const auto lively =
+      catalog_.EmotionalId(eit::EmotionalAttribute::kLively);
+  sums_.GetOrCreate(11)->set_sensibility(lively, 0.8);
+  runtime.Inject("attributes-manager", Tick{});
+  runtime.RunUntilIdle();
+  EXPECT_NEAR(sums_.Get(11).value()->sensibility(lively), 0.4, 1e-12);
+}
+
+class MessagingAgentTest : public ::testing::Test {
+ protected:
+  MessagingAgentTest()
+      : catalog_(sum::AttributeCatalog::EmagisterDefault()),
+        sums_(&catalog_) {}
+
+  sum::AttributeId Emo(eit::EmotionalAttribute attr) const {
+    return catalog_.EmotionalId(attr);
+  }
+
+  sum::AttributeCatalog catalog_;
+  sum::SumStore sums_;
+};
+
+TEST_F(MessagingAgentTest, CaseA_NoSensibility_StandardMessage) {
+  MessagingAgent agent(&sums_);
+  InstallDefaultTemplates(catalog_, &agent);
+  sums_.GetOrCreate(1);  // all sensibilities zero
+
+  ComposeMessageRequest request;
+  request.user = 1;
+  request.course = 10;
+  request.product_attributes = {
+      Emo(eit::EmotionalAttribute::kEnthusiastic)};
+  const ComposedMessage message = agent.Compose(request);
+  EXPECT_EQ(message.message_case, MessageCase::kStandard);
+  EXPECT_EQ(message.argued_attribute, -1);
+  EXPECT_FALSE(message.text.empty());
+}
+
+TEST_F(MessagingAgentTest, CaseB_SingleMatch) {
+  MessagingAgent agent(&sums_);
+  InstallDefaultTemplates(catalog_, &agent);
+  sum::SmartUserModel* model = sums_.GetOrCreate(2);
+  model->set_sensibility(Emo(eit::EmotionalAttribute::kEnthusiastic),
+                         0.9);
+
+  ComposeMessageRequest request;
+  request.user = 2;
+  request.course = 10;
+  request.product_attributes = {
+      Emo(eit::EmotionalAttribute::kEnthusiastic),
+      Emo(eit::EmotionalAttribute::kShy)};
+  const ComposedMessage message = agent.Compose(request);
+  EXPECT_EQ(message.message_case, MessageCase::kSingleMatch);
+  EXPECT_EQ(message.argued_attribute,
+            Emo(eit::EmotionalAttribute::kEnthusiastic));
+  EXPECT_NE(message.text.find("enthusiasm"), std::string::npos);
+}
+
+TEST_F(MessagingAgentTest, CaseCi_PriorityOrder) {
+  MessagingAgentConfig config;
+  config.policy = MultiMatchPolicy::kPriority;
+  MessagingAgent agent(&sums_, config);
+  InstallDefaultTemplates(catalog_, &agent);
+  sum::SmartUserModel* model = sums_.GetOrCreate(3);
+  // Both match; "lively" has higher sensibility but "stimulated" comes
+  // first in the product's priority list.
+  model->set_sensibility(Emo(eit::EmotionalAttribute::kLively), 0.95);
+  model->set_sensibility(Emo(eit::EmotionalAttribute::kStimulated),
+                         0.7);
+
+  ComposeMessageRequest request;
+  request.user = 3;
+  request.course = 11;
+  request.product_attributes = {
+      Emo(eit::EmotionalAttribute::kStimulated),
+      Emo(eit::EmotionalAttribute::kLively)};
+  const ComposedMessage message = agent.Compose(request);
+  EXPECT_EQ(message.message_case, MessageCase::kPriority);
+  EXPECT_EQ(message.argued_attribute,
+            Emo(eit::EmotionalAttribute::kStimulated));
+}
+
+TEST_F(MessagingAgentTest, CaseCii_MaxSensibility) {
+  MessagingAgentConfig config;
+  config.policy = MultiMatchPolicy::kMaxSensibility;
+  MessagingAgent agent(&sums_, config);
+  InstallDefaultTemplates(catalog_, &agent);
+  sum::SmartUserModel* model = sums_.GetOrCreate(4);
+  // Fig. 5(c): motivated and hopeful both match; hopeful is stronger.
+  model->set_sensibility(Emo(eit::EmotionalAttribute::kMotivated), 0.6);
+  model->set_sensibility(Emo(eit::EmotionalAttribute::kHopeful), 0.85);
+
+  ComposeMessageRequest request;
+  request.user = 4;
+  request.course = 12;
+  request.product_attributes = {
+      Emo(eit::EmotionalAttribute::kMotivated),
+      Emo(eit::EmotionalAttribute::kHopeful)};
+  const ComposedMessage message = agent.Compose(request);
+  EXPECT_EQ(message.message_case, MessageCase::kMaxSensibility);
+  EXPECT_EQ(message.argued_attribute,
+            Emo(eit::EmotionalAttribute::kHopeful));
+  EXPECT_NE(message.text.find("hoping"), std::string::npos);
+}
+
+TEST_F(MessagingAgentTest, UnknownUserGetsStandardMessage) {
+  MessagingAgent agent(&sums_);
+  ComposeMessageRequest request;
+  request.user = 999;  // no SUM
+  request.product_attributes = {
+      Emo(eit::EmotionalAttribute::kEnthusiastic)};
+  const ComposedMessage message = agent.Compose(request);
+  EXPECT_EQ(message.message_case, MessageCase::kStandard);
+}
+
+TEST_F(MessagingAgentTest, MailboxRoundTrip) {
+  SimClock clock;
+  AgentRuntime runtime(&clock);
+  auto messaging = std::make_unique<MessagingAgent>(&sums_);
+  ASSERT_TRUE(runtime.Register(std::move(messaging)).ok());
+  auto recorder = std::make_unique<RecorderAgent>("campaigner");
+  RecorderAgent* rec = recorder.get();
+  ASSERT_TRUE(runtime.Register(std::move(recorder)).ok());
+
+  sums_.GetOrCreate(5)->set_sensibility(
+      Emo(eit::EmotionalAttribute::kHopeful), 0.9);
+
+  // The campaigner asks the messaging agent for a message; the reply
+  // comes back through the mailbox.
+  AgentContext ctx(&runtime, "campaigner");
+  ComposeMessageRequest request;
+  request.user = 5;
+  request.course = 3;
+  request.product_attributes = {Emo(eit::EmotionalAttribute::kHopeful)};
+  ctx.Send("messaging", request);
+  runtime.RunUntilIdle();
+
+  ASSERT_EQ(rec->received.size(), 1u);
+  const auto* reply =
+      std::get_if<ComposedMessage>(&rec->received[0].payload);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->user, 5);
+  EXPECT_EQ(reply->message_case, MessageCase::kSingleMatch);
+}
+
+TEST_F(MessagingAgentTest, StatsTrackCases) {
+  MessagingAgent agent(&sums_);
+  sums_.GetOrCreate(6);
+  ComposeMessageRequest request;
+  request.user = 6;
+  request.product_attributes = {
+      Emo(eit::EmotionalAttribute::kEnthusiastic)};
+  agent.Compose(request);
+  agent.Compose(request);
+  EXPECT_EQ(agent.stats().composed, 2u);
+  EXPECT_EQ(agent.stats().by_case[0], 2u);
+}
+
+}  // namespace
+}  // namespace spa::agents

@@ -1,0 +1,386 @@
+#include <cmath>
+#include <set>
+
+#include "campaign/behavior.h"
+#include "campaign/course.h"
+#include "campaign/population.h"
+#include "campaign/redemption.h"
+#include "campaign/runner.h"
+#include "gtest/gtest.h"
+
+namespace spa::campaign {
+namespace {
+
+TEST(CourseCatalogTest, GeneratesValidCourses) {
+  const auto attrs = sum::AttributeCatalog::EmagisterDefault();
+  const CourseCatalog catalog = CourseCatalog::Generate(50, attrs, 42);
+  EXPECT_EQ(catalog.size(), 50u);
+  for (const Course& course : catalog.courses()) {
+    EXPECT_GE(course.topic, 0);
+    EXPECT_LT(course.topic, static_cast<int32_t>(kNumTopics));
+    EXPECT_GE(course.sellable_attributes.size(), 2u);
+    for (double r : course.emotion_profile) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+    // Sellable attributes are valid and the first two are emotional.
+    for (size_t s = 0; s < 2; ++s) {
+      const auto& def =
+          attrs.def(course.sellable_attributes[s]);
+      EXPECT_EQ(def.kind, sum::AttributeKind::kEmotional);
+    }
+    EXPECT_FALSE(course.name.empty());
+  }
+}
+
+TEST(CourseCatalogTest, DeterministicAndLookup) {
+  const auto attrs = sum::AttributeCatalog::EmagisterDefault();
+  const CourseCatalog a = CourseCatalog::Generate(20, attrs, 7);
+  const CourseCatalog b = CourseCatalog::Generate(20, attrs, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.course(i).name, b.course(i).name);
+    EXPECT_EQ(a.course(i).topic, b.course(i).topic);
+  }
+  EXPECT_TRUE(a.ById(0).ok());
+  EXPECT_FALSE(a.ById(-1).ok());
+  EXPECT_FALSE(a.ById(20).ok());
+}
+
+TEST(CourseCatalogTest, ContentFeaturesEncodeTopicOneHot) {
+  const auto attrs = sum::AttributeCatalog::EmagisterDefault();
+  const CourseCatalog catalog = CourseCatalog::Generate(5, attrs, 3);
+  const Course& course = catalog.course(0);
+  const ml::SparseVector features = catalog.ContentFeatures(course);
+  ASSERT_GE(features.nnz(), 1u);
+  EXPECT_EQ(features.index(0), course.topic);
+  EXPECT_DOUBLE_EQ(features.value(0), 1.0);
+}
+
+TEST(PopulationTest, DeterministicGroundTruth) {
+  const PopulationModel model({42, 0.35, 1.0, 0.25});
+  const LatentUser a = model.UserAt(123);
+  const LatentUser b = model.UserAt(123);
+  EXPECT_EQ(a.emotional, b.emotional);
+  EXPECT_EQ(a.topics, b.topics);
+  EXPECT_DOUBLE_EQ(a.base_propensity, b.base_propensity);
+  const LatentUser c = model.UserAt(124);
+  EXPECT_NE(a.emotional, c.emotional);
+}
+
+TEST(PopulationTest, LatentsInRange) {
+  const PopulationModel model({7, 0.35, 1.0, 0.25});
+  for (sum::UserId u = 0; u < 200; ++u) {
+    const LatentUser user = model.UserAt(u);
+    for (double s : user.emotional) {
+      ASSERT_GE(s, 0.0);
+      ASSERT_LE(s, 1.0);
+    }
+    ASSERT_GE(user.base_propensity, 0.0);
+    ASSERT_LE(user.base_propensity, 0.95);
+    ASSERT_GE(user.open_rate, 0.05);
+    ASSERT_LE(user.open_rate, 0.95);
+    ASSERT_GE(user.eit_answer_prob, 0.0);
+    ASSERT_LE(user.eit_answer_prob, 1.0);
+  }
+}
+
+TEST(PopulationTest, InitializeSumSkipsEmotionalAttributes) {
+  const auto catalog = sum::AttributeCatalog::EmagisterDefault();
+  const PopulationModel population({42, 0.35, 1.0, 0.25});
+  const LatentUser latent = population.UserAt(5);
+  sum::SmartUserModel model(5, &catalog);
+  population.InitializeSum(latent, &model);
+  // Emotional values/sensibilities untouched.
+  for (eit::EmotionalAttribute e : eit::AllEmotionalAttributes()) {
+    EXPECT_DOUBLE_EQ(model.value(catalog.EmotionalId(e)), 0.0);
+    EXPECT_DOUBLE_EQ(model.sensibility(catalog.EmotionalId(e)), 0.0);
+  }
+  // Demographics copied.
+  EXPECT_DOUBLE_EQ(model.value(catalog.IdOf("age_norm").value()),
+                   latent.age_norm);
+}
+
+TEST(ResponseModelTest, AlignmentReflectsLatentSensibility) {
+  const auto catalog = sum::AttributeCatalog::EmagisterDefault();
+  const ResponseModel responses;
+  LatentUser user;
+  user.emotional[static_cast<size_t>(
+      eit::EmotionalAttribute::kHopeful)] = 0.9;
+
+  const auto hopeful =
+      catalog.EmotionalId(eit::EmotionalAttribute::kHopeful);
+  const auto shy = catalog.EmotionalId(eit::EmotionalAttribute::kShy);
+  EXPECT_DOUBLE_EQ(
+      responses.ArgumentAlignment(user, hopeful, catalog), 0.9);
+  EXPECT_LT(responses.ArgumentAlignment(user, shy, catalog), 0.9);
+  EXPECT_DOUBLE_EQ(responses.ArgumentAlignment(user, -1, catalog), 0.0);
+}
+
+TEST(ResponseModelTest, GoodArgumentLiftsClickProbability) {
+  const ResponseModel responses;
+  LatentUser user;
+  user.base_propensity = 0.1;
+  Course course;
+  course.topic = 0;
+  user.topics[0] = 0.5;
+  const double without =
+      responses.ClickProbability(user, course, 0.0);
+  const double with = responses.ClickProbability(user, course, 0.9);
+  EXPECT_GT(with, without * 1.5);
+}
+
+TEST(ResponseModelTest, FunnelIsMonotone) {
+  const auto catalog = sum::AttributeCatalog::EmagisterDefault();
+  const ResponseModel responses;
+  Rng rng(42);
+  LatentUser user;
+  user.open_rate = 0.8;
+  user.base_propensity = 0.3;
+  Course course;
+  size_t opens = 0, clicks = 0, transactions = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const ContactOutcome outcome = responses.Sample(
+        &rng, user, course, -1, catalog, Channel::kPush);
+    if (outcome.opened) ++opens;
+    if (outcome.clicked) ++clicks;
+    if (outcome.transacted) ++transactions;
+    // Funnel invariants.
+    ASSERT_FALSE(outcome.clicked && !outcome.opened);
+    ASSERT_FALSE(outcome.transacted && !outcome.clicked);
+  }
+  EXPECT_GT(opens, clicks);
+  EXPECT_GT(clicks, transactions);
+  EXPECT_GT(transactions, 0u);
+}
+
+// Property sweeps: every funnel probability must be monotone in each
+// of its drivers — the structural assumption behind the Fig. 6
+// calibration.
+class ResponseMonotonicitySweep
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResponseMonotonicitySweep, ClickMonotoneInPropensity) {
+  const ResponseModel responses;
+  Course course;
+  LatentUser lo, hi;
+  lo.base_propensity = GetParam() * 0.5;
+  hi.base_propensity = GetParam();
+  EXPECT_LE(responses.ClickProbability(lo, course, 0.3),
+            responses.ClickProbability(hi, course, 0.3));
+}
+
+TEST_P(ResponseMonotonicitySweep, ClickMonotoneInAlignment) {
+  const ResponseModel responses;
+  Course course;
+  LatentUser user;
+  user.base_propensity = 0.2;
+  EXPECT_LE(responses.ClickProbability(user, course, GetParam() * 0.5),
+            responses.ClickProbability(user, course, GetParam()));
+}
+
+TEST_P(ResponseMonotonicitySweep, ClickMonotoneInTopicMatch) {
+  const ResponseModel responses;
+  Course course;
+  course.topic = 2;
+  LatentUser lo, hi;
+  lo.topics[2] = GetParam() * 0.5;
+  hi.topics[2] = GetParam();
+  EXPECT_LE(responses.ClickProbability(lo, course, 0.0),
+            responses.ClickProbability(hi, course, 0.0));
+}
+
+TEST_P(ResponseMonotonicitySweep, TransactionMonotoneInPropensity) {
+  const ResponseModel responses;
+  Course course;
+  LatentUser lo, hi;
+  lo.base_propensity = GetParam() * 0.5;
+  hi.base_propensity = GetParam();
+  EXPECT_LE(responses.TransactionProbability(lo, course, 0.2),
+            responses.TransactionProbability(hi, course, 0.2));
+}
+
+TEST_P(ResponseMonotonicitySweep, ProbabilitiesStayInUnitInterval) {
+  const ResponseModel responses;
+  Course course;
+  LatentUser user;
+  user.base_propensity = GetParam();
+  user.open_rate = GetParam();
+  user.topics[0] = GetParam();
+  for (double alignment : {0.0, 0.5, 1.0}) {
+    for (double p :
+         {responses.OpenProbability(user, Channel::kPush),
+          responses.OpenProbability(user, Channel::kNewsletter),
+          responses.ClickProbability(user, course, alignment),
+          responses.TransactionProbability(user, course, alignment)}) {
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ResponseMonotonicitySweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 0.95));
+
+TEST(ResponseModelTest, NewsletterOpensLessThanPush) {
+  const ResponseModel responses;
+  LatentUser user;
+  user.open_rate = 0.6;
+  EXPECT_GT(responses.OpenProbability(user, Channel::kPush),
+            responses.OpenProbability(user, Channel::kNewsletter));
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest()
+      : population_({42, 0.5, 1.0, 0.25}),
+        courses_(CourseCatalog::Generate(
+            40, sum::AttributeCatalog::EmagisterDefault(), 42)) {
+    core::SpaConfig config;
+    config.eit_questions_per_section = 2;
+    spa_ = std::make_unique<core::Spa>(config);
+    RunnerConfig runner_config;
+    runner_config.bootstrap_events_per_user = 6;
+    runner_ = std::make_unique<CampaignRunner>(
+        spa_.get(), &population_, &courses_, &responses_,
+        runner_config);
+    runner_->RegisterCourses();
+    for (sum::UserId u = 0; u < 400; ++u) candidates_.push_back(u);
+    runner_->BootstrapUsers(candidates_);
+  }
+
+  PopulationModel population_;
+  CourseCatalog courses_;
+  ResponseModel responses_;
+  std::unique_ptr<core::Spa> spa_;
+  std::unique_ptr<CampaignRunner> runner_;
+  std::vector<sum::UserId> candidates_;
+};
+
+TEST_F(RunnerTest, BootstrapCreatesSumsAndHistory) {
+  EXPECT_EQ(spa_->sums()->size(), 400u);
+  EXPECT_GT(spa_->lifelog()->total_events(), 400u);
+}
+
+TEST_F(RunnerTest, RunCampaignProducesConsistentOutcome) {
+  CampaignSpec spec;
+  spec.id = 1;
+  spec.target_count = 200;
+  spec.featured_courses = {0, 1, 2, 3, 4};
+  const CampaignOutcome outcome =
+      runner_->RunCampaign(spec, candidates_);
+
+  EXPECT_EQ(outcome.targeted, 200u);
+  EXPECT_EQ(outcome.scores.size(), 200u);
+  EXPECT_EQ(outcome.labels.size(), 200u);
+  EXPECT_GE(outcome.opened, outcome.clicked);
+  EXPECT_GE(outcome.clicked, outcome.transactions);
+  EXPECT_EQ(outcome.useful_impacts,
+            static_cast<size_t>(std::count(outcome.labels.begin(),
+                                           outcome.labels.end(), 1)));
+  uint64_t case_total = 0;
+  for (uint64_t c : outcome.message_cases) case_total += c;
+  EXPECT_EQ(case_total, 200u);
+  EXPECT_GT(outcome.eit_questions_answered, 0u);
+  EXPECT_EQ(runner_->history_size(), 200u);
+}
+
+TEST_F(RunnerTest, CampaignsTrainTheModel) {
+  CampaignSpec spec;
+  spec.id = 1;
+  spec.target_count = 300;
+  spec.featured_courses = {0, 1, 2, 3, 4};
+  runner_->RunCampaign(spec, candidates_);
+  // After one decent-sized campaign both classes almost surely exist.
+  EXPECT_TRUE(spa_->smart_component()->trained());
+}
+
+TEST_F(RunnerTest, PropensityTargetingSelectsTopUsers) {
+  CampaignSpec first;
+  first.id = 1;
+  first.target_count = 300;
+  first.featured_courses = {0, 1, 2, 3, 4};
+  runner_->RunCampaign(first, candidates_);
+  ASSERT_TRUE(spa_->smart_component()->trained());
+
+  CampaignSpec targeted;
+  targeted.id = 2;
+  targeted.target_count = 50;
+  targeted.featured_courses = {5, 6, 7};
+  targeted.targeting = TargetingMode::kPropensity;
+  const CampaignOutcome outcome =
+      runner_->RunCampaign(targeted, candidates_);
+  EXPECT_EQ(outcome.targeted, 50u);
+  // Scores come sorted descending under propensity targeting.
+  for (size_t i = 1; i < outcome.scores.size(); ++i) {
+    EXPECT_GE(outcome.scores[i - 1], outcome.scores[i]);
+  }
+}
+
+TEST_F(RunnerTest, DefaultScheduleMatchesPaperDesign) {
+  const auto schedule =
+      runner_->DefaultSchedule(1000, 5, TargetingMode::kRandom);
+  ASSERT_EQ(schedule.size(), 10u);
+  size_t newsletters = 0;
+  std::set<int> ids;
+  for (const CampaignSpec& spec : schedule) {
+    if (spec.channel == Channel::kNewsletter) ++newsletters;
+    ids.insert(spec.id);
+    EXPECT_EQ(spec.target_count, 1000u);
+    EXPECT_EQ(spec.featured_courses.size(), 5u);
+  }
+  EXPECT_EQ(newsletters, 2u);  // 8 Push + 2 newsletters
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(RedemptionTest, ComputesCurveAndImprovement) {
+  // Synthetic outcome: scores perfectly separate responders.
+  CampaignOutcome outcome;
+  outcome.campaign_id = 1;
+  for (int i = 0; i < 100; ++i) {
+    const bool responder = i < 20;
+    outcome.scores.push_back(responder ? 1.0 - i * 0.001
+                                       : 0.5 - i * 0.001);
+    outcome.labels.push_back(responder ? 1 : -1);
+    if (responder) {
+      ++outcome.useful_impacts;
+      ++outcome.transactions;
+    }
+  }
+  outcome.targeted = 100;
+
+  const RedemptionReport report = ComputeRedemption({outcome}, 10);
+  EXPECT_DOUBLE_EQ(report.base_rate, 0.2);
+  // All 20 responders are in the top 40 slots.
+  EXPECT_DOUBLE_EQ(report.captured_at_40, 1.0);
+  EXPECT_DOUBLE_EQ(report.precision_at_40, 0.5);
+  EXPECT_NEAR(report.redemption_improvement, 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(report.auc, 1.0);
+  EXPECT_EQ(report.total_targeted, 100u);
+  EXPECT_EQ(report.total_useful_impacts, 20u);
+}
+
+TEST(RedemptionTest, EmptyOutcomesSafe) {
+  const RedemptionReport report = ComputeRedemption({});
+  EXPECT_EQ(report.total_targeted, 0u);
+  EXPECT_TRUE(report.curve.empty());
+}
+
+TEST(RedemptionTest, PredictiveScoreRows) {
+  CampaignOutcome a;
+  a.campaign_id = 1;
+  a.targeted = 100;
+  a.useful_impacts = 21;
+  CampaignOutcome b;
+  b.campaign_id = 2;
+  b.channel = Channel::kNewsletter;
+  b.targeted = 200;
+  b.useful_impacts = 30;
+  const auto rows = PredictiveScores({a, b});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].predictive_score, 0.21);
+  EXPECT_DOUBLE_EQ(rows[1].predictive_score, 0.15);
+  EXPECT_EQ(rows[1].channel, Channel::kNewsletter);
+}
+
+}  // namespace
+}  // namespace spa::campaign

@@ -1,0 +1,109 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace spa {
+namespace {
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteRow({"a,b", "say \"hi\"", "line\nbreak", "plain"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\",plain\n");
+}
+
+TEST(CsvWriterTest, WriteCellsMixedTypes) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteCells("id", 42, 3);
+  EXPECT_EQ(out.str(), "id,42,3\n");
+}
+
+TEST(CsvParseTest, SimpleLine) {
+  const auto r = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParseTest, EmptyFieldsKept) {
+  const auto r = ParseCsvLine("a,,c,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(CsvParseTest, QuotedFieldWithDelimiter) {
+  const auto r = ParseCsvLine("\"a,b\",c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  const auto r = ParseCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(CsvParseTest, ToleratesCarriageReturn) {
+  const auto r = ParseCsvLine("a,b\r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParseTest, UnterminatedQuoteFails) {
+  const auto r = ParseCsvLine("\"abc");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, QuoteInsideUnquotedFieldFails) {
+  const auto r = ParseCsvLine("ab\"c,d");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvParseTest, WholeDocument) {
+  const auto r = ParseCsv("h1,h2\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(r.value()[0], (std::vector<std::string>{"h1", "h2"}));
+  EXPECT_EQ(r.value()[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, DocumentWithoutTrailingNewline) {
+  const auto r = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(CsvRoundTripTest, WriteThenParse) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  const std::vector<std::string> original = {"x,y", "\"quoted\"", "",
+                                             "multi\nline", "simple"};
+  w.WriteRow(original);
+  // Note: embedded newline means ParseCsv would split rows; parse the
+  // single line boundary-aware by reconstructing from the writer output
+  // minus the final newline.
+  std::string text = out.str();
+  text.pop_back();
+  const auto r = ParseCsvLine(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), original);
+}
+
+TEST(CsvParseTest, AlternateDelimiter) {
+  const auto r = ParseCsvLine("a\tb\tc", '\t');
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace spa

@@ -1,0 +1,78 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace spa {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ThreadCountRespected) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<int> hits(n, 0);
+  ParallelFor(&pool, n, [&hits](size_t i) { hits[i] += 1; });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  ThreadPool pool(8);
+  const size_t n = 100000;
+  std::vector<int64_t> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(&pool, n, [&](size_t i) { sum.fetch_add(values[i]); });
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelForTest, ZeroElements) {
+  ThreadPool pool(2);
+  bool touched = false;
+  ParallelFor(&pool, 0, [&touched](size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, FewerElementsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 3, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace spa

@@ -1,0 +1,260 @@
+#include <cmath>
+#include <set>
+
+#include "eit/emotion.h"
+#include "eit/four_branch.h"
+#include "eit/gradual_eit.h"
+#include "eit/question_bank.h"
+#include "gtest/gtest.h"
+
+namespace spa::eit {
+namespace {
+
+TEST(EmotionTest, TenAttributesWithPaperNames) {
+  const auto attrs = AllEmotionalAttributes();
+  EXPECT_EQ(attrs.size(), 10u);
+  EXPECT_EQ(EmotionalAttributeName(EmotionalAttribute::kEnthusiastic),
+            "enthusiastic");
+  EXPECT_EQ(EmotionalAttributeName(EmotionalAttribute::kApathetic),
+            "apathetic");
+  std::set<std::string_view> names;
+  for (auto a : attrs) names.insert(EmotionalAttributeName(a));
+  EXPECT_EQ(names.size(), 10u);  // all distinct
+}
+
+TEST(EmotionTest, ValencesSplitSixPositiveFourNegative) {
+  size_t positive = 0, negative = 0;
+  for (auto a : AllEmotionalAttributes()) {
+    (ValenceOf(a) == Valence::kPositive ? positive : negative) += 1;
+  }
+  EXPECT_EQ(positive, 6u);
+  EXPECT_EQ(negative, 4u);
+  EXPECT_EQ(ValenceOf(EmotionalAttribute::kHopeful), Valence::kPositive);
+  EXPECT_EQ(ValenceOf(EmotionalAttribute::kFrightened),
+            Valence::kNegative);
+  EXPECT_DOUBLE_EQ(ValenceSign(EmotionalAttribute::kLively), 1.0);
+  EXPECT_DOUBLE_EQ(ValenceSign(EmotionalAttribute::kShy), -1.0);
+}
+
+TEST(EmotionTest, ParseRoundTrip) {
+  for (auto a : AllEmotionalAttributes()) {
+    EmotionalAttribute parsed;
+    ASSERT_TRUE(
+        ParseEmotionalAttribute(EmotionalAttributeName(a), &parsed));
+    EXPECT_EQ(parsed, a);
+  }
+  EmotionalAttribute unused;
+  EXPECT_FALSE(ParseEmotionalAttribute("bogus", &unused));
+}
+
+TEST(FourBranchTest, TableOneStructure) {
+  EXPECT_EQ(kNumBranches, 4u);
+  EXPECT_EQ(TaskSections().size(), 8u);
+  // Two sections per branch.
+  std::array<int, kNumBranches> per_branch{};
+  for (const TaskSection& s : TaskSections()) {
+    ++per_branch[static_cast<size_t>(s.branch)];
+  }
+  for (int count : per_branch) EXPECT_EQ(count, 2);
+}
+
+TEST(FourBranchTest, AreaGrouping) {
+  EXPECT_EQ(AreaOf(Branch::kPerceiving), Area::kExperiential);
+  EXPECT_EQ(AreaOf(Branch::kFacilitating), Area::kExperiential);
+  EXPECT_EQ(AreaOf(Branch::kUnderstanding), Area::kStrategic);
+  EXPECT_EQ(AreaOf(Branch::kManaging), Area::kStrategic);
+}
+
+TEST(FourBranchTest, NamesAndDescriptionsNonEmpty) {
+  for (Branch b : AllBranches()) {
+    EXPECT_FALSE(BranchName(b).empty());
+    EXPECT_FALSE(BranchDescription(b).empty());
+  }
+  EXPECT_EQ(AreaName(Area::kExperiential), "Experiential");
+  EXPECT_EQ(AreaName(Area::kStrategic), "Strategic");
+}
+
+TEST(QuestionBankTest, GeneratesRequestedStructure) {
+  const QuestionBank bank = QuestionBank::Generate(5, 42);
+  EXPECT_EQ(bank.size(), 40u);  // 8 sections x 5
+  for (Branch b : AllBranches()) {
+    EXPECT_EQ(bank.BranchItems(b).size(), 10u);  // 2 sections x 5
+  }
+}
+
+TEST(QuestionBankTest, ConsensusIsDistribution) {
+  const QuestionBank bank = QuestionBank::Generate(10, 7);
+  for (size_t i = 0; i < bank.size(); ++i) {
+    const EitQuestion& q = bank.question(i);
+    double total = 0.0;
+    for (double c : q.consensus) {
+      EXPECT_GE(c, 0.0);
+      total += c;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_FALSE(q.impacts.empty());
+    EXPECT_LE(q.impacts.size(), 3u);
+    EXPECT_FALSE(q.text.empty());
+  }
+}
+
+TEST(QuestionBankTest, DeterministicForSeed) {
+  const QuestionBank a = QuestionBank::Generate(3, 99);
+  const QuestionBank b = QuestionBank::Generate(3, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.question(i).text, b.question(i).text);
+    EXPECT_EQ(a.question(i).consensus, b.question(i).consensus);
+  }
+}
+
+TEST(QuestionBankTest, ByIdBounds) {
+  const QuestionBank bank = QuestionBank::Generate(2, 1);
+  EXPECT_TRUE(bank.ById(0).ok());
+  EXPECT_TRUE(bank.ById(static_cast<int32_t>(bank.size()) - 1).ok());
+  EXPECT_FALSE(bank.ById(-1).ok());
+  EXPECT_FALSE(bank.ById(static_cast<int32_t>(bank.size())).ok());
+}
+
+TEST(GradualEitTest, RoundRobinCoversAllBranches) {
+  const QuestionBank bank = QuestionBank::Generate(4, 42);
+  const GradualEit eit(&bank);
+  UserEitState state(bank.size());
+  std::set<Branch> touched;
+  for (int i = 0; i < 4; ++i) {
+    const auto qid = eit.NextQuestionFor(state);
+    ASSERT_TRUE(qid.ok());
+    const EitQuestion& q = *bank.ById(qid.value()).value();
+    touched.insert(q.branch);
+    ASSERT_TRUE(eit.RecordAnswer(&state, qid.value(), 0).ok());
+  }
+  EXPECT_EQ(touched.size(), 4u);  // one answer per branch in 4 contacts
+}
+
+TEST(GradualEitTest, RejectsDuplicateAnswers) {
+  const QuestionBank bank = QuestionBank::Generate(2, 42);
+  const GradualEit eit(&bank);
+  UserEitState state(bank.size());
+  ASSERT_TRUE(eit.RecordAnswer(&state, 0, 1).ok());
+  EXPECT_EQ(eit.RecordAnswer(&state, 0, 2).status().code(),
+            spa::StatusCode::kAlreadyExists);
+}
+
+TEST(GradualEitTest, RejectsBadOptionAndId) {
+  const QuestionBank bank = QuestionBank::Generate(2, 42);
+  const GradualEit eit(&bank);
+  UserEitState state(bank.size());
+  EXPECT_FALSE(eit.RecordAnswer(&state, 0, kOptionsPerQuestion).ok());
+  EXPECT_FALSE(eit.RecordAnswer(&state, 9999, 0).ok());
+}
+
+TEST(GradualEitTest, BankExhaustionReported) {
+  const QuestionBank bank = QuestionBank::Generate(1, 42);  // 8 items
+  const GradualEit eit(&bank);
+  UserEitState state(bank.size());
+  for (size_t i = 0; i < bank.size(); ++i) {
+    const auto qid = eit.NextQuestionFor(state);
+    ASSERT_TRUE(qid.ok());
+    ASSERT_TRUE(eit.RecordAnswer(&state, qid.value(), 0).ok());
+  }
+  EXPECT_EQ(eit.NextQuestionFor(state).status().code(),
+            spa::StatusCode::kNotFound);
+}
+
+TEST(GradualEitTest, ModalAnswerMaximizesConsensusScore) {
+  const QuestionBank bank = QuestionBank::Generate(3, 42);
+  const GradualEit eit(&bank);
+  const EitQuestion& q = bank.question(0);
+  UserEitState modal_state(bank.size());
+  UserEitState other_state(bank.size());
+  const size_t modal = q.ModalOption();
+  const size_t other = (modal + 1) % kOptionsPerQuestion;
+  const auto modal_result =
+      eit.RecordAnswer(&modal_state, q.id, modal);
+  const auto other_result =
+      eit.RecordAnswer(&other_state, q.id, other);
+  ASSERT_TRUE(modal_result.ok());
+  ASSERT_TRUE(other_result.ok());
+  EXPECT_GT(modal_result.value().consensus_score,
+            other_result.value().consensus_score);
+}
+
+TEST(GradualEitTest, ActivationsScaleWithConsensus) {
+  const QuestionBank bank = QuestionBank::Generate(3, 42);
+  const GradualEit eit(&bank);
+  const EitQuestion& q = bank.question(5);
+  UserEitState state(bank.size());
+  const auto result = eit.RecordAnswer(&state, q.id, q.ModalOption());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().activations.size(), q.impacts.size());
+  for (size_t i = 0; i < q.impacts.size(); ++i) {
+    EXPECT_EQ(result.value().activations[i].attribute,
+              q.impacts[i].attribute);
+    EXPECT_NEAR(result.value().activations[i].weight,
+                q.impacts[i].weight * result.value().consensus_score,
+                1e-12);
+  }
+}
+
+TEST(GradualEitTest, ScoresAggregateByBranchAndArea) {
+  const QuestionBank bank = QuestionBank::Generate(2, 42);
+  const GradualEit eit(&bank);
+  UserEitState state(bank.size());
+  // Answer everything with the modal option.
+  while (true) {
+    const auto qid = eit.NextQuestionFor(state);
+    if (!qid.ok()) break;
+    const EitQuestion& q = *bank.ById(qid.value()).value();
+    ASSERT_TRUE(
+        eit.RecordAnswer(&state, qid.value(), q.ModalOption()).ok());
+  }
+  const EitScores scores = eit.ScoresFor(state);
+  EXPECT_EQ(scores.answered, bank.size());
+  for (size_t b = 0; b < kNumBranches; ++b) {
+    EXPECT_GT(scores.branch_score[b], 0.0);
+    EXPECT_LE(scores.branch_score[b], 1.0);
+    EXPECT_EQ(scores.branch_answered[b], 4u);
+  }
+  // Areas are means of their branches.
+  EXPECT_NEAR(scores.area_score[0],
+              (scores.branch_score[0] + scores.branch_score[1]) / 2.0,
+              1e-12);
+  EXPECT_NEAR(scores.area_score[1],
+              (scores.branch_score[2] + scores.branch_score[3]) / 2.0,
+              1e-12);
+  EXPECT_GT(scores.total, 0.0);
+  EXPECT_TRUE(std::isfinite(scores.Standardized()));
+}
+
+TEST(GradualEitTest, EmptyStateScoresAreZero) {
+  const QuestionBank bank = QuestionBank::Generate(2, 42);
+  const GradualEit eit(&bank);
+  UserEitState state(bank.size());
+  const EitScores scores = eit.ScoresFor(state);
+  EXPECT_EQ(scores.answered, 0u);
+  EXPECT_DOUBLE_EQ(scores.total, 0.0);
+}
+
+// Property sweep: consensus scores always within [0,1] regardless of
+// option chosen.
+class EitOptionSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EitOptionSweep, ConsensusScoreInRange) {
+  const QuestionBank bank = QuestionBank::Generate(4, 17);
+  const GradualEit eit(&bank);
+  UserEitState state(bank.size());
+  for (size_t qi = 0; qi < bank.size(); ++qi) {
+    UserEitState fresh(bank.size());
+    const auto result = eit.RecordAnswer(
+        &fresh, static_cast<int32_t>(qi), GetParam());
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.value().consensus_score, 0.0);
+    EXPECT_LE(result.value().consensus_score, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Options, EitOptionSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace spa::eit

@@ -1,0 +1,358 @@
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "lifelog/event.h"
+#include "lifelog/features.h"
+#include "lifelog/preprocessor.h"
+#include "lifelog/session.h"
+#include "lifelog/store.h"
+#include "lifelog/weblog.h"
+
+namespace spa::lifelog {
+namespace {
+
+TEST(ActionCatalogTest, StandardHas984Actions) {
+  const ActionCatalog catalog = ActionCatalog::Standard();
+  EXPECT_EQ(catalog.size(), 984u);
+  size_t total = 0;
+  for (size_t t = 0; t < kNumActionTypes; ++t) {
+    total += catalog.CodesFor(static_cast<ActionType>(t)).size();
+  }
+  EXPECT_EQ(total, 984u);
+}
+
+TEST(ActionCatalogTest, TypeLookupAndBounds) {
+  const ActionCatalog catalog = ActionCatalog::Standard();
+  ASSERT_TRUE(catalog.TypeOf(0).ok());
+  EXPECT_EQ(catalog.TypeOf(0).value(), ActionType::kPageView);
+  EXPECT_FALSE(catalog.TypeOf(-1).ok());
+  EXPECT_FALSE(catalog.TypeOf(984).ok());
+  // Last code belongs to the last category.
+  EXPECT_EQ(catalog.TypeOf(983).value(), ActionType::kEitAnswer);
+}
+
+TEST(ActionCatalogTest, NamesEncodeCategory) {
+  const ActionCatalog catalog = ActionCatalog::Standard();
+  EXPECT_EQ(catalog.NameOf(0), "pageview/0");
+  EXPECT_EQ(catalog.NameOf(400), "click/0");
+  EXPECT_EQ(catalog.NameOf(-5), "invalid/-5");
+}
+
+TEST(ActionCatalogTest, TransactionClassification) {
+  EXPECT_TRUE(ActionCatalog::IsTransaction(ActionType::kEnrollment));
+  EXPECT_TRUE(ActionCatalog::IsTransaction(ActionType::kClick));
+  EXPECT_TRUE(ActionCatalog::IsTransaction(ActionType::kInfoRequest));
+  EXPECT_FALSE(ActionCatalog::IsTransaction(ActionType::kPageView));
+  EXPECT_FALSE(ActionCatalog::IsTransaction(ActionType::kEitAnswer));
+}
+
+TEST(ClfTimeTest, RoundTrip) {
+  const spa::TimeMicros t =
+      (static_cast<int64_t>(13203) * 86400 + 13 * 3600 + 55 * 60 + 36) *
+      spa::kMicrosPerSecond;  // some day in 2006
+  const std::string text = FormatClfTime(t);
+  const auto parsed = ParseClfTime(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value(), t);
+}
+
+TEST(ClfTimeTest, KnownEpoch) {
+  EXPECT_EQ(FormatClfTime(0), "01/Jan/1970:00:00:00 +0000");
+  const auto parsed = ParseClfTime("01/Jan/1970:00:00:00 +0000");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), 0);
+}
+
+TEST(ClfTimeTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseClfTime("xx/Foo/zzzz").ok());
+  EXPECT_FALSE(ParseClfTime("01/Foo/1970:00:00:00 +0000").ok());
+}
+
+TEST(WeblogTest, FormatParseRoundTrip) {
+  WeblogRecord r;
+  r.host = "10.1.2.3";
+  r.user = "12345";
+  r.time = 1000000 * spa::kMicrosPerSecond;
+  r.method = "GET";
+  r.path = "/a/42?item=7&v=1.500";
+  r.status = 200;
+  r.bytes = 1234;
+  r.referrer = "https://ref.example/";
+  r.user_agent = "Mozilla/5.0 (SimBrowser)";
+  const std::string line = FormatCombined(r);
+  const auto parsed = ParseCombined(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->host, r.host);
+  EXPECT_EQ(parsed->user, r.user);
+  EXPECT_EQ(parsed->time, r.time);
+  EXPECT_EQ(parsed->path, r.path);
+  EXPECT_EQ(parsed->status, r.status);
+  EXPECT_EQ(parsed->bytes, r.bytes);
+  EXPECT_EQ(parsed->referrer, r.referrer);
+  EXPECT_EQ(parsed->user_agent, r.user_agent);
+}
+
+TEST(WeblogTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseCombined("").ok());
+  EXPECT_FALSE(ParseCombined("garbage line").ok());
+  EXPECT_FALSE(ParseCombined("host - user no-brackets \"GET / H\" 200 1")
+                   .ok());
+}
+
+TEST(WeblogTest, EventPathRoundTrip) {
+  Event e;
+  e.user = 777;
+  e.time = 5 * spa::kMicrosPerDay;
+  e.action_code = 450;
+  e.item = 33;
+  e.value = 4.5;
+  WeblogRecord r;
+  r.user = "777";
+  r.time = e.time;
+  r.path = PathForEvent(e);
+  const auto back = EventFromRecord(r);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->user, e.user);
+  EXPECT_EQ(back->time, e.time);
+  EXPECT_EQ(back->action_code, e.action_code);
+  EXPECT_EQ(back->item, e.item);
+  EXPECT_NEAR(back->value, e.value, 1e-3);
+}
+
+TEST(WeblogTest, EventPathWithoutItem) {
+  Event e;
+  e.user = 1;
+  e.action_code = 3;
+  const auto back = [&] {
+    WeblogRecord r;
+    r.user = "1";
+    r.path = PathForEvent(e);
+    return EventFromRecord(r);
+  }();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->item, kNoItem);
+}
+
+TEST(WeblogTest, NonActionPathIsNotFound) {
+  WeblogRecord r;
+  r.user = "5";
+  r.path = "/robots.txt";
+  EXPECT_EQ(EventFromRecord(r).status().code(),
+            spa::StatusCode::kNotFound);
+}
+
+TEST(WeblogTest, AnonymousRecordRejected) {
+  WeblogRecord r;
+  r.user = "-";
+  r.path = "/a/1";
+  EXPECT_EQ(EventFromRecord(r).status().code(),
+            spa::StatusCode::kInvalidArgument);
+}
+
+TEST(SessionizeTest, SplitsOnGapAndUser) {
+  const ActionCatalog catalog = ActionCatalog::Small(2);
+  std::vector<Event> events;
+  // User 1: two sessions separated by 2 hours.
+  events.push_back({1, 0, 0, kNoItem, 0.0});
+  events.push_back({1, 10 * spa::kMicrosPerMinute, 1, 5, 0.0});
+  events.push_back({1, 3 * spa::kMicrosPerHour, 0, 6, 0.0});
+  // User 2: one session.
+  events.push_back({2, 0, 2, kNoItem, 0.0});
+  const auto sessions = Sessionize(events, catalog);
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(sessions[0].user, 1);
+  EXPECT_EQ(sessions[0].event_count, 2u);
+  EXPECT_EQ(sessions[0].distinct_items, 1u);
+  EXPECT_EQ(sessions[1].event_count, 1u);
+  EXPECT_EQ(sessions[2].user, 2);
+}
+
+TEST(SessionizeTest, EmptyInput) {
+  const ActionCatalog catalog = ActionCatalog::Small(1);
+  EXPECT_TRUE(Sessionize({}, catalog).empty());
+}
+
+TEST(SessionizeTest, CustomGap) {
+  const ActionCatalog catalog = ActionCatalog::Small(1);
+  std::vector<Event> events;
+  events.push_back({1, 0, 0, kNoItem, 0.0});
+  events.push_back({1, 2 * spa::kMicrosPerMinute, 0, kNoItem, 0.0});
+  EXPECT_EQ(Sessionize(events, catalog, spa::kMicrosPerMinute).size(),
+            2u);
+  EXPECT_EQ(
+      Sessionize(events, catalog, 3 * spa::kMicrosPerMinute).size(),
+      1u);
+}
+
+TEST(LifeLogStoreTest, AppendAndQuery) {
+  LifeLogStore store;
+  store.Append({1, 10, 0, kNoItem, 0.0});
+  store.Append({2, 20, 1, 5, 1.0});
+  store.Append({1, 30, 2, kNoItem, 0.0});
+  EXPECT_EQ(store.total_events(), 3u);
+  EXPECT_EQ(store.user_count(), 2u);
+  EXPECT_EQ(store.UserEvents(1).size(), 2u);
+  EXPECT_EQ(store.UserEvents(2).size(), 1u);
+  EXPECT_TRUE(store.UserEvents(99).empty());
+  EXPECT_EQ(store.users(), (std::vector<UserId>{1, 2}));
+}
+
+TEST(LifeLogStoreTest, CsvRoundTrip) {
+  LifeLogStore store;
+  store.Append({1, 10, 0, kNoItem, 0.5});
+  store.Append({2, 20, 984, 5, -1.25});
+  const std::string csv = store.ToCsv();
+  const auto restored = LifeLogStore::FromCsv(csv);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->total_events(), 2u);
+  EXPECT_EQ(restored->UserEvents(1)[0].value, 0.5);
+  EXPECT_EQ(restored->UserEvents(2)[0].item, 5);
+}
+
+TEST(LifeLogStoreTest, FromCsvRejectsBadRows) {
+  EXPECT_FALSE(LifeLogStore::FromCsv("").ok());
+  EXPECT_FALSE(
+      LifeLogStore::FromCsv("user,time,action_code,item,value\n1,2\n")
+          .ok());
+  EXPECT_FALSE(LifeLogStore::FromCsv(
+                   "user,time,action_code,item,value\na,b,c,d,e\n")
+                   .ok());
+}
+
+TEST(FeatureSpaceTest, InternIsIdempotent) {
+  FeatureSpace space;
+  const int32_t a = space.Intern("x");
+  const int32_t b = space.Intern("y");
+  EXPECT_EQ(space.Intern("x"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(space.size(), 2);
+  EXPECT_EQ(space.NameOf(a), "x");
+  EXPECT_TRUE(space.IndexOf("y").ok());
+  EXPECT_FALSE(space.IndexOf("zzz").ok());
+}
+
+TEST(FeatureExtractorTest, EmptyEventsGiveEmptyVector) {
+  const ActionCatalog catalog = ActionCatalog::Small(2);
+  FeatureSpace space;
+  const BehaviorFeatureExtractor extractor(&catalog, &space);
+  EXPECT_TRUE(extractor.Extract({}, 0).empty());
+}
+
+TEST(FeatureExtractorTest, ProducesExpectedSignals) {
+  const ActionCatalog catalog = ActionCatalog::Standard();
+  FeatureSpace space;
+  const BehaviorFeatureExtractor extractor(&catalog, &space);
+
+  std::vector<Event> events;
+  // 3 pageviews, 1 enrollment, 1 rating over two days.
+  events.push_back({1, 0, 0, 10, 0.0});
+  events.push_back({1, spa::kMicrosPerHour, 1, 10, 0.0});
+  events.push_back({1, spa::kMicrosPerDay, 2, 11, 0.0});
+  events.push_back({1, spa::kMicrosPerDay + spa::kMicrosPerMinute,
+                    900, 11, 0.0});  // enrollment range starts at 900
+  events.push_back({1, spa::kMicrosPerDay + 2 * spa::kMicrosPerMinute,
+                    930, 11, 4.0});  // rating range starts at 930
+  const auto features =
+      extractor.Extract(events, 2 * spa::kMicrosPerDay);
+  ASSERT_FALSE(features.empty());
+
+  auto value_of = [&](const std::string& name) {
+    const auto idx = space.IndexOf(name);
+    EXPECT_TRUE(idx.ok()) << name;
+    for (size_t i = 0; i < features.nnz(); ++i) {
+      if (features.index(i) == idx.value()) return features.value(i);
+    }
+    return 0.0;
+  };
+
+  EXPECT_NEAR(value_of("behavior.count.pageview"), std::log1p(3.0),
+              1e-9);
+  EXPECT_NEAR(value_of("behavior.count.enrollment"), std::log1p(1.0),
+              1e-9);
+  EXPECT_NEAR(value_of("behavior.mean_rating"), 4.0, 1e-9);
+  EXPECT_NEAR(value_of("behavior.recency_days"),
+              1.0 - 2.0 / (24.0 * 60.0), 1e-3);
+  EXPECT_GT(value_of("behavior.distinct_items"), 0.0);
+  EXPECT_GT(value_of("behavior.session_count"), 0.0);
+}
+
+TEST(PreprocessorTest, EndToEndPipelineFiltersNoise) {
+  const ActionCatalog catalog = ActionCatalog::Standard();
+  std::vector<Event> events;
+  for (int i = 0; i < 200; ++i) {
+    Event e;
+    e.user = 100 + i % 10;
+    e.time = static_cast<spa::TimeMicros>(i) * spa::kMicrosPerMinute;
+    e.action_code = (i * 13) % 984;
+    e.item = i % 3 == 0 ? i % 50 : kNoItem;
+    events.push_back(e);
+  }
+  WeblogNoiseOptions noise;
+  noise.bot_fraction = 0.2;
+  noise.error_fraction = 0.2;
+  noise.malformed_fraction = 0.1;
+  WeblogSynthesizer synth(noise);
+  std::vector<std::string> lines;
+  synth.Synthesize(events, &lines);
+  EXPECT_GT(lines.size(), events.size());
+
+  LifeLogStore store;
+  LifeLogPreprocessor pre(&catalog);
+  pre.ProcessLines(lines, &store);
+  const PreprocessStats& stats = pre.stats();
+  EXPECT_EQ(stats.lines_in, lines.size());
+  EXPECT_EQ(stats.events_out, events.size());
+  EXPECT_EQ(store.total_events(), events.size());
+  EXPECT_GT(stats.bot_lines + stats.anonymous, 0u);
+  EXPECT_GT(stats.error_status, 0u);
+  EXPECT_GT(stats.parse_errors, 0u);
+  // Conservation: every line is accounted for exactly once.
+  EXPECT_EQ(stats.lines_in,
+            stats.events_out + stats.parse_errors + stats.bot_lines +
+                stats.error_status + stats.anonymous +
+                stats.non_action + stats.unknown_action +
+                stats.duplicates);
+}
+
+TEST(PreprocessorTest, DeduplicatesReplays) {
+  const ActionCatalog catalog = ActionCatalog::Standard();
+  LifeLogStore store;
+  LifeLogPreprocessor pre(&catalog);
+  Event e;
+  e.user = 1;
+  e.time = 1000;
+  e.action_code = 5;
+  WeblogSynthesizer synth({0.0, 0.0, 0.0, 1});
+  std::vector<std::string> lines;
+  synth.Synthesize({e, e, e}, &lines);
+  pre.ProcessLines(lines, &store);
+  EXPECT_EQ(store.total_events(), 1u);
+  EXPECT_EQ(pre.stats().duplicates, 2u);
+}
+
+TEST(PreprocessorTest, UnknownActionCodeFiltered) {
+  const ActionCatalog small = ActionCatalog::Small(1);  // 10 codes
+  LifeLogStore store;
+  LifeLogPreprocessor pre(&small);
+  Event e;
+  e.user = 1;
+  e.time = 0;
+  e.action_code = 500;  // out of range for the small catalog
+  WeblogSynthesizer synth({0.0, 0.0, 0.0, 1});
+  std::vector<std::string> lines;
+  synth.Synthesize({e}, &lines);
+  pre.ProcessLines(lines, &store);
+  EXPECT_EQ(store.total_events(), 0u);
+  EXPECT_EQ(pre.stats().unknown_action, 1u);
+}
+
+TEST(BotDetectionTest, PatternMatching) {
+  EXPECT_TRUE(IsBotUserAgent("CrawlerBot/1.0"));
+  EXPECT_TRUE(IsBotUserAgent("googlebot"));
+  EXPECT_TRUE(IsBotUserAgent("Spider Monkey spider"));
+  EXPECT_FALSE(IsBotUserAgent("Mozilla/5.0 (SimBrowser)"));
+}
+
+}  // namespace
+}  // namespace spa::lifelog

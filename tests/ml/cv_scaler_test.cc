@@ -1,0 +1,118 @@
+#include <cmath>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "ml/cross_validation.h"
+#include "ml/scaler.h"
+#include "ml/test_util.h"
+
+namespace spa::ml {
+namespace {
+
+TEST(CrossValidationTest, HighAucOnSeparableData) {
+  const Dataset data = testing::MakeBlobs(300, 4, 5.0, 42);
+  const auto result = CrossValidateAuc(
+      data,
+      []() -> std::unique_ptr<BinaryClassifier> {
+        return std::make_unique<LinearSvm>();
+      },
+      5, 42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().mean_auc, 0.99);
+  EXPECT_EQ(result.value().fold_aucs.size(), 5u);
+  EXPECT_LE(result.value().stddev_auc, 0.05);
+}
+
+TEST(CrossValidationTest, RejectsSingleFold) {
+  const Dataset data = testing::MakeBlobs(50, 2, 5.0, 1);
+  const auto result = CrossValidateAuc(
+      data,
+      []() -> std::unique_ptr<BinaryClassifier> {
+        return std::make_unique<LinearSvm>();
+      },
+      1, 42);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GridSearchTest, FindsAReasonableC) {
+  const Dataset data = testing::MakeBlobs(300, 3, 2.0, 7);
+  SvmConfig base;
+  base.max_iterations = 60;
+  const auto result =
+      GridSearchSvmC(data, {0.01, 0.1, 1.0, 10.0}, base, 3, 42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().tried.size(), 4u);
+  EXPECT_GT(result.value().best_auc, 0.9);
+  // Best C must be one of the candidates.
+  bool found = false;
+  for (const auto& [c, auc] : result.value().tried) {
+    if (c == result.value().best_c) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GridSearchTest, EmptyGridRejected) {
+  const Dataset data = testing::MakeBlobs(50, 2, 5.0, 1);
+  EXPECT_FALSE(GridSearchSvmC(data, {}, SvmConfig{}, 3, 42).ok());
+}
+
+TEST(ColumnScalerTest, MaxAbsScalesToUnitRange) {
+  SparseMatrix m;
+  m.AppendRow(std::vector<SparseEntry>{{0, 2.0}, {1, -8.0}});
+  m.AppendRow(std::vector<SparseEntry>{{0, -4.0}, {1, 4.0}});
+  ColumnScaler scaler(ScalingKind::kMaxAbs);
+  ASSERT_TRUE(scaler.Fit(m).ok());
+  ASSERT_TRUE(scaler.Transform(&m).ok());
+  EXPECT_DOUBLE_EQ(m.row(0).values[0], 0.5);
+  EXPECT_DOUBLE_EQ(m.row(0).values[1], -1.0);
+  EXPECT_DOUBLE_EQ(m.row(1).values[0], -1.0);
+  EXPECT_DOUBLE_EQ(m.row(1).values[1], 0.5);
+}
+
+TEST(ColumnScalerTest, AllZeroColumnIsNoOp) {
+  SparseMatrix m(2);
+  m.AppendRow(std::vector<SparseEntry>{{0, 3.0}});
+  ColumnScaler scaler(ScalingKind::kMaxAbs);
+  ASSERT_TRUE(scaler.Fit(m).ok());
+  EXPECT_DOUBLE_EQ(scaler.factors()[1], 1.0);
+}
+
+TEST(ColumnScalerTest, UnitStddevUsesImplicitZeros) {
+  // Column 0: values {3, 0} over 2 rows -> E[v^2] = 4.5, stddev ~2.121.
+  SparseMatrix m(1);
+  m.AppendRow(std::vector<SparseEntry>{{0, 3.0}});
+  m.AppendRow(std::vector<SparseEntry>{});
+  ColumnScaler scaler(ScalingKind::kUnitStddev);
+  ASSERT_TRUE(scaler.Fit(m).ok());
+  EXPECT_NEAR(scaler.factors()[0], 1.0 / std::sqrt(4.5), 1e-12);
+}
+
+TEST(ColumnScalerTest, TransformBeforeFitFails) {
+  SparseMatrix m(1);
+  ColumnScaler scaler;
+  EXPECT_EQ(scaler.Transform(&m).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ColumnScalerTest, ColumnMismatchRejected) {
+  SparseMatrix a(2), b(3);
+  a.AppendRow(std::vector<SparseEntry>{{1, 1.0}});
+  b.AppendRow(std::vector<SparseEntry>{{2, 1.0}});
+  ColumnScaler scaler;
+  ASSERT_TRUE(scaler.Fit(a).ok());
+  EXPECT_EQ(scaler.Transform(&b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ColumnScalerTest, TransformRowAppliesFactors) {
+  SparseMatrix m;
+  m.AppendRow(std::vector<SparseEntry>{{0, 4.0}});
+  ColumnScaler scaler(ScalingKind::kMaxAbs);
+  ASSERT_TRUE(scaler.Fit(m).ok());
+  SparseVector q({{0, 2.0}, {5, 7.0}});  // index 5 beyond fitted: kept
+  const SparseVector scaled = scaler.TransformRow(q.view());
+  EXPECT_DOUBLE_EQ(scaled.value(0), 0.5);
+  EXPECT_DOUBLE_EQ(scaled.value(1), 7.0);
+}
+
+}  // namespace
+}  // namespace spa::ml

@@ -1,0 +1,134 @@
+#include "ml/dataset.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "ml/test_util.h"
+
+namespace spa::ml {
+namespace {
+
+TEST(DatasetTest, ValidateCatchesSizeMismatch) {
+  Dataset d;
+  d.x.AppendRow(std::vector<SparseEntry>{{0, 1.0}});
+  // no labels
+  EXPECT_FALSE(d.Validate().ok());
+  d.y.push_back(1);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesBadLabels) {
+  Dataset d;
+  d.x.AppendRow(std::vector<SparseEntry>{{0, 1.0}});
+  d.y.push_back(0);
+  EXPECT_FALSE(d.Validate().ok());
+  d.y[0] = -1;
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesFeatureNameMismatch) {
+  Dataset d;
+  d.x.AppendRow(std::vector<SparseEntry>{{1, 1.0}});  // cols = 2
+  d.y.push_back(1);
+  d.feature_names = {"only_one"};
+  EXPECT_FALSE(d.Validate().ok());
+  d.feature_names = {"a", "b"};
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, PositivesCount) {
+  Dataset d = testing::MakeBlobs(10, 2, 1.0, 1);
+  EXPECT_EQ(d.positives(), 5u);  // alternating labels
+}
+
+TEST(DatasetTest, SubsetPreservesRowsAndLabels) {
+  Dataset d = testing::MakeBlobs(20, 3, 2.0, 7);
+  const Dataset sub = d.Subset({0, 5, 19});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.features(), d.features());
+  EXPECT_EQ(sub.y[0], d.y[0]);
+  EXPECT_EQ(sub.y[2], d.y[19]);
+  const SparseRowView orig = d.x.row(5);
+  const SparseRowView copy = sub.x.row(1);
+  ASSERT_EQ(copy.nnz, orig.nnz);
+  for (size_t i = 0; i < copy.nnz; ++i) {
+    EXPECT_EQ(copy.indices[i], orig.indices[i]);
+    EXPECT_DOUBLE_EQ(copy.values[i], orig.values[i]);
+  }
+}
+
+TEST(SplitTest, TrainTestPartition) {
+  Rng rng(3);
+  const auto split = MakeTrainTestSplit(100, 0.25, &rng);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::set<size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, StratifiedPreservesPositiveRate) {
+  std::vector<Label> y;
+  for (int i = 0; i < 1000; ++i) y.push_back(i < 100 ? 1 : -1);
+  Rng rng(3);
+  const auto split = MakeStratifiedSplit(y, 0.3, &rng);
+  size_t test_pos = 0;
+  for (size_t i : split.test) {
+    if (y[i] > 0) ++test_pos;
+  }
+  // 10% positives overall -> expect exactly 30 of the 300 test rows.
+  EXPECT_EQ(split.test.size(), 300u);
+  EXPECT_EQ(test_pos, 30u);
+}
+
+TEST(KFoldTest, FoldsPartitionTheData) {
+  Rng rng(11);
+  const auto folds = KFoldIndices(103, 5, &rng);
+  EXPECT_EQ(folds.size(), 5u);
+  std::set<size_t> all;
+  size_t total = 0;
+  for (const auto& f : folds) {
+    total += f.size();
+    all.insert(f.begin(), f.end());
+  }
+  EXPECT_EQ(total, 103u);
+  EXPECT_EQ(all.size(), 103u);
+  // Balanced: sizes differ by at most one.
+  for (const auto& f : folds) {
+    EXPECT_GE(f.size(), 20u);
+    EXPECT_LE(f.size(), 21u);
+  }
+}
+
+TEST(KFoldTest, StratifiedFoldsKeepClassBalance) {
+  std::vector<Label> y;
+  for (int i = 0; i < 500; ++i) y.push_back(i % 5 == 0 ? 1 : -1);
+  Rng rng(11);
+  const auto folds = StratifiedKFoldIndices(y, 5, &rng);
+  for (const auto& f : folds) {
+    size_t pos = 0;
+    for (size_t i : f) {
+      if (y[i] > 0) ++pos;
+    }
+    EXPECT_EQ(pos, 20u);  // 100 positives spread over 5 folds
+  }
+}
+
+// Property sweep over fractions: split sizes always consistent.
+class SplitFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionSweep, SizesAddUp) {
+  Rng rng(42);
+  const double frac = GetParam();
+  const auto split = MakeTrainTestSplit(997, frac, &rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), 997u);
+  EXPECT_EQ(split.test.size(),
+            static_cast<size_t>(997 * frac));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionSweep,
+                         ::testing::Values(0.1, 0.2, 0.25, 0.5, 0.75,
+                                           0.9));
+
+}  // namespace
+}  // namespace spa::ml

@@ -1,0 +1,123 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "ml/test_util.h"
+
+namespace spa::ml {
+namespace {
+
+TEST(ChiSquareTest, InformativeFeaturesScoreHigher) {
+  const Dataset data =
+      testing::MakeSparseBinary(3000, 30, 5, 0.8, 0.1, 42);
+  const auto scores = ChiSquareScores(data);
+  ASSERT_EQ(scores.size(), 30u);
+  double min_informative = 1e300;
+  double max_noise = 0.0;
+  for (size_t f = 0; f < 30; ++f) {
+    if (f < 5) {
+      min_informative = std::min(min_informative, scores[f]);
+    } else {
+      max_noise = std::max(max_noise, scores[f]);
+    }
+  }
+  EXPECT_GT(min_informative, max_noise);
+}
+
+TEST(SelectKBestTest, PicksTopScoresSortedByIndex) {
+  const std::vector<double> scores = {0.1, 5.0, 3.0, 4.0, 0.2};
+  const auto selected = SelectKBest(scores, 3);
+  EXPECT_EQ(selected, (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(SelectKBestTest, KLargerThanFeatureCountClamps) {
+  const auto selected = SelectKBest({1.0, 2.0}, 10);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST(SelectKBestTest, TieBreaksByLowerIndex) {
+  const auto selected = SelectKBest({2.0, 2.0, 2.0}, 2);
+  EXPECT_EQ(selected, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(ProjectDatasetTest, RemapsIndicesCompactly) {
+  Dataset data;
+  data.x.AppendRow(std::vector<SparseEntry>{{0, 1.0}, {2, 2.0}, {4, 3.0}});
+  data.x.AppendRow(std::vector<SparseEntry>{{1, 5.0}, {2, 6.0}});
+  data.y = {1, -1};
+  data.feature_names = {"f0", "f1", "f2", "f3", "f4"};
+
+  const Dataset proj = ProjectDataset(data, {2, 4});
+  EXPECT_EQ(proj.features(), 2);
+  EXPECT_EQ(proj.feature_names,
+            (std::vector<std::string>{"f2", "f4"}));
+  const auto r0 = proj.x.row(0);
+  ASSERT_EQ(r0.nnz, 2u);
+  EXPECT_EQ(r0.indices[0], 0);
+  EXPECT_DOUBLE_EQ(r0.values[0], 2.0);
+  EXPECT_EQ(r0.indices[1], 1);
+  EXPECT_DOUBLE_EQ(r0.values[1], 3.0);
+  const auto r1 = proj.x.row(1);
+  ASSERT_EQ(r1.nnz, 1u);
+  EXPECT_EQ(r1.indices[0], 0);
+  EXPECT_DOUBLE_EQ(r1.values[0], 6.0);
+}
+
+TEST(SvmRfeTest, RecoversInformativeFeatures) {
+  const Dataset data =
+      testing::MakeSparseBinary(2000, 25, 5, 0.8, 0.05, 42);
+  RfeConfig config;
+  config.target_features = 5;
+  config.svm.max_iterations = 50;
+  const auto result = SvmRfe(data, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().selected.size(), 5u);
+  // At least 4 of the 5 truly informative features (indices 0..4)
+  // should survive.
+  int informative_kept = 0;
+  for (int32_t f : result.value().selected) {
+    if (f < 5) ++informative_kept;
+  }
+  EXPECT_GE(informative_kept, 4);
+}
+
+TEST(SvmRfeTest, EliminationRanksAreConsistent) {
+  const Dataset data =
+      testing::MakeSparseBinary(800, 12, 3, 0.8, 0.05, 7);
+  RfeConfig config;
+  config.target_features = 3;
+  const auto result = SvmRfe(data, config);
+  ASSERT_TRUE(result.ok());
+  const auto& ranks = result.value().elimination_rank;
+  ASSERT_EQ(ranks.size(), 12u);
+  // Selected features carry the maximal rank.
+  const int32_t max_rank =
+      *std::max_element(ranks.begin(), ranks.end());
+  for (int32_t f : result.value().selected) {
+    EXPECT_EQ(ranks[static_cast<size_t>(f)], max_rank);
+  }
+  // Every feature received a rank >= 1.
+  for (int32_t r : ranks) EXPECT_GE(r, 1);
+}
+
+TEST(SvmRfeTest, InvalidTargetRejected) {
+  const Dataset data = testing::MakeSparseBinary(100, 5, 2, 0.8, 0.1, 1);
+  RfeConfig config;
+  config.target_features = 0;
+  EXPECT_FALSE(SvmRfe(data, config).ok());
+  config.target_features = 6;
+  EXPECT_FALSE(SvmRfe(data, config).ok());
+}
+
+TEST(SvmRfeTest, TargetEqualsTotalKeepsEverything) {
+  const Dataset data = testing::MakeSparseBinary(100, 5, 2, 0.8, 0.1, 1);
+  RfeConfig config;
+  config.target_features = 5;
+  const auto result = SvmRfe(data, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().selected.size(), 5u);
+}
+
+}  // namespace
+}  // namespace spa::ml

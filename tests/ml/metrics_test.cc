@@ -1,0 +1,183 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace spa::ml {
+namespace {
+
+TEST(ConfusionTest, CountsAndDerivedMetrics) {
+  const std::vector<double> scores = {1.0, 1.0, -1.0, -1.0, 1.0};
+  const std::vector<Label> labels = {1, -1, -1, 1, 1};
+  const ConfusionMatrix cm = Confusion(scores, labels);
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 2.0 / 3.0);
+  EXPECT_NEAR(cm.F1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionTest, EmptyInputsSafe) {
+  const ConfusionMatrix cm = Confusion({}, {});
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.0);
+}
+
+TEST(RocAucTest, PerfectRanking) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<Label> labels = {1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+}
+
+TEST(RocAucTest, InvertedRanking) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<Label> labels = {1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.0);
+}
+
+TEST(RocAucTest, RandomTiedScores) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<Label> labels = {1, -1, 1, -1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {-1, -1}), 0.5);
+}
+
+TEST(RocAucTest, KnownPartialValue) {
+  // 2 pos, 2 neg; one inversion out of 4 pairs -> AUC = 0.75.
+  const std::vector<double> scores = {0.9, 0.3, 0.5, 0.1};
+  const std::vector<Label> labels = {1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.75);
+}
+
+TEST(LogLossTest, PerfectAndWorst) {
+  EXPECT_NEAR(LogLoss({1.0 - 1e-15, 1e-15}, {1, -1}), 0.0, 1e-9);
+  EXPECT_GT(LogLoss({0.01, 0.99}, {1, -1}), 4.0);
+}
+
+TEST(LogLossTest, UninformativeIsLn2) {
+  EXPECT_NEAR(LogLoss({0.5, 0.5}, {1, -1}), std::log(2.0), 1e-12);
+}
+
+TEST(GainsTest, PerfectModelCurve) {
+  // 100 examples, 10 positives, perfectly scored on top.
+  std::vector<double> scores;
+  std::vector<Label> labels;
+  for (int i = 0; i < 100; ++i) {
+    scores.push_back(100.0 - i);
+    labels.push_back(i < 10 ? 1 : -1);
+  }
+  const auto curve = CumulativeGains(scores, labels, 10);
+  // First decile captures all positives.
+  EXPECT_DOUBLE_EQ(curve[0].fraction_targeted, 0.1);
+  EXPECT_DOUBLE_EQ(curve[0].fraction_captured, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].lift, 10.0);
+  // Curve ends at (1, 1).
+  EXPECT_DOUBLE_EQ(curve.back().fraction_targeted, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fraction_captured, 1.0);
+}
+
+TEST(GainsTest, CurveIsMonotone) {
+  std::vector<double> scores;
+  std::vector<Label> labels;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(static_cast<double>((i * 37) % 100));
+    labels.push_back(i % 7 == 0 ? 1 : -1);
+  }
+  const auto curve = CumulativeGains(scores, labels, 20);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fraction_captured,
+              curve[i - 1].fraction_captured);
+    EXPECT_GT(curve[i].fraction_targeted,
+              curve[i - 1].fraction_targeted);
+  }
+}
+
+TEST(GainsTest, RandomModelNearDiagonal) {
+  std::vector<double> scores;
+  std::vector<Label> labels;
+  for (int i = 0; i < 10000; ++i) {
+    scores.push_back(static_cast<double>((i * 2654435761u) % 997));
+    labels.push_back(i % 5 == 0 ? 1 : -1);
+  }
+  const auto curve = CumulativeGains(scores, labels, 10);
+  for (const auto& pt : curve) {
+    EXPECT_NEAR(pt.fraction_captured, pt.fraction_targeted, 0.05);
+  }
+}
+
+TEST(GainsTest, CapturedAtInterpolates) {
+  std::vector<GainsPoint> curve = {
+      {0.5, 0.8, 1.6},
+      {1.0, 1.0, 1.0},
+  };
+  EXPECT_DOUBLE_EQ(CapturedAt(curve, 0.5), 0.8);
+  EXPECT_DOUBLE_EQ(CapturedAt(curve, 0.25), 0.4);
+  EXPECT_DOUBLE_EQ(CapturedAt(curve, 0.75), 0.9);
+  EXPECT_DOUBLE_EQ(CapturedAt(curve, 1.0), 1.0);
+}
+
+TEST(PredictiveScoreTest, TopSliceHitRate) {
+  // Top 40% of 10 = 4 rows; 3 of them positive.
+  const std::vector<double> scores = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  const std::vector<Label> labels = {1, 1, -1, 1, -1, -1, -1, -1, -1, -1};
+  EXPECT_DOUBLE_EQ(PredictiveScore(scores, labels, 0.4), 0.75);
+}
+
+TEST(PredictiveScoreTest, FullDepthEqualsBaseRate) {
+  const std::vector<double> scores = {3, 1, 2, 0};
+  const std::vector<Label> labels = {1, -1, -1, -1};
+  EXPECT_DOUBLE_EQ(PredictiveScore(scores, labels, 1.0), 0.25);
+}
+
+TEST(CalibrationTest, BinsAggregateCorrectly) {
+  const std::vector<double> probs = {0.05, 0.05, 0.95, 0.95};
+  const std::vector<Label> labels = {-1, -1, 1, 1};
+  const auto bins = CalibrationCurve(probs, labels, 10);
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_DOUBLE_EQ(bins[0].fraction_positive, 0.0);
+  EXPECT_EQ(bins[9].count, 2u);
+  EXPECT_DOUBLE_EQ(bins[9].fraction_positive, 1.0);
+  EXPECT_NEAR(bins[9].mean_predicted, 0.95, 1e-12);
+}
+
+TEST(CalibrationTest, ProbabilityOneLandsInLastBin) {
+  const auto bins = CalibrationCurve({1.0}, {1}, 5);
+  EXPECT_EQ(bins[4].count, 1u);
+}
+
+// Property sweep: gains curve with k points always has k points, ends
+// at (1,1), and lift * fraction == captured.
+class GainsPointsSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GainsPointsSweep, StructuralInvariants) {
+  std::vector<double> scores;
+  std::vector<Label> labels;
+  for (int i = 0; i < 240; ++i) {
+    scores.push_back(static_cast<double>((i * 53) % 41));
+    labels.push_back(i % 3 == 0 ? 1 : -1);
+  }
+  const auto curve = CumulativeGains(scores, labels, GetParam());
+  EXPECT_EQ(curve.size(), GetParam());
+  EXPECT_DOUBLE_EQ(curve.back().fraction_targeted, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fraction_captured, 1.0);
+  for (const auto& pt : curve) {
+    EXPECT_NEAR(pt.lift * pt.fraction_targeted, pt.fraction_captured,
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PointCounts, GainsPointsSweep,
+                         ::testing::Values(1u, 4u, 10u, 20u, 100u));
+
+}  // namespace
+}  // namespace spa::ml

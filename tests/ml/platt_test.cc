@@ -1,0 +1,94 @@
+#include "ml/platt.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ml/logreg.h"
+#include "ml/metrics.h"
+#include "ml/svm_linear.h"
+#include "ml/test_util.h"
+
+namespace spa::ml {
+namespace {
+
+TEST(PlattTest, RejectsMismatchedSizes) {
+  PlattScaler scaler;
+  EXPECT_FALSE(scaler.Fit({1.0, 2.0}, {1}).ok());
+}
+
+TEST(PlattTest, RejectsSingleClass) {
+  PlattScaler scaler;
+  EXPECT_EQ(scaler.Fit({1.0, 2.0}, {1, 1}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PlattTest, ProbabilitiesMonotoneInScore) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<Label> labels;
+  for (int i = 0; i < 1000; ++i) {
+    const double f = rng.Normal(0.0, 2.0);
+    scores.push_back(f);
+    labels.push_back(rng.Bernoulli(Sigmoid(1.5 * f)) ? 1 : -1);
+  }
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit(scores, labels).ok());
+  EXPECT_LT(scaler.Transform(-3.0), scaler.Transform(0.0));
+  EXPECT_LT(scaler.Transform(0.0), scaler.Transform(3.0));
+}
+
+TEST(PlattTest, RecoverApproximateCalibration) {
+  Rng rng(11);
+  std::vector<double> scores;
+  std::vector<Label> labels;
+  for (int i = 0; i < 20000; ++i) {
+    const double f = rng.Normal(0.0, 2.0);
+    scores.push_back(f);
+    labels.push_back(rng.Bernoulli(Sigmoid(f)) ? 1 : -1);
+  }
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit(scores, labels).ok());
+  // True generating model: P = sigmoid(f) = 1/(1+exp(-f)); Platt form is
+  // 1/(1+exp(A f + B)) so A ~ -1, B ~ 0.
+  EXPECT_NEAR(scaler.a(), -1.0, 0.15);
+  EXPECT_NEAR(scaler.b(), 0.0, 0.15);
+
+  // Calibration: bins should lie near the diagonal.
+  const auto probs = scaler.TransformAll(scores);
+  const auto bins = CalibrationCurve(probs, labels, 10);
+  for (const auto& bin : bins) {
+    if (bin.count < 200) continue;
+    EXPECT_NEAR(bin.fraction_positive, bin.mean_predicted, 0.08);
+  }
+}
+
+TEST(PlattTest, CalibratesSvmScoresEndToEnd) {
+  const Dataset train = testing::MakeBlobs(600, 4, 2.0, 17);
+  const Dataset test = testing::MakeBlobs(400, 4, 2.0, 18);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Train(train).ok());
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit(svm.ScoreAll(train), train.y).ok());
+  const auto probs = scaler.TransformAll(svm.ScoreAll(test));
+  for (double p : probs) {
+    ASSERT_GT(p, 0.0);
+    ASSERT_LT(p, 1.0);
+  }
+  // Calibrated probabilities keep the SVM's ranking quality.
+  EXPECT_NEAR(RocAuc(probs, test.y), RocAuc(svm.ScoreAll(test), test.y),
+              1e-9);
+  // And the log-loss should beat the uninformative baseline ln(2).
+  EXPECT_LT(LogLoss(probs, test.y), 0.6);
+}
+
+TEST(PlattTest, TransformAllMatchesTransform) {
+  PlattScaler scaler;
+  ASSERT_TRUE(
+      scaler.Fit({-2.0, -1.0, 1.0, 2.0}, {-1, -1, 1, 1}).ok());
+  const auto all = scaler.TransformAll({-1.5, 0.0, 1.5});
+  EXPECT_DOUBLE_EQ(all[0], scaler.Transform(-1.5));
+  EXPECT_DOUBLE_EQ(all[1], scaler.Transform(0.0));
+  EXPECT_DOUBLE_EQ(all[2], scaler.Transform(1.5));
+}
+
+}  // namespace
+}  // namespace spa::ml

@@ -1,0 +1,61 @@
+#include "ml/ranking.h"
+
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "ml/test_util.h"
+
+namespace spa::ml {
+namespace {
+
+TEST(RankSvmTest, RanksRelevantAboveIrrelevant) {
+  const Dataset data = testing::MakeBlobs(400, 4, 4.0, 42);
+  RankSvm ranker;
+  ASSERT_TRUE(ranker.Train(data).ok());
+  std::vector<double> scores;
+  for (size_t i = 0; i < data.size(); ++i) {
+    scores.push_back(ranker.Score(data.x.row(i)));
+  }
+  EXPECT_GE(RocAuc(scores, data.y), 0.98);
+}
+
+TEST(RankSvmTest, RequiresBothClasses) {
+  Dataset data;
+  data.x.AppendRow(std::vector<SparseEntry>{{0, 1.0}});
+  data.y = {1};
+  RankSvm ranker;
+  EXPECT_EQ(ranker.Train(data).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RankSvmTest, GeneralizesAcrossSamples) {
+  const Dataset train = testing::MakeBlobs(400, 5, 3.0, 1);
+  const Dataset test = testing::MakeBlobs(300, 5, 3.0, 2);
+  RankSvm ranker;
+  ASSERT_TRUE(ranker.Train(train).ok());
+  std::vector<double> scores;
+  for (size_t i = 0; i < test.size(); ++i) {
+    scores.push_back(ranker.Score(test.x.row(i)));
+  }
+  EXPECT_GE(RocAuc(scores, test.y), 0.95);
+}
+
+TEST(KendallTauTest, IdenticalOrderIsOne) {
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+}
+
+TEST(KendallTauTest, ReversedOrderIsMinusOne) {
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0);
+}
+
+TEST(KendallTauTest, PartialAgreement) {
+  // One discordant pair of six -> (5 - 1) / 6 = 2/3.
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {1, 2, 4, 3}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, ShortVectors) {
+  EXPECT_DOUBLE_EQ(KendallTau({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1.0}, {2.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace spa::ml

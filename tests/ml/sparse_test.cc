@@ -1,0 +1,123 @@
+#include "ml/sparse.h"
+
+#include "gtest/gtest.h"
+
+namespace spa::ml {
+namespace {
+
+TEST(SparseVectorTest, BuildAndAccess) {
+  SparseVector v;
+  v.PushBack(1, 2.0);
+  v.PushBack(5, -1.0);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.index(0), 1);
+  EXPECT_DOUBLE_EQ(v.value(1), -1.0);
+  EXPECT_FALSE(v.empty());
+}
+
+TEST(SparseVectorTest, FromEntries) {
+  SparseVector v({{0, 1.0}, {3, 2.0}, {7, 3.0}});
+  EXPECT_EQ(v.nnz(), 3u);
+  EXPECT_EQ(v.index(2), 7);
+}
+
+TEST(SparseVectorTest, DotWithDense) {
+  SparseVector v({{0, 2.0}, {2, 3.0}});
+  std::vector<double> dense = {1.0, 10.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Dot(dense), 2.0 + 12.0);
+}
+
+TEST(SparseVectorTest, DotIgnoresOutOfRangeIndices) {
+  SparseVector v({{0, 2.0}, {10, 100.0}});
+  std::vector<double> dense = {3.0};
+  EXPECT_DOUBLE_EQ(v.Dot(dense), 6.0);
+}
+
+TEST(SparseVectorTest, AxpyInto) {
+  SparseVector v({{1, 2.0}, {3, -1.0}});
+  std::vector<double> dense(4, 1.0);
+  v.AxpyInto(2.0, &dense);
+  EXPECT_DOUBLE_EQ(dense[0], 1.0);
+  EXPECT_DOUBLE_EQ(dense[1], 5.0);
+  EXPECT_DOUBLE_EQ(dense[3], -1.0);
+}
+
+TEST(SparseVectorTest, SparseSparseDot) {
+  SparseVector a({{0, 1.0}, {2, 2.0}, {5, 3.0}});
+  SparseVector b({{2, 4.0}, {5, 1.0}, {9, 7.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 8.0 + 3.0);
+  EXPECT_DOUBLE_EQ(b.Dot(a), 11.0);
+}
+
+TEST(SparseVectorTest, L2NormSquared) {
+  SparseVector v({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.L2NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(SparseVector().L2NormSquared(), 0.0);
+}
+
+TEST(SparseMatrixTest, AppendAndRowViews) {
+  SparseMatrix m;
+  m.AppendRow(std::vector<SparseEntry>{{0, 1.0}, {2, 2.0}});
+  m.AppendRow(std::vector<SparseEntry>{});
+  m.AppendRow(std::vector<SparseEntry>{{1, 5.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3u);
+
+  const SparseRowView r0 = m.row(0);
+  EXPECT_EQ(r0.nnz, 2u);
+  EXPECT_EQ(r0.indices[1], 2);
+  EXPECT_DOUBLE_EQ(r0.values[1], 2.0);
+
+  EXPECT_EQ(m.row(1).nnz, 0u);
+  EXPECT_EQ(m.row(2).nnz, 1u);
+}
+
+TEST(SparseMatrixTest, RowCopyMatchesView) {
+  SparseMatrix m;
+  m.AppendRow(std::vector<SparseEntry>{{3, 1.5}, {9, -2.5}});
+  const SparseVector copy = m.RowCopy(0);
+  EXPECT_EQ(copy.nnz(), 2u);
+  EXPECT_EQ(copy.index(1), 9);
+  EXPECT_DOUBLE_EQ(copy.value(0), 1.5);
+}
+
+TEST(SparseMatrixTest, SetColsGrowsOnly) {
+  SparseMatrix m(5);
+  m.SetCols(10);
+  EXPECT_EQ(m.cols(), 10);
+}
+
+TEST(SparseMatrixTest, ScaleColumns) {
+  SparseMatrix m;
+  m.AppendRow(std::vector<SparseEntry>{{0, 2.0}, {1, 4.0}});
+  m.AppendRow(std::vector<SparseEntry>{{1, 8.0}});
+  m.ScaleColumns({0.5, 0.25});
+  EXPECT_DOUBLE_EQ(m.row(0).values[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.row(0).values[1], 1.0);
+  EXPECT_DOUBLE_EQ(m.row(1).values[0], 2.0);
+}
+
+TEST(DenseOpsTest, DotAxpyScaleNorm) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(L2NormSquared(a), 14.0);
+  Axpy(2.0, a, &b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  Scale(0.5, &b);
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+}
+
+TEST(SparseRowViewTest, EmptyViewIsSafe) {
+  SparseRowView v;
+  std::vector<double> dense = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(v.Dot(dense), 0.0);
+  EXPECT_DOUBLE_EQ(v.L2NormSquared(), 0.0);
+  v.AxpyInto(3.0, &dense);
+  EXPECT_DOUBLE_EQ(dense[0], 1.0);
+}
+
+}  // namespace
+}  // namespace spa::ml

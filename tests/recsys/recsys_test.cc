@@ -1,0 +1,301 @@
+#include <memory>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "recsys/content_based.h"
+#include "recsys/emotion_aware.h"
+#include "recsys/evaluator.h"
+#include "recsys/hybrid.h"
+#include "recsys/knn_cf.h"
+#include "recsys/popularity.h"
+
+namespace spa::recsys {
+namespace {
+
+InteractionMatrix MakeTwoCommunityMatrix() {
+  // Users 0-4 like items 0-4; users 5-9 like items 5-9; user 0 has not
+  // seen item 4 yet, user 5 has not seen item 9.
+  InteractionMatrix m;
+  for (UserId u = 0; u < 5; ++u) {
+    for (ItemId i = 0; i < 5; ++i) {
+      if ((u == 0 && i == 4)) continue;
+      m.Add(u, i, 1.0);
+    }
+  }
+  for (UserId u = 5; u < 10; ++u) {
+    for (ItemId i = 5; i < 10; ++i) {
+      if ((u == 5 && i == 9)) continue;
+      m.Add(u, i, 1.0);
+    }
+  }
+  return m;
+}
+
+TEST(InteractionMatrixTest, AddAndQuery) {
+  InteractionMatrix m;
+  m.Add(1, 10, 2.0);
+  m.Add(1, 10, 1.0);  // accumulates
+  m.Add(1, 11, 1.0);
+  m.Add(2, 10, 1.0);
+  EXPECT_EQ(m.user_count(), 2u);
+  EXPECT_EQ(m.item_count(), 2u);
+  EXPECT_EQ(m.interaction_count(), 4u);
+  EXPECT_TRUE(m.Seen(1, 10));
+  EXPECT_FALSE(m.Seen(2, 11));
+  ASSERT_EQ(m.ItemsOf(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(m.ItemsOf(1)[0].second, 3.0);  // accumulated
+  EXPECT_EQ(m.UsersOf(10).size(), 2u);
+  EXPECT_DOUBLE_EQ(m.UserNormSquared(1), 9.0 + 1.0);
+  EXPECT_DOUBLE_EQ(m.ItemNormSquared(11), 1.0);
+  EXPECT_TRUE(m.ItemsOf(99).empty());
+}
+
+TEST(SortAndTruncateTest, OrdersByScoreThenItem) {
+  std::vector<Scored> v = {{3, 1.0}, {1, 2.0}, {2, 2.0}, {4, 0.5}};
+  SortAndTruncate(&v, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].item, 1);  // tie broken by item id
+  EXPECT_EQ(v[1].item, 2);
+  EXPECT_EQ(v[2].item, 3);
+}
+
+TEST(PopularityTest, RanksGlobalFavorites) {
+  InteractionMatrix m;
+  m.Add(1, 100, 1.0);
+  m.Add(2, 100, 1.0);
+  m.Add(3, 100, 1.0);
+  m.Add(1, 200, 1.0);
+  m.Add(2, 300, 1.0);
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(m).ok());
+  const auto recs = rec.Recommend(3, 2);
+  ASSERT_FALSE(recs.empty());
+  // User 3 has seen 100 already -> 200/300 recommended.
+  for (const Scored& s : recs) {
+    EXPECT_NE(s.item, 100);
+  }
+}
+
+TEST(UserKnnTest, SimilarityWithinCommunityHigher) {
+  const InteractionMatrix m = MakeTwoCommunityMatrix();
+  UserKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(m).ok());
+  EXPECT_GT(rec.Similarity(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(rec.Similarity(0, 5), 0.0);
+}
+
+TEST(UserKnnTest, RecommendsWithinCommunity) {
+  const InteractionMatrix m = MakeTwoCommunityMatrix();
+  UserKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(m).ok());
+  const auto recs = rec.Recommend(0, 3);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 4);  // the one community item user 0 misses
+}
+
+TEST(ItemKnnTest, SimilarityAndRecommendation) {
+  const InteractionMatrix m = MakeTwoCommunityMatrix();
+  ItemKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(m).ok());
+  EXPECT_GT(rec.Similarity(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(rec.Similarity(0, 5), 0.0);
+  const auto recs = rec.Recommend(5, 3);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 9);
+}
+
+TEST(KnnTest, UnknownUserGetsNothing) {
+  const InteractionMatrix m = MakeTwoCommunityMatrix();
+  UserKnnRecommender user_rec;
+  ItemKnnRecommender item_rec;
+  ASSERT_TRUE(user_rec.Fit(m).ok());
+  ASSERT_TRUE(item_rec.Fit(m).ok());
+  EXPECT_TRUE(user_rec.Recommend(999, 5).empty());
+  EXPECT_TRUE(item_rec.Recommend(999, 5).empty());
+}
+
+TEST(ContentBasedTest, RequiresFeaturesBeforeFit) {
+  InteractionMatrix m;
+  m.Add(1, 1, 1.0);
+  ContentBasedRecommender rec;
+  EXPECT_EQ(rec.Fit(m).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ContentBasedTest, RecommendsSimilarContent) {
+  InteractionMatrix m;
+  m.Add(1, 0, 1.0);  // user 1 likes item 0 (topic A)
+  ContentBasedRecommender rec;
+  rec.SetItemFeatures(0, ml::SparseVector({{0, 1.0}}));        // topic A
+  rec.SetItemFeatures(1, ml::SparseVector({{0, 1.0}}));        // topic A
+  rec.SetItemFeatures(2, ml::SparseVector({{1, 1.0}}));        // topic B
+  rec.SetItemFeatures(3, ml::SparseVector({{0, 0.7}, {1, 0.7}}));
+  ASSERT_TRUE(rec.Fit(m).ok());
+  const auto recs = rec.Recommend(1, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 1);            // same topic ranks first
+  EXPECT_EQ(recs.back().item, 2);        // disjoint topic ranks last
+  EXPECT_GT(recs[0].score, recs[1].score);
+}
+
+TEST(ContentBasedTest, ProfileIsWeightedCentroid) {
+  InteractionMatrix m;
+  m.Add(1, 0, 3.0);
+  m.Add(1, 2, 1.0);
+  ContentBasedRecommender rec;
+  rec.SetItemFeatures(0, ml::SparseVector({{0, 1.0}}));
+  rec.SetItemFeatures(2, ml::SparseVector({{1, 1.0}}));
+  ASSERT_TRUE(rec.Fit(m).ok());
+  const auto profile = rec.ProfileOf(1);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile[0], 0.75);
+  EXPECT_DOUBLE_EQ(profile[1], 0.25);
+}
+
+TEST(HybridTest, RequiresComponents) {
+  InteractionMatrix m;
+  m.Add(1, 1, 1.0);
+  HybridRecommender rec;
+  EXPECT_EQ(rec.Fit(m).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HybridTest, BlendsComponents) {
+  const InteractionMatrix m = MakeTwoCommunityMatrix();
+  HybridRecommender rec;
+  rec.AddComponent(std::make_unique<UserKnnRecommender>(), 0.5);
+  rec.AddComponent(std::make_unique<PopularityRecommender>(), 0.5);
+  ASSERT_TRUE(rec.Fit(m).ok());
+  EXPECT_EQ(rec.component_count(), 2u);
+  const auto recs = rec.Recommend(0, 5);
+  ASSERT_FALSE(recs.empty());
+  // Item 4 is both popular-unseen and community-endorsed.
+  EXPECT_EQ(recs[0].item, 4);
+}
+
+class EmotionRerankTest : public ::testing::Test {
+ protected:
+  EmotionRerankTest()
+      : catalog_(sum::AttributeCatalog::EmagisterDefault()),
+        model_(1, &catalog_) {}
+
+  sum::AttributeCatalog catalog_;
+  sum::SmartUserModel model_;
+};
+
+TEST_F(EmotionRerankTest, PositiveValenceActivates) {
+  EmotionAwareReranker reranker;
+  EmotionProfile enthusiastic_profile{};
+  enthusiastic_profile[static_cast<size_t>(
+      eit::EmotionalAttribute::kEnthusiastic)] = 1.0;
+  reranker.SetItemProfile(10, enthusiastic_profile);
+
+  model_.set_sensibility(
+      catalog_.EmotionalId(eit::EmotionalAttribute::kEnthusiastic),
+      0.9);
+  EXPECT_GT(reranker.Alignment(model_, 10), 0.5);
+}
+
+TEST_F(EmotionRerankTest, NegativeValenceInhibits) {
+  EmotionAwareReranker reranker;
+  EmotionProfile scary_profile{};
+  scary_profile[static_cast<size_t>(
+      eit::EmotionalAttribute::kFrightened)] = 1.0;
+  reranker.SetItemProfile(11, scary_profile);
+
+  model_.set_sensibility(
+      catalog_.EmotionalId(eit::EmotionalAttribute::kFrightened), 0.9);
+  EXPECT_LT(reranker.Alignment(model_, 11), -0.5);
+}
+
+TEST_F(EmotionRerankTest, UnknownItemNeutral) {
+  EmotionAwareReranker reranker;
+  EXPECT_DOUBLE_EQ(reranker.Alignment(model_, 999), 0.0);
+}
+
+TEST_F(EmotionRerankTest, RerankPromotesAlignedItems) {
+  EmotionAwareReranker reranker({0.6, 0.2});
+  EmotionProfile aligned{};
+  aligned[static_cast<size_t>(
+      eit::EmotionalAttribute::kMotivated)] = 1.0;
+  EmotionProfile inhibiting{};
+  inhibiting[static_cast<size_t>(
+      eit::EmotionalAttribute::kApathetic)] = 1.0;
+  reranker.SetItemProfile(1, aligned);
+  reranker.SetItemProfile(2, inhibiting);
+
+  model_.set_sensibility(
+      catalog_.EmotionalId(eit::EmotionalAttribute::kMotivated), 0.9);
+  model_.set_sensibility(
+      catalog_.EmotionalId(eit::EmotionalAttribute::kApathetic), 0.9);
+
+  // Item 2 has a better base score, but emotional context flips it.
+  std::vector<Scored> base = {{2, 1.0}, {1, 0.9}};
+  const auto reranked = reranker.Rerank(model_, base);
+  ASSERT_EQ(reranked.size(), 2u);
+  EXPECT_EQ(reranked[0].item, 1);
+}
+
+TEST_F(EmotionRerankTest, NoSensibilityLeavesOrderIntact) {
+  EmotionAwareReranker reranker;
+  EmotionProfile profile{};
+  profile.fill(1.0);
+  reranker.SetItemProfile(1, profile);
+  reranker.SetItemProfile(2, profile);
+  std::vector<Scored> base = {{2, 1.0}, {1, 0.5}};
+  const auto reranked = reranker.Rerank(model_, base);
+  EXPECT_EQ(reranked[0].item, 2);
+}
+
+TEST(EvaluatorTest, PerfectRecommenderScoresOne) {
+  const InteractionMatrix m = MakeTwoCommunityMatrix();
+  UserKnnRecommender rec;
+  ASSERT_TRUE(rec.Fit(m).ok());
+  RelevanceSets held_out;
+  held_out[0] = {4};  // the item user 0 is missing
+  held_out[5] = {9};
+  const TopKMetrics metrics = EvaluateTopK(rec, held_out, 1);
+  EXPECT_DOUBLE_EQ(metrics.precision, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.hit_rate, 1.0);
+  EXPECT_EQ(metrics.users_evaluated, 2u);
+}
+
+TEST(EvaluatorTest, EmptyHeldOutSkipped) {
+  const InteractionMatrix m = MakeTwoCommunityMatrix();
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(m).ok());
+  RelevanceSets held_out;
+  held_out[0] = {};
+  const TopKMetrics metrics = EvaluateTopK(rec, held_out, 3);
+  EXPECT_EQ(metrics.users_evaluated, 0u);
+}
+
+TEST(EvaluatorTest, RandomVsOracleOrdering) {
+  // An oracle that knows the held-out item must beat popularity.
+  Rng rng(7);
+  InteractionMatrix train;
+  RelevanceSets held_out;
+  for (UserId u = 0; u < 60; ++u) {
+    const ItemId community_base = (u % 2 == 0) ? 0 : 30;
+    for (int j = 0; j < 8; ++j) {
+      const ItemId item = community_base +
+                          static_cast<ItemId>(rng.UniformInt(0, 29));
+      train.Add(u, item, 1.0);
+    }
+    held_out[u] = {community_base +
+                   static_cast<ItemId>(rng.UniformInt(0, 29))};
+    // Held-out items the user already saw do not count; drop those.
+    if (train.Seen(u, *held_out[u].begin())) held_out.erase(u);
+  }
+  UserKnnRecommender knn;
+  PopularityRecommender pop;
+  ASSERT_TRUE(knn.Fit(train).ok());
+  ASSERT_TRUE(pop.Fit(train).ok());
+  const TopKMetrics knn_metrics = EvaluateTopK(knn, held_out, 10);
+  const TopKMetrics pop_metrics = EvaluateTopK(pop, held_out, 10);
+  // Community structure: CF should beat global popularity on recall.
+  EXPECT_GT(knn_metrics.recall, pop_metrics.recall * 0.9);
+}
+
+}  // namespace
+}  // namespace spa::recsys
