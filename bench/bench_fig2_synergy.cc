@@ -97,11 +97,16 @@ int Main(int argc, char** argv) {
                   static_cast<long long>(user), score);
     }
   }
-  const auto recs = spa->RecommendCourses(candidates.front(), 3);
+  recsys::RecommendRequest rec_request;
+  rec_request.user = candidates.front();
+  rec_request.k = 3;
+  const auto rec_response = spa->Recommend(rec_request);
   std::printf("  recommendation function (user %lld): ",
               static_cast<long long>(candidates.front()));
-  for (const auto& scored : recs) {
-    std::printf("course#%d(%.2f) ", scored.item, scored.score);
+  if (rec_response.ok()) {
+    for (const auto& item : rec_response.value().items) {
+      std::printf("course#%d(%.2f) ", item.item, item.score);
+    }
   }
   std::printf("\n  campaign impacts: %zu/%zu (%.1f%%)\n",
               outcome.useful_impacts, outcome.targeted,

@@ -1,0 +1,174 @@
+// Serving throughput: single-request vs. thread-pool-batched serving
+// through the RecsysEngine request/response API. Measures requests/sec
+// sequentially and with RecommendBatch at 1/2/4/8 worker threads,
+// verifies that batched rankings are identical to sequential ones, and
+// emits BENCH_serving.json so the perf trajectory is tracked.
+//
+//   ./build/bench/bench_serving [--users=N] [--seed=S]
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "recsys/engine.h"
+#include "recsys/knn_cf.h"
+#include "recsys/popularity.h"
+#include "sum/sum_store.h"
+
+namespace spa::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool SameResults(
+    const std::vector<spa::Result<recsys::RecommendResponse>>& a,
+    const std::vector<spa::Result<recsys::RecommendResponse>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ok() != b[i].ok()) return false;
+    if (!a[i].ok()) continue;
+    const auto& lhs = a[i].value().items;
+    const auto& rhs = b[i].value().items;
+    if (lhs.size() != rhs.size()) return false;
+    for (size_t j = 0; j < lhs.size(); ++j) {
+      if (lhs[j].item != rhs[j].item || lhs[j].score != rhs[j].score) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const CommonFlags flags = ParseFlags(argc, argv);
+  const size_t users = flags.users > 0 ? flags.users : 2'000;
+  const size_t items = 400;
+  const size_t k = 10;
+
+  PrintHeader(StrFormat(
+      "Serving throughput - sequential vs batched (%zu users)", users));
+
+  // Two-community interaction matrix plus long-tail noise.
+  Rng rng(flags.seed);
+  recsys::InteractionMatrix matrix;
+  for (size_t u = 0; u < users; ++u) {
+    const auto base = static_cast<recsys::ItemId>(
+        (u % 2 == 0) ? 0 : items / 2);
+    for (int j = 0; j < 12; ++j) {
+      const auto item = static_cast<recsys::ItemId>(
+          base + rng.UniformInt(0, static_cast<int64_t>(items) / 2 - 1));
+      matrix.Add(static_cast<recsys::UserId>(u), item,
+                 rng.Uniform(0.2, 3.0));
+    }
+  }
+
+  // Engine: CF + popularity hybrid with emotional re-ranking on top.
+  sum::AttributeCatalog catalog = sum::AttributeCatalog::EmagisterDefault();
+  sum::SumStore sums(&catalog);
+  for (size_t u = 0; u < users; ++u) {
+    sum::SmartUserModel* model =
+        sums.GetOrCreate(static_cast<sum::UserId>(u));
+    for (eit::EmotionalAttribute attr : eit::AllEmotionalAttributes()) {
+      if (rng.Bernoulli(0.3)) {
+        model->set_sensibility(catalog.EmotionalId(attr),
+                               rng.Uniform(0.3, 1.0));
+      }
+    }
+  }
+
+  recsys::RecsysEngine engine;
+  engine.AddComponent(std::make_unique<recsys::UserKnnRecommender>(),
+                      0.6);
+  engine.AddComponent(std::make_unique<recsys::PopularityRecommender>(),
+                      0.4);
+  for (size_t i = 0; i < items; ++i) {
+    recsys::EmotionProfile profile{};
+    for (double& p : profile) p = rng.Uniform();
+    engine.SetItemEmotionProfile(static_cast<recsys::ItemId>(i),
+                                 profile);
+  }
+  engine.set_sum_store(&sums);
+  if (!engine.Fit(matrix).ok()) {
+    std::printf("engine fit failed\n");
+    return 1;
+  }
+
+  std::vector<recsys::RecommendRequest> requests;
+  requests.reserve(users);
+  for (size_t u = 0; u < users; ++u) {
+    recsys::RecommendRequest request;
+    request.user = static_cast<recsys::UserId>(u);
+    request.k = k;
+    requests.push_back(std::move(request));
+  }
+
+  // Sequential baseline.
+  std::vector<spa::Result<recsys::RecommendResponse>> sequential;
+  sequential.reserve(requests.size());
+  const auto seq_start = Clock::now();
+  for (const auto& request : requests) {
+    sequential.push_back(engine.Recommend(request));
+  }
+  const double seq_seconds = SecondsSince(seq_start);
+  const double seq_rps = static_cast<double>(users) / seq_seconds;
+  std::printf("\nsequential:        %8.0f req/s  (%.3f s)\n", seq_rps,
+              seq_seconds);
+
+  struct BatchPoint {
+    size_t threads;
+    double rps;
+    double speedup;
+    bool parity;
+  };
+  std::vector<BatchPoint> points;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    engine.set_batch_threads(threads);
+    (void)engine.batch_thread_count();  // spawn workers outside timing
+    const auto start = Clock::now();
+    const auto batched = engine.RecommendBatch(requests);
+    const double seconds = SecondsSince(start);
+    const double rps = static_cast<double>(users) / seconds;
+    const bool parity = SameResults(sequential, batched);
+    points.push_back({threads, rps, rps / seq_rps, parity});
+    std::printf("batched x%zu:        %8.0f req/s  (%.3f s)  "
+                "speedup %.2fx  parity %s\n",
+                threads, rps, seconds, rps / seq_rps,
+                parity ? "OK" : "MISMATCH");
+  }
+
+  std::FILE* json = std::fopen("BENCH_serving.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"serving\",\n  \"users\": %zu,\n"
+                 "  \"items\": %zu,\n  \"k\": %zu,\n"
+                 "  \"sequential_rps\": %.1f,\n  \"batched\": [\n",
+                 users, items, k, seq_rps);
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"threads\": %zu, \"rps\": %.1f, "
+                   "\"speedup\": %.3f, \"parity\": %s}%s\n",
+                   points[i].threads, points[i].rps, points[i].speedup,
+                   points[i].parity ? "true" : "false",
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_serving.json\n");
+  }
+
+  for (const BatchPoint& p : points) {
+    if (!p.parity) return 1;  // batched serving must match sequential
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace spa::bench
+
+int main(int argc, char** argv) { return spa::bench::Main(argc, argv); }

@@ -90,26 +90,44 @@ int main() {
                 propensity.value());
   }
 
-  // 5b. Course recommendations with emotion-aware re-ranking.
+  // 5b. Course recommendations through the serving engine: a
+  //     RecommendRequest carries the user, cutoff, candidate policy and
+  //     an explain flag; the response carries per-item score breakdowns.
   const campaign::CourseCatalog catalog =
       campaign::CourseCatalog::Generate(20, spa.attribute_catalog(), 7);
   for (const auto& course : catalog.courses()) {
     spa.SetItemFeatures(course.id, catalog.ContentFeatures(course));
     spa.SetItemEmotionProfile(course.id, course.emotion_profile);
   }
-  const auto recommendations = spa.RecommendCourses(alice, 3);
-  std::printf("recommended courses:");
-  for (const auto& scored : recommendations) {
-    std::printf("  %s(%.2f)",
-                catalog.ById(scored.item).value()->name.c_str(),
-                scored.score);
+  recsys::RecommendRequest request;
+  request.user = alice;
+  request.k = 3;
+  request.exclude_seen = recsys::ExcludeSeen::kYes;
+  request.explain = true;
+  const auto response = spa.Recommend(request);
+  if (!response.ok()) {
+    std::printf("recommendation failed: %s\n",
+                response.status().ToString().c_str());
+    return 1;
   }
-  std::printf("\n");
+  std::printf("recommended courses (emotion stage %s):\n",
+              response.value().emotion_applied ? "applied" : "skipped");
+  for (const auto& item : response.value().items) {
+    std::printf("  %-24s score %.3f  [base %.3f, emotion %+.3f]\n",
+                catalog.ById(item.item).value()->name.c_str(),
+                item.score, item.breakdown.base_share,
+                item.breakdown.emotion_delta);
+    for (const auto& c : item.breakdown.components) {
+      std::printf("      %-14s w=%.2f contributed %.3f\n",
+                  c.component.c_str(), c.weight, c.contribution);
+    }
+  }
 
-  // 5c. The individualized sales message (§5.3).
-  if (!recommendations.empty()) {
+  // 5c. The individualized sales message (§5.3), composed for the
+  //     engine's top suggestion.
+  if (!response.value().items.empty()) {
     const campaign::Course& course =
-        *catalog.ById(recommendations.front().item).value();
+        *catalog.ById(response.value().items.front().item).value();
     const agents::ComposedMessage message =
         spa.MessageFor(alice, course.id, course.sellable_attributes);
     std::printf("message for alice: \"%s\"\n", message.text.c_str());

@@ -8,6 +8,7 @@
 #include "ml/logreg.h"
 #include "ml/svm_linear.h"
 #include "recsys/emotion_aware.h"
+#include "recsys/engine.h"
 #include "sum/reward_punish.h"
 
 /// \file
@@ -60,6 +61,12 @@ struct SpaConfig {
 
   /// Emotion-aware re-ranking of course recommendations.
   recsys::EmotionRerankConfig rerank;
+
+  /// Serving engine (hybrid component depth, re-rank overfetch, batch
+  /// threads). Its `rerank` / `emotion_enabled` fields are overridden
+  /// by `rerank` / `include_emotional_features` above when the engine
+  /// is built.
+  recsys::EngineConfig engine;
 };
 
 }  // namespace spa::core

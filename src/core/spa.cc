@@ -55,8 +55,7 @@ Spa::Spa(SpaConfig config)
                                         config.seed)),
       eit_(std::make_unique<eit::GradualEit>(&bank_)),
       runtime_(&clock_),
-      smart_(&actions_, &attrs_, &space_, config),
-      reranker_(config.rerank) {
+      smart_(&actions_, &attrs_, &space_, config) {
   auto preprocessor = std::make_unique<agents::PreprocessorAgent>(
       &actions_, &logs_, config.preprocessor);
   preprocessor_ = preprocessor.get();
@@ -163,7 +162,8 @@ void Spa::SetItemFeatures(lifelog::ItemId item,
 
 void Spa::SetItemEmotionProfile(lifelog::ItemId item,
                                 const recsys::EmotionProfile& profile) {
-  reranker_.SetItemProfile(item, profile);
+  emotion_profiles_[item] = profile;
+  if (engine_ != nullptr) engine_->SetItemEmotionProfile(item, profile);
 }
 
 spa::Status Spa::RefreshRecommenders() {
@@ -187,39 +187,88 @@ spa::Status Spa::RefreshRecommenders() {
         "no item interactions recorded yet");
   }
 
-  hybrid_ = std::make_unique<recsys::HybridRecommender>();
-  hybrid_->AddComponent(std::make_unique<recsys::ItemKnnRecommender>(),
+  recsys::EngineConfig engine_config = config_.engine;
+  engine_config.rerank = config_.rerank;
+  engine_config.emotion_enabled = config_.include_emotional_features;
+  engine_ = std::make_unique<recsys::RecsysEngine>(engine_config);
+  engine_->AddComponent(std::make_unique<recsys::ItemKnnRecommender>(),
                         0.45);
-  hybrid_->AddComponent(std::make_unique<recsys::PopularityRecommender>(),
-                        0.10);
+  engine_->AddComponent(
+      std::make_unique<recsys::PopularityRecommender>(), 0.10);
   if (!item_features_.empty()) {
     auto content = std::make_unique<recsys::ContentBasedRecommender>();
     for (const auto& [item, features] : item_features_) {
       content->SetItemFeatures(item, features);
     }
-    hybrid_->AddComponent(std::move(content), 0.45);
+    engine_->AddComponent(std::move(content), 0.45);
   }
-  SPA_RETURN_IF_ERROR(hybrid_->Fit(interactions_));
+  for (const auto& [item, profile] : emotion_profiles_) {
+    engine_->SetItemEmotionProfile(item, profile);
+  }
+  engine_->set_sum_store(&sums_);
+  SPA_RETURN_IF_ERROR(engine_->Fit(interactions_));
+  sparse_seen_.clear();  // derived from the matrix just rebuilt
   recommenders_ready_ = true;
   return spa::Status::OK();
 }
 
-std::vector<recsys::Scored> Spa::RecommendCourses(sum::UserId user,
-                                                  size_t k) {
-  if (!recommenders_ready_) {
-    if (!RefreshRecommenders().ok()) return {};
+const std::unordered_set<lifelog::ItemId>& Spa::SparseSeenFor(
+    sum::UserId user) {
+  auto it = sparse_seen_.find(user);
+  if (it == sparse_seen_.end()) {
+    std::unordered_set<lifelog::ItemId> out;
+    for (const lifelog::Event& event : logs_.UserEvents(user)) {
+      if (event.item == lifelog::kNoItem) continue;
+      if (!interactions_.Seen(user, event.item)) out.insert(event.item);
+    }
+    it = sparse_seen_.emplace(user, std::move(out)).first;
   }
-  // Over-fetch so the re-ranker has room to move items into the top-k.
-  std::vector<recsys::Scored> candidates =
-      hybrid_->Recommend(user, k * 3);
-  if (config_.include_emotional_features) {
-    const auto model = sums_.Get(user);
-    if (model.ok()) {
-      candidates = reranker_.Rerank(*model.value(), std::move(candidates));
+  return it->second;
+}
+
+spa::Result<recsys::RecommendResponse> Spa::Recommend(
+    recsys::RecommendRequest request) {
+  if (!recommenders_ready_) {
+    SPA_RETURN_IF_ERROR(RefreshRecommenders());
+  }
+  if (request.exclude_seen == recsys::ExcludeSeen::kYes) {
+    // Zero-weight interactions (e.g. a rating of 0) never enter the
+    // sparse matrix; without this merge they would leak back as
+    // recommendations.
+    const auto& sparse_seen = SparseSeenFor(request.user);
+    request.exclude_items.insert(sparse_seen.begin(), sparse_seen.end());
+  }
+  return engine_->Recommend(request);
+}
+
+std::vector<spa::Result<recsys::RecommendResponse>> Spa::RecommendBatch(
+    std::vector<recsys::RecommendRequest> requests) {
+  if (!recommenders_ready_) {
+    const spa::Status refreshed = RefreshRecommenders();
+    if (!refreshed.ok()) {
+      return std::vector<spa::Result<recsys::RecommendResponse>>(
+          requests.size(),
+          spa::Result<recsys::RecommendResponse>(refreshed));
     }
   }
-  if (candidates.size() > k) candidates.resize(k);
-  return candidates;
+  for (recsys::RecommendRequest& request : requests) {
+    if (request.exclude_seen == recsys::ExcludeSeen::kYes) {
+      const auto& sparse_seen = SparseSeenFor(request.user);
+      request.exclude_items.insert(sparse_seen.begin(),
+                                   sparse_seen.end());
+    }
+  }
+  return engine_->RecommendBatch(requests);
+}
+
+std::vector<recsys::Scored> Spa::RecommendCourses(sum::UserId user,
+                                                  size_t k) {
+  recsys::RecommendRequest request;
+  request.user = user;
+  request.k = k;
+  const auto response = Recommend(std::move(request));
+  if (!response.ok()) return {};
+  return response.value().AsScored();
 }
 
 agents::ComposedMessage Spa::MessageFor(

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "agents/attributes_agent.h"
@@ -14,7 +15,8 @@
 #include "eit/gradual_eit.h"
 #include "recsys/content_based.h"
 #include "recsys/emotion_aware.h"
-#include "recsys/hybrid.h"
+#include "recsys/engine.h"
+#include "recsys/request.h"
 
 /// \file
 /// The SPA platform facade: wires the five Fig. 3 components together —
@@ -93,11 +95,31 @@ class Spa {
   void SetItemEmotionProfile(lifelog::ItemId item,
                              const recsys::EmotionProfile& profile);
 
-  /// Rebuilds the hybrid recommender from the current interactions.
+  /// Rebuilds the serving engine (recommender stack) from the current
+  /// interactions.
   spa::Status RefreshRecommenders();
 
+  /// The serving engine behind the advice stage (null until the first
+  /// successful RefreshRecommenders / Recommend call).
+  recsys::RecsysEngine* engine() { return engine_.get(); }
+
+  /// Serves one recommendation request through the engine. The request
+  /// is augmented with exclusions for items the user touched in the
+  /// LifeLog that the sparse interaction matrix missed (zero-weight
+  /// interactions), so seen items cannot leak back. Refreshes the
+  /// engine first when interactions changed.
+  spa::Result<recsys::RecommendResponse> Recommend(
+      recsys::RecommendRequest request);
+
+  /// Serves a batch of requests in parallel over the engine's thread
+  /// pool; results align with `requests` by index and match sequential
+  /// Recommend calls exactly.
+  std::vector<spa::Result<recsys::RecommendResponse>> RecommendBatch(
+      std::vector<recsys::RecommendRequest> requests);
+
   /// Top-k course suggestions; emotion-aware re-ranking applied when a
-  /// SUM exists and emotional features are enabled.
+  /// SUM exists and emotional features are enabled. (Compatibility
+  /// wrapper over Recommend().)
   std::vector<recsys::Scored> RecommendCourses(sum::UserId user, size_t k);
 
   /// Composes the individualized message for (user, course) (§5.3).
@@ -149,11 +171,24 @@ class Spa {
   SmartComponent smart_;
   recsys::InteractionMatrix interactions_;
   std::unordered_map<lifelog::ItemId, ml::SparseVector> item_features_;
-  std::unique_ptr<recsys::HybridRecommender> hybrid_;
-  recsys::EmotionAwareReranker reranker_;
+  std::unordered_map<lifelog::ItemId, recsys::EmotionProfile>
+      emotion_profiles_;
+  std::unique_ptr<recsys::RecsysEngine> engine_;
   bool recommenders_ready_ = false;
 
+  /// Per-user cache of SparseSeenFor results; cleared whenever the
+  /// interaction matrix is rebuilt.
+  std::unordered_map<sum::UserId, std::unordered_set<lifelog::ItemId>>
+      sparse_seen_;
+
   eit::UserEitState& EitStateFor(sum::UserId user);
+
+  /// Items the user touched per the LifeLog that never entered the
+  /// (sparse) interaction matrix — zero-weight interactions the seen
+  /// filter would otherwise miss. Cached per user: serving must not
+  /// rescan the whole LifeLog history on every request.
+  const std::unordered_set<lifelog::ItemId>& SparseSeenFor(
+      sum::UserId user);
 };
 
 }  // namespace spa::core

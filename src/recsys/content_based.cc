@@ -35,23 +35,23 @@ std::vector<double> ContentBasedRecommender::ProfileOf(
   return profile;
 }
 
-std::vector<Scored> ContentBasedRecommender::Recommend(UserId user,
-                                                       size_t k) const {
+std::vector<Scored> ContentBasedRecommender::RecommendCandidates(
+    const CandidateQuery& query) const {
   std::vector<Scored> out;
   if (matrix_ == nullptr) return out;
-  const std::vector<double> profile = ProfileOf(user);
+  const std::vector<double> profile = ProfileOf(query.user);
   const double profile_norm = std::sqrt(ml::L2NormSquared(profile));
   if (profile_norm == 0.0) return out;
 
   for (const auto& [item, features] : item_features_) {
-    if (matrix_->Seen(user, item)) continue;
+    if (!query.Admits(matrix_, item)) continue;
     const double norm = std::sqrt(features.L2NormSquared());
     if (norm == 0.0) continue;
     const double score =
         features.Dot(profile) / (norm * profile_norm);
     out.push_back({item, score});
   }
-  SortAndTruncate(&out, k);
+  SortAndTruncate(&out, query.k);
   return out;
 }
 

@@ -20,7 +20,8 @@ class ContentBasedRecommender : public Recommender {
   void SetItemFeatures(ItemId item, ml::SparseVector features);
 
   spa::Status Fit(const InteractionMatrix& matrix) override;
-  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::vector<Scored> RecommendCandidates(
+      const CandidateQuery& query) const override;
   std::string name() const override { return "ContentBased"; }
 
   /// The profile vector of a user (dense, feature-space sized).

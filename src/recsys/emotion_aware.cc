@@ -34,22 +34,40 @@ double EmotionAwareReranker::Alignment(const sum::SmartUserModel& model,
   return std::clamp(signal / weight_total, -1.0, 1.0);
 }
 
-std::vector<Scored> EmotionAwareReranker::Rerank(
-    const sum::SmartUserModel& model,
-    std::vector<Scored> candidates) const {
-  if (candidates.empty()) return candidates;
-  // Min-max normalize base scores so beta blends comparable scales.
+std::pair<double, double> EmotionAwareReranker::ScoreBounds(
+    const std::vector<Scored>& candidates) {
+  if (candidates.empty()) return {0.0, 0.0};
   double lo = candidates.front().score;
   double hi = candidates.front().score;
   for (const Scored& s : candidates) {
     lo = std::min(lo, s.score);
     hi = std::max(hi, s.score);
   }
+  return {lo, hi};
+}
+
+double EmotionAwareReranker::NormalizedBase(double score, double lo,
+                                            double hi) {
   const double span = hi - lo;
+  return span > 0.0 ? (score - lo) / span : 1.0;
+}
+
+double EmotionAwareReranker::BlendScore(double normalized_base,
+                                        double alignment) const {
+  return (1.0 - config_.beta) * normalized_base +
+         config_.beta * alignment;
+}
+
+std::vector<Scored> EmotionAwareReranker::Rerank(
+    const sum::SmartUserModel& model,
+    std::vector<Scored> candidates) const {
+  if (candidates.empty()) return candidates;
+  // Min-max normalize base scores so beta blends comparable scales.
+  const auto [lo, hi] = ScoreBounds(candidates);
   for (Scored& s : candidates) {
-    const double base = span > 0.0 ? (s.score - lo) / span : 1.0;
+    const double base = NormalizedBase(s.score, lo, hi);
     const double alignment = Alignment(model, s.item);
-    s.score = (1.0 - config_.beta) * base + config_.beta * alignment;
+    s.score = BlendScore(base, alignment);
   }
   SortAndTruncate(&candidates, candidates.size());
   return candidates;

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <unordered_map>
+#include <utility>
 
 #include "eit/emotion.h"
 #include "recsys/recommender.h"
@@ -45,6 +46,18 @@ class EmotionAwareReranker {
   /// beta * alignment; candidates are re-sorted.
   std::vector<Scored> Rerank(const sum::SmartUserModel& model,
                              std::vector<Scored> candidates) const;
+
+  // The pieces of Rerank's formula, exposed so serving paths that need
+  // per-item breakdowns (the engine's explain mode) share one
+  // definition of the blend instead of re-implementing it.
+
+  /// Min-max bounds (lo, hi) of the candidate scores ({0,0} if empty).
+  static std::pair<double, double> ScoreBounds(
+      const std::vector<Scored>& candidates);
+  /// Base score normalized against [lo, hi] (1.0 when the span is 0).
+  static double NormalizedBase(double score, double lo, double hi);
+  /// The blend: (1-beta) * normalized_base + beta * alignment.
+  double BlendScore(double normalized_base, double alignment) const;
 
   const EmotionRerankConfig& config() const { return config_; }
 

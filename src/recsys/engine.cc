@@ -1,0 +1,177 @@
+#include "recsys/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spa::recsys {
+
+RecsysEngine::RecsysEngine(EngineConfig config)
+    : config_(config),
+      hybrid_(std::make_unique<HybridRecommender>(
+          HybridConfig{config.component_depth})),
+      reranker_(config.rerank) {
+  SPA_CHECK(config_.rerank_overfetch > 0);
+}
+
+void RecsysEngine::AddComponent(std::unique_ptr<Recommender> component,
+                                double weight) {
+  hybrid_->AddComponent(std::move(component), weight);
+  fitted_ = false;
+}
+
+void RecsysEngine::SetItemEmotionProfile(ItemId item,
+                                         const EmotionProfile& profile) {
+  reranker_.SetItemProfile(item, profile);
+}
+
+spa::Status RecsysEngine::Fit(const InteractionMatrix& matrix) {
+  SPA_RETURN_IF_ERROR(hybrid_->Fit(matrix));
+  fitted_ = true;
+  return spa::Status::OK();
+}
+
+spa::Result<RecommendResponse> RecsysEngine::Recommend(
+    const RecommendRequest& request) const {
+  SPA_RETURN_IF_ERROR(ValidateRequest(request));
+  if (!fitted_) {
+    return spa::Status::FailedPrecondition(
+        "engine not fitted; call Fit() after assembling the stack");
+  }
+
+  // Base candidates: blended hybrid scores, overfetched so the
+  // emotional stage has room to move items into the top k.
+  CandidateQuery query;
+  query.user = request.user;
+  query.k = request.k * config_.rerank_overfetch;
+  query.exclude_seen = request.exclude_seen;
+  query.exclude_items =
+      request.exclude_items.empty() ? nullptr : &request.exclude_items;
+  query.candidate_items = request.candidate_items.has_value()
+                              ? &*request.candidate_items
+                              : nullptr;
+  std::vector<HybridRecommender::Blended> blended =
+      hybrid_->BlendCandidates(query,
+                               /*track_contributions=*/request.explain);
+  if (blended.size() > query.k) blended.resize(query.k);
+
+  // Emotional context: the request's snapshot override wins; otherwise
+  // look the user up in the SUM store.
+  const sum::SmartUserModel* model = request.emotion_override;
+  if (model == nullptr && sums_ != nullptr) {
+    const auto found = sums_->Get(request.user);
+    if (found.ok()) model = found.value();
+  }
+  const bool apply_emotion =
+      config_.emotion_enabled && model != nullptr && !blended.empty();
+
+  RecommendResponse response;
+  response.user = request.user;
+  response.explained = request.explain;
+  response.emotion_applied = apply_emotion;
+
+  // Without the emotional stage scores are final and blended is
+  // already sorted: drop the overfetch tail before building anything.
+  if (!apply_emotion && blended.size() > request.k) {
+    blended.resize(request.k);
+  }
+
+  // Re-score with the emotion blend (the formula is the reranker's —
+  // one definition shared with EmotionAwareReranker::Rerank), sort,
+  // and only then materialize the surviving top-k items.
+  struct Ranked {
+    double score = 0.0;
+    double base_norm = 0.0;
+    double alignment = 0.0;
+    size_t idx = 0;
+  };
+  double lo = 0.0, hi = 0.0;
+  if (apply_emotion) {
+    lo = hi = blended.front().score;
+    for (const auto& b : blended) {
+      lo = std::min(lo, b.score);
+      hi = std::max(hi, b.score);
+    }
+  }
+  std::vector<Ranked> ranked;
+  ranked.reserve(blended.size());
+  for (size_t i = 0; i < blended.size(); ++i) {
+    Ranked r;
+    r.idx = i;
+    if (apply_emotion) {
+      r.base_norm =
+          EmotionAwareReranker::NormalizedBase(blended[i].score, lo, hi);
+      r.alignment = reranker_.Alignment(*model, blended[i].item);
+      r.score = reranker_.BlendScore(r.base_norm, r.alignment);
+    } else {
+      r.score = blended[i].score;
+    }
+    ranked.push_back(r);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&blended](const Ranked& a, const Ranked& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return blended[a.idx].item < blended[b.idx].item;
+            });
+  if (ranked.size() > request.k) ranked.resize(request.k);
+
+  response.items.reserve(ranked.size());
+  for (const Ranked& r : ranked) {
+    const HybridRecommender::Blended& b = blended[r.idx];
+    RecommendedItem item;
+    item.item = b.item;
+    item.score = r.score;
+    if (request.explain) {
+      item.breakdown.base = b.score;
+      item.breakdown.emotional_alignment = r.alignment;
+      if (apply_emotion) {
+        item.breakdown.base_share = reranker_.BlendScore(r.base_norm, 0.0);
+        item.breakdown.emotion_delta = r.score - item.breakdown.base_share;
+      } else {
+        item.breakdown.base_share = b.score;
+      }
+      item.breakdown.components.reserve(hybrid_->component_count());
+      for (size_t ci = 0; ci < hybrid_->component_count(); ++ci) {
+        item.breakdown.components.push_back(
+            {hybrid_->component_name(ci), hybrid_->component_weight(ci),
+             b.contributions[ci]});
+      }
+    }
+    response.items.push_back(std::move(item));
+  }
+  return response;
+}
+
+std::vector<spa::Result<RecommendResponse>> RecsysEngine::RecommendBatch(
+    const std::vector<RecommendRequest>& requests) {
+  std::vector<spa::Result<RecommendResponse>> results(
+      requests.size(),
+      spa::Result<RecommendResponse>(
+          spa::Status::Internal("request not served")));
+  if (requests.empty()) return results;
+  ThreadPool* pool = EnsurePool();
+  ParallelFor(pool, requests.size(),
+              [this, &requests, &results](size_t i) {
+                results[i] = Recommend(requests[i]);
+              });
+  return results;
+}
+
+size_t RecsysEngine::batch_thread_count() {
+  return EnsurePool()->thread_count();
+}
+
+void RecsysEngine::set_batch_threads(size_t threads) {
+  config_.batch_threads = threads;
+  pool_.reset();
+}
+
+ThreadPool* RecsysEngine::EnsurePool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(config_.batch_threads);
+  }
+  return pool_.get();
+}
+
+}  // namespace spa::recsys

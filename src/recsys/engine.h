@@ -1,0 +1,98 @@
+#ifndef SPA_RECSYS_ENGINE_H_
+#define SPA_RECSYS_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "recsys/emotion_aware.h"
+#include "recsys/hybrid.h"
+#include "recsys/request.h"
+#include "sum/sum_store.h"
+
+/// \file
+/// The serving facade of the advice stage: owns the recommender stack
+/// (base components blended by a weighted hybrid, plus the
+/// emotion-aware re-ranker) and answers `RecommendRequest`s one at a
+/// time or in thread-pool-parallel batches. This is the seam every
+/// scaling layer (sharding, caching, async) plugs into.
+
+namespace spa::recsys {
+
+/// \brief Engine tunables.
+struct EngineConfig {
+  /// Candidates fetched from each hybrid component before blending.
+  size_t component_depth = 100;
+  /// The re-ranker sees `k * rerank_overfetch` base candidates so
+  /// emotional alignment has room to move items into the top k.
+  size_t rerank_overfetch = 3;
+  /// Master switch for the emotion-aware stage.
+  bool emotion_enabled = true;
+  /// Emotion-aware re-ranking parameters.
+  EmotionRerankConfig rerank;
+  /// Worker threads for RecommendBatch (0 = hardware concurrency).
+  size_t batch_threads = 0;
+};
+
+/// \brief Owns the recommender stack and serves requests.
+///
+/// Assembly order: AddComponent(...) / SetItemEmotionProfile(...) /
+/// set_sum_store(...), then Fit(matrix). `Recommend` is const and
+/// thread-safe once fitted; `RecommendBatch` fans requests out over an
+/// internal `spa::ThreadPool` and returns results in request order,
+/// identical to sequential `Recommend` calls.
+class RecsysEngine {
+ public:
+  explicit RecsysEngine(EngineConfig config = {});
+
+  // ---- stack assembly ----------------------------------------------------
+  /// Adds a base recommender with its hybrid blend weight.
+  void AddComponent(std::unique_ptr<Recommender> component,
+                    double weight);
+  /// Registers the emotional-resonance profile of an item.
+  void SetItemEmotionProfile(ItemId item, const EmotionProfile& profile);
+  /// SUM store consulted for emotional context (borrowed; may be null —
+  /// then only requests with `emotion_override` get the emotional
+  /// stage).
+  void set_sum_store(const sum::SumStore* sums) { sums_ = sums; }
+
+  /// Fits every component; the matrix must outlive the engine.
+  spa::Status Fit(const InteractionMatrix& matrix);
+  bool fitted() const { return fitted_; }
+
+  // ---- serving -----------------------------------------------------------
+  /// Serves one request. Errors: InvalidArgument (bad request),
+  /// FailedPrecondition (engine not fitted).
+  spa::Result<RecommendResponse> Recommend(
+      const RecommendRequest& request) const;
+
+  /// Serves a batch in parallel; results align with `requests` by index
+  /// and are byte-identical to sequential `Recommend` calls.
+  std::vector<spa::Result<RecommendResponse>> RecommendBatch(
+      const std::vector<RecommendRequest>& requests);
+
+  // ---- introspection -----------------------------------------------------
+  const EngineConfig& config() const { return config_; }
+  const HybridRecommender& hybrid() const { return *hybrid_; }
+  EmotionAwareReranker* reranker() { return &reranker_; }
+  size_t batch_thread_count();
+
+  /// Resizes the batch pool (tears down the old one after in-flight
+  /// work drains; not thread-safe against concurrent RecommendBatch).
+  void set_batch_threads(size_t threads);
+
+ private:
+  EngineConfig config_;
+  std::unique_ptr<HybridRecommender> hybrid_;
+  EmotionAwareReranker reranker_;
+  const sum::SumStore* sums_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created
+  bool fitted_ = false;
+
+  ThreadPool* EnsurePool();
+};
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_ENGINE_H_

@@ -1,10 +1,16 @@
 #include "recsys/hybrid.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/check.h"
 
 namespace spa::recsys {
+
+HybridRecommender::HybridRecommender(HybridConfig config)
+    : config_(config) {
+  SPA_CHECK(config_.component_depth > 0);
+}
 
 void HybridRecommender::AddComponent(
     std::unique_ptr<Recommender> component, double weight) {
@@ -23,12 +29,17 @@ spa::Status HybridRecommender::Fit(const InteractionMatrix& matrix) {
   return spa::Status::OK();
 }
 
-std::vector<Scored> HybridRecommender::Recommend(UserId user,
-                                                 size_t k) const {
-  std::unordered_map<ItemId, double> blended;
-  for (const Component& c : components_) {
+std::vector<HybridRecommender::Blended>
+HybridRecommender::BlendCandidates(const CandidateQuery& query,
+                                   bool track_contributions) const {
+  std::unordered_map<ItemId, size_t> index;
+  std::vector<Blended> blended;
+  for (size_t ci = 0; ci < components_.size(); ++ci) {
+    const Component& c = components_[ci];
+    CandidateQuery sub = query;
+    sub.k = config_.component_depth;
     const std::vector<Scored> scored =
-        c.recommender->Recommend(user, kComponentDepth);
+        c.recommender->RecommendCandidates(sub);
     if (scored.empty()) continue;
     // Min-max normalize this component's scores to [0,1].
     double lo = scored.back().score;
@@ -38,16 +49,47 @@ std::vector<Scored> HybridRecommender::Recommend(UserId user,
       hi = std::max(hi, s.score);
     }
     const double span = hi - lo;
+    // Items the component did not return contribute 0, so a returned
+    // candidate must contribute strictly more than 0 or its ranking
+    // information is lost when the list is shorter than the blend
+    // depth: affinely map [0,1] onto [floor, 1] with floor = 1/(n+1).
+    const double floor = 1.0 / static_cast<double>(scored.size() + 1);
     for (const Scored& s : scored) {
-      const double normalized =
-          span > 0.0 ? (s.score - lo) / span : 1.0;
-      blended[s.item] += c.weight * normalized;
+      const double raw = span > 0.0 ? (s.score - lo) / span : 1.0;
+      const double normalized = floor + (1.0 - floor) * raw;
+      const double contribution = c.weight * normalized;
+      auto [it, inserted] = index.emplace(s.item, blended.size());
+      if (inserted) {
+        Blended b;
+        b.item = s.item;
+        if (track_contributions) {
+          b.contributions.assign(components_.size(), 0.0);
+        }
+        blended.push_back(std::move(b));
+      }
+      Blended& entry = blended[it->second];
+      entry.score += contribution;
+      if (track_contributions) entry.contributions[ci] += contribution;
     }
   }
+  std::sort(blended.begin(), blended.end(),
+            [](const Blended& a, const Blended& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  return blended;
+}
+
+std::vector<Scored> HybridRecommender::RecommendCandidates(
+    const CandidateQuery& query) const {
+  const std::vector<Blended> blended =
+      BlendCandidates(query, /*track_contributions=*/false);
   std::vector<Scored> out;
-  out.reserve(blended.size());
-  for (const auto& [item, score] : blended) out.push_back({item, score});
-  SortAndTruncate(&out, k);
+  out.reserve(std::min(query.k, blended.size()));
+  for (const Blended& b : blended) {
+    if (out.size() >= query.k) break;
+    out.push_back({b.item, b.score});
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define SPA_RECSYS_HYBRID_H_
 
 #include <memory>
+#include <string>
 
 #include "recsys/recommender.h"
 
@@ -11,28 +12,61 @@
 
 namespace spa::recsys {
 
+struct HybridConfig {
+  /// Candidates requested from each component before blending.
+  size_t component_depth = 100;
+};
+
 /// \brief Weighted-combination hybrid.
 class HybridRecommender : public Recommender {
  public:
+  explicit HybridRecommender(HybridConfig config = {});
+
   /// Adds a component with its blending weight (weights need not sum
   /// to 1; they are used as given).
   void AddComponent(std::unique_ptr<Recommender> component,
                     double weight);
 
   spa::Status Fit(const InteractionMatrix& matrix) override;
-  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::vector<Scored> RecommendCandidates(
+      const CandidateQuery& query) const override;
   std::string name() const override { return "WeightedHybrid"; }
 
+  /// One blended candidate with its per-component weighted
+  /// contributions (indexed like components; contributions sum to the
+  /// blended score; empty unless contribution tracking was requested).
+  struct Blended {
+    ItemId item = lifelog::kNoItem;
+    double score = 0.0;
+    std::vector<double> contributions;
+  };
+
+  /// Blends component scores for the query without truncating to
+  /// query.k, sorted by (score desc, item asc). With
+  /// `track_contributions` each candidate also carries its
+  /// per-component share — the explanation path of the serving
+  /// engine; leave it off on the hot path (it allocates one vector
+  /// per candidate).
+  std::vector<Blended> BlendCandidates(const CandidateQuery& query,
+                                       bool track_contributions = true) const;
+
   size_t component_count() const { return components_.size(); }
+  std::string component_name(size_t i) const {
+    return components_[i].recommender->name();
+  }
+  double component_weight(size_t i) const {
+    return components_[i].weight;
+  }
+
+  const HybridConfig& config() const { return config_; }
 
  private:
   struct Component {
     std::unique_ptr<Recommender> recommender;
     double weight;
   };
+  HybridConfig config_;
   std::vector<Component> components_;
-  /// Candidates requested from each component before blending.
-  static constexpr size_t kComponentDepth = 100;
 };
 
 }  // namespace spa::recsys

@@ -44,10 +44,11 @@ double UserKnnRecommender::Similarity(UserId a, UserId b) const {
                   matrix_->UserNormSquared(b));
 }
 
-std::vector<Scored> UserKnnRecommender::Recommend(UserId user,
-                                                  size_t k) const {
+std::vector<Scored> UserKnnRecommender::RecommendCandidates(
+    const CandidateQuery& query) const {
   std::vector<Scored> out;
   if (matrix_ == nullptr) return out;
+  const UserId user = query.user;
   const auto& own_items = matrix_->ItemsOf(user);
 
   // Candidate neighbors: users sharing at least one item.
@@ -77,12 +78,12 @@ std::vector<Scored> UserKnnRecommender::Recommend(UserId user,
   for (const auto& [other, sim] : neighbors) {
     if (sim < config_.min_similarity) continue;
     for (const auto& [item, w] : matrix_->ItemsOf(other)) {
-      if (!matrix_->Seen(user, item)) scores[item] += sim * w;
+      if (query.Admits(matrix_, item)) scores[item] += sim * w;
     }
   }
   out.reserve(scores.size());
   for (const auto& [item, score] : scores) out.push_back({item, score});
-  SortAndTruncate(&out, k);
+  SortAndTruncate(&out, query.k);
   return out;
 }
 
@@ -100,10 +101,11 @@ double ItemKnnRecommender::Similarity(ItemId a, ItemId b) const {
                   matrix_->ItemNormSquared(b));
 }
 
-std::vector<Scored> ItemKnnRecommender::Recommend(UserId user,
-                                                  size_t k) const {
+std::vector<Scored> ItemKnnRecommender::RecommendCandidates(
+    const CandidateQuery& query) const {
   std::vector<Scored> out;
   if (matrix_ == nullptr) return out;
+  const UserId user = query.user;
   const auto& own_items = matrix_->ItemsOf(user);
 
   // Candidate items: co-interacted with the user's items.
@@ -114,7 +116,7 @@ std::vector<Scored> ItemKnnRecommender::Recommend(UserId user,
     for (const auto& [other_user, w2] : matrix_->UsersOf(item)) {
       for (const auto& [candidate, w3] :
            matrix_->ItemsOf(other_user)) {
-        if (!matrix_->Seen(user, candidate)) {
+        if (query.Admits(matrix_, candidate)) {
           candidates.emplace(candidate, true);
         }
       }
@@ -141,7 +143,7 @@ std::vector<Scored> ItemKnnRecommender::Recommend(UserId user,
 
   out.reserve(scores.size());
   for (const auto& [item, score] : scores) out.push_back({item, score});
-  SortAndTruncate(&out, k);
+  SortAndTruncate(&out, query.k);
   return out;
 }
 

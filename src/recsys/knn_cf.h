@@ -24,7 +24,8 @@ class UserKnnRecommender : public Recommender {
   explicit UserKnnRecommender(KnnConfig config = {});
 
   spa::Status Fit(const InteractionMatrix& matrix) override;
-  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::vector<Scored> RecommendCandidates(
+      const CandidateQuery& query) const override;
   std::string name() const override { return "UserKNN"; }
 
   /// Cosine similarity between two users (exposed for tests).
@@ -42,7 +43,8 @@ class ItemKnnRecommender : public Recommender {
   explicit ItemKnnRecommender(KnnConfig config = {});
 
   spa::Status Fit(const InteractionMatrix& matrix) override;
-  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::vector<Scored> RecommendCandidates(
+      const CandidateQuery& query) const override;
   std::string name() const override { return "ItemKNN"; }
 
   double Similarity(ItemId a, ItemId b) const;

@@ -15,13 +15,13 @@ spa::Status PopularityRecommender::Fit(const InteractionMatrix& matrix) {
   return spa::Status::OK();
 }
 
-std::vector<Scored> PopularityRecommender::Recommend(UserId user,
-                                                     size_t k) const {
+std::vector<Scored> PopularityRecommender::RecommendCandidates(
+    const CandidateQuery& query) const {
   std::vector<Scored> out;
   if (matrix_ == nullptr) return out;
   for (const Scored& candidate : ranked_) {
-    if (out.size() >= k) break;
-    if (!matrix_->Seen(user, candidate.item)) out.push_back(candidate);
+    if (out.size() >= query.k) break;
+    if (query.Admits(matrix_, candidate.item)) out.push_back(candidate);
   }
   return out;
 }

@@ -13,7 +13,8 @@ namespace spa::recsys {
 class PopularityRecommender : public Recommender {
  public:
   spa::Status Fit(const InteractionMatrix& matrix) override;
-  std::vector<Scored> Recommend(UserId user, size_t k) const override;
+  std::vector<Scored> RecommendCandidates(
+      const CandidateQuery& query) const override;
   std::string name() const override { return "Popularity"; }
 
  private:

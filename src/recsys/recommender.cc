@@ -4,6 +4,29 @@
 
 namespace spa::recsys {
 
+bool CandidateQuery::Admits(const InteractionMatrix* matrix,
+                            ItemId item) const {
+  if (candidate_items != nullptr && !candidate_items->contains(item)) {
+    return false;
+  }
+  if (exclude_items != nullptr && exclude_items->contains(item)) {
+    return false;
+  }
+  if (exclude_seen == ExcludeSeen::kYes && matrix != nullptr &&
+      matrix->Seen(user, item)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Scored> Recommender::Recommend(UserId user, size_t k) const {
+  CandidateQuery query;
+  query.user = user;
+  query.k = k;
+  query.exclude_seen = ExcludeSeen::kYes;
+  return RecommendCandidates(query);
+}
+
 void SortAndTruncate(std::vector<Scored>* candidates, size_t k) {
   std::sort(candidates->begin(), candidates->end(),
             [](const Scored& a, const Scored& b) {

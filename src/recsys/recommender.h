@@ -2,6 +2,7 @@
 #define SPA_RECSYS_RECOMMENDER_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -11,6 +12,13 @@
 /// Common recommender interface for the Burke-taxonomy baselines the
 /// paper positions itself against (collaborative, content-based,
 /// hybrid) and for SPA's emotion-aware layer on top.
+///
+/// Candidate generation is driven by a `CandidateQuery`: the user and
+/// cutoff plus an explicit exclusion policy. Whether already-seen items
+/// are filtered is a *request* decision (`ExcludeSeen`), not something
+/// each recommender hard-wires; the query can additionally carry an
+/// explicit denylist (items known to be seen outside the sparse
+/// interaction matrix) and an allowlist restricting the candidate pool.
 
 namespace spa::recsys {
 
@@ -18,6 +26,27 @@ namespace spa::recsys {
 struct Scored {
   ItemId item = lifelog::kNoItem;
   double score = 0.0;
+};
+
+/// Policy: filter items the user already interacted with?
+enum class ExcludeSeen { kYes, kNo };
+
+/// \brief Candidate-generation parameters shared by every recommender.
+///
+/// The referenced sets (if any) are borrowed and must outlive the call.
+struct CandidateQuery {
+  UserId user = 0;
+  size_t k = 0;
+  ExcludeSeen exclude_seen = ExcludeSeen::kYes;
+  /// Items never to return, regardless of `exclude_seen` (e.g. items the
+  /// caller knows were seen but that a sparse matrix missed).
+  const std::unordered_set<ItemId>* exclude_items = nullptr;
+  /// When non-null, only these items may be returned.
+  const std::unordered_set<ItemId>* candidate_items = nullptr;
+
+  /// True when `item` may be recommended under this query's policy.
+  /// `matrix` may be null (no seen-filtering possible then).
+  bool Admits(const InteractionMatrix* matrix, ItemId item) const;
 };
 
 /// \brief Interface: fit on interactions, produce ranked suggestions.
@@ -28,9 +57,13 @@ class Recommender {
   /// Fits internal structures; the matrix must outlive the recommender.
   virtual spa::Status Fit(const InteractionMatrix& matrix) = 0;
 
-  /// Top-k items for the user, highest score first, excluding items the
-  /// user already interacted with.
-  virtual std::vector<Scored> Recommend(UserId user, size_t k) const = 0;
+  /// Top-k items under the query's candidate policy, highest score
+  /// first (ties broken by ascending item id).
+  virtual std::vector<Scored> RecommendCandidates(
+      const CandidateQuery& query) const = 0;
+
+  /// Legacy shim: top-k excluding seen items (the pre-request API).
+  std::vector<Scored> Recommend(UserId user, size_t k) const;
 
   virtual std::string name() const = 0;
 };

@@ -1,0 +1,32 @@
+#include "recsys/request.h"
+
+namespace spa::recsys {
+
+spa::Status ValidateRequest(const RecommendRequest& request) {
+  if (request.k == 0) {
+    return spa::Status::InvalidArgument("request.k must be > 0");
+  }
+  if (request.candidate_items.has_value() &&
+      request.candidate_items->empty()) {
+    return spa::Status::InvalidArgument(
+        "candidate_items present but empty; omit it to allow all "
+        "items");
+  }
+  // An allowlist fully covered by exclusions is NOT an error: it
+  // yields an empty response, exactly like an allowlist of items the
+  // user already saw. (The serving layer merges server-side seen-item
+  // exclusions into the request, so this state is reachable from a
+  // perfectly valid call.)
+  return spa::Status::OK();
+}
+
+std::vector<Scored> RecommendResponse::AsScored() const {
+  std::vector<Scored> out;
+  out.reserve(items.size());
+  for (const RecommendedItem& item : items) {
+    out.push_back({item.item, item.score});
+  }
+  return out;
+}
+
+}  // namespace spa::recsys

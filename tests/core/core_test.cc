@@ -134,6 +134,107 @@ TEST_F(SpaTest, RecommendCoursesWithContentAndEmotion) {
   }
 }
 
+TEST_F(SpaTest, ZeroWeightInteractionsDoNotLeakBack) {
+  // A rating of 0 never enters the sparse interaction matrix (its
+  // interaction weight is 0), but the user demonstrably saw the item —
+  // the serving path must still exclude it.
+  Spa spa(SmallConfig());
+  const auto& clicks =
+      spa.action_catalog().CodesFor(lifelog::ActionType::kClick);
+  const auto& ratings =
+      spa.action_catalog().CodesFor(lifelog::ActionType::kRating);
+  // Item 5 is popular with other users.
+  for (sum::UserId u = 1; u <= 6; ++u) {
+    for (lifelog::ItemId i : {5, 6, 7}) {
+      lifelog::Event e;
+      e.user = u;
+      e.time = spa.clock()->now();
+      e.action_code = clicks[0];
+      e.item = i;
+      spa.RecordEvent(e);
+    }
+  }
+  // User 0 clicks items 6 and 7, and rates item 5 with value 0.
+  for (lifelog::ItemId i : {6, 7}) {
+    lifelog::Event e;
+    e.user = 0;
+    e.time = spa.clock()->now();
+    e.action_code = clicks[0];
+    e.item = i;
+    spa.RecordEvent(e);
+  }
+  lifelog::Event zero_rating;
+  zero_rating.user = 0;
+  zero_rating.time = spa.clock()->now();
+  zero_rating.action_code = ratings[0];
+  zero_rating.item = 5;
+  zero_rating.value = 0.0;
+  spa.RecordEvent(zero_rating);
+
+  recsys::RecommendRequest request;
+  request.user = 0;
+  request.k = 10;
+  const auto response = spa.Recommend(request);
+  ASSERT_TRUE(response.ok());
+  for (const auto& item : response.value().items) {
+    EXPECT_NE(item.item, 5) << "zero-weight-seen item leaked back";
+  }
+
+  // The relaxed policy may return it again: exclusion is per-request.
+  recsys::RecommendRequest relaxed;
+  relaxed.user = 0;
+  relaxed.k = 10;
+  relaxed.exclude_seen = recsys::ExcludeSeen::kNo;
+  const auto relaxed_response = spa.Recommend(relaxed);
+  ASSERT_TRUE(relaxed_response.ok());
+  bool has_item_5 = false;
+  for (const auto& item : relaxed_response.value().items) {
+    if (item.item == 5) has_item_5 = true;
+  }
+  EXPECT_TRUE(has_item_5);
+}
+
+TEST_F(SpaTest, RecommendBatchMatchesSequentialThroughSpa) {
+  Spa spa(SmallConfig());
+  const auto& clicks =
+      spa.action_catalog().CodesFor(lifelog::ActionType::kClick);
+  for (sum::UserId u = 0; u < 12; ++u) {
+    for (int j = 0; j < 6; ++j) {
+      lifelog::Event e;
+      e.user = u;
+      e.time = spa.clock()->now();
+      e.action_code = clicks[0];
+      e.item = static_cast<lifelog::ItemId>(
+          (u % 2 == 0 ? 0 : 15) + ((u + j) % 10));
+      spa.RecordEvent(e);
+    }
+  }
+  std::vector<recsys::RecommendRequest> requests;
+  for (sum::UserId u = 0; u < 12; ++u) {
+    recsys::RecommendRequest request;
+    request.user = u;
+    request.k = 4;
+    requests.push_back(std::move(request));
+  }
+  std::vector<spa::Result<recsys::RecommendResponse>> sequential;
+  for (const auto& request : requests) {
+    sequential.push_back(spa.Recommend(request));
+  }
+  const auto batched = spa.RecommendBatch(requests);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_EQ(batched[i].ok(), sequential[i].ok());
+    if (!batched[i].ok()) continue;
+    const auto& lhs = sequential[i].value().items;
+    const auto& rhs = batched[i].value().items;
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (size_t j = 0; j < lhs.size(); ++j) {
+      EXPECT_EQ(lhs[j].item, rhs[j].item);
+      EXPECT_EQ(lhs[j].score, rhs[j].score);
+    }
+  }
+}
+
 TEST_F(SpaTest, MessageForComposesThroughAgent) {
   Spa spa(SmallConfig());
   const auto hopeful = spa.attribute_catalog().EmotionalId(

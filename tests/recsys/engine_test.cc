@@ -1,0 +1,377 @@
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "recsys/engine.h"
+#include "recsys/knn_cf.h"
+#include "recsys/popularity.h"
+#include "recsys/request.h"
+#include "recsys/recsys_test_util.h"
+#include "sum/sum_store.h"
+
+namespace spa::recsys {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : matrix_(MakeTwoCommunityMatrix()),
+        catalog_(sum::AttributeCatalog::EmagisterDefault()),
+        sums_(&catalog_) {}
+
+  /// Engine over the two-community matrix: UserKNN + Popularity.
+  std::unique_ptr<RecsysEngine> MakeEngine(EngineConfig config = {}) {
+    auto engine = std::make_unique<RecsysEngine>(config);
+    engine->AddComponent(std::make_unique<UserKnnRecommender>(), 0.6);
+    engine->AddComponent(std::make_unique<PopularityRecommender>(),
+                         0.4);
+    engine->set_sum_store(&sums_);
+    EXPECT_TRUE(engine->Fit(matrix_).ok());
+    return engine;
+  }
+
+  InteractionMatrix matrix_;
+  sum::AttributeCatalog catalog_;
+  sum::SumStore sums_;
+};
+
+TEST(RequestValidationTest, RejectsZeroK) {
+  RecommendRequest request;
+  request.k = 0;
+  EXPECT_EQ(ValidateRequest(request).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RequestValidationTest, RejectsEmptyAllowlist) {
+  RecommendRequest request;
+  request.candidate_items.emplace();
+  EXPECT_EQ(ValidateRequest(request).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RequestValidationTest, FullyExcludedAllowlistIsValid) {
+  // Server-side exclusion merging (seen items the sparse matrix
+  // missed) can legitimately cover the whole allowlist; that must
+  // serve an empty response, not reject the request.
+  RecommendRequest request;
+  request.candidate_items = std::unordered_set<ItemId>{1, 2};
+  request.exclude_items = {1, 2};
+  EXPECT_TRUE(ValidateRequest(request).ok());
+}
+
+TEST(RequestValidationTest, AcceptsTypicalRequest) {
+  RecommendRequest request;
+  request.user = 3;
+  request.k = 10;
+  request.candidate_items = std::unordered_set<ItemId>{1, 2};
+  request.exclude_items = {2};
+  EXPECT_TRUE(ValidateRequest(request).ok());
+}
+
+TEST_F(EngineTest, RequiresFitBeforeServing) {
+  RecsysEngine engine;
+  engine.AddComponent(std::make_unique<PopularityRecommender>(), 1.0);
+  RecommendRequest request;
+  request.user = 0;
+  EXPECT_EQ(engine.Recommend(request).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, InvalidRequestRejected) {
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.k = 0;
+  EXPECT_EQ(engine->Recommend(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, RecommendsCommunityItemFirst) {
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  const auto response = engine->Recommend(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_FALSE(response.value().items.empty());
+  // Item 4 is the one community item user 0 misses.
+  EXPECT_EQ(response.value().items.front().item, 4);
+  EXPECT_LE(response.value().items.size(), 3u);
+}
+
+TEST_F(EngineTest, ExcludeSeenPolicyIsPerRequest) {
+  auto engine = MakeEngine();
+  RecommendRequest exclude;
+  exclude.user = 0;
+  exclude.k = 10;
+  exclude.exclude_seen = ExcludeSeen::kYes;
+  const auto strict = engine->Recommend(exclude);
+  ASSERT_TRUE(strict.ok());
+  for (const auto& item : strict.value().items) {
+    EXPECT_FALSE(matrix_.Seen(0, item.item)) << "item " << item.item;
+  }
+
+  RecommendRequest include = exclude;
+  include.exclude_seen = ExcludeSeen::kNo;
+  const auto relaxed = engine->Recommend(include);
+  ASSERT_TRUE(relaxed.ok());
+  bool any_seen = false;
+  for (const auto& item : relaxed.value().items) {
+    if (matrix_.Seen(0, item.item)) any_seen = true;
+  }
+  EXPECT_TRUE(any_seen);
+  EXPECT_GT(relaxed.value().items.size(),
+            strict.value().items.size());
+}
+
+TEST_F(EngineTest, ExplicitExclusionsOverrideRanking) {
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 5;
+  const auto baseline = engine->Recommend(request);
+  ASSERT_TRUE(baseline.ok());
+  const ItemId top = baseline.value().items.front().item;
+
+  request.exclude_items = {top};
+  const auto filtered = engine->Recommend(request);
+  ASSERT_TRUE(filtered.ok());
+  for (const auto& item : filtered.value().items) {
+    EXPECT_NE(item.item, top);
+  }
+}
+
+TEST_F(EngineTest, AllowlistRestrictsCandidatePool) {
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.user = 5;
+  request.k = 10;
+  request.candidate_items = std::unordered_set<ItemId>{9, 0};
+  const auto response = engine->Recommend(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_FALSE(response.value().items.empty());
+  for (const auto& item : response.value().items) {
+    EXPECT_TRUE(item.item == 9 || item.item == 0);
+  }
+}
+
+TEST_F(EngineTest, FullyExcludedAllowlistServesEmptyResponse) {
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 5;
+  request.candidate_items = std::unordered_set<ItemId>{4};
+  request.exclude_items = {4};
+  const auto response = engine->Recommend(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().items.empty());
+}
+
+TEST_F(EngineTest, ExplainBreakdownIsConsistent) {
+  // Give user 0 emotional context and the items resonance profiles so
+  // the emotional stage runs.
+  sum::SmartUserModel* model = sums_.GetOrCreate(0);
+  model->set_sensibility(
+      catalog_.EmotionalId(eit::EmotionalAttribute::kEnthusiastic),
+      0.9);
+  auto engine = MakeEngine();
+  for (ItemId item = 0; item < 10; ++item) {
+    EmotionProfile profile{};
+    profile[static_cast<size_t>(
+        eit::EmotionalAttribute::kEnthusiastic)] =
+        static_cast<double>(item) / 10.0;
+    engine->SetItemEmotionProfile(item, profile);
+  }
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 5;
+  request.explain = true;
+  const auto response = engine->Recommend(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().explained);
+  EXPECT_TRUE(response.value().emotion_applied);
+  ASSERT_FALSE(response.value().items.empty());
+  for (const auto& item : response.value().items) {
+    // Final score decomposes into base share + emotional delta.
+    EXPECT_NEAR(item.breakdown.base_share + item.breakdown.emotion_delta,
+                item.score, 1e-12);
+    // Component contributions sum to the blended base score.
+    ASSERT_EQ(item.breakdown.components.size(), 2u);
+    double component_sum = 0.0;
+    for (const auto& c : item.breakdown.components) {
+      component_sum += c.contribution;
+    }
+    EXPECT_NEAR(component_sum, item.breakdown.base, 1e-12);
+    EXPECT_GE(item.breakdown.emotional_alignment, -1.0);
+    EXPECT_LE(item.breakdown.emotional_alignment, 1.0);
+  }
+}
+
+TEST_F(EngineTest, ExplainOffLeavesBreakdownEmpty) {
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  const auto response = engine->Recommend(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.value().explained);
+  for (const auto& item : response.value().items) {
+    EXPECT_TRUE(item.breakdown.components.empty());
+  }
+}
+
+TEST_F(EngineTest, EmotionOverrideReplacesStoreLookup) {
+  auto engine = MakeEngine();
+  EmotionProfile enthusiastic_profile{};
+  enthusiastic_profile[static_cast<size_t>(
+      eit::EmotionalAttribute::kEnthusiastic)] = 1.0;
+  engine->SetItemEmotionProfile(9, enthusiastic_profile);
+
+  // User 5 has no SUM in the store: no emotional stage.
+  RecommendRequest request;
+  request.user = 5;
+  request.k = 5;
+  const auto plain = engine->Recommend(request);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().emotion_applied);
+
+  // The same request with a what-if snapshot gets the emotional stage.
+  sum::SmartUserModel snapshot(999, &catalog_);
+  snapshot.set_sensibility(
+      catalog_.EmotionalId(eit::EmotionalAttribute::kEnthusiastic),
+      0.9);
+  request.emotion_override = &snapshot;
+  const auto adjusted = engine->Recommend(request);
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_TRUE(adjusted.value().emotion_applied);
+  // Item 9 resonates with the snapshot's dominant attribute.
+  EXPECT_EQ(adjusted.value().items.front().item, 9);
+}
+
+TEST_F(EngineTest, BatchMatchesSequentialExactly) {
+  sums_.GetOrCreate(0)->set_sensibility(
+      catalog_.EmotionalId(eit::EmotionalAttribute::kMotivated), 0.8);
+  EngineConfig config;
+  config.batch_threads = 4;
+  auto engine = MakeEngine(config);
+  for (ItemId item = 0; item < 10; ++item) {
+    EmotionProfile profile{};
+    profile[static_cast<size_t>(eit::EmotionalAttribute::kMotivated)] =
+        0.1 * static_cast<double>(item);
+    engine->SetItemEmotionProfile(item, profile);
+  }
+
+  // A mixed batch: every user, varying k, some relaxed policies, some
+  // with explanations.
+  std::vector<RecommendRequest> requests;
+  for (UserId u = 0; u < 10; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 1 + static_cast<size_t>(u % 5);
+    request.exclude_seen =
+        (u % 3 == 0) ? ExcludeSeen::kNo : ExcludeSeen::kYes;
+    request.explain = (u % 2 == 0);
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<spa::Result<RecommendResponse>> sequential;
+  for (const auto& request : requests) {
+    sequential.push_back(engine->Recommend(request));
+  }
+  const auto batched = engine->RecommendBatch(requests);
+
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_EQ(batched[i].ok(), sequential[i].ok()) << "request " << i;
+    const auto& lhs = sequential[i].value().items;
+    const auto& rhs = batched[i].value().items;
+    ASSERT_EQ(lhs.size(), rhs.size()) << "request " << i;
+    for (size_t j = 0; j < lhs.size(); ++j) {
+      EXPECT_EQ(lhs[j].item, rhs[j].item) << "request " << i;
+      // Bitwise-identical scores: same computation, same order.
+      EXPECT_EQ(lhs[j].score, rhs[j].score) << "request " << i;
+    }
+  }
+}
+
+TEST_F(EngineTest, BatchReportsPerRequestErrors) {
+  EngineConfig config;
+  config.batch_threads = 2;
+  auto engine = MakeEngine(config);
+  std::vector<RecommendRequest> requests(3);
+  requests[0].user = 0;
+  requests[1].user = 1;
+  requests[1].k = 0;  // invalid
+  requests[2].user = 2;
+  const auto results = engine->RecommendBatch(requests);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST_F(EngineTest, TieBreakIsDeterministic) {
+  // All items equally popular: ranking must fall back to ascending id.
+  InteractionMatrix flat;
+  for (UserId u = 0; u < 4; ++u) {
+    for (ItemId i = 0; i < 6; ++i) flat.Add(u, i, 1.0);
+  }
+  RecsysEngine engine;
+  engine.AddComponent(std::make_unique<PopularityRecommender>(), 1.0);
+  ASSERT_TRUE(engine.Fit(flat).ok());
+  RecommendRequest request;
+  request.user = 99;  // unknown user: nothing seen
+  request.k = 6;
+  const auto response = engine.Recommend(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().items.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(response.value().items[i].item,
+              static_cast<ItemId>(i));
+  }
+}
+
+TEST_F(EngineTest, RerankOverfetchWidensEmotionReach) {
+  // With overfetch 1 the emotional stage can only reorder the top-k;
+  // with a deeper overfetch an emotionally aligned long-tail item can
+  // enter the top-k. Both must stay deterministic.
+  sums_.GetOrCreate(0)->set_sensibility(
+      catalog_.EmotionalId(eit::EmotionalAttribute::kEnthusiastic),
+      0.9);
+  EngineConfig narrow;
+  narrow.rerank_overfetch = 1;
+  narrow.rerank.beta = 0.6;
+  auto narrow_engine = MakeEngine(narrow);
+  EngineConfig wide;
+  wide.rerank_overfetch = 5;
+  wide.rerank.beta = 0.6;
+  auto wide_engine = MakeEngine(wide);
+
+  EmotionProfile profile{};
+  profile[static_cast<size_t>(
+      eit::EmotionalAttribute::kEnthusiastic)] = 1.0;
+  // Item 9 is outside user 0's community: weak base, strong resonance.
+  narrow_engine->SetItemEmotionProfile(9, profile);
+  wide_engine->SetItemEmotionProfile(9, profile);
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 2;
+  request.exclude_seen = ExcludeSeen::kNo;
+  const auto narrow_response = narrow_engine->Recommend(request);
+  const auto wide_response = wide_engine->Recommend(request);
+  ASSERT_TRUE(narrow_response.ok());
+  ASSERT_TRUE(wide_response.ok());
+  bool narrow_has_9 = false, wide_has_9 = false;
+  for (const auto& item : narrow_response.value().items) {
+    if (item.item == 9) narrow_has_9 = true;
+  }
+  for (const auto& item : wide_response.value().items) {
+    if (item.item == 9) wide_has_9 = true;
+  }
+  EXPECT_FALSE(narrow_has_9);
+  EXPECT_TRUE(wide_has_9);
+}
+
+}  // namespace
+}  // namespace spa::recsys

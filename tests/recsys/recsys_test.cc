@@ -8,28 +8,10 @@
 #include "recsys/hybrid.h"
 #include "recsys/knn_cf.h"
 #include "recsys/popularity.h"
+#include "recsys/recsys_test_util.h"
 
 namespace spa::recsys {
 namespace {
-
-InteractionMatrix MakeTwoCommunityMatrix() {
-  // Users 0-4 like items 0-4; users 5-9 like items 5-9; user 0 has not
-  // seen item 4 yet, user 5 has not seen item 9.
-  InteractionMatrix m;
-  for (UserId u = 0; u < 5; ++u) {
-    for (ItemId i = 0; i < 5; ++i) {
-      if ((u == 0 && i == 4)) continue;
-      m.Add(u, i, 1.0);
-    }
-  }
-  for (UserId u = 5; u < 10; ++u) {
-    for (ItemId i = 5; i < 10; ++i) {
-      if ((u == 5 && i == 9)) continue;
-      m.Add(u, i, 1.0);
-    }
-  }
-  return m;
-}
 
 TEST(InteractionMatrixTest, AddAndQuery) {
   InteractionMatrix m;
@@ -156,6 +138,96 @@ TEST(HybridTest, RequiresComponents) {
   m.Add(1, 1, 1.0);
   HybridRecommender rec;
   EXPECT_EQ(rec.Fit(m).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PopularityTest, IncludeSeenPolicyReturnsSeenItems) {
+  InteractionMatrix m;
+  m.Add(1, 100, 5.0);
+  m.Add(2, 100, 1.0);
+  m.Add(2, 200, 1.0);
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(m).ok());
+  CandidateQuery query;
+  query.user = 1;
+  query.k = 5;
+  query.exclude_seen = ExcludeSeen::kNo;
+  const auto recs = rec.RecommendCandidates(query);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 100);  // seen but admitted by policy
+}
+
+TEST(CandidateQueryTest, ExclusionAndAllowlistCompose) {
+  InteractionMatrix m;
+  m.Add(1, 10, 1.0);
+  const std::unordered_set<ItemId> denied = {11};
+  const std::unordered_set<ItemId> allowed = {10, 11, 12};
+  CandidateQuery query;
+  query.user = 1;
+  query.k = 5;
+  query.exclude_items = &denied;
+  query.candidate_items = &allowed;
+  EXPECT_FALSE(query.Admits(&m, 10));  // seen
+  EXPECT_FALSE(query.Admits(&m, 11));  // denied
+  EXPECT_TRUE(query.Admits(&m, 12));
+  EXPECT_FALSE(query.Admits(&m, 13));  // outside allowlist
+  query.exclude_seen = ExcludeSeen::kNo;
+  EXPECT_TRUE(query.Admits(&m, 10));
+}
+
+TEST(HybridTest, ComponentDepthConfigurable) {
+  InteractionMatrix m;
+  m.Add(1, 10, 3.0);
+  m.Add(1, 11, 2.0);
+  m.Add(2, 12, 1.0);
+  HybridRecommender rec(HybridConfig{.component_depth = 1});
+  rec.AddComponent(std::make_unique<PopularityRecommender>(), 1.0);
+  ASSERT_TRUE(rec.Fit(m).ok());
+  // Depth 1: each component surfaces only its single best candidate.
+  const auto recs = rec.Recommend(2, 10);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].item, 10);
+}
+
+TEST(HybridTest, ShortComponentListKeepsWeakestCandidateRanked) {
+  // A component that returns fewer candidates than the blend depth
+  // must not zero out its weakest pick: returned items always outrank
+  // items the component did not return at all.
+  InteractionMatrix m;
+  m.Add(1, 10, 3.0);
+  m.Add(1, 11, 2.0);
+  m.Add(1, 12, 1.0);
+  m.Add(2, 99, 1.0);
+  HybridRecommender rec;
+  rec.AddComponent(std::make_unique<PopularityRecommender>(), 1.0);
+  ASSERT_TRUE(rec.Fit(m).ok());
+  const auto recs = rec.Recommend(2, 10);  // 3 candidates < depth 100
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 10);
+  EXPECT_EQ(recs[1].item, 11);
+  EXPECT_EQ(recs[2].item, 12);
+  // The weakest returned candidate keeps a strictly positive score.
+  EXPECT_GT(recs[2].score, 0.0);
+  EXPECT_GT(recs[0].score, recs[1].score);
+  EXPECT_GT(recs[1].score, recs[2].score);
+}
+
+TEST(HybridTest, BlendCandidatesExposesContributions) {
+  const InteractionMatrix m = MakeTwoCommunityMatrix();
+  HybridRecommender rec;
+  rec.AddComponent(std::make_unique<UserKnnRecommender>(), 0.5);
+  rec.AddComponent(std::make_unique<PopularityRecommender>(), 0.5);
+  ASSERT_TRUE(rec.Fit(m).ok());
+  CandidateQuery query;
+  query.user = 0;
+  query.k = 5;
+  const auto blended = rec.BlendCandidates(query);
+  ASSERT_FALSE(blended.empty());
+  for (const auto& b : blended) {
+    ASSERT_EQ(b.contributions.size(), 2u);
+    double sum = 0.0;
+    for (double c : b.contributions) sum += c;
+    EXPECT_NEAR(sum, b.score, 1e-12);
+  }
 }
 
 TEST(HybridTest, BlendsComponents) {

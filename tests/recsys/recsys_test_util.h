@@ -1,0 +1,31 @@
+#ifndef SPA_TESTS_RECSYS_RECSYS_TEST_UTIL_H_
+#define SPA_TESTS_RECSYS_RECSYS_TEST_UTIL_H_
+
+#include "recsys/interaction_matrix.h"
+
+/// Shared fixtures for the recsys test suites.
+
+namespace spa::recsys {
+
+/// Users 0-4 like items 0-4; users 5-9 like items 5-9; user 0 has not
+/// seen item 4 yet, user 5 has not seen item 9.
+inline InteractionMatrix MakeTwoCommunityMatrix() {
+  InteractionMatrix m;
+  for (UserId u = 0; u < 5; ++u) {
+    for (ItemId i = 0; i < 5; ++i) {
+      if (u == 0 && i == 4) continue;
+      m.Add(u, i, 1.0);
+    }
+  }
+  for (UserId u = 5; u < 10; ++u) {
+    for (ItemId i = 5; i < 10; ++i) {
+      if (u == 5 && i == 9) continue;
+      m.Add(u, i, 1.0);
+    }
+  }
+  return m;
+}
+
+}  // namespace spa::recsys
+
+#endif  // SPA_TESTS_RECSYS_RECSYS_TEST_UTIL_H_
