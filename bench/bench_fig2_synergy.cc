@@ -44,7 +44,7 @@ int Main(int argc, char** argv) {
   std::printf("\n[emotional information model]\n");
   runner.BootstrapUsers(candidates);
   std::printf("  SUMs initialized:           %zu (75 attributes each)\n",
-              spa->sums()->size());
+              spa->sum_service()->size());
   std::printf("  Gradual EIT bank:           %zu consensus-scored items"
               " across 8 MSCEIT sections\n",
               spa->gradual_eit().bank().size());

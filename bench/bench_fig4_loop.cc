@@ -35,7 +35,8 @@ LoopStats Measure(core::Spa* spa,
   for (size_t u = 0; u < users; ++u) {
     const campaign::LatentUser latent =
         population.UserAt(static_cast<sum::UserId>(u));
-    const auto model = spa->sums()->Get(static_cast<sum::UserId>(u));
+    const auto model =
+        spa->sum_snapshot()->Get(static_cast<sum::UserId>(u));
     if (!model.ok()) continue;
     double best_learned = -1.0;
     eit::EmotionalAttribute best_attr =

@@ -10,7 +10,7 @@
 #include "bench_util.h"
 #include "campaign/population.h"
 #include "common/rng.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 namespace spa::bench {
 namespace {
@@ -38,30 +38,31 @@ int Main(int argc, char** argv) {
 
   const sum::AttributeCatalog catalog =
       sum::AttributeCatalog::EmagisterDefault();
-  sum::SumStore sums(&catalog);
+  sum::SumService sums(&catalog);
   auto emo = [&](eit::EmotionalAttribute e) {
     return catalog.EmotionalId(e);
   };
 
   // --- The paper's three example users -----------------------------------
   // Fig. 5(a): one dominant attribute (enthusiastic).
-  sums.GetOrCreate(1)->set_sensibility(
-      emo(eit::EmotionalAttribute::kEnthusiastic), 0.92);
+  (void)sums.Apply(sum::SumUpdate(1).SetSensibility(
+      emo(eit::EmotionalAttribute::kEnthusiastic), 0.92));
   // Fig. 5(b): four attributes ordered by priority: lively,
   // stimulated, shy, frightened.
-  {
-    sum::SmartUserModel* u = sums.GetOrCreate(2);
-    u->set_sensibility(emo(eit::EmotionalAttribute::kLively), 0.8);
-    u->set_sensibility(emo(eit::EmotionalAttribute::kStimulated), 0.75);
-    u->set_sensibility(emo(eit::EmotionalAttribute::kShy), 0.7);
-    u->set_sensibility(emo(eit::EmotionalAttribute::kFrightened), 0.65);
-  }
+  (void)sums.Apply(
+      sum::SumUpdate(2)
+          .SetSensibility(emo(eit::EmotionalAttribute::kLively), 0.8)
+          .SetSensibility(emo(eit::EmotionalAttribute::kStimulated),
+                          0.75)
+          .SetSensibility(emo(eit::EmotionalAttribute::kShy), 0.7)
+          .SetSensibility(emo(eit::EmotionalAttribute::kFrightened),
+                          0.65));
   // Fig. 5(c): motivated and hopeful; hopeful impacts most.
-  {
-    sum::SmartUserModel* u = sums.GetOrCreate(3);
-    u->set_sensibility(emo(eit::EmotionalAttribute::kMotivated), 0.6);
-    u->set_sensibility(emo(eit::EmotionalAttribute::kHopeful), 0.88);
-  }
+  (void)sums.Apply(
+      sum::SumUpdate(3)
+          .SetSensibility(emo(eit::EmotionalAttribute::kMotivated), 0.6)
+          .SetSensibility(emo(eit::EmotionalAttribute::kHopeful),
+                          0.88));
 
   struct Case {
     sum::UserId user;
@@ -121,12 +122,13 @@ int Main(int argc, char** argv) {
   const auto attrs = eit::AllEmotionalAttributes();
   for (size_t u = 0; u < population; ++u) {
     const sum::UserId user = 1000 + static_cast<sum::UserId>(u);
-    sum::SmartUserModel* model = sums.GetOrCreate(user);
+    sum::SumUpdate update(user);
     for (eit::EmotionalAttribute e : attrs) {
       if (rng.Bernoulli(0.25)) {
-        model->set_sensibility(emo(e), rng.Uniform(0.5, 1.0));
+        update.SetSensibility(emo(e), rng.Uniform(0.5, 1.0));
       }
     }
+    (void)sums.Apply(update);
     agents::ComposeMessageRequest request;
     request.user = user;
     request.course = static_cast<lifelog::ItemId>(u % 97);

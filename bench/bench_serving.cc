@@ -1,8 +1,13 @@
-// Serving throughput: single-request vs. thread-pool-batched serving
-// through the RecsysEngine request/response API. Measures requests/sec
-// sequentially and with RecommendBatch at 1/2/4/8 worker threads,
-// verifies that batched rankings are identical to sequential ones, and
-// emits BENCH_serving.json so the perf trajectory is tracked.
+// Serving throughput through the RecsysEngine request/response API:
+//
+//   * sequential vs. thread-pool-batched serving (parity-checked),
+//   * repeat traffic with the response cache enabled vs. disabled
+//     (identical requests re-served after nothing changed), and
+//   * SUM update throughput through SumService::Apply / ApplyAll,
+//     including the serve-after-invalidation cost.
+//
+// Everything lands in BENCH_serving.json so the perf trajectory is
+// tracked.
 //
 //   ./build/bench/bench_serving [--users=N] [--seed=S]
 
@@ -15,7 +20,7 @@
 #include "recsys/engine.h"
 #include "recsys/knn_cf.h"
 #include "recsys/popularity.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 namespace spa::bench {
 namespace {
@@ -68,33 +73,49 @@ int Main(int argc, char** argv) {
     }
   }
 
-  // Engine: CF + popularity hybrid with emotional re-ranking on top.
+  // Emotional context through the versioned SUM service.
   sum::AttributeCatalog catalog = sum::AttributeCatalog::EmagisterDefault();
-  sum::SumStore sums(&catalog);
-  for (size_t u = 0; u < users; ++u) {
-    sum::SmartUserModel* model =
-        sums.GetOrCreate(static_cast<sum::UserId>(u));
-    for (eit::EmotionalAttribute attr : eit::AllEmotionalAttributes()) {
-      if (rng.Bernoulli(0.3)) {
-        model->set_sensibility(catalog.EmotionalId(attr),
-                               rng.Uniform(0.3, 1.0));
+  sum::SumService sums(&catalog);
+  {
+    std::vector<sum::SumUpdate> bootstrap;
+    bootstrap.reserve(users);
+    for (size_t u = 0; u < users; ++u) {
+      sum::SumUpdate update(static_cast<sum::UserId>(u));
+      for (eit::EmotionalAttribute attr :
+           eit::AllEmotionalAttributes()) {
+        if (rng.Bernoulli(0.3)) {
+          update.SetSensibility(catalog.EmotionalId(attr),
+                                rng.Uniform(0.3, 1.0));
+        }
       }
+      bootstrap.push_back(std::move(update));
+    }
+    if (!sums.ApplyAll(bootstrap).ok()) {
+      std::printf("SUM bootstrap failed\n");
+      return 1;
     }
   }
 
-  recsys::RecsysEngine engine;
-  engine.AddComponent(std::make_unique<recsys::UserKnnRecommender>(),
-                      0.6);
-  engine.AddComponent(std::make_unique<recsys::PopularityRecommender>(),
-                      0.4);
-  for (size_t i = 0; i < items; ++i) {
-    recsys::EmotionProfile profile{};
-    for (double& p : profile) p = rng.Uniform();
-    engine.SetItemEmotionProfile(static_cast<recsys::ItemId>(i),
-                                 profile);
-  }
-  engine.set_sum_store(&sums);
-  if (!engine.Fit(matrix).ok()) {
+  auto make_engine = [&](size_t cache_capacity) {
+    recsys::EngineConfig config;
+    config.response_cache_capacity = cache_capacity;
+    auto engine = std::make_unique<recsys::RecsysEngine>(config);
+    engine->AddComponent(std::make_unique<recsys::UserKnnRecommender>(),
+                         0.6);
+    engine->AddComponent(
+        std::make_unique<recsys::PopularityRecommender>(), 0.4);
+    for (size_t i = 0; i < items; ++i) {
+      recsys::EmotionProfile profile{};
+      for (double& p : profile) p = rng.Uniform();
+      engine->SetItemEmotionProfile(static_cast<recsys::ItemId>(i),
+                                    profile);
+    }
+    engine->set_sum_service(&sums);
+    return engine;
+  };
+
+  auto engine = make_engine(/*cache_capacity=*/0);  // uncached baseline
+  if (!engine->Fit(matrix).ok()) {
     std::printf("engine fit failed\n");
     return 1;
   }
@@ -108,18 +129,19 @@ int Main(int argc, char** argv) {
     requests.push_back(std::move(request));
   }
 
-  // Sequential baseline.
+  // ---- sequential baseline (cache off) ------------------------------------
   std::vector<spa::Result<recsys::RecommendResponse>> sequential;
   sequential.reserve(requests.size());
   const auto seq_start = Clock::now();
   for (const auto& request : requests) {
-    sequential.push_back(engine.Recommend(request));
+    sequential.push_back(engine->Recommend(request));
   }
   const double seq_seconds = SecondsSince(seq_start);
   const double seq_rps = static_cast<double>(users) / seq_seconds;
   std::printf("\nsequential:        %8.0f req/s  (%.3f s)\n", seq_rps,
               seq_seconds);
 
+  // ---- batched scaling curve (cache off) ----------------------------------
   struct BatchPoint {
     size_t threads;
     double rps;
@@ -128,10 +150,10 @@ int Main(int argc, char** argv) {
   };
   std::vector<BatchPoint> points;
   for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-    engine.set_batch_threads(threads);
-    (void)engine.batch_thread_count();  // spawn workers outside timing
+    engine->set_batch_threads(threads);
+    (void)engine->batch_thread_count();  // spawn workers outside timing
     const auto start = Clock::now();
-    const auto batched = engine.RecommendBatch(requests);
+    const auto batched = engine->RecommendBatch(requests);
     const double seconds = SecondsSince(start);
     const double rps = static_cast<double>(users) / seconds;
     const bool parity = SameResults(sequential, batched);
@@ -142,6 +164,96 @@ int Main(int argc, char** argv) {
                 parity ? "OK" : "MISMATCH");
   }
 
+  // ---- repeat traffic: cached vs uncached ---------------------------------
+  // The same request set served twice; pass 2 models the steady state
+  // of production traffic where most users' context did not change
+  // between identical requests.
+  PrintHeader("Repeat traffic - response cache");
+  auto cached_engine = make_engine(/*cache_capacity=*/2 * users);
+  if (!cached_engine->Fit(matrix).ok()) {
+    std::printf("cached engine fit failed\n");
+    return 1;
+  }
+  const auto warm_start = Clock::now();
+  std::vector<spa::Result<recsys::RecommendResponse>> warm_pass;
+  warm_pass.reserve(requests.size());
+  for (const auto& request : requests) {
+    warm_pass.push_back(cached_engine->Recommend(request));
+  }
+  const double warm_seconds = SecondsSince(warm_start);
+
+  const auto hot_start = Clock::now();
+  std::vector<spa::Result<recsys::RecommendResponse>> hot_pass;
+  hot_pass.reserve(requests.size());
+  for (const auto& request : requests) {
+    hot_pass.push_back(cached_engine->Recommend(request));
+  }
+  const double hot_seconds = SecondsSince(hot_start);
+
+  const auto cache_stats = cached_engine->cache_stats();
+  const double cold_rps = static_cast<double>(users) / warm_seconds;
+  const double hot_rps = static_cast<double>(users) / hot_seconds;
+  const bool cache_parity = SameResults(warm_pass, hot_pass);
+  const double hit_rate =
+      static_cast<double>(cache_stats.hits) /
+      static_cast<double>(cache_stats.hits + cache_stats.misses);
+  std::printf("pass 1 (cold):     %8.0f req/s\n", cold_rps);
+  std::printf("pass 2 (hot):      %8.0f req/s  speedup %.2fx  "
+              "hit-rate %.3f  parity %s\n",
+              hot_rps, hot_rps / cold_rps, hit_rate,
+              cache_parity ? "OK" : "MISMATCH");
+
+  // ---- SUM update throughput ----------------------------------------------
+  PrintHeader("SUM update throughput");
+  const sum::AttributeId lively =
+      catalog.EmotionalId(eit::EmotionalAttribute::kLively);
+  const size_t update_rounds = users;
+  const auto apply_start = Clock::now();
+  for (size_t i = 0; i < update_rounds; ++i) {
+    (void)sums.Apply(sum::SumUpdate(static_cast<sum::UserId>(i % users))
+                         .Reward(lively, 0.05));
+  }
+  const double apply_seconds = SecondsSince(apply_start);
+  const double apply_ups =
+      static_cast<double>(update_rounds) / apply_seconds;
+  std::printf("Apply (1 op):      %8.0f updates/s  (%.3f s for %zu)\n",
+              apply_ups, apply_seconds, update_rounds);
+
+  const size_t batch_size = 256;
+  const size_t batch_rounds = update_rounds / batch_size + 1;
+  const auto applyall_start = Clock::now();
+  for (size_t round = 0; round < batch_rounds; ++round) {
+    std::vector<sum::SumUpdate> batch;
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(
+          sum::SumUpdate(
+              static_cast<sum::UserId>((round * batch_size + i) % users))
+              .Reward(lively, 0.05));
+    }
+    (void)sums.ApplyAll(batch);
+  }
+  const double applyall_seconds = SecondsSince(applyall_start);
+  const double applyall_ups =
+      static_cast<double>(batch_rounds * batch_size) / applyall_seconds;
+  std::printf("ApplyAll (x%zu):   %8.0f updates/s  (%.3f s)\n",
+              batch_size, applyall_ups, applyall_seconds);
+
+  // Every user's context changed: the hot cache must now recompute.
+  const auto invalidated_start = Clock::now();
+  for (const auto& request : requests) {
+    (void)cached_engine->Recommend(request);
+  }
+  const double invalidated_seconds = SecondsSince(invalidated_start);
+  const double invalidated_rps =
+      static_cast<double>(users) / invalidated_seconds;
+  const auto post_stats = cached_engine->cache_stats();
+  std::printf("post-update pass:  %8.0f req/s  (%zu stale evictions)\n",
+              invalidated_rps,
+              static_cast<size_t>(post_stats.stale_evictions -
+                                  cache_stats.stale_evictions));
+
+  // ---- JSON ---------------------------------------------------------------
   std::FILE* json = std::fopen("BENCH_serving.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -157,7 +269,23 @@ int Main(int argc, char** argv) {
                    points[i].parity ? "true" : "false",
                    i + 1 < points.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"repeat_traffic\": {\n"
+                 "    \"cold_rps\": %.1f,\n"
+                 "    \"hot_rps\": %.1f,\n"
+                 "    \"cache_speedup\": %.3f,\n"
+                 "    \"hit_rate\": %.4f,\n"
+                 "    \"parity\": %s\n  },\n",
+                 cold_rps, hot_rps, hot_rps / cold_rps, hit_rate,
+                 cache_parity ? "true" : "false");
+    std::fprintf(json,
+                 "  \"sum_updates\": {\n"
+                 "    \"apply_per_sec\": %.1f,\n"
+                 "    \"apply_all_batch_size\": %zu,\n"
+                 "    \"apply_all_per_sec\": %.1f,\n"
+                 "    \"post_update_serve_rps\": %.1f\n  }\n}\n",
+                 apply_ups, batch_size, applyall_ups, invalidated_rps);
     std::fclose(json);
     std::printf("\nwrote BENCH_serving.json\n");
   }
@@ -165,7 +293,7 @@ int Main(int argc, char** argv) {
   for (const BatchPoint& p : points) {
     if (!p.parity) return 1;  // batched serving must match sequential
   }
-  return 0;
+  return cache_parity ? 0 : 1;
 }
 
 }  // namespace

@@ -22,7 +22,7 @@
 #include "sum/catalog.h"
 #include "sum/human_values.h"
 #include "sum/reward_punish.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 namespace {
 
@@ -95,9 +95,13 @@ int main() {
 
   const sum::AttributeCatalog catalog =
       sum::AttributeCatalog::EmagisterDefault();
-  sum::SumStore crew(&catalog);
-  const sum::ReinforcementUpdater updater(
-      {.learning_rate = 0.25, .decay_rate = 0.05, .floor = 0.0});
+  // The crew's models live behind the versioned service: wearable
+  // samples stream in as SumUpdates while the commander's dashboard
+  // reads pinned snapshots.
+  sum::SumService crew(
+      &catalog,
+      sum::SumServiceConfig{
+          {.learning_rate = 0.25, .decay_rate = 0.05, .floor = 0.0}});
 
   struct Firefighter {
     sum::UserId id;
@@ -117,7 +121,6 @@ int main() {
               "per firefighter\n\n");
   Rng rng(2026);
   for (const Firefighter& ff : brigade) {
-    sum::SmartUserModel* model = crew.GetOrCreate(ff.id);
     for (int t = 0; t < 60; ++t) {
       VitalSample sample;
       sample.heart_rate =
@@ -127,15 +130,16 @@ int main() {
       sample.skin_temp = std::clamp(0.5 + rng.Normal(0.0, 0.05), 0.0, 1.0);
       sample.motion =
           std::clamp(ff.motion_base + rng.Normal(0.0, 0.1), 0.0, 1.0);
+      sum::SumUpdate update(ff.id);
       for (const auto& [attribute, magnitude] :
            EmotionalEvidence(sample)) {
-        updater.Reward(model, catalog.EmotionalId(attribute),
-                       magnitude);
+        update.Reward(catalog.EmotionalId(attribute), magnitude);
       }
       // Physiology is transient: decay every few samples.
       if (t % 10 == 9) {
-        updater.Decay(model, sum::AttributeKind::kEmotional);
+        update.Decay(sum::AttributeKind::kEmotional);
       }
+      (void)crew.Apply(update);
     }
   }
 
@@ -143,14 +147,17 @@ int main() {
               "dominant emotional state");
   std::printf("--------------------------------------------------------"
               "---------------------\n");
+  // One pinned snapshot ranks the whole brigade consistently even if
+  // samples kept streaming.
+  const sum::SumSnapshotPtr board = crew.snapshot();
   std::vector<std::pair<double, const Firefighter*>> ranked;
   for (const Firefighter& ff : brigade) {
-    const auto model = crew.Get(ff.id).value();
+    const auto model = board->Get(ff.id).value();
     ranked.emplace_back(OperationalFitness(*model), &ff);
   }
   std::sort(ranked.rbegin(), ranked.rend());
   for (const auto& [fitness, ff] : ranked) {
-    const auto model = crew.Get(ff->id).value();
+    const auto model = board->Get(ff->id).value();
     const auto dominant =
         model->Dominant(sum::AttributeKind::kEmotional, 0.15, 2);
     std::string state;
@@ -165,7 +172,7 @@ int main() {
 
   std::printf("\ncommander advice:\n");
   for (const auto& [fitness, ff] : ranked) {
-    const auto model = crew.Get(ff->id).value();
+    const auto model = board->Get(ff->id).value();
     const auto& cat = model->catalog();
     const double fear = model->sensibility(
         cat.EmotionalId(eit::EmotionalAttribute::kFrightened));

@@ -15,14 +15,14 @@
 
 #include "campaign/course.h"
 #include "recsys/emotion_aware.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 int main() {
   using namespace spa;
 
   const sum::AttributeCatalog catalog =
       sum::AttributeCatalog::EmagisterDefault();
-  sum::SumStore members(&catalog);
+  sum::SumService members(&catalog);
   auto emo = [&](eit::EmotionalAttribute e) {
     return catalog.EmotionalId(e);
   };
@@ -35,18 +35,26 @@ int main() {
   };
   const std::vector<Member> group = {
       {1, "parent"}, {2, "teenager"}, {3, "grandparent"}};
-  members.GetOrCreate(1)->set_sensibility(
-      emo(eit::EmotionalAttribute::kEnthusiastic), 0.8);
-  members.GetOrCreate(1)->set_sensibility(
-      emo(eit::EmotionalAttribute::kMotivated), 0.6);
-  members.GetOrCreate(2)->set_sensibility(
-      emo(eit::EmotionalAttribute::kStimulated), 0.9);
-  members.GetOrCreate(2)->set_sensibility(
-      emo(eit::EmotionalAttribute::kLively), 0.7);
-  members.GetOrCreate(3)->set_sensibility(
-      emo(eit::EmotionalAttribute::kFrightened), 0.85);
-  members.GetOrCreate(3)->set_sensibility(
-      emo(eit::EmotionalAttribute::kEmpathic), 0.6);
+  (void)members.Apply(
+      sum::SumUpdate(1)
+          .SetSensibility(emo(eit::EmotionalAttribute::kEnthusiastic),
+                          0.8)
+          .SetSensibility(emo(eit::EmotionalAttribute::kMotivated),
+                          0.6));
+  (void)members.Apply(
+      sum::SumUpdate(2)
+          .SetSensibility(emo(eit::EmotionalAttribute::kStimulated),
+                          0.9)
+          .SetSensibility(emo(eit::EmotionalAttribute::kLively), 0.7));
+  (void)members.Apply(
+      sum::SumUpdate(3)
+          .SetSensibility(emo(eit::EmotionalAttribute::kFrightened),
+                          0.85)
+          .SetSensibility(emo(eit::EmotionalAttribute::kEmpathic),
+                          0.6));
+
+  // One pinned snapshot scores the whole group consistently.
+  const sum::SumSnapshotPtr family = members.snapshot();
 
   // Candidate courses with distinct emotional resonance profiles.
   const campaign::CourseCatalog courses =
@@ -65,7 +73,7 @@ int main() {
     std::printf("%-22s", course.name.c_str());
     for (const Member& m : group) {
       std::printf(" %12.2f",
-                  reranker.Alignment(*members.Get(m.id).value(),
+                  reranker.Alignment(*family->Get(m.id).value(),
                                      course.id));
     }
     std::printf("\n");
@@ -82,7 +90,7 @@ int main() {
     GroupScore gs{course.id, 0.0, 1e9};
     for (const Member& m : group) {
       const double a =
-          reranker.Alignment(*members.Get(m.id).value(), course.id);
+          reranker.Alignment(*family->Get(m.id).value(), course.id);
       gs.average += a / static_cast<double>(group.size());
       gs.least_misery = std::min(gs.least_misery, a);
     }

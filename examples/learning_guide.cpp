@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
 
   // What the Attributes Manager learned about one engaged user.
   for (sum::UserId u : everyone) {
-    const auto model = platform->sums()->Get(u);
+    const auto model = platform->sum_snapshot()->Get(u);
     if (!model.ok()) continue;
     const auto dominant = model.value()->Dominant(
         sum::AttributeKind::kEmotional, 0.3, 3);

@@ -63,7 +63,7 @@ int main() {
   Rng rng(13);
   std::vector<core::PropensityExample> examples;
   for (sum::UserId user = 1; user <= 200; ++user) {
-    spa.sums()->GetOrCreate(user);
+    (void)spa.sum_service()->Apply(sum::SumUpdate(user));
     const bool responder = rng.Bernoulli(0.3);
     const int activity = responder ? 10 : 2;
     for (int i = 0; i < activity; ++i) {

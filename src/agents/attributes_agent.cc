@@ -8,11 +8,8 @@
 namespace spa::agents {
 
 AttributesManagerAgent::AttributesManagerAgent(
-    sum::SumStore* sums, AttributesAgentConfig config)
-    : Agent("attributes-manager"),
-      sums_(sums),
-      config_(config),
-      updater_(config.reinforcement) {
+    sum::SumService* sums, AttributesAgentConfig config)
+    : Agent("attributes-manager"), sums_(sums), config_(config) {
   SPA_CHECK(sums != nullptr);
 }
 
@@ -30,14 +27,9 @@ void AttributesManagerAgent::OnMessage(const Envelope& envelope,
     ++stats_.preprocess_reports;
   } else if (std::get_if<Tick>(&envelope.payload) != nullptr) {
     if (config_.decay_on_tick) {
-      sums_->ForEach([this](const sum::SmartUserModel& model) {
-        // ForEach hands out const refs; fetch mutable via the store.
-        auto mutable_model = sums_->GetMutable(model.user());
-        if (mutable_model.ok()) {
-          updater_.Decay(mutable_model.value(),
-                         sum::AttributeKind::kEmotional);
-        }
-      });
+      // One batched publish decaying every user (a single version
+      // bump — the cache invalidates exactly once per round).
+      SPA_CHECK(sums_->DecayAll(sum::AttributeKind::kEmotional).ok());
       ++stats_.decay_rounds;
     }
   }
@@ -46,8 +38,8 @@ void AttributesManagerAgent::OnMessage(const Envelope& envelope,
 void AttributesManagerAgent::HandleEitAnswer(
     const EitAnswerObserved& answer) {
   ++stats_.eit_answers;
-  sum::SmartUserModel* model = sums_->GetOrCreate(answer.user);
-  const sum::AttributeCatalog& catalog = model->catalog();
+  const sum::AttributeCatalog& catalog = sums_->catalog();
+  sum::SumUpdate update(answer.user);
   const double neutral = config_.eit_neutral_consensus;
   for (const eit::AttributeImpact& impact : answer.activations) {
     const sum::AttributeId id = catalog.EmotionalId(impact.attribute);
@@ -62,31 +54,42 @@ void AttributesManagerAgent::HandleEitAnswer(
     const double magnitude =
         std::min(1.5, std::abs(signal) * config_.eit_gain);
     if (signal >= 0.0) {
-      updater_.Reward(model, id, magnitude);
+      update.Reward(id, magnitude);
       ++stats_.reinforcements;
     } else {
-      updater_.Punish(model, id, magnitude);
+      update.Punish(id, magnitude);
       ++stats_.punishments;
     }
     // The attribute *value* tracks the activation level too (it feeds
     // the propensity features).
-    model->set_value(id, model->sensibility(id));
+    update.ValueFromSensibility(id);
   }
+  SPA_CHECK(sums_->Apply(update).ok());
 }
 
 void AttributesManagerAgent::HandleInteraction(
     const InteractionObserved& interaction) {
-  sum::SmartUserModel* model = sums_->GetOrCreate(interaction.user);
-  if (interaction.argued_attribute < 0) return;  // standard message
-  if (interaction.positive) {
-    updater_.Reward(model, interaction.argued_attribute,
+  sum::SumUpdate update(interaction.user);
+  if (interaction.argued_attribute >= 0) {
+    if (interaction.positive) {
+      update.Reward(interaction.argued_attribute,
                     interaction.magnitude);
-    ++stats_.reinforcements;
-  } else {
-    updater_.Punish(model, interaction.argued_attribute,
+      ++stats_.reinforcements;
+    } else {
+      update.Punish(interaction.argued_attribute,
                     interaction.magnitude);
-    ++stats_.punishments;
+      ++stats_.punishments;
+    }
   }
+  // A standard-message interaction still touches the user into
+  // existence (the old GetOrCreate behaviour) — but when the model
+  // already exists and nothing changed, skip the publish: a no-op
+  // version bump would invalidate the user's cached recommendations
+  // for free.
+  if (update.empty() && sums_->snapshot()->Contains(interaction.user)) {
+    return;
+  }
+  SPA_CHECK(sums_->Apply(update).ok());
 }
 
 }  // namespace spa::agents

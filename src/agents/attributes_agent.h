@@ -2,8 +2,7 @@
 #define SPA_AGENTS_ATTRIBUTES_AGENT_H_
 
 #include "agents/runtime.h"
-#include "sum/reward_punish.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 /// \file
 /// The Attributes Manager Agent (SPA component 3): creates, extracts,
@@ -13,12 +12,18 @@
 /// weights are maintained through the SUM reward/punish mechanism:
 /// EIT answers activate emotional attributes, observed reactions to
 /// argued messages reinforce or weaken them (Fig. 4).
+///
+/// The agent never mutates a model directly: every change is described
+/// as a `sum::SumUpdate` and applied through the `sum::SumService`, so
+/// each observation lands as one atomic versioned publish that serving
+/// snapshots (and the engine's response cache) react to precisely.
 
 namespace spa::agents {
 
 struct AttributesAgentConfig {
-  sum::ReinforcementConfig reinforcement;
-  /// Decay applied to emotional sensibilities on every Tick.
+  /// Decay applied to emotional sensibilities on every Tick (the
+  /// decay parameters themselves live in the SumService's
+  /// ReinforcementConfig).
   bool decay_on_tick = true;
   /// Consensus score at which an EIT answer is emotionally neutral;
   /// answers above it reward the impacted attributes, answers below it
@@ -32,7 +37,7 @@ struct AttributesAgentConfig {
 /// \brief Maintains SUM sensibility weights from the event stream.
 class AttributesManagerAgent : public Agent {
  public:
-  AttributesManagerAgent(sum::SumStore* sums,
+  AttributesManagerAgent(sum::SumService* sums,
                          AttributesAgentConfig config = {});
 
   void OnMessage(const Envelope& envelope, AgentContext* ctx) override;
@@ -50,9 +55,8 @@ class AttributesManagerAgent : public Agent {
   void HandleEitAnswer(const EitAnswerObserved& answer);
   void HandleInteraction(const InteractionObserved& interaction);
 
-  sum::SumStore* sums_;
+  sum::SumService* sums_;
   AttributesAgentConfig config_;
-  sum::ReinforcementUpdater updater_;
   Stats stats_;
 };
 

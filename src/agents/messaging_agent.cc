@@ -7,7 +7,7 @@
 
 namespace spa::agents {
 
-MessagingAgent::MessagingAgent(const sum::SumStore* sums,
+MessagingAgent::MessagingAgent(const sum::SumService* sums,
                                MessagingAgentConfig config)
     : Agent("messaging"), sums_(sums), config_(config),
       standard_template_(
@@ -54,7 +54,9 @@ ComposedMessage MessagingAgent::Compose(
   out.user = request.user;
   out.course = request.course;
 
-  const auto model = sums_->Get(request.user);
+  // Pin one snapshot for the whole composition.
+  const sum::SumSnapshotPtr snapshot = sums_->snapshot();
+  const auto model = snapshot->Get(request.user);
 
   // Matching sensibilities among the product attributes, preserving the
   // product's priority order.

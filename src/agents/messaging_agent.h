@@ -6,7 +6,7 @@
 #include <unordered_map>
 
 #include "agents/runtime.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 /// \file
 /// The Messaging Agent (SPA component 4): simulates the salesman who
@@ -35,9 +35,13 @@ struct MessagingAgentConfig {
 };
 
 /// \brief Composes individualized messages from SUM sensibilities.
+///
+/// Reads pin the SumService's current snapshot per composition, so a
+/// message is always argued from one consistent view of the user even
+/// while the Attributes Manager updates sensibilities concurrently.
 class MessagingAgent : public Agent {
  public:
-  MessagingAgent(const sum::SumStore* sums,
+  MessagingAgent(const sum::SumService* sums,
                  MessagingAgentConfig config = {});
 
   void OnMessage(const Envelope& envelope, AgentContext* ctx) override;
@@ -62,7 +66,7 @@ class MessagingAgent : public Agent {
  private:
   std::string RenderTemplate(sum::AttributeId attribute) const;
 
-  const sum::SumStore* sums_;
+  const sum::SumService* sums_;
   MessagingAgentConfig config_;
   std::unordered_map<sum::AttributeId, std::string> templates_;
   std::string standard_template_;

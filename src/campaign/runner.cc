@@ -40,8 +40,13 @@ void CampaignRunner::BootstrapUsers(
 
   for (sum::UserId id : users) {
     const LatentUser latent = population_->UserAt(id);
-    sum::SmartUserModel* model = spa_->sums()->GetOrCreate(id);
-    population_->InitializeSum(latent, model);
+    // Assemble the observable profile in a scratch model, then publish
+    // it through the service as one atomic versioned update.
+    sum::SmartUserModel scratch(id, &spa_->attribute_catalog());
+    population_->InitializeSum(latent, &scratch);
+    SPA_CHECK(spa_->sum_service()
+                  ->Apply(sum::SumUpdate::FromModel(scratch))
+                  .ok());
 
     // Browsing history: activity volume correlates with the latent
     // base propensity (active users buy more), giving the objective
@@ -223,8 +228,14 @@ CampaignOutcome CampaignRunner::RunCampaign(
     const auto model_score = spa_->ScoreSnapshot(snapshot);
     const double score = model_score.value_or(0.5);
 
-    sum::SmartUserModel* model = spa_->sums()->GetOrCreate(user);
-    const Course& course = PickCourse(spec, *model);
+    // Pin the user's current model for course selection (targets were
+    // bootstrapped, but tolerate strays by touching them into being).
+    sum::SumSnapshotPtr sums = spa_->sum_snapshot();
+    if (!sums->Contains(user)) {
+      SPA_CHECK(spa_->sum_service()->Apply(sum::SumUpdate(user)).ok());
+      sums = spa_->sum_snapshot();
+    }
+    const Course& course = PickCourse(spec, *sums->Get(user).value());
 
     // Compose the (possibly personalized) message.
     sum::AttributeId argued = -1;

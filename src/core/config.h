@@ -44,7 +44,8 @@ struct SpaConfig {
   /// Calibrate raw scores into probabilities with Platt scaling.
   bool calibrate_probabilities = true;
 
-  /// SUM reinforcement (Attributes Manager).
+  /// SUM reinforcement (applied by the SumService's reward/punish/decay
+  /// ops, driven by the Attributes Manager).
   sum::ReinforcementConfig reinforcement{.learning_rate = 0.12,
                                          .decay_rate = 0.01,
                                          .floor = 0.0};

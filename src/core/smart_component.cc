@@ -71,7 +71,7 @@ ml::SparseVector SmartComponent::FeaturesFor(
 
 spa::Status SmartComponent::TrainPropensity(
     const std::vector<PropensityExample>& examples,
-    const sum::SumStore& sums, const lifelog::LifeLogStore& logs,
+    const sum::SumSnapshot& sums, const lifelog::LifeLogStore& logs,
     spa::TimeMicros now) {
   if (examples.size() < 10) {
     return spa::Status::InvalidArgument(
@@ -170,7 +170,7 @@ spa::Result<double> SmartComponent::Propensity(
 
 spa::Result<std::vector<std::pair<sum::UserId, double>>>
 SmartComponent::RankUsers(const std::vector<sum::UserId>& candidates,
-                          const sum::SumStore& sums,
+                          const sum::SumSnapshot& sums,
                           const lifelog::LifeLogStore& logs,
                           spa::TimeMicros now) const {
   if (!trained_) {

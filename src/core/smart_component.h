@@ -15,7 +15,7 @@
 #include "ml/platt.h"
 #include "ml/scaler.h"
 #include "ml/svm_linear.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 /// \file
 /// The Smart Component (SPA component 2): "implements advanced
@@ -55,7 +55,7 @@ class SmartComponent {
   /// features captured at contact time — training on current state
   /// leaks the response events into the features.
   spa::Status TrainPropensity(const std::vector<PropensityExample>& examples,
-                              const sum::SumStore& sums,
+                              const sum::SumSnapshot& sums,
                               const lifelog::LifeLogStore& logs,
                               spa::TimeMicros now);
 
@@ -80,7 +80,7 @@ class SmartComponent {
   /// highest first (returns all candidates, ordered).
   spa::Result<std::vector<std::pair<sum::UserId, double>>> RankUsers(
       const std::vector<sum::UserId>& candidates,
-      const sum::SumStore& sums, const lifelog::LifeLogStore& logs,
+      const sum::SumSnapshot& sums, const lifelog::LifeLogStore& logs,
       spa::TimeMicros now) const;
 
   /// Ranking of attributes: the most predictive features by |weight|.

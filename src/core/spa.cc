@@ -50,7 +50,8 @@ Spa::Spa(SpaConfig config)
       clock_(kSimEpoch),
       actions_(lifelog::ActionCatalog::Standard()),
       attrs_(sum::AttributeCatalog::EmagisterDefault()),
-      sums_(&attrs_),
+      sum_service_(&attrs_,
+                   sum::SumServiceConfig{config.reinforcement}),
       bank_(eit::QuestionBank::Generate(config.eit_questions_per_section,
                                         config.seed)),
       eit_(std::make_unique<eit::GradualEit>(&bank_)),
@@ -61,15 +62,13 @@ Spa::Spa(SpaConfig config)
   preprocessor_ = preprocessor.get();
   SPA_CHECK(runtime_.Register(std::move(preprocessor)).ok());
 
-  agents::AttributesAgentConfig attributes_config;
-  attributes_config.reinforcement = config.reinforcement;
   auto attributes_agent = std::make_unique<agents::AttributesManagerAgent>(
-      &sums_, attributes_config);
+      &sum_service_, agents::AttributesAgentConfig{});
   attributes_agent_ = attributes_agent.get();
   SPA_CHECK(runtime_.Register(std::move(attributes_agent)).ok());
 
   auto messaging = std::make_unique<agents::MessagingAgent>(
-      &sums_, config.messaging);
+      &sum_service_, config.messaging);
   messaging_ = messaging.get();
   SPA_CHECK(runtime_.Register(std::move(messaging)).ok());
   InstallDefaultTemplates(attrs_, messaging_);
@@ -205,7 +204,7 @@ spa::Status Spa::RefreshRecommenders() {
   for (const auto& [item, profile] : emotion_profiles_) {
     engine_->SetItemEmotionProfile(item, profile);
   }
-  engine_->set_sum_store(&sums_);
+  engine_->set_sum_service(&sum_service_);
   SPA_RETURN_IF_ERROR(engine_->Fit(interactions_));
   sparse_seen_.clear();  // derived from the matrix just rebuilt
   recommenders_ready_ = true;
@@ -283,11 +282,13 @@ agents::ComposedMessage Spa::MessageFor(
 
 spa::Status Spa::TrainPropensity(
     const std::vector<PropensityExample>& examples) {
-  return smart_.TrainPropensity(examples, sums_, logs_, clock_.now());
+  return smart_.TrainPropensity(examples, *sum_service_.snapshot(),
+                                logs_, clock_.now());
 }
 
 ml::SparseVector Spa::SnapshotFeatures(sum::UserId user) const {
-  const auto model = sums_.Get(user);
+  const sum::SumSnapshotPtr snapshot = sum_service_.snapshot();
+  const auto model = snapshot->Get(user);
   if (!model.ok()) return ml::SparseVector();
   return smart_.FeaturesFor(*model.value(), logs_.UserEvents(user),
                             clock_.now());
@@ -305,16 +306,18 @@ spa::Result<double> Spa::ScoreSnapshot(
 }
 
 spa::Result<double> Spa::Propensity(sum::UserId user) const {
+  const sum::SumSnapshotPtr snapshot = sum_service_.snapshot();
   SPA_ASSIGN_OR_RETURN(const sum::SmartUserModel* model,
-                       sums_.Get(user));
+                       snapshot->Get(user));
   return smart_.Propensity(*model, logs_.UserEvents(user), clock_.now());
 }
 
 spa::Result<std::vector<std::pair<sum::UserId, double>>>
 Spa::SelectTopProspects(const std::vector<sum::UserId>& candidates,
                         size_t k) const {
+  const sum::SumSnapshotPtr snapshot = sum_service_.snapshot();
   SPA_ASSIGN_OR_RETURN(auto ranked,
-                       smart_.RankUsers(candidates, sums_, logs_,
+                       smart_.RankUsers(candidates, *snapshot, logs_,
                                         clock_.now()));
   if (ranked.size() > k) ranked.resize(k);
   return ranked;

@@ -42,7 +42,13 @@ class Spa {
   const sum::AttributeCatalog& attribute_catalog() const { return attrs_; }
   lifelog::FeatureSpace* feature_space() { return &space_; }
   lifelog::LifeLogStore* lifelog() { return &logs_; }
-  sum::SumStore* sums() { return &sums_; }
+  /// The versioned SUM layer: writes go through Apply(SumUpdate),
+  /// reads pin sum_snapshot().
+  sum::SumService* sum_service() { return &sum_service_; }
+  /// Pins the current immutable view of every SUM.
+  sum::SumSnapshotPtr sum_snapshot() const {
+    return sum_service_.snapshot();
+  }
   const eit::GradualEit& gradual_eit() const { return *eit_; }
   agents::AgentRuntime* runtime() { return &runtime_; }
   agents::MessagingAgent* messaging() { return messaging_; }
@@ -160,7 +166,7 @@ class Spa {
   sum::AttributeCatalog attrs_;
   lifelog::FeatureSpace space_;
   lifelog::LifeLogStore logs_;
-  sum::SumStore sums_;
+  sum::SumService sum_service_;
   eit::QuestionBank bank_;
   std::unique_ptr<eit::GradualEit> eit_;
   std::unordered_map<sum::UserId, eit::UserEitState> eit_states_;

@@ -7,6 +7,31 @@
 
 namespace spa::recsys {
 
+namespace {
+
+/// SplitMix64: decorrelates raw ids before combining.
+uint64_t HashU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  return HashU64(h ^ HashU64(v));
+}
+
+/// Order-independent digest of an item set.
+uint64_t HashItemSet(const std::unordered_set<ItemId>& items) {
+  uint64_t acc = 0x1234abcd5678ef90ULL;
+  for (ItemId item : items) {
+    acc += HashU64(static_cast<uint64_t>(item));
+  }
+  return acc;
+}
+
+}  // namespace
+
 RecsysEngine::RecsysEngine(EngineConfig config)
     : config_(config),
       hybrid_(std::make_unique<HybridRecommender>(
@@ -26,11 +51,124 @@ void RecsysEngine::SetItemEmotionProfile(ItemId item,
   reranker_.SetItemProfile(item, profile);
 }
 
+void RecsysEngine::set_sum_service(const sum::SumService* sums) {
+  sums_ = sums;
+  ClearResponseCache();
+}
+
 spa::Status RecsysEngine::Fit(const InteractionMatrix& matrix) {
   SPA_RETURN_IF_ERROR(hybrid_->Fit(matrix));
   fitted_ = true;
+  ++fit_epoch_;
+  matrix_ = &matrix;
+  ClearResponseCache();
   return spa::Status::OK();
 }
+
+// ---- response cache --------------------------------------------------------
+
+uint64_t RecsysEngine::FingerprintRequest(
+    const RecommendRequest& request) {
+  uint64_t h = 0x5ca1ab1e0ddba11ULL;
+  h = Mix(h, static_cast<uint64_t>(request.user));
+  h = Mix(h, static_cast<uint64_t>(request.k));
+  h = Mix(h, static_cast<uint64_t>(request.exclude_seen ==
+                                   ExcludeSeen::kYes));
+  h = Mix(h, static_cast<uint64_t>(request.explain));
+  h = Mix(h, HashItemSet(request.exclude_items));
+  if (request.candidate_items.has_value()) {
+    h = Mix(h, 1 + HashItemSet(*request.candidate_items));
+  }
+  return h;
+}
+
+bool RecsysEngine::KeyMatches(const CacheKey& key,
+                              const RecommendRequest& request) {
+  return key.user == request.user && key.k == request.k &&
+         key.exclude_seen == request.exclude_seen &&
+         key.explain == request.explain &&
+         key.exclude_items == request.exclude_items &&
+         key.candidate_items == request.candidate_items;
+}
+
+std::optional<RecommendResponse> RecsysEngine::CacheLookup(
+    uint64_t hash, const RecommendRequest& request,
+    uint64_t sum_user_version) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_index_.find(hash);
+  if (it == cache_index_.end()) {
+    ++cache_stats_.misses;
+    return std::nullopt;
+  }
+  const CacheEntry& entry = *it->second;
+  if (!KeyMatches(entry.key, request)) {
+    // Fingerprint collision between distinct requests: never serve it.
+    ++cache_stats_.misses;
+    return std::nullopt;
+  }
+  if (entry.fit_epoch != fit_epoch_ ||
+      entry.matrix_version != matrix_->version() ||
+      entry.sum_user_version != sum_user_version) {
+    // An update landed for this user, the fitted matrix was mutated,
+    // or the stack was refitted since the entry was memoized: drop it
+    // in place. (The matrix guard reads the live version — the base
+    // recommenders serve from the live matrix too.)
+    cache_lru_.erase(it->second);
+    cache_index_.erase(it);
+    ++cache_stats_.stale_evictions;
+    ++cache_stats_.misses;
+    return std::nullopt;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  ++cache_stats_.hits;
+  return entry.response;
+}
+
+void RecsysEngine::CacheInsert(uint64_t hash,
+                               const RecommendRequest& request,
+                               uint64_t sum_user_version,
+                               const RecommendResponse& response) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_index_.find(hash);
+  if (it != cache_index_.end()) {
+    cache_lru_.erase(it->second);
+    cache_index_.erase(it);
+  }
+  CacheEntry entry;
+  entry.hash = hash;
+  entry.key = {request.user, request.k, request.exclude_seen,
+               request.explain, request.exclude_items,
+               request.candidate_items};
+  entry.fit_epoch = fit_epoch_;
+  entry.matrix_version = matrix_->version();
+  entry.sum_user_version = sum_user_version;
+  entry.response = response;
+  cache_lru_.push_front(std::move(entry));
+  cache_index_[hash] = cache_lru_.begin();
+  while (cache_lru_.size() > config_.response_cache_capacity) {
+    cache_index_.erase(cache_lru_.back().hash);
+    cache_lru_.pop_back();
+    ++cache_stats_.capacity_evictions;
+  }
+}
+
+EngineCacheStats RecsysEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_stats_;
+}
+
+size_t RecsysEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_lru_.size();
+}
+
+void RecsysEngine::ClearResponseCache() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_lru_.clear();
+  cache_index_.clear();
+}
+
+// ---- serving ---------------------------------------------------------------
 
 spa::Result<RecommendResponse> RecsysEngine::Recommend(
     const RecommendRequest& request) const {
@@ -40,6 +178,41 @@ spa::Result<RecommendResponse> RecsysEngine::Recommend(
         "engine not fitted; call Fit() after assembling the stack");
   }
 
+  // Pin the emotional context for the whole request: the caller's
+  // override snapshot wins; otherwise the service's current head.
+  sum::SumSnapshotPtr snapshot = request.emotion_override;
+  const bool overridden = snapshot != nullptr;
+  if (!overridden && sums_ != nullptr) snapshot = sums_->snapshot();
+
+  const sum::SmartUserModel* model = nullptr;
+  uint64_t sum_user_version = 0;
+  if (snapshot != nullptr) {
+    const auto found = snapshot->Get(request.user);
+    if (found.ok()) model = found.value();
+    sum_user_version = snapshot->UserVersion(request.user);
+  }
+
+  const bool cacheable =
+      config_.response_cache_capacity > 0 && !overridden;
+  uint64_t fingerprint = 0;
+  if (cacheable) {
+    fingerprint = FingerprintRequest(request);
+    if (auto cached =
+            CacheLookup(fingerprint, request, sum_user_version)) {
+      return *std::move(cached);
+    }
+  }
+  auto response = Serve(request, model);
+  if (cacheable && response.ok()) {
+    CacheInsert(fingerprint, request, sum_user_version,
+                response.value());
+  }
+  return response;
+}
+
+spa::Result<RecommendResponse> RecsysEngine::Serve(
+    const RecommendRequest& request,
+    const sum::SmartUserModel* model) const {
   // Base candidates: blended hybrid scores, overfetched so the
   // emotional stage has room to move items into the top k.
   CandidateQuery query;
@@ -56,13 +229,6 @@ spa::Result<RecommendResponse> RecsysEngine::Recommend(
                                /*track_contributions=*/request.explain);
   if (blended.size() > query.k) blended.resize(query.k);
 
-  // Emotional context: the request's snapshot override wins; otherwise
-  // look the user up in the SUM store.
-  const sum::SmartUserModel* model = request.emotion_override;
-  if (model == nullptr && sums_ != nullptr) {
-    const auto found = sums_->Get(request.user);
-    if (found.ok()) model = found.value();
-  }
   const bool apply_emotion =
       config_.emotion_enabled && model != nullptr && !blended.empty();
 

@@ -1,7 +1,11 @@
 #ifndef SPA_RECSYS_ENGINE_H_
 #define SPA_RECSYS_ENGINE_H_
 
+#include <list>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -9,7 +13,7 @@
 #include "recsys/emotion_aware.h"
 #include "recsys/hybrid.h"
 #include "recsys/request.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 /// \file
 /// The serving facade of the advice stage: owns the recommender stack
@@ -17,6 +21,37 @@
 /// emotion-aware re-ranker) and answers `RecommendRequest`s one at a
 /// time or in thread-pool-parallel batches. This is the seam every
 /// scaling layer (sharding, caching, async) plugs into.
+///
+/// Emotional context comes from a `sum::SumService`: each request pins
+/// the service's current `SumSnapshot`, so serving always sees a
+/// frozen, consistent view while the Attributes Manager keeps applying
+/// `SumUpdate`s concurrently (update-while-serve).
+///
+/// ## Response cache
+///
+/// The engine memoizes full `RecommendResponse`s per user. A cached
+/// entry is served only when ALL of the following match, which makes
+/// invalidation precise and automatic:
+///
+///  * **fit epoch + interaction-matrix version** — the matrix version
+///    is compared against the *live* matrix at lookup, so mutating
+///    the fitted matrix (even without a refit) invalidates every
+///    entry; a refit additionally clears the cache eagerly;
+///  * **SUM user version** — `SumSnapshot::UserVersion(user)` at serve
+///    time; a single `SumService::Apply` touching the user bumps it,
+///    so exactly that user's entries stop matching while other users'
+///    entries keep hitting;
+///  * **request fingerprint** — user, k, exclude-seen policy, explain
+///    flag, exclusion set and allowlist compared exactly (a 64-bit
+///    hash indexes the entry; equality is verified on the canonical
+///    fields, so hash collisions cannot serve a wrong response).
+///
+/// Requests carrying an `emotion_override` snapshot bypass the cache
+/// entirely (their context is caller-pinned, not service-versioned).
+/// Entries are evicted LRU beyond `response_cache_capacity`; stale
+/// entries found on lookup are dropped in place. Hits return the
+/// memoized response byte-identically, so cached and uncached serving
+/// are indistinguishable to callers.
 
 namespace spa::recsys {
 
@@ -33,12 +68,25 @@ struct EngineConfig {
   EmotionRerankConfig rerank;
   /// Worker threads for RecommendBatch (0 = hardware concurrency).
   size_t batch_threads = 0;
+  /// Max memoized responses (LRU beyond this; 0 disables the cache).
+  size_t response_cache_capacity = 4096;
+};
+
+/// \brief Hit/miss counters of the response cache.
+struct EngineCacheStats {
+  uint64_t hits = 0;
+  /// Lookups that had to compute (includes stale invalidations).
+  uint64_t misses = 0;
+  /// Entries dropped because a version guard no longer matched.
+  uint64_t stale_evictions = 0;
+  /// Entries dropped by LRU capacity pressure.
+  uint64_t capacity_evictions = 0;
 };
 
 /// \brief Owns the recommender stack and serves requests.
 ///
 /// Assembly order: AddComponent(...) / SetItemEmotionProfile(...) /
-/// set_sum_store(...), then Fit(matrix). `Recommend` is const and
+/// set_sum_service(...), then Fit(matrix). `Recommend` is const and
 /// thread-safe once fitted; `RecommendBatch` fans requests out over an
 /// internal `spa::ThreadPool` and returns results in request order,
 /// identical to sequential `Recommend` calls.
@@ -52,17 +100,21 @@ class RecsysEngine {
                     double weight);
   /// Registers the emotional-resonance profile of an item.
   void SetItemEmotionProfile(ItemId item, const EmotionProfile& profile);
-  /// SUM store consulted for emotional context (borrowed; may be null —
-  /// then only requests with `emotion_override` get the emotional
-  /// stage).
-  void set_sum_store(const sum::SumStore* sums) { sums_ = sums; }
+  /// SUM service consulted for emotional context (borrowed; may be
+  /// null — then only requests with `emotion_override` get the
+  /// emotional stage). Each Recommend pins the service's current
+  /// snapshot. Switching services clears the response cache.
+  void set_sum_service(const sum::SumService* sums);
 
-  /// Fits every component; the matrix must outlive the engine.
+  /// Fits every component; the matrix must outlive the engine. Clears
+  /// the response cache and captures the matrix version for the cache
+  /// key.
   spa::Status Fit(const InteractionMatrix& matrix);
   bool fitted() const { return fitted_; }
 
   // ---- serving -----------------------------------------------------------
-  /// Serves one request. Errors: InvalidArgument (bad request),
+  /// Serves one request (from the response cache when an entry with
+  /// matching versions exists). Errors: InvalidArgument (bad request),
   /// FailedPrecondition (engine not fitted).
   spa::Result<RecommendResponse> Recommend(
       const RecommendRequest& request) const;
@@ -82,13 +134,71 @@ class RecsysEngine {
   /// work drains; not thread-safe against concurrent RecommendBatch).
   void set_batch_threads(size_t threads);
 
+  /// Response-cache counters (cumulative since construction).
+  EngineCacheStats cache_stats() const;
+  /// Number of live cache entries.
+  size_t cache_size() const;
+  /// Drops every cached response (counters are kept).
+  void ClearResponseCache() const;
+
  private:
+  /// Canonical identity of a cacheable request.
+  struct CacheKey {
+    UserId user = 0;
+    size_t k = 0;
+    ExcludeSeen exclude_seen = ExcludeSeen::kYes;
+    bool explain = false;
+    std::unordered_set<ItemId> exclude_items;
+    std::optional<std::unordered_set<ItemId>> candidate_items;
+  };
+  struct CacheEntry {
+    uint64_t hash = 0;
+    CacheKey key;
+    /// Version guards: all must match the serve-time context.
+    uint64_t fit_epoch = 0;
+    uint64_t matrix_version = 0;
+    uint64_t sum_user_version = 0;
+    RecommendResponse response;
+  };
+
+  static uint64_t FingerprintRequest(const RecommendRequest& request);
+  static bool KeyMatches(const CacheKey& key,
+                         const RecommendRequest& request);
+
+  /// Returns the cached response when a fresh entry matches.
+  std::optional<RecommendResponse> CacheLookup(
+      uint64_t hash, const RecommendRequest& request,
+      uint64_t sum_user_version) const;
+  void CacheInsert(uint64_t hash, const RecommendRequest& request,
+                   uint64_t sum_user_version,
+                   const RecommendResponse& response) const;
+
+  /// The uncached serving path, against a pinned snapshot.
+  spa::Result<RecommendResponse> Serve(
+      const RecommendRequest& request,
+      const sum::SmartUserModel* model) const;
+
   EngineConfig config_;
   std::unique_ptr<HybridRecommender> hybrid_;
   EmotionAwareReranker reranker_;
-  const sum::SumStore* sums_ = nullptr;
+  const sum::SumService* sums_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // lazily created
   bool fitted_ = false;
+  /// Bumped by every Fit; cache entries from earlier fits never match.
+  uint64_t fit_epoch_ = 0;
+  /// The fitted matrix (borrowed; outlives the engine). Its live
+  /// version() is a cache guard: mutations after Fit stop every
+  /// earlier entry from matching.
+  const InteractionMatrix* matrix_ = nullptr;
+
+  /// Response cache: LRU list (front = most recent) indexed by request
+  /// fingerprint. Guarded by cache_mutex_ (Recommend stays const and
+  /// thread-safe).
+  mutable std::mutex cache_mutex_;
+  mutable std::list<CacheEntry> cache_lru_;
+  mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
+      cache_index_;
+  mutable EngineCacheStats cache_stats_;
 
   ThreadPool* EnsurePool();
 };

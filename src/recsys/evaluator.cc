@@ -19,7 +19,12 @@ TopKMetrics EvaluateTopK(const Recommender& recommender,
 
   for (const auto& [user, relevant] : held_out) {
     if (relevant.empty()) continue;
-    const std::vector<Scored> recs = recommender.Recommend(user, k);
+    CandidateQuery query;
+    query.user = user;
+    query.k = k;
+    query.exclude_seen = ExcludeSeen::kYes;
+    const std::vector<Scored> recs =
+        recommender.RecommendCandidates(query);
     if (recs.empty()) {
       ++evaluated;  // counted with zero contribution
       continue;

@@ -28,6 +28,7 @@ void InteractionMatrix::Add(UserId user, ItemId item, double weight) {
     iit->second.emplace_back(user, weight);
   }
   ++interactions_;
+  ++version_;
 }
 
 const std::vector<std::pair<ItemId, double>>& InteractionMatrix::ItemsOf(

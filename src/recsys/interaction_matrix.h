@@ -42,6 +42,11 @@ class InteractionMatrix {
   size_t item_count() const { return by_item_.size(); }
   size_t interaction_count() const { return interactions_; }
 
+  /// Monotonic mutation counter: bumped by every Add. Serving layers
+  /// key caches on (matrix version at Fit) so stale entries can never
+  /// outlive a refit on changed data.
+  uint64_t version() const { return version_; }
+
   const std::vector<UserId>& users() const { return user_order_; }
   const std::vector<ItemId>& items() const { return item_order_; }
 
@@ -58,6 +63,7 @@ class InteractionMatrix {
   std::vector<UserId> user_order_;
   std::vector<ItemId> item_order_;
   size_t interactions_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace spa::recsys

@@ -63,6 +63,8 @@ class Recommender {
       const CandidateQuery& query) const = 0;
 
   /// Legacy shim: top-k excluding seen items (the pre-request API).
+  [[deprecated(
+      "build a CandidateQuery and call RecommendCandidates()")]]
   std::vector<Scored> Recommend(UserId user, size_t k) const;
 
   virtual std::string name() const = 0;

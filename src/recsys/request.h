@@ -8,7 +8,7 @@
 
 #include "common/status.h"
 #include "recsys/recommender.h"
-#include "sum/user_model.h"
+#include "sum/sum_service.h"
 
 /// \file
 /// Request/response value types of the serving API. A recommendation
@@ -21,8 +21,6 @@
 namespace spa::recsys {
 
 /// \brief One recommendation request.
-///
-/// Borrowed pointers (`emotion_override`) must outlive the call.
 struct RecommendRequest {
   UserId user = 0;
   /// Number of items wanted.
@@ -37,10 +35,12 @@ struct RecommendRequest {
   /// category pages). Must be non-empty when present.
   std::optional<std::unordered_set<ItemId>> candidate_items;
 
-  /// When non-null, the emotion-aware stage uses this SUM snapshot
-  /// instead of looking the user up in the engine's SUM store (what-if
-  /// serving, group aggregation, A/B overrides).
-  const sum::SmartUserModel* emotion_override = nullptr;
+  /// When set, the emotion-aware stage resolves `user` in this pinned
+  /// snapshot instead of the engine's live SumService view (what-if
+  /// serving, group aggregation, A/B overrides, replaying a frozen
+  /// version). The handle keeps the snapshot alive for the call;
+  /// overridden requests bypass the engine's response cache.
+  sum::SumSnapshotPtr emotion_override;
 
   /// Fill per-item score breakdowns in the response.
   bool explain = false;

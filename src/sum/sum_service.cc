@@ -1,0 +1,184 @@
+#include "sum/sum_service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace spa::sum {
+
+// ---- SumSnapshot -----------------------------------------------------------
+
+SumSnapshot::SumSnapshot(const AttributeCatalog* catalog)
+    : catalog_(catalog) {
+  SPA_CHECK(catalog != nullptr);
+}
+
+uint64_t SumSnapshot::UserVersion(UserId user) const {
+  const auto it = models_.find(user);
+  return it == models_.end() ? 0 : it->second.version;
+}
+
+spa::Result<const SmartUserModel*> SumSnapshot::Get(UserId user) const {
+  const auto it = models_.find(user);
+  if (it == models_.end()) {
+    return spa::Status::NotFound(
+        spa::StrFormat("no SUM for user %lld",
+                       static_cast<long long>(user)));
+  }
+  return it->second.model.get();
+}
+
+bool SumSnapshot::Contains(UserId user) const {
+  return models_.contains(user);
+}
+
+void SumSnapshot::ForEach(
+    const std::function<void(const SmartUserModel&)>& fn) const {
+  for (UserId user : order_) {
+    fn(*models_.at(user).model);
+  }
+}
+
+std::string SumSnapshot::ToCsv() const {
+  std::ostringstream out;
+  spa::CsvWriter writer(&out);
+  internal::WriteSumCsvHeader(&writer);
+  ForEach([&](const SmartUserModel& model) {
+    internal::WriteModelCsvRows(*catalog_, model, &writer);
+  });
+  return out.str();
+}
+
+// ---- SumService ------------------------------------------------------------
+
+SumService::SumService(const AttributeCatalog* catalog,
+                       SumServiceConfig config)
+    : catalog_(catalog), updater_(config.reinforcement) {
+  SPA_CHECK(catalog != nullptr);
+  head_ = SumSnapshotPtr(new SumSnapshot(catalog));
+}
+
+SumSnapshotPtr SumService::snapshot() const {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  return head_;
+}
+
+void SumService::Publish(std::shared_ptr<SumSnapshot> next) {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  head_ = std::move(next);
+}
+
+spa::Status SumService::Validate(const SumUpdate& update) const {
+  for (const SumOp& op : update.ops()) {
+    if (op.kind == SumOp::Kind::kDecay) continue;
+    if (op.attribute < 0 ||
+        static_cast<size_t>(op.attribute) >= catalog_->size()) {
+      return spa::Status::InvalidArgument(spa::StrFormat(
+          "update for user %lld references attribute %d outside the "
+          "catalog (%zu attributes)",
+          static_cast<long long>(update.user()), op.attribute,
+          catalog_->size()));
+    }
+  }
+  return spa::Status::OK();
+}
+
+namespace {
+
+void ApplyOps(const ReinforcementUpdater& updater, const SumUpdate& update,
+              SmartUserModel* model) {
+  for (const SumOp& op : update.ops()) {
+    switch (op.kind) {
+      case SumOp::Kind::kSetValue:
+        model->set_value(op.attribute, op.amount);
+        break;
+      case SumOp::Kind::kSetSensibility:
+        model->set_sensibility(op.attribute, op.amount);
+        break;
+      case SumOp::Kind::kAddEvidence:
+        model->add_evidence(op.attribute, op.amount);
+        break;
+      case SumOp::Kind::kReward:
+        updater.Reward(model, op.attribute, op.amount);
+        break;
+      case SumOp::Kind::kPunish:
+        updater.Punish(model, op.attribute, op.amount);
+        break;
+      case SumOp::Kind::kValueFromSensibility:
+        model->set_value(op.attribute, model->sensibility(op.attribute));
+        break;
+      case SumOp::Kind::kDecay:
+        updater.Decay(model, op.decay_kind);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+spa::Status SumService::Apply(const SumUpdate& update) {
+  return ApplyAll({update});
+}
+
+spa::Status SumService::ApplyAll(const std::vector<SumUpdate>& updates) {
+  if (updates.empty()) return spa::Status::OK();
+  for (const SumUpdate& update : updates) {
+    SPA_RETURN_IF_ERROR(Validate(update));
+  }
+
+  std::lock_guard<std::mutex> writer(write_mutex_);
+  // Copy-on-write publish: the map copy shares every untouched model;
+  // only touched users' models are cloned below.
+  auto next = std::shared_ptr<SumSnapshot>(new SumSnapshot(*snapshot()));
+  const uint64_t version = next->version_ + 1;
+
+  std::unordered_map<UserId, std::shared_ptr<SmartUserModel>> touched;
+  for (const SumUpdate& update : updates) {
+    auto& clone = touched[update.user()];
+    if (clone == nullptr) {
+      const auto it = next->models_.find(update.user());
+      if (it != next->models_.end()) {
+        clone = std::make_shared<SmartUserModel>(*it->second.model);
+      } else {
+        clone = std::make_shared<SmartUserModel>(update.user(), catalog_);
+        next->order_.push_back(update.user());
+      }
+    }
+    ApplyOps(updater_, update, clone.get());
+  }
+  for (auto& [user, clone] : touched) {
+    next->models_[user] = {std::move(clone), version};
+  }
+  next->version_ = version;
+  Publish(std::move(next));
+  return spa::Status::OK();
+}
+
+spa::Status SumService::DecayAll(AttributeKind kind) {
+  const SumSnapshotPtr current = snapshot();
+  if (current->size() == 0) return spa::Status::OK();
+  std::vector<SumUpdate> updates;
+  updates.reserve(current->size());
+  for (UserId user : current->users()) {
+    updates.push_back(SumUpdate(user).Decay(kind));
+  }
+  return ApplyAll(updates);
+}
+
+void SumService::Reset(const SumStore& store) {
+  std::lock_guard<std::mutex> writer(write_mutex_);
+  auto next = std::shared_ptr<SumSnapshot>(new SumSnapshot(catalog_));
+  const uint64_t version = snapshot()->version() + 1;
+  store.ForEach([&](const SmartUserModel& model) {
+    next->models_[model.user()] = {
+        std::make_shared<SmartUserModel>(model), version};
+    next->order_.push_back(model.user());
+  });
+  next->version_ = version;
+  Publish(std::move(next));
+}
+
+}  // namespace spa::sum

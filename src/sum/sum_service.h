@@ -1,0 +1,153 @@
+#ifndef SPA_SUM_SUM_SERVICE_H_
+#define SPA_SUM_SUM_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sum/reward_punish.h"
+#include "sum/sum_store.h"
+#include "sum/sum_update.h"
+#include "sum/user_model.h"
+
+/// \file
+/// Versioned emotional-context service: the read/write split over the
+/// Smart User Models. The paper's SUM is a *living* profile — the
+/// Attributes Manager keeps re-weighting sensibilities while the
+/// serving engine reads them — so the store can no longer be a bare
+/// mutable map shared by raw pointer. `SumService` owns the state
+/// behind a mutation API (`Apply` / `ApplyAll`, taking `SumUpdate`s)
+/// and publishes immutable `SumSnapshot` handles that readers pin for
+/// the duration of a request:
+///
+///  * every publish bumps a global monotonic version and stamps each
+///    touched user with it (per-user versions), which is the
+///    invalidation signal the engine's response cache keys on;
+///  * snapshots are copy-on-write per user model: a publish clones
+///    only the touched users' models and shares the rest, so pinning
+///    is one shared_ptr copy and updates are cheap;
+///  * readers holding a snapshot observe a frozen, consistent view no
+///    matter how many updates land concurrently — update-while-serve
+///    is safe by construction.
+
+namespace spa::sum {
+
+/// \brief An immutable, cheaply shareable view of every SUM.
+///
+/// Obtained from `SumService::snapshot()`; hold the `SumSnapshotPtr`
+/// for as long as the view must stay stable (typically one request).
+class SumSnapshot {
+ public:
+  /// Global version at publish time (0 = empty initial snapshot).
+  uint64_t version() const { return version_; }
+
+  /// Version of the publish that last touched `user` (0 when the user
+  /// has no model in this snapshot).
+  uint64_t UserVersion(UserId user) const;
+
+  /// The user's model; NotFound when absent.
+  spa::Result<const SmartUserModel*> Get(UserId user) const;
+
+  bool Contains(UserId user) const;
+  size_t size() const { return order_.size(); }
+
+  /// Users in creation order.
+  const std::vector<UserId>& users() const { return order_; }
+
+  void ForEach(
+      const std::function<void(const SmartUserModel&)>& fn) const;
+
+  const AttributeCatalog& catalog() const { return *catalog_; }
+
+  /// Serializes the snapshot in the SumStore CSV schema.
+  std::string ToCsv() const;
+
+ private:
+  friend class SumService;
+
+  struct Entry {
+    std::shared_ptr<const SmartUserModel> model;
+    uint64_t version = 0;
+  };
+
+  explicit SumSnapshot(const AttributeCatalog* catalog);
+
+  const AttributeCatalog* catalog_;
+  std::unordered_map<UserId, Entry> models_;
+  std::vector<UserId> order_;
+  uint64_t version_ = 0;
+};
+
+/// Shared handle to a pinned snapshot.
+using SumSnapshotPtr = std::shared_ptr<const SumSnapshot>;
+
+struct SumServiceConfig {
+  /// Parameters of the kReward / kPunish / kDecay ops.
+  ReinforcementConfig reinforcement;
+};
+
+/// \brief Owner of the live SUM state behind the mutation API.
+///
+/// Thread-safe: any number of threads may call `snapshot()` while
+/// writers `Apply` updates; writers are serialized internally.
+class SumService {
+ public:
+  explicit SumService(const AttributeCatalog* catalog,
+                      SumServiceConfig config = {});
+
+  /// Pins the current published snapshot (one shared_ptr copy).
+  SumSnapshotPtr snapshot() const;
+
+  /// Global monotonic version (bumped once per publish).
+  uint64_t version() const { return snapshot()->version(); }
+  /// Per-user version (0 = user absent).
+  uint64_t UserVersion(UserId user) const {
+    return snapshot()->UserVersion(user);
+  }
+  size_t size() const { return snapshot()->size(); }
+  const AttributeCatalog& catalog() const { return *catalog_; }
+
+  /// Applies one update atomically and publishes a new snapshot.
+  /// Creates the user's model when absent (even with no ops). Errors:
+  /// InvalidArgument (op references an attribute outside the catalog);
+  /// on error nothing is published.
+  spa::Status Apply(const SumUpdate& update);
+
+  /// Applies a batch atomically under a single version bump (one
+  /// publish, one map copy — the cheap path for bulk maintenance).
+  /// All-or-nothing: any invalid update rejects the whole batch.
+  spa::Status ApplyAll(const std::vector<SumUpdate>& updates);
+
+  /// One decay round over every user's attributes of `kind` (periodic
+  /// forgetting), as a single batched publish.
+  spa::Status DecayAll(AttributeKind kind);
+
+  /// Replaces the whole state from a deserialized store (one publish;
+  /// every user stamped with the new version).
+  void Reset(const SumStore& store);
+
+  /// Serializes the current snapshot as CSV (SumStore schema).
+  std::string ToCsv() const { return snapshot()->ToCsv(); }
+
+  const ReinforcementUpdater& reinforcement() const { return updater_; }
+
+ private:
+  spa::Status Validate(const SumUpdate& update) const;
+  void Publish(std::shared_ptr<SumSnapshot> next);
+
+  const AttributeCatalog* catalog_;
+  ReinforcementUpdater updater_;
+
+  /// Serializes writers (Apply/ApplyAll/Reset).
+  std::mutex write_mutex_;
+  /// Guards the head pointer only; held for a shared_ptr copy.
+  mutable std::mutex head_mutex_;
+  SumSnapshotPtr head_;
+};
+
+}  // namespace spa::sum
+
+#endif  // SPA_SUM_SUM_SERVICE_H_

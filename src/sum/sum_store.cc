@@ -48,25 +48,48 @@ void SumStore::ForEach(
   }
 }
 
+namespace internal {
+
+void WriteSumCsvHeader(spa::CsvWriter* writer) {
+  writer->WriteRow({"user", "attribute", "value", "sensibility",
+                    "evidence"});
+}
+
+void WriteModelCsvRows(const AttributeCatalog& catalog,
+                       const SmartUserModel& model,
+                       spa::CsvWriter* writer) {
+  size_t rows = 0;
+  for (const AttributeDef& def : catalog.defs()) {
+    const double value = model.value(def.id);
+    const double sensibility = model.sensibility(def.id);
+    const double evidence = model.evidence(def.id);
+    if (value == def.default_value && sensibility == 0.0 &&
+        evidence == 0.0) {
+      continue;  // sparse: skip untouched attributes
+    }
+    // %.17g: max_digits10 for double, so values round-trip exactly.
+    writer->WriteRow({std::to_string(model.user()), def.name,
+                      spa::StrFormat("%.17g", value),
+                      spa::StrFormat("%.17g", sensibility),
+                      spa::StrFormat("%.17g", evidence)});
+    ++rows;
+  }
+  if (rows == 0) {
+    // Presence row: an untouched model must still round-trip (the
+    // user exists; creation order matters to ForEach).
+    writer->WriteRow(
+        {std::to_string(model.user()), "", "0", "0", "0"});
+  }
+}
+
+}  // namespace internal
+
 std::string SumStore::ToCsv() const {
   std::ostringstream out;
   spa::CsvWriter writer(&out);
-  writer.WriteRow({"user", "attribute", "value", "sensibility",
-                   "evidence"});
+  internal::WriteSumCsvHeader(&writer);
   ForEach([&](const SmartUserModel& model) {
-    for (const AttributeDef& def : catalog_->defs()) {
-      const double value = model.value(def.id);
-      const double sensibility = model.sensibility(def.id);
-      const double evidence = model.evidence(def.id);
-      if (value == def.default_value && sensibility == 0.0 &&
-          evidence == 0.0) {
-        continue;  // sparse: skip untouched attributes
-      }
-      writer.WriteRow({std::to_string(model.user()), def.name,
-                       spa::StrFormat("%.9g", value),
-                       spa::StrFormat("%.9g", sensibility),
-                       spa::StrFormat("%.9g", evidence)});
-    }
+    internal::WriteModelCsvRows(*catalog_, model, &writer);
   });
   return out.str();
 }
@@ -95,11 +118,17 @@ spa::Result<SumStore> SumStore::FromCsv(
       return spa::Status::InvalidArgument(
           spa::StrFormat("row %zu has non-numeric fields", i));
     }
-    SPA_ASSIGN_OR_RETURN(AttributeId attr, catalog->IdOf(row[1]));
     SmartUserModel* model = store.GetOrCreate(user);
-    model->set_value(attr, value);
-    model->set_sensibility(attr, sensibility);
-    model->add_evidence(attr, evidence);
+    if (row[1].empty()) continue;  // presence row: user only
+    const auto attr = catalog->IdOf(row[1]);
+    if (!attr.ok()) {
+      return spa::Status::InvalidArgument(
+          spa::StrFormat("row %zu names unknown attribute '%s'", i,
+                         row[1].c_str()));
+    }
+    model->set_value(attr.value(), value);
+    model->set_sensibility(attr.value(), sensibility);
+    model->add_evidence(attr.value(), evidence);
   }
   return store;
 }

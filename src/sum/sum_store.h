@@ -11,6 +11,16 @@
 /// \file
 /// Collection of Smart User Models, keyed by user. The store owns the
 /// models; the shared catalog is borrowed and must outlive the store.
+///
+/// NOTE: the store is the *serialization and bootstrap* container of
+/// the SUM layer. Live state that is concurrently read and written
+/// belongs in `sum::SumService` (sum/sum_service.h), which owns a
+/// store-shaped state behind a versioned mutation API; never share a
+/// mutable `SumStore*` across module boundaries.
+
+namespace spa {
+class CsvWriter;
+}
 
 namespace spa::sum {
 
@@ -37,11 +47,17 @@ class SumStore {
   const AttributeCatalog& catalog() const { return *catalog_; }
 
   /// Serializes every model as CSV: one row per (user, attribute) with
-  /// a non-default value, sensibility or evidence.
+  /// a non-default value, sensibility or evidence, serialized at full
+  /// double precision. A model with only default state emits a single
+  /// presence row (empty attribute field) so the user survives the
+  /// round trip.
   std::string ToCsv() const;
 
   /// Restores a store from ToCsv() output. Attribute names must exist
-  /// in `catalog` (rows naming unknown attributes fail the load).
+  /// in `catalog` (rows naming unknown attributes fail the load with
+  /// the offending row and name in the error); an empty attribute
+  /// field is a presence row that only creates the user. A header-only
+  /// document restores an empty store.
   static spa::Result<SumStore> FromCsv(const std::string& text,
                                        const AttributeCatalog* catalog);
 
@@ -50,6 +66,19 @@ class SumStore {
   std::unordered_map<UserId, SmartUserModel> models_;
   std::vector<UserId> order_;
 };
+
+namespace internal {
+
+/// Writes the shared SUM CSV header row.
+void WriteSumCsvHeader(spa::CsvWriter* writer);
+
+/// Writes one model's rows in the shared SUM CSV schema (used by both
+/// SumStore::ToCsv and SumSnapshot::ToCsv).
+void WriteModelCsvRows(const AttributeCatalog& catalog,
+                       const SmartUserModel& model,
+                       spa::CsvWriter* writer);
+
+}  // namespace internal
 
 }  // namespace spa::sum
 

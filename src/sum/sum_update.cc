@@ -1,0 +1,60 @@
+#include "sum/sum_update.h"
+
+namespace spa::sum {
+
+SumUpdate& SumUpdate::SetValue(AttributeId attribute, double value) {
+  ops_.push_back({SumOp::Kind::kSetValue, attribute, value,
+                  AttributeKind::kEmotional});
+  return *this;
+}
+
+SumUpdate& SumUpdate::SetSensibility(AttributeId attribute,
+                                     double sensibility) {
+  ops_.push_back({SumOp::Kind::kSetSensibility, attribute, sensibility,
+                  AttributeKind::kEmotional});
+  return *this;
+}
+
+SumUpdate& SumUpdate::AddEvidence(AttributeId attribute, double amount) {
+  ops_.push_back({SumOp::Kind::kAddEvidence, attribute, amount,
+                  AttributeKind::kEmotional});
+  return *this;
+}
+
+SumUpdate& SumUpdate::Reward(AttributeId attribute, double magnitude) {
+  ops_.push_back({SumOp::Kind::kReward, attribute, magnitude,
+                  AttributeKind::kEmotional});
+  return *this;
+}
+
+SumUpdate& SumUpdate::Punish(AttributeId attribute, double magnitude) {
+  ops_.push_back({SumOp::Kind::kPunish, attribute, magnitude,
+                  AttributeKind::kEmotional});
+  return *this;
+}
+
+SumUpdate& SumUpdate::ValueFromSensibility(AttributeId attribute) {
+  ops_.push_back({SumOp::Kind::kValueFromSensibility, attribute, 0.0,
+                  AttributeKind::kEmotional});
+  return *this;
+}
+
+SumUpdate& SumUpdate::Decay(AttributeKind kind) {
+  ops_.push_back({SumOp::Kind::kDecay, -1, 0.0, kind});
+  return *this;
+}
+
+SumUpdate SumUpdate::FromModel(const SmartUserModel& model) {
+  SumUpdate update(model.user());
+  for (const AttributeDef& def : model.catalog().defs()) {
+    const double value = model.value(def.id);
+    const double sensibility = model.sensibility(def.id);
+    const double evidence = model.evidence(def.id);
+    if (value != def.default_value) update.SetValue(def.id, value);
+    if (sensibility != 0.0) update.SetSensibility(def.id, sensibility);
+    if (evidence != 0.0) update.AddEvidence(def.id, evidence);
+  }
+  return update;
+}
+
+}  // namespace spa::sum

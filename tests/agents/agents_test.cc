@@ -207,7 +207,7 @@ class AttributesAgentTest : public ::testing::Test {
         sums_(&catalog_) {}
 
   sum::AttributeCatalog catalog_;
-  sum::SumStore sums_;
+  sum::SumService sums_;
 };
 
 TEST_F(AttributesAgentTest, EitAnswerActivatesAttributes) {
@@ -230,7 +230,8 @@ TEST_F(AttributesAgentTest, EitAnswerActivatesAttributes) {
   runtime.Inject("attributes-manager", answer);
   runtime.RunUntilIdle();
 
-  const auto model = sums_.Get(7);
+  const sum::SumSnapshotPtr snapshot = sums_.snapshot();
+  const auto model = snapshot->Get(7);
   ASSERT_TRUE(model.ok());
   const auto hopeful =
       catalog_.EmotionalId(eit::EmotionalAttribute::kHopeful);
@@ -256,14 +257,20 @@ TEST_F(AttributesAgentTest, InteractionRewardAndPunish) {
   good.positive = true;
   runtime.Inject("attributes-manager", good);
   runtime.RunUntilIdle();
-  const double after_reward = sums_.Get(9).value()->sensibility(lively);
+  const double after_reward =
+      sums_.snapshot()->Get(9).value()->sensibility(lively);
   EXPECT_GT(after_reward, 0.0);
+  const uint64_t version_after_reward = sums_.UserVersion(9);
+  EXPECT_GT(version_after_reward, 0u);
 
   InteractionObserved bad = good;
   bad.positive = false;
   runtime.Inject("attributes-manager", bad);
   runtime.RunUntilIdle();
-  EXPECT_LT(sums_.Get(9).value()->sensibility(lively), after_reward);
+  EXPECT_LT(sums_.snapshot()->Get(9).value()->sensibility(lively),
+            after_reward);
+  // Every applied observation publishes a new per-user version.
+  EXPECT_GT(sums_.UserVersion(9), version_after_reward);
 }
 
 TEST_F(AttributesAgentTest, StandardMessageInteractionIsNoOp) {
@@ -280,23 +287,35 @@ TEST_F(AttributesAgentTest, StandardMessageInteractionIsNoOp) {
   runtime.Inject("attributes-manager", standard);
   runtime.RunUntilIdle();
   EXPECT_EQ(manager->stats().reinforcements, 0u);
+  // The first observation touches the user into existence...
+  EXPECT_TRUE(sums_.snapshot()->Contains(5));
+  const uint64_t version = sums_.UserVersion(5);
+
+  // ...but repeating it publishes nothing: no version bump, so the
+  // user's cached recommendations stay valid.
+  runtime.Inject("attributes-manager", standard);
+  runtime.RunUntilIdle();
+  EXPECT_EQ(sums_.UserVersion(5), version);
 }
 
 TEST_F(AttributesAgentTest, TickAppliesDecay) {
   SimClock clock;
   AgentRuntime runtime(&clock);
-  AttributesAgentConfig config;
-  config.reinforcement.decay_rate = 0.5;
-  auto agent =
-      std::make_unique<AttributesManagerAgent>(&sums_, config);
+  // Decay parameters live in the service's reinforcement config.
+  sum::SumServiceConfig service_config;
+  service_config.reinforcement.decay_rate = 0.5;
+  sum::SumService sums(&catalog_, service_config);
+  auto agent = std::make_unique<AttributesManagerAgent>(&sums);
   ASSERT_TRUE(runtime.Register(std::move(agent)).ok());
 
   const auto lively =
       catalog_.EmotionalId(eit::EmotionalAttribute::kLively);
-  sums_.GetOrCreate(11)->set_sensibility(lively, 0.8);
+  ASSERT_TRUE(
+      sums.Apply(sum::SumUpdate(11).SetSensibility(lively, 0.8)).ok());
   runtime.Inject("attributes-manager", Tick{});
   runtime.RunUntilIdle();
-  EXPECT_NEAR(sums_.Get(11).value()->sensibility(lively), 0.4, 1e-12);
+  EXPECT_NEAR(sums.snapshot()->Get(11).value()->sensibility(lively),
+              0.4, 1e-12);
 }
 
 class MessagingAgentTest : public ::testing::Test {
@@ -309,14 +328,25 @@ class MessagingAgentTest : public ::testing::Test {
     return catalog_.EmotionalId(attr);
   }
 
+  void Touch(sum::UserId user) {
+    ASSERT_TRUE(sums_.Apply(sum::SumUpdate(user)).ok());
+  }
+
+  void SetSensibility(sum::UserId user, sum::AttributeId attr,
+                      double sensibility) {
+    ASSERT_TRUE(
+        sums_.Apply(sum::SumUpdate(user).SetSensibility(attr, sensibility))
+            .ok());
+  }
+
   sum::AttributeCatalog catalog_;
-  sum::SumStore sums_;
+  sum::SumService sums_;
 };
 
 TEST_F(MessagingAgentTest, CaseA_NoSensibility_StandardMessage) {
   MessagingAgent agent(&sums_);
   InstallDefaultTemplates(catalog_, &agent);
-  sums_.GetOrCreate(1);  // all sensibilities zero
+  Touch(1);  // all sensibilities zero
 
   ComposeMessageRequest request;
   request.user = 1;
@@ -332,9 +362,7 @@ TEST_F(MessagingAgentTest, CaseA_NoSensibility_StandardMessage) {
 TEST_F(MessagingAgentTest, CaseB_SingleMatch) {
   MessagingAgent agent(&sums_);
   InstallDefaultTemplates(catalog_, &agent);
-  sum::SmartUserModel* model = sums_.GetOrCreate(2);
-  model->set_sensibility(Emo(eit::EmotionalAttribute::kEnthusiastic),
-                         0.9);
+  SetSensibility(2, Emo(eit::EmotionalAttribute::kEnthusiastic), 0.9);
 
   ComposeMessageRequest request;
   request.user = 2;
@@ -354,12 +382,10 @@ TEST_F(MessagingAgentTest, CaseCi_PriorityOrder) {
   config.policy = MultiMatchPolicy::kPriority;
   MessagingAgent agent(&sums_, config);
   InstallDefaultTemplates(catalog_, &agent);
-  sum::SmartUserModel* model = sums_.GetOrCreate(3);
   // Both match; "lively" has higher sensibility but "stimulated" comes
   // first in the product's priority list.
-  model->set_sensibility(Emo(eit::EmotionalAttribute::kLively), 0.95);
-  model->set_sensibility(Emo(eit::EmotionalAttribute::kStimulated),
-                         0.7);
+  SetSensibility(3, Emo(eit::EmotionalAttribute::kLively), 0.95);
+  SetSensibility(3, Emo(eit::EmotionalAttribute::kStimulated), 0.7);
 
   ComposeMessageRequest request;
   request.user = 3;
@@ -378,10 +404,9 @@ TEST_F(MessagingAgentTest, CaseCii_MaxSensibility) {
   config.policy = MultiMatchPolicy::kMaxSensibility;
   MessagingAgent agent(&sums_, config);
   InstallDefaultTemplates(catalog_, &agent);
-  sum::SmartUserModel* model = sums_.GetOrCreate(4);
   // Fig. 5(c): motivated and hopeful both match; hopeful is stronger.
-  model->set_sensibility(Emo(eit::EmotionalAttribute::kMotivated), 0.6);
-  model->set_sensibility(Emo(eit::EmotionalAttribute::kHopeful), 0.85);
+  SetSensibility(4, Emo(eit::EmotionalAttribute::kMotivated), 0.6);
+  SetSensibility(4, Emo(eit::EmotionalAttribute::kHopeful), 0.85);
 
   ComposeMessageRequest request;
   request.user = 4;
@@ -415,8 +440,7 @@ TEST_F(MessagingAgentTest, MailboxRoundTrip) {
   RecorderAgent* rec = recorder.get();
   ASSERT_TRUE(runtime.Register(std::move(recorder)).ok());
 
-  sums_.GetOrCreate(5)->set_sensibility(
-      Emo(eit::EmotionalAttribute::kHopeful), 0.9);
+  SetSensibility(5, Emo(eit::EmotionalAttribute::kHopeful), 0.9);
 
   // The campaigner asks the messaging agent for a message; the reply
   // comes back through the mailbox.
@@ -438,7 +462,7 @@ TEST_F(MessagingAgentTest, MailboxRoundTrip) {
 
 TEST_F(MessagingAgentTest, StatsTrackCases) {
   MessagingAgent agent(&sums_);
-  sums_.GetOrCreate(6);
+  Touch(6);
   ComposeMessageRequest request;
   request.user = 6;
   request.product_attributes = {

@@ -257,7 +257,9 @@ class RunnerTest : public ::testing::Test {
 };
 
 TEST_F(RunnerTest, BootstrapCreatesSumsAndHistory) {
-  EXPECT_EQ(spa_->sums()->size(), 400u);
+  EXPECT_EQ(spa_->sum_service()->size(), 400u);
+  // Bootstrap published through the versioned mutation API.
+  EXPECT_GT(spa_->sum_service()->version(), 0u);
   EXPECT_GT(spa_->lifelog()->total_events(), 400u);
 }
 

@@ -60,7 +60,8 @@ TEST_F(SpaTest, EitFlowActivatesEmotionalAttributes) {
   // The EIT answer became a LifeLog event...
   EXPECT_EQ(spa.lifelog()->UserEvents(user).size(), 1u);
   // ...and activated the impacted emotional attributes in the SUM.
-  const auto model = spa.sums()->Get(user);
+  const auto snapshot = spa.sum_snapshot();
+  const auto model = snapshot->Get(user);
   ASSERT_TRUE(model.ok());
   double total_sens = 0.0;
   for (double s : model.value()->EmotionalSensibilities()) {
@@ -87,9 +88,8 @@ TEST_F(SpaTest, ObserveInteractionUpdatesSensibility) {
   Spa spa(SmallConfig());
   const auto attr = spa.attribute_catalog().EmotionalId(
       eit::EmotionalAttribute::kMotivated);
-  spa.sums()->GetOrCreate(5);
   spa.ObserveInteraction(5, 3, attr, true);
-  EXPECT_GT(spa.sums()->Get(5).value()->sensibility(attr), 0.0);
+  EXPECT_GT(spa.sum_snapshot()->Get(5).value()->sensibility(attr), 0.0);
 }
 
 TEST_F(SpaTest, RecommendCoursesEmptyWithoutInteractions) {
@@ -239,7 +239,9 @@ TEST_F(SpaTest, MessageForComposesThroughAgent) {
   Spa spa(SmallConfig());
   const auto hopeful = spa.attribute_catalog().EmotionalId(
       eit::EmotionalAttribute::kHopeful);
-  spa.sums()->GetOrCreate(9)->set_sensibility(hopeful, 0.9);
+  ASSERT_TRUE(spa.sum_service()
+                  ->Apply(sum::SumUpdate(9).SetSensibility(hopeful, 0.9))
+                  .ok());
   const auto message = spa.MessageFor(9, 4, {hopeful});
   EXPECT_EQ(message.message_case,
             agents::MessageCase::kSingleMatch);
@@ -249,7 +251,7 @@ TEST_F(SpaTest, MessageForComposesThroughAgent) {
 
 TEST_F(SpaTest, PropensityRequiresTraining) {
   Spa spa(SmallConfig());
-  spa.sums()->GetOrCreate(1);
+  ASSERT_TRUE(spa.sum_service()->Apply(sum::SumUpdate(1)).ok());
   EXPECT_EQ(spa.Propensity(1).status().code(),
             StatusCode::kFailedPrecondition);
   EXPECT_FALSE(spa.SelectTopProspects({1}, 1).ok());
@@ -264,7 +266,7 @@ TEST_F(SpaTest, TrainPropensityEndToEnd) {
   Rng rng(3);
   for (sum::UserId u = 0; u < 120; ++u) {
     const bool responder = (u % 3 == 0);
-    spa.sums()->GetOrCreate(u);
+    ASSERT_TRUE(spa.sum_service()->Apply(sum::SumUpdate(u)).ok());
     const int activity =
         responder ? 12 : static_cast<int>(rng.UniformInt(1, 4));
     for (int j = 0; j < activity; ++j) {
@@ -321,7 +323,7 @@ TEST_F(SpaTest, TrainRejectsDegenerateInputs) {
   EXPECT_FALSE(spa.TrainPropensity({}).ok());
   std::vector<PropensityExample> all_positive;
   for (sum::UserId u = 0; u < 20; ++u) {
-    spa.sums()->GetOrCreate(u);
+    ASSERT_TRUE(spa.sum_service()->Apply(sum::SumUpdate(u)).ok());
     all_positive.push_back({u, true});
   }
   EXPECT_FALSE(spa.TrainPropensity(all_positive).ok());
@@ -335,18 +337,19 @@ TEST_F(SpaTest, EmotionalToggleChangesFeatureVector) {
   Spa spa_with(with);
   Spa spa_without(without);
   for (Spa* spa : {&spa_with, &spa_without}) {
-    sum::SmartUserModel* m = spa->sums()->GetOrCreate(1);
-    m->set_sensibility(spa->attribute_catalog().EmotionalId(
-                           eit::EmotionalAttribute::kHopeful),
-                       0.8);
-    m->set_value(spa->attribute_catalog().EmotionalId(
-                     eit::EmotionalAttribute::kHopeful),
-                 0.8);
+    const auto hopeful = spa->attribute_catalog().EmotionalId(
+        eit::EmotionalAttribute::kHopeful);
+    ASSERT_TRUE(spa->sum_service()
+                    ->Apply(sum::SumUpdate(1)
+                                .SetSensibility(hopeful, 0.8)
+                                .SetValue(hopeful, 0.8))
+                    .ok());
   }
   const auto f_with = spa_with.smart_component()->FeaturesFor(
-      *spa_with.sums()->Get(1).value(), {}, spa_with.clock()->now());
+      *spa_with.sum_snapshot()->Get(1).value(), {},
+      spa_with.clock()->now());
   const auto f_without = spa_without.smart_component()->FeaturesFor(
-      *spa_without.sums()->Get(1).value(), {},
+      *spa_without.sum_snapshot()->Get(1).value(), {},
       spa_without.clock()->now());
   EXPECT_GT(f_with.nnz(), f_without.nnz());
 }
@@ -355,11 +358,13 @@ TEST_F(SpaTest, TickAdvancesClockAndDecays) {
   Spa spa(SmallConfig());
   const auto attr = spa.attribute_catalog().EmotionalId(
       eit::EmotionalAttribute::kLively);
-  spa.sums()->GetOrCreate(2)->set_sensibility(attr, 0.8);
+  ASSERT_TRUE(spa.sum_service()
+                  ->Apply(sum::SumUpdate(2).SetSensibility(attr, 0.8))
+                  .ok());
   const TimeMicros before = spa.clock()->now();
   spa.Tick(kMicrosPerDay);
   EXPECT_EQ(spa.clock()->now(), before + kMicrosPerDay);
-  EXPECT_LT(spa.sums()->Get(2).value()->sensibility(attr), 0.8);
+  EXPECT_LT(spa.sum_snapshot()->Get(2).value()->sensibility(attr), 0.8);
 }
 
 TEST_F(SpaTest, TopFeaturesExposeAttributeRanking) {
@@ -370,7 +375,7 @@ TEST_F(SpaTest, TopFeaturesExposeAttributeRanking) {
   std::vector<PropensityExample> examples;
   for (sum::UserId u = 0; u < 60; ++u) {
     const bool responder = (u % 2 == 0);
-    spa.sums()->GetOrCreate(u);
+    ASSERT_TRUE(spa.sum_service()->Apply(sum::SumUpdate(u)).ok());
     for (int j = 0; j < (responder ? 10 : 2); ++j) {
       lifelog::Event e;
       e.user = u;

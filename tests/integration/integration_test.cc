@@ -191,7 +191,8 @@ TEST(IntegrationTest, EitAdaptiveSelectionBalancesProbes) {
   }
   // Probe counts live in the EIT state; recover coverage via evidence
   // in the SUM (every probed attribute received reinforcement).
-  const auto model = platform.sums()->Get(user);
+  const auto snapshot = platform.sum_snapshot();
+  const auto model = snapshot->Get(user);
   ASSERT_TRUE(model.ok());
   size_t touched = 0;
   for (eit::EmotionalAttribute e : eit::AllEmotionalAttributes()) {
@@ -207,15 +208,16 @@ TEST(IntegrationTest, SumStoreCsvRoundTripThroughPlatform) {
   World world = MakeWorld(23, 100);
   // Mutate some models through the platform paths first.
   world.runner->RunCampaign(MakeSpec(1, 80), world.candidates);
-  const std::string csv = world.platform->sums()->ToCsv();
+  const std::string csv = world.platform->sum_service()->ToCsv();
   EXPECT_FALSE(csv.empty());
   const auto restored = sum::SumStore::FromCsv(
       csv, &world.platform->attribute_catalog());
   ASSERT_TRUE(restored.ok()) << restored.status();
   // Every persisted model matches the live one attribute-by-attribute.
   size_t checked = 0;
+  const auto live_snapshot = world.platform->sum_snapshot();
   restored->ForEach([&](const sum::SmartUserModel& loaded) {
-    const auto live = world.platform->sums()->Get(loaded.user());
+    const auto live = live_snapshot->Get(loaded.user());
     ASSERT_TRUE(live.ok());
     for (const auto& def :
          world.platform->attribute_catalog().defs()) {
@@ -264,7 +266,8 @@ TEST(IntegrationTest, LearnerVariantsAllTrainThroughPlatform) {
         lifelog::ActionType::kPageView);
     std::vector<core::PropensityExample> examples;
     for (sum::UserId u = 0; u < 80; ++u) {
-      platform.sums()->GetOrCreate(u);
+      ASSERT_TRUE(
+          platform.sum_service()->Apply(sum::SumUpdate(u)).ok());
       const bool responder = u % 2 == 0;
       // Responders click; non-responders only browse. The *presence*
       // of the click feature separates the classes, so even the

@@ -1,0 +1,396 @@
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "recsys/engine.h"
+#include "recsys/knn_cf.h"
+#include "recsys/popularity.h"
+#include "recsys/recsys_test_util.h"
+#include "recsys/request.h"
+#include "sum/sum_service.h"
+
+namespace spa::recsys {
+namespace {
+
+/// Fixture: engine over the two-community matrix with emotional
+/// context wired through a SumService, exercising the response cache.
+class EngineCacheTest : public ::testing::Test {
+ protected:
+  EngineCacheTest()
+      : matrix_(MakeTwoCommunityMatrix()),
+        catalog_(sum::AttributeCatalog::EmagisterDefault()),
+        sums_(&catalog_) {}
+
+  std::unique_ptr<RecsysEngine> MakeEngine(EngineConfig config = {}) {
+    auto engine = std::make_unique<RecsysEngine>(config);
+    engine->AddComponent(std::make_unique<UserKnnRecommender>(), 0.6);
+    engine->AddComponent(std::make_unique<PopularityRecommender>(),
+                         0.4);
+    engine->set_sum_service(&sums_);
+    EXPECT_TRUE(engine->Fit(matrix_).ok());
+    return engine;
+  }
+
+  void SetItemProfiles(RecsysEngine* engine) {
+    for (ItemId item = 0; item < 10; ++item) {
+      EmotionProfile profile{};
+      profile[static_cast<size_t>(
+          eit::EmotionalAttribute::kEnthusiastic)] =
+          static_cast<double>(item) / 10.0;
+      engine->SetItemEmotionProfile(item, profile);
+    }
+  }
+
+  sum::AttributeId Enthusiastic() const {
+    return catalog_.EmotionalId(eit::EmotionalAttribute::kEnthusiastic);
+  }
+
+  static void ExpectSameItems(const RecommendResponse& a,
+                              const RecommendResponse& b) {
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].item, b.items[i].item);
+      EXPECT_EQ(a.items[i].score, b.items[i].score);  // bitwise
+    }
+  }
+
+  InteractionMatrix matrix_;
+  sum::AttributeCatalog catalog_;
+  sum::SumService sums_;
+};
+
+TEST_F(EngineCacheTest, SecondIdenticalRecommendIsServedFromCache) {
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.8))
+          .ok());
+  auto engine = MakeEngine();
+  SetItemProfiles(engine.get());
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  const auto first = engine->Recommend(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+  EXPECT_EQ(engine->cache_stats().misses, 1u);
+
+  const auto second = engine->Recommend(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  EXPECT_EQ(engine->cache_stats().misses, 1u);
+  ExpectSameItems(first.value(), second.value());
+}
+
+TEST_F(EngineCacheTest, SumUpdateToUserInvalidatesExactlyThatUser) {
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.8))
+          .ok());
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(1).SetSensibility(Enthusiastic(), 0.5))
+          .ok());
+  auto engine = MakeEngine();
+  SetItemProfiles(engine.get());
+
+  RecommendRequest for_user0;
+  for_user0.user = 0;
+  for_user0.k = 3;
+  RecommendRequest for_user1;
+  for_user1.user = 1;
+  for_user1.k = 3;
+  ASSERT_TRUE(engine->Recommend(for_user0).ok());
+  ASSERT_TRUE(engine->Recommend(for_user1).ok());
+
+  // One update lands for user 0.
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.1))
+          .ok());
+
+  // User 1's entry still hits; user 0's entry is stale and recomputes
+  // against the new snapshot.
+  ASSERT_TRUE(engine->Recommend(for_user1).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  const auto refreshed = engine->Recommend(for_user0);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  EXPECT_EQ(engine->cache_stats().stale_evictions, 1u);
+
+  // And the recomputed response is cached again.
+  ASSERT_TRUE(engine->Recommend(for_user0).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 2u);
+}
+
+TEST_F(EngineCacheTest, CachedResponseReflectsPreUpdateRanking) {
+  // The cache must serve the *same bytes* as the original computation,
+  // and recompute only after the invalidating update.
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.9))
+          .ok());
+  auto engine = MakeEngine();
+  SetItemProfiles(engine.get());
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 2;
+  request.exclude_seen = ExcludeSeen::kNo;
+  const auto before = engine->Recommend(request);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.0))
+          .ok());
+  const auto after = engine->Recommend(request);
+  ASSERT_TRUE(after.ok());
+  // Emotion stage still applies (model exists) but alignment changed;
+  // scores must differ from the cached pre-update response.
+  ASSERT_FALSE(after.value().items.empty());
+  EXPECT_NE(before.value().items.front().score,
+            after.value().items.front().score);
+}
+
+TEST_F(EngineCacheTest, RequestFingerprintSeparatesEntries) {
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  ASSERT_TRUE(engine->Recommend(request).ok());
+
+  RecommendRequest different_k = request;
+  different_k.k = 4;
+  RecommendRequest with_exclusion = request;
+  with_exclusion.exclude_items = {2};
+  RecommendRequest with_explain = request;
+  with_explain.explain = true;
+  RecommendRequest relaxed = request;
+  relaxed.exclude_seen = ExcludeSeen::kNo;
+  ASSERT_TRUE(engine->Recommend(different_k).ok());
+  ASSERT_TRUE(engine->Recommend(with_exclusion).ok());
+  ASSERT_TRUE(engine->Recommend(with_explain).ok());
+  ASSERT_TRUE(engine->Recommend(relaxed).ok());
+  // Five distinct fingerprints: no hit yet, five live entries.
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+  EXPECT_EQ(engine->cache_size(), 5u);
+
+  // Each repeats as a hit.
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  ASSERT_TRUE(engine->Recommend(different_k).ok());
+  ASSERT_TRUE(engine->Recommend(with_exclusion).ok());
+  ASSERT_TRUE(engine->Recommend(with_explain).ok());
+  ASSERT_TRUE(engine->Recommend(relaxed).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 5u);
+}
+
+TEST_F(EngineCacheTest, ZeroCapacityDisablesCache) {
+  EngineConfig config;
+  config.response_cache_capacity = 0;
+  auto engine = MakeEngine(config);
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+  EXPECT_EQ(engine->cache_stats().misses, 0u);
+  EXPECT_EQ(engine->cache_size(), 0u);
+}
+
+TEST_F(EngineCacheTest, OverrideRequestsBypassCache) {
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.8))
+          .ok());
+  auto engine = MakeEngine();
+  SetItemProfiles(engine.get());
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  request.emotion_override = sums_.snapshot();
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+  EXPECT_EQ(engine->cache_stats().misses, 0u);
+  EXPECT_EQ(engine->cache_size(), 0u);
+}
+
+TEST_F(EngineCacheTest, MatrixMutationWithoutRefitInvalidates) {
+  // The base recommenders serve from the live matrix (e.g. the seen
+  // filter), so a mutation after Fit must stop cached entries from
+  // matching even before anyone refits.
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 5;
+  const auto before = engine->Recommend(request);
+  ASSERT_TRUE(before.ok());
+  const ItemId top = before.value().items.front().item;
+
+  matrix_.Add(0, top, 1.0);  // user 0 just saw the top item
+  const auto after = engine->Recommend(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+  EXPECT_EQ(engine->cache_stats().stale_evictions, 1u);
+  // The recomputed response excludes the now-seen item.
+  for (const auto& item : after.value().items) {
+    EXPECT_NE(item.item, top);
+  }
+}
+
+TEST_F(EngineCacheTest, RefitClearsCache) {
+  auto engine = MakeEngine();
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  EXPECT_EQ(engine->cache_size(), 1u);
+
+  matrix_.Add(0, 7, 2.0);  // matrix changed...
+  ASSERT_TRUE(engine->Fit(matrix_).ok());  // ...and the stack refitted
+  EXPECT_EQ(engine->cache_size(), 0u);
+  const auto refreshed = engine->Recommend(request);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 0u);
+}
+
+TEST_F(EngineCacheTest, LruEvictsBeyondCapacity) {
+  EngineConfig config;
+  config.response_cache_capacity = 4;
+  auto engine = MakeEngine(config);
+  for (UserId u = 0; u < 8; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 3;
+    ASSERT_TRUE(engine->Recommend(request).ok());
+  }
+  EXPECT_EQ(engine->cache_size(), 4u);
+  EXPECT_EQ(engine->cache_stats().capacity_evictions, 4u);
+
+  // The most recent four (users 4..7) still hit; the oldest are gone.
+  RecommendRequest request;
+  request.k = 3;
+  request.user = 7;
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  request.user = 0;
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);  // miss: evicted
+}
+
+// ---- concurrent serve-while-update ----------------------------------------
+
+TEST_F(EngineCacheTest, PinnedSnapshotServesStableRankingsUnderUpdates) {
+  // Readers serving against a pinned snapshot must observe rankings
+  // identical to the pinned version no matter how many SumUpdates land
+  // concurrently. Run under TSAN to certify the data-race freedom.
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.5))
+          .ok());
+  auto engine = MakeEngine();
+  SetItemProfiles(engine.get());
+
+  const sum::SumSnapshotPtr pinned = sums_.snapshot();
+  RecommendRequest pinned_request;
+  pinned_request.user = 0;
+  pinned_request.k = 4;
+  pinned_request.exclude_seen = ExcludeSeen::kNo;
+  pinned_request.emotion_override = pinned;
+  const auto expected = engine->Recommend(pinned_request);
+  ASSERT_TRUE(expected.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto response = engine->Recommend(pinned_request);
+        if (!response.ok() ||
+            response.value().items.size() !=
+                expected.value().items.size()) {
+          mismatch.store(true);
+          return;
+        }
+        for (size_t i = 0; i < response.value().items.size(); ++i) {
+          if (response.value().items[i].item !=
+                  expected.value().items[i].item ||
+              response.value().items[i].score !=
+                  expected.value().items[i].score) {
+            mismatch.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  // A live reader exercises the service-pinning + cache path under
+  // concurrent writes (responses must stay well-formed).
+  std::thread live_reader([&] {
+    RecommendRequest live = pinned_request;
+    live.emotion_override = nullptr;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto response = engine->Recommend(live);
+      if (!response.ok()) {
+        mismatch.store(true);
+        return;
+      }
+    }
+  });
+
+  // The writer mutates user 0's emotional context the whole time.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(sums_
+                    .Apply(sum::SumUpdate(0).SetSensibility(
+                        Enthusiastic(), (i % 10) / 10.0))
+                    .ok());
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  live_reader.join();
+  EXPECT_FALSE(mismatch.load());
+
+  // The pinned view itself never moved.
+  EXPECT_EQ(pinned->UserVersion(0), 1u);
+  EXPECT_EQ(sums_.UserVersion(0), 501u);
+}
+
+TEST_F(EngineCacheTest, RecommendBatchWhileUpdatesLand) {
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.5))
+          .ok());
+  EngineConfig config;
+  config.batch_threads = 4;
+  auto engine = MakeEngine(config);
+  SetItemProfiles(engine.get());
+
+  std::vector<RecommendRequest> requests;
+  for (UserId u = 0; u < 10; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 3;
+    requests.push_back(std::move(request));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(sums_
+                      .Apply(sum::SumUpdate(i % 10).Reward(
+                          Enthusiastic(), 0.05))
+                      .ok());
+      ++i;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const auto results = engine->RecommendBatch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok());
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace spa::recsys

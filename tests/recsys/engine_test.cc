@@ -7,7 +7,7 @@
 #include "recsys/popularity.h"
 #include "recsys/request.h"
 #include "recsys/recsys_test_util.h"
-#include "sum/sum_store.h"
+#include "sum/sum_service.h"
 
 namespace spa::recsys {
 namespace {
@@ -25,14 +25,23 @@ class EngineTest : public ::testing::Test {
     engine->AddComponent(std::make_unique<UserKnnRecommender>(), 0.6);
     engine->AddComponent(std::make_unique<PopularityRecommender>(),
                          0.4);
-    engine->set_sum_store(&sums_);
+    engine->set_sum_service(&sums_);
     EXPECT_TRUE(engine->Fit(matrix_).ok());
     return engine;
   }
 
+  /// Publishes one sensibility through the service.
+  void SetSensibility(sum::UserId user, eit::EmotionalAttribute attr,
+                      double sensibility) {
+    ASSERT_TRUE(sums_
+                    .Apply(sum::SumUpdate(user).SetSensibility(
+                        catalog_.EmotionalId(attr), sensibility))
+                    .ok());
+  }
+
   InteractionMatrix matrix_;
   sum::AttributeCatalog catalog_;
-  sum::SumStore sums_;
+  sum::SumService sums_;
 };
 
 TEST(RequestValidationTest, RejectsZeroK) {
@@ -169,10 +178,7 @@ TEST_F(EngineTest, FullyExcludedAllowlistServesEmptyResponse) {
 TEST_F(EngineTest, ExplainBreakdownIsConsistent) {
   // Give user 0 emotional context and the items resonance profiles so
   // the emotional stage runs.
-  sum::SmartUserModel* model = sums_.GetOrCreate(0);
-  model->set_sensibility(
-      catalog_.EmotionalId(eit::EmotionalAttribute::kEnthusiastic),
-      0.9);
+  SetSensibility(0, eit::EmotionalAttribute::kEnthusiastic, 0.9);
   auto engine = MakeEngine();
   for (ItemId item = 0; item < 10; ++item) {
     EmotionProfile profile{};
@@ -235,12 +241,17 @@ TEST_F(EngineTest, EmotionOverrideReplacesStoreLookup) {
   ASSERT_TRUE(plain.ok());
   EXPECT_FALSE(plain.value().emotion_applied);
 
-  // The same request with a what-if snapshot gets the emotional stage.
-  sum::SmartUserModel snapshot(999, &catalog_);
-  snapshot.set_sensibility(
-      catalog_.EmotionalId(eit::EmotionalAttribute::kEnthusiastic),
-      0.9);
-  request.emotion_override = &snapshot;
+  // The same request with a what-if snapshot gets the emotional stage:
+  // a separate service holds the hypothetical profile for user 5, and
+  // the request pins its snapshot.
+  sum::SumService whatif(&catalog_);
+  ASSERT_TRUE(whatif
+                  .Apply(sum::SumUpdate(5).SetSensibility(
+                      catalog_.EmotionalId(
+                          eit::EmotionalAttribute::kEnthusiastic),
+                      0.9))
+                  .ok());
+  request.emotion_override = whatif.snapshot();
   const auto adjusted = engine->Recommend(request);
   ASSERT_TRUE(adjusted.ok());
   EXPECT_TRUE(adjusted.value().emotion_applied);
@@ -249,8 +260,7 @@ TEST_F(EngineTest, EmotionOverrideReplacesStoreLookup) {
 }
 
 TEST_F(EngineTest, BatchMatchesSequentialExactly) {
-  sums_.GetOrCreate(0)->set_sensibility(
-      catalog_.EmotionalId(eit::EmotionalAttribute::kMotivated), 0.8);
+  SetSensibility(0, eit::EmotionalAttribute::kMotivated, 0.8);
   EngineConfig config;
   config.batch_threads = 4;
   auto engine = MakeEngine(config);
@@ -335,9 +345,7 @@ TEST_F(EngineTest, RerankOverfetchWidensEmotionReach) {
   // With overfetch 1 the emotional stage can only reorder the top-k;
   // with a deeper overfetch an emotionally aligned long-tail item can
   // enter the top-k. Both must stay deterministic.
-  sums_.GetOrCreate(0)->set_sensibility(
-      catalog_.EmotionalId(eit::EmotionalAttribute::kEnthusiastic),
-      0.9);
+  SetSensibility(0, eit::EmotionalAttribute::kEnthusiastic, 0.9);
   EngineConfig narrow;
   narrow.rerank_overfetch = 1;
   narrow.rerank.beta = 0.6;

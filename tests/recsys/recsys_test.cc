@@ -50,7 +50,7 @@ TEST(PopularityTest, RanksGlobalFavorites) {
   m.Add(2, 300, 1.0);
   PopularityRecommender rec;
   ASSERT_TRUE(rec.Fit(m).ok());
-  const auto recs = rec.Recommend(3, 2);
+  const auto recs = RecommendTopK(rec, 3, 2);
   ASSERT_FALSE(recs.empty());
   // User 3 has seen 100 already -> 200/300 recommended.
   for (const Scored& s : recs) {
@@ -70,7 +70,7 @@ TEST(UserKnnTest, RecommendsWithinCommunity) {
   const InteractionMatrix m = MakeTwoCommunityMatrix();
   UserKnnRecommender rec;
   ASSERT_TRUE(rec.Fit(m).ok());
-  const auto recs = rec.Recommend(0, 3);
+  const auto recs = RecommendTopK(rec, 0, 3);
   ASSERT_FALSE(recs.empty());
   EXPECT_EQ(recs[0].item, 4);  // the one community item user 0 misses
 }
@@ -81,7 +81,7 @@ TEST(ItemKnnTest, SimilarityAndRecommendation) {
   ASSERT_TRUE(rec.Fit(m).ok());
   EXPECT_GT(rec.Similarity(0, 1), 0.8);
   EXPECT_DOUBLE_EQ(rec.Similarity(0, 5), 0.0);
-  const auto recs = rec.Recommend(5, 3);
+  const auto recs = RecommendTopK(rec, 5, 3);
   ASSERT_FALSE(recs.empty());
   EXPECT_EQ(recs[0].item, 9);
 }
@@ -92,8 +92,8 @@ TEST(KnnTest, UnknownUserGetsNothing) {
   ItemKnnRecommender item_rec;
   ASSERT_TRUE(user_rec.Fit(m).ok());
   ASSERT_TRUE(item_rec.Fit(m).ok());
-  EXPECT_TRUE(user_rec.Recommend(999, 5).empty());
-  EXPECT_TRUE(item_rec.Recommend(999, 5).empty());
+  EXPECT_TRUE(RecommendTopK(user_rec, 999, 5).empty());
+  EXPECT_TRUE(RecommendTopK(item_rec, 999, 5).empty());
 }
 
 TEST(ContentBasedTest, RequiresFeaturesBeforeFit) {
@@ -112,7 +112,7 @@ TEST(ContentBasedTest, RecommendsSimilarContent) {
   rec.SetItemFeatures(2, ml::SparseVector({{1, 1.0}}));        // topic B
   rec.SetItemFeatures(3, ml::SparseVector({{0, 0.7}, {1, 0.7}}));
   ASSERT_TRUE(rec.Fit(m).ok());
-  const auto recs = rec.Recommend(1, 3);
+  const auto recs = RecommendTopK(rec, 1, 3);
   ASSERT_EQ(recs.size(), 3u);
   EXPECT_EQ(recs[0].item, 1);            // same topic ranks first
   EXPECT_EQ(recs.back().item, 2);        // disjoint topic ranks last
@@ -183,7 +183,7 @@ TEST(HybridTest, ComponentDepthConfigurable) {
   rec.AddComponent(std::make_unique<PopularityRecommender>(), 1.0);
   ASSERT_TRUE(rec.Fit(m).ok());
   // Depth 1: each component surfaces only its single best candidate.
-  const auto recs = rec.Recommend(2, 10);
+  const auto recs = RecommendTopK(rec, 2, 10);
   ASSERT_EQ(recs.size(), 1u);
   EXPECT_EQ(recs[0].item, 10);
 }
@@ -200,7 +200,7 @@ TEST(HybridTest, ShortComponentListKeepsWeakestCandidateRanked) {
   HybridRecommender rec;
   rec.AddComponent(std::make_unique<PopularityRecommender>(), 1.0);
   ASSERT_TRUE(rec.Fit(m).ok());
-  const auto recs = rec.Recommend(2, 10);  // 3 candidates < depth 100
+  const auto recs = RecommendTopK(rec, 2, 10);  // 3 candidates < depth 100
   ASSERT_EQ(recs.size(), 3u);
   EXPECT_EQ(recs[0].item, 10);
   EXPECT_EQ(recs[1].item, 11);
@@ -237,7 +237,7 @@ TEST(HybridTest, BlendsComponents) {
   rec.AddComponent(std::make_unique<PopularityRecommender>(), 0.5);
   ASSERT_TRUE(rec.Fit(m).ok());
   EXPECT_EQ(rec.component_count(), 2u);
-  const auto recs = rec.Recommend(0, 5);
+  const auto recs = RecommendTopK(rec, 0, 5);
   ASSERT_FALSE(recs.empty());
   // Item 4 is both popular-unseen and community-endorsed.
   EXPECT_EQ(recs[0].item, 4);

@@ -2,10 +2,22 @@
 #define SPA_TESTS_RECSYS_RECSYS_TEST_UTIL_H_
 
 #include "recsys/interaction_matrix.h"
+#include "recsys/recommender.h"
 
 /// Shared fixtures for the recsys test suites.
 
 namespace spa::recsys {
+
+/// Top-k excluding seen items through the CandidateQuery API (what the
+/// deprecated Recommend(user, k) shim used to spell).
+inline std::vector<Scored> RecommendTopK(const Recommender& rec,
+                                         UserId user, size_t k) {
+  CandidateQuery query;
+  query.user = user;
+  query.k = k;
+  query.exclude_seen = ExcludeSeen::kYes;
+  return rec.RecommendCandidates(query);
+}
 
 /// Users 0-4 like items 0-4; users 5-9 like items 5-9; user 0 has not
 /// seen item 4 yet, user 5 has not seen item 9.
