@@ -2,14 +2,17 @@
 //
 //   * sequential vs. thread-pool-batched serving (parity-checked),
 //   * repeat traffic with the response cache enabled vs. disabled
-//     (identical requests re-served after nothing changed), and
+//     (identical requests re-served after nothing changed),
 //   * SUM update throughput through SumService::Apply / ApplyAll,
-//     including the serve-after-invalidation cost.
+//     including the serve-after-invalidation cost, and
+//   * KNN cold traffic (every request a cache miss): fit-time
+//     similarity index vs. lazy per-request recomputation, with an
+//     exact ranking-parity gate (a mismatch fails the run).
 //
 // Everything lands in BENCH_serving.json so the perf trajectory is
 // tracked.
 //
-//   ./build/bench/bench_serving [--users=N] [--seed=S]
+//   ./build/bench/bench_serving [--users=N] [--seed=S] [--smoke]
 
 #include <chrono>
 #include <cstdio>
@@ -50,9 +53,98 @@ bool SameResults(
   return true;
 }
 
+/// One indexed-vs-lazy cold-traffic measurement for a KNN variant.
+struct KnnIndexPoint {
+  const char* scenario = "";
+  double lazy_fit_seconds = 0.0;
+  double indexed_fit_seconds = 0.0;
+  double index_build_seconds = 0.0;
+  size_t index_bytes = 0;
+  size_t index_entries = 0;
+  double lazy_rps = 0.0;
+  double indexed_rps = 0.0;
+  double speedup = 0.0;
+  bool parity = true;
+};
+
+/// Serves every user once (cold: no response cache in front) through
+/// both the lazy and the indexed recommender and checks exact ranking
+/// parity.
+template <typename Rec>
+KnnIndexPoint RunKnnColdScenario(const char* scenario,
+                                 const recsys::InteractionMatrix& matrix,
+                                 size_t users, size_t k) {
+  KnnIndexPoint point;
+  point.scenario = scenario;
+
+  // A failed fit must fail the parity gate, not skip it silently.
+  recsys::KnnConfig lazy_config;
+  lazy_config.use_index = false;
+  Rec lazy(lazy_config);
+  auto start = Clock::now();
+  if (!lazy.Fit(matrix).ok()) {
+    point.parity = false;
+    return point;
+  }
+  point.lazy_fit_seconds = SecondsSince(start);
+
+  Rec indexed;  // use_index defaults on
+  start = Clock::now();
+  if (!indexed.Fit(matrix).ok()) {
+    point.parity = false;
+    return point;
+  }
+  point.indexed_fit_seconds = SecondsSince(start);
+  if (indexed.index_stats() != nullptr) {
+    point.index_build_seconds = indexed.index_stats()->build_seconds;
+    point.index_bytes = indexed.index_stats()->memory_bytes;
+    point.index_entries = indexed.index_stats()->entries;
+  }
+
+  auto serve_all = [&](const Rec& rec,
+                       std::vector<std::vector<recsys::Scored>>* out) {
+    out->reserve(users);
+    for (size_t u = 0; u < users; ++u) {
+      recsys::CandidateQuery query;
+      query.user = static_cast<recsys::UserId>(u);
+      query.k = k;
+      out->push_back(rec.RecommendCandidates(query));
+    }
+  };
+  std::vector<std::vector<recsys::Scored>> lazy_results;
+  start = Clock::now();
+  serve_all(lazy, &lazy_results);
+  point.lazy_rps = static_cast<double>(users) / SecondsSince(start);
+
+  std::vector<std::vector<recsys::Scored>> indexed_results;
+  start = Clock::now();
+  serve_all(indexed, &indexed_results);
+  point.indexed_rps = static_cast<double>(users) / SecondsSince(start);
+  point.speedup = point.indexed_rps / point.lazy_rps;
+
+  for (size_t u = 0; u < users && point.parity; ++u) {
+    const auto& a = lazy_results[u];
+    const auto& b = indexed_results[u];
+    if (a.size() != b.size()) point.parity = false;
+    for (size_t i = 0; point.parity && i < a.size(); ++i) {
+      if (a[i].item != b[i].item || a[i].score != b[i].score) {
+        point.parity = false;
+      }
+    }
+  }
+  std::printf("%s:  lazy %8.0f req/s | indexed %8.0f req/s | "
+              "speedup %7.1fx | build %.3fs | %.1f KiB | parity %s\n",
+              scenario, point.lazy_rps, point.indexed_rps, point.speedup,
+              point.index_build_seconds,
+              static_cast<double>(point.index_bytes) / 1024.0,
+              point.parity ? "OK" : "MISMATCH");
+  return point;
+}
+
 int Main(int argc, char** argv) {
   const CommonFlags flags = ParseFlags(argc, argv);
-  const size_t users = flags.users > 0 ? flags.users : 2'000;
+  const size_t users =
+      flags.users > 0 ? flags.users : (flags.smoke ? 400 : 2'000);
   const size_t items = 400;
   const size_t k = 10;
 
@@ -253,6 +345,16 @@ int Main(int argc, char** argv) {
               static_cast<size_t>(post_stats.stale_evictions -
                                   cache_stats.stale_evictions));
 
+  // ---- KNN cold traffic: fit-time similarity index vs lazy ----------------
+  // Every request is a cache miss; this isolates the candidate
+  // generation cost the index removes from the serving path.
+  PrintHeader("KNN cold traffic - fit-time similarity index vs lazy");
+  std::vector<KnnIndexPoint> knn_points;
+  knn_points.push_back(RunKnnColdScenario<recsys::ItemKnnRecommender>(
+      "ItemKNN", matrix, users, k));
+  knn_points.push_back(RunKnnColdScenario<recsys::UserKnnRecommender>(
+      "UserKNN", matrix, users, k));
+
   // ---- JSON ---------------------------------------------------------------
   std::FILE* json = std::fopen("BENCH_serving.json", "w");
   if (json != nullptr) {
@@ -284,14 +386,34 @@ int Main(int argc, char** argv) {
                  "    \"apply_per_sec\": %.1f,\n"
                  "    \"apply_all_batch_size\": %zu,\n"
                  "    \"apply_all_per_sec\": %.1f,\n"
-                 "    \"post_update_serve_rps\": %.1f\n  }\n}\n",
+                 "    \"post_update_serve_rps\": %.1f\n  },\n",
                  apply_ups, batch_size, applyall_ups, invalidated_rps);
+    std::fprintf(json, "  \"knn_index\": [\n");
+    for (size_t i = 0; i < knn_points.size(); ++i) {
+      const KnnIndexPoint& p = knn_points[i];
+      std::fprintf(json,
+                   "    {\"scenario\": \"%s\", \"lazy_rps\": %.1f, "
+                   "\"indexed_rps\": %.1f, \"speedup\": %.2f, "
+                   "\"parity\": %s, \"lazy_fit_seconds\": %.6f, "
+                   "\"indexed_fit_seconds\": %.6f, "
+                   "\"index_build_seconds\": %.6f, "
+                   "\"index_bytes\": %zu, \"index_entries\": %zu}%s\n",
+                   p.scenario, p.lazy_rps, p.indexed_rps, p.speedup,
+                   p.parity ? "true" : "false", p.lazy_fit_seconds,
+                   p.indexed_fit_seconds, p.index_build_seconds,
+                   p.index_bytes, p.index_entries,
+                   i + 1 < knn_points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_serving.json\n");
   }
 
   for (const BatchPoint& p : points) {
     if (!p.parity) return 1;  // batched serving must match sequential
+  }
+  for (const KnnIndexPoint& p : knn_points) {
+    if (!p.parity) return 1;  // indexed serving must match lazy exactly
   }
   return cache_parity ? 0 : 1;
 }

@@ -14,6 +14,8 @@
 ///   --users=N        candidate pool size (default per bench)
 ///   --seed=S         master seed (default 42)
 ///   --paper-scale    pool = 3,162,069 / targets = 1,340,432 (memory!)
+///   --smoke          CI-sized run: small pools, full scenario +
+///                    parity coverage (exit code still gates parity)
 
 namespace spa::bench {
 
@@ -21,6 +23,7 @@ struct CommonFlags {
   size_t users = 0;  // 0 = bench default
   uint64_t seed = 42;
   bool paper_scale = false;
+  bool smoke = false;
 };
 
 inline CommonFlags ParseFlags(int argc, char** argv) {
@@ -34,6 +37,8 @@ inline CommonFlags ParseFlags(int argc, char** argv) {
       flags.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg == "--paper-scale") {
       flags.paper_scale = true;
+    } else if (arg == "--smoke") {
+      flags.smoke = true;
     }
   }
   return flags;

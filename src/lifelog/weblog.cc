@@ -240,6 +240,13 @@ spa::Result<Event> EventFromRecord(const WeblogRecord& record) {
 WeblogSynthesizer::WeblogSynthesizer(WeblogNoiseOptions options)
     : options_(options), rng_(options.seed, /*stream=*/77) {}
 
+// GCC 12 reports a -Wrestrict false positive (PR105329) for literal
+// assignments into strings of a just-copied struct at -O3; there is no
+// actual overlap.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
 void WeblogSynthesizer::Synthesize(const std::vector<Event>& events,
                                    std::vector<std::string>* out) {
   for (const Event& event : events) {
@@ -278,5 +285,8 @@ void WeblogSynthesizer::Synthesize(const std::vector<Event>& events,
     }
   }
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace spa::lifelog

@@ -152,6 +152,18 @@ void RecsysEngine::CacheInsert(uint64_t hash,
   }
 }
 
+std::vector<ComponentIndexStats> RecsysEngine::index_stats() const {
+  std::vector<ComponentIndexStats> out;
+  for (size_t i = 0; i < hybrid_->component_count(); ++i) {
+    const SimilarityIndexStats* stats =
+        hybrid_->component(i).index_stats();
+    if (stats != nullptr) {
+      out.push_back({hybrid_->component_name(i), *stats});
+    }
+  }
+  return out;
+}
+
 EngineCacheStats RecsysEngine::cache_stats() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_stats_;

@@ -13,6 +13,7 @@
 #include "recsys/emotion_aware.h"
 #include "recsys/hybrid.h"
 #include "recsys/request.h"
+#include "recsys/similarity_index.h"
 #include "sum/sum_service.h"
 
 /// \file
@@ -36,7 +37,10 @@
 ///  * **fit epoch + interaction-matrix version** — the matrix version
 ///    is compared against the *live* matrix at lookup, so mutating
 ///    the fitted matrix (even without a refit) invalidates every
-///    entry; a refit additionally clears the cache eagerly;
+///    entry; a refit additionally clears the cache eagerly. (Stack
+///    components that keep a fit-time similarity index — the default
+///    KNN configuration — go further: they hard-fail on post-Fit
+///    mutation, so a mutated matrix must be refitted before serving.)
 ///  * **SUM user version** — `SumSnapshot::UserVersion(user)` at serve
 ///    time; a single `SumService::Apply` touching the user bumps it,
 ///    so exactly that user's entries stop matching while other users'
@@ -70,6 +74,12 @@ struct EngineConfig {
   size_t batch_threads = 0;
   /// Max memoized responses (LRU beyond this; 0 disables the cache).
   size_t response_cache_capacity = 4096;
+};
+
+/// \brief Fit-time index report of one stack component.
+struct ComponentIndexStats {
+  std::string component;        ///< Recommender::name()
+  SimilarityIndexStats stats;   ///< build time / size / version stamp
 };
 
 /// \brief Hit/miss counters of the response cache.
@@ -133,6 +143,11 @@ class RecsysEngine {
   /// Resizes the batch pool (tears down the old one after in-flight
   /// work drains; not thread-safe against concurrent RecommendBatch).
   void set_batch_threads(size_t threads);
+
+  /// Fit-time similarity-index statistics of every component that
+  /// keeps one (build time, memory, matrix version stamp). Empty
+  /// before Fit or when no component is indexed.
+  std::vector<ComponentIndexStats> index_stats() const;
 
   /// Response-cache counters (cumulative since construction).
   EngineCacheStats cache_stats() const;

@@ -51,6 +51,9 @@ class HybridRecommender : public Recommender {
                                        bool track_contributions = true) const;
 
   size_t component_count() const { return components_.size(); }
+  const Recommender& component(size_t i) const {
+    return *components_[i].recommender;
+  }
   std::string component_name(size_t i) const {
     return components_[i].recommender->name();
   }

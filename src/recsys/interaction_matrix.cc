@@ -5,15 +5,24 @@ namespace spa::recsys {
 void InteractionMatrix::Add(UserId user, ItemId item, double weight) {
   auto [uit, user_new] = by_user_.try_emplace(user);
   if (user_new) user_order_.push_back(user);
+  double old_weight = 0.0;
   bool accumulated = false;
   for (auto& [existing_item, w] : uit->second) {
     if (existing_item == item) {
+      old_weight = w;
       w += weight;
       accumulated = true;
       break;
     }
   }
   if (!accumulated) uit->second.emplace_back(item, weight);
+
+  // Both sides of the cell move from old_weight to new_weight.
+  const double new_weight = old_weight + weight;
+  const double norm_delta =
+      new_weight * new_weight - old_weight * old_weight;
+  user_norm_sq_[user] += norm_delta;
+  item_norm_sq_[item] += norm_delta;
 
   auto [iit, item_new] = by_item_.try_emplace(item);
   if (item_new) item_order_.push_back(item);
@@ -53,15 +62,13 @@ bool InteractionMatrix::Seen(UserId user, ItemId item) const {
 }
 
 double InteractionMatrix::UserNormSquared(UserId user) const {
-  double acc = 0.0;
-  for (const auto& [item, w] : ItemsOf(user)) acc += w * w;
-  return acc;
+  const auto it = user_norm_sq_.find(user);
+  return it == user_norm_sq_.end() ? 0.0 : it->second;
 }
 
 double InteractionMatrix::ItemNormSquared(ItemId item) const {
-  double acc = 0.0;
-  for (const auto& [user, w] : UsersOf(item)) acc += w * w;
-  return acc;
+  const auto it = item_norm_sq_.find(item);
+  return it == item_norm_sq_.end() ? 0.0 : it->second;
 }
 
 }  // namespace spa::recsys

@@ -50,9 +50,11 @@ class InteractionMatrix {
   const std::vector<UserId>& users() const { return user_order_; }
   const std::vector<ItemId>& items() const { return item_order_; }
 
-  /// Squared L2 norm of a user's interaction vector.
+  /// Squared L2 norm of a user's interaction vector. O(1): maintained
+  /// incrementally by Add (norms sit on every cosine-similarity path,
+  /// both lazy and index-build).
   double UserNormSquared(UserId user) const;
-  /// Squared L2 norm of an item's interaction vector.
+  /// Squared L2 norm of an item's interaction vector. O(1).
   double ItemNormSquared(ItemId item) const;
 
  private:
@@ -62,6 +64,8 @@ class InteractionMatrix {
       by_item_;
   std::vector<UserId> user_order_;
   std::vector<ItemId> item_order_;
+  std::unordered_map<UserId, double> user_norm_sq_;
+  std::unordered_map<ItemId, double> item_norm_sq_;
   size_t interactions_ = 0;
   uint64_t version_ = 0;
 };

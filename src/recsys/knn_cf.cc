@@ -1,31 +1,21 @@
 #include "recsys/knn_cf.h"
 
 #include <algorithm>
-#include <cmath>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
 
 namespace spa::recsys {
 
 namespace {
 
-/// Sparse cosine between two (key, weight) lists.
-template <typename K>
-double CosineOf(const std::vector<std::pair<K, double>>& a,
-                const std::vector<std::pair<K, double>>& b,
-                double norm_a_sq, double norm_b_sq) {
-  if (norm_a_sq == 0.0 || norm_b_sq == 0.0) return 0.0;
-  // Hash the shorter list for the join.
-  const auto& small = a.size() <= b.size() ? a : b;
-  const auto& large = a.size() <= b.size() ? b : a;
-  std::unordered_map<K, double> index;
-  index.reserve(small.size());
-  for (const auto& [key, w] : small) index.emplace(key, w);
-  double dot = 0.0;
-  for (const auto& [key, w] : large) {
-    const auto it = index.find(key);
-    if (it != index.end()) dot += w * it->second;
-  }
-  return dot / (std::sqrt(norm_a_sq) * std::sqrt(norm_b_sq));
+SimilarityIndexConfig IndexConfigFrom(const KnnConfig& config) {
+  SimilarityIndexConfig out;
+  out.top_n = config.neighbors;
+  out.min_similarity = config.min_similarity;
+  out.build_threads = config.index_build_threads;
+  return out;
 }
 
 }  // namespace
@@ -35,13 +25,22 @@ UserKnnRecommender::UserKnnRecommender(KnnConfig config)
 
 spa::Status UserKnnRecommender::Fit(const InteractionMatrix& matrix) {
   matrix_ = &matrix;
+  index_.reset();
+  if (config_.use_index) {
+    index_ = std::make_unique<SimilarityIndex<UserId>>(
+        BuildUserSimilarityIndex(matrix, IndexConfigFrom(config_)));
+  }
   return spa::Status::OK();
 }
 
+const SimilarityIndexStats* UserKnnRecommender::index_stats() const {
+  return index_ == nullptr ? nullptr : &index_->stats();
+}
+
 double UserKnnRecommender::Similarity(UserId a, UserId b) const {
-  return CosineOf(matrix_->ItemsOf(a), matrix_->ItemsOf(b),
-                  matrix_->UserNormSquared(a),
-                  matrix_->UserNormSquared(b));
+  return SparseCosine(matrix_->ItemsOf(a), matrix_->ItemsOf(b),
+                      matrix_->UserNormSquared(a),
+                      matrix_->UserNormSquared(b));
 }
 
 std::vector<Scored> UserKnnRecommender::RecommendCandidates(
@@ -49,38 +48,52 @@ std::vector<Scored> UserKnnRecommender::RecommendCandidates(
   std::vector<Scored> out;
   if (matrix_ == nullptr) return out;
   const UserId user = query.user;
-  const auto& own_items = matrix_->ItemsOf(user);
-
-  // Candidate neighbors: users sharing at least one item.
-  std::unordered_map<UserId, double> similarity;
-  for (const auto& [item, w] : own_items) {
-    for (const auto& [other, w2] : matrix_->UsersOf(item)) {
-      if (other != user) similarity.emplace(other, 0.0);
-    }
-  }
-  for (auto& [other, sim] : similarity) {
-    sim = Similarity(user, other);
-  }
-
-  // Keep the top-k neighbors.
-  std::vector<std::pair<UserId, double>> neighbors(similarity.begin(),
-                                                   similarity.end());
-  std::sort(neighbors.begin(), neighbors.end(),
-            [](const auto& a, const auto& b) {
-              if (a.second != b.second) return a.second > b.second;
-              return a.first < b.first;
-            });
-  if (neighbors.size() > config_.neighbors) {
-    neighbors.resize(config_.neighbors);
-  }
 
   std::unordered_map<ItemId, double> scores;
-  for (const auto& [other, sim] : neighbors) {
-    if (sim < config_.min_similarity) continue;
+  auto accumulate = [&](UserId other, double sim) {
     for (const auto& [item, w] : matrix_->ItemsOf(other)) {
       if (query.Admits(matrix_, item)) scores[item] += sim * w;
     }
+  };
+
+  if (config_.use_index) {
+    SPA_CHECK_MSG(
+        index_->built_version() == matrix_->version(),
+        "stale UserKNN similarity index: the InteractionMatrix was "
+        "mutated after Fit; refit before serving");
+    for (const auto& neighbor : index_->NeighborsOf(user)) {
+      accumulate(neighbor.id, neighbor.similarity);
+    }
+  } else {
+    // Candidate neighbors: users sharing at least one item.
+    const auto& own_items = matrix_->ItemsOf(user);
+    std::unordered_map<UserId, double> similarity;
+    for (const auto& [item, w] : own_items) {
+      for (const auto& [other, w2] : matrix_->UsersOf(item)) {
+        if (other != user) similarity.emplace(other, 0.0);
+      }
+    }
+    for (auto& [other, sim] : similarity) {
+      sim = Similarity(user, other);
+    }
+
+    // Keep the top-k neighbors.
+    std::vector<std::pair<UserId, double>> neighbors(similarity.begin(),
+                                                     similarity.end());
+    std::sort(neighbors.begin(), neighbors.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (neighbors.size() > config_.neighbors) {
+      neighbors.resize(config_.neighbors);
+    }
+    for (const auto& [other, sim] : neighbors) {
+      if (sim < config_.min_similarity) continue;
+      accumulate(other, sim);
+    }
   }
+
   out.reserve(scores.size());
   for (const auto& [item, score] : scores) out.push_back({item, score});
   SortAndTruncate(&out, query.k);
@@ -92,13 +105,22 @@ ItemKnnRecommender::ItemKnnRecommender(KnnConfig config)
 
 spa::Status ItemKnnRecommender::Fit(const InteractionMatrix& matrix) {
   matrix_ = &matrix;
+  index_.reset();
+  if (config_.use_index) {
+    index_ = std::make_unique<SimilarityIndex<ItemId>>(
+        BuildItemSimilarityIndex(matrix, IndexConfigFrom(config_)));
+  }
   return spa::Status::OK();
 }
 
+const SimilarityIndexStats* ItemKnnRecommender::index_stats() const {
+  return index_ == nullptr ? nullptr : &index_->stats();
+}
+
 double ItemKnnRecommender::Similarity(ItemId a, ItemId b) const {
-  return CosineOf(matrix_->UsersOf(a), matrix_->UsersOf(b),
-                  matrix_->ItemNormSquared(a),
-                  matrix_->ItemNormSquared(b));
+  return SparseCosine(matrix_->UsersOf(a), matrix_->UsersOf(b),
+                      matrix_->ItemNormSquared(a),
+                      matrix_->ItemNormSquared(b));
 }
 
 std::vector<Scored> ItemKnnRecommender::RecommendCandidates(
@@ -108,36 +130,51 @@ std::vector<Scored> ItemKnnRecommender::RecommendCandidates(
   const UserId user = query.user;
   const auto& own_items = matrix_->ItemsOf(user);
 
-  // Candidate items: co-interacted with the user's items.
   std::unordered_map<ItemId, double> scores;
-  for (const auto& [item, weight] : own_items) {
-    // Items sharing a user with `item`.
-    std::unordered_map<ItemId, bool> candidates;
-    for (const auto& [other_user, w2] : matrix_->UsersOf(item)) {
-      for (const auto& [candidate, w3] :
-           matrix_->ItemsOf(other_user)) {
-        if (query.Admits(matrix_, candidate)) {
-          candidates.emplace(candidate, true);
+  if (config_.use_index) {
+    SPA_CHECK_MSG(
+        index_->built_version() == matrix_->version(),
+        "stale ItemKNN similarity index: the InteractionMatrix was "
+        "mutated after Fit; refit before serving");
+    for (const auto& [item, weight] : own_items) {
+      for (const auto& neighbor : index_->NeighborsOf(item)) {
+        if (query.Admits(matrix_, neighbor.id)) {
+          scores[neighbor.id] += neighbor.similarity * weight;
         }
       }
     }
-    // Rank neighbor similarities for this source item.
-    std::vector<std::pair<ItemId, double>> sims;
-    sims.reserve(candidates.size());
-    for (const auto& [candidate, unused] : candidates) {
-      const double sim = Similarity(item, candidate);
-      if (sim >= config_.min_similarity) {
-        sims.emplace_back(candidate, sim);
+  } else {
+    for (const auto& [item, weight] : own_items) {
+      // The neighborhood of `item`, query-independent — identical to
+      // what the index stores for this row.
+      std::unordered_set<ItemId> candidates;
+      for (const auto& [other_user, w2] : matrix_->UsersOf(item)) {
+        for (const auto& [candidate, w3] :
+             matrix_->ItemsOf(other_user)) {
+          if (candidate != item) candidates.insert(candidate);
+        }
       }
-    }
-    std::sort(sims.begin(), sims.end(),
-              [](const auto& a, const auto& b) {
-                if (a.second != b.second) return a.second > b.second;
-                return a.first < b.first;
-              });
-    if (sims.size() > config_.neighbors) sims.resize(config_.neighbors);
-    for (const auto& [candidate, sim] : sims) {
-      scores[candidate] += sim * weight;
+      std::vector<std::pair<ItemId, double>> sims;
+      sims.reserve(candidates.size());
+      for (const ItemId candidate : candidates) {
+        const double sim = Similarity(item, candidate);
+        if (sim >= config_.min_similarity) {
+          sims.emplace_back(candidate, sim);
+        }
+      }
+      std::sort(sims.begin(), sims.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      if (sims.size() > config_.neighbors) {
+        sims.resize(config_.neighbors);
+      }
+      for (const auto& [candidate, sim] : sims) {
+        if (query.Admits(matrix_, candidate)) {
+          scores[candidate] += sim * weight;
+        }
+      }
     }
   }
 

@@ -2,19 +2,39 @@
 #define SPA_RECSYS_KNN_CF_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "recsys/recommender.h"
+#include "recsys/similarity_index.h"
 
 /// \file
 /// Neighborhood collaborative filtering: the canonical memory-based
 /// recommenders of the survey literature the paper cites ([1], [2]).
 /// Both variants use cosine similarity over interaction weights.
+///
+/// Neighborhoods are query-independent: the top-k most similar
+/// users/items above `min_similarity`, regardless of which candidates
+/// a particular request admits (exclusions are applied when scores are
+/// accumulated). With `use_index` (the default) they are precomputed
+/// once at `Fit` into a `SimilarityIndex` and serving is a sorted
+/// adjacency walk; with `use_index=false` the same neighborhoods are
+/// recomputed per request — kept as the exact-parity reference path
+/// (both paths produce bitwise-identical rankings).
+///
+/// An indexed recommender hard-fails (`SPA_CHECK`) when the fitted
+/// matrix was mutated after `Fit`: serving a stale neighbor graph is a
+/// silent-corruption bug, so it must refit first.
 
 namespace spa::recsys {
 
 struct KnnConfig {
   size_t neighbors = 20;     ///< k in k-nearest-neighbors
   double min_similarity = 1e-6;
+  /// Precompute the truncated neighbor index at Fit (false = lazy
+  /// per-request similarity recomputation, the parity reference).
+  bool use_index = true;
+  /// Worker threads for the index build (0 = auto).
+  size_t index_build_threads = 0;
 };
 
 /// \brief User-based CF: score(u, i) = sum over similar users v of
@@ -27,13 +47,18 @@ class UserKnnRecommender : public Recommender {
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
   std::string name() const override { return "UserKNN"; }
+  const SimilarityIndexStats* index_stats() const override;
 
-  /// Cosine similarity between two users (exposed for tests).
+  /// Cosine similarity between two users (exposed for tests; always
+  /// computed live against the current matrix).
   double Similarity(UserId a, UserId b) const;
+
+  const SimilarityIndex<UserId>* index() const { return index_.get(); }
 
  private:
   KnnConfig config_;
   const InteractionMatrix* matrix_ = nullptr;
+  std::unique_ptr<SimilarityIndex<UserId>> index_;
 };
 
 /// \brief Item-based CF: score(u, i) = sum over items j the user has,
@@ -46,12 +71,16 @@ class ItemKnnRecommender : public Recommender {
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
   std::string name() const override { return "ItemKNN"; }
+  const SimilarityIndexStats* index_stats() const override;
 
   double Similarity(ItemId a, ItemId b) const;
+
+  const SimilarityIndex<ItemId>* index() const { return index_.get(); }
 
  private:
   KnnConfig config_;
   const InteractionMatrix* matrix_ = nullptr;
+  std::unique_ptr<SimilarityIndex<ItemId>> index_;
 };
 
 }  // namespace spa::recsys

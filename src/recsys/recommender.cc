@@ -19,22 +19,6 @@ bool CandidateQuery::Admits(const InteractionMatrix* matrix,
   return true;
 }
 
-// Deprecated shim; kept until external callers finish migrating.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-std::vector<Scored> Recommender::Recommend(UserId user, size_t k) const {
-  CandidateQuery query;
-  query.user = user;
-  query.k = k;
-  query.exclude_seen = ExcludeSeen::kYes;
-  return RecommendCandidates(query);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 void SortAndTruncate(std::vector<Scored>* candidates, size_t k) {
   std::sort(candidates->begin(), candidates->end(),
             [](const Scored& a, const Scored& b) {

@@ -22,6 +22,8 @@
 
 namespace spa::recsys {
 
+struct SimilarityIndexStats;  // recsys/similarity_index.h
+
 /// A scored candidate item.
 struct Scored {
   ItemId item = lifelog::kNoItem;
@@ -62,12 +64,13 @@ class Recommender {
   virtual std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const = 0;
 
-  /// Legacy shim: top-k excluding seen items (the pre-request API).
-  [[deprecated(
-      "build a CandidateQuery and call RecommendCandidates()")]]
-  std::vector<Scored> Recommend(UserId user, size_t k) const;
-
   virtual std::string name() const = 0;
+
+  /// Fit-time similarity-index statistics; null for recommenders that
+  /// keep no index (serving layers surface these per component).
+  virtual const SimilarityIndexStats* index_stats() const {
+    return nullptr;
+  }
 };
 
 /// Sorts candidates by (score desc, item asc) and truncates to k.

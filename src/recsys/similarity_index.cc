@@ -1,0 +1,131 @@
+#include "recsys/similarity_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+
+namespace spa::recsys {
+
+namespace {
+
+/// Matrices below this many rows build serially under auto threading:
+/// spawning a pool costs more than the build itself.
+constexpr size_t kAutoSerialThreshold = 512;
+
+/// Shared build skeleton. `RowVec(a)` is the sparse vector a row is
+/// compared by (ItemsOf for users, UsersOf for items), `CandVec(o)`
+/// inverts one of its keys back to candidate rows, `NormSq(a)` is the
+/// matching squared norm. Every row is computed independently and
+/// deterministically, so the result is identical for any thread count.
+template <typename Id, typename RowVec, typename CandVec, typename NormSq>
+SimilarityIndex<Id> BuildIndex(const std::vector<Id>& row_ids,
+                               RowVec row_vec, CandVec cand_vec,
+                               NormSq norm_sq,
+                               const SimilarityIndexConfig& config,
+                               uint64_t matrix_version) {
+  using Neighbor = typename SimilarityIndex<Id>::Neighbor;
+  const auto start = std::chrono::steady_clock::now();
+  const size_t n = row_ids.size();
+
+  size_t threads = config.build_threads;
+  if (threads == 0) {
+    threads = n >= kAutoSerialThreshold
+                  ? std::max<size_t>(std::thread::hardware_concurrency(), 1)
+                  : 1;
+  }
+
+  std::vector<std::vector<Neighbor>> rows(n);
+  auto build_row = [&](size_t i) {
+    const Id a = row_ids[i];
+    const auto& vec_a = row_vec(a);
+    const double norm_a = norm_sq(a);
+    // Candidates: rows sharing at least one key with `a`.
+    std::unordered_set<Id> candidates;
+    for (const auto& [other, w] : vec_a) {
+      for (const auto& [b, w2] : cand_vec(other)) {
+        if (b != a) candidates.insert(b);
+      }
+    }
+    std::vector<Neighbor>& out = rows[i];
+    out.reserve(candidates.size());
+    for (const Id b : candidates) {
+      const double sim =
+          SparseCosine(vec_a, row_vec(b), norm_a, norm_sq(b));
+      if (sim >= config.min_similarity) out.push_back({b, sim});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Neighbor& x, const Neighbor& y) {
+                if (x.similarity != y.similarity) {
+                  return x.similarity > y.similarity;
+                }
+                return x.id < y.id;
+              });
+    if (out.size() > config.top_n) out.resize(config.top_n);
+  };
+  if (threads == 1) {
+    for (size_t i = 0; i < n; ++i) build_row(i);
+  } else {
+    ThreadPool pool(threads);
+    ParallelFor(&pool, n, build_row);
+  }
+
+  // Assemble the CSR arrays (sequential; cheap relative to the sims).
+  std::unordered_map<Id, size_t> row_of;
+  row_of.reserve(n);
+  std::vector<size_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  size_t entries = 0;
+  for (const auto& row : rows) entries += row.size();
+  std::vector<Neighbor> neighbors;
+  neighbors.reserve(entries);
+  for (size_t i = 0; i < n; ++i) {
+    row_of.emplace(row_ids[i], i);
+    neighbors.insert(neighbors.end(), rows[i].begin(), rows[i].end());
+    offsets.push_back(neighbors.size());
+  }
+
+  SimilarityIndexStats stats;
+  stats.rows = n;
+  stats.entries = entries;
+  stats.memory_bytes =
+      neighbors.capacity() * sizeof(Neighbor) +
+      offsets.capacity() * sizeof(size_t) +
+      row_of.size() * (sizeof(std::pair<Id, size_t>) + 2 * sizeof(void*));
+  stats.build_threads = threads;
+  stats.matrix_version = matrix_version;
+  stats.build_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  return SimilarityIndex<Id>(std::move(row_of), std::move(offsets),
+                             std::move(neighbors), stats);
+}
+
+}  // namespace
+
+SimilarityIndex<UserId> BuildUserSimilarityIndex(
+    const InteractionMatrix& matrix,
+    const SimilarityIndexConfig& config) {
+  return BuildIndex<UserId>(
+      matrix.users(),
+      [&matrix](UserId u) -> const auto& { return matrix.ItemsOf(u); },
+      [&matrix](ItemId i) -> const auto& { return matrix.UsersOf(i); },
+      [&matrix](UserId u) { return matrix.UserNormSquared(u); }, config,
+      matrix.version());
+}
+
+SimilarityIndex<ItemId> BuildItemSimilarityIndex(
+    const InteractionMatrix& matrix,
+    const SimilarityIndexConfig& config) {
+  return BuildIndex<ItemId>(
+      matrix.items(),
+      [&matrix](ItemId i) -> const auto& { return matrix.UsersOf(i); },
+      [&matrix](UserId u) -> const auto& { return matrix.ItemsOf(u); },
+      [&matrix](ItemId i) { return matrix.ItemNormSquared(i); }, config,
+      matrix.version());
+}
+
+}  // namespace spa::recsys

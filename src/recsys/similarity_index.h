@@ -1,0 +1,143 @@
+#ifndef SPA_RECSYS_SIMILARITY_INDEX_H_
+#define SPA_RECSYS_SIMILARITY_INDEX_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "recsys/interaction_matrix.h"
+
+/// \file
+/// Fit-time truncated cosine neighbor index for the memory-based CF
+/// recommenders. The lazy KNN serving path recomputes all-pairs sparse
+/// cosines on every request — the dominant serving cost on cache-miss
+/// traffic. At scale, neighborhood CF is served from a precomputed
+/// neighbor graph instead: `Build{User,Item}SimilarityIndex` computes
+/// each row's top-N neighbors once (in parallel over
+/// `common/thread_pool`), and serving becomes a sorted-adjacency walk.
+///
+/// Storage is CSR-style: one flat `(id, similarity)` array plus
+/// per-row offsets, rows keyed by user/item id. Every row is sorted by
+/// (similarity desc, id asc) and already filtered to
+/// `min_similarity`/truncated to `top_n`, so a serving config equal to
+/// the build config reads rows verbatim — ranking parity with the lazy
+/// path is exact (bitwise), not approximate.
+///
+/// The index is stamped with `InteractionMatrix::version()` at build
+/// time. Consumers must treat a version mismatch as a hard error
+/// (`SPA_CHECK`): serving neighborhoods of a mutated matrix silently
+/// would return stale rankings with no way for callers to notice.
+
+namespace spa::recsys {
+
+/// Sparse cosine between two (key, weight) lists; hashes the shorter
+/// list for the join. Shared by the lazy KNN path and the index build
+/// so both produce bitwise-identical similarities. Non-positive
+/// squared norms short-circuit to 0: the incrementally maintained
+/// norms can round to a tiny negative value under cancellation, and
+/// sqrt of that would poison similarities with NaN.
+template <typename K>
+double SparseCosine(const std::vector<std::pair<K, double>>& a,
+                    const std::vector<std::pair<K, double>>& b,
+                    double norm_a_sq, double norm_b_sq) {
+  if (norm_a_sq <= 0.0 || norm_b_sq <= 0.0) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  std::unordered_map<K, double> index;
+  index.reserve(small.size());
+  for (const auto& [key, w] : small) index.emplace(key, w);
+  double dot = 0.0;
+  for (const auto& [key, w] : large) {
+    const auto it = index.find(key);
+    if (it != index.end()) dot += w * it->second;
+  }
+  return dot / (std::sqrt(norm_a_sq) * std::sqrt(norm_b_sq));
+}
+
+/// \brief Build parameters of a similarity index.
+struct SimilarityIndexConfig {
+  /// Neighbors kept per row (k of the serving KNN).
+  size_t top_n = 20;
+  /// Neighbors below this similarity are not stored.
+  double min_similarity = 1e-6;
+  /// Worker threads for the build; 0 = auto (hardware concurrency for
+  /// large matrices, serial for small ones). The built index is
+  /// identical for every thread count.
+  size_t build_threads = 0;
+};
+
+/// \brief Build-time cost/size report of one index.
+struct SimilarityIndexStats {
+  size_t rows = 0;             ///< rows indexed (users or items)
+  size_t entries = 0;          ///< stored (id, similarity) pairs
+  size_t memory_bytes = 0;     ///< estimated resident size
+  double build_seconds = 0.0;  ///< wall-clock build time
+  size_t build_threads = 0;    ///< workers the build actually used
+  uint64_t matrix_version = 0; ///< matrix version stamped at build
+};
+
+/// \brief Immutable truncated neighbor graph over users or items.
+///
+/// Instantiated as `SimilarityIndex<UserId>` (user-user, for UserKNN)
+/// and `SimilarityIndex<ItemId>` (item-item, for ItemKNN). Reads are
+/// lock-free and thread-safe (the structure never mutates after
+/// build).
+template <typename Id>
+class SimilarityIndex {
+ public:
+  /// One stored neighbor edge.
+  struct Neighbor {
+    Id id{};
+    double similarity = 0.0;
+  };
+
+  SimilarityIndex(std::unordered_map<Id, size_t> row_of,
+                  std::vector<size_t> offsets,
+                  std::vector<Neighbor> neighbors,
+                  SimilarityIndexStats stats)
+      : row_of_(std::move(row_of)),
+        offsets_(std::move(offsets)),
+        neighbors_(std::move(neighbors)),
+        stats_(stats) {}
+
+  /// Neighbors of `id`, sorted by (similarity desc, id asc), already
+  /// min-similarity-filtered and top-N-truncated. Empty for unknown
+  /// ids.
+  std::span<const Neighbor> NeighborsOf(Id id) const {
+    const auto it = row_of_.find(id);
+    if (it == row_of_.end()) return {};
+    const size_t row = it->second;
+    return std::span<const Neighbor>(neighbors_.data() + offsets_[row],
+                                     offsets_[row + 1] - offsets_[row]);
+  }
+
+  /// The `InteractionMatrix::version()` the index was built against.
+  /// Serving must hard-fail when this no longer matches the live
+  /// matrix.
+  uint64_t built_version() const { return stats_.matrix_version; }
+
+  const SimilarityIndexStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<Id, size_t> row_of_;
+  std::vector<size_t> offsets_;  ///< rows + 1 entries
+  std::vector<Neighbor> neighbors_;
+  SimilarityIndexStats stats_;
+};
+
+/// Builds the user-user index (cosine over item-interaction vectors).
+SimilarityIndex<UserId> BuildUserSimilarityIndex(
+    const InteractionMatrix& matrix,
+    const SimilarityIndexConfig& config = {});
+
+/// Builds the item-item index (cosine over user-interaction vectors).
+SimilarityIndex<ItemId> BuildItemSimilarityIndex(
+    const InteractionMatrix& matrix,
+    const SimilarityIndexConfig& config = {});
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_SIMILARITY_INDEX_H_

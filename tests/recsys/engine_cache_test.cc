@@ -214,10 +214,18 @@ TEST_F(EngineCacheTest, OverrideRequestsBypassCache) {
 }
 
 TEST_F(EngineCacheTest, MatrixMutationWithoutRefitInvalidates) {
-  // The base recommenders serve from the live matrix (e.g. the seen
+  // Index-free recommenders serve from the live matrix (e.g. the seen
   // filter), so a mutation after Fit must stop cached entries from
-  // matching even before anyone refits.
-  auto engine = MakeEngine();
+  // matching even before anyone refits. (Indexed KNN components
+  // instead hard-fail on post-Fit mutation — covered in
+  // similarity_index_test.cc — so this engine uses the lazy path.)
+  auto engine = std::make_unique<RecsysEngine>(EngineConfig{});
+  engine->AddComponent(std::make_unique<UserKnnRecommender>(
+                           KnnConfig{.use_index = false}),
+                       0.6);
+  engine->AddComponent(std::make_unique<PopularityRecommender>(), 0.4);
+  engine->set_sum_service(&sums_);
+  ASSERT_TRUE(engine->Fit(matrix_).ok());
   RecommendRequest request;
   request.user = 0;
   request.k = 5;

@@ -9,7 +9,7 @@
 namespace spa::recsys {
 
 /// Top-k excluding seen items through the CandidateQuery API (what the
-/// deprecated Recommend(user, k) shim used to spell).
+/// since-removed Recommend(user, k) shim used to spell).
 inline std::vector<Scored> RecommendTopK(const Recommender& rec,
                                          UserId user, size_t k) {
   CandidateQuery query;
