@@ -4,21 +4,27 @@
 //   * repeat traffic with the response cache enabled vs. disabled
 //     (identical requests re-served after nothing changed),
 //   * SUM update throughput through SumService::Apply / ApplyAll,
-//     including the serve-after-invalidation cost, and
+//     including the serve-after-invalidation cost,
 //   * KNN cold traffic (every request a cache miss): fit-time
 //     similarity index vs. lazy per-request recomputation, with an
-//     exact ranking-parity gate (a mismatch fails the run).
+//     exact ranking-parity gate (a mismatch fails the run), and
+//   * live updates: interleaved ApplyInteractions + serving over a
+//     sharded store, incremental index refresh vs. full refit, with
+//     the same exact parity gate.
 //
 // Everything lands in BENCH_serving.json so the perf trajectory is
 // tracked.
 //
 //   ./build/bench/bench_serving [--users=N] [--seed=S] [--smoke]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/clock.h"
 #include "common/rng.h"
 #include "recsys/engine.h"
 #include "recsys/knn_cf.h"
@@ -29,10 +35,6 @@ namespace spa::bench {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 bool SameResults(
     const std::vector<spa::Result<recsys::RecommendResponse>>& a,
@@ -138,6 +140,169 @@ KnnIndexPoint RunKnnColdScenario(const char* scenario,
               point.index_build_seconds,
               static_cast<double>(point.index_bytes) / 1024.0,
               point.parity ? "OK" : "MISMATCH");
+  return point;
+}
+
+/// One live-update measurement: interleaved ApplyInteractions +
+/// serving vs. the old full-refit-per-batch world.
+struct LiveUpdatePoint {
+  size_t users = 0;
+  size_t shards = 0;
+  size_t rounds = 0;
+  size_t batch_size = 0;
+  double incremental_seconds_avg = 0.0;  ///< ApplyInteractions wall
+  double full_refit_seconds_avg = 0.0;   ///< engine Fit on same matrix
+  double update_speedup = 0.0;
+  double interleaved_serve_rps = 0.0;
+  size_t rows_refreshed = 0;
+  size_t full_rebuilds = 0;
+  bool parity = true;
+};
+
+/// Clustered interaction topology: users come in communities of 50
+/// sharing a 10-item slice, and update bursts hit a couple of
+/// communities per round (trending items). This is the workload shape
+/// incremental maintenance exists for — the affected neighborhood of a
+/// batch is a small fraction of the matrix, unlike the two-community
+/// cold-traffic matrix where every row overlaps half the population.
+LiveUpdatePoint RunLiveUpdateScenario(size_t users, size_t k,
+                                      uint64_t seed, size_t shards,
+                                      size_t rounds) {
+  constexpr size_t kClusterUsers = 50;
+  constexpr size_t kClusterItems = 10;
+  const size_t clusters = std::max<size_t>(users / kClusterUsers, 1);
+  LiveUpdatePoint point;
+  point.users = users;
+  point.shards = shards;
+  point.rounds = rounds;
+  point.batch_size = 16;
+
+  Rng rng(seed);
+  recsys::InteractionMatrix matrix(shards);
+  for (size_t u = 0; u < users; ++u) {
+    const size_t cluster = u / kClusterUsers;
+    for (int j = 0; j < 12; ++j) {
+      const auto item = static_cast<recsys::ItemId>(
+          cluster * kClusterItems +
+          rng.UniformInt(0, static_cast<int64_t>(kClusterItems) - 1));
+      matrix.Add(static_cast<recsys::UserId>(u), item,
+                 rng.Uniform(0.2, 3.0));
+    }
+  }
+
+  auto make_engine = [] {
+    recsys::EngineConfig config;
+    config.response_cache_capacity = 0;  // measure compute, not cache
+    auto engine = std::make_unique<recsys::RecsysEngine>(config);
+    engine->AddComponent(std::make_unique<recsys::UserKnnRecommender>(),
+                         0.6);
+    engine->AddComponent(std::make_unique<recsys::ItemKnnRecommender>(),
+                         0.4);
+    return engine;
+  };
+  auto live = make_engine();
+  if (!live->Fit(&matrix).ok()) {
+    point.parity = false;
+    return point;
+  }
+  auto refit = make_engine();
+  if (!refit->Fit(matrix).ok()) {
+    point.parity = false;
+    return point;
+  }
+
+  double incremental_seconds = 0.0;
+  double refit_seconds = 0.0;
+  double serve_seconds = 0.0;
+  size_t served = 0;
+  const size_t sample = std::min<size_t>(users, 100);
+  for (size_t round = 0; round < rounds; ++round) {
+    // An update burst over two communities.
+    std::vector<recsys::Interaction> batch;
+    batch.reserve(point.batch_size);
+    for (size_t i = 0; i < point.batch_size; ++i) {
+      const size_t cluster = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(clusters > 1 ? 2 : 1) - 1));
+      const size_t base =
+          (round * 2 + cluster) % clusters * kClusterUsers;
+      const auto user = static_cast<recsys::UserId>(
+          base + rng.UniformInt(
+                     0, static_cast<int64_t>(kClusterUsers) - 1));
+      const auto item = static_cast<recsys::ItemId>(
+          (base / kClusterUsers) * kClusterItems +
+          rng.UniformInt(0, static_cast<int64_t>(kClusterItems) - 1));
+      batch.push_back({user, item, rng.Uniform(0.2, 3.0)});
+    }
+
+    auto start = Clock::now();
+    const auto report = live->ApplyInteractions(batch);
+    incremental_seconds += SecondsSince(start);
+    if (!report.ok()) {
+      point.parity = false;
+      return point;
+    }
+    point.rows_refreshed += report.value().rows_refreshed;
+    point.full_rebuilds += report.value().full_rebuild ? 1 : 0;
+
+    // The old world: any new interaction means a full refit before
+    // serving can resume.
+    start = Clock::now();
+    if (!refit->Fit(matrix).ok()) {
+      point.parity = false;
+      return point;
+    }
+    refit_seconds += SecondsSince(start);
+
+    // Interleaved serving on the live engine, parity-checked against
+    // the freshly refitted reference.
+    start = Clock::now();
+    std::vector<spa::Result<recsys::RecommendResponse>> responses;
+    responses.reserve(sample);
+    for (size_t s = 0; s < sample; ++s) {
+      recsys::RecommendRequest request;
+      request.user =
+          static_cast<recsys::UserId>((round * sample + s * 7) % users);
+      request.k = k;
+      responses.push_back(live->Recommend(request));
+    }
+    serve_seconds += SecondsSince(start);
+    served += sample;
+    for (size_t s = 0; s < sample && point.parity; ++s) {
+      recsys::RecommendRequest request;
+      request.user =
+          static_cast<recsys::UserId>((round * sample + s * 7) % users);
+      request.k = k;
+      const auto expected = refit->Recommend(request);
+      if (!responses[s].ok() || !expected.ok()) {
+        point.parity = false;
+        break;
+      }
+      const auto& lhs = responses[s].value().items;
+      const auto& rhs = expected.value().items;
+      if (lhs.size() != rhs.size()) point.parity = false;
+      for (size_t i = 0; point.parity && i < lhs.size(); ++i) {
+        if (lhs[i].item != rhs[i].item || lhs[i].score != rhs[i].score) {
+          point.parity = false;
+        }
+      }
+    }
+  }
+
+  point.incremental_seconds_avg =
+      incremental_seconds / static_cast<double>(rounds);
+  point.full_refit_seconds_avg =
+      refit_seconds / static_cast<double>(rounds);
+  point.update_speedup =
+      point.full_refit_seconds_avg / point.incremental_seconds_avg;
+  point.interleaved_serve_rps =
+      static_cast<double>(served) / serve_seconds;
+  std::printf("live_update (x%zu shards): incremental %8.3f ms | "
+              "full refit %8.3f ms | speedup %6.1fx | serve %8.0f "
+              "req/s | %zu rows | %zu full rebuilds | parity %s\n",
+              point.shards, point.incremental_seconds_avg * 1e3,
+              point.full_refit_seconds_avg * 1e3, point.update_speedup,
+              point.interleaved_serve_rps, point.rows_refreshed,
+              point.full_rebuilds, point.parity ? "OK" : "MISMATCH");
   return point;
 }
 
@@ -355,6 +520,33 @@ int Main(int argc, char** argv) {
   knn_points.push_back(RunKnnColdScenario<recsys::UserKnnRecommender>(
       "UserKNN", matrix, users, k));
 
+  // ---- live updates: ApplyInteractions vs full refit ----------------------
+  // The scaling cliff this PR removes: a new interaction used to mean
+  // a full refit before indexed serving could resume; now it is a
+  // bounded incremental refresh over the sharded store.
+  PrintHeader("Live updates - incremental refresh vs full refit");
+  const LiveUpdatePoint live_point = RunLiveUpdateScenario(
+      users, k, flags.seed + 1, /*shards=*/8,
+      /*rounds=*/flags.smoke ? 5 : 15);
+
+  // ---- per-stage latency --------------------------------------------------
+  const recsys::StageStats stages = cached_engine->stage_stats();
+  PrintHeader("Per-stage serving latency (cached engine, cumulative)");
+  const auto print_stage = [](const char* name,
+                              const recsys::StageStats::Stage& s) {
+    std::printf("%-14s %8llu calls | total %8.3f ms | mean %8.1f us | "
+                "max %8.1f us\n",
+                name, static_cast<unsigned long long>(s.count),
+                s.total_seconds * 1e3,
+                s.count > 0 ? s.total_seconds * 1e6 /
+                                  static_cast<double>(s.count)
+                            : 0.0,
+                s.max_seconds * 1e6);
+  };
+  print_stage("candidate-gen", stages.candidate_gen);
+  print_stage("rerank", stages.rerank);
+  print_stage("cache-lookup", stages.cache_lookup);
+
   // ---- JSON ---------------------------------------------------------------
   std::FILE* json = std::fopen("BENCH_serving.json", "w");
   if (json != nullptr) {
@@ -404,7 +596,44 @@ int Main(int argc, char** argv) {
                    p.index_bytes, p.index_entries,
                    i + 1 < knn_points.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"live_update\": {\n"
+                 "    \"users\": %zu,\n    \"shards\": %zu,\n"
+                 "    \"rounds\": %zu,\n    \"batch_size\": %zu,\n"
+                 "    \"incremental_seconds_avg\": %.6f,\n"
+                 "    \"full_refit_seconds_avg\": %.6f,\n"
+                 "    \"update_speedup\": %.2f,\n"
+                 "    \"interleaved_serve_rps\": %.1f,\n"
+                 "    \"rows_refreshed\": %zu,\n"
+                 "    \"full_rebuilds\": %zu,\n"
+                 "    \"parity\": %s\n  },\n",
+                 live_point.users, live_point.shards, live_point.rounds,
+                 live_point.batch_size,
+                 live_point.incremental_seconds_avg,
+                 live_point.full_refit_seconds_avg,
+                 live_point.update_speedup,
+                 live_point.interleaved_serve_rps,
+                 live_point.rows_refreshed, live_point.full_rebuilds,
+                 live_point.parity ? "true" : "false");
+    std::fprintf(
+        json,
+        "  \"stage_latency\": {\n"
+        "    \"candidate_gen\": {\"count\": %llu, \"total_seconds\": "
+        "%.6f, \"max_seconds\": %.6f},\n"
+        "    \"rerank\": {\"count\": %llu, \"total_seconds\": %.6f, "
+        "\"max_seconds\": %.6f},\n"
+        "    \"cache_lookup\": {\"count\": %llu, \"total_seconds\": "
+        "%.6f, \"max_seconds\": %.6f}\n  }\n",
+        static_cast<unsigned long long>(stages.candidate_gen.count),
+        stages.candidate_gen.total_seconds,
+        stages.candidate_gen.max_seconds,
+        static_cast<unsigned long long>(stages.rerank.count),
+        stages.rerank.total_seconds, stages.rerank.max_seconds,
+        static_cast<unsigned long long>(stages.cache_lookup.count),
+        stages.cache_lookup.total_seconds,
+        stages.cache_lookup.max_seconds);
+    std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_serving.json\n");
   }
@@ -415,6 +644,7 @@ int Main(int argc, char** argv) {
   for (const KnnIndexPoint& p : knn_points) {
     if (!p.parity) return 1;  // indexed serving must match lazy exactly
   }
+  if (!live_point.parity) return 1;  // live updates must match refits
   return cache_parity ? 0 : 1;
 }
 

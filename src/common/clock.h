@@ -1,0 +1,21 @@
+#ifndef SPA_COMMON_CLOCK_H_
+#define SPA_COMMON_CLOCK_H_
+
+#include <chrono>
+
+/// \file
+/// Shared wall-clock timing helper for the serving/index/bench layers
+/// (distinct from `sim_clock.h`, the simulated campaign clock).
+
+namespace spa {
+
+/// Seconds elapsed since `start` on the monotonic clock.
+inline double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_CLOCK_H_

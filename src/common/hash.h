@@ -1,0 +1,23 @@
+#ifndef SPA_COMMON_HASH_H_
+#define SPA_COMMON_HASH_H_
+
+#include <cstdint>
+
+/// \file
+/// Shared integer mixing for shard routing and fingerprinting. Raw ids
+/// are often sequential, so modulo alone would route whole id ranges to
+/// one shard; SplitMix64 decorrelates them first.
+
+namespace spa {
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_HASH_H_

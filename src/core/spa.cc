@@ -167,8 +167,10 @@ void Spa::SetItemEmotionProfile(lifelog::ItemId item,
 
 spa::Status Spa::RefreshRecommenders() {
   // Rebuild the interaction matrix from the LifeLog (single source of
-  // truth for what users touched).
-  interactions_ = recsys::InteractionMatrix();
+  // truth for what users touched). Shard count comes from the engine
+  // config; any count stores bit-for-bit identical data.
+  interactions_ =
+      recsys::InteractionMatrix(config_.engine.interaction_shards);
   logs_.ForEachUser([this](sum::UserId user,
                            const std::vector<lifelog::Event>& events) {
     for (const lifelog::Event& event : events) {

@@ -20,6 +20,14 @@ class ContentBasedRecommender : public Recommender {
   void SetItemFeatures(ItemId item, ml::SparseVector features);
 
   spa::Status Fit(const InteractionMatrix& matrix) override;
+  /// No-op: profiles are derived from the live matrix per request and
+  /// depend only on the queried user's own row (item features are
+  /// static), so an interaction update affects nobody beyond the
+  /// updated users themselves.
+  spa::Status Refresh(RefreshOutcome* outcome) override {
+    (void)outcome;
+    return spa::Status::OK();
+  }
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
   std::string name() const override { return "ContentBased"; }

@@ -1,31 +1,29 @@
 #include "recsys/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.h"
+#include "common/clock.h"
+#include "common/hash.h"
 
 namespace spa::recsys {
 
 namespace {
 
-/// SplitMix64: decorrelates raw ids before combining.
-uint64_t HashU64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+using Clock = std::chrono::steady_clock;
 
 uint64_t Mix(uint64_t h, uint64_t v) {
-  return HashU64(h ^ HashU64(v));
+  return SplitMix64(h ^ SplitMix64(v));
 }
 
 /// Order-independent digest of an item set.
 uint64_t HashItemSet(const std::unordered_set<ItemId>& items) {
   uint64_t acc = 0x1234abcd5678ef90ULL;
   for (ItemId item : items) {
-    acc += HashU64(static_cast<uint64_t>(item));
+    acc += SplitMix64(static_cast<uint64_t>(item));
   }
   return acc;
 }
@@ -38,6 +36,7 @@ RecsysEngine::RecsysEngine(EngineConfig config)
           HybridConfig{config.component_depth})),
       reranker_(config.rerank) {
   SPA_CHECK(config_.rerank_overfetch > 0);
+  SPA_CHECK(config_.interaction_shards > 0);
 }
 
 void RecsysEngine::AddComponent(std::unique_ptr<Recommender> component,
@@ -57,12 +56,116 @@ void RecsysEngine::set_sum_service(const sum::SumService* sums) {
 }
 
 spa::Status RecsysEngine::Fit(const InteractionMatrix& matrix) {
+  return FitInternal(matrix, /*live=*/nullptr);
+}
+
+spa::Status RecsysEngine::Fit(InteractionMatrix* matrix) {
+  SPA_CHECK(matrix != nullptr);
+  return FitInternal(*matrix, matrix);
+}
+
+spa::Status RecsysEngine::FitInternal(const InteractionMatrix& matrix,
+                                      InteractionMatrix* live) {
+  // matrix_ and live_matrix_ must move together — a second critical
+  // section would let a concurrent Fit interleave and leave live
+  // updates pointed at a matrix nobody serves from.
+  std::unique_lock lock(serve_mutex_);
   SPA_RETURN_IF_ERROR(hybrid_->Fit(matrix));
   fitted_ = true;
   ++fit_epoch_;
   matrix_ = &matrix;
+  live_matrix_ = live;
   ClearResponseCache();
   return spa::Status::OK();
+}
+
+// ---- live updates ----------------------------------------------------------
+
+spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
+    const std::vector<Interaction>& batch) {
+  std::unique_lock lock(serve_mutex_);
+  if (!fitted_) {
+    return spa::Status::FailedPrecondition(
+        "engine not fitted; call Fit() before ApplyInteractions");
+  }
+  if (live_matrix_ == nullptr) {
+    return spa::Status::FailedPrecondition(
+        "engine was fitted from a const matrix; Fit(&matrix) to enable "
+        "live updates");
+  }
+  LiveUpdateReport report;
+  report.interactions = batch.size();
+  if (batch.empty()) return report;
+  const uint64_t pre_version = live_matrix_->version();
+
+  // 1. Route the batch into the shards (sequential: registration
+  // order of brand-new users/items must be deterministic so shard
+  // counts never change rankings).
+  const auto apply_start = Clock::now();
+  for (const Interaction& interaction : batch) {
+    live_matrix_->Add(interaction.user, interaction.item,
+                      interaction.weight);
+  }
+  report.apply_seconds = SecondsSince(apply_start);
+
+  // 2. Repair every component's fitted state incrementally.
+  const auto refresh_start = Clock::now();
+  RefreshOutcome outcome;
+  SPA_RETURN_IF_ERROR(hybrid_->Refresh(&outcome));
+  report.refresh_seconds = SecondsSince(refresh_start);
+  report.rows_refreshed = outcome.rows_refreshed;
+  report.full_rebuild = outcome.full_rebuild;
+
+  // 3. Cache maintenance: drop the affected users' entries, re-stamp
+  // everyone else's to the new matrix version (their recompute would
+  // produce the same bytes — that is exactly what "unaffected" means).
+  std::unordered_set<UserId> affected;
+  report.invalidated_all = outcome.all_users;
+  if (!outcome.all_users) {
+    affected.reserve(batch.size() + outcome.affected_users.size());
+    for (const Interaction& interaction : batch) {
+      affected.insert(interaction.user);
+    }
+    for (const UserId user : outcome.affected_users) {
+      affected.insert(user);
+    }
+    report.affected_users = affected.size();
+  }
+  if (config_.response_cache_capacity > 0) {
+    const uint64_t new_version = live_matrix_->version();
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
+      // Only entries that were fresh going into this batch may be
+      // re-stamped: an entry staled by an out-of-band matrix mutation
+      // must not be resurrected just because no component reported
+      // its user for *this* batch.
+      if (outcome.all_users || affected.contains(it->key.user) ||
+          it->matrix_version != pre_version) {
+        cache_index_.erase(it->hash);
+        it = cache_lru_.erase(it);
+        ++report.cache_entries_invalidated;
+        ++cache_stats_.stale_evictions;
+      } else {
+        it->matrix_version = new_version;
+        ++it;
+      }
+    }
+  }
+
+  live_stats_.batches += 1;
+  live_stats_.interactions += report.interactions;
+  live_stats_.rows_refreshed += report.rows_refreshed;
+  live_stats_.full_rebuilds += report.full_rebuild ? 1 : 0;
+  live_stats_.cache_entries_invalidated +=
+      report.cache_entries_invalidated;
+  live_stats_.apply_seconds += report.apply_seconds;
+  live_stats_.refresh_seconds += report.refresh_seconds;
+  return report;
+}
+
+LiveUpdateStats RecsysEngine::live_update_stats() const {
+  std::shared_lock lock(serve_mutex_);
+  return live_stats_;
 }
 
 // ---- response cache --------------------------------------------------------
@@ -109,10 +212,12 @@ std::optional<RecommendResponse> RecsysEngine::CacheLookup(
   if (entry.fit_epoch != fit_epoch_ ||
       entry.matrix_version != matrix_->version() ||
       entry.sum_user_version != sum_user_version) {
-    // An update landed for this user, the fitted matrix was mutated,
-    // or the stack was refitted since the entry was memoized: drop it
-    // in place. (The matrix guard reads the live version — the base
-    // recommenders serve from the live matrix too.)
+    // An update landed for this user, the fitted matrix was mutated
+    // outside ApplyInteractions, or the stack was refitted since the
+    // entry was memoized: drop it in place. (The matrix guard reads
+    // the live version — the base recommenders serve from the live
+    // matrix too; ApplyInteractions re-stamps unaffected entries, so
+    // they keep matching.)
     cache_lru_.erase(it->second);
     cache_index_.erase(it);
     ++cache_stats_.stale_evictions;
@@ -180,10 +285,48 @@ void RecsysEngine::ClearResponseCache() const {
   cache_index_.clear();
 }
 
+void RecsysEngine::RecordStage(AtomicStage* stage,
+                               double seconds) const {
+  const auto nanos = static_cast<uint64_t>(seconds * 1e9);
+  stage->count.fetch_add(1, std::memory_order_relaxed);
+  stage->total_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t prev = stage->max_nanos.load(std::memory_order_relaxed);
+  while (prev < nanos &&
+         !stage->max_nanos.compare_exchange_weak(
+             prev, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+StageStats RecsysEngine::stage_stats() const {
+  const auto snapshot = [](const AtomicStage& s) {
+    StageStats::Stage out;
+    out.count = s.count.load(std::memory_order_relaxed);
+    out.total_seconds =
+        static_cast<double>(s.total_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
+    out.max_seconds =
+        static_cast<double>(s.max_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
+    return out;
+  };
+  StageStats stats;
+  stats.candidate_gen = snapshot(stage_candidate_gen_);
+  stats.rerank = snapshot(stage_rerank_);
+  stats.cache_lookup = snapshot(stage_cache_lookup_);
+  return stats;
+}
+
 // ---- serving ---------------------------------------------------------------
 
 spa::Result<RecommendResponse> RecsysEngine::Recommend(
     const RecommendRequest& request) const {
+  std::shared_lock lock(serve_mutex_);
+  return RecommendImpl(request, /*batch_snapshot=*/nullptr);
+}
+
+spa::Result<RecommendResponse> RecsysEngine::RecommendImpl(
+    const RecommendRequest& request,
+    const sum::SumSnapshotPtr& batch_snapshot) const {
   SPA_RETURN_IF_ERROR(ValidateRequest(request));
   if (!fitted_) {
     return spa::Status::FailedPrecondition(
@@ -191,10 +334,15 @@ spa::Result<RecommendResponse> RecsysEngine::Recommend(
   }
 
   // Pin the emotional context for the whole request: the caller's
-  // override snapshot wins; otherwise the service's current head.
+  // override snapshot wins, then the batch-pinned view, then the
+  // service's current head.
   sum::SumSnapshotPtr snapshot = request.emotion_override;
   const bool overridden = snapshot != nullptr;
-  if (!overridden && sums_ != nullptr) snapshot = sums_->snapshot();
+  if (!overridden) {
+    snapshot = batch_snapshot != nullptr
+                   ? batch_snapshot
+                   : (sums_ != nullptr ? sums_->snapshot() : nullptr);
+  }
 
   const sum::SmartUserModel* model = nullptr;
   uint64_t sum_user_version = 0;
@@ -209,10 +357,10 @@ spa::Result<RecommendResponse> RecsysEngine::Recommend(
   uint64_t fingerprint = 0;
   if (cacheable) {
     fingerprint = FingerprintRequest(request);
-    if (auto cached =
-            CacheLookup(fingerprint, request, sum_user_version)) {
-      return *std::move(cached);
-    }
+    const auto lookup_start = Clock::now();
+    auto cached = CacheLookup(fingerprint, request, sum_user_version);
+    RecordStage(&stage_cache_lookup_, SecondsSince(lookup_start));
+    if (cached) return *std::move(cached);
   }
   auto response = Serve(request, model);
   if (cacheable && response.ok()) {
@@ -236,11 +384,14 @@ spa::Result<RecommendResponse> RecsysEngine::Serve(
   query.candidate_items = request.candidate_items.has_value()
                               ? &*request.candidate_items
                               : nullptr;
+  const auto candidate_start = Clock::now();
   std::vector<HybridRecommender::Blended> blended =
       hybrid_->BlendCandidates(query,
                                /*track_contributions=*/request.explain);
   if (blended.size() > query.k) blended.resize(query.k);
+  RecordStage(&stage_candidate_gen_, SecondsSince(candidate_start));
 
+  const auto rerank_start = Clock::now();
   const bool apply_emotion =
       config_.emotion_enabled && model != nullptr && !blended.empty();
 
@@ -318,6 +469,7 @@ spa::Result<RecommendResponse> RecsysEngine::Serve(
     }
     response.items.push_back(std::move(item));
   }
+  RecordStage(&stage_rerank_, SecondsSince(rerank_start));
   return response;
 }
 
@@ -328,10 +480,22 @@ std::vector<spa::Result<RecommendResponse>> RecsysEngine::RecommendBatch(
       spa::Result<RecommendResponse>(
           spa::Status::Internal("request not served")));
   if (requests.empty()) return results;
+  // One snapshot for the whole batch: every request sees the same
+  // emotional context (mutually consistent rankings) and the per-
+  // request snapshot acquisition disappears from the hot path.
+  const sum::SumSnapshotPtr batch_snapshot =
+      sums_ != nullptr ? sums_->snapshot() : nullptr;
   ThreadPool* pool = EnsurePool();
+  // One shared hold for the whole batch, on behalf of all workers: a
+  // concurrent ApplyInteractions cannot interleave mid-batch, so the
+  // matrix view is as mutually consistent as the SUM view. (Workers
+  // must not re-acquire: a writer queued behind this hold would block
+  // them under writer-priority locks while the batch waits on the
+  // workers — deadlock.)
+  std::shared_lock lock(serve_mutex_);
   ParallelFor(pool, requests.size(),
-              [this, &requests, &results](size_t i) {
-                results[i] = Recommend(requests[i]);
+              [this, &requests, &results, &batch_snapshot](size_t i) {
+                results[i] = RecommendImpl(requests[i], batch_snapshot);
               });
   return results;
 }

@@ -1,13 +1,16 @@
 #ifndef SPA_RECSYS_ENGINE_H_
 #define SPA_RECSYS_ENGINE_H_
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/rw_lock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "recsys/emotion_aware.h"
@@ -24,9 +27,27 @@
 /// scaling layer (sharding, caching, async) plugs into.
 ///
 /// Emotional context comes from a `sum::SumService`: each request pins
-/// the service's current `SumSnapshot`, so serving always sees a
-/// frozen, consistent view while the Attributes Manager keeps applying
+/// the service's current `SumSnapshot` — and `RecommendBatch` pins
+/// **one** snapshot for the whole batch, so batched rankings are
+/// mutually consistent and the N-1 extra snapshot acquisitions
+/// disappear — while the Attributes Manager keeps applying
 /// `SumUpdate`s concurrently (update-while-serve).
+///
+/// ## Live interaction updates
+///
+/// An engine fitted with `Fit(&matrix)` (write access) accepts
+/// `ApplyInteractions(batch)`: the batch is routed into the sharded
+/// interaction store, every component's fitted state is repaired
+/// incrementally (`Recommender::Refresh` — for the KNN components
+/// only the similarity-index rows a mutation could change are
+/// rebuilt), and only the cache entries of affected users are
+/// dropped. Serving after the call is bitwise-identical to a full
+/// refit on the same matrix. Writers take the engine's exclusive
+/// serve lock; requests hold the shared side, so update-while-serve
+/// is safe by construction. Mutating the matrix *without* going
+/// through `ApplyInteractions` remains what it always was: cache
+/// entries stop matching, and indexed KNN components hard-fail until
+/// a Refresh or refit.
 ///
 /// ## Response cache
 ///
@@ -36,11 +57,11 @@
 ///
 ///  * **fit epoch + interaction-matrix version** — the matrix version
 ///    is compared against the *live* matrix at lookup, so mutating
-///    the fitted matrix (even without a refit) invalidates every
-///    entry; a refit additionally clears the cache eagerly. (Stack
-///    components that keep a fit-time similarity index — the default
-///    KNN configuration — go further: they hard-fail on post-Fit
-///    mutation, so a mutated matrix must be refitted before serving.)
+///    the fitted matrix behind the engine's back invalidates every
+///    entry; a refit additionally clears the cache eagerly.
+///    `ApplyInteractions` instead re-stamps the entries of unaffected
+///    users to the new version (their recompute provably produces the
+///    same bytes) and erases exactly the affected users' entries;
 ///  * **SUM user version** — `SumSnapshot::UserVersion(user)` at serve
 ///    time; a single `SumService::Apply` touching the user bumps it,
 ///    so exactly that user's entries stop matching while other users'
@@ -74,6 +95,10 @@ struct EngineConfig {
   size_t batch_threads = 0;
   /// Max memoized responses (LRU beyond this; 0 disables the cache).
   size_t response_cache_capacity = 4096;
+  /// User/item-hash shard count for interaction stores the platform
+  /// builds around this engine (`core::Spa` constructs its matrix
+  /// with it); 1 reproduces the unsharded layout bit-for-bit.
+  size_t interaction_shards = 1;
 };
 
 /// \brief Fit-time index report of one stack component.
@@ -87,10 +112,48 @@ struct EngineCacheStats {
   uint64_t hits = 0;
   /// Lookups that had to compute (includes stale invalidations).
   uint64_t misses = 0;
-  /// Entries dropped because a version guard no longer matched.
+  /// Entries dropped because a version guard no longer matched, or
+  /// because ApplyInteractions marked their user affected.
   uint64_t stale_evictions = 0;
   /// Entries dropped by LRU capacity pressure.
   uint64_t capacity_evictions = 0;
+};
+
+/// \brief What one ApplyInteractions call did.
+struct LiveUpdateReport {
+  size_t interactions = 0;       ///< batch size routed into the shards
+  size_t rows_refreshed = 0;     ///< index rows rebuilt across components
+  bool full_rebuild = false;     ///< some component rebuilt everything
+  /// Distinct users whose rankings may have changed (batch users plus
+  /// component-reported reverse neighbors); 0 with `invalidated_all`.
+  size_t affected_users = 0;
+  bool invalidated_all = false;  ///< cache dropped engine-wide
+  size_t cache_entries_invalidated = 0;
+  double apply_seconds = 0.0;    ///< matrix shard writes
+  double refresh_seconds = 0.0;  ///< component state repair
+};
+
+/// \brief Cumulative ApplyInteractions counters.
+struct LiveUpdateStats {
+  uint64_t batches = 0;
+  uint64_t interactions = 0;
+  uint64_t rows_refreshed = 0;
+  uint64_t full_rebuilds = 0;
+  uint64_t cache_entries_invalidated = 0;
+  double apply_seconds = 0.0;
+  double refresh_seconds = 0.0;
+};
+
+/// \brief Per-stage serving latency counters (cumulative).
+struct StageStats {
+  struct Stage {
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+  Stage candidate_gen;  ///< hybrid blend (component fan-out)
+  Stage rerank;         ///< emotion re-score + sort + materialize
+  Stage cache_lookup;   ///< response-cache probes (hits and misses)
 };
 
 /// \brief Owns the recommender stack and serves requests.
@@ -118,8 +181,11 @@ class RecsysEngine {
 
   /// Fits every component; the matrix must outlive the engine. Clears
   /// the response cache and captures the matrix version for the cache
-  /// key.
+  /// key. Read-only serving: ApplyInteractions needs Fit(&matrix).
   spa::Status Fit(const InteractionMatrix& matrix);
+  /// Same, but keeps write access so ApplyInteractions can route live
+  /// updates into the matrix.
+  spa::Status Fit(InteractionMatrix* matrix);
   bool fitted() const { return fitted_; }
 
   // ---- serving -----------------------------------------------------------
@@ -130,9 +196,24 @@ class RecsysEngine {
       const RecommendRequest& request) const;
 
   /// Serves a batch in parallel; results align with `requests` by index
-  /// and are byte-identical to sequential `Recommend` calls.
+  /// and are byte-identical to sequential `Recommend` calls made
+  /// against the batch's pinned SUM snapshot (one snapshot for the
+  /// whole batch: rankings are mutually consistent even while updates
+  /// land).
   std::vector<spa::Result<RecommendResponse>> RecommendBatch(
       const std::vector<RecommendRequest>& requests);
+
+  // ---- live updates ------------------------------------------------------
+  /// Routes one interaction batch into the (mutable) fitted matrix,
+  /// repairs every component's fitted state incrementally, and drops
+  /// exactly the affected users' cache entries. Serialized against
+  /// serving via the engine's writer lock. Errors: FailedPrecondition
+  /// when not fitted or fitted without write access.
+  spa::Result<LiveUpdateReport> ApplyInteractions(
+      const std::vector<Interaction>& batch);
+
+  /// Cumulative ApplyInteractions counters.
+  LiveUpdateStats live_update_stats() const;
 
   // ---- introspection -----------------------------------------------------
   const EngineConfig& config() const { return config_; }
@@ -155,6 +236,11 @@ class RecsysEngine {
   size_t cache_size() const;
   /// Drops every cached response (counters are kept).
   void ClearResponseCache() const;
+
+  /// Per-stage serving latency counters (cumulative since
+  /// construction; candidate-gen and rerank count computed responses,
+  /// cache-lookup counts probes).
+  StageStats stage_stats() const;
 
  private:
   /// Canonical identity of a cacheable request.
@@ -180,6 +266,10 @@ class RecsysEngine {
   static bool KeyMatches(const CacheKey& key,
                          const RecommendRequest& request);
 
+  /// Shared Fit body; `live` is the write handle (null = read-only).
+  spa::Status FitInternal(const InteractionMatrix& matrix,
+                          InteractionMatrix* live);
+
   /// Returns the cached response when a fresh entry matches.
   std::optional<RecommendResponse> CacheLookup(
       uint64_t hash, const RecommendRequest& request,
@@ -188,10 +278,28 @@ class RecsysEngine {
                    uint64_t sum_user_version,
                    const RecommendResponse& response) const;
 
+  /// Serving core; the caller holds the shared serve lock.
+  /// `batch_snapshot` (may be null) is the batch-pinned SUM view —
+  /// single requests pass null and pin their own.
+  spa::Result<RecommendResponse> RecommendImpl(
+      const RecommendRequest& request,
+      const sum::SumSnapshotPtr& batch_snapshot) const;
+
   /// The uncached serving path, against a pinned snapshot.
   spa::Result<RecommendResponse> Serve(
       const RecommendRequest& request,
       const sum::SmartUserModel* model) const;
+
+  /// Lock-free accumulator behind one StageStats::Stage — every batch
+  /// worker records into these on every response, so a shared mutex
+  /// here would serialize the parallel hot path being measured.
+  struct AtomicStage {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> total_nanos{0};
+    std::atomic<uint64_t> max_nanos{0};
+  };
+
+  void RecordStage(AtomicStage* stage, double seconds) const;
 
   EngineConfig config_;
   std::unique_ptr<HybridRecommender> hybrid_;
@@ -205,6 +313,14 @@ class RecsysEngine {
   /// version() is a cache guard: mutations after Fit stop every
   /// earlier entry from matching.
   const InteractionMatrix* matrix_ = nullptr;
+  /// Write handle to the same matrix; null when fitted via the const
+  /// overload (ApplyInteractions then refuses).
+  InteractionMatrix* live_matrix_ = nullptr;
+
+  /// Serve-while-update coordination: requests hold the shared side,
+  /// ApplyInteractions/Fit the exclusive side. Writer-priority —
+  /// continuous read traffic must not starve live updates.
+  mutable WriterPriorityMutex serve_mutex_;
 
   /// Response cache: LRU list (front = most recent) indexed by request
   /// fingerprint. Guarded by cache_mutex_ (Recommend stays const and
@@ -214,6 +330,16 @@ class RecsysEngine {
   mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
       cache_index_;
   mutable EngineCacheStats cache_stats_;
+
+  /// Stage latency counters (updated on every serve, including cache
+  /// hits, by every batch worker).
+  mutable AtomicStage stage_candidate_gen_;
+  mutable AtomicStage stage_rerank_;
+  mutable AtomicStage stage_cache_lookup_;
+
+  /// Live-update counters (mutated only under the exclusive serve
+  /// lock; read under the shared side).
+  LiveUpdateStats live_stats_;
 
   ThreadPool* EnsurePool();
 };

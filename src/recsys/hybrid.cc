@@ -29,6 +29,28 @@ spa::Status HybridRecommender::Fit(const InteractionMatrix& matrix) {
   return spa::Status::OK();
 }
 
+spa::Status HybridRecommender::Refresh(RefreshOutcome* outcome) {
+  if (components_.empty()) {
+    return spa::Status::FailedPrecondition("hybrid has no components");
+  }
+  for (Component& c : components_) {
+    RefreshOutcome o;
+    SPA_RETURN_IF_ERROR(c.recommender->Refresh(&o));
+    outcome->refreshed_index |= o.refreshed_index;
+    outcome->full_rebuild |= o.full_rebuild;
+    outcome->rows_refreshed += o.rows_refreshed;
+    outcome->seconds += o.seconds;
+    outcome->all_users |= o.all_users;
+    if (!outcome->all_users) {
+      outcome->affected_users.insert(outcome->affected_users.end(),
+                                     o.affected_users.begin(),
+                                     o.affected_users.end());
+    }
+  }
+  if (outcome->all_users) outcome->affected_users.clear();
+  return spa::Status::OK();
+}
+
 std::vector<HybridRecommender::Blended>
 HybridRecommender::BlendCandidates(const CandidateQuery& query,
                                    bool track_contributions) const {

@@ -28,6 +28,10 @@ class HybridRecommender : public Recommender {
                     double weight);
 
   spa::Status Fit(const InteractionMatrix& matrix) override;
+  /// Refreshes every component and merges their outcomes (union of
+  /// affected users, OR of the all-users/full-rebuild flags, summed
+  /// costs).
+  spa::Status Refresh(RefreshOutcome* outcome) override;
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
   std::string name() const override { return "WeightedHybrid"; }

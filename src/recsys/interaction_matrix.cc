@@ -1,10 +1,47 @@
 #include "recsys/interaction_matrix.h"
 
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
 namespace spa::recsys {
 
-void InteractionMatrix::Add(UserId user, ItemId item, double weight) {
-  auto [uit, user_new] = by_user_.try_emplace(user);
-  if (user_new) user_order_.push_back(user);
+ShardedInteractionMatrix::ShardedInteractionMatrix(size_t shards)
+    : global_(std::make_unique<Global>()) {
+  SPA_CHECK_MSG(shards > 0, "interaction matrix needs >= 1 shard");
+  user_shards_.reserve(shards);
+  item_shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    user_shards_.push_back(std::make_unique<UserShard>());
+    item_shards_.push_back(std::make_unique<ItemShard>());
+  }
+}
+
+size_t ShardedInteractionMatrix::UserShardIndex(UserId user) const {
+  return user_shards_.size() == 1
+             ? 0
+             : SplitMix64(static_cast<uint64_t>(user)) %
+                   user_shards_.size();
+}
+
+size_t ShardedInteractionMatrix::ItemShardIndex(ItemId item) const {
+  return item_shards_.size() == 1
+             ? 0
+             : SplitMix64(static_cast<uint64_t>(item)) %
+                   item_shards_.size();
+}
+
+void ShardedInteractionMatrix::Add(UserId user, ItemId item,
+                                   double weight) {
+  UserShard& us = *user_shards_[UserShardIndex(user)];
+  ItemShard& is = *item_shards_[ItemShardIndex(item)];
+  const uint64_t stamp =
+      global_->version.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::scoped_lock lock(us.mu, is.mu);
+
+  auto [uit, user_new] = us.rows.try_emplace(user);
   double old_weight = 0.0;
   bool accumulated = false;
   for (auto& [existing_item, w] : uit->second) {
@@ -21,11 +58,10 @@ void InteractionMatrix::Add(UserId user, ItemId item, double weight) {
   const double new_weight = old_weight + weight;
   const double norm_delta =
       new_weight * new_weight - old_weight * old_weight;
-  user_norm_sq_[user] += norm_delta;
-  item_norm_sq_[item] += norm_delta;
+  us.norm_sq[user] += norm_delta;
+  is.norm_sq[item] += norm_delta;
 
-  auto [iit, item_new] = by_item_.try_emplace(item);
-  if (item_new) item_order_.push_back(item);
+  auto [iit, item_new] = is.postings.try_emplace(item);
   if (accumulated) {
     for (auto& [existing_user, w] : iit->second) {
       if (existing_user == user) {
@@ -36,39 +72,99 @@ void InteractionMatrix::Add(UserId user, ItemId item, double weight) {
   } else {
     iit->second.emplace_back(user, weight);
   }
-  ++interactions_;
-  ++version_;
+
+  // max, not assignment: stamps are drawn before the shard locks, so
+  // a concurrent Add can reach the lock with a *newer* stamp first —
+  // overwriting would roll the row back to "clean before version N"
+  // and a later TouchedSince(N-1) would silently skip it.
+  uint64_t& user_stamp = us.touched[user];
+  user_stamp = std::max(user_stamp, stamp);
+  us.last_touched = std::max(us.last_touched, stamp);
+  ++us.version;
+  uint64_t& item_stamp = is.touched[item];
+  item_stamp = std::max(item_stamp, stamp);
+  is.last_touched = std::max(is.last_touched, stamp);
+  ++is.version;
+
+  if (user_new || item_new) {
+    std::lock_guard<std::mutex> order_lock(global_->order_mu);
+    if (user_new) global_->user_order.push_back(user);
+    if (item_new) global_->item_order.push_back(item);
+  }
+  global_->interactions.fetch_add(1, std::memory_order_relaxed);
 }
 
-const std::vector<std::pair<ItemId, double>>& InteractionMatrix::ItemsOf(
-    UserId user) const {
+const std::vector<std::pair<ItemId, double>>&
+ShardedInteractionMatrix::ItemsOf(UserId user) const {
   static const std::vector<std::pair<ItemId, double>> kEmpty;
-  const auto it = by_user_.find(user);
-  return it == by_user_.end() ? kEmpty : it->second;
+  const UserShard& shard = *user_shards_[UserShardIndex(user)];
+  const auto it = shard.rows.find(user);
+  return it == shard.rows.end() ? kEmpty : it->second;
 }
 
-const std::vector<std::pair<UserId, double>>& InteractionMatrix::UsersOf(
-    ItemId item) const {
+const std::vector<std::pair<UserId, double>>&
+ShardedInteractionMatrix::UsersOf(ItemId item) const {
   static const std::vector<std::pair<UserId, double>> kEmpty;
-  const auto it = by_item_.find(item);
-  return it == by_item_.end() ? kEmpty : it->second;
+  const ItemShard& shard = *item_shards_[ItemShardIndex(item)];
+  const auto it = shard.postings.find(item);
+  return it == shard.postings.end() ? kEmpty : it->second;
 }
 
-bool InteractionMatrix::Seen(UserId user, ItemId item) const {
+bool ShardedInteractionMatrix::Seen(UserId user, ItemId item) const {
   for (const auto& [existing, w] : ItemsOf(user)) {
     if (existing == item) return true;
   }
   return false;
 }
 
-double InteractionMatrix::UserNormSquared(UserId user) const {
-  const auto it = user_norm_sq_.find(user);
-  return it == user_norm_sq_.end() ? 0.0 : it->second;
+double ShardedInteractionMatrix::UserNormSquared(UserId user) const {
+  const UserShard& shard = *user_shards_[UserShardIndex(user)];
+  const auto it = shard.norm_sq.find(user);
+  return it == shard.norm_sq.end() ? 0.0 : it->second;
 }
 
-double InteractionMatrix::ItemNormSquared(ItemId item) const {
-  const auto it = item_norm_sq_.find(item);
-  return it == item_norm_sq_.end() ? 0.0 : it->second;
+double ShardedInteractionMatrix::ItemNormSquared(ItemId item) const {
+  const ItemShard& shard = *item_shards_[ItemShardIndex(item)];
+  const auto it = shard.norm_sq.find(item);
+  return it == shard.norm_sq.end() ? 0.0 : it->second;
+}
+
+uint64_t ShardedInteractionMatrix::user_shard_version(
+    size_t shard) const {
+  SPA_CHECK(shard < user_shards_.size());
+  return user_shards_[shard]->version;
+}
+
+uint64_t ShardedInteractionMatrix::item_shard_version(
+    size_t shard) const {
+  SPA_CHECK(shard < item_shards_.size());
+  return item_shards_[shard]->version;
+}
+
+std::vector<UserId> ShardedInteractionMatrix::UsersTouchedSince(
+    uint64_t since) const {
+  std::vector<UserId> out;
+  for (const auto& shard : user_shards_) {
+    if (shard->last_touched <= since) continue;
+    for (const auto& [user, stamp] : shard->touched) {
+      if (stamp > since) out.push_back(user);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ItemId> ShardedInteractionMatrix::ItemsTouchedSince(
+    uint64_t since) const {
+  std::vector<ItemId> out;
+  for (const auto& shard : item_shards_) {
+    if (shard->last_touched <= since) continue;
+    for (const auto& [item, stamp] : shard->touched) {
+      if (stamp > since) out.push_back(item);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace spa::recsys

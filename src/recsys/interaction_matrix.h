@@ -1,33 +1,69 @@
 #ifndef SPA_RECSYS_INTERACTION_MATRIX_H_
 #define SPA_RECSYS_INTERACTION_MATRIX_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "lifelog/event.h"
 
 /// \file
-/// User-item interaction matrix backing the collaborative-filtering
-/// baselines. Weights encode interaction strength (view < click <
+/// User-item interaction store backing the collaborative-filtering
+/// stack. Weights encode interaction strength (view < click <
 /// info-request < enrolment).
+///
+/// The store is sharded for live-update serving at scale: user rows
+/// live in N user-hash shards and item postings in N item-hash shards,
+/// each shard with its own mutation lock, mutation counter, norm maps
+/// and dirty-row stamps. The read API (`ItemsOf`/`UsersOf`/`Seen`,
+/// counts, norms, `users()`/`items()`) is unchanged from the unsharded
+/// store, and the stored data is bit-for-bit identical for every shard
+/// count — per-row vectors keep global insertion order, so every
+/// similarity the index layer computes is shard-count-invariant.
+///
+/// Thread-safety contract:
+///  * concurrent `Add`s are safe (per-shard locking; registration
+///    order of brand-new users/items is then timing-dependent, so
+///    deterministic pipelines apply batches from one thread);
+///  * reads are lock-free and must not race writes — serving layers
+///    coordinate, e.g. `RecsysEngine::ApplyInteractions` takes the
+///    engine's writer lock while requests hold the reader side.
 
 namespace spa::recsys {
 
 using UserId = lifelog::UserId;
 using ItemId = lifelog::ItemId;
 
-/// One weighted user-item interaction.
+/// One weighted user-item interaction (also the unit of the engine's
+/// live-update batches).
 struct Interaction {
   UserId user = 0;
   ItemId item = lifelog::kNoItem;
   double weight = 1.0;
 };
 
-/// \brief Bidirectional sparse interaction index.
-class InteractionMatrix {
+/// \brief Bidirectional sparse interaction store, sharded by user/item
+/// hash.
+class ShardedInteractionMatrix {
  public:
-  /// Adds (accumulates) one interaction.
+  /// `shards` user shards and `shards` item shards; 1 (the default)
+  /// reproduces the unsharded layout bit-for-bit.
+  explicit ShardedInteractionMatrix(size_t shards = 1);
+
+  /// Movable (the platform rebuilds its store in place), not copyable
+  /// (shards own locks; serving layers borrow by reference).
+  ShardedInteractionMatrix(ShardedInteractionMatrix&&) = default;
+  ShardedInteractionMatrix& operator=(ShardedInteractionMatrix&&) =
+      default;
+  ShardedInteractionMatrix(const ShardedInteractionMatrix&) = delete;
+  ShardedInteractionMatrix& operator=(const ShardedInteractionMatrix&) =
+      delete;
+
+  /// Adds (accumulates) one interaction; routes the user row and the
+  /// item postings to their shards and stamps both rows dirty.
   void Add(UserId user, ItemId item, double weight = 1.0);
 
   /// Items of one user as (item, weight), unordered.
@@ -38,17 +74,21 @@ class InteractionMatrix {
 
   bool Seen(UserId user, ItemId item) const;
 
-  size_t user_count() const { return by_user_.size(); }
-  size_t item_count() const { return by_item_.size(); }
-  size_t interaction_count() const { return interactions_; }
+  size_t user_count() const { return global_->user_order.size(); }
+  size_t item_count() const { return global_->item_order.size(); }
+  size_t interaction_count() const {
+    return global_->interactions.load(std::memory_order_relaxed);
+  }
 
-  /// Monotonic mutation counter: bumped by every Add. Serving layers
-  /// key caches on (matrix version at Fit) so stale entries can never
-  /// outlive a refit on changed data.
-  uint64_t version() const { return version_; }
+  /// Monotonic mutation counter: bumped by every Add (equals the sum
+  /// of all shard versions). Serving layers key caches and similarity
+  /// indexes on it.
+  uint64_t version() const {
+    return global_->version.load(std::memory_order_relaxed);
+  }
 
-  const std::vector<UserId>& users() const { return user_order_; }
-  const std::vector<ItemId>& items() const { return item_order_; }
+  const std::vector<UserId>& users() const { return global_->user_order; }
+  const std::vector<ItemId>& items() const { return global_->item_order; }
 
   /// Squared L2 norm of a user's interaction vector. O(1): maintained
   /// incrementally by Add (norms sit on every cosine-similarity path,
@@ -57,18 +97,64 @@ class InteractionMatrix {
   /// Squared L2 norm of an item's interaction vector. O(1).
   double ItemNormSquared(ItemId item) const;
 
+  // ---- sharding introspection & dirty-row tracking -----------------------
+
+  size_t shard_count() const { return user_shards_.size(); }
+  /// Mutations routed to one user/item shard (all shards sum to
+  /// `version()`).
+  uint64_t user_shard_version(size_t shard) const;
+  uint64_t item_shard_version(size_t shard) const;
+
+  /// Users whose rows mutated after global version `since`, ascending.
+  /// Shards untouched since `since` are skipped entirely, so a refresh
+  /// after a small batch scans only the shards the batch hit.
+  std::vector<UserId> UsersTouchedSince(uint64_t since) const;
+  /// Items whose postings mutated after global version `since`,
+  /// ascending.
+  std::vector<ItemId> ItemsTouchedSince(uint64_t since) const;
+
  private:
-  std::unordered_map<UserId, std::vector<std::pair<ItemId, double>>>
-      by_user_;
-  std::unordered_map<ItemId, std::vector<std::pair<UserId, double>>>
-      by_item_;
-  std::vector<UserId> user_order_;
-  std::vector<ItemId> item_order_;
-  std::unordered_map<UserId, double> user_norm_sq_;
-  std::unordered_map<ItemId, double> item_norm_sq_;
-  size_t interactions_ = 0;
-  uint64_t version_ = 0;
+  struct UserShard {
+    std::unordered_map<UserId, std::vector<std::pair<ItemId, double>>>
+        rows;
+    std::unordered_map<UserId, double> norm_sq;
+    /// Global version stamp of each row's last mutation.
+    std::unordered_map<UserId, uint64_t> touched;
+    uint64_t version = 0;       ///< mutations routed to this shard
+    uint64_t last_touched = 0;  ///< global version of the latest one
+    std::mutex mu;
+  };
+  struct ItemShard {
+    std::unordered_map<ItemId, std::vector<std::pair<UserId, double>>>
+        postings;
+    std::unordered_map<ItemId, double> norm_sq;
+    std::unordered_map<ItemId, uint64_t> touched;
+    uint64_t version = 0;
+    uint64_t last_touched = 0;
+    std::mutex mu;
+  };
+  /// State shared across shards. Counters are atomic so shard-parallel
+  /// writers do not race; the mutex guards the registration-order
+  /// vectors.
+  struct Global {
+    std::vector<UserId> user_order;
+    std::vector<ItemId> item_order;
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> interactions{0};
+    std::mutex order_mu;
+  };
+
+  size_t UserShardIndex(UserId user) const;
+  size_t ItemShardIndex(ItemId item) const;
+
+  std::vector<std::unique_ptr<UserShard>> user_shards_;
+  std::vector<std::unique_ptr<ItemShard>> item_shards_;
+  std::unique_ptr<Global> global_;
 };
+
+/// Every consumer of the store compiled against this name before the
+/// sharding refactor; the alias keeps that API surface stable.
+using InteractionMatrix = ShardedInteractionMatrix;
 
 }  // namespace spa::recsys
 

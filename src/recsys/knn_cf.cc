@@ -15,6 +15,7 @@ SimilarityIndexConfig IndexConfigFrom(const KnnConfig& config) {
   out.top_n = config.neighbors;
   out.min_similarity = config.min_similarity;
   out.build_threads = config.index_build_threads;
+  out.full_rebuild_fraction = config.refresh_full_rebuild_fraction;
   return out;
 }
 
@@ -35,6 +36,33 @@ spa::Status UserKnnRecommender::Fit(const InteractionMatrix& matrix) {
 
 const SimilarityIndexStats* UserKnnRecommender::index_stats() const {
   return index_ == nullptr ? nullptr : &index_->stats();
+}
+
+spa::Status UserKnnRecommender::Refresh(RefreshOutcome* outcome) {
+  if (matrix_ == nullptr) {
+    return spa::Status::FailedPrecondition(
+        "UserKNN not fitted; nothing to refresh");
+  }
+  if (index_ == nullptr) {
+    // Lazy mode recomputes similarities from the live matrix: any
+    // user sharing an item with an updated user re-ranks differently,
+    // and without an index there is no cheap way to bound that set.
+    outcome->all_users = true;
+    return spa::Status::OK();
+  }
+  auto report = RefreshUserSimilarityIndex(index_.get(), *matrix_);
+  outcome->refreshed_index = true;
+  outcome->full_rebuild = report.full_rebuild;
+  outcome->rows_refreshed =
+      report.full_rebuild ? index_->stats().rows : report.rows.size();
+  outcome->seconds = report.seconds;
+  outcome->all_users = report.full_rebuild;
+  if (!report.full_rebuild) {
+    outcome->affected_users.insert(outcome->affected_users.end(),
+                                   report.rows.begin(),
+                                   report.rows.end());
+  }
+  return spa::Status::OK();
 }
 
 double UserKnnRecommender::Similarity(UserId a, UserId b) const {
@@ -60,7 +88,7 @@ std::vector<Scored> UserKnnRecommender::RecommendCandidates(
     SPA_CHECK_MSG(
         index_->built_version() == matrix_->version(),
         "stale UserKNN similarity index: the InteractionMatrix was "
-        "mutated after Fit; refit before serving");
+        "mutated after Fit; Refresh() or refit before serving");
     for (const auto& neighbor : index_->NeighborsOf(user)) {
       accumulate(neighbor.id, neighbor.similarity);
     }
@@ -117,6 +145,34 @@ const SimilarityIndexStats* ItemKnnRecommender::index_stats() const {
   return index_ == nullptr ? nullptr : &index_->stats();
 }
 
+spa::Status ItemKnnRecommender::Refresh(RefreshOutcome* outcome) {
+  if (matrix_ == nullptr) {
+    return spa::Status::FailedPrecondition(
+        "ItemKNN not fitted; nothing to refresh");
+  }
+  if (index_ == nullptr) {
+    outcome->all_users = true;
+    return spa::Status::OK();
+  }
+  auto report = RefreshItemSimilarityIndex(index_.get(), *matrix_);
+  outcome->refreshed_index = true;
+  outcome->full_rebuild = report.full_rebuild;
+  outcome->rows_refreshed =
+      report.full_rebuild ? index_->stats().rows : report.rows.size();
+  outcome->seconds = report.seconds;
+  outcome->all_users = report.full_rebuild;
+  if (!report.full_rebuild) {
+    // A user's ItemKNN scores sum over the neighbor rows of their own
+    // items: everyone holding a rebuilt item row may re-rank.
+    for (const ItemId item : report.rows) {
+      for (const auto& [user, w] : matrix_->UsersOf(item)) {
+        outcome->affected_users.push_back(user);
+      }
+    }
+  }
+  return spa::Status::OK();
+}
+
 double ItemKnnRecommender::Similarity(ItemId a, ItemId b) const {
   return SparseCosine(matrix_->UsersOf(a), matrix_->UsersOf(b),
                       matrix_->ItemNormSquared(a),
@@ -135,7 +191,7 @@ std::vector<Scored> ItemKnnRecommender::RecommendCandidates(
     SPA_CHECK_MSG(
         index_->built_version() == matrix_->version(),
         "stale ItemKNN similarity index: the InteractionMatrix was "
-        "mutated after Fit; refit before serving");
+        "mutated after Fit; Refresh() or refit before serving");
     for (const auto& [item, weight] : own_items) {
       for (const auto& neighbor : index_->NeighborsOf(item)) {
         if (query.Admits(matrix_, neighbor.id)) {

@@ -22,8 +22,12 @@
 /// (both paths produce bitwise-identical rankings).
 ///
 /// An indexed recommender hard-fails (`SPA_CHECK`) when the fitted
-/// matrix was mutated after `Fit`: serving a stale neighbor graph is a
-/// silent-corruption bug, so it must refit first.
+/// matrix was mutated after `Fit` and not brought back in sync:
+/// serving a stale neighbor graph is a silent-corruption bug. Unlike
+/// the original contract (refit or die), `Refresh()` now repairs the
+/// index incrementally — only the rows a mutation could have changed
+/// are rebuilt — and serving resumes with rankings bitwise-identical
+/// to a full refit.
 
 namespace spa::recsys {
 
@@ -35,6 +39,9 @@ struct KnnConfig {
   bool use_index = true;
   /// Worker threads for the index build (0 = auto).
   size_t index_build_threads = 0;
+  /// Incremental Refresh() falls back to a full index rebuild when
+  /// the affected rows exceed this fraction of all rows.
+  double refresh_full_rebuild_fraction = 0.25;
 };
 
 /// \brief User-based CF: score(u, i) = sum over similar users v of
@@ -44,6 +51,13 @@ class UserKnnRecommender : public Recommender {
   explicit UserKnnRecommender(KnnConfig config = {});
 
   spa::Status Fit(const InteractionMatrix& matrix) override;
+  /// Rebuilds only the user rows affected by post-Fit matrix
+  /// mutations; affected users = the rebuilt rows (a user's scores
+  /// read its own neighbor row plus live neighbor vectors, and any
+  /// row referencing a mutated vector is in the rebuilt set). Lazy
+  /// (index-free) instances serve live similarities, so every user is
+  /// reported affected.
+  spa::Status Refresh(RefreshOutcome* outcome) override;
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
   std::string name() const override { return "UserKNN"; }
@@ -68,6 +82,10 @@ class ItemKnnRecommender : public Recommender {
   explicit ItemKnnRecommender(KnnConfig config = {});
 
   spa::Status Fit(const InteractionMatrix& matrix) override;
+  /// Rebuilds only the item rows affected by post-Fit matrix
+  /// mutations; affected users = everyone holding a rebuilt item
+  /// (their scores sum over their own items' neighbor rows).
+  spa::Status Refresh(RefreshOutcome* outcome) override;
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
   std::string name() const override { return "ItemKNN"; }

@@ -51,6 +51,25 @@ struct CandidateQuery {
   bool Admits(const InteractionMatrix* matrix, ItemId item) const;
 };
 
+/// \brief What one Recommender::Refresh call did — the serving layer
+/// aggregates these to decide which users' cached responses to drop.
+struct RefreshOutcome {
+  /// The component keeps a fit-time index and brought it in sync.
+  bool refreshed_index = false;
+  /// The refresh fell back to rebuilding every row.
+  bool full_rebuild = false;
+  /// Index rows rebuilt (or totals recomputed) by this refresh.
+  size_t rows_refreshed = 0;
+  double seconds = 0.0;
+  /// Users whose rankings may have changed beyond the updated users
+  /// themselves (reverse neighbors, holders of re-scored items).
+  /// Ignored when `all_users` is set. May contain duplicates.
+  std::vector<UserId> affected_users;
+  /// Set when the component cannot bound the affected user set — the
+  /// serving layer must treat every user as potentially changed.
+  bool all_users = false;
+};
+
 /// \brief Interface: fit on interactions, produce ranked suggestions.
 class Recommender {
  public:
@@ -58,6 +77,20 @@ class Recommender {
 
   /// Fits internal structures; the matrix must outlive the recommender.
   virtual spa::Status Fit(const InteractionMatrix& matrix) = 0;
+
+  /// Brings fitted state in sync with the (mutated) interaction matrix
+  /// without a full refit — the live-update path. Implementations must
+  /// leave serving bitwise-identical to a fresh Fit on the same matrix
+  /// and report which users' rankings may have changed. The
+  /// conservative base default assumes any user could be affected;
+  /// components that serve purely from the live matrix (per-user
+  /// state only, nothing fitted) should override with a no-op, and
+  /// components with fitted structures should repair them
+  /// incrementally.
+  virtual spa::Status Refresh(RefreshOutcome* outcome) {
+    outcome->all_users = true;
+    return spa::Status::OK();
+  }
 
   /// Top-k items under the query's candidate policy, highest score
   /// first (ties broken by ascending item id).

@@ -5,21 +5,74 @@
 #include <thread>
 #include <unordered_set>
 
+#include "common/clock.h"
 #include "common/thread_pool.h"
 
 namespace spa::recsys {
 
 namespace {
 
-/// Matrices below this many rows build serially under auto threading:
-/// spawning a pool costs more than the build itself.
+/// Row sets below this size build/refresh serially under auto
+/// threading: spawning a pool costs more than the work itself.
 constexpr size_t kAutoSerialThreshold = 512;
 
-/// Shared build skeleton. `RowVec(a)` is the sparse vector a row is
-/// compared by (ItemsOf for users, UsersOf for items), `CandVec(o)`
-/// inverts one of its keys back to candidate rows, `NormSq(a)` is the
-/// matching squared norm. Every row is computed independently and
-/// deterministically, so the result is identical for any thread count.
+size_t ResolveThreads(size_t configured, size_t rows) {
+  if (configured != 0) return configured;
+  return rows >= kAutoSerialThreshold
+             ? std::max<size_t>(std::thread::hardware_concurrency(), 1)
+             : 1;
+}
+
+/// Computes one row's truncated neighbor list. `RowVec(a)` is the
+/// sparse vector a row is compared by (ItemsOf for users, UsersOf for
+/// items), `CandVec(o)` inverts one of its keys back to candidate
+/// rows, `NormSq(a)` is the matching squared norm. Deterministic for
+/// any thread count and shared between build and refresh — the
+/// bitwise-parity anchor of the whole index layer.
+template <typename Id, typename RowVec, typename CandVec, typename NormSq>
+std::vector<typename SimilarityIndex<Id>::Neighbor> BuildRow(
+    Id a, const RowVec& row_vec, const CandVec& cand_vec,
+    const NormSq& norm_sq, const SimilarityIndexConfig& config) {
+  using Neighbor = typename SimilarityIndex<Id>::Neighbor;
+  const auto& vec_a = row_vec(a);
+  const double norm_a = norm_sq(a);
+  // Candidates: rows sharing at least one key with `a`.
+  std::unordered_set<Id> candidates;
+  for (const auto& [other, w] : vec_a) {
+    for (const auto& [b, w2] : cand_vec(other)) {
+      if (b != a) candidates.insert(b);
+    }
+  }
+  std::vector<Neighbor> out;
+  out.reserve(candidates.size());
+  for (const Id b : candidates) {
+    const double sim = SparseCosine(vec_a, row_vec(b), norm_a, norm_sq(b));
+    if (sim >= config.min_similarity) out.push_back({b, sim});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Neighbor& x, const Neighbor& y) {
+              if (x.similarity != y.similarity) {
+                return x.similarity > y.similarity;
+              }
+              return x.id < y.id;
+            });
+  if (out.size() > config.top_n) out.resize(config.top_n);
+  return out;
+}
+
+/// Runs `fn(i)` over [0, n), serially or over a fresh pool.
+void RunRows(size_t n, size_t threads,
+             const std::function<void(size_t)>& fn) {
+  if (threads == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  } else {
+    ThreadPool pool(threads);
+    ParallelFor(&pool, n, fn);
+  }
+}
+
+/// Shared build skeleton: every row computed independently, so the
+/// result is identical for any thread count.
 template <typename Id, typename RowVec, typename CandVec, typename NormSq>
 SimilarityIndex<Id> BuildIndex(const std::vector<Id>& row_ids,
                                RowVec row_vec, CandVec cand_vec,
@@ -29,79 +82,86 @@ SimilarityIndex<Id> BuildIndex(const std::vector<Id>& row_ids,
   using Neighbor = typename SimilarityIndex<Id>::Neighbor;
   const auto start = std::chrono::steady_clock::now();
   const size_t n = row_ids.size();
-
-  size_t threads = config.build_threads;
-  if (threads == 0) {
-    threads = n >= kAutoSerialThreshold
-                  ? std::max<size_t>(std::thread::hardware_concurrency(), 1)
-                  : 1;
-  }
+  const size_t threads = ResolveThreads(config.build_threads, n);
 
   std::vector<std::vector<Neighbor>> rows(n);
-  auto build_row = [&](size_t i) {
-    const Id a = row_ids[i];
-    const auto& vec_a = row_vec(a);
-    const double norm_a = norm_sq(a);
-    // Candidates: rows sharing at least one key with `a`.
-    std::unordered_set<Id> candidates;
-    for (const auto& [other, w] : vec_a) {
-      for (const auto& [b, w2] : cand_vec(other)) {
-        if (b != a) candidates.insert(b);
-      }
-    }
-    std::vector<Neighbor>& out = rows[i];
-    out.reserve(candidates.size());
-    for (const Id b : candidates) {
-      const double sim =
-          SparseCosine(vec_a, row_vec(b), norm_a, norm_sq(b));
-      if (sim >= config.min_similarity) out.push_back({b, sim});
-    }
-    std::sort(out.begin(), out.end(),
-              [](const Neighbor& x, const Neighbor& y) {
-                if (x.similarity != y.similarity) {
-                  return x.similarity > y.similarity;
-                }
-                return x.id < y.id;
-              });
-    if (out.size() > config.top_n) out.resize(config.top_n);
-  };
-  if (threads == 1) {
-    for (size_t i = 0; i < n; ++i) build_row(i);
-  } else {
-    ThreadPool pool(threads);
-    ParallelFor(&pool, n, build_row);
-  }
+  RunRows(n, threads, [&](size_t i) {
+    rows[i] = BuildRow(row_ids[i], row_vec, cand_vec, norm_sq, config);
+  });
 
-  // Assemble the CSR arrays (sequential; cheap relative to the sims).
   std::unordered_map<Id, size_t> row_of;
   row_of.reserve(n);
-  std::vector<size_t> offsets;
-  offsets.reserve(n + 1);
-  offsets.push_back(0);
-  size_t entries = 0;
-  for (const auto& row : rows) entries += row.size();
-  std::vector<Neighbor> neighbors;
-  neighbors.reserve(entries);
-  for (size_t i = 0; i < n; ++i) {
-    row_of.emplace(row_ids[i], i);
-    neighbors.insert(neighbors.end(), rows[i].begin(), rows[i].end());
-    offsets.push_back(neighbors.size());
-  }
+  for (size_t i = 0; i < n; ++i) row_of.emplace(row_ids[i], i);
 
   SimilarityIndexStats stats;
   stats.rows = n;
-  stats.entries = entries;
   stats.memory_bytes =
-      neighbors.capacity() * sizeof(Neighbor) +
-      offsets.capacity() * sizeof(size_t) +
-      row_of.size() * (sizeof(std::pair<Id, size_t>) + 2 * sizeof(void*));
+      row_of.size() * (sizeof(std::pair<Id, size_t>) + 2 * sizeof(void*)) +
+      rows.capacity() * sizeof(std::vector<Neighbor>);
+  for (const auto& row : rows) {
+    stats.entries += row.size();
+    stats.memory_bytes += row.capacity() * sizeof(Neighbor);
+  }
   stats.build_threads = threads;
   stats.matrix_version = matrix_version;
-  stats.build_seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-  return SimilarityIndex<Id>(std::move(row_of), std::move(offsets),
-                             std::move(neighbors), stats);
+  stats.build_seconds = SecondsSince(start);
+  return SimilarityIndex<Id>(std::move(row_of), std::move(rows), config,
+                             stats);
+}
+
+/// Shared refresh skeleton. `dirty` holds the rows the matrix reports
+/// as mutated since the index's version stamp; the affected set adds
+/// every row sharing a key with a dirty row (their stored similarities
+/// involve a mutated vector). Rows outside the set cannot change, so
+/// rebuilding the set in place is bitwise-equal to a full rebuild.
+template <typename Id, typename RowVec, typename CandVec, typename NormSq,
+          typename FullRebuild>
+SimilarityRefreshReport<Id> RefreshIndex(
+    SimilarityIndex<Id>* index, std::vector<Id> dirty, size_t total_rows,
+    RowVec row_vec, CandVec cand_vec, NormSq norm_sq,
+    uint64_t matrix_version, const FullRebuild& full_rebuild) {
+  using Neighbor = typename SimilarityIndex<Id>::Neighbor;
+  SimilarityRefreshReport<Id> report;
+  if (dirty.empty()) return report;  // already in sync
+  const auto start = std::chrono::steady_clock::now();
+  const SimilarityIndexConfig config = index->config();
+
+  report.refreshed = true;
+  report.dirty_rows = dirty.size();
+
+  std::unordered_set<Id> affected(dirty.begin(), dirty.end());
+  for (const Id d : dirty) {
+    for (const auto& [other, w] : row_vec(d)) {
+      for (const auto& [b, w2] : cand_vec(other)) affected.insert(b);
+    }
+  }
+
+  if (static_cast<double>(affected.size()) >
+      config.full_rebuild_fraction * static_cast<double>(total_rows)) {
+    index->AdoptRebuild(full_rebuild());
+    report.full_rebuild = true;
+    report.seconds = SecondsSince(start);
+    index->CommitRefresh(matrix_version, total_rows,
+                         /*full_rebuild=*/true, report.seconds);
+    return report;
+  }
+
+  std::vector<Id> rows(affected.begin(), affected.end());
+  std::sort(rows.begin(), rows.end());
+  const size_t threads =
+      ResolveThreads(config.build_threads, rows.size());
+  std::vector<std::vector<Neighbor>> rebuilt(rows.size());
+  RunRows(rows.size(), threads, [&](size_t i) {
+    rebuilt[i] = BuildRow(rows[i], row_vec, cand_vec, norm_sq, config);
+  });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    index->ReplaceRow(rows[i], std::move(rebuilt[i]));
+  }
+  report.rows = std::move(rows);
+  report.seconds = SecondsSince(start);
+  index->CommitRefresh(matrix_version, report.rows.size(),
+                       /*full_rebuild=*/false, report.seconds);
+  return report;
 }
 
 }  // namespace
@@ -126,6 +186,32 @@ SimilarityIndex<ItemId> BuildItemSimilarityIndex(
       [&matrix](UserId u) -> const auto& { return matrix.ItemsOf(u); },
       [&matrix](ItemId i) { return matrix.ItemNormSquared(i); }, config,
       matrix.version());
+}
+
+SimilarityRefreshReport<UserId> RefreshUserSimilarityIndex(
+    SimilarityIndex<UserId>* index, const InteractionMatrix& matrix) {
+  return RefreshIndex<UserId>(
+      index, matrix.UsersTouchedSince(index->built_version()),
+      matrix.user_count(),
+      [&matrix](UserId u) -> const auto& { return matrix.ItemsOf(u); },
+      [&matrix](ItemId i) -> const auto& { return matrix.UsersOf(i); },
+      [&matrix](UserId u) { return matrix.UserNormSquared(u); },
+      matrix.version(), [&matrix, index] {
+        return BuildUserSimilarityIndex(matrix, index->config());
+      });
+}
+
+SimilarityRefreshReport<ItemId> RefreshItemSimilarityIndex(
+    SimilarityIndex<ItemId>* index, const InteractionMatrix& matrix) {
+  return RefreshIndex<ItemId>(
+      index, matrix.ItemsTouchedSince(index->built_version()),
+      matrix.item_count(),
+      [&matrix](ItemId i) -> const auto& { return matrix.UsersOf(i); },
+      [&matrix](UserId u) -> const auto& { return matrix.ItemsOf(u); },
+      [&matrix](ItemId i) { return matrix.ItemNormSquared(i); },
+      matrix.version(), [&matrix, index] {
+        return BuildItemSimilarityIndex(matrix, index->config());
+      });
 }
 
 }  // namespace spa::recsys

@@ -361,6 +361,81 @@ TEST_F(EngineCacheTest, PinnedSnapshotServesStableRankingsUnderUpdates) {
   EXPECT_EQ(sums_.UserVersion(0), 501u);
 }
 
+TEST_F(EngineCacheTest, StageLatencyCountersAccumulate) {
+  auto engine = MakeEngine();
+  const StageStats before = engine->stage_stats();
+  EXPECT_EQ(before.candidate_gen.count, 0u);
+
+  for (UserId u = 0; u < 3; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 3;
+    ASSERT_TRUE(engine->Recommend(request).ok());
+  }
+  StageStats stats = engine->stage_stats();
+  EXPECT_EQ(stats.candidate_gen.count, 3u);
+  EXPECT_EQ(stats.rerank.count, 3u);
+  EXPECT_EQ(stats.cache_lookup.count, 3u);
+  EXPECT_GE(stats.candidate_gen.total_seconds,
+            stats.candidate_gen.max_seconds);
+  EXPECT_GT(stats.candidate_gen.max_seconds, 0.0);
+
+  // A cache hit probes the cache but recomputes nothing.
+  RecommendRequest repeat;
+  repeat.user = 0;
+  repeat.k = 3;
+  ASSERT_TRUE(engine->Recommend(repeat).ok());
+  stats = engine->stage_stats();
+  EXPECT_EQ(stats.cache_lookup.count, 4u);
+  EXPECT_EQ(stats.candidate_gen.count, 3u);
+  EXPECT_EQ(stats.rerank.count, 3u);
+}
+
+TEST_F(EngineCacheTest, RecommendBatchPinsOneSnapshotForTheWholeBatch) {
+  ASSERT_TRUE(
+      sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.5))
+          .ok());
+  EngineConfig config;
+  config.batch_threads = 4;
+  auto engine = MakeEngine(config);
+  SetItemProfiles(engine.get());
+
+  // The same request repeated across one batch: because the whole
+  // batch serves against one pinned snapshot, the copies must come
+  // back identical even while updates to that user land concurrently.
+  // (Per-request pinning would let later copies observe newer
+  // context.)
+  std::vector<RecommendRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    RecommendRequest request;
+    request.user = 0;
+    request.k = 4;
+    request.exclude_seen = ExcludeSeen::kNo;
+    requests.push_back(std::move(request));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(sums_
+                      .Apply(sum::SumUpdate(0).SetSensibility(
+                          Enthusiastic(), (i++ % 10) / 10.0))
+                      .ok());
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const auto results = engine->RecommendBatch(requests);
+    ASSERT_TRUE(results.front().ok());
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok());
+      ExpectSameItems(results.front().value(), result.value());
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
 TEST_F(EngineCacheTest, RecommendBatchWhileUpdatesLand) {
   ASSERT_TRUE(
       sums_.Apply(sum::SumUpdate(0).SetSensibility(Enthusiastic(), 0.5))

@@ -1,0 +1,587 @@
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "recsys/engine.h"
+#include "recsys/knn_cf.h"
+#include "recsys/content_based.h"
+#include "recsys/popularity.h"
+#include "recsys/recsys_test_util.h"
+#include "recsys/similarity_index.h"
+
+/// The live-update stack: sharded interaction store, incremental
+/// similarity-index refresh, and the engine's ApplyInteractions write
+/// path. The load-bearing claims tested here:
+///
+///  * shard count never changes stored data or rankings (bit-for-bit),
+///  * an incremental Refresh is bitwise-identical to a full rebuild /
+///    full refit, for random update streams across shard counts and
+///    full-rebuild thresholds,
+///  * ApplyInteractions invalidates exactly the affected users' cache
+///    entries, and
+///  * serve-while-ApplyInteractions is race-free (LiveUpdateEngineTest
+///    runs under TSAN in CI).
+
+namespace spa::recsys {
+namespace {
+
+/// Random two-community matrix (same shape the serving bench uses).
+InteractionMatrix MakeRandomMatrix(uint64_t seed, size_t users,
+                                   size_t items, size_t shards) {
+  Rng rng(seed);
+  InteractionMatrix m(shards);
+  for (UserId u = 0; u < static_cast<UserId>(users); ++u) {
+    const auto base =
+        static_cast<ItemId>((u % 2 == 0) ? 0 : items / 2);
+    for (int j = 0; j < 6; ++j) {
+      const auto item = static_cast<ItemId>(
+          base + rng.UniformInt(0, static_cast<int64_t>(items) / 2 - 1));
+      m.Add(u, item, rng.Uniform(0.2, 3.0));
+    }
+  }
+  return m;
+}
+
+/// One random interaction batch, applied nowhere (the caller decides).
+std::vector<Interaction> MakeBatch(Rng* rng, size_t batch_size,
+                                   size_t users, size_t items) {
+  std::vector<Interaction> batch;
+  batch.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch.push_back(
+        {static_cast<UserId>(
+             rng->UniformInt(0, static_cast<int64_t>(users) - 1)),
+         static_cast<ItemId>(
+             rng->UniformInt(0, static_cast<int64_t>(items) - 1)),
+         rng->Uniform(0.2, 3.0)});
+  }
+  return batch;
+}
+
+template <typename Id>
+void ExpectSameIndex(const SimilarityIndex<Id>& a,
+                     const SimilarityIndex<Id>& b,
+                     const std::vector<Id>& row_ids) {
+  for (const Id id : row_ids) {
+    const auto ra = a.NeighborsOf(id);
+    const auto rb = b.NeighborsOf(id);
+    ASSERT_EQ(ra.size(), rb.size()) << "row " << id;
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].id, rb[i].id) << "row " << id << " rank " << i;
+      EXPECT_EQ(ra[i].similarity, rb[i].similarity)  // bitwise
+          << "row " << id << " rank " << i;
+    }
+  }
+}
+
+// ---- sharded store ---------------------------------------------------------
+
+TEST(ShardedMatrixTest, ShardCountIsContentInvariant) {
+  // The same Add stream into 1, 3 and 8 shards must store bit-for-bit
+  // identical data: row order, posting order, weights, norms, counts.
+  std::vector<InteractionMatrix> matrices;
+  matrices.emplace_back(1);
+  matrices.emplace_back(3);
+  matrices.emplace_back(8);
+  for (InteractionMatrix& m : matrices) {
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+      m.Add(static_cast<UserId>(rng.UniformInt(0, 39)),
+            static_cast<ItemId>(rng.UniformInt(0, 19)),
+            rng.Uniform(0.1, 2.0));
+    }
+  }
+  const InteractionMatrix& reference = matrices[0];
+  EXPECT_EQ(reference.shard_count(), 1u);
+  EXPECT_EQ(matrices[2].shard_count(), 8u);
+  for (const InteractionMatrix& m : matrices) {
+    EXPECT_EQ(m.users(), reference.users());
+    EXPECT_EQ(m.items(), reference.items());
+    EXPECT_EQ(m.version(), reference.version());
+    EXPECT_EQ(m.interaction_count(), reference.interaction_count());
+    EXPECT_EQ(m.user_count(), reference.user_count());
+    EXPECT_EQ(m.item_count(), reference.item_count());
+    for (UserId u : reference.users()) {
+      EXPECT_EQ(m.ItemsOf(u), reference.ItemsOf(u)) << "user " << u;
+      EXPECT_EQ(m.UserNormSquared(u), reference.UserNormSquared(u));
+    }
+    for (ItemId i : reference.items()) {
+      EXPECT_EQ(m.UsersOf(i), reference.UsersOf(i)) << "item " << i;
+      EXPECT_EQ(m.ItemNormSquared(i), reference.ItemNormSquared(i));
+    }
+  }
+}
+
+TEST(ShardedMatrixTest, ShardVersionsSumToGlobalVersion) {
+  const InteractionMatrix m = MakeRandomMatrix(11, 30, 20, 4);
+  uint64_t user_side = 0, item_side = 0;
+  for (size_t s = 0; s < m.shard_count(); ++s) {
+    user_side += m.user_shard_version(s);
+    item_side += m.item_shard_version(s);
+  }
+  EXPECT_EQ(user_side, m.version());
+  EXPECT_EQ(item_side, m.version());
+  EXPECT_GT(m.version(), 0u);
+}
+
+TEST(ShardedMatrixTest, TouchedSinceReportsExactlyTheDirtyRows) {
+  InteractionMatrix m = MakeRandomMatrix(13, 30, 20, 4);
+  const uint64_t checkpoint = m.version();
+  EXPECT_TRUE(m.UsersTouchedSince(checkpoint).empty());
+  EXPECT_TRUE(m.ItemsTouchedSince(checkpoint).empty());
+
+  m.Add(5, 17, 1.0);
+  m.Add(22, 17, 0.5);
+  m.Add(5, 3, 2.0);
+  EXPECT_EQ(m.UsersTouchedSince(checkpoint),
+            (std::vector<UserId>{5, 22}));
+  EXPECT_EQ(m.ItemsTouchedSince(checkpoint),
+            (std::vector<ItemId>{3, 17}));
+  // From the beginning of time, everything is dirty.
+  EXPECT_EQ(m.UsersTouchedSince(0).size(), m.user_count());
+  EXPECT_EQ(m.ItemsTouchedSince(0).size(), m.item_count());
+}
+
+TEST(ShardedMatrixTest, MoveAssignPreservesContent) {
+  // core::Spa rebuilds its store in place via move assignment.
+  InteractionMatrix a = MakeRandomMatrix(17, 20, 10, 2);
+  const size_t interactions = a.interaction_count();
+  InteractionMatrix b;
+  b = std::move(a);
+  EXPECT_EQ(b.interaction_count(), interactions);
+  EXPECT_EQ(b.shard_count(), 2u);
+  EXPECT_FALSE(b.ItemsOf(b.users().front()).empty());
+}
+
+// ---- incremental index refresh ---------------------------------------------
+
+/// Applies random update rounds and checks after each that the
+/// refreshed index equals a from-scratch rebuild, bitwise, for every
+/// row. Sweeps shard counts and full-rebuild thresholds (0 forces the
+/// fallback path, 1.0 forces the incremental path).
+TEST(IndexRefreshTest, UserIndexRefreshMatchesFullRebuild) {
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    for (const double threshold : {0.0, 0.3, 1.0}) {
+      InteractionMatrix m = MakeRandomMatrix(23, 60, 30, shards);
+      SimilarityIndexConfig config;
+      config.top_n = 5;
+      config.full_rebuild_fraction = threshold;
+      auto index = BuildUserSimilarityIndex(m, config);
+      Rng rng(29);
+      for (int round = 0; round < 4; ++round) {
+        for (const Interaction& x : MakeBatch(&rng, 8, 60, 30)) {
+          m.Add(x.user, x.item, x.weight);
+        }
+        const auto report = RefreshUserSimilarityIndex(&index, m);
+        ASSERT_TRUE(report.refreshed);
+        EXPECT_EQ(index.built_version(), m.version());
+        const auto reference = BuildUserSimilarityIndex(m, config);
+        ExpectSameIndex(index, reference, m.users());
+        if (threshold == 0.0) {
+          EXPECT_TRUE(report.full_rebuild);
+        }
+        if (threshold == 1.0) {
+          EXPECT_FALSE(report.full_rebuild);
+          EXPECT_GT(report.rows.size(), 0u);
+          EXPECT_GE(report.rows.size(), report.dirty_rows);
+        }
+      }
+    }
+  }
+}
+
+TEST(IndexRefreshTest, ItemIndexRefreshMatchesFullRebuild) {
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    for (const double threshold : {0.0, 0.3, 1.0}) {
+      InteractionMatrix m = MakeRandomMatrix(31, 60, 30, shards);
+      SimilarityIndexConfig config;
+      config.top_n = 5;
+      config.full_rebuild_fraction = threshold;
+      auto index = BuildItemSimilarityIndex(m, config);
+      Rng rng(37);
+      for (int round = 0; round < 4; ++round) {
+        for (const Interaction& x : MakeBatch(&rng, 8, 60, 30)) {
+          m.Add(x.user, x.item, x.weight);
+        }
+        const auto report = RefreshItemSimilarityIndex(&index, m);
+        ASSERT_TRUE(report.refreshed);
+        EXPECT_EQ(index.built_version(), m.version());
+        const auto reference = BuildItemSimilarityIndex(m, config);
+        ExpectSameIndex(index, reference, m.items());
+      }
+    }
+  }
+}
+
+TEST(IndexRefreshTest, CleanIndexRefreshIsANoOp) {
+  const InteractionMatrix m = MakeRandomMatrix(41, 40, 20, 2);
+  auto index = BuildUserSimilarityIndex(m);
+  const auto report = RefreshUserSimilarityIndex(&index, m);
+  EXPECT_FALSE(report.refreshed);
+  EXPECT_EQ(index.stats().refreshes, 0u);
+}
+
+TEST(IndexRefreshTest, NewUsersAndItemsEnterTheIndex) {
+  InteractionMatrix m = MakeRandomMatrix(43, 40, 20, 2);
+  SimilarityIndexConfig config;
+  config.full_rebuild_fraction = 1.0;  // force the incremental path
+  auto user_index = BuildUserSimilarityIndex(m, config);
+  auto item_index = BuildItemSimilarityIndex(m, config);
+
+  // A brand-new user interacts with a brand-new item and an old one.
+  m.Add(999, 777, 1.0);
+  m.Add(999, 3, 2.0);
+  ASSERT_TRUE(RefreshUserSimilarityIndex(&user_index, m).refreshed);
+  ASSERT_TRUE(RefreshItemSimilarityIndex(&item_index, m).refreshed);
+
+  ExpectSameIndex(user_index, BuildUserSimilarityIndex(m, config),
+                  m.users());
+  ExpectSameIndex(item_index, BuildItemSimilarityIndex(m, config),
+                  m.items());
+  EXPECT_FALSE(user_index.NeighborsOf(999).empty());
+}
+
+TEST(IndexRefreshTest, StatsAccumulateAcrossRefreshes) {
+  InteractionMatrix m = MakeRandomMatrix(47, 40, 20, 2);
+  SimilarityIndexConfig config;
+  config.full_rebuild_fraction = 1.0;
+  auto index = BuildUserSimilarityIndex(m, config);
+  EXPECT_EQ(index.stats().refreshes, 0u);
+  m.Add(1, 2, 1.0);
+  (void)RefreshUserSimilarityIndex(&index, m);
+  m.Add(3, 4, 1.0);
+  (void)RefreshUserSimilarityIndex(&index, m);
+  EXPECT_EQ(index.stats().refreshes, 2u);
+  EXPECT_EQ(index.stats().full_rebuild_refreshes, 0u);
+  EXPECT_GT(index.stats().rows_refreshed_total, 0u);
+  EXPECT_GT(index.stats().last_refresh_rows, 0u);
+  EXPECT_EQ(index.stats().matrix_version, m.version());
+  EXPECT_GT(index.stats().entries, 0u);
+  EXPECT_GT(index.stats().memory_bytes, 0u);
+}
+
+// ---- recommender-level refresh ---------------------------------------------
+
+TEST(KnnRefreshTest, RefreshRestoresServingAfterMutation) {
+  InteractionMatrix m = MakeTwoCommunityMatrix();
+  UserKnnRecommender user_rec;  // indexed by default
+  ItemKnnRecommender item_rec;
+  ASSERT_TRUE(user_rec.Fit(m).ok());
+  ASSERT_TRUE(item_rec.Fit(m).ok());
+
+  m.Add(0, 7, 1.0);  // mutation after Fit: serving would SPA_CHECK
+
+  RefreshOutcome user_outcome;
+  ASSERT_TRUE(user_rec.Refresh(&user_outcome).ok());
+  EXPECT_TRUE(user_outcome.refreshed_index);
+  RefreshOutcome item_outcome;
+  ASSERT_TRUE(item_rec.Refresh(&item_outcome).ok());
+  EXPECT_TRUE(item_outcome.refreshed_index);
+
+  // Serving resumes and matches freshly fitted recommenders bitwise.
+  UserKnnRecommender user_refit;
+  ItemKnnRecommender item_refit;
+  ASSERT_TRUE(user_refit.Fit(m).ok());
+  ASSERT_TRUE(item_refit.Fit(m).ok());
+  for (UserId u : m.users()) {
+    const auto refreshed_u = RecommendTopK(user_rec, u, 5);
+    const auto refit_u = RecommendTopK(user_refit, u, 5);
+    ASSERT_EQ(refreshed_u.size(), refit_u.size());
+    for (size_t i = 0; i < refreshed_u.size(); ++i) {
+      EXPECT_EQ(refreshed_u[i].item, refit_u[i].item);
+      EXPECT_EQ(refreshed_u[i].score, refit_u[i].score);
+    }
+    const auto refreshed_i = RecommendTopK(item_rec, u, 5);
+    const auto refit_i = RecommendTopK(item_refit, u, 5);
+    ASSERT_EQ(refreshed_i.size(), refit_i.size());
+    for (size_t i = 0; i < refreshed_i.size(); ++i) {
+      EXPECT_EQ(refreshed_i[i].item, refit_i[i].item);
+      EXPECT_EQ(refreshed_i[i].score, refit_i[i].score);
+    }
+  }
+}
+
+TEST(KnnRefreshTest, UserKnnReportsReverseNeighborsAsAffected) {
+  // Two communities share no items: an update to user 0 can only
+  // affect community-0 rows.
+  InteractionMatrix m = MakeTwoCommunityMatrix();
+  KnnConfig config;
+  config.refresh_full_rebuild_fraction = 1.0;
+  UserKnnRecommender rec(config);
+  ASSERT_TRUE(rec.Fit(m).ok());
+  m.Add(0, 2, 1.0);
+  RefreshOutcome outcome;
+  ASSERT_TRUE(rec.Refresh(&outcome).ok());
+  EXPECT_FALSE(outcome.all_users);
+  EXPECT_FALSE(outcome.affected_users.empty());
+  for (const UserId u : outcome.affected_users) {
+    EXPECT_LT(u, 5) << "community-1 user reported affected";
+  }
+}
+
+TEST(KnnRefreshTest, LazyKnnCannotBoundTheAffectedSet) {
+  InteractionMatrix m = MakeTwoCommunityMatrix();
+  UserKnnRecommender rec(KnnConfig{.use_index = false});
+  ASSERT_TRUE(rec.Fit(m).ok());
+  m.Add(0, 2, 1.0);
+  RefreshOutcome outcome;
+  ASSERT_TRUE(rec.Refresh(&outcome).ok());
+  EXPECT_TRUE(outcome.all_users);
+  EXPECT_FALSE(outcome.refreshed_index);
+}
+
+TEST(PopularityRefreshTest, RefreshMatchesRefitBitwise) {
+  InteractionMatrix m = MakeRandomMatrix(53, 30, 15, 2);
+  PopularityRecommender rec;
+  ASSERT_TRUE(rec.Fit(m).ok());
+  Rng rng(59);
+  for (const Interaction& x : MakeBatch(&rng, 10, 30, 15)) {
+    m.Add(x.user, x.item, x.weight);
+  }
+  RefreshOutcome outcome;
+  ASSERT_TRUE(rec.Refresh(&outcome).ok());
+  EXPECT_TRUE(outcome.all_users);  // popularity is non-personalized
+  EXPECT_GT(outcome.rows_refreshed, 0u);
+
+  PopularityRecommender refit;
+  ASSERT_TRUE(refit.Fit(m).ok());
+  CandidateQuery query;
+  query.user = 0;
+  query.k = 15;
+  query.exclude_seen = ExcludeSeen::kNo;
+  const auto a = rec.RecommendCandidates(query);
+  const auto b = refit.RecommendCandidates(query);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+// ---- engine ApplyInteractions ----------------------------------------------
+
+std::unique_ptr<RecsysEngine> MakeKnnEngine(
+    size_t cache_capacity, double full_rebuild_fraction = 0.25) {
+  EngineConfig config;
+  config.response_cache_capacity = cache_capacity;
+  KnnConfig knn;
+  knn.refresh_full_rebuild_fraction = full_rebuild_fraction;
+  auto engine = std::make_unique<RecsysEngine>(config);
+  engine->AddComponent(std::make_unique<UserKnnRecommender>(knn), 0.6);
+  engine->AddComponent(std::make_unique<ItemKnnRecommender>(knn), 0.4);
+  return engine;
+}
+
+void ExpectSameResponses(const RecommendResponse& a,
+                         const RecommendResponse& b) {
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].item, b.items[i].item);
+    EXPECT_EQ(a.items[i].score, b.items[i].score);  // bitwise
+  }
+}
+
+TEST(LiveUpdateEngineTest, ApplyInteractionsMatchesFullRefit) {
+  // The tentpole claim end to end: after every live batch, the
+  // incrementally maintained engine ranks bitwise-identically to an
+  // engine fully refitted on the same matrix.
+  InteractionMatrix matrix = MakeRandomMatrix(61, 60, 30, 4);
+  auto live = MakeKnnEngine(/*cache_capacity=*/128);
+  ASSERT_TRUE(live->Fit(&matrix).ok());
+  auto refit = MakeKnnEngine(/*cache_capacity=*/0);
+  Rng rng(67);
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = MakeBatch(&rng, 12, 60, 30);
+    const auto report = live->ApplyInteractions(batch);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().interactions, batch.size());
+    ASSERT_TRUE(refit->Fit(matrix).ok());
+    for (UserId u : matrix.users()) {
+      RecommendRequest request;
+      request.user = u;
+      request.k = 8;
+      const auto a = live->Recommend(request);
+      const auto b = refit->Recommend(request);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectSameResponses(a.value(), b.value());
+    }
+  }
+  EXPECT_EQ(live->live_update_stats().batches, 3u);
+  EXPECT_GT(live->live_update_stats().rows_refreshed, 0u);
+}
+
+TEST(LiveUpdateEngineTest, ShardCountDoesNotChangeRankings) {
+  // N=1 vs N=8: identical adds, identical live-update batches,
+  // identical rankings throughout.
+  InteractionMatrix m1 = MakeRandomMatrix(71, 60, 30, 1);
+  InteractionMatrix m8 = MakeRandomMatrix(71, 60, 30, 8);
+  auto e1 = MakeKnnEngine(64);
+  auto e8 = MakeKnnEngine(64);
+  ASSERT_TRUE(e1->Fit(&m1).ok());
+  ASSERT_TRUE(e8->Fit(&m8).ok());
+
+  auto expect_identical = [&] {
+    for (UserId u : m1.users()) {
+      RecommendRequest request;
+      request.user = u;
+      request.k = 8;
+      const auto a = e1->Recommend(request);
+      const auto b = e8->Recommend(request);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectSameResponses(a.value(), b.value());
+    }
+  };
+  expect_identical();
+
+  Rng rng(73);
+  const auto batch = MakeBatch(&rng, 16, 60, 30);
+  ASSERT_TRUE(e1->ApplyInteractions(batch).ok());
+  ASSERT_TRUE(e8->ApplyInteractions(batch).ok());
+  EXPECT_EQ(m1.version(), m8.version());
+  expect_identical();
+}
+
+TEST(LiveUpdateEngineTest, OnlyAffectedUsersCacheEntriesAreDropped) {
+  // Two communities share no items, so a batch touching community 0
+  // must leave community-1 entries hot. (KNN-only stack: popularity
+  // would honestly report everyone affected.)
+  InteractionMatrix matrix = MakeTwoCommunityMatrix();
+  // Force the incremental path: the 10-user fixture trips the default
+  // full-rebuild threshold, and a full rebuild honestly reports every
+  // user as potentially affected.
+  auto engine = MakeKnnEngine(/*cache_capacity=*/64,
+                              /*full_rebuild_fraction=*/1.0);
+  ASSERT_TRUE(engine->Fit(&matrix).ok());
+
+  RecommendRequest community0;
+  community0.user = 1;
+  community0.k = 3;
+  RecommendRequest community1;
+  community1.user = 6;
+  community1.k = 3;
+  ASSERT_TRUE(engine->Recommend(community0).ok());
+  ASSERT_TRUE(engine->Recommend(community1).ok());
+  EXPECT_EQ(engine->cache_size(), 2u);
+
+  const auto report =
+      engine->ApplyInteractions({{/*user=*/0, /*item=*/2, 1.0}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().invalidated_all);
+  EXPECT_GT(report.value().affected_users, 0u);
+  EXPECT_EQ(report.value().cache_entries_invalidated, 1u);
+
+  // Community 1 still hits; community 0 recomputes.
+  ASSERT_TRUE(engine->Recommend(community1).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  ASSERT_TRUE(engine->Recommend(community0).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+}
+
+TEST(LiveUpdateEngineTest, OutOfBandStaleEntriesAreNotResurrected) {
+  // A no-op-Refresh stack (content-based serves per-user state from
+  // the live matrix). An entry staled by an out-of-band matrix
+  // mutation must stay stale through a later ApplyInteractions that
+  // does not mention its user — re-stamping it would resurrect a
+  // pre-mutation response as a cache hit.
+  InteractionMatrix matrix = MakeTwoCommunityMatrix();
+  auto content = std::make_unique<ContentBasedRecommender>();
+  for (ItemId item = 0; item < 12; ++item) {
+    content->SetItemFeatures(
+        item, ml::SparseVector({{item % 3, 1.0}, {3 + item % 2, 0.5}}));
+  }
+  EngineConfig config;
+  config.response_cache_capacity = 16;
+  auto engine = std::make_unique<RecsysEngine>(config);
+  engine->AddComponent(std::move(content), 1.0);
+  ASSERT_TRUE(engine->Fit(&matrix).ok());
+
+  RecommendRequest for_user0;
+  for_user0.user = 0;
+  for_user0.k = 3;
+  ASSERT_TRUE(engine->Recommend(for_user0).ok());  // cached
+
+  matrix.Add(0, 10, 3.0);  // out-of-band: user 0's profile changed
+  const auto report = engine->ApplyInteractions({{/*user=*/6, 5, 1.0}});
+  ASSERT_TRUE(report.ok());
+
+  ASSERT_TRUE(engine->Recommend(for_user0).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 0u);  // recomputed, not served
+}
+
+TEST(LiveUpdateEngineTest, ConstFitRejectsApplyInteractions) {
+  InteractionMatrix matrix = MakeTwoCommunityMatrix();
+  auto engine = MakeKnnEngine(0);
+  ASSERT_TRUE(engine->Fit(matrix).ok());  // const overload: read-only
+  const auto result = engine->ApplyInteractions({{0, 2, 1.0}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), spa::StatusCode::kFailedPrecondition);
+}
+
+TEST(LiveUpdateEngineTest, ServeWhileApplyInteractionsIsSafe) {
+  // Concurrent Recommend / RecommendBatch against a stream of live
+  // update batches: every response must stay well-formed. Run under
+  // TSAN in CI to certify data-race freedom of the reader/writer
+  // locking.
+  InteractionMatrix matrix = MakeRandomMatrix(79, 40, 20, 4);
+  EngineConfig config;
+  config.response_cache_capacity = 64;
+  config.batch_threads = 2;
+  auto engine = std::make_unique<RecsysEngine>(config);
+  engine->AddComponent(std::make_unique<UserKnnRecommender>(), 0.6);
+  engine->AddComponent(std::make_unique<ItemKnnRecommender>(), 0.4);
+  ASSERT_TRUE(engine->Fit(&matrix).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failure{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        RecommendRequest request;
+        request.user = static_cast<UserId>((t * 13 + i++) % 40);
+        request.k = 5;
+        if (!engine->Recommend(request).ok()) {
+          failure.store(true);
+          return;
+        }
+      }
+    });
+  }
+  std::thread batch_reader([&] {
+    std::vector<RecommendRequest> requests;
+    for (UserId u = 0; u < 8; ++u) {
+      RecommendRequest request;
+      request.user = u;
+      request.k = 5;
+      requests.push_back(std::move(request));
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& result : engine->RecommendBatch(requests)) {
+        if (!result.ok()) {
+          failure.store(true);
+          return;
+        }
+      }
+    }
+  });
+
+  Rng rng(83);
+  for (int round = 0; round < 30; ++round) {
+    ASSERT_TRUE(
+        engine->ApplyInteractions(MakeBatch(&rng, 4, 40, 20)).ok());
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  batch_reader.join();
+  EXPECT_FALSE(failure.load());
+  EXPECT_EQ(engine->live_update_stats().batches, 30u);
+}
+
+}  // namespace
+}  // namespace spa::recsys

@@ -252,8 +252,10 @@ TEST(SimilarityIndexDeathTest, UserKnnRejectsStaleIndex) {
   ASSERT_FALSE(RecommendTopK(rec, 0, 3).empty());  // fresh: serves
   m.Add(0, 7, 1.0);  // mutation after Fit
   EXPECT_DEATH(RecommendTopK(rec, 0, 3), "stale UserKNN");
-  // A refit picks the mutation up and serving resumes.
-  ASSERT_TRUE(rec.Fit(m).ok());
+  // An incremental Refresh picks the mutation up and serving resumes
+  // (a refit would too; Refresh is the cheap live-update path).
+  RefreshOutcome outcome;
+  ASSERT_TRUE(rec.Refresh(&outcome).ok());
   EXPECT_FALSE(RecommendTopK(rec, 0, 3).empty());
 }
 
