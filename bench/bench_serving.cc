@@ -10,7 +10,12 @@
 //     exact ranking-parity gate (a mismatch fails the run), and
 //   * live updates: interleaved ApplyInteractions + serving over a
 //     sharded store, incremental index refresh vs. full refit, with
-//     the same exact parity gate.
+//     the same exact parity gate, and
+//   * streaming: an open-loop arrival-rate sweep through the async
+//     ServingPipeline (bounded admission queue, micro-batching, writer
+//     lane for live updates), reporting p50/p95/p99 end-to-end and
+//     queue-wait latencies from the pipeline's log-scale histograms,
+//     with a quiescent streamed-vs-RecommendBatch bitwise parity gate.
 //
 // Everything lands in BENCH_serving.json so the perf trajectory is
 // tracked.
@@ -19,8 +24,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -29,6 +36,7 @@
 #include "recsys/engine.h"
 #include "recsys/knn_cf.h"
 #include "recsys/popularity.h"
+#include "recsys/serving_pipeline.h"
 #include "sum/sum_service.h"
 
 namespace spa::bench {
@@ -306,6 +314,227 @@ LiveUpdatePoint RunLiveUpdateScenario(size_t users, size_t k,
   return point;
 }
 
+/// One open-loop streaming measurement point.
+struct StreamingPoint {
+  double target_rps = 0.0;    ///< offered arrival rate (open loop)
+  double offered_rps = 0.0;   ///< rate actually achieved by the producer
+  double achieved_rps = 0.0;  ///< completions / wall
+  double p50_ms = 0.0;        ///< end-to-end latency quantiles
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double queue_p95_ms = 0.0;
+  double serve_p95_ms = 0.0;
+  uint64_t submitted = 0;
+  uint64_t responses = 0;
+  uint64_t shed = 0;
+  uint64_t updates = 0;
+  uint64_t max_queue_depth = 0;
+};
+
+struct StreamingResult {
+  bool parity = true;
+  double capacity_rps = 0.0;  ///< closed-loop pipeline throughput
+  std::vector<StreamingPoint> points;
+};
+
+/// Streaming scenario: a quiescent streamed-vs-RecommendBatch bitwise
+/// parity gate, then an open-loop arrival-rate sweep (0.5x / 1x / 2x
+/// of the measured closed-loop capacity) with live updates riding the
+/// writer lane, under the shed-oldest overload policy. Latency
+/// quantiles come from the pipeline's log-scale histograms.
+StreamingResult RunStreamingScenario(size_t users, size_t k,
+                                     uint64_t seed, bool smoke) {
+  constexpr size_t kClusterUsers = 50;
+  constexpr size_t kClusterItems = 10;
+  const size_t clusters = std::max<size_t>(users / kClusterUsers, 1);
+  StreamingResult result;
+
+  // Dedicated clustered stack (same topology as live_update: update
+  // bursts touch a bounded neighborhood).
+  Rng rng(seed);
+  recsys::InteractionMatrix matrix(/*shards=*/8);
+  for (size_t u = 0; u < users; ++u) {
+    const size_t cluster = u / kClusterUsers;
+    for (int j = 0; j < 12; ++j) {
+      const auto item = static_cast<recsys::ItemId>(
+          cluster * kClusterItems +
+          rng.UniformInt(0, static_cast<int64_t>(kClusterItems) - 1));
+      matrix.Add(static_cast<recsys::UserId>(u), item,
+                 rng.Uniform(0.2, 3.0));
+    }
+  }
+  sum::AttributeCatalog catalog =
+      sum::AttributeCatalog::EmagisterDefault();
+  sum::SumService sums(&catalog);
+  {
+    std::vector<sum::SumUpdate> bootstrap;
+    bootstrap.reserve(users);
+    for (size_t u = 0; u < users; ++u) {
+      sum::SumUpdate update(static_cast<sum::UserId>(u));
+      for (eit::EmotionalAttribute attr :
+           eit::AllEmotionalAttributes()) {
+        if (rng.Bernoulli(0.3)) {
+          update.SetSensibility(catalog.EmotionalId(attr),
+                                rng.Uniform(0.3, 1.0));
+        }
+      }
+      bootstrap.push_back(std::move(update));
+    }
+    if (!sums.ApplyAll(bootstrap).ok()) {
+      result.parity = false;
+      return result;
+    }
+  }
+  recsys::EngineConfig engine_config;
+  engine_config.response_cache_capacity = 2 * users;
+  engine_config.interaction_shards = 8;
+  recsys::RecsysEngine engine(engine_config);
+  engine.AddComponent(std::make_unique<recsys::UserKnnRecommender>(),
+                      0.6);
+  engine.AddComponent(std::make_unique<recsys::ItemKnnRecommender>(),
+                      0.4);
+  for (size_t i = 0; i < clusters * kClusterItems; ++i) {
+    recsys::EmotionProfile profile{};
+    for (double& p : profile) p = rng.Uniform();
+    engine.SetItemEmotionProfile(static_cast<recsys::ItemId>(i),
+                                 profile);
+  }
+  engine.set_sum_service(&sums);
+  if (!engine.Fit(&matrix).ok()) {
+    result.parity = false;
+    return result;
+  }
+
+  const size_t sample = std::min<size_t>(users, smoke ? 200 : 1000);
+  std::vector<recsys::RecommendRequest> requests;
+  requests.reserve(sample);
+  for (size_t s = 0; s < sample; ++s) {
+    recsys::RecommendRequest request;
+    request.user = static_cast<recsys::UserId>((s * 7) % users);
+    request.k = k;
+    requests.push_back(std::move(request));
+  }
+
+  // ---- quiescent parity gate + capacity estimate --------------------------
+  {
+    recsys::PipelineConfig config;
+    config.workers = 4;
+    config.queue_capacity = 4096;
+    config.policy = recsys::BackpressurePolicy::kBlock;
+    recsys::ServingPipeline pipeline(&engine, &sums, config);
+    std::vector<recsys::StreamTicketPtr> tickets;
+    tickets.reserve(requests.size());
+    const auto start = Clock::now();
+    for (const auto& request : requests) {
+      auto ticket = pipeline.Submit(request);
+      if (!ticket.ok()) {
+        result.parity = false;
+        return result;
+      }
+      tickets.push_back(std::move(ticket).value());
+    }
+    pipeline.Flush();
+    const double seconds = SecondsSince(start);
+    result.capacity_rps = static_cast<double>(sample) / seconds;
+
+    std::vector<spa::Result<recsys::RecommendResponse>> streamed;
+    streamed.reserve(tickets.size());
+    for (const auto& ticket : tickets) {
+      ticket->Wait();
+      if (ticket->pinned().matrix_version != matrix.version() ||
+          ticket->pinned().sum_version != sums.version()) {
+        result.parity = false;  // quiescent run must pin head versions
+      }
+      streamed.push_back(ticket->response());
+    }
+    const auto reference = engine.RecommendBatch(requests);
+    if (!SameResults(streamed, reference)) result.parity = false;
+    std::printf("streaming parity:  %s  (closed-loop %8.0f req/s, "
+                "%zu requests)\n",
+                result.parity ? "OK" : "MISMATCH", result.capacity_rps,
+                sample);
+  }
+
+  // ---- open-loop arrival sweep with live updates --------------------------
+  for (const double fraction : {0.5, 1.0, 2.0}) {
+    const double rate = std::max(1.0, result.capacity_rps * fraction);
+    recsys::PipelineConfig config;
+    config.workers = 4;
+    config.queue_capacity = 256;
+    config.policy = recsys::BackpressurePolicy::kShedOldest;
+    recsys::ServingPipeline pipeline(&engine, &sums, config);
+
+    StreamingPoint point;
+    point.target_rps = rate;
+    const size_t total = smoke ? 200 : 1200;
+    Rng arrivals(seed + static_cast<uint64_t>(fraction * 100));
+    auto next = Clock::now();
+    const auto sweep_start = next;
+    for (size_t i = 0; i < total; ++i) {
+      // Exponential inter-arrival times: an open-loop Poisson stream
+      // that does NOT wait for completions.
+      next += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(
+              -std::log1p(-arrivals.Uniform()) / rate));
+      std::this_thread::sleep_until(next);
+      if (i % 40 == 39) {
+        // Live updates ride the writer lane within the same stream.
+        std::vector<recsys::Interaction> batch;
+        const size_t base = (i / 40) % clusters * kClusterUsers;
+        for (int b = 0; b < 4; ++b) {
+          batch.push_back(
+              {static_cast<recsys::UserId>(
+                   base + arrivals.UniformInt(
+                              0, static_cast<int64_t>(kClusterUsers) -
+                                     1)),
+               static_cast<recsys::ItemId>(
+                   (base / kClusterUsers) * kClusterItems +
+                   arrivals.UniformInt(
+                       0, static_cast<int64_t>(kClusterItems) - 1)),
+               arrivals.Uniform(0.2, 3.0)});
+        }
+        (void)pipeline.SubmitInteractions(std::move(batch));
+      } else {
+        recsys::RecommendRequest request;
+        request.user = static_cast<recsys::UserId>(arrivals.UniformInt(
+            0, static_cast<int64_t>(users) - 1));
+        request.k = k;
+        (void)pipeline.Submit(std::move(request));
+      }
+    }
+    const double offered_seconds = SecondsSince(sweep_start);
+    pipeline.Flush();
+    const double wall_seconds = SecondsSince(sweep_start);
+
+    const recsys::PipelineStats stats = pipeline.stats();
+    point.offered_rps =
+        static_cast<double>(total) / offered_seconds;
+    point.achieved_rps =
+        static_cast<double>(stats.responses + stats.updates_applied) /
+        wall_seconds;
+    point.p50_ms = stats.end_to_end.Quantile(0.50) * 1e3;
+    point.p95_ms = stats.end_to_end.Quantile(0.95) * 1e3;
+    point.p99_ms = stats.end_to_end.Quantile(0.99) * 1e3;
+    point.queue_p95_ms = stats.queue_wait.Quantile(0.95) * 1e3;
+    point.serve_p95_ms = stats.batch_serve.Quantile(0.95) * 1e3;
+    point.submitted = stats.submitted;
+    point.responses = stats.responses;
+    point.shed = stats.shed;
+    point.updates = stats.updates_applied;
+    point.max_queue_depth = stats.max_queue_depth;
+    result.points.push_back(point);
+    std::printf(
+        "streaming %.1fx:    offered %8.0f req/s | served %8.0f "
+        "req/s | p50 %7.3f ms | p95 %7.3f ms | p99 %7.3f ms | "
+        "shed %llu | depth %llu\n",
+        fraction, point.offered_rps, point.achieved_rps, point.p50_ms,
+        point.p95_ms, point.p99_ms,
+        static_cast<unsigned long long>(point.shed),
+        static_cast<unsigned long long>(point.max_queue_depth));
+  }
+  return result;
+}
+
 int Main(int argc, char** argv) {
   const CommonFlags flags = ParseFlags(argc, argv);
   const size_t users =
@@ -529,19 +758,26 @@ int Main(int argc, char** argv) {
       users, k, flags.seed + 1, /*shards=*/8,
       /*rounds=*/flags.smoke ? 5 : 15);
 
+  // ---- streaming: async pipeline under open-loop arrivals -----------------
+  PrintHeader("Streaming - async pipeline, open-loop arrival sweep");
+  const StreamingResult streaming =
+      RunStreamingScenario(users, k, flags.seed + 2, flags.smoke);
+
   // ---- per-stage latency --------------------------------------------------
   const recsys::StageStats stages = cached_engine->stage_stats();
   PrintHeader("Per-stage serving latency (cached engine, cumulative)");
   const auto print_stage = [](const char* name,
                               const recsys::StageStats::Stage& s) {
     std::printf("%-14s %8llu calls | total %8.3f ms | mean %8.1f us | "
+                "p50 %8.1f us | p95 %8.1f us | p99 %8.1f us | "
                 "max %8.1f us\n",
                 name, static_cast<unsigned long long>(s.count),
                 s.total_seconds * 1e3,
                 s.count > 0 ? s.total_seconds * 1e6 /
                                   static_cast<double>(s.count)
                             : 0.0,
-                s.max_seconds * 1e6);
+                s.p50_seconds * 1e6, s.p95_seconds * 1e6,
+                s.p99_seconds * 1e6, s.max_seconds * 1e6);
   };
   print_stage("candidate-gen", stages.candidate_gen);
   print_stage("rerank", stages.rerank);
@@ -616,23 +852,52 @@ int Main(int argc, char** argv) {
                  live_point.interleaved_serve_rps,
                  live_point.rows_refreshed, live_point.full_rebuilds,
                  live_point.parity ? "true" : "false");
-    std::fprintf(
-        json,
-        "  \"stage_latency\": {\n"
-        "    \"candidate_gen\": {\"count\": %llu, \"total_seconds\": "
-        "%.6f, \"max_seconds\": %.6f},\n"
-        "    \"rerank\": {\"count\": %llu, \"total_seconds\": %.6f, "
-        "\"max_seconds\": %.6f},\n"
-        "    \"cache_lookup\": {\"count\": %llu, \"total_seconds\": "
-        "%.6f, \"max_seconds\": %.6f}\n  }\n",
-        static_cast<unsigned long long>(stages.candidate_gen.count),
-        stages.candidate_gen.total_seconds,
-        stages.candidate_gen.max_seconds,
-        static_cast<unsigned long long>(stages.rerank.count),
-        stages.rerank.total_seconds, stages.rerank.max_seconds,
-        static_cast<unsigned long long>(stages.cache_lookup.count),
-        stages.cache_lookup.total_seconds,
-        stages.cache_lookup.max_seconds);
+    std::fprintf(json,
+                 "  \"streaming\": {\n"
+                 "    \"parity\": %s,\n"
+                 "    \"capacity_rps\": %.1f,\n"
+                 "    \"overload_policy\": \"shed_oldest\",\n"
+                 "    \"points\": [\n",
+                 streaming.parity ? "true" : "false",
+                 streaming.capacity_rps);
+    for (size_t i = 0; i < streaming.points.size(); ++i) {
+      const StreamingPoint& p = streaming.points[i];
+      std::fprintf(
+          json,
+          "      {\"target_rps\": %.1f, \"offered_rps\": %.1f, "
+          "\"achieved_rps\": %.1f, \"p50_ms\": %.4f, "
+          "\"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+          "\"queue_p95_ms\": %.4f, \"serve_p95_ms\": %.4f, "
+          "\"submitted\": %llu, \"responses\": %llu, "
+          "\"shed\": %llu, \"updates\": %llu, "
+          "\"max_queue_depth\": %llu}%s\n",
+          p.target_rps, p.offered_rps, p.achieved_rps, p.p50_ms,
+          p.p95_ms, p.p99_ms, p.queue_p95_ms, p.serve_p95_ms,
+          static_cast<unsigned long long>(p.submitted),
+          static_cast<unsigned long long>(p.responses),
+          static_cast<unsigned long long>(p.shed),
+          static_cast<unsigned long long>(p.updates),
+          static_cast<unsigned long long>(p.max_queue_depth),
+          i + 1 < streaming.points.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  },\n");
+    const auto stage_json = [json](const char* name,
+                                   const recsys::StageStats::Stage& s,
+                                   const char* suffix) {
+      std::fprintf(
+          json,
+          "    \"%s\": {\"count\": %llu, \"total_seconds\": %.6f, "
+          "\"max_seconds\": %.6f, \"p50_us\": %.3f, \"p95_us\": %.3f, "
+          "\"p99_us\": %.3f}%s\n",
+          name, static_cast<unsigned long long>(s.count),
+          s.total_seconds, s.max_seconds, s.p50_seconds * 1e6,
+          s.p95_seconds * 1e6, s.p99_seconds * 1e6, suffix);
+    };
+    std::fprintf(json, "  \"stage_latency\": {\n");
+    stage_json("candidate_gen", stages.candidate_gen, ",");
+    stage_json("rerank", stages.rerank, ",");
+    stage_json("cache_lookup", stages.cache_lookup, "");
+    std::fprintf(json, "  }\n");
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_serving.json\n");
@@ -645,6 +910,8 @@ int Main(int argc, char** argv) {
     if (!p.parity) return 1;  // indexed serving must match lazy exactly
   }
   if (!live_point.parity) return 1;  // live updates must match refits
+  // Streamed serving must be bitwise-identical to synchronous batches.
+  if (!streaming.parity) return 1;
   return cache_parity ? 0 : 1;
 }
 

@@ -96,4 +96,115 @@ std::string Histogram::ToAscii(size_t max_width) const {
   return out;
 }
 
+LogHistogram::LogHistogram(double lo, double hi,
+                           size_t buckets_per_decade)
+    : lo_(lo), hi_(hi), buckets_per_decade_(buckets_per_decade) {
+  SPA_CHECK(lo > 0.0);
+  SPA_CHECK(hi > lo);
+  SPA_CHECK(buckets_per_decade > 0);
+  const double decades = std::log10(hi / lo);
+  const auto buckets = static_cast<size_t>(
+      std::ceil(decades * static_cast<double>(buckets_per_decade) -
+                1e-9));
+  buckets_ = std::vector<std::atomic<uint64_t>>(
+      std::max<size_t>(buckets, 1));
+}
+
+LogHistogram::LogHistogram(const LogHistogram& other)
+    : lo_(other.lo_),
+      hi_(other.hi_),
+      buckets_per_decade_(other.buckets_per_decade_),
+      buckets_(other.buckets_.size()) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+}
+
+LogHistogram& LogHistogram::operator=(const LogHistogram& other) {
+  if (this == &other) return *this;
+  lo_ = other.lo_;
+  hi_ = other.hi_;
+  buckets_per_decade_ = other.buckets_per_decade_;
+  buckets_ = std::vector<std::atomic<uint64_t>>(other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+size_t LogHistogram::BucketIndex(double x) const {
+  if (!(x > lo_)) return 0;  // also catches NaN and non-positives
+  if (x >= hi_) return buckets_.size() - 1;  // incl. +infinity
+  const auto idx = static_cast<int64_t>(
+      std::floor(std::log10(x / lo_) *
+                 static_cast<double>(buckets_per_decade_)));
+  return static_cast<size_t>(std::clamp<int64_t>(
+      idx, 0, static_cast<int64_t>(buckets_.size()) - 1));
+}
+
+void LogHistogram::Add(double x) {
+  buckets_[BucketIndex(x)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LogHistogram::bucket(size_t i) const {
+  SPA_CHECK(i < buckets_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double LogHistogram::bucket_lo(size_t i) const {
+  SPA_CHECK(i < buckets_.size());
+  return lo_ * std::pow(10.0, static_cast<double>(i) /
+                                  static_cast<double>(
+                                      buckets_per_decade_));
+}
+
+double LogHistogram::bucket_hi(size_t i) const {
+  SPA_CHECK(i < buckets_.size());
+  return lo_ * std::pow(10.0, static_cast<double>(i + 1) /
+                                  static_cast<double>(
+                                      buckets_per_decade_));
+}
+
+uint64_t LogHistogram::total() const {
+  uint64_t sum = 0;
+  for (const auto& b : buckets_) {
+    sum += b.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+double LogHistogram::Quantile(double q) const {
+  SPA_CHECK(q >= 0.0 && q <= 1.0);
+  const uint64_t n = total();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const auto count = static_cast<double>(
+        buckets_[i].load(std::memory_order_relaxed));
+    if (count == 0.0) continue;
+    if (cum + count >= target) {
+      const double frac =
+          std::clamp((target - cum) / count, 0.0, 1.0);
+      // Log-linear interpolation within the bucket.
+      return bucket_lo(i) *
+             std::pow(bucket_hi(i) / bucket_lo(i), frac);
+    }
+    cum += count;
+  }
+  return bucket_hi(buckets_.size() - 1);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  SPA_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+            buckets_per_decade_ == other.buckets_per_decade_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(
+        other.buckets_[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+}
+
 }  // namespace spa

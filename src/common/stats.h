@@ -1,6 +1,7 @@
 #ifndef SPA_COMMON_STATS_H_
 #define SPA_COMMON_STATS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -8,8 +9,9 @@
 #include <vector>
 
 /// \file
-/// Streaming statistics and simple histograms used by the evaluator and
-/// the benchmark harnesses.
+/// Streaming statistics and simple histograms used by the evaluator,
+/// the serving layers (per-stage latency histograms) and the benchmark
+/// harnesses.
 
 namespace spa {
 
@@ -64,6 +66,66 @@ class Histogram {
   double hi_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+};
+
+/// \brief Fixed-bucket log-scale histogram with lock-free concurrent
+/// recording — the latency histogram behind the streaming serving
+/// pipeline and the engine's per-stage counters.
+///
+/// Bucket `i` spans `[lo * r^i, lo * r^(i+1))` with
+/// `r = 10^(1/buckets_per_decade)`: the boundaries are fixed by the
+/// `(lo, hi, buckets_per_decade)` geometry alone, so histograms with
+/// the same geometry merge bucket-by-bucket. Values below `lo` clamp
+/// into the first bucket and values at or above `hi` into the last —
+/// recording never drops a sample. `Add` is one relaxed `fetch_add` on
+/// the target bucket: any number of concurrent recorders, and the
+/// per-bucket counts (and thus `total()`) are exactly the number of
+/// `Add` calls no matter how the threads interleave.
+class LogHistogram {
+ public:
+  /// Default latency geometry: 100 ns .. 100 s, 8 buckets per decade
+  /// (each bucket a factor of 10^(1/8) ~ 1.33 wide).
+  LogHistogram() : LogHistogram(1e-7, 100.0, 8) {}
+  LogHistogram(double lo, double hi, size_t buckets_per_decade);
+
+  /// Copying snapshots the counts (per-bucket relaxed loads: a copy
+  /// taken while recorders run sees every bucket atomically, but not
+  /// the histogram as a whole).
+  LogHistogram(const LogHistogram& other);
+  LogHistogram& operator=(const LogHistogram& other);
+
+  /// Records one value. Thread-safe and lock-free.
+  void Add(double x);
+
+  size_t bucket_count() const { return buckets_.size(); }
+  uint64_t bucket(size_t i) const;
+  /// Geometric bucket boundaries: bucket(i) counts values in
+  /// [bucket_lo(i), bucket_hi(i)) (modulo edge clamping).
+  double bucket_lo(size_t i) const;
+  double bucket_hi(size_t i) const;
+  /// Sum over every bucket (== number of Add calls).
+  uint64_t total() const;
+
+  /// q-quantile estimate (0 <= q <= 1): log-linear interpolation inside
+  /// the bucket where the cumulative count crosses q * total, so the
+  /// estimate is exact to within one bucket width (a factor of
+  /// 10^(1/buckets_per_decade)). Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Adds another histogram's counts; geometries must match exactly.
+  void Merge(const LogHistogram& other);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t buckets_per_decade() const { return buckets_per_decade_; }
+
+ private:
+  size_t BucketIndex(double x) const;
+
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  size_t buckets_per_decade_ = 0;
+  std::vector<std::atomic<uint64_t>> buckets_;
 };
 
 }  // namespace spa

@@ -33,12 +33,18 @@ class ThreadPool {
 
   size_t thread_count() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker (monitoring
+  /// accessor; note that layers which park one permanent task per
+  /// worker — e.g. the streaming pipeline's drain loops — keep this
+  /// queue empty and expose their own depth counters instead).
+  size_t pending_tasks() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;

@@ -166,6 +166,13 @@ void Spa::SetItemEmotionProfile(lifelog::ItemId item,
 }
 
 spa::Status Spa::RefreshRecommenders() {
+  if (!serving_pipeline_.expired()) {
+    // Rebuilding replaces engine_ while the pipeline's drain workers
+    // may be inside it — refuse loudly instead of a use-after-free.
+    return spa::Status::FailedPrecondition(
+        "a streaming pipeline is serving from the current engine; "
+        "destroy it before refreshing the recommender stack");
+  }
   // Rebuild the interaction matrix from the LifeLog (single source of
   // truth for what users touched). Shard count comes from the engine
   // config; any count stores bit-for-bit identical data.
@@ -260,6 +267,22 @@ std::vector<spa::Result<recsys::RecommendResponse>> Spa::RecommendBatch(
     }
   }
   return engine_->RecommendBatch(requests);
+}
+
+spa::Result<std::shared_ptr<recsys::ServingPipeline>>
+Spa::MakeServingPipeline(recsys::PipelineConfig config) {
+  if (auto live = serving_pipeline_.lock()) {
+    return spa::Status::FailedPrecondition(
+        "a streaming pipeline is already serving from the engine; "
+        "destroy it before building another");
+  }
+  if (!recommenders_ready_) {
+    SPA_RETURN_IF_ERROR(RefreshRecommenders());
+  }
+  auto pipeline = std::make_shared<recsys::ServingPipeline>(
+      engine_.get(), &sum_service_, config);
+  serving_pipeline_ = pipeline;
+  return pipeline;
 }
 
 std::vector<recsys::Scored> Spa::RecommendCourses(sum::UserId user,

@@ -17,6 +17,7 @@
 #include "recsys/emotion_aware.h"
 #include "recsys/engine.h"
 #include "recsys/request.h"
+#include "recsys/serving_pipeline.h"
 
 /// \file
 /// The SPA platform facade: wires the five Fig. 3 components together —
@@ -123,6 +124,29 @@ class Spa {
   std::vector<spa::Result<recsys::RecommendResponse>> RecommendBatch(
       std::vector<recsys::RecommendRequest> requests);
 
+  /// Builds an async streaming pipeline over the serving engine and
+  /// the platform's SUM service (refreshing the recommender stack
+  /// first when interactions changed): callers Submit requests /
+  /// interaction batches / SUM publishes and collect tickets instead
+  /// of blocking on a closed batch.
+  ///
+  /// Lifetime: the pipeline borrows the engine, so while the returned
+  /// handle is alive `RefreshRecommenders` *refuses to run* (a lazily
+  /// triggered refresh surfaces as FailedPrecondition from
+  /// Recommend/RecommendBatch rather than replacing an engine whose
+  /// workers are mid-serve). Destroy the pipeline before mutating the
+  /// platform in ways that require a stack rebuild.
+  ///
+  /// Caveats vs. the synchronous facade path: the pipeline's fast
+  /// path skips the sparse-seen-item merge (zero-weight LifeLog
+  /// events) — callers that need it put those items in
+  /// `exclude_items` — and `SubmitInteractions` is a *serving-layer*
+  /// live update: it reaches the engine's matrix but not the LifeLog,
+  /// so events that must survive the next stack rebuild go through
+  /// `Record` as well.
+  spa::Result<std::shared_ptr<recsys::ServingPipeline>>
+  MakeServingPipeline(recsys::PipelineConfig config = {});
+
   /// Top-k course suggestions; emotion-aware re-ranking applied when a
   /// SUM exists and emotional features are enabled. (Compatibility
   /// wrapper over Recommend().)
@@ -180,6 +204,9 @@ class Spa {
   std::unordered_map<lifelog::ItemId, recsys::EmotionProfile>
       emotion_profiles_;
   std::unique_ptr<recsys::RecsysEngine> engine_;
+  /// Live streaming pipeline handed out by MakeServingPipeline (if
+  /// any). While it is alive the engine must not be replaced.
+  std::weak_ptr<recsys::ServingPipeline> serving_pipeline_;
   bool recommenders_ready_ = false;
 
   /// Per-user cache of SparseSeenFor results; cleared whenever the

@@ -95,6 +95,7 @@ spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
   }
   LiveUpdateReport report;
   report.interactions = batch.size();
+  report.matrix_version = live_matrix_->version();
   if (batch.empty()) return report;
   const uint64_t pre_version = live_matrix_->version();
 
@@ -131,8 +132,9 @@ spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
     }
     report.affected_users = affected.size();
   }
+  const uint64_t new_version = live_matrix_->version();
+  report.matrix_version = new_version;
   if (config_.response_cache_capacity > 0) {
-    const uint64_t new_version = live_matrix_->version();
     std::lock_guard<std::mutex> cache_lock(cache_mutex_);
     for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
       // Only entries that were fresh going into this batch may be
@@ -295,6 +297,7 @@ void RecsysEngine::RecordStage(AtomicStage* stage,
          !stage->max_nanos.compare_exchange_weak(
              prev, nanos, std::memory_order_relaxed)) {
   }
+  stage->histogram.Add(seconds);
 }
 
 StageStats RecsysEngine::stage_stats() const {
@@ -307,6 +310,10 @@ StageStats RecsysEngine::stage_stats() const {
     out.max_seconds =
         static_cast<double>(s.max_nanos.load(std::memory_order_relaxed)) *
         1e-9;
+    out.histogram = s.histogram;  // snapshot copy
+    out.p50_seconds = out.histogram.Quantile(0.50);
+    out.p95_seconds = out.histogram.Quantile(0.95);
+    out.p99_seconds = out.histogram.Quantile(0.99);
     return out;
   };
   StageStats stats;
@@ -474,18 +481,14 @@ spa::Result<RecommendResponse> RecsysEngine::Serve(
 }
 
 std::vector<spa::Result<RecommendResponse>> RecsysEngine::RecommendBatch(
-    const std::vector<RecommendRequest>& requests) {
+    const std::vector<RecommendRequest>& requests, BatchPin* pin) {
   std::vector<spa::Result<RecommendResponse>> results(
       requests.size(),
       spa::Result<RecommendResponse>(
           spa::Status::Internal("request not served")));
-  if (requests.empty()) return results;
-  // One snapshot for the whole batch: every request sees the same
-  // emotional context (mutually consistent rankings) and the per-
-  // request snapshot acquisition disappears from the hot path.
-  const sum::SumSnapshotPtr batch_snapshot =
-      sums_ != nullptr ? sums_->snapshot() : nullptr;
-  ThreadPool* pool = EnsurePool();
+  // An empty batch must not spawn the worker pool; it still pins (the
+  // lock below) so `pin` reports a real consistency point.
+  ThreadPool* pool = requests.empty() ? nullptr : EnsurePool();
   // One shared hold for the whole batch, on behalf of all workers: a
   // concurrent ApplyInteractions cannot interleave mid-batch, so the
   // matrix view is as mutually consistent as the SUM view. (Workers
@@ -493,10 +496,46 @@ std::vector<spa::Result<RecommendResponse>> RecsysEngine::RecommendBatch(
   // them under writer-priority locks while the batch waits on the
   // workers — deadlock.)
   std::shared_lock lock(serve_mutex_);
+  // One snapshot for the whole batch: every request sees the same
+  // emotional context (mutually consistent rankings) and the per-
+  // request snapshot acquisition disappears from the hot path. Pinned
+  // *inside* the lock hold so (matrix version, SUM version) is one
+  // consistency point (see BatchPin).
+  const sum::SumSnapshotPtr batch_snapshot =
+      sums_ != nullptr ? sums_->snapshot() : nullptr;
+  if (pin != nullptr) {
+    pin->fit_epoch = fit_epoch_;
+    pin->matrix_version =
+        (fitted_ && matrix_ != nullptr) ? matrix_->version() : 0;
+    pin->sum_version =
+        batch_snapshot != nullptr ? batch_snapshot->version() : 0;
+  }
+  if (requests.empty()) return results;
   ParallelFor(pool, requests.size(),
               [this, &requests, &results, &batch_snapshot](size_t i) {
                 results[i] = RecommendImpl(requests[i], batch_snapshot);
               });
+  return results;
+}
+
+std::vector<spa::Result<RecommendResponse>>
+RecsysEngine::RecommendBatchInline(
+    const std::vector<RecommendRequest>& requests, BatchPin* pin) const {
+  std::vector<spa::Result<RecommendResponse>> results;
+  results.reserve(requests.size());
+  std::shared_lock lock(serve_mutex_);
+  const sum::SumSnapshotPtr batch_snapshot =
+      sums_ != nullptr ? sums_->snapshot() : nullptr;
+  if (pin != nullptr) {
+    pin->fit_epoch = fit_epoch_;
+    pin->matrix_version =
+        (fitted_ && matrix_ != nullptr) ? matrix_->version() : 0;
+    pin->sum_version =
+        batch_snapshot != nullptr ? batch_snapshot->version() : 0;
+  }
+  for (const RecommendRequest& request : requests) {
+    results.push_back(RecommendImpl(request, batch_snapshot));
+  }
   return results;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rw_lock.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "recsys/emotion_aware.h"
@@ -24,7 +25,10 @@
 /// (base components blended by a weighted hybrid, plus the
 /// emotion-aware re-ranker) and answers `RecommendRequest`s one at a
 /// time or in thread-pool-parallel batches. This is the seam every
-/// scaling layer (sharding, caching, async) plugs into.
+/// scaling layer (sharding, caching, async) plugs into — the streaming
+/// layer (`recsys/serving_pipeline.h`) drains its admission queue
+/// through `RecommendBatchInline` and its writer lane through
+/// `ApplyInteractions`.
 ///
 /// Emotional context comes from a `sum::SumService`: each request pins
 /// the service's current `SumSnapshot` — and `RecommendBatch` pins
@@ -131,6 +135,10 @@ struct LiveUpdateReport {
   size_t cache_entries_invalidated = 0;
   double apply_seconds = 0.0;    ///< matrix shard writes
   double refresh_seconds = 0.0;  ///< component state repair
+  /// Interaction-matrix version after the batch landed (each
+  /// interaction bumps it once). Streaming callers correlate this with
+  /// the `BatchPin::matrix_version` of later responses.
+  uint64_t matrix_version = 0;
 };
 
 /// \brief Cumulative ApplyInteractions counters.
@@ -145,15 +153,52 @@ struct LiveUpdateStats {
 };
 
 /// \brief Per-stage serving latency counters (cumulative).
+///
+/// ## Histogram export format
+///
+/// Every stage carries, next to the total/max counters, a snapshot of
+/// its fixed-bucket log-scale latency histogram (`spa::LogHistogram`,
+/// default geometry: 100 ns .. 100 s, 8 buckets per decade; values in
+/// **seconds**). `p50`/`p95`/`p99` are quantile estimates from that
+/// histogram — log-interpolated, exact to within one bucket (a factor
+/// of 10^(1/8) ~ 1.33) — and `histogram.total() == count` on any
+/// quiescent engine: there is exactly one recording per stage
+/// execution (the test suite pins this parity). The two are updated
+/// without mutual synchronization, so a snapshot taken while workers
+/// are recording may observe them transiently diverged — treat the
+/// equality as a quiescent invariant only.
+/// Consumers that aggregate across engines merge the histograms
+/// bucket-by-bucket (`LogHistogram::Merge`) and take quantiles of the
+/// merged counts; `BENCH_serving.json` exports the three quantiles per
+/// stage as `{"p50_us", "p95_us", "p99_us"}` next to the totals.
 struct StageStats {
   struct Stage {
     uint64_t count = 0;
     double total_seconds = 0.0;
     double max_seconds = 0.0;
+    /// Latency quantile estimates in seconds (0 when count == 0).
+    double p50_seconds = 0.0;
+    double p95_seconds = 0.0;
+    double p99_seconds = 0.0;
+    /// Full log-scale histogram snapshot (seconds).
+    LogHistogram histogram;
   };
   Stage candidate_gen;  ///< hybrid blend (component fan-out)
   Stage rerank;         ///< emotion re-score + sort + materialize
   Stage cache_lookup;   ///< response-cache probes (hits and misses)
+};
+
+/// \brief The consistency point a (micro-)batch served against: the
+/// engine's fit epoch, the interaction-matrix version and the global
+/// SUM snapshot version, all captured while the batch held the shared
+/// serve lock. Two responses pinned to the same triple were computed
+/// from identical state, so replaying the same requests synchronously
+/// at that triple reproduces them byte-for-byte — the invariant the
+/// streaming pipeline's differential tests are built on.
+struct BatchPin {
+  uint64_t fit_epoch = 0;
+  uint64_t matrix_version = 0;
+  uint64_t sum_version = 0;
 };
 
 /// \brief Owns the recommender stack and serves requests.
@@ -199,9 +244,22 @@ class RecsysEngine {
   /// and are byte-identical to sequential `Recommend` calls made
   /// against the batch's pinned SUM snapshot (one snapshot for the
   /// whole batch: rankings are mutually consistent even while updates
-  /// land).
+  /// land). `pin` (optional) receives the consistency point the batch
+  /// served against.
   std::vector<spa::Result<RecommendResponse>> RecommendBatch(
-      const std::vector<RecommendRequest>& requests);
+      const std::vector<RecommendRequest>& requests,
+      BatchPin* pin = nullptr);
+
+  /// Serves a micro-batch sequentially **in the calling thread** under
+  /// one shared-lock hold and one pinned SUM snapshot — the primitive
+  /// the streaming `ServingPipeline` drains its admission queue with
+  /// (its workers are already parallel, so fanning out again over the
+  /// batch pool would only add contention). Results are byte-identical
+  /// to `RecommendBatch` / sequential `Recommend` on the same requests
+  /// at the same `BatchPin`.
+  std::vector<spa::Result<RecommendResponse>> RecommendBatchInline(
+      const std::vector<RecommendRequest>& requests,
+      BatchPin* pin = nullptr) const;
 
   // ---- live updates ------------------------------------------------------
   /// Routes one interaction batch into the (mutable) fitted matrix,
@@ -292,11 +350,14 @@ class RecsysEngine {
 
   /// Lock-free accumulator behind one StageStats::Stage — every batch
   /// worker records into these on every response, so a shared mutex
-  /// here would serialize the parallel hot path being measured.
+  /// here would serialize the parallel hot path being measured. The
+  /// histogram's buckets are atomic too (one relaxed fetch_add per
+  /// recording).
   struct AtomicStage {
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> total_nanos{0};
     std::atomic<uint64_t> max_nanos{0};
+    LogHistogram histogram;
   };
 
   void RecordStage(AtomicStage* stage, double seconds) const;

@@ -1,0 +1,413 @@
+#include "recsys/serving_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/clock.h"
+
+namespace spa::recsys {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+}  // namespace
+
+// ---- StreamTicket ----------------------------------------------------------
+
+bool StreamTicket::Poll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == TicketState::kDone || state_ == TicketState::kShed;
+}
+
+TicketState StreamTicket::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return state_ == TicketState::kDone || state_ == TicketState::kShed;
+  });
+  return state_;
+}
+
+TicketState StreamTicket::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+const spa::Result<RecommendResponse>& StreamTicket::response() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SPA_CHECK(kind_ == StreamOpKind::kRecommend);
+  SPA_CHECK(state_ == TicketState::kDone ||
+            state_ == TicketState::kShed);
+  return response_;
+}
+
+const spa::Result<LiveUpdateReport>& StreamTicket::update_report()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SPA_CHECK(kind_ == StreamOpKind::kInteractions);
+  SPA_CHECK(state_ == TicketState::kDone ||
+            state_ == TicketState::kShed);
+  return update_report_;
+}
+
+const spa::Status& StreamTicket::sum_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SPA_CHECK(kind_ == StreamOpKind::kSumUpdates);
+  SPA_CHECK(state_ == TicketState::kDone ||
+            state_ == TicketState::kShed);
+  return sum_status_;
+}
+
+const BatchPin& StreamTicket::pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SPA_CHECK(state_ == TicketState::kDone ||
+            state_ == TicketState::kShed);
+  return pinned_;
+}
+
+double StreamTicket::queue_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_seconds_;
+}
+
+double StreamTicket::serve_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serve_seconds_;
+}
+
+void StreamTicket::Complete(TicketState terminal) {
+  SPA_CHECK(terminal == TicketState::kDone ||
+            terminal == TicketState::kShed);
+  Callback callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = terminal;
+    callback = std::move(on_complete_);
+  }
+  cv_.notify_all();
+  if (callback) callback(*this);
+}
+
+// ---- ServingPipeline -------------------------------------------------------
+
+ServingPipeline::ServingPipeline(RecsysEngine* engine,
+                                 sum::SumService* sums,
+                                 PipelineConfig config)
+    : engine_(engine), sums_(sums), config_(config) {
+  SPA_CHECK(engine_ != nullptr);
+  SPA_CHECK(config_.queue_capacity > 0);
+  SPA_CHECK(config_.writer_queue_capacity > 0);
+  SPA_CHECK(config_.max_batch > 0);
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  // One persistent drain loop per pool worker: the loops only return
+  // once Shutdown() raises stopping_ and both lanes are empty.
+  for (size_t i = 0; i < pool_->thread_count(); ++i) {
+    pool_->Submit([this] { DrainLoop(); });
+  }
+}
+
+ServingPipeline::~ServingPipeline() { Shutdown(); }
+
+void ServingPipeline::Shutdown() {
+  // Claim the pool under mu_ (concurrent Shutdown calls and
+  // worker_count() readers race on pool_ otherwise), but join it
+  // outside: the drain loops need mu_ to finish.
+  std::unique_ptr<ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    pool = std::move(pool_);
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  // Joining the pool drains both lanes first (the loops finish every
+  // already-admitted op before returning), so no ticket is abandoned.
+  pool.reset();
+  idle_cv_.notify_all();
+}
+
+size_t ServingPipeline::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_ != nullptr ? pool_->thread_count() : 0;
+}
+
+spa::Result<StreamTicketPtr> ServingPipeline::Submit(
+    RecommendRequest request, StreamTicket::Callback on_complete) {
+  Op op;
+  op.ticket = StreamTicketPtr(
+      new StreamTicket(StreamOpKind::kRecommend));
+  op.ticket->on_complete_ = std::move(on_complete);
+  op.request = std::move(request);
+  return Admit(std::move(op), /*writer=*/false);
+}
+
+spa::Result<StreamTicketPtr> ServingPipeline::SubmitInteractions(
+    std::vector<Interaction> batch,
+    StreamTicket::Callback on_complete) {
+  Op op;
+  op.ticket = StreamTicketPtr(
+      new StreamTicket(StreamOpKind::kInteractions));
+  op.ticket->on_complete_ = std::move(on_complete);
+  op.interactions = std::move(batch);
+  return Admit(std::move(op), /*writer=*/true);
+}
+
+spa::Result<StreamTicketPtr> ServingPipeline::SubmitSumUpdates(
+    std::vector<sum::SumUpdate> updates,
+    StreamTicket::Callback on_complete) {
+  if (sums_ == nullptr) {
+    // Still a Submit* call: keep the `submitted` counter uniform
+    // across entry points (admitted or not).
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    return spa::Status::FailedPrecondition(
+        "pipeline was built without a SumService; SubmitSumUpdates "
+        "needs one");
+  }
+  Op op;
+  op.ticket = StreamTicketPtr(
+      new StreamTicket(StreamOpKind::kSumUpdates));
+  op.ticket->on_complete_ = std::move(on_complete);
+  op.sum_updates = std::move(updates);
+  return Admit(std::move(op), /*writer=*/true);
+}
+
+spa::Result<StreamTicketPtr> ServingPipeline::Admit(Op op,
+                                                    bool writer) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++submitted_;
+  if (stopping_) {
+    return spa::Status::FailedPrecondition("pipeline is shut down");
+  }
+  std::deque<Op>& queue = writer ? write_queue_ : read_queue_;
+  const size_t capacity =
+      writer ? config_.writer_queue_capacity : config_.queue_capacity;
+  while (queue.size() >= capacity) {
+    switch (config_.policy) {
+      case BackpressurePolicy::kBlock:
+        space_cv_.wait(lock, [&] {
+          return stopping_ || queue.size() < capacity;
+        });
+        if (stopping_) {
+          return spa::Status::FailedPrecondition(
+              "pipeline is shut down");
+        }
+        break;
+      case BackpressurePolicy::kReject:
+        ++rejected_;
+        return spa::Status::ResourceExhausted(
+            writer ? "writer lane full" : "admission queue full");
+      case BackpressurePolicy::kShedOldest: {
+        Op victim = std::move(queue.front());
+        queue.pop_front();
+        ++shed_;
+        // Complete the shed ticket outside mu_: its completion
+        // callback is caller code and must not be able to deadlock
+        // the pipeline.
+        lock.unlock();
+        const auto status = spa::Status::ResourceExhausted(
+            "shed by admission control (queue full, newest wins)");
+        {
+          std::lock_guard<std::mutex> ticket_lock(victim.ticket->mu_);
+          switch (victim.ticket->kind_) {
+            case StreamOpKind::kRecommend:
+              victim.ticket->response_ =
+                  spa::Result<RecommendResponse>(status);
+              break;
+            case StreamOpKind::kInteractions:
+              victim.ticket->update_report_ =
+                  spa::Result<LiveUpdateReport>(status);
+              break;
+            case StreamOpKind::kSumUpdates:
+              victim.ticket->sum_status_ = status;
+              break;
+          }
+        }
+        victim.ticket->Complete(TicketState::kShed);
+        lock.lock();
+        if (stopping_) {
+          return spa::Status::FailedPrecondition(
+              "pipeline is shut down");
+        }
+        break;
+      }
+    }
+  }
+  ++admitted_;
+  op.ticket->submitted_at_ = Clock::now();
+  StreamTicketPtr ticket = op.ticket;
+  queue.push_back(std::move(op));
+  if (!writer) {
+    max_queue_depth_ = std::max(
+        max_queue_depth_, static_cast<uint64_t>(queue.size()));
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+void ServingPipeline::DrainLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return (stopping_ && read_queue_.empty() &&
+              write_queue_.empty()) ||
+             (!write_queue_.empty() && !writer_inflight_) ||
+             !read_queue_.empty();
+    });
+    // Writer priority: drain the writer lane before any read batch
+    // (mirrors the engine's WriterPriorityMutex — continuous read
+    // traffic must not starve updates). Exactly one write at a time,
+    // popped FIFO, so writes apply in submission order.
+    if (!write_queue_.empty() && !writer_inflight_) {
+      Op op = std::move(write_queue_.front());
+      write_queue_.pop_front();
+      writer_inflight_ = true;
+      space_cv_.notify_all();
+      lock.unlock();
+      ExecuteWrite(std::move(op));
+      lock.lock();
+      writer_inflight_ = false;
+      ++updates_applied_;
+      work_cv_.notify_all();
+      if (read_queue_.empty() && write_queue_.empty() &&
+          reads_inflight_ == 0) {
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    if (!read_queue_.empty()) {
+      const size_t n =
+          std::min(config_.max_batch, read_queue_.size());
+      std::vector<Op> batch;
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(read_queue_.front()));
+        read_queue_.pop_front();
+      }
+      reads_inflight_ += n;
+      space_cv_.notify_all();
+      lock.unlock();
+      ExecuteReadBatch(std::move(batch));
+      lock.lock();
+      reads_inflight_ -= n;
+      responses_ += n;
+      ++batches_;
+      if (read_queue_.empty() && write_queue_.empty() &&
+          !writer_inflight_ && reads_inflight_ == 0) {
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    return;  // stopping_ and both lanes empty
+  }
+}
+
+void ServingPipeline::ExecuteWrite(Op op) {
+  const auto dequeued = Clock::now();
+  const double waited =
+      SecondsBetween(op.ticket->submitted_at_, dequeued);
+  hist_queue_wait_.Add(waited);
+
+  BatchPin pin;
+  spa::Result<LiveUpdateReport> report(
+      spa::Status::Internal("pending"));
+  spa::Status sum_status;
+  if (op.ticket->kind_ == StreamOpKind::kInteractions) {
+    report = engine_->ApplyInteractions(op.interactions);
+    if (report.ok()) {
+      pin.matrix_version = report.value().matrix_version;
+    }
+    pin.sum_version = sums_ != nullptr ? sums_->version() : 0;
+  } else {
+    // SumService::ApplyAll is internally atomic; the engine's response
+    // cache keys on per-user SUM versions, so no engine-side
+    // invalidation call is needed here.
+    sum_status = sums_->ApplyAll(op.sum_updates);
+    pin.sum_version = sums_->version();
+  }
+  const double seconds = SecondsBetween(dequeued, Clock::now());
+  hist_update_apply_.Add(seconds);
+  {
+    std::lock_guard<std::mutex> ticket_lock(op.ticket->mu_);
+    op.ticket->queue_seconds_ = waited;
+    op.ticket->serve_seconds_ = seconds;
+    op.ticket->pinned_ = pin;
+    if (op.ticket->kind_ == StreamOpKind::kInteractions) {
+      op.ticket->update_report_ = std::move(report);
+    } else {
+      op.ticket->sum_status_ = std::move(sum_status);
+    }
+  }
+  op.ticket->Complete(TicketState::kDone);
+}
+
+void ServingPipeline::ExecuteReadBatch(std::vector<Op> batch) {
+  const auto dequeued = Clock::now();
+  std::vector<RecommendRequest> requests;
+  requests.reserve(batch.size());
+  for (Op& op : batch) {
+    requests.push_back(std::move(op.request));
+  }
+  BatchPin pin;
+  auto results = engine_->RecommendBatchInline(requests, &pin);
+  const auto served = Clock::now();
+  const double serve_seconds = SecondsBetween(dequeued, served);
+  hist_batch_serve_.Add(serve_seconds);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    StreamTicket& ticket = *batch[i].ticket;
+    const double waited =
+        SecondsBetween(ticket.submitted_at_, dequeued);
+    hist_queue_wait_.Add(waited);
+    {
+      std::lock_guard<std::mutex> ticket_lock(ticket.mu_);
+      ticket.queue_seconds_ = waited;
+      ticket.serve_seconds_ = serve_seconds;
+      ticket.pinned_ = pin;
+      ticket.response_ = std::move(results[i]);
+    }
+    hist_end_to_end_.Add(
+        SecondsBetween(ticket.submitted_at_, Clock::now()));
+    ticket.Complete(TicketState::kDone);
+  }
+}
+
+void ServingPipeline::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return read_queue_.empty() && write_queue_.empty() &&
+           !writer_inflight_ && reads_inflight_ == 0;
+  });
+}
+
+PipelineStats ServingPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PipelineStats out;
+  out.submitted = submitted_;
+  out.admitted = admitted_;
+  out.rejected = rejected_;
+  out.shed = shed_;
+  out.responses = responses_;
+  out.batches = batches_;
+  out.updates_applied = updates_applied_;
+  out.max_queue_depth = max_queue_depth_;
+  out.queue_wait = hist_queue_wait_;
+  out.batch_serve = hist_batch_serve_;
+  out.update_apply = hist_update_apply_;
+  out.end_to_end = hist_end_to_end_;
+  return out;
+}
+
+size_t ServingPipeline::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_queue_.size();
+}
+
+size_t ServingPipeline::writer_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_queue_.size();
+}
+
+}  // namespace spa::recsys

@@ -1,0 +1,288 @@
+#ifndef SPA_RECSYS_SERVING_PIPELINE_H_
+#define SPA_RECSYS_SERVING_PIPELINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "recsys/engine.h"
+#include "sum/sum_update.h"
+
+/// \file
+/// Async streaming serving on top of `RecsysEngine`: callers `Submit`
+/// requests and get back a `StreamTicket` they can `Poll`, `Wait` on,
+/// or attach a completion callback to, instead of blocking on a closed
+/// `RecommendBatch`. A bounded admission queue with a configurable
+/// backpressure policy (block / reject-with-status / shed-oldest)
+/// feeds worker threads hosted on a `common/thread_pool`; each worker
+/// drains a run of queued requests as one micro-batch served through
+/// `RecsysEngine::RecommendBatchInline`, so every drained batch pins
+/// exactly one SUM snapshot and one interaction-matrix version — the
+/// same consistency contract `RecommendBatch` gives a closed batch.
+///
+/// ## Writer lane
+///
+/// Live updates flow through the *same* pipeline: `SubmitInteractions`
+/// (interaction batches, executed as `RecsysEngine::ApplyInteractions`)
+/// and `SubmitSumUpdates` (emotional-context publishes, executed as
+/// `SumService::ApplyAll`) enter a separate bounded writer queue.
+/// Workers drain the writer lane *first* (admission-level writer
+/// priority, mirroring the engine's `WriterPriorityMutex` — continuous
+/// read traffic must not starve updates), exactly one write executes
+/// at a time, and writes apply in submission order. Inside the engine
+/// the write takes the exclusive side of the serve lock while read
+/// micro-batches hold the shared side, so updates and serving
+/// interleave without any external locking — and without ever tearing
+/// a micro-batch's pinned view.
+///
+/// ## Determinism contract
+///
+/// Every completed response reports the `BatchPin` its micro-batch
+/// served against. Because writes are serialized FIFO and each batch
+/// pins (matrix version, SUM version) atomically under the shared
+/// serve lock, replaying the same writes synchronously and serving the
+/// same request at the same pin reproduces the streamed response
+/// byte-for-byte (`RecommendBatch` parity). The randomized
+/// differential harness in `tests/recsys/serving_pipeline_test.cc`
+/// asserts exactly this over interleaved schedules.
+///
+/// ## Response cache
+///
+/// The pipeline adds no caching layer of its own: micro-batches go
+/// through the engine's response cache (hits are byte-identical to
+/// recomputes by the cache's version guards), and writer-lane
+/// `ApplyInteractions` invalidates affected users' entries exactly as
+/// in the synchronous path. Shed or rejected requests never touch the
+/// cache.
+///
+/// Lifetime: the engine and SUM service must outlive the pipeline;
+/// destroying the pipeline drains every already-admitted op (tickets
+/// complete), then stops the workers.
+
+namespace spa::recsys {
+
+/// \brief What `Submit` does when the admission queue is full.
+enum class BackpressurePolicy {
+  /// Block the submitting thread until the queue has room (closed-loop
+  /// producers; no request is ever lost).
+  kBlock,
+  /// Fail the submission with ResourceExhausted (the caller sees the
+  /// overload immediately and can retry or degrade).
+  kReject,
+  /// Admit the new op and complete the *oldest* queued op of the same
+  /// lane as shed (load-shedding: freshest traffic wins; the shed
+  /// ticket terminates with state kShed, and its completion callback
+  /// fires on the submitting thread that displaced it).
+  kShedOldest,
+};
+
+/// \brief Pipeline tunables.
+struct PipelineConfig {
+  /// Worker threads draining the queues (0 = hardware concurrency).
+  size_t workers = 0;
+  /// Read-lane admission bound (queued, not yet draining).
+  size_t queue_capacity = 1024;
+  /// Writer-lane admission bound.
+  size_t writer_queue_capacity = 256;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// Max requests drained into one micro-batch (one pinned snapshot).
+  size_t max_batch = 32;
+};
+
+/// \brief What kind of op a ticket tracks.
+enum class StreamOpKind { kRecommend, kInteractions, kSumUpdates };
+
+/// \brief Ticket lifecycle. kDone and kShed are terminal.
+enum class TicketState { kQueued, kServing, kDone, kShed };
+
+/// \brief Caller's handle to one submitted op.
+///
+/// Thread-safe; hold the `StreamTicketPtr` until the result has been
+/// read. Accessors that return results must only be called once the
+/// ticket is terminal (`Poll()` true / after `Wait()`).
+class StreamTicket {
+ public:
+  using Callback = std::function<void(const StreamTicket&)>;
+
+  StreamOpKind kind() const { return kind_; }
+
+  /// True when the ticket reached a terminal state. Non-blocking.
+  bool Poll() const;
+
+  /// Blocks until terminal; returns the terminal state.
+  TicketState Wait() const;
+
+  TicketState state() const;
+
+  /// The response (kind() == kRecommend; terminal). Shed tickets carry
+  /// a ResourceExhausted status.
+  const spa::Result<RecommendResponse>& response() const;
+
+  /// The live-update report (kind() == kInteractions; terminal).
+  const spa::Result<LiveUpdateReport>& update_report() const;
+
+  /// The publish status (kind() == kSumUpdates; terminal).
+  const spa::Status& sum_status() const;
+
+  /// The consistency point the op was served at: for reads the
+  /// micro-batch's pin; for writes the post-apply versions. Zeros for
+  /// shed tickets.
+  const BatchPin& pinned() const;
+
+  /// Seconds between admission and dequeue / dequeue and completion.
+  double queue_seconds() const;
+  double serve_seconds() const;
+
+ private:
+  friend class ServingPipeline;
+
+  explicit StreamTicket(StreamOpKind kind) : kind_(kind) {}
+
+  /// Publishes the terminal state, wakes waiters, then fires the
+  /// completion callback (outside the ticket lock; the callback may
+  /// inspect the ticket and re-submit, but it runs on a drain worker —
+  /// or, for tickets shed by kShedOldest, on the thread whose Submit
+  /// displaced them: it must not block for long and must not call
+  /// Flush/Shutdown, which wait on the very worker running it).
+  void Complete(TicketState terminal);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  StreamOpKind kind_;
+  TicketState state_ = TicketState::kQueued;
+  spa::Result<RecommendResponse> response_{
+      spa::Status::Internal("pending")};
+  spa::Result<LiveUpdateReport> update_report_{
+      spa::Status::Internal("pending")};
+  spa::Status sum_status_ = spa::Status::Internal("pending");
+  BatchPin pinned_;
+  double queue_seconds_ = 0.0;
+  double serve_seconds_ = 0.0;
+  Callback on_complete_;
+  std::chrono::steady_clock::time_point submitted_at_;
+};
+
+using StreamTicketPtr = std::shared_ptr<StreamTicket>;
+
+/// \brief Cumulative pipeline counters plus latency histograms
+/// (`spa::LogHistogram`, seconds; same geometry as the engine's stage
+/// histograms, so the two layers merge bucket-by-bucket).
+struct PipelineStats {
+  uint64_t submitted = 0;   ///< Submit* calls (admitted or not)
+  uint64_t admitted = 0;    ///< ops that entered a queue
+  uint64_t rejected = 0;    ///< kReject refusals
+  uint64_t shed = 0;        ///< tickets dropped by kShedOldest
+  uint64_t responses = 0;   ///< completed read tickets
+  uint64_t batches = 0;     ///< micro-batches drained
+  uint64_t updates_applied = 0;  ///< completed writer-lane ops
+  uint64_t max_queue_depth = 0;  ///< high-water mark, read lane
+  LogHistogram queue_wait;   ///< per op: admission -> dequeue
+  LogHistogram batch_serve;  ///< per micro-batch: engine serve wall
+  LogHistogram update_apply; ///< per writer op: apply wall
+  LogHistogram end_to_end;   ///< per response: admission -> done
+};
+
+/// \brief The async streaming front of a fitted `RecsysEngine`.
+class ServingPipeline {
+ public:
+  /// `engine` serves reads and interaction writes; `sums` (may be
+  /// null) backs `SubmitSumUpdates` and should be the same service the
+  /// engine serves emotional context from. Both are borrowed and must
+  /// outlive the pipeline. Workers start immediately.
+  ServingPipeline(RecsysEngine* engine, sum::SumService* sums,
+                  PipelineConfig config = {});
+  ~ServingPipeline();
+
+  ServingPipeline(const ServingPipeline&) = delete;
+  ServingPipeline& operator=(const ServingPipeline&) = delete;
+
+  /// Admits one recommendation request. Errors: ResourceExhausted
+  /// (kReject and the read lane is full), FailedPrecondition (pipeline
+  /// shut down).
+  spa::Result<StreamTicketPtr> Submit(
+      RecommendRequest request, StreamTicket::Callback on_complete = {});
+
+  /// Admits one interaction batch into the writer lane (executed as
+  /// `RecsysEngine::ApplyInteractions`, in submission order).
+  spa::Result<StreamTicketPtr> SubmitInteractions(
+      std::vector<Interaction> batch,
+      StreamTicket::Callback on_complete = {});
+
+  /// Admits one SUM publish into the writer lane (executed as
+  /// `SumService::ApplyAll`, in submission order). Errors additionally:
+  /// FailedPrecondition when the pipeline was built without a service.
+  spa::Result<StreamTicketPtr> SubmitSumUpdates(
+      std::vector<sum::SumUpdate> updates,
+      StreamTicket::Callback on_complete = {});
+
+  /// Blocks until both lanes are empty and nothing is executing. Only
+  /// settles while producers are quiet.
+  void Flush();
+
+  /// Stops admission, drains every already-admitted op, joins the
+  /// workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  PipelineStats stats() const;
+  size_t queue_depth() const;         ///< read lane, queued only
+  size_t writer_queue_depth() const;  ///< writer lane, queued only
+  /// Drain workers (0 after Shutdown).
+  size_t worker_count() const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  struct Op {
+    StreamTicketPtr ticket;
+    RecommendRequest request;                // kRecommend
+    std::vector<Interaction> interactions;   // kInteractions
+    std::vector<sum::SumUpdate> sum_updates; // kSumUpdates
+  };
+
+  spa::Result<StreamTicketPtr> Admit(Op op, bool writer);
+  void DrainLoop();
+  void ExecuteWrite(Op op);
+  void ExecuteReadBatch(std::vector<Op> batch);
+
+  RecsysEngine* engine_;
+  sum::SumService* sums_;
+  PipelineConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: something to drain
+  std::condition_variable space_cv_;  ///< kBlock producers: room freed
+  std::condition_variable idle_cv_;   ///< Flush: everything drained
+  std::deque<Op> read_queue_;
+  std::deque<Op> write_queue_;
+  bool writer_inflight_ = false;
+  size_t reads_inflight_ = 0;
+  bool stopping_ = false;
+
+  // Counters under mu_; histograms are internally atomic.
+  uint64_t submitted_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t responses_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t updates_applied_ = 0;
+  uint64_t max_queue_depth_ = 0;
+  LogHistogram hist_queue_wait_;
+  LogHistogram hist_batch_serve_;
+  LogHistogram hist_update_apply_;
+  LogHistogram hist_end_to_end_;
+
+  /// Hosts the drain loops (one long-running task per pool worker).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace spa::recsys
+
+#endif  // SPA_RECSYS_SERVING_PIPELINE_H_

@@ -1,6 +1,9 @@
 #include "common/stats.h"
 
 #include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "gtest/gtest.h"
@@ -106,6 +109,152 @@ TEST(HistogramTest, AsciiRenderNonEmpty) {
   const std::string art = h.ToAscii();
   EXPECT_NE(art.find('#'), std::string::npos);
   EXPECT_NE(art.find("100"), std::string::npos);
+}
+
+// ---- LogHistogram ----------------------------------------------------------
+
+TEST(LogHistogramTest, BucketBoundariesAreGeometric) {
+  // 1e-3 .. 1e0 at 4 buckets/decade: 3 decades -> 12 buckets, each a
+  // factor of 10^(1/4) wide.
+  LogHistogram h(1e-3, 1.0, 4);
+  EXPECT_EQ(h.bucket_count(), 12u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 1e-3);
+  const double ratio = std::pow(10.0, 0.25);
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_NEAR(h.bucket_hi(i) / h.bucket_lo(i), ratio, 1e-12)
+        << "bucket " << i;
+    if (i > 0) {
+      EXPECT_NEAR(h.bucket_lo(i), h.bucket_hi(i - 1), 1e-15)
+          << "bucket " << i;
+    }
+  }
+  EXPECT_NEAR(h.bucket_hi(h.bucket_count() - 1), 1.0, 1e-12);
+}
+
+TEST(LogHistogramTest, ValuesLandInTheirBucket) {
+  LogHistogram h(1e-3, 1.0, 4);
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    // Geometric bucket midpoint: unambiguous even at FP boundaries.
+    h.Add(std::sqrt(h.bucket_lo(i) * h.bucket_hi(i)));
+  }
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_EQ(h.bucket(i), 1u) << "bucket " << i;
+  }
+  EXPECT_EQ(h.total(), h.bucket_count());
+}
+
+TEST(LogHistogramTest, OutOfRangeClampsToEdgeBuckets) {
+  LogHistogram h(1e-3, 1.0, 4);
+  h.Add(0.0);     // below lo (and non-positive)
+  h.Add(1e-9);    // below lo
+  h.Add(-1.0);    // negative
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(5.0);     // at/above hi
+  h.Add(1e9);     // far above hi
+  h.Add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bucket(0), 4u);
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 3u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(LogHistogramTest, QuantileInterpolatesWithinBucket) {
+  LogHistogram h(1e-3, 1.0, 4);
+  // All mass in one bucket: every quantile must stay inside it.
+  const size_t target = 5;
+  const double mid =
+      std::sqrt(h.bucket_lo(target) * h.bucket_hi(target));
+  for (int i = 0; i < 1000; ++i) h.Add(mid);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double estimate = h.Quantile(q);
+    EXPECT_GE(estimate, h.bucket_lo(target)) << "q=" << q;
+    EXPECT_LE(estimate, h.bucket_hi(target) * (1 + 1e-12)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), h.Quantile(0.5));  // deterministic
+}
+
+TEST(LogHistogramTest, QuantileOrderingAcrossBuckets) {
+  LogHistogram h(1e-3, 1.0, 8);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    h.Add(std::pow(10.0, rng.Uniform(-3.0, 0.0)));
+  }
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-uniform data: the median sits near sqrt(lo*hi) = ~0.0316,
+  // within one bucket width (factor 10^(1/8) ~ 1.33).
+  EXPECT_GT(p50, 0.0316 / 1.34);
+  EXPECT_LT(p50, 0.0316 * 1.34);
+}
+
+TEST(LogHistogramTest, EmptyQuantileIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, MergeMatchesCombinedRecording) {
+  LogHistogram a(1e-3, 1.0, 4), b(1e-3, 1.0, 4), all(1e-3, 1.0, 4);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::pow(10.0, rng.Uniform(-3.5, 0.5));
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  ASSERT_EQ(a.bucket_count(), all.bucket_count());
+  for (size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), all.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.95), all.Quantile(0.95));
+}
+
+TEST(LogHistogramTest, CopySnapshotsCounts) {
+  LogHistogram h(1e-3, 1.0, 4);
+  h.Add(0.01);
+  LogHistogram copy = h;
+  h.Add(0.01);
+  EXPECT_EQ(copy.total(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  copy = h;
+  EXPECT_EQ(copy.total(), 2u);
+}
+
+TEST(LogHistogramTest, ConcurrentRecordingLosesNoCounts) {
+  // The determinism contract: per-bucket counts equal the number of
+  // Add calls no matter how recorder threads interleave (each Add is
+  // one atomic fetch_add). Every thread records the same value set, so
+  // the expected per-bucket counts are exact.
+  LogHistogram h(1e-3, 1.0, 4);
+  LogHistogram expected(1e-3, 1.0, 4);
+  std::vector<double> values;
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    values.push_back(std::sqrt(h.bucket_lo(i) * h.bucket_hi(i)));
+  }
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 500;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int r = 0; r < kRounds; ++r) {
+      for (double v : values) expected.Add(v);
+    }
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &values] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (double v : values) h.Add(v);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_EQ(h.bucket(i), expected.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(h.total(), expected.total());
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -38,6 +40,39 @@ TEST(ThreadPoolTest, ReusableAfterWait) {
 TEST(ThreadPoolTest, ThreadCountRespected) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, PendingTasksReportsQueueDepth) {
+  ThreadPool pool(1);
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool started = false;
+  bool release = false;
+  // Occupy the single worker behind a gate, then queue two more tasks:
+  // the queue depth is exactly 2 until the gate opens.
+  pool.Submit([&] {
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      started = true;
+    }
+    gate_cv.notify_all();
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return started; });
+  }
+  pool.Submit([] {});
+  pool.Submit([] {});
+  EXPECT_EQ(pool.pending_tasks(), 2u);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release = true;
+  }
+  gate_cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(pool.pending_tasks(), 0u);
 }
 
 TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {

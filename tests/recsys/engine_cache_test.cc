@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -389,6 +390,66 @@ TEST_F(EngineCacheTest, StageLatencyCountersAccumulate) {
   EXPECT_EQ(stats.cache_lookup.count, 4u);
   EXPECT_EQ(stats.candidate_gen.count, 3u);
   EXPECT_EQ(stats.rerank.count, 3u);
+}
+
+TEST_F(EngineCacheTest, StageHistogramTotalsMatchStageCounters) {
+  // The latency histograms record exactly once per stage execution, so
+  // their totals must equal the existing counters — on the computed
+  // path and on cache hits (which probe the cache but skip the
+  // compute stages).
+  auto engine = MakeEngine();
+  for (UserId u = 0; u < 5; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 3;
+    ASSERT_TRUE(engine->Recommend(request).ok());
+    ASSERT_TRUE(engine->Recommend(request).ok());  // cache hit
+  }
+  const StageStats stats = engine->stage_stats();
+  EXPECT_EQ(stats.candidate_gen.count, 5u);
+  EXPECT_EQ(stats.cache_lookup.count, 10u);
+  for (const StageStats::Stage* stage :
+       {&stats.candidate_gen, &stats.rerank, &stats.cache_lookup}) {
+    EXPECT_EQ(stage->histogram.total(), stage->count);
+    EXPECT_LE(stage->p50_seconds, stage->p95_seconds);
+    EXPECT_LE(stage->p95_seconds, stage->p99_seconds);
+    EXPECT_GT(stage->p50_seconds, 0.0);
+    // The max counter cannot sit below the histogram's p99 by more
+    // than one bucket width (both saw the same samples).
+    EXPECT_LE(stage->p99_seconds,
+              std::max(stage->max_seconds * 1.34, 1e-7 * 1.34));
+  }
+}
+
+TEST_F(EngineCacheTest, RecommendBatchReportsItsPin) {
+  auto engine = MakeEngine();
+  std::vector<RecommendRequest> requests;
+  for (UserId u = 0; u < 4; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 3;
+    requests.push_back(std::move(request));
+  }
+  BatchPin pin;
+  const auto responses = engine->RecommendBatch(requests, &pin);
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(pin.fit_epoch, 1u);
+  EXPECT_EQ(pin.matrix_version, matrix_.version());
+  EXPECT_EQ(pin.sum_version, sums_.version());
+
+  // The inline (sequential, caller-thread) micro-batch primitive is
+  // byte-identical at the same pin.
+  BatchPin inline_pin;
+  const auto inline_responses =
+      engine->RecommendBatchInline(requests, &inline_pin);
+  EXPECT_EQ(inline_pin.matrix_version, pin.matrix_version);
+  EXPECT_EQ(inline_pin.sum_version, pin.sum_version);
+  ASSERT_EQ(inline_responses.size(), responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok());
+    ASSERT_TRUE(inline_responses[i].ok());
+    ExpectSameItems(responses[i].value(), inline_responses[i].value());
+  }
 }
 
 TEST_F(EngineCacheTest, RecommendBatchPinsOneSnapshotForTheWholeBatch) {

@@ -1,6 +1,8 @@
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -581,6 +583,190 @@ TEST(LiveUpdateEngineTest, ServeWhileApplyInteractionsIsSafe) {
   batch_reader.join();
   EXPECT_FALSE(failure.load());
   EXPECT_EQ(engine->live_update_stats().batches, 30u);
+}
+
+// ---- ApplyInteractions determinism contract --------------------------------
+//
+// ApplyInteractions applies shard groups sequentially *on purpose*:
+// registration order of brand-new users/items must be deterministic so
+// shard counts and scheduling never change stored bytes or rankings.
+// These tests pin that contract so the planned parallelization of
+// shard-group application has a regression gate: whatever executes the
+// batch must preserve (a) bit-identical stored bytes for any shard
+// count given the same op order, (b) op-order-invariant row contents
+// for row-disjoint batches, and (c) first-appearance registration
+// order.
+
+/// Strict comparison: identical stored bytes including row order and
+/// registration order (the shard-count invariance contract).
+void ExpectSameMatrixBytes(const InteractionMatrix& a,
+                           const InteractionMatrix& b) {
+  ASSERT_EQ(a.user_count(), b.user_count());
+  ASSERT_EQ(a.item_count(), b.item_count());
+  EXPECT_EQ(a.interaction_count(), b.interaction_count());
+  EXPECT_EQ(a.version(), b.version());
+  EXPECT_EQ(a.users(), b.users());  // registration order
+  EXPECT_EQ(a.items(), b.items());
+  for (const UserId user : a.users()) {
+    const auto& ra = a.ItemsOf(user);
+    const auto& rb = b.ItemsOf(user);
+    ASSERT_EQ(ra.size(), rb.size()) << "user " << user;
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].first, rb[i].first) << "user " << user;
+      EXPECT_EQ(ra[i].second, rb[i].second) << "user " << user;
+    }
+    EXPECT_EQ(a.UserNormSquared(user), b.UserNormSquared(user))
+        << "user " << user;
+  }
+  for (const ItemId item : a.items()) {
+    const auto& pa = a.UsersOf(item);
+    const auto& pb = b.UsersOf(item);
+    ASSERT_EQ(pa.size(), pb.size()) << "item " << item;
+    for (size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].first, pb[i].first) << "item " << item;
+      EXPECT_EQ(pa[i].second, pb[i].second) << "item " << item;
+    }
+    EXPECT_EQ(a.ItemNormSquared(item), b.ItemNormSquared(item))
+        << "item " << item;
+  }
+}
+
+/// Canonical comparison: identical *content* with rows and postings
+/// sorted — what op-order shuffles must preserve (registration and
+/// in-row order legitimately follow op order).
+void ExpectSameCanonicalContent(const InteractionMatrix& a,
+                                const InteractionMatrix& b) {
+  EXPECT_EQ(a.interaction_count(), b.interaction_count());
+  EXPECT_EQ(a.version(), b.version());
+  auto sorted_ids = [](auto ids) {
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  ASSERT_EQ(sorted_ids(a.users()), sorted_ids(b.users()));
+  ASSERT_EQ(sorted_ids(a.items()), sorted_ids(b.items()));
+  auto sorted_row = [](std::vector<std::pair<ItemId, double>> row) {
+    std::sort(row.begin(), row.end());
+    return row;
+  };
+  for (const UserId user : a.users()) {
+    const auto ra = sorted_row(a.ItemsOf(user));
+    const auto rb = sorted_row(b.ItemsOf(user));
+    ASSERT_EQ(ra.size(), rb.size()) << "user " << user;
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].first, rb[i].first) << "user " << user;
+      EXPECT_EQ(ra[i].second, rb[i].second) << "user " << user;
+    }
+    EXPECT_EQ(a.UserNormSquared(user), b.UserNormSquared(user))
+        << "user " << user;
+  }
+  for (const ItemId item : a.items()) {
+    EXPECT_EQ(a.ItemNormSquared(item), b.ItemNormSquared(item))
+        << "item " << item;
+  }
+}
+
+TEST(ApplyDeterminismTest, SameBatchesSameBytesForEveryShardCount) {
+  // Identical base stream + identical ApplyInteractions batches into
+  // 1/2/3/8 shards: every stored byte (row order, posting order,
+  // weights, norms, registration order, version) must match.
+  std::vector<size_t> shard_counts = {1, 2, 3, 8};
+  std::vector<InteractionMatrix> matrices;
+  std::vector<std::unique_ptr<RecsysEngine>> engines;
+  for (const size_t shards : shard_counts) {
+    matrices.push_back(MakeRandomMatrix(91, 60, 30, shards));
+  }
+  for (size_t i = 0; i < matrices.size(); ++i) {
+    engines.push_back(MakeKnnEngine(/*cache_capacity=*/64));
+    ASSERT_TRUE(engines[i]->Fit(&matrices[i]).ok());
+  }
+  Rng rng(97);
+  for (int round = 0; round < 3; ++round) {
+    // The batch deliberately contains brand-new users and items (ids
+    // beyond the fitted range) plus repeated (user, item) cells.
+    auto batch = MakeBatch(&rng, 14, 64, 34);
+    batch.push_back(batch.front());  // guaranteed duplicate cell
+    for (auto& engine : engines) {
+      ASSERT_TRUE(engine->ApplyInteractions(batch).ok());
+    }
+    for (size_t i = 1; i < matrices.size(); ++i) {
+      ExpectSameMatrixBytes(matrices[0], matrices[i]);
+    }
+  }
+}
+
+TEST(ApplyDeterminismTest, RowDisjointBatchIsOrderInvariant) {
+  // A batch touching every user row and item posting at most once is
+  // fully op-order-invariant: any shuffle stores the same content
+  // (weights and norms bitwise) and serves the same rankings. (With
+  // repeated rows per batch, in-row FP accumulation order is the op
+  // order by design — that is why the sequential contract pins op
+  // order, not an arbitrary schedule.)
+  std::vector<Interaction> batch;
+  Rng rng(101);
+  for (int i = 0; i < 12; ++i) {
+    // Distinct users 0..11 (half existing, half new), distinct items.
+    batch.push_back({static_cast<UserId>(i % 2 == 0 ? i : 60 + i),
+                     static_cast<ItemId>(i % 3 == 0 ? i : 30 + i),
+                     rng.Uniform(0.2, 3.0)});
+  }
+  auto run_shuffled = [&](uint64_t shuffle_seed) {
+    auto shuffled = batch;
+    Rng shuffle_rng(shuffle_seed);
+    shuffle_rng.Shuffle(&shuffled);
+    auto matrix = std::make_unique<InteractionMatrix>(
+        MakeRandomMatrix(91, 60, 30, 3));
+    auto engine = MakeKnnEngine(/*cache_capacity=*/64);
+    EXPECT_TRUE(engine->Fit(matrix.get()).ok());
+    EXPECT_TRUE(engine->ApplyInteractions(shuffled).ok());
+    return std::make_pair(std::move(matrix), std::move(engine));
+  };
+  auto [m0, e0] = run_shuffled(1);
+  for (uint64_t shuffle_seed = 2; shuffle_seed <= 5; ++shuffle_seed) {
+    auto [m1, e1] = run_shuffled(shuffle_seed);
+    ExpectSameCanonicalContent(*m0, *m1);
+    for (UserId u : m0->users()) {
+      RecommendRequest request;
+      request.user = u;
+      request.k = 8;
+      const auto a = e0->Recommend(request);
+      const auto b = e1->Recommend(request);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectSameResponses(a.value(), b.value());
+    }
+  }
+}
+
+TEST(ApplyDeterminismTest, RegistrationOrderFollowsBatchOrder) {
+  // New users/items register in first-appearance order of the batch —
+  // the property that forces sequential application today and that a
+  // parallelized ApplyInteractions must reproduce.
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    InteractionMatrix matrix = MakeRandomMatrix(91, 20, 10, shards);
+    auto engine = MakeKnnEngine(/*cache_capacity=*/0);
+    ASSERT_TRUE(engine->Fit(&matrix).ok());
+    const size_t users_before = matrix.user_count();
+    const size_t items_before = matrix.item_count();
+    const std::vector<Interaction> batch = {
+        {static_cast<UserId>(105), static_cast<ItemId>(53), 1.0},
+        {static_cast<UserId>(101), static_cast<ItemId>(57), 1.0},
+        {static_cast<UserId>(105), static_cast<ItemId>(51), 1.0},
+        {static_cast<UserId>(103), static_cast<ItemId>(53), 1.0},
+    };
+    ASSERT_TRUE(engine->ApplyInteractions(batch).ok());
+    const std::vector<UserId> expected_users = {105, 101, 103};
+    const std::vector<ItemId> expected_items = {53, 57, 51};
+    ASSERT_EQ(matrix.user_count(), users_before + 3);
+    ASSERT_EQ(matrix.item_count(), items_before + 3);
+    for (size_t i = 0; i < expected_users.size(); ++i) {
+      EXPECT_EQ(matrix.users()[users_before + i], expected_users[i])
+          << "shards=" << shards;
+    }
+    for (size_t i = 0; i < expected_items.size(); ++i) {
+      EXPECT_EQ(matrix.items()[items_before + i], expected_items[i])
+          << "shards=" << shards;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,850 @@
+#include "recsys/serving_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "eit/emotion.h"
+#include "gtest/gtest.h"
+#include "recsys/engine.h"
+#include "recsys/knn_cf.h"
+#include "recsys/popularity.h"
+#include "sum/sum_service.h"
+
+/// The streaming serving pipeline. The load-bearing claims tested here:
+///
+///  * **Differential determinism**: every streamed response is
+///    bitwise-identical to the synchronous `RecommendBatch` result
+///    computed against the same pinned (matrix version, SUM version)
+///    pair — asserted by a seeded fuzzer that generates interleaved
+///    Submit / ApplyInteractions / SumUpdate schedules, runs them
+///    through the pipeline, then replays the applied writes in order
+///    on a fresh reference stack and re-serves every response at its
+///    pin (>= 100 seeded schedules across all three backpressure
+///    policies).
+///  * **Admission control**: block / reject-with-status / shed-oldest
+///    behave exactly as specified when the queue is full (driven
+///    deterministically by a gated recommender that parks the worker).
+///  * **Writer priority**: queued writes drain before queued reads.
+///  * **Race freedom**: the TSAN stress case below runs under TSAN in
+///    CI (ServingPipeline* is in the TSAN job's ctest regex).
+
+namespace spa::recsys {
+namespace {
+
+constexpr size_t kUsers = 100;
+constexpr size_t kItems = 50;
+
+/// Deterministic clustered interaction matrix (same generator for the
+/// live run and the reference replay).
+InteractionMatrix MakeMatrix(uint64_t seed, size_t shards) {
+  Rng rng(seed, /*stream=*/1);
+  InteractionMatrix m(shards);
+  for (size_t u = 0; u < kUsers; ++u) {
+    const auto base =
+        static_cast<ItemId>((u % 2 == 0) ? 0 : kItems / 2);
+    for (int j = 0; j < 6; ++j) {
+      const auto item = static_cast<ItemId>(
+          base +
+          rng.UniformInt(0, static_cast<int64_t>(kItems) / 2 - 1));
+      m.Add(static_cast<UserId>(u), item, rng.Uniform(0.2, 3.0));
+    }
+  }
+  return m;
+}
+
+/// Deterministic SUM bootstrap: one ApplyAll publish (version 1).
+void BootstrapSums(sum::SumService* sums,
+                   const sum::AttributeCatalog& catalog,
+                   uint64_t seed) {
+  Rng rng(seed, /*stream=*/2);
+  std::vector<sum::SumUpdate> bootstrap;
+  bootstrap.reserve(kUsers);
+  for (size_t u = 0; u < kUsers; ++u) {
+    sum::SumUpdate update(static_cast<sum::UserId>(u));
+    for (eit::EmotionalAttribute attr : eit::AllEmotionalAttributes()) {
+      if (rng.Bernoulli(0.4)) {
+        update.SetSensibility(catalog.EmotionalId(attr),
+                              rng.Uniform(0.2, 1.0));
+      }
+    }
+    bootstrap.push_back(std::move(update));
+  }
+  ASSERT_TRUE(sums->ApplyAll(bootstrap).ok());
+}
+
+/// Engine with two KNN components and deterministic item profiles.
+std::unique_ptr<RecsysEngine> MakeEngine(const sum::SumService* sums,
+                                         InteractionMatrix* matrix,
+                                         uint64_t seed,
+                                         size_t cache_capacity) {
+  EngineConfig config;
+  config.response_cache_capacity = cache_capacity;
+  config.interaction_shards = matrix->shard_count();
+  auto engine = std::make_unique<RecsysEngine>(config);
+  engine->AddComponent(std::make_unique<UserKnnRecommender>(), 0.6);
+  engine->AddComponent(std::make_unique<ItemKnnRecommender>(), 0.4);
+  Rng rng(seed, /*stream=*/3);
+  for (size_t i = 0; i < kItems; ++i) {
+    EmotionProfile profile{};
+    for (double& p : profile) p = rng.Uniform();
+    engine->SetItemEmotionProfile(static_cast<ItemId>(i), profile);
+  }
+  engine->set_sum_service(sums);
+  EXPECT_TRUE(engine->Fit(matrix).ok());
+  return engine;
+}
+
+void ExpectBitwiseEqual(const RecommendResponse& streamed,
+                        const RecommendResponse& reference,
+                        const std::string& context) {
+  EXPECT_EQ(streamed.user, reference.user) << context;
+  EXPECT_EQ(streamed.emotion_applied, reference.emotion_applied)
+      << context;
+  EXPECT_EQ(streamed.explained, reference.explained) << context;
+  ASSERT_EQ(streamed.items.size(), reference.items.size()) << context;
+  for (size_t i = 0; i < streamed.items.size(); ++i) {
+    const RecommendedItem& a = streamed.items[i];
+    const RecommendedItem& b = reference.items[i];
+    EXPECT_EQ(a.item, b.item) << context << " rank " << i;
+    EXPECT_EQ(a.score, b.score) << context << " rank " << i;  // bitwise
+    if (streamed.explained) {
+      EXPECT_EQ(a.breakdown.base, b.breakdown.base)
+          << context << " rank " << i;
+      EXPECT_EQ(a.breakdown.base_share, b.breakdown.base_share)
+          << context << " rank " << i;
+      EXPECT_EQ(a.breakdown.emotional_alignment,
+                b.breakdown.emotional_alignment)
+          << context << " rank " << i;
+      EXPECT_EQ(a.breakdown.emotion_delta, b.breakdown.emotion_delta)
+          << context << " rank " << i;
+    }
+  }
+}
+
+// ---- randomized differential harness ---------------------------------------
+
+enum class OpKind { kRead, kInteractions, kSumUpdates };
+
+struct ScheduleOp {
+  OpKind kind = OpKind::kRead;
+  RecommendRequest request;
+  std::vector<Interaction> interactions;
+  std::vector<sum::SumUpdate> sum_updates;
+};
+
+/// One random schedule of interleaved reads and writes. New users and
+/// items enter through interaction batches (ids above the bootstrap
+/// range) so the stream also exercises live registration.
+std::vector<ScheduleOp> MakeSchedule(uint64_t seed,
+                                     const sum::AttributeCatalog& catalog,
+                                     size_t ops) {
+  Rng rng(seed, /*stream=*/4);
+  std::vector<ScheduleOp> schedule;
+  schedule.reserve(ops);
+  UserId next_new_user = static_cast<UserId>(kUsers);
+  ItemId next_new_item = static_cast<ItemId>(kItems);
+  const auto attributes = eit::AllEmotionalAttributes();
+  for (size_t i = 0; i < ops; ++i) {
+    const double roll = rng.Uniform();
+    ScheduleOp op;
+    if (roll < 0.70) {
+      op.kind = OpKind::kRead;
+      op.request.user = static_cast<UserId>(
+          rng.UniformInt(0, static_cast<int64_t>(kUsers) - 1));
+      op.request.k = static_cast<size_t>(rng.UniformInt(1, 8));
+      op.request.exclude_seen =
+          rng.Bernoulli(0.85) ? ExcludeSeen::kYes : ExcludeSeen::kNo;
+      op.request.explain = rng.Bernoulli(0.15);
+    } else if (roll < 0.85) {
+      op.kind = OpKind::kInteractions;
+      const size_t batch = static_cast<size_t>(rng.UniformInt(1, 4));
+      for (size_t b = 0; b < batch; ++b) {
+        Interaction interaction;
+        interaction.user =
+            rng.Bernoulli(0.1)
+                ? next_new_user++
+                : static_cast<UserId>(rng.UniformInt(
+                      0, static_cast<int64_t>(kUsers) - 1));
+        interaction.item =
+            rng.Bernoulli(0.1)
+                ? next_new_item++
+                : static_cast<ItemId>(rng.UniformInt(
+                      0, static_cast<int64_t>(kItems) - 1));
+        interaction.weight = rng.Uniform(0.2, 3.0);
+        op.interactions.push_back(interaction);
+      }
+    } else {
+      op.kind = OpKind::kSumUpdates;
+      const size_t updates = static_cast<size_t>(rng.UniformInt(1, 3));
+      for (size_t b = 0; b < updates; ++b) {
+        sum::SumUpdate update(static_cast<sum::UserId>(
+            rng.UniformInt(0, static_cast<int64_t>(kUsers) - 1)));
+        const auto attr = attributes[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(attributes.size()) - 1))];
+        if (rng.Bernoulli(0.5)) {
+          update.SetSensibility(catalog.EmotionalId(attr),
+                                rng.Uniform(0.0, 1.0));
+        } else {
+          update.Reward(catalog.EmotionalId(attr), rng.Uniform(0.1, 1.0));
+        }
+        op.sum_updates.push_back(std::move(update));
+      }
+    }
+    schedule.push_back(std::move(op));
+  }
+  return schedule;
+}
+
+struct StreamedRead {
+  size_t op_index = 0;
+  RecommendRequest request;
+  RecommendResponse response;
+  BatchPin pin;
+};
+
+struct AppliedWrite {
+  OpKind kind = OpKind::kInteractions;
+  std::vector<Interaction> interactions;
+  std::vector<sum::SumUpdate> sum_updates;
+  BatchPin pin;  ///< post-apply versions reported by the ticket
+};
+
+/// Runs one schedule through a live pipeline, then replays the applied
+/// writes in submission order on a fresh reference stack and asserts
+/// every streamed response equals the synchronous RecommendBatch
+/// result at the same pinned (matrix version, SUM version) pair.
+void RunDifferentialSchedule(uint64_t seed, BackpressurePolicy policy,
+                             size_t shards) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " policy=" +
+               std::to_string(static_cast<int>(policy)) + " shards=" +
+               std::to_string(shards));
+  sum::AttributeCatalog catalog =
+      sum::AttributeCatalog::EmagisterDefault();
+
+  // ---- live streamed run ---------------------------------------------------
+  InteractionMatrix live_matrix = MakeMatrix(seed, shards);
+  sum::SumService live_sums(&catalog);
+  BootstrapSums(&live_sums, catalog, seed);
+  auto live_engine =
+      MakeEngine(&live_sums, &live_matrix, seed, /*cache_capacity=*/256);
+
+  const std::vector<ScheduleOp> schedule =
+      MakeSchedule(seed, catalog, /*ops=*/48);
+
+  PipelineConfig config;
+  config.workers = 3;
+  config.queue_capacity = 6;  // small: the policy actually engages
+  config.writer_queue_capacity = 6;
+  config.policy = policy;
+  config.max_batch = 4;
+
+  std::vector<StreamedRead> reads;
+  std::vector<AppliedWrite> writes;
+  {
+    ServingPipeline pipeline(live_engine.get(), &live_sums, config);
+    std::vector<std::pair<size_t, StreamTicketPtr>> tickets;
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      const ScheduleOp& op = schedule[i];
+      spa::Result<StreamTicketPtr> admitted =
+          op.kind == OpKind::kRead
+              ? pipeline.Submit(op.request)
+              : (op.kind == OpKind::kInteractions
+                     ? pipeline.SubmitInteractions(op.interactions)
+                     : pipeline.SubmitSumUpdates(op.sum_updates));
+      if (!admitted.ok()) {
+        // Only the reject policy may refuse an admission.
+        EXPECT_EQ(config.policy, BackpressurePolicy::kReject);
+        EXPECT_EQ(admitted.status().code(),
+                  spa::StatusCode::kResourceExhausted);
+        continue;
+      }
+      tickets.emplace_back(i, admitted.value());
+    }
+    pipeline.Flush();
+    for (auto& [index, ticket] : tickets) {
+      const TicketState state = ticket->Wait();
+      if (state == TicketState::kShed) {
+        EXPECT_EQ(config.policy, BackpressurePolicy::kShedOldest);
+        continue;
+      }
+      ASSERT_EQ(state, TicketState::kDone);
+      const ScheduleOp& op = schedule[index];
+      switch (ticket->kind()) {
+        case StreamOpKind::kRecommend: {
+          ASSERT_TRUE(ticket->response().ok());
+          reads.push_back({index, op.request,
+                           ticket->response().value(),
+                           ticket->pinned()});
+          break;
+        }
+        case StreamOpKind::kInteractions: {
+          ASSERT_TRUE(ticket->update_report().ok());
+          writes.push_back({OpKind::kInteractions, op.interactions,
+                            {}, ticket->pinned()});
+          break;
+        }
+        case StreamOpKind::kSumUpdates: {
+          ASSERT_TRUE(ticket->sum_status().ok());
+          writes.push_back({OpKind::kSumUpdates, {}, op.sum_updates,
+                            ticket->pinned()});
+          break;
+        }
+      }
+    }
+  }
+
+  // Tickets complete out of submission order, but the writer lane
+  // applies FIFO: re-sort the applied writes by submission index (we
+  // appended in ticket iteration order, which *is* submission order
+  // because `tickets` preserves it). Their post-apply versions must be
+  // strictly increasing along that order.
+  for (size_t i = 1; i < writes.size(); ++i) {
+    if (writes[i].kind == OpKind::kInteractions &&
+        writes[i - 1].kind == OpKind::kInteractions) {
+      EXPECT_GT(writes[i].pin.matrix_version,
+                writes[i - 1].pin.matrix_version);
+    }
+    if (writes[i].kind == OpKind::kSumUpdates &&
+        writes[i - 1].kind == OpKind::kSumUpdates) {
+      EXPECT_GT(writes[i].pin.sum_version,
+                writes[i - 1].pin.sum_version);
+    }
+  }
+
+  // ---- reference replay ----------------------------------------------------
+  // Because exactly one write executes at a time (FIFO), the set of
+  // applied writes at any pin instant is a prefix of the write order:
+  // sorting responses by (matrix version, SUM version) lets one
+  // forward replay visit every pinned state.
+  std::sort(reads.begin(), reads.end(),
+            [](const StreamedRead& a, const StreamedRead& b) {
+              if (a.pin.matrix_version != b.pin.matrix_version) {
+                return a.pin.matrix_version < b.pin.matrix_version;
+              }
+              return a.pin.sum_version < b.pin.sum_version;
+            });
+  for (size_t i = 1; i < reads.size(); ++i) {
+    // Joint monotonicity: a response computed from a newer matrix can
+    // never carry an older SUM view (writes are totally ordered).
+    ASSERT_LE(reads[i - 1].pin.sum_version, reads[i].pin.sum_version)
+        << "pinned versions invert: the pipeline tore a batch pin";
+  }
+
+  InteractionMatrix ref_matrix = MakeMatrix(seed, shards);
+  sum::SumService ref_sums(&catalog);
+  BootstrapSums(&ref_sums, catalog, seed);
+  auto ref_engine =
+      MakeEngine(&ref_sums, &ref_matrix, seed, /*cache_capacity=*/0);
+
+  size_t next_write = 0;
+  size_t compared = 0;
+  size_t i = 0;
+  while (i < reads.size()) {
+    const BatchPin target = reads[i].pin;
+    ASSERT_EQ(target.fit_epoch, 1u);
+    while (ref_matrix.version() < target.matrix_version ||
+           ref_sums.version() < target.sum_version) {
+      ASSERT_LT(next_write, writes.size())
+          << "pinned state not reachable by replaying applied writes";
+      const AppliedWrite& write = writes[next_write++];
+      if (write.kind == OpKind::kInteractions) {
+        const auto report =
+            ref_engine->ApplyInteractions(write.interactions);
+        ASSERT_TRUE(report.ok());
+        ASSERT_EQ(report.value().matrix_version,
+                  write.pin.matrix_version)
+            << "replayed matrix version diverged from the live run";
+      } else {
+        ASSERT_TRUE(ref_sums.ApplyAll(write.sum_updates).ok());
+        ASSERT_EQ(ref_sums.version(), write.pin.sum_version)
+            << "replayed SUM version diverged from the live run";
+      }
+    }
+    ASSERT_EQ(ref_matrix.version(), target.matrix_version);
+    ASSERT_EQ(ref_sums.version(), target.sum_version);
+
+    // Serve every response pinned at this state as one synchronous
+    // RecommendBatch and compare bitwise.
+    std::vector<RecommendRequest> group;
+    const size_t group_start = i;
+    while (i < reads.size() &&
+           reads[i].pin.matrix_version == target.matrix_version &&
+           reads[i].pin.sum_version == target.sum_version) {
+      group.push_back(reads[i].request);
+      ++i;
+    }
+    BatchPin ref_pin;
+    const auto reference = ref_engine->RecommendBatch(group, &ref_pin);
+    ASSERT_EQ(ref_pin.matrix_version, target.matrix_version);
+    ASSERT_EQ(ref_pin.sum_version, target.sum_version);
+    for (size_t g = 0; g < group.size(); ++g) {
+      ASSERT_TRUE(reference[g].ok());
+      ExpectBitwiseEqual(
+          reads[group_start + g].response, reference[g].value(),
+          "op " + std::to_string(reads[group_start + g].op_index));
+      ++compared;
+    }
+  }
+  EXPECT_EQ(compared, reads.size());
+  EXPECT_GT(compared, 0u);
+}
+
+class ServingPipelineDifferentialTest
+    : public ::testing::TestWithParam<BackpressurePolicy> {};
+
+TEST_P(ServingPipelineDifferentialTest,
+       StreamedResponsesMatchSynchronousBatchAtPinnedVersions) {
+  // 35 schedules per policy x 3 policies = 105 seeded schedules, with
+  // the shard count varied across them.
+  for (uint64_t seed = 0; seed < 35; ++seed) {
+    const size_t shards = 1 + seed % 4;
+    RunDifferentialSchedule(1000 + seed, GetParam(), shards);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ServingPipelineDifferentialTest,
+    ::testing::Values(BackpressurePolicy::kBlock,
+                      BackpressurePolicy::kReject,
+                      BackpressurePolicy::kShedOldest),
+    [](const ::testing::TestParamInfo<BackpressurePolicy>& info) {
+      switch (info.param) {
+        case BackpressurePolicy::kBlock: return "Block";
+        case BackpressurePolicy::kReject: return "Reject";
+        case BackpressurePolicy::kShedOldest: return "ShedOldest";
+      }
+      return "Unknown";
+    });
+
+// ---- deterministic admission-control coverage ------------------------------
+
+/// Shared gate a recommender can park on: lets a test hold the single
+/// drain worker mid-serve and fill the queue deterministically.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void WaitUntilOpen() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+/// Minimal recommender that blocks every candidate call on the gate.
+class GatedRecommender : public Recommender {
+ public:
+  explicit GatedRecommender(Gate* gate) : gate_(gate) {}
+
+  spa::Status Fit(const InteractionMatrix& matrix) override {
+    matrix_ = &matrix;
+    return spa::Status::OK();
+  }
+  spa::Status Refresh(RefreshOutcome* outcome) override {
+    outcome->all_users = true;
+    return spa::Status::OK();
+  }
+  std::vector<Scored> RecommendCandidates(
+      const CandidateQuery& query) const override {
+    gate_->WaitUntilOpen();
+    return {{static_cast<ItemId>(query.user % 3), 1.0}};
+  }
+  std::string name() const override { return "gated"; }
+
+ private:
+  Gate* gate_;
+  const InteractionMatrix* matrix_ = nullptr;
+};
+
+/// Engine with one gated component, no emotion stage, no cache.
+struct GatedStack {
+  explicit GatedStack(size_t users = 8) : matrix(MakeTiny(users)) {
+    EngineConfig config;
+    config.response_cache_capacity = 0;
+    config.emotion_enabled = false;
+    engine = std::make_unique<RecsysEngine>(config);
+    engine->AddComponent(std::make_unique<GatedRecommender>(&gate),
+                         1.0);
+    EXPECT_TRUE(engine->Fit(&matrix).ok());
+  }
+
+  static InteractionMatrix MakeTiny(size_t users) {
+    InteractionMatrix m;
+    for (size_t u = 0; u < users; ++u) {
+      m.Add(static_cast<UserId>(u), static_cast<ItemId>(u % 4), 1.0);
+    }
+    return m;
+  }
+
+  RecommendRequest Request(UserId user) const {
+    RecommendRequest request;
+    request.user = user;
+    request.k = 1;
+    request.exclude_seen = ExcludeSeen::kNo;
+    return request;
+  }
+
+  Gate gate;
+  InteractionMatrix matrix;
+  std::unique_ptr<RecsysEngine> engine;
+};
+
+PipelineConfig TinyPipelineConfig(BackpressurePolicy policy) {
+  PipelineConfig config;
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.writer_queue_capacity = 2;
+  config.max_batch = 1;
+  config.policy = policy;
+  return config;
+}
+
+/// Parks the single worker on r0, fills the queue with r1, r2. Returns
+/// after the worker has provably dequeued r0 (queue depth settled).
+std::vector<StreamTicketPtr> FillQueue(ServingPipeline* pipeline,
+                                       GatedStack* stack) {
+  std::vector<StreamTicketPtr> tickets;
+  auto r0 = pipeline->Submit(stack->Request(0));
+  EXPECT_TRUE(r0.ok());
+  tickets.push_back(r0.value());
+  // Wait until the worker dequeued r0 (it then parks on the gate);
+  // only then do r1/r2 fill the queue to exactly its capacity.
+  while (pipeline->queue_depth() != 0) std::this_thread::yield();
+  for (UserId u = 1; u <= 2; ++u) {
+    auto ticket = pipeline->Submit(stack->Request(u));
+    EXPECT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  EXPECT_EQ(pipeline->queue_depth(), 2u);
+  return tickets;
+}
+
+TEST(ServingPipelineTest, BlockPolicyBlocksProducerUntilRoomFrees) {
+  GatedStack stack;
+  ServingPipeline pipeline(stack.engine.get(), nullptr,
+                           TinyPipelineConfig(BackpressurePolicy::kBlock));
+  auto tickets = FillQueue(&pipeline, &stack);
+
+  std::atomic<bool> admitted{false};
+  StreamTicketPtr blocked_ticket;
+  std::thread producer([&] {
+    auto ticket = pipeline.Submit(stack.Request(3));
+    EXPECT_TRUE(ticket.ok());
+    blocked_ticket = ticket.value();
+    admitted.store(true);
+  });
+  // The producer must still be parked after a generous delay: the
+  // queue is full and nothing drains while the gate is closed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+
+  stack.gate.Open();
+  producer.join();
+  EXPECT_TRUE(admitted.load());
+  pipeline.Flush();
+  for (const auto& ticket : tickets) {
+    EXPECT_EQ(ticket->Wait(), TicketState::kDone);
+    EXPECT_TRUE(ticket->response().ok());
+  }
+  EXPECT_EQ(blocked_ticket->Wait(), TicketState::kDone);
+  EXPECT_EQ(pipeline.stats().rejected, 0u);
+  EXPECT_EQ(pipeline.stats().shed, 0u);
+}
+
+TEST(ServingPipelineTest, RejectPolicyFailsSubmitWithStatus) {
+  GatedStack stack;
+  ServingPipeline pipeline(
+      stack.engine.get(), nullptr,
+      TinyPipelineConfig(BackpressurePolicy::kReject));
+  auto tickets = FillQueue(&pipeline, &stack);
+
+  auto rejected = pipeline.Submit(stack.Request(3));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(),
+            spa::StatusCode::kResourceExhausted);
+  EXPECT_EQ(pipeline.stats().rejected, 1u);
+
+  stack.gate.Open();
+  pipeline.Flush();
+  for (const auto& ticket : tickets) {
+    EXPECT_EQ(ticket->Wait(), TicketState::kDone);
+    EXPECT_TRUE(ticket->response().ok());
+  }
+  // Admission recovered once the queue drained.
+  auto late = pipeline.Submit(stack.Request(4));
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late.value()->Wait(), TicketState::kDone);
+}
+
+TEST(ServingPipelineTest, ShedOldestDropsTheOldestQueuedTicket) {
+  GatedStack stack;
+  ServingPipeline pipeline(
+      stack.engine.get(), nullptr,
+      TinyPipelineConfig(BackpressurePolicy::kShedOldest));
+  auto tickets = FillQueue(&pipeline, &stack);
+
+  // Queue holds [r1, r2]; admitting r3 must shed r1 (oldest queued —
+  // r0 is already serving and is not sheddable).
+  auto r3 = pipeline.Submit(stack.Request(3));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(tickets[1]->Wait(), TicketState::kShed);
+  ASSERT_FALSE(tickets[1]->response().ok());
+  EXPECT_EQ(tickets[1]->response().status().code(),
+            spa::StatusCode::kResourceExhausted);
+  EXPECT_EQ(pipeline.stats().shed, 1u);
+
+  stack.gate.Open();
+  pipeline.Flush();
+  EXPECT_EQ(tickets[0]->Wait(), TicketState::kDone);
+  EXPECT_EQ(tickets[2]->Wait(), TicketState::kDone);
+  EXPECT_EQ(r3.value()->Wait(), TicketState::kDone);
+  EXPECT_EQ(r3.value()->response().value().user, 3u);
+}
+
+TEST(ServingPipelineTest, WriterLaneDrainsBeforeQueuedReads) {
+  GatedStack stack;
+  ServingPipeline pipeline(stack.engine.get(), nullptr,
+                           TinyPipelineConfig(BackpressurePolicy::kBlock));
+
+  std::mutex order_mu;
+  std::vector<std::string> completion_order;
+  auto record = [&](std::string label) {
+    return [&order_mu, &completion_order,
+            label = std::move(label)](const StreamTicket&) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      completion_order.push_back(label);
+    };
+  };
+
+  auto r0 = pipeline.Submit(stack.Request(0), record("r0"));
+  ASSERT_TRUE(r0.ok());
+  while (pipeline.queue_depth() != 0) std::this_thread::yield();
+  // r0 is parked on the gate; now queue a read, then a write. Despite
+  // the read being older, the write drains first (writer priority).
+  auto r1 = pipeline.Submit(stack.Request(1), record("r1"));
+  ASSERT_TRUE(r1.ok());
+  auto w0 = pipeline.SubmitInteractions(
+      {{static_cast<UserId>(0), static_cast<ItemId>(1), 1.0}},
+      record("w0"));
+  ASSERT_TRUE(w0.ok());
+
+  stack.gate.Open();
+  pipeline.Flush();
+  ASSERT_TRUE(w0.value()->update_report().ok());
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order[0], "r0");
+  EXPECT_EQ(completion_order[1], "w0");
+  EXPECT_EQ(completion_order[2], "r1");
+}
+
+TEST(ServingPipelineTest, MicroBatchPinsOneSnapshotPerBatch) {
+  // All requests drained as one micro-batch share one BatchPin.
+  sum::AttributeCatalog catalog =
+      sum::AttributeCatalog::EmagisterDefault();
+  InteractionMatrix matrix = MakeMatrix(7, /*shards=*/1);
+  sum::SumService sums(&catalog);
+  BootstrapSums(&sums, catalog, 7);
+  auto engine = MakeEngine(&sums, &matrix, 7, /*cache_capacity=*/64);
+
+  PipelineConfig config;
+  config.workers = 1;
+  config.max_batch = 16;
+  ServingPipeline pipeline(engine.get(), &sums, config);
+  std::vector<StreamTicketPtr> tickets;
+  for (UserId u = 0; u < 8; ++u) {
+    auto ticket = pipeline.Submit(
+        [&] {
+          RecommendRequest request;
+          request.user = u;
+          request.k = 3;
+          return request;
+        }());
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  pipeline.Flush();
+  for (const auto& ticket : tickets) {
+    ASSERT_EQ(ticket->Wait(), TicketState::kDone);
+    EXPECT_EQ(ticket->pinned().sum_version, tickets[0]->pinned().sum_version);
+    EXPECT_EQ(ticket->pinned().matrix_version,
+              tickets[0]->pinned().matrix_version);
+    EXPECT_EQ(ticket->pinned().matrix_version, matrix.version());
+  }
+  EXPECT_GE(pipeline.stats().batches, 1u);
+  EXPECT_EQ(pipeline.stats().responses, 8u);
+}
+
+TEST(ServingPipelineTest, StatsHistogramTotalsMatchCounters) {
+  sum::AttributeCatalog catalog =
+      sum::AttributeCatalog::EmagisterDefault();
+  InteractionMatrix matrix = MakeMatrix(9, /*shards=*/2);
+  sum::SumService sums(&catalog);
+  BootstrapSums(&sums, catalog, 9);
+  auto engine = MakeEngine(&sums, &matrix, 9, /*cache_capacity=*/64);
+
+  PipelineConfig config;
+  config.workers = 2;
+  ServingPipeline pipeline(engine.get(), &sums, config);
+  for (UserId u = 0; u < 20; ++u) {
+    RecommendRequest request;
+    request.user = u % static_cast<UserId>(kUsers);
+    request.k = 3;
+    ASSERT_TRUE(pipeline.Submit(std::move(request)).ok());
+  }
+  ASSERT_TRUE(pipeline
+                  .SubmitInteractions(
+                      {{static_cast<UserId>(1), static_cast<ItemId>(2),
+                        1.0}})
+                  .ok());
+  pipeline.Flush();
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.responses, 20u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.end_to_end.total(), stats.responses);
+  EXPECT_EQ(stats.batch_serve.total(), stats.batches);
+  EXPECT_EQ(stats.update_apply.total(), stats.updates_applied);
+  // Every admitted op waited in the queue exactly once.
+  EXPECT_EQ(stats.queue_wait.total(), stats.responses + stats.updates_applied);
+  EXPECT_LE(stats.end_to_end.Quantile(0.5),
+            stats.end_to_end.Quantile(0.99));
+}
+
+TEST(ServingPipelineTest, SubmitAfterShutdownFailsCleanly) {
+  GatedStack stack;
+  stack.gate.Open();
+  ServingPipeline pipeline(stack.engine.get(), nullptr,
+                           TinyPipelineConfig(BackpressurePolicy::kBlock));
+  auto ticket = pipeline.Submit(stack.Request(0));
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(ticket.value()->Wait(), TicketState::kDone);
+  pipeline.Shutdown();
+  const auto late = pipeline.Submit(stack.Request(1));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), spa::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pipeline.worker_count(), 0u);
+}
+
+TEST(ServingPipelineTest, DestructorDrainsAdmittedTickets) {
+  GatedStack stack;
+  std::vector<StreamTicketPtr> tickets;
+  {
+    ServingPipeline pipeline(
+        stack.engine.get(), nullptr,
+        TinyPipelineConfig(BackpressurePolicy::kBlock));
+    tickets = FillQueue(&pipeline, &stack);
+    stack.gate.Open();
+    // The destructor must complete r0..r2 before the workers stop.
+  }
+  for (const auto& ticket : tickets) {
+    EXPECT_EQ(ticket->state(), TicketState::kDone);
+    EXPECT_TRUE(ticket->response().ok());
+  }
+}
+
+// ---- TSAN stress (in the CI TSAN job's regex) ------------------------------
+
+TEST(ServingPipelineTest, TsanStressServeWhileStreamingUpdates) {
+  sum::AttributeCatalog catalog =
+      sum::AttributeCatalog::EmagisterDefault();
+  InteractionMatrix matrix = MakeMatrix(21, /*shards=*/4);
+  sum::SumService sums(&catalog);
+  BootstrapSums(&sums, catalog, 21);
+  auto engine = MakeEngine(&sums, &matrix, 21, /*cache_capacity=*/128);
+
+  PipelineConfig config;
+  config.workers = 4;
+  config.queue_capacity = 16;
+  config.writer_queue_capacity = 16;
+  config.policy = BackpressurePolicy::kBlock;
+  config.max_batch = 4;
+  ServingPipeline pipeline(engine.get(), &sums, config);
+
+  constexpr int kProducers = 3;
+  constexpr int kOpsPerProducer = 120;
+  std::atomic<bool> stop_polling{false};
+  std::atomic<uint64_t> producer_failures{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(100 + static_cast<uint64_t>(p));
+      const auto attributes = eit::AllEmotionalAttributes();
+      for (int i = 0; i < kOpsPerProducer; ++i) {
+        const double roll = rng.Uniform();
+        if (roll < 0.8) {
+          RecommendRequest request;
+          request.user = static_cast<UserId>(
+              rng.UniformInt(0, static_cast<int64_t>(kUsers) - 1));
+          request.k = 4;
+          if (!pipeline.Submit(std::move(request)).ok()) {
+            producer_failures.fetch_add(1);
+          }
+        } else if (roll < 0.9) {
+          std::vector<Interaction> batch{
+              {static_cast<UserId>(rng.UniformInt(
+                   0, static_cast<int64_t>(kUsers) - 1)),
+               static_cast<ItemId>(rng.UniformInt(
+                   0, static_cast<int64_t>(kItems) - 1)),
+               rng.Uniform(0.2, 3.0)}};
+          if (!pipeline.SubmitInteractions(std::move(batch)).ok()) {
+            producer_failures.fetch_add(1);
+          }
+        } else {
+          const auto attr = attributes[static_cast<size_t>(
+              rng.UniformInt(0,
+                             static_cast<int64_t>(attributes.size()) -
+                                 1))];
+          std::vector<sum::SumUpdate> updates;
+          updates.push_back(
+              sum::SumUpdate(static_cast<sum::UserId>(rng.UniformInt(
+                                 0, static_cast<int64_t>(kUsers) - 1)))
+                  .Reward(catalog.EmotionalId(attr), 0.2));
+          if (!pipeline.SubmitSumUpdates(std::move(updates)).ok()) {
+            producer_failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  std::thread poller([&] {
+    while (!stop_polling.load(std::memory_order_relaxed)) {
+      (void)pipeline.stats();
+      (void)pipeline.queue_depth();
+      (void)pipeline.writer_queue_depth();
+      (void)engine->stage_stats();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& producer : producers) producer.join();
+  pipeline.Flush();
+  stop_polling.store(true);
+  poller.join();
+
+  EXPECT_EQ(producer_failures.load(), 0u);
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<uint64_t>(kProducers * kOpsPerProducer));
+  EXPECT_EQ(stats.admitted, stats.submitted);  // block policy
+  EXPECT_EQ(stats.responses + stats.updates_applied, stats.admitted);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace spa::recsys
