@@ -15,7 +15,13 @@
 //     ServingPipeline (bounded admission queue, micro-batching, writer
 //     lane for live updates), reporting p50/p95/p99 end-to-end and
 //     queue-wait latencies from the pipeline's log-scale histograms,
-//     with a quiescent streamed-vs-RecommendBatch bitwise parity gate.
+//     with a quiescent streamed-vs-RecommendBatch bitwise parity gate,
+//     and
+//   * router: closed-loop aggregate throughput through the router tier
+//     (OwnershipDirectory + shared-nothing worker replicas) at 1/2/4
+//     workers, after fanning one live interaction batch to every
+//     replica, with a bitwise parity gate against a single-process
+//     engine serving the same requests at the same pinned versions.
 //
 // Everything lands in BENCH_serving.json so the perf trajectory is
 // tracked.
@@ -36,6 +42,7 @@
 #include "recsys/engine.h"
 #include "recsys/knn_cf.h"
 #include "recsys/popularity.h"
+#include "recsys/router/serving_router.h"
 #include "recsys/serving_pipeline.h"
 #include "sum/sum_service.h"
 
@@ -535,6 +542,242 @@ StreamingResult RunStreamingScenario(size_t users, size_t k,
   return result;
 }
 
+/// One router-tier measurement point at a fixed worker count.
+struct RouterPoint {
+  size_t workers = 0;
+  double create_seconds = 0.0;  ///< replica bootstrap (replay + fit)
+  double fanout_ms = 0.0;       ///< one batch fanned to every replica
+  double serve_rps = 0.0;       ///< closed-loop wall-clock (bench host)
+  /// Deployment capacity: responses / busiest replica's exact serve
+  /// busy time. With one core per worker node (the topology the
+  /// router tier targets — in-process workers stand in for separate
+  /// processes), wall-clock throughput converges to this number; on a
+  /// core-starved bench host the workers time-slice one core and
+  /// `serve_rps` cannot show the scaling, while the busy-time bound
+  /// still can.
+  double capacity_rps = 0.0;
+  double busiest_share = 0.0;  ///< busiest replica busy / total busy
+  double speedup = 1.0;        ///< capacity vs the 1-worker deployment
+  bool parity = true;
+};
+
+struct RouterResult {
+  bool parity = true;
+  double scaling_4x = 0.0;  ///< 4-worker capacity / 1-worker capacity
+  std::vector<RouterPoint> points;
+};
+
+/// Router tier: the same bootstrap log is replayed into 1-, 2- and
+/// 4-worker deployments; each fans one live interaction batch to all
+/// replicas, then serves every user once (closed loop, caches off so
+/// the aggregate KNN compute is what scales). Every routed response is
+/// checked bitwise against a single-process engine that applied the
+/// same batch — the router's parity contract, gating the exit code.
+RouterResult RunRouterScenario(size_t users, size_t items, size_t k,
+                               uint64_t seed) {
+  RouterResult result;
+
+  // Deterministic bootstrap log (two-community, same shape as the main
+  // matrix) — every replica and the reference replay exactly this.
+  Rng rng(seed, /*stream=*/1);
+  std::vector<recsys::Interaction> log;
+  log.reserve(users * 12);
+  for (size_t u = 0; u < users; ++u) {
+    const auto base = static_cast<recsys::ItemId>(
+        (u % 2 == 0) ? 0 : items / 2);
+    for (int j = 0; j < 12; ++j) {
+      const auto item = static_cast<recsys::ItemId>(
+          base + rng.UniformInt(0, static_cast<int64_t>(items) / 2 - 1));
+      log.push_back({static_cast<recsys::UserId>(u), item,
+                     rng.Uniform(0.2, 3.0)});
+    }
+  }
+
+  // One shared SUM service: emotional context is not replicated.
+  sum::AttributeCatalog catalog =
+      sum::AttributeCatalog::EmagisterDefault();
+  sum::SumService sums(&catalog);
+  {
+    Rng sum_rng(seed, /*stream=*/2);
+    std::vector<sum::SumUpdate> bootstrap;
+    bootstrap.reserve(users);
+    for (size_t u = 0; u < users; ++u) {
+      sum::SumUpdate update(static_cast<sum::UserId>(u));
+      for (eit::EmotionalAttribute attr :
+           eit::AllEmotionalAttributes()) {
+        if (sum_rng.Bernoulli(0.3)) {
+          update.SetSensibility(catalog.EmotionalId(attr),
+                                sum_rng.Uniform(0.3, 1.0));
+        }
+      }
+      bootstrap.push_back(std::move(update));
+    }
+    if (!sums.ApplyAll(bootstrap).ok()) {
+      result.parity = false;
+      return result;
+    }
+  }
+
+  // The stack every replica (and the reference) assembles.
+  const auto make_stack = [seed, items](recsys::RecsysEngine& engine) {
+    engine.AddComponent(std::make_unique<recsys::UserKnnRecommender>(),
+                        0.6);
+    engine.AddComponent(std::make_unique<recsys::ItemKnnRecommender>(),
+                        0.4);
+    Rng profile_rng(seed, /*stream=*/3);
+    for (size_t i = 0; i < items; ++i) {
+      recsys::EmotionProfile profile{};
+      for (double& p : profile) p = profile_rng.Uniform();
+      engine.SetItemEmotionProfile(static_cast<recsys::ItemId>(i),
+                                   profile);
+    }
+  };
+
+  // The live batch fanned to every replica before serving.
+  std::vector<recsys::Interaction> fanned;
+  {
+    Rng batch_rng(seed, /*stream=*/4);
+    for (int b = 0; b < 8; ++b) {
+      fanned.push_back(
+          {static_cast<recsys::UserId>(batch_rng.UniformInt(
+               0, static_cast<int64_t>(users) - 1)),
+           static_cast<recsys::ItemId>(batch_rng.UniformInt(
+               0, static_cast<int64_t>(items) - 1)),
+           batch_rng.Uniform(0.2, 3.0)});
+    }
+  }
+  const uint64_t head_version = log.size() + fanned.size();
+
+  std::vector<recsys::RecommendRequest> requests;
+  requests.reserve(users);
+  for (size_t u = 0; u < users; ++u) {
+    recsys::RecommendRequest request;
+    request.user = static_cast<recsys::UserId>(u);
+    request.k = k;
+    requests.push_back(std::move(request));
+  }
+
+  // Single-process reference: same log, same batch, caches off.
+  recsys::InteractionMatrix ref_matrix(/*shards=*/8);
+  for (const recsys::Interaction& it : log) {
+    ref_matrix.Add(it.user, it.item, it.weight);
+  }
+  recsys::EngineConfig ref_config;
+  ref_config.response_cache_capacity = 0;
+  ref_config.interaction_shards = 8;
+  recsys::RecsysEngine reference(ref_config);
+  make_stack(reference);
+  reference.set_sum_service(&sums);
+  if (!reference.Fit(&ref_matrix).ok() ||
+      !reference.ApplyInteractions(fanned).ok()) {
+    result.parity = false;
+    return result;
+  }
+  std::vector<spa::Result<recsys::RecommendResponse>> expected;
+  expected.reserve(requests.size());
+  for (const auto& request : requests) {
+    expected.push_back(reference.Recommend(request));
+  }
+
+  for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    RouterPoint point;
+    point.workers = workers;
+
+    recsys::RouterConfig config;
+    config.workers = workers;
+    config.engine.response_cache_capacity = 0;  // measure compute
+    config.engine.interaction_shards = 8;
+    config.queue.workers = 1;  // one serving thread per node
+    config.queue.queue_capacity = users + 64;
+    config.queue.writer_queue_capacity = 64;
+    config.queue.max_batch = 8;
+    config.stack_builder = make_stack;
+
+    auto start = Clock::now();
+    auto created = recsys::ServingRouter::Create(config, log, &sums);
+    point.create_seconds = SecondsSince(start);
+    if (!created.ok()) {
+      point.parity = false;
+      result.parity = false;
+      result.points.push_back(point);
+      return result;
+    }
+    std::unique_ptr<recsys::ServingRouter> router =
+        std::move(created).value();
+
+    start = Clock::now();
+    auto fanout = router->SubmitInteractions(fanned);
+    if (!fanout.ok()) {
+      point.parity = false;
+    } else {
+      fanout->Wait();
+      if (!fanout->ok() || fanout->matrix_version() != head_version) {
+        point.parity = false;
+      }
+    }
+    point.fanout_ms = SecondsSince(start) * 1e3;
+
+    // Closed loop: every user served once by its owning replica.
+    std::vector<recsys::StreamTicketPtr> tickets;
+    tickets.reserve(requests.size());
+    start = Clock::now();
+    for (const auto& request : requests) {
+      auto ticket = router->Submit(request);
+      if (!ticket.ok()) {
+        point.parity = false;
+        break;
+      }
+      tickets.push_back(std::move(ticket).value());
+    }
+    router->Flush();
+    point.serve_rps =
+        static_cast<double>(tickets.size()) / SecondsSince(start);
+
+    std::vector<spa::Result<recsys::RecommendResponse>> routed;
+    routed.reserve(tickets.size());
+    for (const auto& ticket : tickets) {
+      ticket->Wait();
+      if (ticket->pinned().matrix_version != head_version ||
+          ticket->pinned().sum_version != sums.version()) {
+        point.parity = false;  // quiescent reads must pin the head
+      }
+      routed.push_back(ticket->response());
+    }
+    if (!SameResults(routed, expected)) point.parity = false;
+    if (!point.parity) result.parity = false;
+
+    // Capacity from exact per-replica busy time: the deployment is
+    // bound by its busiest replica, not by how many cores the bench
+    // host happens to have.
+    double busiest = 0.0;
+    double total_busy = 0.0;
+    for (const recsys::RouterWorkerStats& ws :
+         router->stats().workers) {
+      busiest = std::max(busiest, ws.pipeline.serve_busy_seconds);
+      total_busy += ws.pipeline.serve_busy_seconds;
+    }
+    if (busiest > 0.0) {
+      point.capacity_rps =
+          static_cast<double>(tickets.size()) / busiest;
+      point.busiest_share = busiest / total_busy;
+    }
+    if (!result.points.empty()) {
+      point.speedup =
+          point.capacity_rps / result.points.front().capacity_rps;
+    }
+    result.points.push_back(point);
+    std::printf("router x%zu:         %8.0f req/s wall | capacity "
+                "%8.0f req/s | speedup %5.2fx | busiest %4.2f | "
+                "bootstrap %.3fs | fanout %7.3f ms | parity %s\n",
+                point.workers, point.serve_rps, point.capacity_rps,
+                point.speedup, point.busiest_share,
+                point.create_seconds, point.fanout_ms,
+                point.parity ? "OK" : "MISMATCH");
+  }
+  result.scaling_4x = result.points.back().speedup;
+  return result;
+}
+
 int Main(int argc, char** argv) {
   const CommonFlags flags = ParseFlags(argc, argv);
   const size_t users =
@@ -763,6 +1006,11 @@ int Main(int argc, char** argv) {
   const StreamingResult streaming =
       RunStreamingScenario(users, k, flags.seed + 2, flags.smoke);
 
+  // ---- router tier: sharded serving behind the ownership directory --------
+  PrintHeader("Router tier - worker-group scaling, bitwise parity");
+  const RouterResult router_result =
+      RunRouterScenario(users, items, k, flags.seed + 3);
+
   // ---- per-stage latency --------------------------------------------------
   const recsys::StageStats stages = cached_engine->stage_stats();
   PrintHeader("Per-stage serving latency (cached engine, cumulative)");
@@ -881,6 +1129,27 @@ int Main(int argc, char** argv) {
           i + 1 < streaming.points.size() ? "," : "");
     }
     std::fprintf(json, "    ]\n  },\n");
+    std::fprintf(json,
+                 "  \"router\": {\n"
+                 "    \"parity\": %s,\n"
+                 "    \"scaling_4x\": %.3f,\n"
+                 "    \"points\": [\n",
+                 router_result.parity ? "true" : "false",
+                 router_result.scaling_4x);
+    for (size_t i = 0; i < router_result.points.size(); ++i) {
+      const RouterPoint& p = router_result.points[i];
+      std::fprintf(json,
+                   "      {\"workers\": %zu, \"serve_rps\": %.1f, "
+                   "\"capacity_rps\": %.1f, \"speedup\": %.3f, "
+                   "\"busiest_share\": %.4f, "
+                   "\"create_seconds\": %.4f, "
+                   "\"fanout_ms\": %.4f, \"parity\": %s}%s\n",
+                   p.workers, p.serve_rps, p.capacity_rps, p.speedup,
+                   p.busiest_share, p.create_seconds, p.fanout_ms,
+                   p.parity ? "true" : "false",
+                   i + 1 < router_result.points.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  },\n");
     const auto stage_json = [json](const char* name,
                                    const recsys::StageStats::Stage& s,
                                    const char* suffix) {
@@ -912,6 +1181,9 @@ int Main(int argc, char** argv) {
   if (!live_point.parity) return 1;  // live updates must match refits
   // Streamed serving must be bitwise-identical to synchronous batches.
   if (!streaming.parity) return 1;
+  // Routed serving must match the single-process engine bitwise at the
+  // same pinned versions — the router tier's whole contract.
+  if (!router_result.parity) return 1;
   return cache_parity ? 0 : 1;
 }
 

@@ -17,6 +17,7 @@
 #include "recsys/emotion_aware.h"
 #include "recsys/engine.h"
 #include "recsys/request.h"
+#include "recsys/router/serving_router.h"
 #include "recsys/serving_pipeline.h"
 
 /// \file
@@ -147,6 +148,29 @@ class Spa {
   spa::Result<std::shared_ptr<recsys::ServingPipeline>>
   MakeServingPipeline(recsys::PipelineConfig config = {});
 
+  /// Builds a router-tier serving deployment: `config.workers` worker
+  /// nodes (each a full serving replica — own matrix, engine, indexes,
+  /// response cache and streaming queue) behind a `ServingRouter` that
+  /// resolves request ownership through an `OwnershipDirectory` and
+  /// shares the platform's SUM service across all nodes.
+  ///
+  /// The worker replicas bootstrap from the LifeLog's current
+  /// interactions with the same weighting `RefreshRecommenders` uses,
+  /// and — unless the caller installs its own `stack_builder` — each
+  /// node assembles the platform's standard stack (item-KNN +
+  /// popularity + content-based when item features exist, plus the
+  /// registered emotion profiles). `config.engine.rerank` and
+  /// `.emotion_enabled` are stamped from the platform config so routed
+  /// rankings match the facade's.
+  ///
+  /// Unlike MakeServingPipeline, the router borrows nothing from the
+  /// platform's own engine (its nodes are self-contained replicas), so
+  /// it does not block `RefreshRecommenders`; like the pipeline,
+  /// `SubmitInteractions` is a serving-layer update that does not
+  /// reach the LifeLog.
+  spa::Result<std::unique_ptr<recsys::ServingRouter>> MakeServingRouter(
+      recsys::RouterConfig config = {});
+
   /// Top-k course suggestions; emotion-aware re-ranking applied when a
   /// SUM exists and emotional features are enabled. (Compatibility
   /// wrapper over Recommend().)
@@ -215,6 +239,11 @@ class Spa {
       sparse_seen_;
 
   eit::UserEitState& EitStateFor(sum::UserId user);
+
+  /// The LifeLog's interactions as an ordered batch (the weighting
+  /// RefreshRecommenders feeds its matrix with) — the bootstrap log
+  /// router worker replicas replay.
+  std::vector<recsys::Interaction> CollectInteractions() const;
 
   /// Items the user touched per the LifeLog that never entered the
   /// (sparse) interaction matrix — zero-weight interactions the seen

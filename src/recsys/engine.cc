@@ -36,7 +36,9 @@ RecsysEngine::RecsysEngine(EngineConfig config)
           HybridConfig{config.component_depth})),
       reranker_(config.rerank) {
   SPA_CHECK(config_.rerank_overfetch > 0);
-  SPA_CHECK(config_.interaction_shards > 0);
+  SPA_CHECK_MSG(config_.interaction_shards >= 1,
+                "EngineConfig::interaction_shards must be >= 1 (shard "
+                "routing is hash % shards; 0 would be modulo-by-zero)");
 }
 
 void RecsysEngine::AddComponent(std::unique_ptr<Recommender> component,

@@ -1,6 +1,7 @@
 #ifndef SPA_RECSYS_SERVING_PIPELINE_H_
 #define SPA_RECSYS_SERVING_PIPELINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -183,6 +184,17 @@ struct PipelineStats {
   uint64_t batches = 0;     ///< micro-batches drained
   uint64_t updates_applied = 0;  ///< completed writer-lane ops
   uint64_t max_queue_depth = 0;  ///< high-water mark, read lane
+  /// CPU seconds this pipeline's workers spent inside the engine
+  /// serving read micro-batches / applying writer-lane ops (thread
+  /// CPU clock, so co-runner time-slicing on an oversubscribed host
+  /// is excluded; falls back to wall where thread CPU clocks are
+  /// unavailable). The replica-utilization number capacity math
+  /// needs: on a host with a core per worker node, aggregate
+  /// deployment throughput is bound by the busiest replica's busy
+  /// time, even when the bench host itself is core-starved and
+  /// wall-clock throughput cannot show the scaling.
+  double serve_busy_seconds = 0.0;
+  double update_busy_seconds = 0.0;
   LogHistogram queue_wait;   ///< per op: admission -> dequeue
   LogHistogram batch_serve;  ///< per micro-batch: engine serve wall
   LogHistogram update_apply; ///< per writer op: apply wall
@@ -278,6 +290,10 @@ class ServingPipeline {
   LogHistogram hist_batch_serve_;
   LogHistogram hist_update_apply_;
   LogHistogram hist_end_to_end_;
+  /// Busy-time accumulators in nanoseconds (atomic: recorded outside
+  /// mu_ on the serve path, like the histograms).
+  std::atomic<uint64_t> serve_busy_nanos_{0};
+  std::atomic<uint64_t> update_busy_nanos_{0};
 
   /// Hosts the drain loops (one long-running task per pool worker).
   std::unique_ptr<ThreadPool> pool_;
