@@ -519,11 +519,12 @@ StreamingResult RunStreamingScenario(size_t users, size_t k,
     point.achieved_rps =
         static_cast<double>(stats.responses + stats.updates_applied) /
         wall_seconds;
-    point.p50_ms = stats.end_to_end.Quantile(0.50) * 1e3;
-    point.p95_ms = stats.end_to_end.Quantile(0.95) * 1e3;
-    point.p99_ms = stats.end_to_end.Quantile(0.99) * 1e3;
-    point.queue_p95_ms = stats.queue_wait.Quantile(0.95) * 1e3;
-    point.serve_p95_ms = stats.batch_serve.Quantile(0.95) * 1e3;
+    const QuantileSnapshot e2e = Quantiles(stats.end_to_end, 1e3);
+    point.p50_ms = e2e.p50;
+    point.p95_ms = e2e.p95;
+    point.p99_ms = e2e.p99;
+    point.queue_p95_ms = Quantiles(stats.queue_wait, 1e3).p95;
+    point.serve_p95_ms = Quantiles(stats.batch_serve, 1e3).p95;
     point.submitted = stats.submitted;
     point.responses = stats.responses;
     point.shed = stats.shed;
@@ -1153,14 +1154,13 @@ int Main(int argc, char** argv) {
     const auto stage_json = [json](const char* name,
                                    const recsys::StageStats::Stage& s,
                                    const char* suffix) {
-      std::fprintf(
-          json,
-          "    \"%s\": {\"count\": %llu, \"total_seconds\": %.6f, "
-          "\"max_seconds\": %.6f, \"p50_us\": %.3f, \"p95_us\": %.3f, "
-          "\"p99_us\": %.3f}%s\n",
-          name, static_cast<unsigned long long>(s.count),
-          s.total_seconds, s.max_seconds, s.p50_seconds * 1e6,
-          s.p95_seconds * 1e6, s.p99_seconds * 1e6, suffix);
+      std::fprintf(json,
+                   "    \"%s\": {\"count\": %llu, "
+                   "\"total_seconds\": %.6f, \"max_seconds\": %.6f, ",
+                   name, static_cast<unsigned long long>(s.count),
+                   s.total_seconds, s.max_seconds);
+      WriteQuantileFields(json, Quantiles(s.histogram, 1e6), "us");
+      std::fprintf(json, "}%s\n", suffix);
     };
     std::fprintf(json, "  \"stage_latency\": {\n");
     stage_json("candidate_gen", stages.candidate_gen, ",");

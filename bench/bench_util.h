@@ -6,9 +6,11 @@
 #include <cstring>
 #include <string>
 
+#include "common/stats.h"
 #include "common/string_util.h"
 
-/// Shared flag parsing and table rendering for the bench binaries.
+/// Shared flag parsing, latency-quantile export and table rendering
+/// for the bench binaries.
 ///
 /// Common flags:
 ///   --users=N        candidate pool size (default per bench)
@@ -42,6 +44,39 @@ inline CommonFlags ParseFlags(int argc, char** argv) {
     }
   }
   return flags;
+}
+
+/// The three latency quantiles every bench exports, pulled from one
+/// `spa::LogHistogram` snapshot (seconds) and scaled into the caller's
+/// unit (1e3 = milliseconds, 1e6 = microseconds). Centralizes the
+/// `Quantile(0.50/0.95/0.99)` triple that bench_serving and
+/// bench_scenarios both emit per histogram.
+struct QuantileSnapshot {
+  uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+inline QuantileSnapshot Quantiles(const spa::LogHistogram& histogram,
+                                  double scale = 1.0) {
+  QuantileSnapshot snapshot;
+  snapshot.count = histogram.total();
+  snapshot.p50 = histogram.Quantile(0.50) * scale;
+  snapshot.p95 = histogram.Quantile(0.95) * scale;
+  snapshot.p99 = histogram.Quantile(0.99) * scale;
+  return snapshot;
+}
+
+/// Emits the quantile triple as JSON fields (no braces, no trailing
+/// comma): `"p50_<unit>": x, "p95_<unit>": y, "p99_<unit>": z`.
+inline void WriteQuantileFields(std::FILE* json,
+                                const QuantileSnapshot& quantiles,
+                                const char* unit) {
+  std::fprintf(json,
+               "\"p50_%s\": %.4f, \"p95_%s\": %.4f, \"p99_%s\": %.4f",
+               unit, quantiles.p50, unit, quantiles.p95, unit,
+               quantiles.p99);
 }
 
 inline void PrintHeader(const std::string& title) {

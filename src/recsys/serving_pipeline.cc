@@ -212,13 +212,13 @@ spa::Result<StreamTicketPtr> ServingPipeline::Admit(Op op,
         }
         break;
       case BackpressurePolicy::kReject:
-        ++rejected_;
+        ++(writer ? rejected_writes_ : rejected_reads_);
         return spa::Status::ResourceExhausted(
             writer ? "writer lane full" : "admission queue full");
       case BackpressurePolicy::kShedOldest: {
         Op victim = std::move(queue.front());
         queue.pop_front();
-        ++shed_;
+        ++(writer ? shed_writes_ : shed_reads_);
         // Complete the shed ticket outside mu_: its completion
         // callback is caller code and must not be able to deadlock
         // the pipeline.
@@ -255,7 +255,10 @@ spa::Result<StreamTicketPtr> ServingPipeline::Admit(Op op,
   op.ticket->submitted_at_ = Clock::now();
   StreamTicketPtr ticket = op.ticket;
   queue.push_back(std::move(op));
-  if (!writer) {
+  if (writer) {
+    max_writer_queue_depth_ = std::max(
+        max_writer_queue_depth_, static_cast<uint64_t>(queue.size()));
+  } else {
     max_queue_depth_ = std::max(
         max_queue_depth_, static_cast<uint64_t>(queue.size()));
   }
@@ -340,9 +343,13 @@ void ServingPipeline::ExecuteWrite(Op op) {
   } else {
     // SumService::ApplyAll is internally atomic; the engine's response
     // cache keys on per-user SUM versions, so no engine-side
-    // invalidation call is needed here.
-    sum_status = sums_->ApplyAll(op.sum_updates);
-    pin.sum_version = sums_->version();
+    // invalidation call is needed here. The pin must carry the version
+    // THIS publish produced — with several pipelines sharing one
+    // service (the router tier), reading version() afterwards could
+    // observe a later concurrent publish.
+    uint64_t published = 0;
+    sum_status = sums_->ApplyAll(op.sum_updates, &published);
+    pin.sum_version = sum_status.ok() ? published : sums_->version();
   }
   const double seconds = SecondsBetween(dequeued, Clock::now());
   hist_update_apply_.Add(seconds);
@@ -416,12 +423,17 @@ PipelineStats ServingPipeline::stats() const {
   PipelineStats out;
   out.submitted = submitted_;
   out.admitted = admitted_;
-  out.rejected = rejected_;
-  out.shed = shed_;
+  out.rejected_reads = rejected_reads_;
+  out.rejected_writes = rejected_writes_;
+  out.shed_reads = shed_reads_;
+  out.shed_writes = shed_writes_;
+  out.rejected = rejected_reads_ + rejected_writes_;
+  out.shed = shed_reads_ + shed_writes_;
   out.responses = responses_;
   out.batches = batches_;
   out.updates_applied = updates_applied_;
   out.max_queue_depth = max_queue_depth_;
+  out.max_writer_queue_depth = max_writer_queue_depth_;
   out.serve_busy_seconds =
       static_cast<double>(
           serve_busy_nanos_.load(std::memory_order_relaxed)) *

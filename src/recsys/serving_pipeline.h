@@ -178,12 +178,21 @@ using StreamTicketPtr = std::shared_ptr<StreamTicket>;
 struct PipelineStats {
   uint64_t submitted = 0;   ///< Submit* calls (admitted or not)
   uint64_t admitted = 0;    ///< ops that entered a queue
-  uint64_t rejected = 0;    ///< kReject refusals
-  uint64_t shed = 0;        ///< tickets dropped by kShedOldest
+  uint64_t rejected = 0;    ///< kReject refusals (both lanes)
+  uint64_t shed = 0;        ///< kShedOldest drops (both lanes)
+  /// Per-lane breakouts of the admission-control counters (the totals
+  /// above stay, as the sum): overload diagnosis needs to see *which*
+  /// lane the policy is refusing — a shed read is degraded service, a
+  /// shed write is lost state.
+  uint64_t rejected_reads = 0;
+  uint64_t rejected_writes = 0;
+  uint64_t shed_reads = 0;
+  uint64_t shed_writes = 0;
   uint64_t responses = 0;   ///< completed read tickets
   uint64_t batches = 0;     ///< micro-batches drained
   uint64_t updates_applied = 0;  ///< completed writer-lane ops
-  uint64_t max_queue_depth = 0;  ///< high-water mark, read lane
+  uint64_t max_queue_depth = 0;         ///< high-water mark, read lane
+  uint64_t max_writer_queue_depth = 0;  ///< high-water mark, writer lane
   /// CPU seconds this pipeline's workers spent inside the engine
   /// serving read micro-batches / applying writer-lane ops (thread
   /// CPU clock, so co-runner time-slicing on an oversubscribed host
@@ -280,12 +289,15 @@ class ServingPipeline {
   // Counters under mu_; histograms are internally atomic.
   uint64_t submitted_ = 0;
   uint64_t admitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t shed_ = 0;
+  uint64_t rejected_reads_ = 0;
+  uint64_t rejected_writes_ = 0;
+  uint64_t shed_reads_ = 0;
+  uint64_t shed_writes_ = 0;
   uint64_t responses_ = 0;
   uint64_t batches_ = 0;
   uint64_t updates_applied_ = 0;
   uint64_t max_queue_depth_ = 0;
+  uint64_t max_writer_queue_depth_ = 0;
   LogHistogram hist_queue_wait_;
   LogHistogram hist_batch_serve_;
   LogHistogram hist_update_apply_;

@@ -123,8 +123,12 @@ spa::Status SumService::Apply(const SumUpdate& update) {
   return ApplyAll({update});
 }
 
-spa::Status SumService::ApplyAll(const std::vector<SumUpdate>& updates) {
-  if (updates.empty()) return spa::Status::OK();
+spa::Status SumService::ApplyAll(const std::vector<SumUpdate>& updates,
+                                 uint64_t* published_version) {
+  if (updates.empty()) {
+    if (published_version != nullptr) *published_version = version();
+    return spa::Status::OK();
+  }
   for (const SumUpdate& update : updates) {
     SPA_RETURN_IF_ERROR(Validate(update));
   }
@@ -154,6 +158,7 @@ spa::Status SumService::ApplyAll(const std::vector<SumUpdate>& updates) {
   }
   next->version_ = version;
   Publish(std::move(next));
+  if (published_version != nullptr) *published_version = version;
   return spa::Status::OK();
 }
 

@@ -119,7 +119,14 @@ class SumService {
   /// Applies a batch atomically under a single version bump (one
   /// publish, one map copy — the cheap path for bulk maintenance).
   /// All-or-nothing: any invalid update rejects the whole batch.
-  spa::Status ApplyAll(const std::vector<SumUpdate>& updates);
+  /// `published_version` (optional) receives the version this call
+  /// published — read it from here, not from `version()` afterwards:
+  /// with concurrent writers another publish may land in between, and
+  /// callers that pin versions (the streaming writer lane) need the
+  /// version of *their* publish. An empty batch publishes nothing and
+  /// reports the current head version.
+  spa::Status ApplyAll(const std::vector<SumUpdate>& updates,
+                       uint64_t* published_version = nullptr);
 
   /// One decay round over every user's attributes of `kind` (periodic
   /// forgetting), as a single batched publish.

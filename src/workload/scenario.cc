@@ -1,0 +1,171 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace spa::workload {
+
+bool operator==(const EmotionShift& a, const EmotionShift& b) {
+  return a.user == b.user && a.attribute == b.attribute && a.op == b.op &&
+         a.amount == b.amount;
+}
+
+bool operator==(const ScenarioEvent& a, const ScenarioEvent& b) {
+  if (a.time != b.time || a.seq != b.seq || a.kind != b.kind ||
+      a.user != b.user) {
+    return false;
+  }
+  if (a.interactions.size() != b.interactions.size() ||
+      a.shifts.size() != b.shifts.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.interactions.size(); ++i) {
+    const recsys::Interaction& x = a.interactions[i];
+    const recsys::Interaction& y = b.interactions[i];
+    if (x.user != y.user || x.item != y.item || x.weight != y.weight) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.shifts.size(); ++i) {
+    if (!(a.shifts[i] == b.shifts[i])) return false;
+  }
+  return true;
+}
+
+ScenarioConfig SteadyPowerLawScenario(size_t users, uint64_t seed) {
+  ScenarioConfig config;
+  config.name = "steady_power_law";
+  config.users = users;
+  config.seed = seed;
+  return config;
+}
+
+ScenarioConfig FlashCrowdScenario(size_t users, uint64_t seed) {
+  ScenarioConfig config;
+  config.name = "flash_crowd";
+  config.users = users;
+  config.seed = seed;
+  config.flash_crowds.push_back({/*start=*/0.45, /*duration=*/0.12,
+                                 /*multiplier=*/5.0});
+  return config;
+}
+
+ScenarioConfig ColdStartChurnScenario(size_t users, uint64_t seed) {
+  ScenarioConfig config;
+  config.name = "cold_start_churn";
+  config.users = users;
+  config.seed = seed;
+  // 60% of the population has history at t0; over the simulated day
+  // the remaining 40% arrives cold and the oldest ~20% retires.
+  config.churn.initial_active = 0.6;
+  config.churn.arrivals_per_day = 0.4;
+  config.churn.retirements_per_day = 0.2;
+  return config;
+}
+
+ScenarioConfig EmotionShiftStormScenario(size_t users, uint64_t seed) {
+  ScenarioConfig config;
+  config.name = "emotion_shift_storm";
+  config.users = users;
+  config.seed = seed;
+  // Two overlapping campaign pushes against the hottest communities:
+  // an "enthusiastic" midday wave and a late "impatient" counter-wave
+  // — back-to-back context flips thrashing the emotional rerank stage
+  // and the per-user cache invalidation path.
+  config.storms.push_back({/*start=*/0.35, /*duration=*/0.25,
+                           /*cohort_fraction=*/0.10, /*intensity=*/10.0,
+                           eit::EmotionalAttribute::kEnthusiastic,
+                           /*magnitude=*/0.9, /*wave_size=*/8});
+  config.storms.push_back({/*start=*/0.62, /*duration=*/0.18,
+                           /*cohort_fraction=*/0.08, /*intensity=*/8.0,
+                           eit::EmotionalAttribute::kImpatient,
+                           /*magnitude=*/0.7, /*wave_size=*/6});
+  return config;
+}
+
+std::vector<ScenarioConfig> StandardScenarioMatrix(size_t users,
+                                                   size_t target_events,
+                                                   uint64_t seed) {
+  std::vector<ScenarioConfig> matrix;
+  matrix.push_back(SteadyPowerLawScenario(users, seed));
+  matrix.push_back(FlashCrowdScenario(users, seed + 1));
+  matrix.push_back(ColdStartChurnScenario(users, seed + 2));
+  matrix.push_back(EmotionShiftStormScenario(users, seed + 3));
+  for (ScenarioConfig& config : matrix) {
+    config.target_events = target_events;
+  }
+  return matrix;
+}
+
+std::vector<ScenarioEvent> MergeStreams(
+    std::vector<std::vector<ScenarioEvent>> streams) {
+  std::vector<ScenarioEvent> merged;
+  size_t total = 0;
+  for (const auto& stream : streams) total += stream.size();
+  merged.reserve(total);
+  std::vector<size_t> heads(streams.size(), 0);
+  for (size_t emitted = 0; emitted < total; ++emitted) {
+    size_t best = streams.size();
+    for (size_t s = 0; s < streams.size(); ++s) {
+      if (heads[s] >= streams[s].size()) continue;
+      if (best == streams.size()) {
+        best = s;
+        continue;
+      }
+      const ScenarioEvent& candidate = streams[s][heads[s]];
+      const ScenarioEvent& incumbent = streams[best][heads[best]];
+      if (candidate.time < incumbent.time ||
+          (candidate.time == incumbent.time &&
+           candidate.seq < incumbent.seq)) {
+        best = s;
+      }
+    }
+    merged.push_back(std::move(streams[best][heads[best]]));
+    ++heads[best];
+  }
+  return merged;
+}
+
+namespace {
+
+uint64_t MixU64(uint64_t h, uint64_t v) {
+  return SplitMix64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) +
+                         (h >> 2)));
+}
+
+uint64_t MixDouble(uint64_t h, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return MixU64(h, bits);
+}
+
+}  // namespace
+
+uint64_t StreamFingerprint(const std::vector<ScenarioEvent>& events) {
+  uint64_t h = SplitMix64(events.size());
+  for (const ScenarioEvent& e : events) {
+    h = MixU64(h, static_cast<uint64_t>(e.time));
+    h = MixU64(h, e.seq);
+    h = MixU64(h, static_cast<uint64_t>(e.kind));
+    h = MixU64(h, static_cast<uint64_t>(e.user));
+    h = MixU64(h, e.interactions.size());
+    for (const recsys::Interaction& it : e.interactions) {
+      h = MixU64(h, static_cast<uint64_t>(it.user));
+      h = MixU64(h, static_cast<uint64_t>(it.item));
+      h = MixDouble(h, it.weight);
+    }
+    h = MixU64(h, e.shifts.size());
+    for (const EmotionShift& s : e.shifts) {
+      h = MixU64(h, static_cast<uint64_t>(s.user));
+      h = MixU64(h, static_cast<uint64_t>(s.attribute));
+      h = MixU64(h, static_cast<uint64_t>(s.op));
+      h = MixDouble(h, s.amount);
+    }
+  }
+  return h;
+}
+
+}  // namespace spa::workload

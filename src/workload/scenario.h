@@ -1,0 +1,196 @@
+#ifndef SPA_WORKLOAD_SCENARIO_H_
+#define SPA_WORKLOAD_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "eit/emotion.h"
+#include "recsys/interaction_matrix.h"
+
+/// \file
+/// The scenario vocabulary of the workload subsystem: event and
+/// configuration value types for the emotion-dynamic load generator
+/// (`workload::ScenarioGenerator`) and the SLO-gated replay harness
+/// (`workload::ScenarioRunner`).
+///
+/// A *scenario* is a seeded, replayable stream of virtual-timestamped
+/// events — serve requests, interaction bursts and emotional-context
+/// shifts — over a synthetic population of cohort-structured users
+/// (communities of `cohort_users` sharing a `cohort_items` catalog
+/// slice, the topology every serving bench in this repo uses). The
+/// stream is a pure function of `(seed, config)`: generating it twice,
+/// on any thread count, yields bitwise-identical events, so every
+/// layer above (pipeline, router, differential parity checks) can
+/// treat it as a recorded trace.
+///
+/// The four archetypes the ROADMAP's million-user matrix calls for:
+///
+///  * **steady power-law** — Zipf cohort popularity and within-cohort
+///    user activity under a diurnal arrival curve; the baseline.
+///  * **flash crowd** — the arrival rate multiplies for a window of
+///    the day (a viral burst) while the mix is unchanged.
+///  * **cold-start churn** — only part of the population is active at
+///    t0; fresh cohorts (no interaction history, no SUM entry) arrive
+///    over the day while the oldest cohorts retire.
+///  * **emotion-shift storm** — a campaign-driven window in which
+///    correlated `SumUpdate` waves (one dominant attribute, the
+///    hottest cohorts) collide with serve traffic; the dynamic the
+///    source paper's emotional rerank stage exists for.
+
+namespace spa::workload {
+
+using recsys::ItemId;
+using recsys::UserId;
+
+/// \brief Stream event discriminator.
+enum class EventKind : uint8_t {
+  kServe = 0,    ///< one recommendation request
+  kInteraction,  ///< one correlated interaction burst (writer lane)
+  kSumUpdate,    ///< one emotional-context publish (writer lane)
+};
+
+/// \brief One primitive emotional-context mutation, catalog-agnostic.
+///
+/// The generator speaks `eit::EmotionalAttribute`; the runner
+/// materializes shifts into `sum::SumUpdate`s against a concrete
+/// `AttributeCatalog` (the generator stays independent of the SUM
+/// layer).
+struct EmotionShift {
+  enum class Op : uint8_t {
+    kSetSensibility = 0,  ///< bootstrap-style absolute sensibility
+    kReward,              ///< reinforcement nudge (campaign push)
+  };
+  UserId user = 0;
+  eit::EmotionalAttribute attribute = eit::EmotionalAttribute::kEnthusiastic;
+  Op op = Op::kReward;
+  double amount = 0.0;
+};
+
+/// \brief One event of the replayable stream.
+///
+/// `seq` is the event's position in the merged stream (assigned by
+/// `ScenarioGenerator::Generate`); events are ordered by
+/// `(time, seq)` and `seq` alone is already a total order, which is
+/// what makes disjoint sub-streams re-mergeable (`MergeStreams`).
+struct ScenarioEvent {
+  spa::TimeMicros time = 0;
+  uint64_t seq = 0;
+  EventKind kind = EventKind::kServe;
+  UserId user = 0;                                ///< kServe target
+  std::vector<recsys::Interaction> interactions;  ///< kInteraction
+  std::vector<EmotionShift> shifts;               ///< kSumUpdate
+};
+
+bool operator==(const EmotionShift& a, const EmotionShift& b);
+bool operator==(const ScenarioEvent& a, const ScenarioEvent& b);
+
+/// \brief A window of the scenario during which arrivals multiply.
+struct FlashCrowdSpec {
+  double start = 0.4;      ///< window start, fraction of duration
+  double duration = 0.15;  ///< window length, fraction of duration
+  double multiplier = 4.0; ///< arrival-rate factor inside the window
+};
+
+/// \brief A campaign-driven correlated SumUpdate wave.
+struct EmotionStormSpec {
+  double start = 0.5;            ///< window start, fraction of duration
+  double duration = 0.25;        ///< window length, fraction of duration
+  /// Fraction of the *hottest* active cohorts the storm targets.
+  double cohort_fraction = 0.1;
+  /// Multiplier on the sum-update share of the event mix inside the
+  /// window (the wave colliding with serve traffic).
+  double intensity = 8.0;
+  /// The campaign's dominant attribute — every shift in a wave pushes
+  /// the same attribute, which is what makes the wave *correlated*.
+  eit::EmotionalAttribute attribute = eit::EmotionalAttribute::kEnthusiastic;
+  double magnitude = 0.8;  ///< reinforcement magnitude of each shift
+  size_t wave_size = 8;    ///< shifts per storm event (one publish)
+};
+
+/// \brief Cohort churn: cold-start influx and retirement.
+struct ChurnSpec {
+  /// Fraction of the population active (with history) at t0.
+  double initial_active = 1.0;
+  /// Fraction of the population arriving cold per simulated day.
+  double arrivals_per_day = 0.0;
+  /// Fraction of the population retiring per simulated day (oldest
+  /// cohorts first; at least one cohort always stays active).
+  double retirements_per_day = 0.0;
+};
+
+/// \brief Full scenario description; pure data, hashable by value.
+struct ScenarioConfig {
+  std::string name = "steady_power_law";
+  uint64_t seed = 42;
+
+  // ---- population ---------------------------------------------------------
+  size_t users = 100'000;
+  size_t cohort_users = 50;   ///< users per community
+  size_t cohort_items = 10;   ///< catalog slice per community
+  size_t history_per_user = 12;  ///< bootstrap interactions per user
+
+  // ---- timeline -----------------------------------------------------------
+  spa::TimeMicros duration = spa::kMicrosPerDay;
+  /// Generation block: events are produced per block by a pure
+  /// function of (seed, config, block index), so any thread count
+  /// yields the same stream. Must divide into >= 1 blocks.
+  spa::TimeMicros block = 15 * spa::kMicrosPerMinute;
+
+  // ---- arrival curve ------------------------------------------------------
+  /// Total events the stream targets (the per-block mean is this,
+  /// apportioned by the diurnal/flash modulation).
+  size_t target_events = 6'000;
+  /// Diurnal modulation amplitude in [0, 1): rate follows
+  /// 1 + A * sin(2*pi*t/day - pi/2) (trough at t = 0).
+  double diurnal_amplitude = 0.35;
+  std::vector<FlashCrowdSpec> flash_crowds;
+
+  // ---- event mix ----------------------------------------------------------
+  double interaction_fraction = 0.10;  ///< share of interaction bursts
+  double sum_update_fraction = 0.05;   ///< baseline emotional drift
+  size_t interaction_batch = 4;        ///< interactions per burst
+
+  // ---- skew ---------------------------------------------------------------
+  /// Zipf exponents (> 1; see Rng::Zipf). Cohort popularity ranks the
+  /// *oldest active* cohort hottest; user activity ranks within the
+  /// cohort.
+  double cohort_skew = 1.2;
+  double user_skew = 1.15;
+  double item_skew = 1.2;
+
+  // ---- dynamics -----------------------------------------------------------
+  ChurnSpec churn;
+  std::vector<EmotionStormSpec> storms;
+};
+
+// ---- archetype factories ----------------------------------------------------
+ScenarioConfig SteadyPowerLawScenario(size_t users, uint64_t seed);
+ScenarioConfig FlashCrowdScenario(size_t users, uint64_t seed);
+ScenarioConfig ColdStartChurnScenario(size_t users, uint64_t seed);
+ScenarioConfig EmotionShiftStormScenario(size_t users, uint64_t seed);
+
+/// The four-archetype matrix at a common event budget.
+std::vector<ScenarioConfig> StandardScenarioMatrix(size_t users,
+                                                   size_t target_events,
+                                                   uint64_t seed);
+
+/// \brief Order-stable k-way merge of pre-sorted disjoint sub-streams.
+///
+/// Each input must be sorted by `(time, seq)` (any subsequence of a
+/// generated stream is). The result is the unique `(time, seq)`-sorted
+/// interleaving — splitting a stream into disjoint parts (e.g. by
+/// cohort) and merging them back reproduces the original exactly.
+std::vector<ScenarioEvent> MergeStreams(
+    std::vector<std::vector<ScenarioEvent>> streams);
+
+/// \brief Order-sensitive 64-bit fingerprint of a stream (SplitMix64
+/// mixing over every field of every event). Bitwise-equal streams —
+/// and only those — fingerprint equal; the determinism tests and the
+/// bench matrix pin these values.
+uint64_t StreamFingerprint(const std::vector<ScenarioEvent>& events);
+
+}  // namespace spa::workload
+
+#endif  // SPA_WORKLOAD_SCENARIO_H_

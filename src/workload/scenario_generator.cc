@@ -1,0 +1,310 @@
+#include "workload/scenario_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace spa::workload {
+
+namespace {
+
+/// Dedicated Rng streams for the bootstrap passes; block b uses
+/// stream b + 1, so these live far outside any plausible block range.
+constexpr uint64_t kBootstrapInteractionsStream = 0xB007'0000'0000'0001ULL;
+constexpr uint64_t kBootstrapEmotionsStream = 0xB007'0000'0000'0002ULL;
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Poisson draw that stays well-conditioned for large means (Knuth's
+/// product method underflows past ~700); the normal approximation is
+/// indistinguishable for workload sizing above mean ~32.
+uint64_t SampleCount(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean <= 32.0) return static_cast<uint64_t>(rng.Poisson(mean));
+  const double draw = rng.Normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(draw));
+}
+
+}  // namespace
+
+ScenarioGenerator::ScenarioGenerator(ScenarioConfig config)
+    : config_(std::move(config)) {
+  SPA_CHECK_MSG(config_.users > 0, "scenario needs users");
+  SPA_CHECK_MSG(config_.cohort_users > 0 && config_.cohort_items > 0,
+                "scenario cohorts need users and items");
+  SPA_CHECK_MSG(config_.duration > 0 && config_.block > 0 &&
+                    config_.block <= config_.duration,
+                "scenario block must divide a positive duration");
+  SPA_CHECK_MSG(config_.interaction_fraction >= 0.0 &&
+                    config_.sum_update_fraction >= 0.0 &&
+                    config_.interaction_fraction +
+                            config_.sum_update_fraction <
+                        1.0,
+                "event mix fractions must leave room for serves");
+  SPA_CHECK_MSG(config_.diurnal_amplitude >= 0.0 &&
+                    config_.diurnal_amplitude < 1.0,
+                "diurnal amplitude must be in [0, 1)");
+  SPA_CHECK_MSG(config_.cohort_skew > 1.0 && config_.user_skew > 1.0 &&
+                    config_.item_skew > 1.0,
+                "Zipf exponents must be > 1 (see Rng::Zipf)");
+  SPA_CHECK_MSG(config_.churn.initial_active > 0.0 &&
+                    config_.churn.initial_active <= 1.0,
+                "some of the population must start active");
+  SPA_CHECK_MSG(config_.interaction_batch > 0,
+                "interaction bursts need a batch size");
+  cohort_count_ =
+      (config_.users + config_.cohort_users - 1) / config_.cohort_users;
+  block_count_ = static_cast<size_t>(
+      (config_.duration + config_.block - 1) / config_.block);
+  weight_sum_ = 0.0;
+  for (size_t b = 0; b < block_count_; ++b) weight_sum_ += RateWeight(b);
+  SPA_CHECK(weight_sum_ > 0.0);
+}
+
+std::pair<UserId, UserId> ScenarioGenerator::ActiveWindow(
+    spa::TimeMicros t) const {
+  const double days = static_cast<double>(t) /
+                      static_cast<double>(spa::kMicrosPerDay);
+  const double population = static_cast<double>(config_.users);
+  const auto arrived_users = static_cast<size_t>(std::min(
+      population,
+      static_cast<double>(std::llround(
+          population * (config_.churn.initial_active +
+                        config_.churn.arrivals_per_day * days)))));
+  const auto retired_users = static_cast<size_t>(std::llround(
+      population * config_.churn.retirements_per_day * days));
+  // Cohort-granular: a cohort is active once its first user arrived,
+  // and at least one cohort always stays active.
+  size_t end_cohort = std::clamp<size_t>(
+      (arrived_users + config_.cohort_users - 1) / config_.cohort_users,
+      1, cohort_count_);
+  size_t first_cohort =
+      std::min(retired_users / config_.cohort_users, end_cohort - 1);
+  const UserId first =
+      static_cast<UserId>(first_cohort * config_.cohort_users);
+  const UserId last = static_cast<UserId>(
+      std::min(end_cohort * config_.cohort_users, config_.users));
+  return {first, last};
+}
+
+double ScenarioGenerator::RateWeight(size_t block) const {
+  const spa::TimeMicros tmid =
+      static_cast<spa::TimeMicros>(block) * config_.block +
+      config_.block / 2;
+  const double tod = static_cast<double>(tmid % spa::kMicrosPerDay) /
+                     static_cast<double>(spa::kMicrosPerDay);
+  double weight = 1.0 + config_.diurnal_amplitude *
+                            std::sin(kTwoPi * tod - kTwoPi / 4.0);
+  const double frac = static_cast<double>(tmid) /
+                      static_cast<double>(config_.duration);
+  for (const FlashCrowdSpec& crowd : config_.flash_crowds) {
+    if (frac >= crowd.start && frac < crowd.start + crowd.duration) {
+      weight *= crowd.multiplier;
+    }
+  }
+  return std::max(weight, 0.05);
+}
+
+double ScenarioGenerator::BlockMean(size_t block) const {
+  return static_cast<double>(config_.target_events) * RateWeight(block) /
+         weight_sum_;
+}
+
+std::vector<recsys::Interaction>
+ScenarioGenerator::BootstrapInteractions() const {
+  Rng rng(config_.seed, kBootstrapInteractionsStream);
+  const auto [first, last] = ActiveWindow(0);
+  std::vector<recsys::Interaction> log;
+  log.reserve(static_cast<size_t>(last - first) *
+              config_.history_per_user);
+  for (UserId u = first; u < last; ++u) {
+    const size_t cohort =
+        static_cast<size_t>(u) / config_.cohort_users;
+    for (size_t j = 0; j < config_.history_per_user; ++j) {
+      const auto item = static_cast<ItemId>(
+          cohort * config_.cohort_items +
+          static_cast<size_t>(
+              rng.Zipf(static_cast<int64_t>(config_.cohort_items),
+                       config_.item_skew) -
+              1));
+      log.push_back({u, item, rng.Uniform(0.2, 3.0)});
+    }
+  }
+  return log;
+}
+
+std::vector<EmotionShift> ScenarioGenerator::BootstrapEmotions() const {
+  Rng rng(config_.seed, kBootstrapEmotionsStream);
+  const auto [first, last] = ActiveWindow(0);
+  std::vector<EmotionShift> shifts;
+  for (UserId u = first; u < last; ++u) {
+    for (eit::EmotionalAttribute attr : eit::AllEmotionalAttributes()) {
+      if (rng.Bernoulli(0.3)) {
+        shifts.push_back({u, attr, EmotionShift::Op::kSetSensibility,
+                          rng.Uniform(0.3, 1.0)});
+      }
+    }
+  }
+  return shifts;
+}
+
+std::vector<ScenarioEvent> ScenarioGenerator::GenerateBlock(
+    size_t block) const {
+  SPA_CHECK(block < block_count_);
+  Rng rng(config_.seed, /*stream=*/block + 1);
+  const spa::TimeMicros t0 =
+      static_cast<spa::TimeMicros>(block) * config_.block;
+  const spa::TimeMicros t_end =
+      std::min(t0 + config_.block, config_.duration);
+
+  const uint64_t count = SampleCount(rng, BlockMean(block));
+  std::vector<ScenarioEvent> events;
+  events.reserve(count);
+
+  // Cohort-granular picks; a possibly-partial tail cohort caps the
+  // within-cohort ranks.
+  const auto cohort_size = [this](size_t cohort) {
+    return std::min(config_.cohort_users,
+                    config_.users - cohort * config_.cohort_users);
+  };
+  const auto pick_user = [&](size_t cohort) {
+    const auto size = static_cast<int64_t>(cohort_size(cohort));
+    return static_cast<UserId>(
+        cohort * config_.cohort_users +
+        static_cast<size_t>(rng.Zipf(size, config_.user_skew) - 1));
+  };
+
+  for (uint64_t i = 0; i < count; ++i) {
+    ScenarioEvent event;
+    event.time =
+        t0 + static_cast<spa::TimeMicros>(rng.UniformInt(
+                 0, static_cast<int64_t>(t_end - t0) - 1));
+
+    const auto [first, last] = ActiveWindow(event.time);
+    const size_t first_cohort =
+        static_cast<size_t>(first) / config_.cohort_users;
+    const size_t active_cohorts = std::max<size_t>(
+        (static_cast<size_t>(last - first) + config_.cohort_users - 1) /
+            config_.cohort_users,
+        1);
+    // Oldest active cohort = hottest (established communities carry
+    // the traffic; fresh cold-start cohorts sit in the Zipf tail).
+    const auto pick_cohort = [&] {
+      return first_cohort +
+             static_cast<size_t>(
+                 rng.Zipf(static_cast<int64_t>(active_cohorts),
+                          config_.cohort_skew) -
+                 1);
+    };
+
+    // Storm window active at this instant? (First matching spec wins;
+    // specs are checked in declaration order.)
+    const double frac = static_cast<double>(event.time) /
+                        static_cast<double>(config_.duration);
+    const EmotionStormSpec* storm = nullptr;
+    for (const EmotionStormSpec& spec : config_.storms) {
+      if (frac >= spec.start && frac < spec.start + spec.duration) {
+        storm = &spec;
+        break;
+      }
+    }
+
+    const double sum_weight =
+        config_.sum_update_fraction * (storm != nullptr ? storm->intensity
+                                                        : 1.0);
+    const double serve_weight =
+        1.0 - config_.interaction_fraction - config_.sum_update_fraction;
+    const double total =
+        serve_weight + config_.interaction_fraction + sum_weight;
+    const double draw = rng.Uniform() * total;
+
+    if (draw < serve_weight) {
+      event.kind = EventKind::kServe;
+      event.user = pick_user(pick_cohort());
+    } else if (draw < serve_weight + config_.interaction_fraction) {
+      event.kind = EventKind::kInteraction;
+      const size_t cohort = pick_cohort();
+      event.interactions.reserve(config_.interaction_batch);
+      for (size_t j = 0; j < config_.interaction_batch; ++j) {
+        const auto item = static_cast<ItemId>(
+            cohort * config_.cohort_items +
+            static_cast<size_t>(
+                rng.Zipf(static_cast<int64_t>(config_.cohort_items),
+                         config_.item_skew) -
+                1));
+        event.interactions.push_back(
+            {pick_user(cohort), item, rng.Uniform(0.2, 3.0)});
+      }
+    } else {
+      event.kind = EventKind::kSumUpdate;
+      if (storm != nullptr) {
+        // Correlated campaign wave: every shift pushes the storm's
+        // attribute, aimed at the hottest active cohorts.
+        const size_t targets = std::max<size_t>(
+            static_cast<size_t>(std::llround(
+                storm->cohort_fraction *
+                static_cast<double>(active_cohorts))),
+            1);
+        event.shifts.reserve(storm->wave_size);
+        for (size_t j = 0; j < storm->wave_size; ++j) {
+          const size_t cohort =
+              first_cohort +
+              static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(targets) - 1));
+          event.shifts.push_back(
+              {pick_user(cohort), storm->attribute,
+               EmotionShift::Op::kReward,
+               storm->magnitude * rng.Uniform(0.75, 1.25)});
+        }
+      } else {
+        // Baseline emotional drift: one user, one random attribute.
+        const auto attrs = eit::AllEmotionalAttributes();
+        event.shifts.push_back(
+            {pick_user(pick_cohort()),
+             attrs[static_cast<size_t>(rng.UniformInt(
+                 0, static_cast<int64_t>(attrs.size()) - 1))],
+             EmotionShift::Op::kReward, rng.Uniform(0.05, 0.3)});
+      }
+    }
+    events.push_back(std::move(event));
+  }
+
+  // Stable by time: equal-time events keep generation order, so the
+  // block is a deterministic, totally ordered slice of the stream.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+std::vector<ScenarioEvent> ScenarioGenerator::Generate(
+    size_t threads) const {
+  std::vector<std::vector<ScenarioEvent>> blocks(block_count_);
+  if (threads == 1) {
+    for (size_t b = 0; b < block_count_; ++b) {
+      blocks[b] = GenerateBlock(b);
+    }
+  } else {
+    ThreadPool pool(threads);
+    ParallelFor(&pool, block_count_,
+                [&](size_t b) { blocks[b] = GenerateBlock(b); });
+  }
+  size_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  std::vector<ScenarioEvent> stream;
+  stream.reserve(total);
+  uint64_t seq = 0;
+  for (auto& b : blocks) {
+    for (ScenarioEvent& event : b) {
+      event.seq = seq++;
+      stream.push_back(std::move(event));
+    }
+  }
+  return stream;
+}
+
+}  // namespace spa::workload

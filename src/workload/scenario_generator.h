@@ -1,0 +1,93 @@
+#ifndef SPA_WORKLOAD_SCENARIO_GENERATOR_H_
+#define SPA_WORKLOAD_SCENARIO_GENERATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "workload/scenario.h"
+
+/// \file
+/// Deterministic scenario generator: expands a `ScenarioConfig` into
+/// the bootstrap state of the synthetic population (interaction
+/// history + initial emotional sensibilities) and the replayable event
+/// stream.
+///
+/// ## Determinism contract
+///
+/// The virtual timeline is cut into fixed `config.block`-sized blocks
+/// and every block's events are a pure function of
+/// `(seed, config, block index)` — each block seeds its own
+/// `spa::Rng(seed, stream = block + 1)` and never reads another
+/// block's state. `Generate(threads)` only parallelizes *which thread
+/// computes which block*; the concatenation (and the `seq` numbering
+/// assigned over it) is bitwise-identical for every thread count. The
+/// golden-value and thread-sweep tests in
+/// `tests/workload/scenario_generator_test.cc` pin this.
+///
+/// ## Population shape
+///
+/// Users come in cohorts of `cohort_users` sharing a `cohort_items`
+/// catalog slice (bounded-overlap communities: similarity postings
+/// stay cohort-sized, so KNN index builds stay linear in users at
+/// 100k–1M scale). Cohort popularity is Zipf over the *active* cohort
+/// range — the oldest active cohort is the hottest — user activity is
+/// Zipf within the cohort, and item popularity is Zipf within the
+/// cohort's slice. Churn moves the active window: arrivals append
+/// cold cohorts (no bootstrap history, no SUM entry — real cold
+/// start), retirement drops the oldest.
+
+namespace spa::workload {
+
+class ScenarioGenerator {
+ public:
+  /// Validates and captures the config (SPA_CHECK on nonsensical
+  /// values: zero users/cohorts, block > duration, fractions outside
+  /// range, Zipf exponents <= 1).
+  explicit ScenarioGenerator(ScenarioConfig config);
+
+  const ScenarioConfig& config() const { return config_; }
+
+  size_t cohort_count() const { return cohort_count_; }
+  size_t item_count() const { return cohort_count_ * config_.cohort_items; }
+  size_t block_count() const { return block_count_; }
+
+  /// Users active (serving targets) at virtual time `t`, as the
+  /// half-open id window [first, second). Cohort-granular.
+  std::pair<UserId, UserId> ActiveWindow(spa::TimeMicros t) const;
+
+  /// Arrival-rate modulation of one block (diurnal x flash crowds),
+  /// before normalization; proportional to the block's expected event
+  /// count.
+  double RateWeight(size_t block) const;
+
+  /// Bootstrap interaction history of the initially-active population
+  /// (cohort-local Zipf item popularity). Deterministic.
+  std::vector<recsys::Interaction> BootstrapInteractions() const;
+
+  /// Initial SUM sensibilities of the initially-active population
+  /// (sparse: ~30% of attributes per user). Deterministic.
+  std::vector<EmotionShift> BootstrapEmotions() const;
+
+  /// The full event stream, sorted by (time, seq) with seq = stream
+  /// position. Bitwise-identical for every `threads` value (0 = use
+  /// hardware concurrency).
+  std::vector<ScenarioEvent> Generate(size_t threads = 1) const;
+
+  /// One block's events (sorted by time, seq not yet assigned) — the
+  /// pure function `Generate` maps over blocks.
+  std::vector<ScenarioEvent> GenerateBlock(size_t block) const;
+
+ private:
+  /// Expected event count of `block` (target_events apportioned by
+  /// normalized rate weight).
+  double BlockMean(size_t block) const;
+
+  ScenarioConfig config_;
+  size_t cohort_count_ = 0;
+  size_t block_count_ = 0;
+  double weight_sum_ = 0.0;
+};
+
+}  // namespace spa::workload
+
+#endif  // SPA_WORKLOAD_SCENARIO_GENERATOR_H_

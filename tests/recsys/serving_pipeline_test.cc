@@ -578,7 +578,11 @@ TEST(ServingPipelineTest, RejectPolicyFailsSubmitWithStatus) {
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(),
             spa::StatusCode::kResourceExhausted);
+  // A read rejection lands in the read lane only; the totals are the
+  // lane sums.
   EXPECT_EQ(pipeline.stats().rejected, 1u);
+  EXPECT_EQ(pipeline.stats().rejected_reads, 1u);
+  EXPECT_EQ(pipeline.stats().rejected_writes, 0u);
 
   stack.gate.Open();
   pipeline.Flush();
@@ -608,6 +612,8 @@ TEST(ServingPipelineTest, ShedOldestDropsTheOldestQueuedTicket) {
   EXPECT_EQ(tickets[1]->response().status().code(),
             spa::StatusCode::kResourceExhausted);
   EXPECT_EQ(pipeline.stats().shed, 1u);
+  EXPECT_EQ(pipeline.stats().shed_reads, 1u);
+  EXPECT_EQ(pipeline.stats().shed_writes, 0u);
 
   stack.gate.Open();
   pipeline.Flush();
@@ -615,6 +621,44 @@ TEST(ServingPipelineTest, ShedOldestDropsTheOldestQueuedTicket) {
   EXPECT_EQ(tickets[2]->Wait(), TicketState::kDone);
   EXPECT_EQ(r3.value()->Wait(), TicketState::kDone);
   EXPECT_EQ(r3.value()->response().value().user, 3u);
+}
+
+TEST(ServingPipelineTest, WriterLaneRejectionsCountInTheWriteLane) {
+  GatedStack stack;
+  ServingPipeline pipeline(
+      stack.engine.get(), nullptr,
+      TinyPipelineConfig(BackpressurePolicy::kReject));
+  // Park the single worker on a gated read, then fill the writer
+  // queue (capacity 2) behind it.
+  auto r0 = pipeline.Submit(stack.Request(0));
+  ASSERT_TRUE(r0.ok());
+  while (pipeline.queue_depth() != 0) std::this_thread::yield();
+  std::vector<StreamTicketPtr> writes;
+  for (int i = 0; i < 2; ++i) {
+    auto w = pipeline.SubmitInteractions(
+        {{static_cast<UserId>(i), static_cast<ItemId>(1), 1.0}});
+    ASSERT_TRUE(w.ok());
+    writes.push_back(w.value());
+  }
+  EXPECT_EQ(pipeline.writer_queue_depth(), 2u);
+
+  auto overflow = pipeline.SubmitInteractions(
+      {{static_cast<UserId>(3), static_cast<ItemId>(1), 1.0}});
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(),
+            spa::StatusCode::kResourceExhausted);
+  EXPECT_EQ(pipeline.stats().rejected_writes, 1u);
+  EXPECT_EQ(pipeline.stats().rejected_reads, 0u);
+  EXPECT_EQ(pipeline.stats().rejected, 1u);
+
+  stack.gate.Open();
+  pipeline.Flush();
+  for (const auto& w : writes) {
+    EXPECT_EQ(w->Wait(), TicketState::kDone);
+    EXPECT_TRUE(w->update_report().ok());
+  }
+  // The high-water mark saw the full writer queue.
+  EXPECT_EQ(pipeline.stats().max_writer_queue_depth, 2u);
 }
 
 TEST(ServingPipelineTest, WriterLaneDrainsBeforeQueuedReads) {

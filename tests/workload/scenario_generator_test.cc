@@ -1,0 +1,273 @@
+#include "workload/scenario_generator.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "gtest/gtest.h"
+#include "workload/scenario.h"
+
+/// The deterministic scenario generator. The load-bearing claims:
+///
+///  * **Golden replayability**: the stream is a pure function of
+///    (seed, config). The fingerprints and first-event field values
+///    pinned below must never drift — they are the contract that lets
+///    the bench matrix and the differential parity harness treat a
+///    scenario as a recorded trace. Any intentional generator change
+///    must regenerate these constants.
+///  * **Thread invariance**: `Generate(threads)` is bitwise-identical
+///    for every thread count (block-pure generation; threads only
+///    decide who computes which block).
+///  * **Stream algebra**: disjoint splits of a stream merge back to
+///    the original exactly (`MergeStreams` over (time, seq)).
+///  * **Population dynamics**: churn moves the cohort-granular active
+///    window; storm windows emit correlated same-attribute waves.
+
+namespace spa::workload {
+namespace {
+
+constexpr size_t kUsers = 2000;
+constexpr size_t kTargetEvents = 400;
+constexpr uint64_t kSeed = 7;
+
+std::vector<ScenarioConfig> GoldenMatrix() {
+  return StandardScenarioMatrix(kUsers, kTargetEvents, kSeed);
+}
+
+// ---- golden values ----------------------------------------------------------
+
+TEST(ScenarioGeneratorTest, GoldenFingerprintsPinTheMatrixStreams) {
+  // (name, events, fingerprint) per archetype at the golden config.
+  const struct {
+    const char* name;
+    size_t events;
+    uint64_t fingerprint;
+  } kGolden[] = {
+      {"steady_power_law", 455, 0xfe28be0444249777ULL},
+      {"flash_crowd", 375, 0x7893e944df4234f8ULL},
+      {"cold_start_churn", 387, 0xf4f413fe86bd54ecULL},
+      {"emotion_shift_storm", 375, 0x3d0631451a0134d5ULL},
+  };
+  const std::vector<ScenarioConfig> matrix = GoldenMatrix();
+  ASSERT_EQ(matrix.size(), 4u);
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    SCOPED_TRACE(matrix[i].name);
+    EXPECT_EQ(matrix[i].name, kGolden[i].name);
+    const ScenarioGenerator generator(matrix[i]);
+    const std::vector<ScenarioEvent> events = generator.Generate();
+    EXPECT_EQ(events.size(), kGolden[i].events);
+    EXPECT_EQ(StreamFingerprint(events), kGolden[i].fingerprint);
+  }
+}
+
+TEST(ScenarioGeneratorTest, GoldenFirstEventsOfTheBaselineArchetype) {
+  const ScenarioGenerator generator(GoldenMatrix()[0]);
+  const std::vector<ScenarioEvent> events = generator.Generate();
+  ASSERT_GE(events.size(), 3u);
+
+  const ScenarioEvent& e0 = events[0];
+  EXPECT_EQ(e0.time, 107881059);
+  EXPECT_EQ(e0.seq, 0u);
+  EXPECT_EQ(e0.kind, EventKind::kInteraction);
+  ASSERT_EQ(e0.interactions.size(), 4u);
+  EXPECT_EQ(e0.interactions[0].user, 26);
+  EXPECT_EQ(e0.interactions[0].item, 1);
+  EXPECT_DOUBLE_EQ(e0.interactions[0].weight, 2.448557706160237);
+
+  const ScenarioEvent& e1 = events[1];
+  EXPECT_EQ(e1.time, 270721398);
+  EXPECT_EQ(e1.kind, EventKind::kServe);
+  EXPECT_EQ(e1.user, 3);
+
+  const ScenarioEvent& e2 = events[2];
+  EXPECT_EQ(e2.time, 272880218);
+  EXPECT_EQ(e2.kind, EventKind::kSumUpdate);
+  ASSERT_EQ(e2.shifts.size(), 1u);
+  EXPECT_EQ(e2.shifts[0].user, 17);
+  EXPECT_EQ(e2.shifts[0].attribute, eit::EmotionalAttribute::kImpatient);
+  EXPECT_EQ(e2.shifts[0].op, EmotionShift::Op::kReward);
+  EXPECT_DOUBLE_EQ(e2.shifts[0].amount, 0.17844631980915898);
+}
+
+TEST(ScenarioGeneratorTest, GoldenBootstrapIsDeterministic) {
+  const ScenarioGenerator generator(GoldenMatrix()[0]);
+  const std::vector<recsys::Interaction> log =
+      generator.BootstrapInteractions();
+  // Every initially-active user carries history_per_user interactions.
+  ASSERT_EQ(log.size(), kUsers * generator.config().history_per_user);
+  EXPECT_EQ(log[0].user, 0);
+  EXPECT_EQ(log[0].item, 4);
+  EXPECT_DOUBLE_EQ(log[0].weight, 2.0179868379174373);
+
+  const std::vector<EmotionShift> emotions =
+      generator.BootstrapEmotions();
+  EXPECT_EQ(emotions.size(), 6004u);
+  for (const EmotionShift& shift : emotions) {
+    EXPECT_EQ(shift.op, EmotionShift::Op::kSetSensibility);
+  }
+}
+
+// ---- determinism ------------------------------------------------------------
+
+TEST(ScenarioGeneratorTest, StreamIsBitwiseIdenticalAcrossThreadCounts) {
+  for (const ScenarioConfig& scenario : GoldenMatrix()) {
+    SCOPED_TRACE(scenario.name);
+    const ScenarioGenerator generator(scenario);
+    const std::vector<ScenarioEvent> serial = generator.Generate(1);
+    for (size_t threads : {2u, 4u, 8u}) {
+      const std::vector<ScenarioEvent> parallel =
+          generator.Generate(threads);
+      ASSERT_EQ(parallel.size(), serial.size());
+      EXPECT_EQ(StreamFingerprint(parallel), StreamFingerprint(serial));
+      EXPECT_TRUE(parallel == serial);
+    }
+  }
+}
+
+TEST(ScenarioGeneratorTest, StreamIsSortedWithDenseSeq) {
+  const ScenarioGenerator generator(GoldenMatrix()[1]);
+  const std::vector<ScenarioEvent> events = generator.Generate(4);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    if (i > 0) {
+      EXPECT_LE(events[i - 1].time, events[i].time);
+    }
+  }
+}
+
+TEST(ScenarioGeneratorTest, MergeStreamsReassemblesDisjointSplits) {
+  const ScenarioGenerator generator(GoldenMatrix()[3]);
+  const std::vector<ScenarioEvent> events = generator.Generate();
+  // Split round-robin by seq — an arbitrary disjoint partition that
+  // preserves per-part (time, seq) order.
+  std::vector<std::vector<ScenarioEvent>> parts(3);
+  for (const ScenarioEvent& event : events) {
+    parts[event.seq % 3].push_back(event);
+  }
+  const std::vector<ScenarioEvent> merged =
+      MergeStreams(std::move(parts));
+  ASSERT_EQ(merged.size(), events.size());
+  EXPECT_TRUE(merged == events);
+  EXPECT_EQ(StreamFingerprint(merged), StreamFingerprint(events));
+}
+
+TEST(ScenarioGeneratorTest, FingerprintSeparatesSeeds) {
+  ScenarioConfig a = SteadyPowerLawScenario(kUsers, kSeed);
+  a.target_events = kTargetEvents;
+  ScenarioConfig b = a;
+  b.seed = kSeed + 1;
+  EXPECT_NE(StreamFingerprint(ScenarioGenerator(a).Generate()),
+            StreamFingerprint(ScenarioGenerator(b).Generate()));
+}
+
+// ---- population dynamics ----------------------------------------------------
+
+TEST(ScenarioGeneratorTest, ChurnMovesTheActiveWindow) {
+  // cold_start_churn: 60% active at t0, +40%/day arrivals, -20%/day
+  // retirements, 2000 users in cohorts of 50 (40 cohorts).
+  const ScenarioConfig scenario = GoldenMatrix()[2];
+  const ScenarioGenerator generator(scenario);
+  ASSERT_EQ(generator.cohort_count(), 40u);
+
+  const auto [first0, last0] = generator.ActiveWindow(0);
+  EXPECT_EQ(first0, 0);
+  EXPECT_EQ(last0, 1200);  // 0.6 * 2000
+
+  const auto [first1, last1] =
+      generator.ActiveWindow(scenario.duration);
+  EXPECT_EQ(first1, 400);   // 0.2 * 2000 retired, oldest cohorts first
+  EXPECT_EQ(last1, 2000);   // 0.6 + 0.4 arrived => everyone has been
+
+  // Bootstrap covers only the initially-active population: arrivals
+  // are genuinely cold (no history, no SUM entry).
+  const std::vector<recsys::Interaction> log =
+      generator.BootstrapInteractions();
+  EXPECT_EQ(log.size(), 1200u * scenario.history_per_user);
+  for (const recsys::Interaction& interaction : log) {
+    EXPECT_LT(interaction.user, 1200);
+  }
+}
+
+TEST(ScenarioGeneratorTest, ActiveWindowNeverEmpties) {
+  ScenarioConfig scenario = ColdStartChurnScenario(kUsers, kSeed);
+  scenario.churn.retirements_per_day = 5.0;  // absurd retirement rate
+  const ScenarioGenerator generator(scenario);
+  const auto [first, last] = generator.ActiveWindow(scenario.duration);
+  EXPECT_LT(first, last);  // at least one cohort stays active
+}
+
+TEST(ScenarioGeneratorTest, StormWindowEmitsCorrelatedWaves) {
+  const ScenarioConfig scenario = GoldenMatrix()[3];
+  ASSERT_EQ(scenario.storms.size(), 2u);
+  const ScenarioGenerator generator(scenario);
+  const std::vector<ScenarioEvent> events = generator.Generate();
+
+  size_t storm_updates = 0;
+  for (const ScenarioEvent& event : events) {
+    if (event.kind != EventKind::kSumUpdate) continue;
+    const double frac = static_cast<double>(event.time) /
+                        static_cast<double>(scenario.duration);
+    const EmotionStormSpec* storm = nullptr;
+    for (const EmotionStormSpec& spec : scenario.storms) {
+      if (frac >= spec.start && frac < spec.start + spec.duration) {
+        storm = &spec;
+        break;
+      }
+    }
+    if (storm == nullptr) {
+      // Baseline drift: one user, one attribute.
+      EXPECT_EQ(event.shifts.size(), 1u);
+      continue;
+    }
+    ++storm_updates;
+    // A campaign wave: wave_size shifts, all pushing the storm's
+    // dominant attribute.
+    ASSERT_EQ(event.shifts.size(), storm->wave_size);
+    for (const EmotionShift& shift : event.shifts) {
+      EXPECT_EQ(shift.attribute, storm->attribute);
+      EXPECT_EQ(shift.op, EmotionShift::Op::kReward);
+    }
+  }
+  // The storm windows multiply the sum-update mix share, so waves must
+  // actually dominate the archetype's update traffic.
+  EXPECT_GT(storm_updates, 10u);
+}
+
+TEST(ScenarioGeneratorTest, FlashCrowdConcentratesArrivals) {
+  const ScenarioConfig scenario = GoldenMatrix()[1];
+  ASSERT_EQ(scenario.flash_crowds.size(), 1u);
+  const FlashCrowdSpec& crowd = scenario.flash_crowds[0];
+  const ScenarioGenerator generator(scenario);
+  const std::vector<ScenarioEvent> events = generator.Generate();
+
+  size_t inside = 0;
+  for (const ScenarioEvent& event : events) {
+    const double frac = static_cast<double>(event.time) /
+                        static_cast<double>(scenario.duration);
+    if (frac >= crowd.start && frac < crowd.start + crowd.duration) {
+      ++inside;
+    }
+  }
+  // The window covers `duration` of the day but multiplies the rate;
+  // it must hold well more than its proportional share of events.
+  EXPECT_GT(static_cast<double>(inside),
+            1.5 * crowd.duration * static_cast<double>(events.size()));
+}
+
+TEST(ScenarioGeneratorTest, LargeBlockMeansStayFinite) {
+  // target_events big enough to push every block past the Poisson
+  // cutoff into the normal approximation; the stream must still be
+  // deterministic and sized sanely.
+  ScenarioConfig scenario = SteadyPowerLawScenario(kUsers, kSeed);
+  scenario.target_events = 200'000;
+  const ScenarioGenerator generator(scenario);
+  const std::vector<ScenarioEvent> a = generator.Generate(1);
+  const std::vector<ScenarioEvent> b = generator.Generate(4);
+  EXPECT_TRUE(a == b);
+  EXPECT_GT(a.size(), 150'000u);
+  EXPECT_LT(a.size(), 250'000u);
+}
+
+}  // namespace
+}  // namespace spa::workload
