@@ -1012,6 +1012,26 @@ int Main(int argc, char** argv) {
   const RouterResult router_result =
       RunRouterScenario(users, items, k, flags.seed + 3);
 
+  // ---- staged dataflow: bitwise parity vs the fused inline path -----------
+  // Both passes compute from scratch (cache cleared before each) at
+  // the same pinned versions; the responses must match byte-for-byte.
+  PrintHeader("Staged dataflow - parity vs fused inline serving");
+  cached_engine->ClearResponseCache();
+  recsys::BatchPin staged_pin;
+  const auto staged_results =
+      cached_engine->RecommendBatchStaged(requests, &staged_pin);
+  cached_engine->ClearResponseCache();
+  recsys::BatchPin inline_pin;
+  const auto inline_results =
+      cached_engine->RecommendBatchInline(requests, &inline_pin);
+  const bool staged_parity =
+      SameResults(staged_results, inline_results) &&
+      staged_pin.fit_epoch == inline_pin.fit_epoch &&
+      staged_pin.matrix_version == inline_pin.matrix_version &&
+      staged_pin.sum_version == inline_pin.sum_version;
+  std::printf("staged vs inline (%zu requests): %s\n", requests.size(),
+              staged_parity ? "OK" : "MISMATCH");
+
   // ---- per-stage latency --------------------------------------------------
   const recsys::StageStats stages = cached_engine->stage_stats();
   PrintHeader("Per-stage serving latency (cached engine, cumulative)");
@@ -1162,6 +1182,21 @@ int Main(int argc, char** argv) {
       WriteQuantileFields(json, Quantiles(s.histogram, 1e6), "us");
       std::fprintf(json, "}%s\n", suffix);
     };
+    // Hierarchical profiler export (schema: docs/METRICS.md): the
+    // leveled L1/L2/L3 item catalog of the cached engine plus the
+    // staged-vs-inline parity verdict.
+    const spa::Profiler& profiler = cached_engine->profiler();
+    std::fprintf(json,
+                 "  \"stages\": {\n"
+                 "    \"staged_parity\": %s,\n"
+                 "    \"level\": %d,\n"
+                 "    \"epochs\": %llu,\n"
+                 "    \"items\": %s\n  },\n",
+                 staged_parity ? "true" : "false",
+                 static_cast<int>(profiler.level()),
+                 static_cast<unsigned long long>(profiler.epochs()),
+                 profiler.ExportItemsJson(spa::ProfilerLevel::kL3, 4)
+                     .c_str());
     std::fprintf(json, "  \"stage_latency\": {\n");
     stage_json("candidate_gen", stages.candidate_gen, ",");
     stage_json("rerank", stages.rerank, ",");
@@ -1184,6 +1219,8 @@ int Main(int argc, char** argv) {
   // Routed serving must match the single-process engine bitwise at the
   // same pinned versions — the router tier's whole contract.
   if (!router_result.parity) return 1;
+  // The staged dataflow must reproduce the fused path byte-for-byte.
+  if (!staged_parity) return 1;
   return cache_parity ? 0 : 1;
 }
 

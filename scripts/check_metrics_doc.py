@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail when docs/METRICS.md and BENCH_serving.json disagree.
+
+The metrics contract (docs/METRICS.md) lists the artifact's top-level
+keys as backticked names between `<!-- bench-keys:begin -->` and
+`<!-- bench-keys:end -->` markers. This check compares that list with
+the keys of an actual smoke artifact, in both directions:
+
+  * a key in the artifact but not the doc  -> the doc is stale;
+  * a key in the doc but not the artifact  -> the doc over-promises.
+
+Usage: check_metrics_doc.py <docs/METRICS.md> <BENCH_serving.json>
+
+Exit code 0 when the sets match exactly, 1 otherwise (and on a
+missing marker block, which would make the check vacuous).
+"""
+
+import json
+import re
+import sys
+
+BEGIN = "<!-- bench-keys:begin -->"
+END = "<!-- bench-keys:end -->"
+
+
+def documented_keys(doc_path):
+    text = open(doc_path, encoding="utf-8").read()
+    begin = text.find(BEGIN)
+    end = text.find(END)
+    if begin < 0 or end < 0 or end <= begin:
+        sys.exit(f"error: marker block {BEGIN} .. {END} not found in "
+                 f"{doc_path}")
+    block = text[begin + len(BEGIN):end]
+    keys = re.findall(r"`([^`]+)`", block)
+    if not keys:
+        sys.exit(f"error: no backticked keys inside the marker block "
+                 f"of {doc_path}")
+    return set(keys)
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(f"usage: {argv[0]} <METRICS.md> <BENCH_serving.json>")
+    doc_path, json_path = argv[1], argv[2]
+    documented = documented_keys(doc_path)
+    with open(json_path, encoding="utf-8") as f:
+        actual = set(json.load(f).keys())
+
+    undocumented = sorted(actual - documented)
+    missing = sorted(documented - actual)
+    if undocumented:
+        print(f"{doc_path} is stale: {json_path} has undocumented "
+              f"top-level keys: {', '.join(undocumented)}")
+    if missing:
+        print(f"{doc_path} over-promises: documented keys absent from "
+              f"{json_path}: {', '.join(missing)}")
+    if undocumented or missing:
+        return 1
+    print(f"ok: {len(documented)} top-level keys match between "
+          f"{doc_path} and {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -197,6 +197,12 @@ double LogHistogram::Quantile(double q) const {
   return bucket_hi(buckets_.size() - 1);
 }
 
+void LogHistogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
 void LogHistogram::Merge(const LogHistogram& other) {
   SPA_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
             buckets_per_decade_ == other.buckets_per_decade_);

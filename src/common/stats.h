@@ -115,6 +115,13 @@ class LogHistogram {
   /// Adds another histogram's counts; geometries must match exactly.
   void Merge(const LogHistogram& other);
 
+  /// Zeroes every bucket (per-bucket relaxed stores). Not a barrier:
+  /// a Reset racing concurrent Adds loses or keeps individual samples
+  /// nondeterministically — callers that need an exact cut (e.g. the
+  /// profiler's epoch banks) must quiesce recorders first, exactly
+  /// like the `total() == count` quiescent invariant.
+  void Reset();
+
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   size_t buckets_per_decade() const { return buckets_per_decade_; }

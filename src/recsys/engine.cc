@@ -28,13 +28,56 @@ uint64_t HashItemSet(const std::unordered_set<ItemId>& items) {
   return acc;
 }
 
+/// Times one profiler item; records on Stop(). When the item's level
+/// is disabled not even the clock is read, keeping the "one branch"
+/// cost promise of EngineConfig::profiler_level.
+class ItemTimer {
+ public:
+  ItemTimer(Profiler& profiler, ProfilerItem item)
+      : profiler_(profiler),
+        item_(item),
+        enabled_(profiler.enabled(item)) {
+    if (enabled_) start_ = Clock::now();
+  }
+  void Stop() {
+    if (enabled_) profiler_.Record(item_, SecondsSince(start_));
+    enabled_ = false;
+  }
+
+ private:
+  Profiler& profiler_;
+  ProfilerItem item_;
+  bool enabled_;
+  Clock::time_point start_{};
+};
+
 }  // namespace
+
+/// Per-request intermediate state between the serving stages. Owned by
+/// the caller (`Serve` keeps one on its stack; `RecommendBatchStaged`
+/// keeps one per request for the whole micro-batch).
+struct RecsysEngine::ServeState {
+  struct Ranked {
+    double score = 0.0;
+    double base_norm = 0.0;
+    double alignment = 0.0;
+    size_t idx = 0;
+  };
+  bool explain = false;
+  CandidateQuery query;  ///< borrows the request's item sets
+  std::vector<std::vector<Scored>> fetched;
+  std::vector<HybridRecommender::Blended> blended;
+  bool apply_emotion = false;
+  std::vector<Ranked> ranked;
+  RecommendResponse response;
+};
 
 RecsysEngine::RecsysEngine(EngineConfig config)
     : config_(config),
       hybrid_(std::make_unique<HybridRecommender>(
           HybridConfig{config.component_depth})),
-      reranker_(config.rerank) {
+      reranker_(config.rerank),
+      profiler_(config.profiler_level) {
   SPA_CHECK(config_.rerank_overfetch > 0);
   SPA_CHECK_MSG(config_.interaction_shards >= 1,
                 "EngineConfig::interaction_shards must be >= 1 (shard "
@@ -100,16 +143,33 @@ spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
   report.matrix_version = live_matrix_->version();
   if (batch.empty()) return report;
   const uint64_t pre_version = live_matrix_->version();
+  ItemTimer update_timer(profiler_, ProfilerItem::kUpdateApply);
 
-  // 1. Route the batch into the shards (sequential: registration
-  // order of brand-new users/items must be deterministic so shard
-  // counts never change rankings).
+  // 1. Route the batch into the shards. ApplyBatch parallelizes the
+  // per-shard work over the engine's pool while staying byte-identical
+  // to a sequential Add loop (registration order is fixed by its
+  // sequential routing pass, so shard counts never change rankings —
+  // the determinism tests gate this). We hold the exclusive serve
+  // lock, which is exactly ApplyBatch's exclusive-access precondition.
+  const bool want_shard_timing =
+      profiler_.enabled(ProfilerItem::kApplyUserShardGroup);
+  ShardedInteractionMatrix::ShardGroupTiming timing;
+  ThreadPool* apply_pool =
+      live_matrix_->shard_count() > 1 ? EnsurePool() : nullptr;
   const auto apply_start = Clock::now();
-  for (const Interaction& interaction : batch) {
-    live_matrix_->Add(interaction.user, interaction.item,
-                      interaction.weight);
-  }
+  live_matrix_->ApplyBatch(batch, apply_pool,
+                           want_shard_timing ? &timing : nullptr);
   report.apply_seconds = SecondsSince(apply_start);
+  for (size_t s = 0; s < timing.user_shard_seconds.size(); ++s) {
+    if (timing.user_shard_ops[s] == 0) continue;
+    profiler_.Record(ProfilerItem::kApplyUserShardGroup,
+                     timing.user_shard_seconds[s]);
+  }
+  for (size_t s = 0; s < timing.item_shard_seconds.size(); ++s) {
+    if (timing.item_shard_ops[s] == 0) continue;
+    profiler_.Record(ProfilerItem::kApplyItemShardGroup,
+                     timing.item_shard_seconds[s]);
+  }
 
   // 2. Repair every component's fitted state incrementally.
   const auto refresh_start = Clock::now();
@@ -164,6 +224,7 @@ spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
       report.cache_entries_invalidated;
   live_stats_.apply_seconds += report.apply_seconds;
   live_stats_.refresh_seconds += report.refresh_seconds;
+  update_timer.Stop();
   return report;
 }
 
@@ -289,39 +350,27 @@ void RecsysEngine::ClearResponseCache() const {
   cache_index_.clear();
 }
 
-void RecsysEngine::RecordStage(AtomicStage* stage,
-                               double seconds) const {
-  const auto nanos = static_cast<uint64_t>(seconds * 1e9);
-  stage->count.fetch_add(1, std::memory_order_relaxed);
-  stage->total_nanos.fetch_add(nanos, std::memory_order_relaxed);
-  uint64_t prev = stage->max_nanos.load(std::memory_order_relaxed);
-  while (prev < nanos &&
-         !stage->max_nanos.compare_exchange_weak(
-             prev, nanos, std::memory_order_relaxed)) {
-  }
-  stage->histogram.Add(seconds);
-}
-
 StageStats RecsysEngine::stage_stats() const {
-  const auto snapshot = [](const AtomicStage& s) {
+  const ProfilerSnapshot snap = profiler_.Snapshot(ProfilerLevel::kL2);
+  const auto to_stage = [&snap](ProfilerItem item) {
     StageStats::Stage out;
-    out.count = s.count.load(std::memory_order_relaxed);
-    out.total_seconds =
-        static_cast<double>(s.total_nanos.load(std::memory_order_relaxed)) *
-        1e-9;
-    out.max_seconds =
-        static_cast<double>(s.max_nanos.load(std::memory_order_relaxed)) *
-        1e-9;
-    out.histogram = s.histogram;  // snapshot copy
-    out.p50_seconds = out.histogram.Quantile(0.50);
-    out.p95_seconds = out.histogram.Quantile(0.95);
-    out.p99_seconds = out.histogram.Quantile(0.99);
+    for (const ProfilerItemSnapshot& s : snap.items) {
+      if (s.item != item) continue;
+      out.count = s.count;
+      out.total_seconds = s.total_seconds;
+      out.max_seconds = s.max_seconds;
+      out.p50_seconds = s.p50_seconds;
+      out.p95_seconds = s.p95_seconds;
+      out.p99_seconds = s.p99_seconds;
+      out.histogram = s.histogram;
+      break;
+    }
     return out;
   };
   StageStats stats;
-  stats.candidate_gen = snapshot(stage_candidate_gen_);
-  stats.rerank = snapshot(stage_rerank_);
-  stats.cache_lookup = snapshot(stage_cache_lookup_);
+  stats.candidate_gen = to_stage(ProfilerItem::kStageCandidateGen);
+  stats.rerank = to_stage(ProfilerItem::kStageRerank);
+  stats.cache_lookup = to_stage(ProfilerItem::kStageCacheLookup);
   return stats;
 }
 
@@ -333,13 +382,19 @@ spa::Result<RecommendResponse> RecsysEngine::Recommend(
   return RecommendImpl(request, /*batch_snapshot=*/nullptr);
 }
 
-spa::Result<RecommendResponse> RecsysEngine::RecommendImpl(
-    const RecommendRequest& request,
-    const sum::SumSnapshotPtr& batch_snapshot) const {
-  SPA_RETURN_IF_ERROR(ValidateRequest(request));
+void RecsysEngine::AdmitRequest(const RecommendRequest& request,
+                                const sum::SumSnapshotPtr& batch_snapshot,
+                                RequestContext* ctx) const {
+  ctx->status = ValidateRequest(request);
+  if (!ctx->status.ok()) {
+    ctx->done = true;
+    return;
+  }
   if (!fitted_) {
-    return spa::Status::FailedPrecondition(
+    ctx->status = spa::Status::FailedPrecondition(
         "engine not fitted; call Fit() after assembling the stack");
+    ctx->done = true;
+    return;
   }
 
   // Pin the emotional context for the whole request: the caller's
@@ -353,61 +408,102 @@ spa::Result<RecommendResponse> RecsysEngine::RecommendImpl(
                    : (sums_ != nullptr ? sums_->snapshot() : nullptr);
   }
 
-  const sum::SmartUserModel* model = nullptr;
-  uint64_t sum_user_version = 0;
   if (snapshot != nullptr) {
     const auto found = snapshot->Get(request.user);
-    if (found.ok()) model = found.value();
-    sum_user_version = snapshot->UserVersion(request.user);
+    if (found.ok()) ctx->model = found.value();
+    ctx->sum_user_version = snapshot->UserVersion(request.user);
   }
+  ctx->snapshot = std::move(snapshot);
 
-  const bool cacheable =
-      config_.response_cache_capacity > 0 && !overridden;
-  uint64_t fingerprint = 0;
-  if (cacheable) {
-    fingerprint = FingerprintRequest(request);
-    const auto lookup_start = Clock::now();
-    auto cached = CacheLookup(fingerprint, request, sum_user_version);
-    RecordStage(&stage_cache_lookup_, SecondsSince(lookup_start));
-    if (cached) return *std::move(cached);
+  ctx->cacheable = config_.response_cache_capacity > 0 && !overridden;
+  if (ctx->cacheable) {
+    ctx->fingerprint = FingerprintRequest(request);
+    ItemTimer timer(profiler_, ProfilerItem::kStageCacheLookup);
+    auto cached =
+        CacheLookup(ctx->fingerprint, request, ctx->sum_user_version);
+    timer.Stop();
+    if (cached) {
+      ctx->cached = *std::move(cached);
+      ctx->done = true;
+    }
   }
-  auto response = Serve(request, model);
-  if (cacheable && response.ok()) {
-    CacheInsert(fingerprint, request, sum_user_version,
+}
+
+spa::Result<RecommendResponse> RecsysEngine::RecommendImpl(
+    const RecommendRequest& request,
+    const sum::SumSnapshotPtr& batch_snapshot) const {
+  ItemTimer request_timer(profiler_, ProfilerItem::kRequestServe);
+  RequestContext ctx;
+  AdmitRequest(request, batch_snapshot, &ctx);
+  if (ctx.done) {
+    request_timer.Stop();
+    if (!ctx.status.ok()) return ctx.status;
+    return std::move(ctx.cached);
+  }
+  auto response = Serve(request, ctx.model);
+  if (ctx.cacheable && response.ok()) {
+    CacheInsert(ctx.fingerprint, request, ctx.sum_user_version,
                 response.value());
   }
+  request_timer.Stop();
   return response;
 }
 
-spa::Result<RecommendResponse> RecsysEngine::Serve(
-    const RecommendRequest& request,
-    const sum::SmartUserModel* model) const {
-  // Base candidates: blended hybrid scores, overfetched so the
-  // emotional stage has room to move items into the top k.
-  CandidateQuery query;
-  query.user = request.user;
-  query.k = request.k * config_.rerank_overfetch;
-  query.exclude_seen = request.exclude_seen;
-  query.exclude_items =
-      request.exclude_items.empty() ? nullptr : &request.exclude_items;
-  query.candidate_items = request.candidate_items.has_value()
-                              ? &*request.candidate_items
-                              : nullptr;
-  const auto candidate_start = Clock::now();
-  std::vector<HybridRecommender::Blended> blended =
-      hybrid_->BlendCandidates(query,
-                               /*track_contributions=*/request.explain);
-  if (blended.size() > query.k) blended.resize(query.k);
-  RecordStage(&stage_candidate_gen_, SecondsSince(candidate_start));
+// ---- the staged serving dataflow -------------------------------------------
+//
+// `Serve` composes the four stages back-to-back — that IS the fused
+// per-request path, so the staged batch executor below is
+// byte-identical to it by construction: each stage performs the exact
+// floating-point operations of the corresponding slice of the former
+// monolithic body, in the same order, on per-request state.
 
-  const auto rerank_start = Clock::now();
+void RecsysEngine::ServeCandidates(const RecommendRequest& request,
+                                   ServeState* state) const {
+  // Base candidates, overfetched so the emotional stage has room to
+  // move items into the top k.
+  state->query.user = request.user;
+  state->query.k = request.k * config_.rerank_overfetch;
+  state->query.exclude_seen = request.exclude_seen;
+  state->query.exclude_items =
+      request.exclude_items.empty() ? nullptr : &request.exclude_items;
+  state->query.candidate_items = request.candidate_items.has_value()
+                                     ? &*request.candidate_items
+                                     : nullptr;
+  ItemTimer timer(profiler_, ProfilerItem::kStageCandidateGen);
+  std::vector<double> component_seconds;
+  const bool per_component =
+      profiler_.enabled(ProfilerItem::kCandidateComponent);
+  state->fetched = hybrid_->FetchComponentCandidates(
+      state->query, per_component ? &component_seconds : nullptr);
+  timer.Stop();
+  for (const double seconds : component_seconds) {
+    profiler_.Record(ProfilerItem::kCandidateComponent, seconds);
+  }
+}
+
+void RecsysEngine::ServeBlend(ServeState* state) const {
+  ItemTimer timer(profiler_, ProfilerItem::kStageBlend);
+  state->blended = hybrid_->BlendFetched(
+      state->fetched, /*track_contributions=*/state->explain);
+  if (state->blended.size() > state->query.k) {
+    state->blended.resize(state->query.k);
+  }
+  timer.Stop();
+  state->fetched.clear();  // stage output consumed; free it early
+}
+
+void RecsysEngine::ServeRerank(const RecommendRequest& request,
+                               const sum::SmartUserModel* model,
+                               ServeState* state) const {
+  ItemTimer timer(profiler_, ProfilerItem::kStageRerank);
+  std::vector<HybridRecommender::Blended>& blended = state->blended;
   const bool apply_emotion =
       config_.emotion_enabled && model != nullptr && !blended.empty();
+  state->apply_emotion = apply_emotion;
 
-  RecommendResponse response;
-  response.user = request.user;
-  response.explained = request.explain;
-  response.emotion_applied = apply_emotion;
+  state->response.user = request.user;
+  state->response.explained = request.explain;
+  state->response.emotion_applied = apply_emotion;
 
   // Without the emotional stage scores are final and blended is
   // already sorted: drop the overfetch tail before building anything.
@@ -416,14 +512,8 @@ spa::Result<RecommendResponse> RecsysEngine::Serve(
   }
 
   // Re-score with the emotion blend (the formula is the reranker's —
-  // one definition shared with EmotionAwareReranker::Rerank), sort,
-  // and only then materialize the surviving top-k items.
-  struct Ranked {
-    double score = 0.0;
-    double base_norm = 0.0;
-    double alignment = 0.0;
-    size_t idx = 0;
-  };
+  // one definition shared with EmotionAwareReranker::Rerank).
+  using Ranked = ServeState::Ranked;
   double lo = 0.0, hi = 0.0;
   if (apply_emotion) {
     lo = hi = blended.front().score;
@@ -432,7 +522,8 @@ spa::Result<RecommendResponse> RecsysEngine::Serve(
       hi = std::max(hi, b.score);
     }
   }
-  std::vector<Ranked> ranked;
+  ItemTimer score_timer(profiler_, ProfilerItem::kRerankScore);
+  std::vector<Ranked>& ranked = state->ranked;
   ranked.reserve(blended.size());
   for (size_t i = 0; i < blended.size(); ++i) {
     Ranked r;
@@ -447,15 +538,27 @@ spa::Result<RecommendResponse> RecsysEngine::Serve(
     }
     ranked.push_back(r);
   }
+  score_timer.Stop();
+  ItemTimer sort_timer(profiler_, ProfilerItem::kRerankSort);
   std::sort(ranked.begin(), ranked.end(),
             [&blended](const Ranked& a, const Ranked& b) {
               if (a.score != b.score) return a.score > b.score;
               return blended[a.idx].item < blended[b.idx].item;
             });
   if (ranked.size() > request.k) ranked.resize(request.k);
+  sort_timer.Stop();
+  timer.Stop();
+}
 
-  response.items.reserve(ranked.size());
-  for (const Ranked& r : ranked) {
+void RecsysEngine::ServeExplain(const RecommendRequest& request,
+                                ServeState* state) const {
+  // Materialize the surviving top-k items (and their score breakdowns
+  // when the request asked for an explanation).
+  ItemTimer timer(profiler_, ProfilerItem::kStageExplain);
+  const std::vector<HybridRecommender::Blended>& blended = state->blended;
+  RecommendResponse& response = state->response;
+  response.items.reserve(state->ranked.size());
+  for (const ServeState::Ranked& r : state->ranked) {
     const HybridRecommender::Blended& b = blended[r.idx];
     RecommendedItem item;
     item.item = b.item;
@@ -463,7 +566,7 @@ spa::Result<RecommendResponse> RecsysEngine::Serve(
     if (request.explain) {
       item.breakdown.base = b.score;
       item.breakdown.emotional_alignment = r.alignment;
-      if (apply_emotion) {
+      if (state->apply_emotion) {
         item.breakdown.base_share = reranker_.BlendScore(r.base_norm, 0.0);
         item.breakdown.emotion_delta = r.score - item.breakdown.base_share;
       } else {
@@ -478,8 +581,19 @@ spa::Result<RecommendResponse> RecsysEngine::Serve(
     }
     response.items.push_back(std::move(item));
   }
-  RecordStage(&stage_rerank_, SecondsSince(rerank_start));
-  return response;
+  timer.Stop();
+}
+
+spa::Result<RecommendResponse> RecsysEngine::Serve(
+    const RecommendRequest& request,
+    const sum::SmartUserModel* model) const {
+  ServeState state;
+  state.explain = request.explain;
+  ServeCandidates(request, &state);
+  ServeBlend(&state);
+  ServeRerank(request, model, &state);
+  ServeExplain(request, &state);
+  return std::move(state.response);
 }
 
 std::vector<spa::Result<RecommendResponse>> RecsysEngine::RecommendBatch(
@@ -541,16 +655,91 @@ RecsysEngine::RecommendBatchInline(
   return results;
 }
 
+std::vector<spa::Result<RecommendResponse>>
+RecsysEngine::RecommendBatchStaged(
+    const std::vector<RecommendRequest>& requests, BatchPin* pin) const {
+  std::vector<spa::Result<RecommendResponse>> results(
+      requests.size(),
+      spa::Result<RecommendResponse>(
+          spa::Status::Internal("request not served")));
+  // Same consistency discipline as RecommendBatchInline: one shared
+  // hold and one pinned snapshot for the whole micro-batch, so the
+  // BatchPin means the same thing on both paths.
+  std::shared_lock lock(serve_mutex_);
+  const sum::SumSnapshotPtr batch_snapshot =
+      sums_ != nullptr ? sums_->snapshot() : nullptr;
+  if (pin != nullptr) {
+    pin->fit_epoch = fit_epoch_;
+    pin->matrix_version =
+        (fitted_ && matrix_ != nullptr) ? matrix_->version() : 0;
+    pin->sum_version =
+        batch_snapshot != nullptr ? batch_snapshot->version() : 0;
+  }
+  if (requests.empty()) return results;
+
+  ItemTimer batch_timer(profiler_, ProfilerItem::kBatchServe);
+  const size_t n = requests.size();
+
+  // Stage-major execution: every request clears stage N before any
+  // request enters stage N+1. A request that failed validation or hit
+  // the cache at admission skips the serve stages. Note the one
+  // intended difference from the fused path: duplicate requests in
+  // one batch each compute (all admissions probe the cache before any
+  // insert) — deterministically the same bytes, so only the hit/miss
+  // counters can differ, never a response.
+  std::vector<RequestContext> contexts(n);
+  for (size_t i = 0; i < n; ++i) {
+    AdmitRequest(requests[i], batch_snapshot, &contexts[i]);
+  }
+  std::vector<ServeState> states(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (contexts[i].done) continue;
+    states[i].explain = requests[i].explain;
+    ServeCandidates(requests[i], &states[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (contexts[i].done) continue;
+    ServeBlend(&states[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (contexts[i].done) continue;
+    ServeRerank(requests[i], contexts[i].model, &states[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (contexts[i].done) continue;
+    ServeExplain(requests[i], &states[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (contexts[i].done) {
+      if (contexts[i].status.ok()) {
+        results[i] = std::move(contexts[i].cached);
+      } else {
+        results[i] = contexts[i].status;
+      }
+      continue;
+    }
+    if (contexts[i].cacheable) {
+      CacheInsert(contexts[i].fingerprint, requests[i],
+                  contexts[i].sum_user_version, states[i].response);
+    }
+    results[i] = std::move(states[i].response);
+  }
+  batch_timer.Stop();
+  return results;
+}
+
 size_t RecsysEngine::batch_thread_count() {
   return EnsurePool()->thread_count();
 }
 
 void RecsysEngine::set_batch_threads(size_t threads) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   config_.batch_threads = threads;
   pool_.reset();
 }
 
 ThreadPool* RecsysEngine::EnsurePool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(config_.batch_threads);
   }

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/profiler.h"
 #include "common/rw_lock.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -103,6 +104,10 @@ struct EngineConfig {
   /// builds around this engine (`core::Spa` constructs its matrix
   /// with it); 1 reproduces the unsharded layout bit-for-bit.
   size_t interaction_shards = 1;
+  /// Granularity of the engine's hierarchical profiler (L1 whole-op /
+  /// L2 per-stage / L3 stage internals — see `common/profiler.h`).
+  /// Disabled items cost one branch on the serving path.
+  ProfilerLevel profiler_level = ProfilerLevel::kL3;
 };
 
 /// \brief Fit-time index report of one stack component.
@@ -152,25 +157,15 @@ struct LiveUpdateStats {
   double refresh_seconds = 0.0;
 };
 
-/// \brief Per-stage serving latency counters (cumulative).
+/// \brief Per-stage serving latency counters (cumulative) — the
+/// compatibility view over the engine's hierarchical `Profiler`
+/// (`profiler()` exposes the full L1/L2/L3 item catalog).
 ///
-/// ## Histogram export format
-///
-/// Every stage carries, next to the total/max counters, a snapshot of
-/// its fixed-bucket log-scale latency histogram (`spa::LogHistogram`,
-/// default geometry: 100 ns .. 100 s, 8 buckets per decade; values in
-/// **seconds**). `p50`/`p95`/`p99` are quantile estimates from that
-/// histogram — log-interpolated, exact to within one bucket (a factor
-/// of 10^(1/8) ~ 1.33) — and `histogram.total() == count` on any
-/// quiescent engine: there is exactly one recording per stage
-/// execution (the test suite pins this parity). The two are updated
-/// without mutual synchronization, so a snapshot taken while workers
-/// are recording may observe them transiently diverged — treat the
-/// equality as a quiescent invariant only.
-/// Consumers that aggregate across engines merge the histograms
-/// bucket-by-bucket (`LogHistogram::Merge`) and take quantiles of the
-/// merged counts; `BENCH_serving.json` exports the three quantiles per
-/// stage as `{"p50_us", "p95_us", "p99_us"}` next to the totals.
+/// Each stage snapshots one L2 profiler item: count/total/max plus a
+/// log-scale latency histogram and its p50/p95/p99 estimates. The
+/// histogram geometry, the `histogram.total() == count` quiescent
+/// invariant, and the JSON export format are documented in
+/// `docs/METRICS.md`.
 struct StageStats {
   struct Stage {
     uint64_t count = 0;
@@ -261,6 +256,23 @@ class RecsysEngine {
       const std::vector<RecommendRequest>& requests,
       BatchPin* pin = nullptr) const;
 
+  /// Serves a micro-batch through the **explicit staged dataflow**:
+  /// admit → candidate-gen → blend → rerank → explain, each stage run
+  /// stage-major across the whole batch (every request finishes stage
+  /// N before any request enters stage N+1). Same locking discipline
+  /// as `RecommendBatchInline` — one shared-lock hold, one pinned SUM
+  /// snapshot — and byte-identical results at the same `BatchPin`: the
+  /// stages compose the exact per-request arithmetic of the fused
+  /// path, in the same order, so parity holds by construction (and is
+  /// pinned by the stage-pipeline differential tests). Overlap between
+  /// micro-batches comes from the streaming pipeline's drain workers,
+  /// which run staged batches concurrently on `common/thread_pool`.
+  /// Stage timings land in the engine profiler as L2 items plus one
+  /// L1 `batch.serve` recording per call.
+  std::vector<spa::Result<RecommendResponse>> RecommendBatchStaged(
+      const std::vector<RecommendRequest>& requests,
+      BatchPin* pin = nullptr) const;
+
   // ---- live updates ------------------------------------------------------
   /// Routes one interaction batch into the (mutable) fitted matrix,
   /// repairs every component's fitted state incrementally, and drops
@@ -297,8 +309,15 @@ class RecsysEngine {
 
   /// Per-stage serving latency counters (cumulative since
   /// construction; candidate-gen and rerank count computed responses,
-  /// cache-lookup counts probes).
+  /// cache-lookup counts probes). A projection of `profiler()`'s L2
+  /// items kept for compatibility with existing consumers.
   StageStats stage_stats() const;
+
+  /// The engine's leveled hierarchical profiler (L1 whole-op, L2
+  /// per-stage, L3 stage internals). Mutable so recording stays
+  /// possible from const serving paths; callers may `AdvanceEpoch()`
+  /// between quiesced measurement windows.
+  Profiler& profiler() const { return profiler_; }
 
  private:
   /// Canonical identity of a cacheable request.
@@ -336,6 +355,43 @@ class RecsysEngine {
                    uint64_t sum_user_version,
                    const RecommendResponse& response) const;
 
+  /// Per-request admission state threaded through the staged dataflow:
+  /// everything `RecommendImpl` decides before the serve stages run.
+  struct RequestContext {
+    spa::Status status = spa::Status::OK();  ///< admit-time failure
+    bool done = false;          ///< failed, or served from cache
+    RecommendResponse cached;   ///< the cache hit when done && ok
+    sum::SumSnapshotPtr snapshot;  ///< per-request pin (single path)
+    const sum::SmartUserModel* model = nullptr;
+    uint64_t sum_user_version = 0;
+    bool cacheable = false;
+    uint64_t fingerprint = 0;
+  };
+
+  /// Per-request intermediate state between serve stages (defined in
+  /// the .cc; sized/POD enough to live in a batch-long vector).
+  struct ServeState;
+
+  /// Validation + fitted check + snapshot/model resolution + cache
+  /// probe — the front half of `RecommendImpl`, shared verbatim by the
+  /// fused and the staged paths. Records `stage.cache_lookup`.
+  void AdmitRequest(const RecommendRequest& request,
+                    const sum::SumSnapshotPtr& batch_snapshot,
+                    RequestContext* ctx) const;
+
+  // The serving dataflow, stage by stage. `Serve` composes the four
+  // sequentially (the fused per-request path); `RecommendBatchStaged`
+  // runs each across a whole micro-batch before the next. Identical
+  // per-request arithmetic in identical order either way.
+  void ServeCandidates(const RecommendRequest& request,
+                       ServeState* state) const;
+  void ServeBlend(ServeState* state) const;
+  void ServeRerank(const RecommendRequest& request,
+                   const sum::SmartUserModel* model,
+                   ServeState* state) const;
+  void ServeExplain(const RecommendRequest& request,
+                    ServeState* state) const;
+
   /// Serving core; the caller holds the shared serve lock.
   /// `batch_snapshot` (may be null) is the batch-pinned SUM view —
   /// single requests pass null and pin their own.
@@ -347,20 +403,6 @@ class RecsysEngine {
   spa::Result<RecommendResponse> Serve(
       const RecommendRequest& request,
       const sum::SmartUserModel* model) const;
-
-  /// Lock-free accumulator behind one StageStats::Stage — every batch
-  /// worker records into these on every response, so a shared mutex
-  /// here would serialize the parallel hot path being measured. The
-  /// histogram's buckets are atomic too (one relaxed fetch_add per
-  /// recording).
-  struct AtomicStage {
-    std::atomic<uint64_t> count{0};
-    std::atomic<uint64_t> total_nanos{0};
-    std::atomic<uint64_t> max_nanos{0};
-    LogHistogram histogram;
-  };
-
-  void RecordStage(AtomicStage* stage, double seconds) const;
 
   EngineConfig config_;
   std::unique_ptr<HybridRecommender> hybrid_;
@@ -392,16 +434,19 @@ class RecsysEngine {
       cache_index_;
   mutable EngineCacheStats cache_stats_;
 
-  /// Stage latency counters (updated on every serve, including cache
-  /// hits, by every batch worker).
-  mutable AtomicStage stage_candidate_gen_;
-  mutable AtomicStage stage_rerank_;
-  mutable AtomicStage stage_cache_lookup_;
+  /// Leveled latency profiler (updated on every serve, including
+  /// cache hits, by every batch worker — lock-free, see
+  /// `common/profiler.h`).
+  mutable Profiler profiler_;
 
   /// Live-update counters (mutated only under the exclusive serve
   /// lock; read under the shared side).
   LiveUpdateStats live_stats_;
 
+  /// Guards lazy pool construction: RecommendBatch creates the pool
+  /// outside the serve lock, so it can race ApplyInteractions'
+  /// EnsurePool call for the parallel shard apply.
+  std::mutex pool_mu_;
   ThreadPool* EnsurePool();
 };
 

@@ -1,9 +1,11 @@
 #include "recsys/hybrid.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/clock.h"
 
 namespace spa::recsys {
 
@@ -54,14 +56,41 @@ spa::Status HybridRecommender::Refresh(RefreshOutcome* outcome) {
 std::vector<HybridRecommender::Blended>
 HybridRecommender::BlendCandidates(const CandidateQuery& query,
                                    bool track_contributions) const {
+  return BlendFetched(FetchComponentCandidates(query),
+                      track_contributions);
+}
+
+std::vector<std::vector<Scored>>
+HybridRecommender::FetchComponentCandidates(
+    const CandidateQuery& query,
+    std::vector<double>* component_seconds) const {
+  std::vector<std::vector<Scored>> fetched;
+  fetched.reserve(components_.size());
+  if (component_seconds != nullptr) {
+    component_seconds->clear();
+    component_seconds->reserve(components_.size());
+  }
+  for (const Component& c : components_) {
+    CandidateQuery sub = query;
+    sub.k = config_.component_depth;
+    const auto start = std::chrono::steady_clock::now();
+    fetched.push_back(c.recommender->RecommendCandidates(sub));
+    if (component_seconds != nullptr) {
+      component_seconds->push_back(SecondsSince(start));
+    }
+  }
+  return fetched;
+}
+
+std::vector<HybridRecommender::Blended> HybridRecommender::BlendFetched(
+    const std::vector<std::vector<Scored>>& fetched,
+    bool track_contributions) const {
+  SPA_CHECK(fetched.size() == components_.size());
   std::unordered_map<ItemId, size_t> index;
   std::vector<Blended> blended;
   for (size_t ci = 0; ci < components_.size(); ++ci) {
     const Component& c = components_[ci];
-    CandidateQuery sub = query;
-    sub.k = config_.component_depth;
-    const std::vector<Scored> scored =
-        c.recommender->RecommendCandidates(sub);
+    const std::vector<Scored>& scored = fetched[ci];
     if (scored.empty()) continue;
     // Min-max normalize this component's scores to [0,1].
     double lo = scored.back().score;

@@ -50,9 +50,30 @@ class HybridRecommender : public Recommender {
   /// `track_contributions` each candidate also carries its
   /// per-component share — the explanation path of the serving
   /// engine; leave it off on the hot path (it allocates one vector
-  /// per candidate).
+  /// per candidate). Exactly `FetchComponentCandidates` followed by
+  /// `BlendFetched` — the staged serving dataflow calls the two
+  /// halves as separate stages and is bitwise-identical by
+  /// construction.
   std::vector<Blended> BlendCandidates(const CandidateQuery& query,
                                        bool track_contributions = true) const;
+
+  /// Stage half 1: every component's candidates for the query (at
+  /// `component_depth`, not query.k), indexed like components. The
+  /// only half that reads the interaction matrix. When
+  /// `component_seconds` is non-null it receives one wall-clock
+  /// duration per component (the engine's L3 profiler items).
+  std::vector<std::vector<Scored>> FetchComponentCandidates(
+      const CandidateQuery& query,
+      std::vector<double>* component_seconds = nullptr) const;
+
+  /// Stage half 2: min-max-normalizes each component's fetched list
+  /// (floor = 1/(n+1), see the implementation comment), accumulates
+  /// the weighted blend and sorts by (score desc, item asc). Pure —
+  /// touches no fitted state beyond component weights, so it may run
+  /// outside the serve lock against pinned fetch results.
+  std::vector<Blended> BlendFetched(
+      const std::vector<std::vector<Scored>>& fetched,
+      bool track_contributions = true) const;
 
   size_t component_count() const { return components_.size(); }
   const Recommender& component(size_t i) const {

@@ -1,9 +1,13 @@
 #include "recsys/interaction_matrix.h"
 
 #include <algorithm>
+#include <chrono>
+#include <unordered_set>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace spa::recsys {
 
@@ -92,6 +96,142 @@ void ShardedInteractionMatrix::Add(UserId user, ItemId item,
     if (item_new) global_->item_order.push_back(item);
   }
   global_->interactions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedInteractionMatrix::ApplyBatch(
+    const std::vector<Interaction>& batch, ThreadPool* pool,
+    ShardGroupTiming* timing) {
+  if (timing != nullptr) {
+    timing->user_shard_seconds.assign(user_shards_.size(), 0.0);
+    timing->item_shard_seconds.assign(item_shards_.size(), 0.0);
+    timing->user_shard_ops.assign(user_shards_.size(), 0);
+    timing->item_shard_ops.assign(item_shards_.size(), 0);
+  }
+  if (batch.empty()) return;
+  const size_t n = batch.size();
+  const uint64_t v0 = global_->version.load(std::memory_order_relaxed);
+
+  // Phase 0 (sequential): fix the registration order of brand-new
+  // users/items exactly as a sequential Add loop would (first
+  // occurrence in batch order) and bucket op indices per shard. Reads
+  // the shard maps without locks — the exclusive-access precondition.
+  std::vector<std::vector<size_t>> user_ops(user_shards_.size());
+  std::vector<std::vector<size_t>> item_ops(item_shards_.size());
+  {
+    std::unordered_set<UserId> new_users;
+    std::unordered_set<ItemId> new_items;
+    for (size_t i = 0; i < n; ++i) {
+      const Interaction& op = batch[i];
+      const size_t us_idx = UserShardIndex(op.user);
+      const size_t is_idx = ItemShardIndex(op.item);
+      user_ops[us_idx].push_back(i);
+      item_ops[is_idx].push_back(i);
+      if (!user_shards_[us_idx]->rows.contains(op.user) &&
+          new_users.insert(op.user).second) {
+        global_->user_order.push_back(op.user);
+      }
+      if (!item_shards_[is_idx]->postings.contains(op.item) &&
+          new_items.insert(op.item).second) {
+        global_->item_order.push_back(op.item);
+      }
+    }
+  }
+  if (timing != nullptr) {
+    for (size_t s = 0; s < user_ops.size(); ++s) {
+      timing->user_shard_ops[s] = user_ops[s].size();
+    }
+    for (size_t s = 0; s < item_ops.size(); ++s) {
+      timing->item_shard_ops[s] = item_ops[s].size();
+    }
+  }
+
+  // Cell transitions, computed by the user phase (which owns the cell
+  // history) and consumed by the item phase: the norm delta of op i
+  // and whether it created its (user, item) cell.
+  std::vector<double> norm_delta(n, 0.0);
+  std::vector<char> cell_new(n, 0);
+
+  // Phase U: each user shard replays its ops in batch order. One task
+  // owns one shard, so within a row every accumulate/append — and
+  // every floating-point addition into its norm — happens in exactly
+  // the sequential order; stamps ascend, so assignment == max-merge.
+  const auto user_phase = [&](size_t s) {
+    const auto start = std::chrono::steady_clock::now();
+    UserShard& us = *user_shards_[s];
+    for (const size_t i : user_ops[s]) {
+      const Interaction& op = batch[i];
+      const uint64_t stamp = v0 + static_cast<uint64_t>(i) + 1;
+      auto [uit, user_new] = us.rows.try_emplace(op.user);
+      (void)user_new;  // registration already done in phase 0
+      double old_weight = 0.0;
+      bool accumulated = false;
+      for (auto& [existing_item, w] : uit->second) {
+        if (existing_item == op.item) {
+          old_weight = w;
+          w += op.weight;
+          accumulated = true;
+          break;
+        }
+      }
+      if (!accumulated) uit->second.emplace_back(op.item, op.weight);
+      const double new_weight = old_weight + op.weight;
+      norm_delta[i] = new_weight * new_weight - old_weight * old_weight;
+      cell_new[i] = accumulated ? 0 : 1;
+      us.norm_sq[op.user] += norm_delta[i];
+      uint64_t& user_stamp = us.touched[op.user];
+      user_stamp = std::max(user_stamp, stamp);
+      us.last_touched = std::max(us.last_touched, stamp);
+      ++us.version;
+    }
+    if (timing != nullptr) {
+      timing->user_shard_seconds[s] = SecondsSince(start);
+    }
+  };
+
+  // Phase I: mirror the cells into the item shards, again per-shard in
+  // batch order, applying the norm deltas the user phase computed.
+  const auto item_phase = [&](size_t s) {
+    const auto start = std::chrono::steady_clock::now();
+    ItemShard& is = *item_shards_[s];
+    for (const size_t i : item_ops[s]) {
+      const Interaction& op = batch[i];
+      const uint64_t stamp = v0 + static_cast<uint64_t>(i) + 1;
+      auto [iit, item_new] = is.postings.try_emplace(op.item);
+      (void)item_new;
+      if (cell_new[i]) {
+        iit->second.emplace_back(op.user, op.weight);
+      } else {
+        for (auto& [existing_user, w] : iit->second) {
+          if (existing_user == op.user) {
+            w += op.weight;
+            break;
+          }
+        }
+      }
+      is.norm_sq[op.item] += norm_delta[i];
+      uint64_t& item_stamp = is.touched[op.item];
+      item_stamp = std::max(item_stamp, stamp);
+      is.last_touched = std::max(is.last_touched, stamp);
+      ++is.version;
+    }
+    if (timing != nullptr) {
+      timing->item_shard_seconds[s] = SecondsSince(start);
+    }
+  };
+
+  const auto run = [&](size_t groups,
+                       const std::function<void(size_t)>& fn) {
+    if (pool != nullptr && groups > 1) {
+      ParallelFor(pool, groups, fn);
+    } else {
+      for (size_t g = 0; g < groups; ++g) fn(g);
+    }
+  };
+  run(user_shards_.size(), user_phase);  // barrier: item phase reads
+  run(item_shards_.size(), item_phase);  // norm_delta / cell_new
+
+  global_->version.store(v0 + n, std::memory_order_relaxed);
+  global_->interactions.fetch_add(n, std::memory_order_relaxed);
 }
 
 const std::vector<std::pair<ItemId, double>>&

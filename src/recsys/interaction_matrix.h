@@ -10,6 +10,10 @@
 
 #include "lifelog/event.h"
 
+namespace spa {
+class ThreadPool;
+}
+
 /// \file
 /// User-item interaction store backing the collaborative-filtering
 /// stack. Weights encode interaction strength (view < click <
@@ -28,6 +32,9 @@
 ///  * concurrent `Add`s are safe (per-shard locking; registration
 ///    order of brand-new users/items is then timing-dependent, so
 ///    deterministic pipelines apply batches from one thread);
+///  * `ApplyBatch` applies a whole batch with shard-group parallelism
+///    while staying byte-identical to a sequential `Add` loop — it
+///    requires exclusive access (no concurrent readers or writers);
 ///  * reads are lock-free and must not race writes — serving layers
 ///    coordinate, e.g. `RecsysEngine::ApplyInteractions` takes the
 ///    engine's writer lock while requests hold the reader side.
@@ -65,6 +72,31 @@ class ShardedInteractionMatrix {
   /// Adds (accumulates) one interaction; routes the user row and the
   /// item postings to their shards and stamps both rows dirty.
   void Add(UserId user, ItemId item, double weight = 1.0);
+
+  /// What one `ApplyBatch` spent per shard group, indexed by shard
+  /// (0.0 and 0 ops for shards the batch never touched) — the
+  /// engine's L3 profiler items.
+  struct ShardGroupTiming {
+    std::vector<double> user_shard_seconds;
+    std::vector<double> item_shard_seconds;
+    std::vector<size_t> user_shard_ops;
+    std::vector<size_t> item_shard_ops;
+  };
+
+  /// Applies a whole interaction batch, byte-identical to a
+  /// sequential `Add` loop over it (identical rows, postings, norms,
+  /// stamps, versions and registration order — the determinism tests
+  /// pin this), but with the per-shard work running in parallel on
+  /// `pool`: a sequential routing pass fixes registration order and
+  /// buckets ops per shard, then every user shard replays its ops in
+  /// batch order (shard groups in parallel), then every item shard
+  /// does the same against the cell transitions the user phase
+  /// computed. Requires exclusive access to the matrix — callers hold
+  /// their writer lock (per-shard mutexes are NOT taken; there is
+  /// nothing to order when each shard is owned by exactly one task).
+  /// `pool` may be null (runs the same phases sequentially).
+  void ApplyBatch(const std::vector<Interaction>& batch, ThreadPool* pool,
+                  ShardGroupTiming* timing = nullptr);
 
   /// Items of one user as (item, weight), unordered.
   const std::vector<std::pair<ItemId, double>>& ItemsOf(UserId user) const;

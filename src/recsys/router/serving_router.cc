@@ -258,6 +258,7 @@ RouterStats ServingRouter::stats() const {
     ws.matrix_version = node->matrix().version();
     ws.pipeline = node->pipeline()->stats();
     ws.cache = node->engine()->cache_stats();
+    ws.stages = node->engine()->stage_stats();
     stats.end_to_end.Merge(ws.pipeline.end_to_end);
     stats.workers.push_back(std::move(ws));
   }

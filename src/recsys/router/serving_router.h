@@ -165,6 +165,10 @@ struct RouterWorkerStats {
   uint64_t matrix_version = 0;
   PipelineStats pipeline;
   EngineCacheStats cache;
+  /// Per-stage serving latencies of this worker's engine (its drain
+  /// workers serve through the staged dataflow; merge the histograms
+  /// across workers to aggregate).
+  StageStats stages;
 };
 
 /// \brief Cumulative router counters plus the per-worker slices.

@@ -24,9 +24,12 @@
 /// backpressure policy (block / reject-with-status / shed-oldest)
 /// feeds worker threads hosted on a `common/thread_pool`; each worker
 /// drains a run of queued requests as one micro-batch served through
-/// `RecsysEngine::RecommendBatchInline`, so every drained batch pins
-/// exactly one SUM snapshot and one interaction-matrix version — the
-/// same consistency contract `RecommendBatch` gives a closed batch.
+/// the engine's staged dataflow (`RecsysEngine::RecommendBatchStaged`;
+/// `PipelineConfig::staged = false` falls back to the fused
+/// `RecommendBatchInline`), so every drained batch pins exactly one
+/// SUM snapshot and one interaction-matrix version — the same
+/// consistency contract `RecommendBatch` gives a closed batch — and
+/// concurrent drain workers overlap their stages across micro-batches.
 ///
 /// ## Writer lane
 ///
@@ -95,6 +98,14 @@ struct PipelineConfig {
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
   /// Max requests drained into one micro-batch (one pinned snapshot).
   size_t max_batch = 32;
+  /// Drain micro-batches through the engine's explicit staged
+  /// dataflow (`RecommendBatchStaged`: admit → candidates → blend →
+  /// rerank → explain, stage-major) instead of the fused
+  /// `RecommendBatchInline`. Byte-identical responses either way at
+  /// the same `BatchPin` — the differential harness runs every
+  /// schedule against both claims; staged additionally feeds the
+  /// engine profiler's per-stage items.
+  bool staged = true;
 };
 
 /// \brief What kind of op a ticket tracks.

@@ -212,6 +212,25 @@ TEST(LogHistogramTest, MergeMatchesCombinedRecording) {
   EXPECT_DOUBLE_EQ(a.Quantile(0.95), all.Quantile(0.95));
 }
 
+TEST(LogHistogramTest, ResetZeroesEveryBucket) {
+  LogHistogram h(1e-3, 1.0, 4);
+  h.Add(0.002);
+  h.Add(0.05);
+  h.Add(0.9);
+  ASSERT_EQ(h.total(), 3u);
+  h.Reset();
+  EXPECT_EQ(h.total(), 0u);
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_EQ(h.bucket(i), 0u) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  // The histogram keeps recording after a reset (the profiler's
+  // per-epoch banks rely on this).
+  h.Add(0.01);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_GT(h.Quantile(0.5), 0.0);
+}
+
 TEST(LogHistogramTest, CopySnapshotsCounts) {
   LogHistogram h(1e-3, 1.0, 4);
   h.Add(0.01);

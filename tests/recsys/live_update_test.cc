@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "gtest/gtest.h"
 #include "recsys/engine.h"
 #include "recsys/knn_cf.h"
@@ -690,6 +691,43 @@ TEST(ApplyDeterminismTest, SameBatchesSameBytesForEveryShardCount) {
     }
     for (size_t i = 1; i < matrices.size(); ++i) {
       ExpectSameMatrixBytes(matrices[0], matrices[i]);
+    }
+  }
+}
+
+TEST(ApplyDeterminismTest, ApplyBatchMatchesSequentialAddBitwise) {
+  // ApplyBatch (the parallel shard-group path ApplyInteractions uses)
+  // must store exactly the bytes of a sequential Add loop over the
+  // same batch — every row, posting, weight, norm, stamp, version and
+  // registration entry — for any shard count, with or without a pool.
+  ThreadPool pool(4);
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{3},
+                              size_t{8}}) {
+    InteractionMatrix sequential = MakeRandomMatrix(53, 40, 24, shards);
+    InteractionMatrix pooled = MakeRandomMatrix(53, 40, 24, shards);
+    InteractionMatrix poolless = MakeRandomMatrix(53, 40, 24, shards);
+    Rng rng(71);
+    for (int round = 0; round < 3; ++round) {
+      // New users/items beyond the fitted range plus a duplicate cell.
+      auto batch = MakeBatch(&rng, 20, 48, 30);
+      batch.push_back(batch.front());
+      for (const Interaction& x : batch) {
+        sequential.Add(x.user, x.item, x.weight);
+      }
+      InteractionMatrix::ShardGroupTiming timing;
+      pooled.ApplyBatch(batch, &pool, &timing);
+      poolless.ApplyBatch(batch, /*pool=*/nullptr);
+      ExpectSameMatrixBytes(sequential, pooled);
+      ExpectSameMatrixBytes(sequential, poolless);
+      // Timing covers every shard group, and the batch's ops are fully
+      // accounted for across each side's groups.
+      ASSERT_EQ(timing.user_shard_seconds.size(), shards);
+      ASSERT_EQ(timing.item_shard_seconds.size(), shards);
+      size_t user_ops = 0, item_ops = 0;
+      for (const size_t n : timing.user_shard_ops) user_ops += n;
+      for (const size_t n : timing.item_shard_ops) item_ops += n;
+      EXPECT_EQ(user_ops, batch.size());
+      EXPECT_EQ(item_ops, batch.size());
     }
   }
 }
