@@ -29,10 +29,14 @@
 //   ./build/bench/bench_serving [--users=N] [--seed=S] [--smoke]
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -45,6 +49,67 @@
 #include "recsys/router/serving_router.h"
 #include "recsys/serving_pipeline.h"
 #include "sum/sum_service.h"
+
+// ---- binary-wide allocation counter ----------------------------------------
+// The warm-path allocation audit needs to observe every operator-new
+// call, so this binary replaces the global allocation functions with
+// counting wrappers over malloc/free (zero-overhead passthrough when
+// counting is off). Mirrors tests/recsys/allocation_test.cc.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<uint64_t> g_new_calls{0};
+
+void* BenchCountedAlloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  void* ptr = std::malloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* BenchCountedAllocAligned(std::size_t size, std::align_val_t align) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::size_t alignment = static_cast<std::size_t>(align);
+  std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (rounded == 0) rounded = alignment;
+  void* ptr = std::aligned_alloc(alignment, rounded);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return BenchCountedAlloc(size); }
+void* operator new[](std::size_t size) { return BenchCountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return BenchCountedAllocAligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return BenchCountedAllocAligned(size, align);
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t,
+                       std::align_val_t) noexcept {
+  std::free(ptr);
+}
 
 namespace spa::bench {
 namespace {
@@ -933,6 +998,41 @@ int Main(int argc, char** argv) {
               hot_rps, hot_rps / cold_rps, hit_rate,
               cache_parity ? "OK" : "MISMATCH");
 
+  // ---- warm-path allocation audit -----------------------------------------
+  // The allocation-free-hot-path contract, measured end to end: once a
+  // request's response is cached and the caller reuses its response
+  // object, `RecommendInto` must never enter operator new. Gates the
+  // exit code — a regression to even one allocation per request fails
+  // the bench.
+  PrintHeader("Warm-path allocations - cached RecommendInto");
+  recsys::RecommendResponse reused;
+  bool warm_ok = true;
+  for (const auto& request : requests) {
+    warm_ok = warm_ok &&
+              cached_engine->RecommendInto(request, &reused).ok();
+  }
+  g_new_calls.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_release);
+  const auto warm_into_start = Clock::now();
+  for (const auto& request : requests) {
+    warm_ok = warm_ok &&
+              cached_engine->RecommendInto(request, &reused).ok();
+  }
+  const double warm_into_seconds = SecondsSince(warm_into_start);
+  g_count_allocs.store(false, std::memory_order_release);
+  const uint64_t warm_new_calls =
+      g_new_calls.load(std::memory_order_relaxed);
+  const double warm_allocs_per_request =
+      static_cast<double>(warm_new_calls) / static_cast<double>(users);
+  const double warm_into_rps =
+      static_cast<double>(users) / warm_into_seconds;
+  std::printf("RecommendInto:     %8.0f req/s  %llu operator-new calls "
+              "over %zu warm requests (%.4f/request)  %s\n",
+              warm_into_rps,
+              static_cast<unsigned long long>(warm_new_calls), users,
+              warm_allocs_per_request,
+              warm_ok && warm_new_calls == 0 ? "OK" : "ALLOCATING");
+
   // ---- SUM update throughput ----------------------------------------------
   PrintHeader("SUM update throughput");
   const sum::AttributeId lively =
@@ -966,8 +1066,14 @@ int Main(int argc, char** argv) {
   const double applyall_seconds = SecondsSince(applyall_start);
   const double applyall_ups =
       static_cast<double>(batch_rounds * batch_size) / applyall_seconds;
-  std::printf("ApplyAll (x%zu):   %8.0f updates/s  (%.3f s)\n",
-              batch_size, applyall_ups, applyall_seconds);
+  // How much cheaper a batched publish is per update than single-update
+  // publishes. Sharded COW snapshots keep this bounded: one Apply
+  // clones a single user shard (~users/S entries), not the world.
+  const double apply_vs_apply_all_ratio = applyall_ups / apply_ups;
+  std::printf("ApplyAll (x%zu):   %8.0f updates/s  (%.3f s)  "
+              "batch-vs-single ratio %.2fx\n",
+              batch_size, applyall_ups, applyall_seconds,
+              apply_vs_apply_all_ratio);
 
   // Every user's context changed: the hot cache must now recompute.
   const auto invalidated_start = Clock::now();
@@ -1079,12 +1185,23 @@ int Main(int argc, char** argv) {
                  cold_rps, hot_rps, hot_rps / cold_rps, hit_rate,
                  cache_parity ? "true" : "false");
     std::fprintf(json,
+                 "  \"allocations\": {\n"
+                 "    \"warm_requests\": %zu,\n"
+                 "    \"warm_new_calls\": %llu,\n"
+                 "    \"warm_allocs_per_request\": %.4f,\n"
+                 "    \"warm_recommend_into_rps\": %.1f\n  },\n",
+                 users,
+                 static_cast<unsigned long long>(warm_new_calls),
+                 warm_allocs_per_request, warm_into_rps);
+    std::fprintf(json,
                  "  \"sum_updates\": {\n"
                  "    \"apply_per_sec\": %.1f,\n"
                  "    \"apply_all_batch_size\": %zu,\n"
                  "    \"apply_all_per_sec\": %.1f,\n"
+                 "    \"apply_vs_apply_all_ratio\": %.3f,\n"
                  "    \"post_update_serve_rps\": %.1f\n  },\n",
-                 apply_ups, batch_size, applyall_ups, invalidated_rps);
+                 apply_ups, batch_size, applyall_ups,
+                 apply_vs_apply_all_ratio, invalidated_rps);
     std::fprintf(json, "  \"knn_index\": [\n");
     for (size_t i = 0; i < knn_points.size(); ++i) {
       const KnnIndexPoint& p = knn_points[i];
@@ -1214,6 +1331,9 @@ int Main(int argc, char** argv) {
     if (!p.parity) return 1;  // indexed serving must match lazy exactly
   }
   if (!live_point.parity) return 1;  // live updates must match refits
+  // The allocation-free contract: warm cached RecommendInto must never
+  // enter the allocator.
+  if (!warm_ok || warm_new_calls > 0) return 1;
   // Streamed serving must be bitwise-identical to synchronous batches.
   if (!streaming.parity) return 1;
   // Routed serving must match the single-process engine bitwise at the

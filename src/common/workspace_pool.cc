@@ -1,0 +1,62 @@
+#include "common/workspace_pool.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace spa {
+
+WorkspacePool::~WorkspacePool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& bucket : free_) {
+    for (void* block : bucket) std::free(block);
+  }
+}
+
+size_t WorkspacePool::ClassIndex(size_t bytes) {
+  if (bytes <= kPageBytes) return 0;
+  const size_t pages =
+      std::bit_ceil((bytes + kPageBytes - 1) / kPageBytes);
+  return static_cast<size_t>(std::countr_zero(pages));
+}
+
+WorkspaceBlock WorkspacePool::Acquire(size_t min_bytes) {
+  const size_t cls = ClassIndex(min_bytes);
+  const size_t capacity = kPageBytes << cls;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cls < free_.size() && !free_[cls].empty()) {
+      void* data = free_[cls].back();
+      free_[cls].pop_back();
+      ++stats_.reuses;
+      ++stats_.outstanding;
+      return {data, capacity};
+    }
+  }
+  void* data = std::aligned_alloc(kPageBytes, capacity);
+  SPA_CHECK(data != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.allocations;
+  ++stats_.outstanding;
+  stats_.resident_bytes += capacity;
+  return {data, capacity};
+}
+
+void WorkspacePool::Release(WorkspaceBlock block) {
+  if (block.data == nullptr) return;
+  const size_t cls = ClassIndex(block.capacity);
+  SPA_CHECK(block.capacity == (kPageBytes << cls));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() <= cls) free_.resize(cls + 1);
+  free_[cls].push_back(block.data);
+  SPA_CHECK(stats_.outstanding > 0);
+  --stats_.outstanding;
+}
+
+WorkspacePoolStats WorkspacePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace spa

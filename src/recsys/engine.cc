@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/clock.h"
 #include "common/hash.h"
+#include "recsys/kernels.h"
 
 namespace spa::recsys {
 
@@ -65,12 +66,62 @@ struct RecsysEngine::ServeState {
   };
   bool explain = false;
   CandidateQuery query;  ///< borrows the request's item sets
+  /// Scoring scratch threaded into the stages via `query.workspace`
+  /// (null = the thread-local fallback). Only live within one stage
+  /// call, so staged batches share a single workspace across requests.
+  kernels::ScoreWorkspace* workspace = nullptr;
   std::vector<std::vector<Scored>> fetched;
   std::vector<HybridRecommender::Blended> blended;
   bool apply_emotion = false;
   std::vector<Ranked> ranked;
   RecommendResponse response;
+
+  /// Readies the state for a (possibly recycled) request: containers
+  /// are cleared, not shrunk — their capacities are the whole point of
+  /// pooling. The stages reset everything else by assignment.
+  void Reset(bool explain_flag) {
+    explain = explain_flag;
+    ranked.clear();
+    response.items.clear();
+  }
 };
+
+/// The pooled unit the fused serve path recycles: per-request stage
+/// state plus the kernel scoring workspace, both keeping their
+/// capacities between requests.
+struct RecsysEngine::ServeScratch {
+  ServeState state;
+  kernels::ScoreWorkspace ws;
+};
+
+std::unique_ptr<RecsysEngine::ServeScratch> RecsysEngine::AcquireScratch()
+    const {
+  ItemTimer timer(profiler_, ProfilerItem::kWorkspaceAcquire);
+  std::unique_ptr<ServeScratch> scratch;
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!scratch_free_.empty()) {
+      scratch = std::move(scratch_free_.back());
+      scratch_free_.pop_back();
+    }
+  }
+  if (scratch == nullptr) {
+    scratch = std::make_unique<ServeScratch>();
+    scratch->ws.BindPool(&workspace_pool_);
+  }
+  timer.Stop();
+  return scratch;
+}
+
+void RecsysEngine::ReleaseScratch(
+    std::unique_ptr<ServeScratch> scratch) const {
+  ItemTimer timer(profiler_, ProfilerItem::kWorkspaceRelease);
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_free_.push_back(std::move(scratch));
+  timer.Stop();
+}
+
+RecsysEngine::~RecsysEngine() = default;
 
 RecsysEngine::RecsysEngine(EngineConfig config)
     : config_(config),
@@ -259,20 +310,21 @@ bool RecsysEngine::KeyMatches(const CacheKey& key,
          key.candidate_items == request.candidate_items;
 }
 
-std::optional<RecommendResponse> RecsysEngine::CacheLookup(
-    uint64_t hash, const RecommendRequest& request,
-    uint64_t sum_user_version) const {
+bool RecsysEngine::CacheLookupInto(uint64_t hash,
+                                   const RecommendRequest& request,
+                                   uint64_t sum_user_version,
+                                   RecommendResponse* out) const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = cache_index_.find(hash);
   if (it == cache_index_.end()) {
     ++cache_stats_.misses;
-    return std::nullopt;
+    return false;
   }
   const CacheEntry& entry = *it->second;
   if (!KeyMatches(entry.key, request)) {
     // Fingerprint collision between distinct requests: never serve it.
     ++cache_stats_.misses;
-    return std::nullopt;
+    return false;
   }
   if (entry.fit_epoch != fit_epoch_ ||
       entry.matrix_version != matrix_->version() ||
@@ -287,11 +339,14 @@ std::optional<RecommendResponse> RecsysEngine::CacheLookup(
     cache_index_.erase(it);
     ++cache_stats_.stale_evictions;
     ++cache_stats_.misses;
-    return std::nullopt;
+    return false;
   }
   cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
   ++cache_stats_.hits;
-  return entry.response;
+  // Copy-assign: a warm caller's response vectors already hold the
+  // capacity, so serving the hit performs no heap allocation.
+  *out = entry.response;
+  return true;
 }
 
 void RecsysEngine::CacheInsert(uint64_t hash,
@@ -382,9 +437,17 @@ spa::Result<RecommendResponse> RecsysEngine::Recommend(
   return RecommendImpl(request, /*batch_snapshot=*/nullptr);
 }
 
+spa::Status RecsysEngine::RecommendInto(const RecommendRequest& request,
+                                        RecommendResponse* out) const {
+  SPA_CHECK(out != nullptr);
+  std::shared_lock lock(serve_mutex_);
+  return RecommendIntoImpl(request, /*batch_snapshot=*/nullptr, out);
+}
+
 void RecsysEngine::AdmitRequest(const RecommendRequest& request,
                                 const sum::SumSnapshotPtr& batch_snapshot,
-                                RequestContext* ctx) const {
+                                RequestContext* ctx,
+                                RecommendResponse* hit_out) const {
   ctx->status = ValidateRequest(request);
   if (!ctx->status.ok()) {
     ctx->done = true;
@@ -409,8 +472,9 @@ void RecsysEngine::AdmitRequest(const RecommendRequest& request,
   }
 
   if (snapshot != nullptr) {
-    const auto found = snapshot->Get(request.user);
-    if (found.ok()) ctx->model = found.value();
+    // GetOrNull, not Get: cold users (no SUM yet) are common, and the
+    // NotFound status Get formats would be a per-request allocation.
+    ctx->model = snapshot->GetOrNull(request.user);
     ctx->sum_user_version = snapshot->UserVersion(request.user);
   }
   ctx->snapshot = std::move(snapshot);
@@ -419,33 +483,52 @@ void RecsysEngine::AdmitRequest(const RecommendRequest& request,
   if (ctx->cacheable) {
     ctx->fingerprint = FingerprintRequest(request);
     ItemTimer timer(profiler_, ProfilerItem::kStageCacheLookup);
-    auto cached =
-        CacheLookup(ctx->fingerprint, request, ctx->sum_user_version);
+    const bool hit = CacheLookupInto(ctx->fingerprint, request,
+                                     ctx->sum_user_version, hit_out);
     timer.Stop();
-    if (cached) {
-      ctx->cached = *std::move(cached);
-      ctx->done = true;
-    }
+    if (hit) ctx->done = true;
   }
+}
+
+spa::Status RecsysEngine::RecommendIntoImpl(
+    const RecommendRequest& request,
+    const sum::SumSnapshotPtr& batch_snapshot,
+    RecommendResponse* out) const {
+  ItemTimer request_timer(profiler_, ProfilerItem::kRequestServe);
+  RequestContext ctx;
+  AdmitRequest(request, batch_snapshot, &ctx, out);
+  if (ctx.done) {
+    request_timer.Stop();
+    return ctx.status;
+  }
+  // Uncached: run the four stages on a pooled scratch, then copy the
+  // response out (the scratch keeps its capacities for the next
+  // request; the caller's `out` keeps its own).
+  std::unique_ptr<ServeScratch> scratch = AcquireScratch();
+  ServeState& state = scratch->state;
+  state.Reset(request.explain);
+  state.workspace = &scratch->ws;
+  ServeCandidates(request, &state);
+  ServeBlend(&state);
+  ServeRerank(request, ctx.model, &state);
+  ServeExplain(request, &state);
+  if (ctx.cacheable) {
+    CacheInsert(ctx.fingerprint, request, ctx.sum_user_version,
+                state.response);
+  }
+  *out = state.response;
+  ReleaseScratch(std::move(scratch));
+  request_timer.Stop();
+  return spa::Status::OK();
 }
 
 spa::Result<RecommendResponse> RecsysEngine::RecommendImpl(
     const RecommendRequest& request,
     const sum::SumSnapshotPtr& batch_snapshot) const {
-  ItemTimer request_timer(profiler_, ProfilerItem::kRequestServe);
-  RequestContext ctx;
-  AdmitRequest(request, batch_snapshot, &ctx);
-  if (ctx.done) {
-    request_timer.Stop();
-    if (!ctx.status.ok()) return ctx.status;
-    return std::move(ctx.cached);
-  }
-  auto response = Serve(request, ctx.model);
-  if (ctx.cacheable && response.ok()) {
-    CacheInsert(ctx.fingerprint, request, ctx.sum_user_version,
-                response.value());
-  }
-  request_timer.Stop();
+  RecommendResponse response;
+  spa::Status status =
+      RecommendIntoImpl(request, batch_snapshot, &response);
+  if (!status.ok()) return status;
   return response;
 }
 
@@ -469,12 +552,14 @@ void RecsysEngine::ServeCandidates(const RecommendRequest& request,
   state->query.candidate_items = request.candidate_items.has_value()
                                      ? &*request.candidate_items
                                      : nullptr;
+  state->query.workspace = state->workspace;
   ItemTimer timer(profiler_, ProfilerItem::kStageCandidateGen);
   std::vector<double> component_seconds;
   const bool per_component =
       profiler_.enabled(ProfilerItem::kCandidateComponent);
-  state->fetched = hybrid_->FetchComponentCandidates(
-      state->query, per_component ? &component_seconds : nullptr);
+  hybrid_->FetchComponentCandidatesInto(
+      state->query, &state->fetched,
+      per_component ? &component_seconds : nullptr);
   timer.Stop();
   for (const double seconds : component_seconds) {
     profiler_.Record(ProfilerItem::kCandidateComponent, seconds);
@@ -483,13 +568,18 @@ void RecsysEngine::ServeCandidates(const RecommendRequest& request,
 
 void RecsysEngine::ServeBlend(ServeState* state) const {
   ItemTimer timer(profiler_, ProfilerItem::kStageBlend);
-  state->blended = hybrid_->BlendFetched(
-      state->fetched, /*track_contributions=*/state->explain);
+  ItemTimer kernel_timer(profiler_,
+                         ProfilerItem::kKernelScoreAccumulate);
+  hybrid_->BlendFetchedInto(state->fetched,
+                            /*track_contributions=*/state->explain,
+                            state->workspace, &state->blended);
+  kernel_timer.Stop();
   if (state->blended.size() > state->query.k) {
     state->blended.resize(state->query.k);
   }
   timer.Stop();
-  state->fetched.clear();  // stage output consumed; free it early
+  // `fetched` is NOT cleared here: a pooled state keeps the component
+  // lists' capacities so the next request's fetch allocates nothing.
 }
 
 void RecsysEngine::ServeRerank(const RecommendRequest& request,
@@ -584,18 +674,6 @@ void RecsysEngine::ServeExplain(const RecommendRequest& request,
   timer.Stop();
 }
 
-spa::Result<RecommendResponse> RecsysEngine::Serve(
-    const RecommendRequest& request,
-    const sum::SmartUserModel* model) const {
-  ServeState state;
-  state.explain = request.explain;
-  ServeCandidates(request, &state);
-  ServeBlend(&state);
-  ServeRerank(request, model, &state);
-  ServeExplain(request, &state);
-  return std::move(state.response);
-}
-
 std::vector<spa::Result<RecommendResponse>> RecsysEngine::RecommendBatch(
     const std::vector<RecommendRequest>& requests, BatchPin* pin) {
   std::vector<spa::Result<RecommendResponse>> results(
@@ -688,13 +766,19 @@ RecsysEngine::RecommendBatchStaged(
   // insert) — deterministically the same bytes, so only the hit/miss
   // counters can differ, never a response.
   std::vector<RequestContext> contexts(n);
+  std::vector<RecommendResponse> hits(n);
   for (size_t i = 0; i < n; ++i) {
-    AdmitRequest(requests[i], batch_snapshot, &contexts[i]);
+    AdmitRequest(requests[i], batch_snapshot, &contexts[i], &hits[i]);
   }
+  // One pooled workspace serves the whole micro-batch: the stages run
+  // request-sequentially, and the accumulator is fully reset by each
+  // stage's Begin, so sharing it never changes a bit.
+  std::unique_ptr<ServeScratch> scratch = AcquireScratch();
   std::vector<ServeState> states(n);
   for (size_t i = 0; i < n; ++i) {
     if (contexts[i].done) continue;
     states[i].explain = requests[i].explain;
+    states[i].workspace = &scratch->ws;
     ServeCandidates(requests[i], &states[i]);
   }
   for (size_t i = 0; i < n; ++i) {
@@ -712,7 +796,7 @@ RecsysEngine::RecommendBatchStaged(
   for (size_t i = 0; i < n; ++i) {
     if (contexts[i].done) {
       if (contexts[i].status.ok()) {
-        results[i] = std::move(contexts[i].cached);
+        results[i] = std::move(hits[i]);
       } else {
         results[i] = contexts[i].status;
       }
@@ -724,6 +808,7 @@ RecsysEngine::RecommendBatchStaged(
     }
     results[i] = std::move(states[i].response);
   }
+  ReleaseScratch(std::move(scratch));
   batch_timer.Stop();
   return results;
 }

@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/workspace_pool.h"
 #include "recsys/emotion_aware.h"
 #include "recsys/hybrid.h"
 #include "recsys/request.h"
@@ -206,6 +207,8 @@ struct BatchPin {
 class RecsysEngine {
  public:
   explicit RecsysEngine(EngineConfig config = {});
+  /// Out-of-line: the pooled ServeScratch is only complete in the .cc.
+  ~RecsysEngine();
 
   // ---- stack assembly ----------------------------------------------------
   /// Adds a base recommender with its hybrid blend weight.
@@ -234,6 +237,15 @@ class RecsysEngine {
   /// FailedPrecondition (engine not fitted).
   spa::Result<RecommendResponse> Recommend(
       const RecommendRequest& request) const;
+
+  /// Allocation-aware variant of `Recommend`: the response is written
+  /// into `*out` (replacing its contents but reusing its capacity), so
+  /// a caller recycling one `RecommendResponse` across requests serves
+  /// warm cache hits without a single heap allocation — the regression
+  /// test gates this with an operator-new counter. Byte-identical
+  /// responses to `Recommend`.
+  spa::Status RecommendInto(const RecommendRequest& request,
+                            RecommendResponse* out) const;
 
   /// Serves a batch in parallel; results align with `requests` by index
   /// and are byte-identical to sequential `Recommend` calls made
@@ -347,10 +359,12 @@ class RecsysEngine {
   spa::Status FitInternal(const InteractionMatrix& matrix,
                           InteractionMatrix* live);
 
-  /// Returns the cached response when a fresh entry matches.
-  std::optional<RecommendResponse> CacheLookup(
-      uint64_t hash, const RecommendRequest& request,
-      uint64_t sum_user_version) const;
+  /// Copies the cached response into `*out` (capacity-reusing
+  /// copy-assign — the warm-hit path allocates nothing) when a fresh
+  /// entry matches; returns whether it did.
+  bool CacheLookupInto(uint64_t hash, const RecommendRequest& request,
+                       uint64_t sum_user_version,
+                       RecommendResponse* out) const;
   void CacheInsert(uint64_t hash, const RecommendRequest& request,
                    uint64_t sum_user_version,
                    const RecommendResponse& response) const;
@@ -360,7 +374,6 @@ class RecsysEngine {
   struct RequestContext {
     spa::Status status = spa::Status::OK();  ///< admit-time failure
     bool done = false;          ///< failed, or served from cache
-    RecommendResponse cached;   ///< the cache hit when done && ok
     sum::SumSnapshotPtr snapshot;  ///< per-request pin (single path)
     const sum::SmartUserModel* model = nullptr;
     uint64_t sum_user_version = 0;
@@ -371,13 +384,24 @@ class RecsysEngine {
   /// Per-request intermediate state between serve stages (defined in
   /// the .cc; sized/POD enough to live in a batch-long vector).
   struct ServeState;
+  /// A pooled ServeState plus its scoring workspace — recycled across
+  /// requests so the warm serve path never touches the heap (defined
+  /// in the .cc).
+  struct ServeScratch;
+
+  /// Checks a recycled scratch out of / back into the free list
+  /// (records `workspace.acquire` / `workspace.release`).
+  std::unique_ptr<ServeScratch> AcquireScratch() const;
+  void ReleaseScratch(std::unique_ptr<ServeScratch> scratch) const;
 
   /// Validation + fitted check + snapshot/model resolution + cache
   /// probe — the front half of `RecommendImpl`, shared verbatim by the
-  /// fused and the staged paths. Records `stage.cache_lookup`.
+  /// fused and the staged paths. A cache hit is copy-assigned into
+  /// `*hit_out` (and `ctx->done` set). Records `stage.cache_lookup`.
   void AdmitRequest(const RecommendRequest& request,
                     const sum::SumSnapshotPtr& batch_snapshot,
-                    RequestContext* ctx) const;
+                    RequestContext* ctx,
+                    RecommendResponse* hit_out) const;
 
   // The serving dataflow, stage by stage. `Serve` composes the four
   // sequentially (the fused per-request path); `RecommendBatchStaged`
@@ -394,15 +418,19 @@ class RecsysEngine {
 
   /// Serving core; the caller holds the shared serve lock.
   /// `batch_snapshot` (may be null) is the batch-pinned SUM view —
-  /// single requests pass null and pin their own.
+  /// single requests pass null and pin their own. The response lands
+  /// in `*out` by capacity-reusing copy-assign; the serve stages run
+  /// on a pooled `ServeScratch`, so a warm caller allocates nothing on
+  /// cache hits and only response-copy growth on misses.
+  spa::Status RecommendIntoImpl(
+      const RecommendRequest& request,
+      const sum::SumSnapshotPtr& batch_snapshot,
+      RecommendResponse* out) const;
+
+  /// Result-returning wrapper over RecommendIntoImpl (byte-identical).
   spa::Result<RecommendResponse> RecommendImpl(
       const RecommendRequest& request,
       const sum::SumSnapshotPtr& batch_snapshot) const;
-
-  /// The uncached serving path, against a pinned snapshot.
-  spa::Result<RecommendResponse> Serve(
-      const RecommendRequest& request,
-      const sum::SmartUserModel* model) const;
 
   EngineConfig config_;
   std::unique_ptr<HybridRecommender> hybrid_;
@@ -448,6 +476,17 @@ class RecsysEngine {
   /// EnsurePool call for the parallel shard apply.
   std::mutex pool_mu_;
   ThreadPool* EnsurePool();
+
+  /// Page-granular memory recycled by the scoring accumulators.
+  /// Declared before the scratch free list: scratches release their
+  /// blocks into the pool on destruction, so the pool must outlive
+  /// them (members destroy in reverse declaration order).
+  mutable WorkspacePool workspace_pool_;
+  /// Recycled serve scratches (state + workspace), guarded by
+  /// scratch_mu_. Capacities persist across requests — the warm serve
+  /// path performs zero heap allocations.
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<ServeScratch>> scratch_free_;
 };
 
 }  // namespace spa::recsys

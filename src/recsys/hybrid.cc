@@ -6,8 +6,12 @@
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "recsys/kernels.h"
 
 namespace spa::recsys {
+
+// The blend kernel walks Scored::score at stride 2 doubles.
+static_assert(sizeof(Scored) == 2 * sizeof(double));
 
 HybridRecommender::HybridRecommender(HybridConfig config)
     : config_(config) {
@@ -56,8 +60,10 @@ spa::Status HybridRecommender::Refresh(RefreshOutcome* outcome) {
 std::vector<HybridRecommender::Blended>
 HybridRecommender::BlendCandidates(const CandidateQuery& query,
                                    bool track_contributions) const {
-  return BlendFetched(FetchComponentCandidates(query),
-                      track_contributions);
+  std::vector<Blended> blended;
+  BlendFetchedInto(FetchComponentCandidates(query), track_contributions,
+                   query.workspace, &blended);
+  return blended;
 }
 
 std::vector<std::vector<Scored>>
@@ -65,34 +71,104 @@ HybridRecommender::FetchComponentCandidates(
     const CandidateQuery& query,
     std::vector<double>* component_seconds) const {
   std::vector<std::vector<Scored>> fetched;
-  fetched.reserve(components_.size());
+  FetchComponentCandidatesInto(query, &fetched, component_seconds);
+  return fetched;
+}
+
+void HybridRecommender::FetchComponentCandidatesInto(
+    const CandidateQuery& query,
+    std::vector<std::vector<Scored>>* fetched,
+    std::vector<double>* component_seconds) const {
+  fetched->resize(components_.size());  // keeps inner capacities warm
   if (component_seconds != nullptr) {
     component_seconds->clear();
     component_seconds->reserve(components_.size());
   }
-  for (const Component& c : components_) {
+  for (size_t ci = 0; ci < components_.size(); ++ci) {
     CandidateQuery sub = query;
     sub.k = config_.component_depth;
     const auto start = std::chrono::steady_clock::now();
-    fetched.push_back(c.recommender->RecommendCandidates(sub));
+    components_[ci].recommender->RecommendCandidatesInto(sub,
+                                                         &(*fetched)[ci]);
     if (component_seconds != nullptr) {
       component_seconds->push_back(SecondsSince(start));
     }
   }
-  return fetched;
 }
 
 std::vector<HybridRecommender::Blended> HybridRecommender::BlendFetched(
     const std::vector<std::vector<Scored>>& fetched,
     bool track_contributions) const {
-  SPA_CHECK(fetched.size() == components_.size());
-  std::unordered_map<ItemId, size_t> index;
   std::vector<Blended> blended;
+  BlendFetchedInto(fetched, track_contributions, nullptr, &blended);
+  return blended;
+}
+
+void HybridRecommender::BlendFetchedInto(
+    const std::vector<std::vector<Scored>>& fetched,
+    bool track_contributions, kernels::ScoreWorkspace* workspace,
+    std::vector<Blended>* blended) const {
+  SPA_CHECK(fetched.size() == components_.size());
+  blended->clear();
+  const auto by_score_then_item = [](const Blended& a, const Blended& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  };
+
+  if (track_contributions) {
+    // Explanation path: the per-candidate contribution vectors
+    // allocate regardless, so keep the straightforward map-based
+    // accumulation. Bitwise-equal to the kernel path below — same
+    // per-item += order, same total sort order.
+    std::unordered_map<ItemId, size_t> index;
+    for (size_t ci = 0; ci < components_.size(); ++ci) {
+      const Component& c = components_[ci];
+      const std::vector<Scored>& scored = fetched[ci];
+      if (scored.empty()) continue;
+      // Min-max normalize this component's scores to [0,1].
+      double lo = scored.back().score;
+      double hi = scored.front().score;
+      for (const Scored& s : scored) {
+        lo = std::min(lo, s.score);
+        hi = std::max(hi, s.score);
+      }
+      const double span = hi - lo;
+      // Items the component did not return contribute 0, so a returned
+      // candidate must contribute strictly more than 0 or its ranking
+      // information is lost when the list is shorter than the blend
+      // depth: affinely map [0,1] onto [floor, 1] with floor = 1/(n+1).
+      const double floor = 1.0 / static_cast<double>(scored.size() + 1);
+      for (const Scored& s : scored) {
+        const double raw = span > 0.0 ? (s.score - lo) / span : 1.0;
+        const double normalized = floor + (1.0 - floor) * raw;
+        const double contribution = c.weight * normalized;
+        auto [it, inserted] = index.emplace(s.item, blended->size());
+        if (inserted) {
+          Blended b;
+          b.item = s.item;
+          b.contributions.assign(components_.size(), 0.0);
+          blended->push_back(std::move(b));
+        }
+        Blended& entry = (*blended)[it->second];
+        entry.score += contribution;
+        entry.contributions[ci] += contribution;
+      }
+    }
+    std::sort(blended->begin(), blended->end(), by_score_then_item);
+    return;
+  }
+
+  // Hot path: normalize-and-weigh each component list with the kernel,
+  // fold into the pooled accumulator (first-touch slot order matches
+  // the map path's insertion order, so every per-item += sequence is
+  // identical).
+  kernels::ScoreWorkspace& ws = kernels::ResolveWorkspace(workspace);
+  kernels::ScoreAccumulator& acc = ws.acc;
+  acc.Begin(/*expected_items=*/64);
   for (size_t ci = 0; ci < components_.size(); ++ci) {
     const Component& c = components_[ci];
     const std::vector<Scored>& scored = fetched[ci];
     if (scored.empty()) continue;
-    // Min-max normalize this component's scores to [0,1].
     double lo = scored.back().score;
     double hi = scored.front().score;
     for (const Scored& s : scored) {
@@ -100,48 +176,41 @@ std::vector<HybridRecommender::Blended> HybridRecommender::BlendFetched(
       hi = std::max(hi, s.score);
     }
     const double span = hi - lo;
-    // Items the component did not return contribute 0, so a returned
-    // candidate must contribute strictly more than 0 or its ranking
-    // information is lost when the list is shorter than the blend
-    // depth: affinely map [0,1] onto [floor, 1] with floor = 1/(n+1).
     const double floor = 1.0 / static_cast<double>(scored.size() + 1);
-    for (const Scored& s : scored) {
-      const double raw = span > 0.0 ? (s.score - lo) / span : 1.0;
-      const double normalized = floor + (1.0 - floor) * raw;
-      const double contribution = c.weight * normalized;
-      auto [it, inserted] = index.emplace(s.item, blended.size());
-      if (inserted) {
-        Blended b;
-        b.item = s.item;
-        if (track_contributions) {
-          b.contributions.assign(components_.size(), 0.0);
-        }
-        blended.push_back(std::move(b));
-      }
-      Blended& entry = blended[it->second];
-      entry.score += contribution;
-      if (track_contributions) entry.contributions[ci] += contribution;
-    }
+    const size_t n = scored.size();
+    double* products = ws.EnsureProducts(n);
+    kernels::NormalizedContribution(&scored[0].score, 2, n, lo, span,
+                                    floor, c.weight, products);
+    for (size_t i = 0; i < n; ++i) acc.Add(scored[i].item, products[i]);
   }
-  std::sort(blended.begin(), blended.end(),
-            [](const Blended& a, const Blended& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.item < b.item;
-            });
-  return blended;
+  const size_t count = acc.size();
+  blended->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Blended b;
+    b.item = acc.item(i);
+    b.score = acc.score(i);
+    blended->push_back(std::move(b));
+  }
+  std::sort(blended->begin(), blended->end(), by_score_then_item);
 }
 
 std::vector<Scored> HybridRecommender::RecommendCandidates(
     const CandidateQuery& query) const {
+  std::vector<Scored> out;
+  RecommendCandidatesInto(query, &out);
+  return out;
+}
+
+void HybridRecommender::RecommendCandidatesInto(
+    const CandidateQuery& query, std::vector<Scored>* out) const {
   const std::vector<Blended> blended =
       BlendCandidates(query, /*track_contributions=*/false);
-  std::vector<Scored> out;
-  out.reserve(std::min(query.k, blended.size()));
+  out->clear();
+  out->reserve(std::min(query.k, blended.size()));
   for (const Blended& b : blended) {
-    if (out.size() >= query.k) break;
-    out.push_back({b.item, b.score});
+    if (out->size() >= query.k) break;
+    out->push_back({b.item, b.score});
   }
-  return out;
 }
 
 }  // namespace spa::recsys

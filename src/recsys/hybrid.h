@@ -34,6 +34,8 @@ class HybridRecommender : public Recommender {
   spa::Status Refresh(RefreshOutcome* outcome) override;
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
+  void RecommendCandidatesInto(const CandidateQuery& query,
+                               std::vector<Scored>* out) const override;
   std::string name() const override { return "WeightedHybrid"; }
 
   /// One blended candidate with its per-component weighted
@@ -66,6 +68,14 @@ class HybridRecommender : public Recommender {
       const CandidateQuery& query,
       std::vector<double>* component_seconds = nullptr) const;
 
+  /// Allocation-aware fetch: `*fetched` is resized to the component
+  /// count and each inner vector is refilled in place, so a pooled
+  /// caller's capacities persist across requests.
+  void FetchComponentCandidatesInto(
+      const CandidateQuery& query,
+      std::vector<std::vector<Scored>>* fetched,
+      std::vector<double>* component_seconds = nullptr) const;
+
   /// Stage half 2: min-max-normalizes each component's fetched list
   /// (floor = 1/(n+1), see the implementation comment), accumulates
   /// the weighted blend and sorts by (score desc, item asc). Pure —
@@ -74,6 +84,17 @@ class HybridRecommender : public Recommender {
   std::vector<Blended> BlendFetched(
       const std::vector<std::vector<Scored>>& fetched,
       bool track_contributions = true) const;
+
+  /// Allocation-aware blend into `*blended`. Without contribution
+  /// tracking the accumulation runs on `workspace` (null = a
+  /// thread-local one) through the normalize/weigh kernel — the serve
+  /// hot path; with tracking it keeps the map-based explanation code
+  /// (those per-candidate vectors allocate regardless). Both produce
+  /// bitwise-identical scores and ordering.
+  void BlendFetchedInto(const std::vector<std::vector<Scored>>& fetched,
+                        bool track_contributions,
+                        kernels::ScoreWorkspace* workspace,
+                        std::vector<Blended>* blended) const;
 
   size_t component_count() const { return components_.size(); }
   const Recommender& component(size_t i) const {

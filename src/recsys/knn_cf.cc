@@ -5,10 +5,18 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "recsys/kernels.h"
 
 namespace spa::recsys {
 
 namespace {
+
+// The ScaleGather kernels below walk the `double` member of 16-byte
+// (id, weight) records at stride 2 — pin the layouts they assume.
+static_assert(sizeof(std::pair<ItemId, double>) == 2 * sizeof(double));
+static_assert(sizeof(std::pair<UserId, double>) == 2 * sizeof(double));
+static_assert(sizeof(SimilarityIndex<ItemId>::Neighbor) ==
+              2 * sizeof(double));
 
 SimilarityIndexConfig IndexConfigFrom(const KnnConfig& config) {
   SimilarityIndexConfig out;
@@ -74,14 +82,32 @@ double UserKnnRecommender::Similarity(UserId a, UserId b) const {
 std::vector<Scored> UserKnnRecommender::RecommendCandidates(
     const CandidateQuery& query) const {
   std::vector<Scored> out;
-  if (matrix_ == nullptr) return out;
+  RecommendCandidatesInto(query, &out);
+  return out;
+}
+
+void UserKnnRecommender::RecommendCandidatesInto(
+    const CandidateQuery& query, std::vector<Scored>* out) const {
+  out->clear();
+  if (matrix_ == nullptr) return;
   const UserId user = query.user;
 
-  std::unordered_map<ItemId, double> scores;
+  // Score through the pooled workspace: neighbor weights are gathered
+  // and scaled by the kernel, then folded into the epoch-cleared
+  // accumulator. Admission is checked once per distinct item at
+  // harvest — filtering other items never changes an admitted item's
+  // += sequence, so the scores are bitwise-identical to the old
+  // filter-then-accumulate map.
+  kernels::ScoreWorkspace& ws = kernels::ResolveWorkspace(query.workspace);
+  kernels::ScoreAccumulator& acc = ws.acc;
+  acc.Begin(/*expected_items=*/64);
   auto accumulate = [&](UserId other, double sim) {
-    for (const auto& [item, w] : matrix_->ItemsOf(other)) {
-      if (query.Admits(matrix_, item)) scores[item] += sim * w;
-    }
+    const auto& items = matrix_->ItemsOf(other);
+    const size_t n = items.size();
+    if (n == 0) return;
+    double* products = ws.EnsureProducts(n);
+    kernels::ScaleGather(&items[0].second, 2, n, sim, products);
+    for (size_t i = 0; i < n; ++i) acc.Add(items[i].first, products[i]);
   };
 
   if (config_.use_index) {
@@ -122,10 +148,14 @@ std::vector<Scored> UserKnnRecommender::RecommendCandidates(
     }
   }
 
-  out.reserve(scores.size());
-  for (const auto& [item, score] : scores) out.push_back({item, score});
-  SortAndTruncate(&out, query.k);
-  return out;
+  const size_t scored = acc.size();
+  out->reserve(scored);
+  for (size_t i = 0; i < scored; ++i) {
+    if (query.Admits(matrix_, acc.item(i))) {
+      out->push_back({acc.item(i), acc.score(i)});
+    }
+  }
+  SortAndTruncate(out, query.k);
 }
 
 ItemKnnRecommender::ItemKnnRecommender(KnnConfig config)
@@ -182,21 +212,36 @@ double ItemKnnRecommender::Similarity(ItemId a, ItemId b) const {
 std::vector<Scored> ItemKnnRecommender::RecommendCandidates(
     const CandidateQuery& query) const {
   std::vector<Scored> out;
-  if (matrix_ == nullptr) return out;
+  RecommendCandidatesInto(query, &out);
+  return out;
+}
+
+void ItemKnnRecommender::RecommendCandidatesInto(
+    const CandidateQuery& query, std::vector<Scored>* out) const {
+  out->clear();
+  if (matrix_ == nullptr) return;
   const UserId user = query.user;
   const auto& own_items = matrix_->ItemsOf(user);
 
-  std::unordered_map<ItemId, double> scores;
+  // Same workspace discipline as UserKNN: kernel-scaled similarity
+  // walks into the pooled accumulator, admission hoisted to harvest.
+  kernels::ScoreWorkspace& ws = kernels::ResolveWorkspace(query.workspace);
+  kernels::ScoreAccumulator& acc = ws.acc;
+  acc.Begin(/*expected_items=*/64);
   if (config_.use_index) {
     SPA_CHECK_MSG(
         index_->built_version() == matrix_->version(),
         "stale ItemKNN similarity index: the InteractionMatrix was "
         "mutated after Fit; Refresh() or refit before serving");
     for (const auto& [item, weight] : own_items) {
-      for (const auto& neighbor : index_->NeighborsOf(item)) {
-        if (query.Admits(matrix_, neighbor.id)) {
-          scores[neighbor.id] += neighbor.similarity * weight;
-        }
+      const auto& neighbors = index_->NeighborsOf(item);
+      const size_t n = neighbors.size();
+      if (n == 0) continue;
+      double* products = ws.EnsureProducts(n);
+      kernels::ScaleGather(&neighbors[0].similarity, 2, n, weight,
+                           products);
+      for (size_t i = 0; i < n; ++i) {
+        acc.Add(neighbors[i].id, products[i]);
       }
     }
   } else {
@@ -226,18 +271,24 @@ std::vector<Scored> ItemKnnRecommender::RecommendCandidates(
       if (sims.size() > config_.neighbors) {
         sims.resize(config_.neighbors);
       }
-      for (const auto& [candidate, sim] : sims) {
-        if (query.Admits(matrix_, candidate)) {
-          scores[candidate] += sim * weight;
-        }
+      const size_t n = sims.size();
+      if (n == 0) continue;
+      double* products = ws.EnsureProducts(n);
+      kernels::ScaleGather(&sims[0].second, 2, n, weight, products);
+      for (size_t i = 0; i < n; ++i) {
+        acc.Add(sims[i].first, products[i]);
       }
     }
   }
 
-  out.reserve(scores.size());
-  for (const auto& [item, score] : scores) out.push_back({item, score});
-  SortAndTruncate(&out, query.k);
-  return out;
+  const size_t scored = acc.size();
+  out->reserve(scored);
+  for (size_t i = 0; i < scored; ++i) {
+    if (query.Admits(matrix_, acc.item(i))) {
+      out->push_back({acc.item(i), acc.score(i)});
+    }
+  }
+  SortAndTruncate(out, query.k);
 }
 
 }  // namespace spa::recsys

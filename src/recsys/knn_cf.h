@@ -60,6 +60,8 @@ class UserKnnRecommender : public Recommender {
   spa::Status Refresh(RefreshOutcome* outcome) override;
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
+  void RecommendCandidatesInto(const CandidateQuery& query,
+                               std::vector<Scored>* out) const override;
   std::string name() const override { return "UserKNN"; }
   const SimilarityIndexStats* index_stats() const override;
 
@@ -88,6 +90,8 @@ class ItemKnnRecommender : public Recommender {
   spa::Status Refresh(RefreshOutcome* outcome) override;
   std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const override;
+  void RecommendCandidatesInto(const CandidateQuery& query,
+                               std::vector<Scored>* out) const override;
   std::string name() const override { return "ItemKNN"; }
   const SimilarityIndexStats* index_stats() const override;
 

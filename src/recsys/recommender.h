@@ -24,6 +24,10 @@ namespace spa::recsys {
 
 struct SimilarityIndexStats;  // recsys/similarity_index.h
 
+namespace kernels {
+struct ScoreWorkspace;  // recsys/kernels.h
+}
+
 /// A scored candidate item.
 struct Scored {
   ItemId item = lifelog::kNoItem;
@@ -45,6 +49,11 @@ struct CandidateQuery {
   const std::unordered_set<ItemId>* exclude_items = nullptr;
   /// When non-null, only these items may be returned.
   const std::unordered_set<ItemId>* candidate_items = nullptr;
+  /// Reusable scoring scratch (accumulator + product buffer) threaded
+  /// by the serving engine so the warm path allocates nothing. Null
+  /// falls back to a thread-local workspace; the scores are bitwise
+  /// identical either way.
+  kernels::ScoreWorkspace* workspace = nullptr;
 
   /// True when `item` may be recommended under this query's policy.
   /// `matrix` may be null (no seen-filtering possible then).
@@ -96,6 +105,16 @@ class Recommender {
   /// first (ties broken by ascending item id).
   virtual std::vector<Scored> RecommendCandidates(
       const CandidateQuery& query) const = 0;
+
+  /// Allocation-aware variant: writes the same candidates into `*out`
+  /// (replacing its contents) so a pooled caller reuses the vector's
+  /// capacity across requests. The base default wraps
+  /// RecommendCandidates; hot-path components override it to score
+  /// through `query.workspace` without touching the heap.
+  virtual void RecommendCandidatesInto(const CandidateQuery& query,
+                                       std::vector<Scored>* out) const {
+    *out = RecommendCandidates(query);
+  }
 
   virtual std::string name() const = 0;
 

@@ -45,8 +45,14 @@ std::vector<typename SimilarityIndex<Id>::Neighbor> BuildRow(
   }
   std::vector<Neighbor> out;
   out.reserve(candidates.size());
+  // Hash the row vector once and join every candidate against it —
+  // same bits as per-pair SparseCosine (fixed left = row orientation),
+  // without rebuilding the hash per candidate.
+  using Key = typename std::decay_t<decltype(vec_a)>::value_type::first_type;
+  SparseCosineJoiner<Key> joiner;
+  joiner.SetLeft(vec_a);
   for (const Id b : candidates) {
-    const double sim = SparseCosine(vec_a, row_vec(b), norm_a, norm_sq(b));
+    const double sim = joiner.Against(row_vec(b), norm_a, norm_sq(b));
     if (sim >= config.min_similarity) out.push_back({b, sim});
   }
   std::sort(out.begin(), out.end(),

@@ -1,14 +1,18 @@
 #ifndef SPA_RECSYS_SIMILARITY_INDEX_H_
 #define SPA_RECSYS_SIMILARITY_INDEX_H_
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "recsys/interaction_matrix.h"
+#include "recsys/kernels.h"
 
 /// \file
 /// Fit-time truncated cosine neighbor index for the memory-based CF
@@ -51,28 +55,100 @@
 
 namespace spa::recsys {
 
-/// Sparse cosine between two (key, weight) lists; hashes the shorter
-/// list for the join. Shared by the lazy KNN path and the index build
-/// so both produce bitwise-identical similarities. Non-positive
-/// squared norms short-circuit to 0: the incrementally maintained
-/// norms can round to a tiny negative value under cancellation, and
-/// sqrt of that would poison similarities with NaN.
+/// \brief Reusable sparse-cosine join state: hash the left (row)
+/// vector once, then compute cosines against many right vectors.
+///
+/// The orientation is fixed — the left vector is always the hashed
+/// side, the right vector is walked in storage order — so a similarity
+/// never depends on which list happens to be shorter, and one-per-row
+/// reuse (`SetLeft` once, `Against` per candidate) is bitwise
+/// identical to the one-shot `SparseCosine` wrapper below. Matched
+/// weight pairs are gathered into contiguous buffers and reduced by
+/// `kernels::Dot` (SIMD with a bitwise-equal scalar reference). The
+/// table and buffers grow monotonically and are epoch-cleared, so a
+/// build loop reusing one joiner stops allocating after warm-up.
+template <typename K>
+class SparseCosineJoiner {
+ public:
+  void SetLeft(const std::vector<std::pair<K, double>>& a) {
+    const size_t table =
+        std::bit_ceil(std::max<size_t>(2 * a.size(), 16));
+    if (stamps_.size() < table) {
+      keys_.resize(table);
+      weights_.resize(table);
+      stamps_.assign(table, 0);
+      epoch_ = 0;
+    }
+    mask_ = stamps_.size() - 1;
+    ++epoch_;
+    if (epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+    for (const auto& [key, w] : a) {
+      size_t idx = HashKey(key) & mask_;
+      while (stamps_[idx] == epoch_ && keys_[idx] != key) {
+        idx = (idx + 1) & mask_;
+      }
+      if (stamps_[idx] != epoch_) {  // first occurrence wins
+        stamps_[idx] = epoch_;
+        keys_[idx] = key;
+        weights_[idx] = w;
+      }
+    }
+  }
+
+  /// Cosine of the current left vector against `b`. Non-positive
+  /// squared norms short-circuit to 0: the incrementally maintained
+  /// norms can round to a tiny negative value under cancellation, and
+  /// sqrt of that would poison similarities with NaN.
+  double Against(const std::vector<std::pair<K, double>>& b,
+                 double norm_a_sq, double norm_b_sq) {
+    if (norm_a_sq <= 0.0 || norm_b_sq <= 0.0) return 0.0;
+    if (wa_.size() < b.size()) {
+      wa_.resize(b.size());
+      wb_.resize(b.size());
+    }
+    size_t n = 0;
+    for (const auto& [key, w] : b) {
+      size_t idx = HashKey(key) & mask_;
+      while (stamps_[idx] == epoch_ && keys_[idx] != key) {
+        idx = (idx + 1) & mask_;
+      }
+      if (stamps_[idx] == epoch_) {
+        wa_[n] = weights_[idx];
+        wb_[n] = w;
+        ++n;
+      }
+    }
+    const double dot = kernels::Dot(wa_.data(), wb_.data(), n);
+    return dot / (std::sqrt(norm_a_sq) * std::sqrt(norm_b_sq));
+  }
+
+ private:
+  static uint64_t HashKey(K key) {
+    return SplitMix64(
+        static_cast<uint64_t>(static_cast<std::make_unsigned_t<K>>(key)));
+  }
+
+  std::vector<K> keys_;
+  std::vector<double> weights_;
+  std::vector<uint32_t> stamps_;
+  std::vector<double> wa_, wb_;
+  size_t mask_ = 0;
+  uint32_t epoch_ = 0;
+};
+
+/// Sparse cosine between two (key, weight) lists. Shared by the lazy
+/// KNN path and the index build so both produce bitwise-identical
+/// similarities (both route through `SparseCosineJoiner`, left = `a`).
 template <typename K>
 double SparseCosine(const std::vector<std::pair<K, double>>& a,
                     const std::vector<std::pair<K, double>>& b,
                     double norm_a_sq, double norm_b_sq) {
-  if (norm_a_sq <= 0.0 || norm_b_sq <= 0.0) return 0.0;
-  const auto& small = a.size() <= b.size() ? a : b;
-  const auto& large = a.size() <= b.size() ? b : a;
-  std::unordered_map<K, double> index;
-  index.reserve(small.size());
-  for (const auto& [key, w] : small) index.emplace(key, w);
-  double dot = 0.0;
-  for (const auto& [key, w] : large) {
-    const auto it = index.find(key);
-    if (it != index.end()) dot += w * it->second;
-  }
-  return dot / (std::sqrt(norm_a_sq) * std::sqrt(norm_b_sq));
+  thread_local SparseCosineJoiner<K> joiner;
+  joiner.SetLeft(a);
+  return joiner.Against(b, norm_a_sq, norm_b_sq);
 }
 
 /// \brief Build/refresh parameters of a similarity index.

@@ -1,44 +1,72 @@
 #include "sum/sum_service.h"
 
+#include <bit>
 #include <sstream>
 #include <utility>
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/hash.h"
 #include "common/string_util.h"
 
 namespace spa::sum {
 
 // ---- SumSnapshot -----------------------------------------------------------
 
-SumSnapshot::SumSnapshot(const AttributeCatalog* catalog)
-    : catalog_(catalog) {
+SumSnapshot::SumSnapshot(const AttributeCatalog* catalog,
+                         size_t shard_count)
+    : catalog_(catalog),
+      order_(std::make_shared<const std::vector<UserId>>()) {
   SPA_CHECK(catalog != nullptr);
+  SPA_CHECK(shard_count > 0 && std::has_single_bit(shard_count));
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_shared<const Shard>());
+  }
+  shard_mask_ = shard_count - 1;
+}
+
+size_t SumSnapshot::ShardIndexOf(UserId user) const {
+  return static_cast<size_t>(
+      SplitMix64(static_cast<uint64_t>(user)) & shard_mask_);
+}
+
+const SumSnapshot::Entry* SumSnapshot::FindEntry(UserId user) const {
+  const auto& models = shards_[ShardIndexOf(user)]->models;
+  const auto it = models.find(user);
+  return it == models.end() ? nullptr : &it->second;
 }
 
 uint64_t SumSnapshot::UserVersion(UserId user) const {
-  const auto it = models_.find(user);
-  return it == models_.end() ? 0 : it->second.version;
+  const Entry* entry = FindEntry(user);
+  return entry == nullptr ? 0 : entry->version;
 }
 
 spa::Result<const SmartUserModel*> SumSnapshot::Get(UserId user) const {
-  const auto it = models_.find(user);
-  if (it == models_.end()) {
+  const Entry* entry = FindEntry(user);
+  if (entry == nullptr) {
     return spa::Status::NotFound(
         spa::StrFormat("no SUM for user %lld",
                        static_cast<long long>(user)));
   }
-  return it->second.model.get();
+  return entry->model.get();
+}
+
+const SmartUserModel* SumSnapshot::GetOrNull(UserId user) const {
+  const Entry* entry = FindEntry(user);
+  return entry == nullptr ? nullptr : entry->model.get();
 }
 
 bool SumSnapshot::Contains(UserId user) const {
-  return models_.contains(user);
+  return FindEntry(user) != nullptr;
 }
 
 void SumSnapshot::ForEach(
     const std::function<void(const SmartUserModel&)>& fn) const {
-  for (UserId user : order_) {
-    fn(*models_.at(user).model);
+  for (UserId user : *order_) {
+    const Entry* entry = FindEntry(user);
+    SPA_CHECK(entry != nullptr);
+    fn(*entry->model);
   }
 }
 
@@ -54,21 +82,37 @@ std::string SumSnapshot::ToCsv() const {
 
 // ---- SumService ------------------------------------------------------------
 
+namespace {
+
+size_t ResolveShardCount(size_t requested) {
+  return std::bit_ceil(requested == 0 ? size_t{1} : requested);
+}
+
+}  // namespace
+
 SumService::SumService(const AttributeCatalog* catalog,
                        SumServiceConfig config)
-    : catalog_(catalog), updater_(config.reinforcement) {
+    : catalog_(catalog),
+      updater_(config.reinforcement),
+      shard_count_(ResolveShardCount(config.user_shards)) {
   SPA_CHECK(catalog != nullptr);
-  head_ = SumSnapshotPtr(new SumSnapshot(catalog));
+  head_.store(SumSnapshotPtr(new SumSnapshot(catalog, shard_count_)),
+              std::memory_order_release);
 }
 
 SumSnapshotPtr SumService::snapshot() const {
-  std::lock_guard<std::mutex> lock(head_mutex_);
-  return head_;
+  return head_.load(std::memory_order_acquire);
 }
 
 void SumService::Publish(std::shared_ptr<SumSnapshot> next) {
-  std::lock_guard<std::mutex> lock(head_mutex_);
-  head_ = std::move(next);
+  const uint64_t version = next->version_;
+  const size_t size = next->size();
+  head_.store(std::move(next), std::memory_order_release);
+  // Mirrors are updated after the head so a reader that observes the
+  // new counters can also pin the new snapshot. Writers serialize
+  // under write_mutex_, so both stay monotonic.
+  version_.store(version, std::memory_order_release);
+  size_.store(size, std::memory_order_release);
 }
 
 spa::Status SumService::Validate(const SumUpdate& update) const {
@@ -134,28 +178,52 @@ spa::Status SumService::ApplyAll(const std::vector<SumUpdate>& updates,
   }
 
   std::lock_guard<std::mutex> writer(write_mutex_);
-  // Copy-on-write publish: the map copy shares every untouched model;
-  // only touched users' models are cloned below.
+  // Copy-on-write publish at shard granularity: the new snapshot
+  // shares every shard pointer (and the creation-order vector) with
+  // the head; only shards the batch touches are cloned below, and only
+  // touched users' models inside them.
   auto next = std::shared_ptr<SumSnapshot>(new SumSnapshot(*snapshot()));
   const uint64_t version = next->version_ + 1;
+
+  // Mutable clones of the shards this batch touches, made at most once
+  // per shard per publish.
+  std::vector<std::shared_ptr<SumSnapshot::Shard>> cloned(
+      next->shards_.size());
+  const auto mutable_shard = [&](size_t index) -> SumSnapshot::Shard* {
+    auto& slot = cloned[index];
+    if (slot == nullptr) {
+      slot = std::make_shared<SumSnapshot::Shard>(*next->shards_[index]);
+      next->shards_[index] = slot;
+    }
+    return slot.get();
+  };
+  // Creation order is cloned lazily: a batch that only touches
+  // existing users shares the previous snapshot's vector.
+  std::shared_ptr<std::vector<UserId>> new_order;
 
   std::unordered_map<UserId, std::shared_ptr<SmartUserModel>> touched;
   for (const SumUpdate& update : updates) {
     auto& clone = touched[update.user()];
     if (clone == nullptr) {
-      const auto it = next->models_.find(update.user());
-      if (it != next->models_.end()) {
-        clone = std::make_shared<SmartUserModel>(*it->second.model);
+      const SumSnapshot::Entry* entry = next->FindEntry(update.user());
+      if (entry != nullptr) {
+        clone = std::make_shared<SmartUserModel>(*entry->model);
       } else {
         clone = std::make_shared<SmartUserModel>(update.user(), catalog_);
-        next->order_.push_back(update.user());
+        if (new_order == nullptr) {
+          new_order =
+              std::make_shared<std::vector<UserId>>(*next->order_);
+        }
+        new_order->push_back(update.user());
       }
     }
     ApplyOps(updater_, update, clone.get());
   }
   for (auto& [user, clone] : touched) {
-    next->models_[user] = {std::move(clone), version};
+    mutable_shard(next->ShardIndexOf(user))->models[user] = {
+        std::move(clone), version};
   }
+  if (new_order != nullptr) next->order_ = std::move(new_order);
   next->version_ = version;
   Publish(std::move(next));
   if (published_version != nullptr) *published_version = version;
@@ -175,13 +243,22 @@ spa::Status SumService::DecayAll(AttributeKind kind) {
 
 void SumService::Reset(const SumStore& store) {
   std::lock_guard<std::mutex> writer(write_mutex_);
-  auto next = std::shared_ptr<SumSnapshot>(new SumSnapshot(catalog_));
+  auto next = std::shared_ptr<SumSnapshot>(
+      new SumSnapshot(catalog_, shard_count_));
   const uint64_t version = snapshot()->version() + 1;
+  std::vector<std::shared_ptr<SumSnapshot::Shard>> fresh(shard_count_);
+  auto order = std::make_shared<std::vector<UserId>>();
   store.ForEach([&](const SmartUserModel& model) {
-    next->models_[model.user()] = {
+    const size_t index = next->ShardIndexOf(model.user());
+    if (fresh[index] == nullptr) {
+      fresh[index] = std::make_shared<SumSnapshot::Shard>();
+      next->shards_[index] = fresh[index];
+    }
+    fresh[index]->models[model.user()] = {
         std::make_shared<SmartUserModel>(model), version};
-    next->order_.push_back(model.user());
+    order->push_back(model.user());
   });
+  next->order_ = std::move(order);
   next->version_ = version;
   Publish(std::move(next));
 }

@@ -1,6 +1,8 @@
 #ifndef SPA_SUM_SUM_SERVICE_H_
 #define SPA_SUM_SUM_SERVICE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -26,9 +28,14 @@
 ///  * every publish bumps a global monotonic version and stamps each
 ///    touched user with it (per-user versions), which is the
 ///    invalidation signal the engine's response cache keys on;
-///  * snapshots are copy-on-write per user model: a publish clones
-///    only the touched users' models and shares the rest, so pinning
-///    is one shared_ptr copy and updates are cheap;
+///  * snapshots are copy-on-write at *user-shard* granularity: users
+///    hash onto a fixed power-of-two number of sub-maps
+///    (`SumServiceConfig::user_shards`), and a publish clones only the
+///    shards its batch touches — a single-user `Apply` copies one
+///    shard's map of `users/S` entries plus that user's model, not the
+///    world. Untouched shards (and the creation-order vector, when no
+///    new user appears) are shared with the previous snapshot by
+///    `shared_ptr`;
 ///  * readers holding a snapshot observe a frozen, consistent view no
 ///    matter how many updates land concurrently — update-while-serve
 ///    is safe by construction.
@@ -51,16 +58,25 @@ class SumSnapshot {
   /// The user's model; NotFound when absent.
   spa::Result<const SmartUserModel*> Get(UserId user) const;
 
+  /// The user's model, or nullptr when absent. Alloc-free — the serve
+  /// admission path probes every request's user here, and model-less
+  /// (cold) users are the common case, so this must not pay `Get`'s
+  /// formatted NotFound status.
+  const SmartUserModel* GetOrNull(UserId user) const;
+
   bool Contains(UserId user) const;
-  size_t size() const { return order_.size(); }
+  size_t size() const { return order_->size(); }
 
   /// Users in creation order.
-  const std::vector<UserId>& users() const { return order_; }
+  const std::vector<UserId>& users() const { return *order_; }
 
   void ForEach(
       const std::function<void(const SmartUserModel&)>& fn) const;
 
   const AttributeCatalog& catalog() const { return *catalog_; }
+
+  /// Number of copy-on-write user shards (a power of two).
+  size_t shard_count() const { return shards_.size(); }
 
   /// Serializes the snapshot in the SumStore CSV schema.
   std::string ToCsv() const;
@@ -73,12 +89,23 @@ class SumSnapshot {
     uint64_t version = 0;
   };
 
-  explicit SumSnapshot(const AttributeCatalog* catalog);
+  /// One copy-on-write sub-map. Immutable once published; a publish
+  /// that touches a user clones that user's shard and shares the rest.
+  struct Shard {
+    std::unordered_map<UserId, Entry> models;
+  };
+
+  SumSnapshot(const AttributeCatalog* catalog, size_t shard_count);
+
+  size_t ShardIndexOf(UserId user) const;
+  const Entry* FindEntry(UserId user) const;
 
   const AttributeCatalog* catalog_;
-  std::unordered_map<UserId, Entry> models_;
-  std::vector<UserId> order_;
+  std::vector<std::shared_ptr<const Shard>> shards_;
+  /// Shared across publishes; copied only when a batch creates users.
+  std::shared_ptr<const std::vector<UserId>> order_;
   uint64_t version_ = 0;
+  uint64_t shard_mask_ = 0;
 };
 
 /// Shared handle to a pinned snapshot.
@@ -87,6 +114,11 @@ using SumSnapshotPtr = std::shared_ptr<const SumSnapshot>;
 struct SumServiceConfig {
   /// Parameters of the kReward / kPunish / kDecay ops.
   ReinforcementConfig reinforcement;
+  /// Copy-on-write user shards per snapshot; rounded up to a power of
+  /// two (minimum 1). More shards make single-user publishes cheaper
+  /// (one shard copy of ~users/S entries) at the cost of a slightly
+  /// larger per-publish fixed overhead (the shard-pointer vector).
+  size_t user_shards = 32;
 };
 
 /// \brief Owner of the live SUM state behind the mutation API.
@@ -101,13 +133,17 @@ class SumService {
   /// Pins the current published snapshot (one shared_ptr copy).
   SumSnapshotPtr snapshot() const;
 
-  /// Global monotonic version (bumped once per publish).
-  uint64_t version() const { return snapshot()->version(); }
+  /// Global monotonic version (bumped once per publish). Reads an
+  /// atomic counter maintained alongside the head — no snapshot pin.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
   /// Per-user version (0 = user absent).
   uint64_t UserVersion(UserId user) const {
     return snapshot()->UserVersion(user);
   }
-  size_t size() const { return snapshot()->size(); }
+  /// User count of the published snapshot (atomic; no snapshot pin).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
   const AttributeCatalog& catalog() const { return *catalog_; }
 
   /// Applies one update atomically and publishes a new snapshot.
@@ -117,14 +153,14 @@ class SumService {
   spa::Status Apply(const SumUpdate& update);
 
   /// Applies a batch atomically under a single version bump (one
-  /// publish, one map copy — the cheap path for bulk maintenance).
-  /// All-or-nothing: any invalid update rejects the whole batch.
-  /// `published_version` (optional) receives the version this call
-  /// published — read it from here, not from `version()` afterwards:
-  /// with concurrent writers another publish may land in between, and
-  /// callers that pin versions (the streaming writer lane) need the
-  /// version of *their* publish. An empty batch publishes nothing and
-  /// reports the current head version.
+  /// publish; clones only the touched shards — the cheap path for bulk
+  /// maintenance). All-or-nothing: any invalid update rejects the
+  /// whole batch. `published_version` (optional) receives the version
+  /// this call published — read it from here, not from `version()`
+  /// afterwards: with concurrent writers another publish may land in
+  /// between, and callers that pin versions (the streaming writer
+  /// lane) need the version of *their* publish. An empty batch
+  /// publishes nothing and reports the current head version.
   spa::Status ApplyAll(const std::vector<SumUpdate>& updates,
                        uint64_t* published_version = nullptr);
 
@@ -147,12 +183,16 @@ class SumService {
 
   const AttributeCatalog* catalog_;
   ReinforcementUpdater updater_;
+  size_t shard_count_;
 
   /// Serializes writers (Apply/ApplyAll/Reset).
   std::mutex write_mutex_;
-  /// Guards the head pointer only; held for a shared_ptr copy.
-  mutable std::mutex head_mutex_;
-  SumSnapshotPtr head_;
+  /// Lock-free head: pinning a snapshot is one atomic shared_ptr load.
+  std::atomic<SumSnapshotPtr> head_;
+  /// Mirrors of the head's version/size so hot-path reads (cache keys,
+  /// router pins, empty-batch ApplyAll) skip the snapshot pin.
+  std::atomic<uint64_t> version_{0};
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace spa::sum

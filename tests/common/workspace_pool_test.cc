@@ -1,0 +1,84 @@
+#include "common/workspace_pool.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace spa {
+namespace {
+
+TEST(WorkspacePoolTest, AcquireReturnsPageAlignedPageMultiples) {
+  WorkspacePool pool;
+  for (const size_t bytes : {size_t{1}, size_t{4096}, size_t{4097},
+                             size_t{70000}, size_t{1} << 20}) {
+    WorkspaceBlock block = pool.Acquire(bytes);
+    ASSERT_NE(block.data, nullptr);
+    EXPECT_GE(block.capacity, bytes);
+    EXPECT_EQ(block.capacity % WorkspacePool::kPageBytes, 0u);
+    // Power-of-two page count.
+    const size_t pages = block.capacity / WorkspacePool::kPageBytes;
+    EXPECT_EQ(pages & (pages - 1), 0u) << bytes;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(block.data) %
+                  WorkspacePool::kPageBytes,
+              0u);
+    // The block is writable end to end.
+    std::memset(block.data, 0xab, block.capacity);
+    pool.Release(block);
+  }
+}
+
+TEST(WorkspacePoolTest, ReleaseThenAcquireReusesTheBlock) {
+  WorkspacePool pool;
+  WorkspaceBlock first = pool.Acquire(10000);
+  void* data = first.data;
+  pool.Release(first);
+  WorkspaceBlock second = pool.Acquire(10000);
+  EXPECT_EQ(second.data, data);
+  const WorkspacePoolStats stats = pool.stats();
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.outstanding, 1u);
+  pool.Release(second);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(WorkspacePoolTest, DistinctSizeClassesDoNotMix) {
+  WorkspacePool pool;
+  WorkspaceBlock small = pool.Acquire(100);
+  WorkspaceBlock large = pool.Acquire(100000);
+  EXPECT_LT(small.capacity, large.capacity);
+  pool.Release(small);
+  // A large request must not be satisfied by the freed small block.
+  WorkspaceBlock again = pool.Acquire(100000);
+  EXPECT_GE(again.capacity, 100000u);
+  EXPECT_NE(again.data, small.data);
+  pool.Release(large);
+  pool.Release(again);
+}
+
+TEST(WorkspacePoolTest, ResidentBytesTracksDistinctAllocations) {
+  WorkspacePool pool;
+  std::vector<WorkspaceBlock> blocks;
+  size_t expected = 0;
+  for (int i = 0; i < 4; ++i) {
+    blocks.push_back(pool.Acquire(5000));
+    expected += blocks.back().capacity;
+  }
+  EXPECT_EQ(pool.stats().resident_bytes, expected);
+  EXPECT_EQ(pool.stats().outstanding, 4u);
+  for (WorkspaceBlock& block : blocks) pool.Release(block);
+  // Resident bytes persist (the memory is cached, not freed).
+  EXPECT_EQ(pool.stats().resident_bytes, expected);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  // Warm steady state: further acquire/release cycles allocate nothing.
+  for (int i = 0; i < 8; ++i) {
+    WorkspaceBlock block = pool.Acquire(5000);
+    pool.Release(block);
+  }
+  EXPECT_EQ(pool.stats().allocations, 4u);
+}
+
+}  // namespace
+}  // namespace spa
