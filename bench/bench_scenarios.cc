@@ -137,6 +137,64 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // ---- deadline-degraded flash crowd --------------------------------------
+  // One extra cell replays the flash-crowd archetype overloaded (1.5x
+  // the calibrated capacity) against the pipeline backend under
+  // kDegrade with a tight per-read deadline: pressed reads must come
+  // back from the popularity fallback tier (flagged `degraded`) rather
+  // than queueing without bound, and every sampled response — degraded
+  // or not — must still match its offline reference. The cell gates
+  // the exit code on both: nonzero fallback serves and parity.
+  {
+    workload::ScenarioConfig crowd =
+        workload::FlashCrowdScenario(users, flags.seed + 7);
+    crowd.name = "flash_crowd_degrade";
+    crowd.target_events = target_events;
+    workload::RunnerConfig config;
+    config.backend = workload::BackendKind::kPipeline;
+    config.policy = recsys::BackpressurePolicy::kDegrade;
+    config.deadline_ms = 2.0;
+    // A single drain worker and a short queue make the overload real
+    // at smoke scale too: the backlog must outrun one worker before
+    // any read feels deadline pressure.
+    config.pipeline_workers = 1;
+    config.queue_capacity = 64;
+    config.offered_fraction = 3.0;
+    if (flags.smoke) {
+      config.calibration_requests = 100;
+      config.slo.parity_samples = 32;
+    }
+    const workload::ScenarioRunner runner(config);
+    const workload::ScenarioOutcome outcome = runner.Run(crowd);
+    if (!outcome.status.ok()) {
+      std::printf("%-22s %-8s FAILED: %s\n", outcome.scenario.c_str(),
+                  outcome.backend.c_str(),
+                  outcome.status.ToString().c_str());
+      parity = false;
+    } else {
+      if (!outcome.parity) parity = false;
+      if (outcome.fallback_served == 0) {
+        // The whole point of the cell: overload must be answered with
+        // degraded service, not silence.
+        std::printf("flash_crowd_degrade: no fallback serves under "
+                    "1.5x overload - degradation path not exercised\n");
+        parity = false;
+      }
+      std::printf(
+          "%-22s %-8s offered %8.0f req/s | served %8.0f req/s | "
+          "p50 %8.3f ms | p99 %8.3f ms | fallback %llu | "
+          "dropped %llu | slo %s | parity %s (%zu checked)\n",
+          outcome.scenario.c_str(), outcome.backend.c_str(),
+          outcome.offered_rps, outcome.achieved_rps, outcome.p50_ms,
+          outcome.p99_ms,
+          static_cast<unsigned long long>(outcome.fallback_served),
+          static_cast<unsigned long long>(outcome.expired_drops),
+          outcome.slo_pass ? "PASS" : "FAIL",
+          outcome.parity ? "OK" : "MISMATCH", outcome.parity_checked);
+    }
+    outcomes.push_back(outcome);
+  }
+
   // ---- JSON ---------------------------------------------------------------
   std::string json = StrFormat(
       "{\n    \"users\": %zu,\n    \"target_events\": %zu,\n"
@@ -164,6 +222,7 @@ int Main(int argc, char** argv) {
         "\"responses\": %llu, \"updates\": %llu, "
         "\"rejected_reads\": %llu, \"rejected_writes\": %llu, "
         "\"shed_reads\": %llu, \"shed_writes\": %llu, "
+        "\"fallback_served\": %llu, \"expired_drops\": %llu, "
         "\"max_queue_depth\": %llu, \"max_writer_queue_depth\": %llu, "
         "\"cache_hit_rate\": %.4f, \"parity_checked\": %zu, "
         "\"parity\": %s, \"slo_pass\": %s}%s\n",
@@ -173,6 +232,8 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(o.rejected_writes),
         static_cast<unsigned long long>(o.shed_reads),
         static_cast<unsigned long long>(o.shed_writes),
+        static_cast<unsigned long long>(o.fallback_served),
+        static_cast<unsigned long long>(o.expired_drops),
         static_cast<unsigned long long>(o.max_queue_depth),
         static_cast<unsigned long long>(o.max_writer_queue_depth),
         o.cache_hit_rate, o.parity_checked,

@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
 """Fail when docs/METRICS.md and BENCH_serving.json disagree.
 
-The metrics contract (docs/METRICS.md) lists the artifact's top-level
-keys as backticked names between `<!-- bench-keys:begin -->` and
-`<!-- bench-keys:end -->` markers. This check compares that list with
-the keys of an actual smoke artifact, in both directions:
+The metrics contract (docs/METRICS.md) lists key sets as backticked
+names between `<!-- NAME:begin -->` / `<!-- NAME:end -->` markers.
+Each marker block is compared with the keys of the matching object in
+an actual smoke artifact, in both directions:
 
   * a key in the artifact but not the doc  -> the doc is stale;
   * a key in the doc but not the artifact  -> the doc over-promises.
 
+Checked blocks:
+
+  * `bench-keys`           -> the artifact's top-level keys;
+  * `streaming-keys`       -> the `streaming` section (the open-loop
+                              deadline-degradation sweep);
+  * `streaming-point-keys` -> each entry of `streaming.points[]`.
+
 Usage: check_metrics_doc.py <docs/METRICS.md> <BENCH_serving.json>
 
-Exit code 0 when the sets match exactly, 1 otherwise (and on a
+Exit code 0 when every set matches exactly, 1 otherwise (and on a
 missing marker block, which would make the check vacuous).
 """
 
@@ -19,46 +26,65 @@ import json
 import re
 import sys
 
-BEGIN = "<!-- bench-keys:begin -->"
-END = "<!-- bench-keys:end -->"
 
-
-def documented_keys(doc_path):
-    text = open(doc_path, encoding="utf-8").read()
-    begin = text.find(BEGIN)
-    end = text.find(END)
-    if begin < 0 or end < 0 or end <= begin:
-        sys.exit(f"error: marker block {BEGIN} .. {END} not found in "
+def documented_keys(text, doc_path, name):
+    begin, end = f"<!-- {name}:begin -->", f"<!-- {name}:end -->"
+    lo = text.find(begin)
+    hi = text.find(end)
+    if lo < 0 or hi < 0 or hi <= lo:
+        sys.exit(f"error: marker block {begin} .. {end} not found in "
                  f"{doc_path}")
-    block = text[begin + len(BEGIN):end]
-    keys = re.findall(r"`([^`]+)`", block)
+    keys = re.findall(r"`([^`]+)`", text[lo + len(begin):hi])
     if not keys:
-        sys.exit(f"error: no backticked keys inside the marker block "
-                 f"of {doc_path}")
+        sys.exit(f"error: no backticked keys inside the {name} marker "
+                 f"block of {doc_path}")
     return set(keys)
+
+
+def compare(doc_path, json_path, what, documented, actual):
+    undocumented = sorted(actual - documented)
+    missing = sorted(documented - actual)
+    if undocumented:
+        print(f"{doc_path} is stale: {json_path} has undocumented "
+              f"{what} keys: {', '.join(undocumented)}")
+    if missing:
+        print(f"{doc_path} over-promises: documented {what} keys "
+              f"absent from {json_path}: {', '.join(missing)}")
+    if undocumented or missing:
+        return 1
+    print(f"ok: {len(documented)} {what} keys match between "
+          f"{doc_path} and {json_path}")
+    return 0
 
 
 def main(argv):
     if len(argv) != 3:
         sys.exit(f"usage: {argv[0]} <METRICS.md> <BENCH_serving.json>")
     doc_path, json_path = argv[1], argv[2]
-    documented = documented_keys(doc_path)
+    text = open(doc_path, encoding="utf-8").read()
     with open(json_path, encoding="utf-8") as f:
-        actual = set(json.load(f).keys())
+        artifact = json.load(f)
 
-    undocumented = sorted(actual - documented)
-    missing = sorted(documented - actual)
-    if undocumented:
-        print(f"{doc_path} is stale: {json_path} has undocumented "
-              f"top-level keys: {', '.join(undocumented)}")
-    if missing:
-        print(f"{doc_path} over-promises: documented keys absent from "
-              f"{json_path}: {', '.join(missing)}")
-    if undocumented or missing:
+    rc = compare(doc_path, json_path, "top-level",
+                 documented_keys(text, doc_path, "bench-keys"),
+                 set(artifact.keys()))
+
+    streaming = artifact.get("streaming")
+    if not isinstance(streaming, dict):
+        print(f"{json_path} has no \"streaming\" object to check")
         return 1
-    print(f"ok: {len(documented)} top-level keys match between "
-          f"{doc_path} and {json_path}")
-    return 0
+    rc |= compare(doc_path, json_path, "streaming",
+                  documented_keys(text, doc_path, "streaming-keys"),
+                  set(streaming.keys()))
+    points = streaming.get("points") or []
+    if not points:
+        print(f"{json_path} has an empty \"streaming.points\" sweep")
+        return 1
+    rc |= compare(doc_path, json_path, "streaming point",
+                  documented_keys(text, doc_path,
+                                  "streaming-point-keys"),
+                  set(points[0].keys()))
+    return rc
 
 
 if __name__ == "__main__":

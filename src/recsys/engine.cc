@@ -128,6 +128,10 @@ RecsysEngine::RecsysEngine(EngineConfig config)
       hybrid_(std::make_unique<HybridRecommender>(
           HybridConfig{config.component_depth})),
       reranker_(config.rerank),
+      user_freq_(FrequencyMapConfig{/*shards=*/16, config.cache_decay_factor,
+                                    /*min_count=*/0.5}),
+      item_freq_(FrequencyMapConfig{/*shards=*/16, config.cache_decay_factor,
+                                    /*min_count=*/0.5}),
       profiler_(config.profiler_level) {
   SPA_CHECK(config_.rerank_overfetch > 0);
   SPA_CHECK_MSG(config_.interaction_shards >= 1,
@@ -167,6 +171,9 @@ spa::Status RecsysEngine::FitInternal(const InteractionMatrix& matrix,
   // updates pointed at a matrix nobody serves from.
   std::unique_lock lock(serve_mutex_);
   SPA_RETURN_IF_ERROR(hybrid_->Fit(matrix));
+  // The degrade tier fits alongside the stack so RecommendFallback is
+  // always servable once the engine is.
+  SPA_RETURN_IF_ERROR(fallback_pop_.Fit(matrix));
   fitted_ = true;
   ++fit_epoch_;
   matrix_ = &matrix;
@@ -226,6 +233,12 @@ spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
   const auto refresh_start = Clock::now();
   RefreshOutcome outcome;
   SPA_RETURN_IF_ERROR(hybrid_->Refresh(&outcome));
+  // The fallback tier repairs itself with the same dirty-item re-sum
+  // (bitwise == refit). Its outcome is deliberately NOT merged into
+  // the stack's: popularity reports every user affected, which would
+  // wipe the cache on each batch even when no stack component did.
+  RefreshOutcome fallback_outcome;
+  SPA_RETURN_IF_ERROR(fallback_pop_.Refresh(&fallback_outcome));
   report.refresh_seconds = SecondsSince(refresh_start);
   report.rows_refreshed = outcome.rows_refreshed;
   report.full_rebuild = outcome.full_rebuild;
@@ -247,6 +260,17 @@ spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
   }
   const uint64_t new_version = live_matrix_->version();
   report.matrix_version = new_version;
+  // Hot entries this apply invalidates, queued for re-warming. Only
+  // entries that were fresh at pre_version qualify: ones staled by an
+  // out-of-band mutation were not invalidated *by this apply* and are
+  // not the writer lane's to resurrect.
+  struct RewarmCandidate {
+    double frequency = 0.0;
+    CacheKey key;
+  };
+  std::vector<RewarmCandidate> rewarm;
+  const bool want_rewarm = config_.rewarm_limit > 0 &&
+                           config_.response_cache_capacity > 0;
   if (config_.response_cache_capacity > 0) {
     std::lock_guard<std::mutex> cache_lock(cache_mutex_);
     for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
@@ -256,6 +280,13 @@ spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
       // its user for *this* batch.
       if (outcome.all_users || affected.contains(it->key.user) ||
           it->matrix_version != pre_version) {
+        if (want_rewarm && it->matrix_version == pre_version) {
+          const double freq =
+              user_freq_.Count(static_cast<uint64_t>(it->key.user));
+          if (freq >= config_.rewarm_min_frequency) {
+            rewarm.push_back({freq, std::move(it->key)});
+          }
+        }
         cache_index_.erase(it->hash);
         it = cache_lru_.erase(it);
         ++report.cache_entries_invalidated;
@@ -267,14 +298,61 @@ spa::Result<LiveUpdateReport> RecsysEngine::ApplyInteractions(
     }
   }
 
+  // 4. Re-warm the hot set: re-serve the hottest invalidated entries
+  // into the cache at the post-apply versions while we still hold the
+  // exclusive serve lock, so no reader ever observes the invalidation
+  // as a miss. The serve path re-enters through RecommendIntoImpl,
+  // whose internals take only leaf locks (cache_mutex_, scratch_mu_,
+  // frequency shards) — never serve_mutex_ — so re-entry under the
+  // writer lock is safe. rewarm_in_progress_ suppresses frequency
+  // touches so the re-warm traffic cannot inflate its own hot set.
+  if (!rewarm.empty()) {
+    const auto rewarm_start = Clock::now();
+    std::sort(rewarm.begin(), rewarm.end(),
+              [](const RewarmCandidate& a, const RewarmCandidate& b) {
+                if (a.frequency != b.frequency) {
+                  return a.frequency > b.frequency;
+                }
+                if (a.key.user != b.key.user) return a.key.user < b.key.user;
+                return a.key.k < b.key.k;
+              });
+    if (rewarm.size() > config_.rewarm_limit) {
+      rewarm.resize(config_.rewarm_limit);
+    }
+    rewarm_in_progress_ = true;
+    std::unordered_set<UserId> rewarmed_users;
+    RecommendResponse scratch_response;
+    for (RewarmCandidate& candidate : rewarm) {
+      RecommendRequest request;
+      request.user = candidate.key.user;
+      request.k = candidate.key.k;
+      request.exclude_seen = candidate.key.exclude_seen;
+      request.explain = candidate.key.explain;
+      request.exclude_items = std::move(candidate.key.exclude_items);
+      request.candidate_items = std::move(candidate.key.candidate_items);
+      if (RecommendIntoImpl(request, /*batch_snapshot=*/nullptr,
+                            &scratch_response)
+              .ok()) {
+        ++report.entries_rewarmed;
+        rewarmed_users.insert(request.user);
+      }
+    }
+    rewarm_in_progress_ = false;
+    report.users_rewarmed = rewarmed_users.size();
+    report.rewarm_seconds = SecondsSince(rewarm_start);
+  }
+
   live_stats_.batches += 1;
   live_stats_.interactions += report.interactions;
   live_stats_.rows_refreshed += report.rows_refreshed;
   live_stats_.full_rebuilds += report.full_rebuild ? 1 : 0;
   live_stats_.cache_entries_invalidated +=
       report.cache_entries_invalidated;
+  live_stats_.users_rewarmed += report.users_rewarmed;
+  live_stats_.entries_rewarmed += report.entries_rewarmed;
   live_stats_.apply_seconds += report.apply_seconds;
   live_stats_.refresh_seconds += report.refresh_seconds;
+  live_stats_.rewarm_seconds += report.rewarm_seconds;
   update_timer.Stop();
   return report;
 }
@@ -354,10 +432,34 @@ void RecsysEngine::CacheInsert(uint64_t hash,
                                uint64_t sum_user_version,
                                const RecommendResponse& response) const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
+  // Hot-item telemetry: computed (cacheable) responses credit their
+  // surviving items, admission outcome notwithstanding. Re-warm
+  // recomputes do not count as organic accesses.
+  if (!rewarm_in_progress_) {
+    for (const RecommendedItem& item : response.items) {
+      item_freq_.Touch(static_cast<uint64_t>(item.item));
+    }
+  }
   const auto it = cache_index_.find(hash);
   if (it != cache_index_.end()) {
     cache_lru_.erase(it->second);
     cache_index_.erase(it);
+  }
+  // Frequency admission: at capacity the newcomer competes with the
+  // LRU victim it would evict. A strictly colder user is refused —
+  // one-hit wonders cannot churn the hot set — while ties admit, so
+  // uniform traffic degrades to plain LRU (and the LRU tests' exact
+  // eviction counts still hold).
+  if (config_.cache_frequency_admission &&
+      cache_lru_.size() >= config_.response_cache_capacity) {
+    const double newcomer =
+        user_freq_.Count(static_cast<uint64_t>(request.user));
+    const double victim = user_freq_.Count(
+        static_cast<uint64_t>(cache_lru_.back().key.user));
+    if (newcomer < victim) {
+      ++cache_stats_.admission_rejections;
+      return;
+    }
   }
   CacheEntry entry;
   entry.hash = hash;
@@ -392,6 +494,28 @@ std::vector<ComponentIndexStats> RecsysEngine::index_stats() const {
 EngineCacheStats RecsysEngine::cache_stats() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_stats_;
+}
+
+void RecsysEngine::MaybeDecayFrequencies() const {
+  if (config_.cache_decay_interval == 0) return;
+  const uint64_t lookups =
+      lookups_since_decay_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (lookups % config_.cache_decay_interval == 0) {
+    user_freq_.Decay();
+    item_freq_.Decay();
+  }
+}
+
+double RecsysEngine::user_frequency(UserId user) const {
+  return user_freq_.Count(static_cast<uint64_t>(user));
+}
+
+double RecsysEngine::item_frequency(ItemId item) const {
+  return item_freq_.Count(static_cast<uint64_t>(item));
+}
+
+FrequencyMapStats RecsysEngine::user_frequency_stats() const {
+  return user_freq_.stats();
 }
 
 size_t RecsysEngine::cache_size() const {
@@ -444,6 +568,59 @@ spa::Status RecsysEngine::RecommendInto(const RecommendRequest& request,
   return RecommendIntoImpl(request, /*batch_snapshot=*/nullptr, out);
 }
 
+spa::Status RecsysEngine::RecommendFallbackInto(
+    const RecommendRequest& request, RecommendResponse* out,
+    BatchPin* pin) const {
+  SPA_CHECK(out != nullptr);
+  std::shared_lock lock(serve_mutex_);
+  SPA_RETURN_IF_ERROR(ValidateRequest(request));
+  if (!fitted_) {
+    return spa::Status::FailedPrecondition(
+        "engine not fitted; call Fit() after assembling the stack");
+  }
+  if (pin != nullptr) {
+    pin->fit_epoch = fit_epoch_;
+    pin->matrix_version = matrix_->version();
+    pin->sum_version = sums_ != nullptr ? sums_->snapshot()->version() : 0;
+  }
+  // Popularity-only: no component fan-out, no blend, no emotional
+  // stage, no cache — the whole point is a serve that costs a ranked-
+  // list walk. The ranking depends on the matrix version alone, so the
+  // response is deterministic at the pin even though it is not
+  // bitwise-equal to full serving (it is flagged `degraded`).
+  CandidateQuery query;
+  query.user = request.user;
+  query.k = request.k;
+  query.exclude_seen = request.exclude_seen;
+  query.exclude_items =
+      request.exclude_items.empty() ? nullptr : &request.exclude_items;
+  query.candidate_items = request.candidate_items.has_value()
+                              ? &*request.candidate_items
+                              : nullptr;
+  out->user = request.user;
+  out->items.clear();
+  out->explained = false;
+  out->emotion_applied = false;
+  out->degraded = true;
+  const std::vector<Scored> ranked = fallback_pop_.RecommendCandidates(query);
+  out->items.reserve(ranked.size());
+  for (const Scored& scored : ranked) {
+    RecommendedItem item;
+    item.item = scored.item;
+    item.score = scored.score;
+    out->items.push_back(std::move(item));
+  }
+  return spa::Status::OK();
+}
+
+spa::Result<RecommendResponse> RecsysEngine::RecommendFallback(
+    const RecommendRequest& request, BatchPin* pin) const {
+  RecommendResponse response;
+  spa::Status status = RecommendFallbackInto(request, &response, pin);
+  if (!status.ok()) return status;
+  return response;
+}
+
 void RecsysEngine::AdmitRequest(const RecommendRequest& request,
                                 const sum::SumSnapshotPtr& batch_snapshot,
                                 RequestContext* ctx,
@@ -481,6 +658,13 @@ void RecsysEngine::AdmitRequest(const RecommendRequest& request,
 
   ctx->cacheable = config_.response_cache_capacity > 0 && !overridden;
   if (ctx->cacheable) {
+    // Every cacheable lookup is one access in the user frequency tier
+    // (hit or miss — the tier measures demand, not cache behavior).
+    // Writer-lane re-warm recomputes are synthetic and do not count.
+    if (!rewarm_in_progress_) {
+      user_freq_.Touch(static_cast<uint64_t>(request.user));
+      MaybeDecayFrequencies();
+    }
     ctx->fingerprint = FingerprintRequest(request);
     ItemTimer timer(profiler_, ProfilerItem::kStageCacheLookup);
     const bool hit = CacheLookupInto(ctx->fingerprint, request,
@@ -594,6 +778,7 @@ void RecsysEngine::ServeRerank(const RecommendRequest& request,
   state->response.user = request.user;
   state->response.explained = request.explain;
   state->response.emotion_applied = apply_emotion;
+  state->response.degraded = false;  // full stack, by definition
 
   // Without the emotional stage scores are final and blended is
   // already sorted: drop the overfetch tail before building anything.

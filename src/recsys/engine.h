@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/frequency_map.h"
 #include "common/profiler.h"
 #include "common/rw_lock.h"
 #include "common/stats.h"
@@ -18,6 +19,7 @@
 #include "common/workspace_pool.h"
 #include "recsys/emotion_aware.h"
 #include "recsys/hybrid.h"
+#include "recsys/popularity.h"
 #include "recsys/request.h"
 #include "recsys/similarity_index.h"
 #include "sum/sum_service.h"
@@ -83,6 +85,42 @@
 /// entries found on lookup are dropped in place. Hits return the
 /// memoized response byte-identically, so cached and uncached serving
 /// are indistinguishable to callers.
+///
+/// ## Frequency-aware tiering and re-warming
+///
+/// The cache is *frequency-tiered* on top of LRU: every cacheable
+/// lookup touches a sharded per-user `FrequencyMap` (and computed
+/// responses touch a per-item map for hot-item telemetry), with
+/// periodic multiplicative decay every `cache_decay_interval`
+/// lookups. At capacity, a newcomer is admitted only when its user's
+/// decayed access count is **at least** the LRU victim's
+/// (`cache_frequency_admission`) — strictly-colder one-hit wonders
+/// are rejected (counted as `admission_rejections`) instead of
+/// evicting the hot set, while ties preserve plain LRU behavior.
+/// Admission only ever changes *which* requests are memoized, never
+/// the bytes of any served response.
+///
+/// `ApplyInteractions` additionally **re-warms** the hot set: among
+/// the affected users whose entries it just erased, those with
+/// frequency >= `rewarm_min_frequency` (hottest first, at most
+/// `rewarm_limit` entries) are re-served into the cache at the
+/// post-apply versions *before the exclusive serve lock is
+/// released*, so concurrent readers never observe the invalidation
+/// as a miss. A re-warmed entry is byte-identical to a cold
+/// recompute at the same versions (pinned by the re-warm tests).
+///
+/// ## Popularity fallback tier
+///
+/// `RecommendFallback` serves a request from a popularity-only tier
+/// (no KNN fan-out, no blending, no emotional re-rank): an
+/// engine-owned `PopularityRecommender` fitted alongside the stack
+/// and incrementally refreshed by every `ApplyInteractions`. The
+/// streaming pipeline's degrade policy uses it to answer
+/// deadline-pressed requests cheaply; responses are flagged
+/// `degraded = true` and are deterministic at their pinned matrix
+/// version (fallback ranking ignores SUM state), but they are NOT
+/// bitwise-equal to full serving — the one sanctioned parity
+/// exception, see docs/ARCHITECTURE.md.
 
 namespace spa::recsys {
 
@@ -101,6 +139,20 @@ struct EngineConfig {
   size_t batch_threads = 0;
   /// Max memoized responses (LRU beyond this; 0 disables the cache).
   size_t response_cache_capacity = 4096;
+  /// Frequency-aware admission: at capacity, reject newcomers whose
+  /// user's decayed access count is strictly below the LRU victim's
+  /// (ties admit, reproducing plain LRU). Off = pure LRU.
+  bool cache_frequency_admission = true;
+  /// Multiplier applied to every frequency count per decay epoch.
+  double cache_decay_factor = 0.5;
+  /// Cacheable lookups between frequency decay epochs (0 = never).
+  uint64_t cache_decay_interval = 4096;
+  /// Max cache entries re-warmed per ApplyInteractions (0 disables
+  /// re-warming).
+  size_t rewarm_limit = 64;
+  /// Min decayed user frequency for an invalidated entry to qualify
+  /// for re-warming.
+  double rewarm_min_frequency = 2.0;
   /// User/item-hash shard count for interaction stores the platform
   /// builds around this engine (`core::Spa` constructs its matrix
   /// with it); 1 reproduces the unsharded layout bit-for-bit.
@@ -127,6 +179,9 @@ struct EngineCacheStats {
   uint64_t stale_evictions = 0;
   /// Entries dropped by LRU capacity pressure.
   uint64_t capacity_evictions = 0;
+  /// Inserts refused at capacity because the newcomer's user was
+  /// strictly colder than the LRU victim's (frequency admission).
+  uint64_t admission_rejections = 0;
 };
 
 /// \brief What one ApplyInteractions call did.
@@ -139,8 +194,13 @@ struct LiveUpdateReport {
   size_t affected_users = 0;
   bool invalidated_all = false;  ///< cache dropped engine-wide
   size_t cache_entries_invalidated = 0;
+  /// Hot invalidated users proactively re-served into the cache at
+  /// the post-apply versions before the writer lock was released.
+  size_t users_rewarmed = 0;
+  size_t entries_rewarmed = 0;
   double apply_seconds = 0.0;    ///< matrix shard writes
   double refresh_seconds = 0.0;  ///< component state repair
+  double rewarm_seconds = 0.0;   ///< hot-set re-serve after apply
   /// Interaction-matrix version after the batch landed (each
   /// interaction bumps it once). Streaming callers correlate this with
   /// the `BatchPin::matrix_version` of later responses.
@@ -154,8 +214,11 @@ struct LiveUpdateStats {
   uint64_t rows_refreshed = 0;
   uint64_t full_rebuilds = 0;
   uint64_t cache_entries_invalidated = 0;
+  uint64_t users_rewarmed = 0;
+  uint64_t entries_rewarmed = 0;
   double apply_seconds = 0.0;
   double refresh_seconds = 0.0;
+  double rewarm_seconds = 0.0;
 };
 
 /// \brief Per-stage serving latency counters (cumulative) — the
@@ -285,6 +348,21 @@ class RecsysEngine {
       const std::vector<RecommendRequest>& requests,
       BatchPin* pin = nullptr) const;
 
+  /// Serves one request from the popularity-only fallback tier: cheap
+  /// (no component fan-out, no emotional stage, no cache), with the
+  /// response flagged `degraded = true`. `pin` (optional) receives the
+  /// consistency point; the ranking depends only on the pinned matrix
+  /// version, so replaying the same request on a reference engine that
+  /// applied the same interaction history reproduces it byte-for-byte.
+  /// Same errors as `Recommend`.
+  spa::Status RecommendFallbackInto(const RecommendRequest& request,
+                                    RecommendResponse* out,
+                                    BatchPin* pin = nullptr) const;
+
+  /// Result-returning wrapper over `RecommendFallbackInto`.
+  spa::Result<RecommendResponse> RecommendFallback(
+      const RecommendRequest& request, BatchPin* pin = nullptr) const;
+
   // ---- live updates ------------------------------------------------------
   /// Routes one interaction batch into the (mutable) fitted matrix,
   /// repairs every component's fitted state incrementally, and drops
@@ -314,6 +392,12 @@ class RecsysEngine {
 
   /// Response-cache counters (cumulative since construction).
   EngineCacheStats cache_stats() const;
+  /// Current decayed access count of one user / one item in the
+  /// cache-tiering frequency maps (0 when untracked).
+  double user_frequency(UserId user) const;
+  double item_frequency(ItemId item) const;
+  /// The per-user frequency tier (touches/decay epochs/live keys).
+  FrequencyMapStats user_frequency_stats() const;
   /// Number of live cache entries.
   size_t cache_size() const;
   /// Drops every cached response (counters are kept).
@@ -358,6 +442,11 @@ class RecsysEngine {
   /// Shared Fit body; `live` is the write handle (null = read-only).
   spa::Status FitInternal(const InteractionMatrix& matrix,
                           InteractionMatrix* live);
+
+  /// Counts one cacheable lookup toward the decay cadence and runs a
+  /// decay epoch on both frequency tiers every
+  /// `cache_decay_interval`-th call.
+  void MaybeDecayFrequencies() const;
 
   /// Copies the cached response into `*out` (capacity-reusing
   /// copy-assign — the warm-hit path allocates nothing) when a fresh
@@ -461,6 +550,27 @@ class RecsysEngine {
   mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
       cache_index_;
   mutable EngineCacheStats cache_stats_;
+
+  /// Frequency tiers backing cache admission and re-warm selection.
+  /// Their shard mutexes are leaves: FrequencyMap never calls back
+  /// into cache_mutex_ or serve_mutex_, so touching them while either
+  /// is held cannot deadlock.
+  mutable FrequencyMap user_freq_;
+  mutable FrequencyMap item_freq_;
+  /// Cacheable lookups since the last decay epoch (drives the
+  /// `cache_decay_interval` cadence).
+  mutable std::atomic<uint64_t> lookups_since_decay_{0};
+  /// True while ApplyInteractions re-serves hot users under the
+  /// exclusive serve lock; suppresses frequency touches so re-warm
+  /// traffic cannot inflate its own users' counts. Only written under
+  /// the exclusive serve lock, only read with the lock held (either
+  /// side), so no synchronization beyond the lock is needed.
+  mutable bool rewarm_in_progress_ = false;
+
+  /// The popularity-only fallback tier: fitted by Fit, incrementally
+  /// refreshed by ApplyInteractions (bitwise == refit), served by
+  /// RecommendFallback under the shared serve lock.
+  mutable PopularityRecommender fallback_pop_;
 
   /// Leveled latency profiler (updated on every serve, including
   /// cache hits, by every batch worker — lock-free, see

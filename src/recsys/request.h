@@ -92,6 +92,13 @@ struct RecommendResponse {
   bool explained = false;
   /// True when the emotion-aware stage adjusted the ranking.
   bool emotion_applied = false;
+  /// True when this response was served from the popularity-only
+  /// fallback tier under deadline pressure instead of the full stack.
+  /// Degraded responses are the only responses allowed to differ from
+  /// synchronous full serving at the same pin; they instead match the
+  /// engine's `RecommendFallback` at their pinned matrix version
+  /// (see docs/ARCHITECTURE.md, "Degraded serving contract").
+  bool degraded = false;
 
   /// Convenience view as the classic (item, score) list.
   std::vector<Scored> AsScored() const;

@@ -165,6 +165,9 @@ struct RouterWorkerStats {
   uint64_t matrix_version = 0;
   PipelineStats pipeline;
   EngineCacheStats cache;
+  /// This worker's ApplyInteractions counters — the router tier's
+  /// view of cache invalidation and hot-set re-warming per replica.
+  LiveUpdateStats live_updates;
   /// Per-stage serving latencies of this worker's engine (its drain
   /// workers serve through the staged dataflow; merge the histograms
   /// across workers to aggregate).
@@ -180,6 +183,10 @@ struct RouterStats {
   uint64_t joins = 0;
   uint64_t leaves = 0;
   uint64_t shards_moved = 0;    ///< total ShardMoves across changes
+  /// Degrade-tier shed quality summed across workers (see
+  /// `PipelineStats::fallback_served` / `expired_drops`).
+  uint64_t fallback_served = 0;
+  uint64_t expired_drops = 0;
   std::vector<RouterWorkerStats> workers;  ///< ascending by worker id
   /// Per-response end-to-end latency merged across all workers.
   LogHistogram end_to_end;

@@ -3,6 +3,7 @@
 #include <ctime>
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -151,11 +152,25 @@ size_t ServingPipeline::worker_count() const {
 
 spa::Result<StreamTicketPtr> ServingPipeline::Submit(
     RecommendRequest request, StreamTicket::Callback on_complete) {
+  return SubmitWithDeadline(std::move(request),
+                            config_.default_deadline_seconds,
+                            std::move(on_complete));
+}
+
+spa::Result<StreamTicketPtr> ServingPipeline::SubmitWithDeadline(
+    RecommendRequest request, double deadline_seconds,
+    StreamTicket::Callback on_complete) {
   Op op;
   op.ticket = StreamTicketPtr(
       new StreamTicket(StreamOpKind::kRecommend));
   op.ticket->on_complete_ = std::move(on_complete);
   op.request = std::move(request);
+  if (deadline_seconds > 0.0) {
+    op.has_deadline = true;
+    op.deadline = Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(deadline_seconds));
+  }
   return Admit(std::move(op), /*writer=*/false);
 }
 
@@ -200,8 +215,14 @@ spa::Result<StreamTicketPtr> ServingPipeline::Admit(Op op,
   std::deque<Op>& queue = writer ? write_queue_ : read_queue_;
   const size_t capacity =
       writer ? config_.writer_queue_capacity : config_.queue_capacity;
+  // Writes carry no deadline; a full writer lane under kDegrade falls
+  // back to shedding the oldest write.
+  BackpressurePolicy policy = config_.policy;
+  if (policy == BackpressurePolicy::kDegrade && writer) {
+    policy = BackpressurePolicy::kShedOldest;
+  }
   while (queue.size() >= capacity) {
-    switch (config_.policy) {
+    switch (policy) {
       case BackpressurePolicy::kBlock:
         space_cv_.wait(lock, [&] {
           return stopping_ || queue.size() < capacity;
@@ -242,6 +263,52 @@ spa::Result<StreamTicketPtr> ServingPipeline::Admit(Op op,
           }
         }
         victim.ticket->Complete(TicketState::kShed);
+        lock.lock();
+        if (stopping_) {
+          return spa::Status::FailedPrecondition(
+              "pipeline is shut down");
+        }
+        break;
+      }
+      case BackpressurePolicy::kDegrade: {
+        // Shed by remaining slack, not queue position: the read with
+        // the least time left — queued or incoming — is degraded
+        // (fallback-served while its deadline still allows, dropped
+        // when expired). Ties prefer the oldest queued op, so an
+        // all-deadline-free stream degrades exactly like kShedOldest
+        // except the victim gets a popularity answer instead of an
+        // error.
+        const auto now = Clock::now();
+        size_t victim_index = 0;
+        double victim_slack = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < queue.size(); ++i) {
+          const double slack =
+              queue[i].has_deadline
+                  ? SecondsBetween(now, queue[i].deadline)
+                  : std::numeric_limits<double>::infinity();
+          if (slack < victim_slack) {
+            victim_slack = slack;
+            victim_index = i;
+          }
+        }
+        const double incoming_slack =
+            op.has_deadline ? SecondsBetween(now, op.deadline)
+                            : std::numeric_limits<double>::infinity();
+        if (incoming_slack < victim_slack) {
+          // The incoming op is the most pressed: answer it right here
+          // and return its (already terminal) ticket without queueing.
+          ++admitted_;
+          op.ticket->submitted_at_ = now;
+          StreamTicketPtr ticket = op.ticket;
+          lock.unlock();
+          DegradeRead(std::move(op), now);
+          return ticket;
+        }
+        Op victim = std::move(queue[victim_index]);
+        queue.erase(queue.begin() +
+                    static_cast<std::ptrdiff_t>(victim_index));
+        lock.unlock();
+        DegradeRead(std::move(victim), now);
         lock.lock();
         if (stopping_) {
           return spa::Status::FailedPrecondition(
@@ -308,11 +375,15 @@ void ServingPipeline::DrainLoop() {
       reads_inflight_ += n;
       space_cv_.notify_all();
       lock.unlock();
-      ExecuteReadBatch(std::move(batch));
+      // Degraded/dropped ops update their counters inside (they are
+      // not engine-served responses); only full serves are counted
+      // here, and a batch that degraded away entirely never ran the
+      // engine, so it is not a drained micro-batch either.
+      const size_t full_served = ExecuteReadBatch(std::move(batch));
       lock.lock();
       reads_inflight_ -= n;
-      responses_ += n;
-      ++batches_;
+      responses_ += full_served;
+      if (full_served > 0) ++batches_;
       if (read_queue_.empty() && write_queue_.empty() &&
           !writer_inflight_ && reads_inflight_ == 0) {
         idle_cv_.notify_all();
@@ -373,8 +444,40 @@ void ServingPipeline::ExecuteWrite(Op op) {
   op.ticket->Complete(TicketState::kDone);
 }
 
-void ServingPipeline::ExecuteReadBatch(std::vector<Op> batch) {
+size_t ServingPipeline::ExecuteReadBatch(std::vector<Op> batch) {
   const auto dequeued = Clock::now();
+  // kDegrade: classify by remaining slack before burning engine time.
+  // Already-expired ops are dropped; ops whose slack cannot cover a
+  // full serve (EWMA estimate) get the fallback tier — and they get
+  // it FIRST, before the full batch occupies this worker, because
+  // they are precisely the ops that cannot afford to wait for it.
+  if (config_.policy == BackpressurePolicy::kDegrade) {
+    const double estimate =
+        static_cast<double>(
+            serve_estimate_nanos_.load(std::memory_order_relaxed)) *
+        1e-9;
+    std::vector<Op> keep;
+    std::vector<Op> degraded;
+    keep.reserve(batch.size());
+    for (Op& op : batch) {
+      if (!op.has_deadline) {
+        keep.push_back(std::move(op));
+        continue;
+      }
+      const double slack = SecondsBetween(dequeued, op.deadline);
+      if (slack <= 0.0 || slack < estimate) {
+        degraded.push_back(std::move(op));
+      } else {
+        keep.push_back(std::move(op));
+      }
+    }
+    batch = std::move(keep);
+    for (Op& op : degraded) {
+      DegradeRead(std::move(op), dequeued);
+    }
+  }
+  if (batch.empty()) return 0;
+
   const double cpu_before = ThreadCpuSeconds();
   std::vector<RecommendRequest> requests;
   requests.reserve(batch.size());
@@ -394,6 +497,15 @@ void ServingPipeline::ExecuteReadBatch(std::vector<Op> batch) {
                           : serve_seconds;
   serve_busy_nanos_.fetch_add(static_cast<uint64_t>(busy * 1e9),
                               std::memory_order_relaxed);
+  // Feed the slack classifier: EWMA (3:1 old:new) of per-request full
+  // serve wall time. Lossy read-modify-write is fine — this is an
+  // estimate, and any worker's recent sample is representative.
+  const uint64_t sample = static_cast<uint64_t>(
+      serve_seconds / static_cast<double>(batch.size()) * 1e9);
+  const uint64_t prev =
+      serve_estimate_nanos_.load(std::memory_order_relaxed);
+  serve_estimate_nanos_.store(prev == 0 ? sample : (3 * prev + sample) / 4,
+                              std::memory_order_relaxed);
   for (size_t i = 0; i < batch.size(); ++i) {
     StreamTicket& ticket = *batch[i].ticket;
     const double waited =
@@ -410,6 +522,61 @@ void ServingPipeline::ExecuteReadBatch(std::vector<Op> batch) {
         SecondsBetween(ticket.submitted_at_, Clock::now()));
     ticket.Complete(TicketState::kDone);
   }
+  return batch.size();
+}
+
+void ServingPipeline::DegradeRead(Op op, Clock::time_point now) {
+  const bool expired =
+      op.has_deadline && SecondsBetween(now, op.deadline) <= 0.0;
+  if (expired) {
+    // Past-deadline work is waste either way: complete as shed. No
+    // histograms — the op was never served, and queue_wait's total
+    // must keep matching responses + updates_applied.
+    {
+      std::lock_guard<std::mutex> ticket_lock(op.ticket->mu_);
+      op.ticket->response_ = spa::Result<RecommendResponse>(
+          spa::Status::ResourceExhausted(
+              "deadline expired before serving; dropped under kDegrade"));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++shed_reads_;
+      ++expired_drops_;
+    }
+    op.ticket->Complete(TicketState::kShed);
+    return;
+  }
+  // Slack remains: answer from the popularity fallback tier. This IS
+  // a response — flagged degraded, pinned, both histograms recorded —
+  // just a cheap one.
+  const double waited = SecondsBetween(op.ticket->submitted_at_, now);
+  hist_queue_wait_.Add(waited);
+  BatchPin pin;
+  RecommendResponse response;
+  spa::Status status =
+      engine_->RecommendFallbackInto(op.request, &response, &pin);
+  const double serve_seconds = SecondsBetween(now, Clock::now());
+  {
+    std::lock_guard<std::mutex> ticket_lock(op.ticket->mu_);
+    op.ticket->queue_seconds_ = waited;
+    op.ticket->serve_seconds_ = serve_seconds;
+    op.ticket->pinned_ = pin;
+    if (status.ok()) {
+      op.ticket->response_ =
+          spa::Result<RecommendResponse>(std::move(response));
+    } else {
+      op.ticket->response_ =
+          spa::Result<RecommendResponse>(std::move(status));
+    }
+  }
+  hist_end_to_end_.Add(
+      SecondsBetween(op.ticket->submitted_at_, Clock::now()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++responses_;
+    ++fallback_served_;
+  }
+  op.ticket->Complete(TicketState::kDone);
 }
 
 void ServingPipeline::Flush() {
@@ -434,6 +601,8 @@ PipelineStats ServingPipeline::stats() const {
   out.responses = responses_;
   out.batches = batches_;
   out.updates_applied = updates_applied_;
+  out.fallback_served = fallback_served_;
+  out.expired_drops = expired_drops_;
   out.max_queue_depth = max_queue_depth_;
   out.max_writer_queue_depth = max_writer_queue_depth_;
   out.serve_busy_seconds =

@@ -63,8 +63,39 @@
 /// through the engine's response cache (hits are byte-identical to
 /// recomputes by the cache's version guards), and writer-lane
 /// `ApplyInteractions` invalidates affected users' entries exactly as
-/// in the synchronous path. Shed or rejected requests never touch the
-/// cache.
+/// in the synchronous path — which also *re-warms* hot invalidated
+/// users into the cache before the writer releases the engine's
+/// exclusive lock, so a hot user's first post-apply read is a hit
+/// (see `RecsysEngine` docs). Shed or rejected requests never touch
+/// the cache.
+///
+/// ## Deadline-aware degradation (`kDegrade`)
+///
+/// Under `BackpressurePolicy::kDegrade` read requests carry a
+/// deadline (per-Submit, or `PipelineConfig::default_deadline_seconds`
+/// when unset; writes never carry one). Overload then sheds by
+/// *remaining slack* instead of queue position:
+///
+///  * **Admission**: when the read lane is full, the op with the least
+///    remaining slack — the incoming one or a queued one — is removed.
+///    If its deadline already passed it is dropped (ResourceExhausted,
+///    `expired_drops`); otherwise it is answered immediately on the
+///    submitting thread from the engine's popularity fallback tier
+///    (`fallback_served`), flagged `degraded = true` in the response.
+///  * **Drain**: each dequeued op is classified before burning engine
+///    time — already expired → dropped; too little slack for a full
+///    serve (an EWMA of recent per-request serve time) → fallback tier;
+///    otherwise → full serve. So under 2x-capacity overload p99 stays
+///    bounded near the deadline: nothing full-serves past it.
+///
+/// Degraded responses are the only non-bitwise responses the pipeline
+/// can produce. They are deterministic against
+/// `RecsysEngine::RecommendFallback` at their pin, which is what the
+/// randomized overload harness replays them against; fallback serves
+/// count as `responses` and record both latency histograms, drops
+/// record neither. The writer lane treats `kDegrade` as
+/// `kShedOldest`, and the other three policies ignore deadlines
+/// entirely.
 ///
 /// Lifetime: the engine and SUM service must outlive the pipeline;
 /// destroying the pipeline drains every already-admitted op (tickets
@@ -85,6 +116,14 @@ enum class BackpressurePolicy {
   /// ticket terminates with state kShed, and its completion callback
   /// fires on the submitting thread that displaced it).
   kShedOldest,
+  /// Deadline-aware graceful degradation: shed the read with the least
+  /// remaining slack, serving it from the popularity fallback tier
+  /// (flagged `degraded`) when its deadline still allows, dropping it
+  /// only when already expired. The drain loop additionally
+  /// classifies each dequeued read by slack vs. an EWMA serve-time
+  /// estimate. Writer-lane overflow behaves as kShedOldest. See the
+  /// file doc's "Deadline-aware degradation" section.
+  kDegrade,
 };
 
 /// \brief Pipeline tunables.
@@ -106,6 +145,11 @@ struct PipelineConfig {
   /// schedule against both claims; staged additionally feeds the
   /// engine profiler's per-stage items.
   bool staged = true;
+  /// Deadline stamped on reads submitted without an explicit one,
+  /// seconds from admission (kDegrade only; 0 = no deadline — such
+  /// reads never expire and never degrade, but can still be the
+  /// shed victim when everything queued has infinite slack).
+  double default_deadline_seconds = 0.0;
 };
 
 /// \brief What kind of op a ticket tracks.
@@ -202,6 +246,13 @@ struct PipelineStats {
   uint64_t responses = 0;   ///< completed read tickets
   uint64_t batches = 0;     ///< micro-batches drained
   uint64_t updates_applied = 0;  ///< completed writer-lane ops
+  /// kDegrade shed quality: reads answered from the popularity
+  /// fallback tier (these ARE responses — flagged `degraded`, both
+  /// latency histograms recorded) vs. reads dropped because their
+  /// deadline had already expired (a subset of `shed_reads`; no
+  /// histograms).
+  uint64_t fallback_served = 0;
+  uint64_t expired_drops = 0;
   uint64_t max_queue_depth = 0;         ///< high-water mark, read lane
   uint64_t max_writer_queue_depth = 0;  ///< high-water mark, writer lane
   /// CPU seconds this pipeline's workers spent inside the engine
@@ -237,9 +288,18 @@ class ServingPipeline {
 
   /// Admits one recommendation request. Errors: ResourceExhausted
   /// (kReject and the read lane is full), FailedPrecondition (pipeline
-  /// shut down).
+  /// shut down). Under kDegrade the request carries
+  /// `config.default_deadline_seconds`; a returned ticket may already
+  /// be terminal (degraded-served or dropped at admission).
   spa::Result<StreamTicketPtr> Submit(
       RecommendRequest request, StreamTicket::Callback on_complete = {});
+
+  /// Same, with an explicit deadline (seconds from now; <= 0 means no
+  /// deadline). Deadlines only influence serving under kDegrade — the
+  /// other policies admit and serve such requests unchanged.
+  spa::Result<StreamTicketPtr> SubmitWithDeadline(
+      RecommendRequest request, double deadline_seconds,
+      StreamTicket::Callback on_complete = {});
 
   /// Admits one interaction batch into the writer lane (executed as
   /// `RecsysEngine::ApplyInteractions`, in submission order).
@@ -276,12 +336,28 @@ class ServingPipeline {
     RecommendRequest request;                // kRecommend
     std::vector<Interaction> interactions;   // kInteractions
     std::vector<sum::SumUpdate> sum_updates; // kSumUpdates
+    /// kDegrade read deadline (meaningless when !has_deadline).
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
   };
 
   spa::Result<StreamTicketPtr> Admit(Op op, bool writer);
   void DrainLoop();
   void ExecuteWrite(Op op);
-  void ExecuteReadBatch(std::vector<Op> batch);
+  /// Serves one dequeued read micro-batch. Under kDegrade ops are
+  /// first classified by remaining slack (drop / fallback / full);
+  /// fallback and drop outcomes update the pipeline counters
+  /// themselves (brief mu_ reacquire). Returns the number of ops
+  /// full-served through the engine (0 = no engine batch ran, so the
+  /// caller must not count a batch).
+  size_t ExecuteReadBatch(std::vector<Op> batch);
+  /// Terminal degrade of one read op, off-queue: expired → dropped
+  /// (kShed + ResourceExhausted, counted in expired_drops), otherwise
+  /// answered from the engine's popularity fallback tier (kDone,
+  /// response flagged degraded, counted in fallback_served +
+  /// responses). Takes mu_ briefly for the counters; call WITHOUT mu_
+  /// held (the ticket callback fires inside).
+  void DegradeRead(Op op, std::chrono::steady_clock::time_point now);
 
   RecsysEngine* engine_;
   sum::SumService* sums_;
@@ -307,6 +383,8 @@ class ServingPipeline {
   uint64_t responses_ = 0;
   uint64_t batches_ = 0;
   uint64_t updates_applied_ = 0;
+  uint64_t fallback_served_ = 0;
+  uint64_t expired_drops_ = 0;
   uint64_t max_queue_depth_ = 0;
   uint64_t max_writer_queue_depth_ = 0;
   LogHistogram hist_queue_wait_;
@@ -317,6 +395,10 @@ class ServingPipeline {
   /// mu_ on the serve path, like the histograms).
   std::atomic<uint64_t> serve_busy_nanos_{0};
   std::atomic<uint64_t> update_busy_nanos_{0};
+  /// EWMA of full-serve wall time per request, nanoseconds (0 until
+  /// the first full batch completes) — the drain-side slack
+  /// classifier's estimate of what a full serve would cost.
+  std::atomic<uint64_t> serve_estimate_nanos_{0};
 
   /// Hosts the drain loops (one long-running task per pool worker).
   std::unique_ptr<ThreadPool> pool_;

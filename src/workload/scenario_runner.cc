@@ -55,7 +55,10 @@ std::vector<sum::SumUpdate> MaterializeShifts(
 /// bench_serving and the router tests: item ids and exact scores).
 bool SameResponse(const recsys::RecommendResponse& a,
                   const recsys::RecommendResponse& b) {
-  if (a.user != b.user || a.items.size() != b.items.size()) return false;
+  if (a.user != b.user || a.degraded != b.degraded ||
+      a.items.size() != b.items.size()) {
+    return false;
+  }
   for (size_t i = 0; i < a.items.size(); ++i) {
     if (a.items[i].item != b.items[i].item ||
         a.items[i].score != b.items[i].score) {
@@ -395,8 +398,12 @@ ScenarioOutcome ScenarioRunner::Run(const ScenarioConfig& scenario) const {
             serve_index % stride == 0 &&
             samples.size() < config_.slo.parity_samples;
         ++serve_index;
-        auto ticket = pipeline != nullptr ? pipeline->Submit(request)
-                                          : router->Submit(request);
+        // Deadlines only reach the pipeline backend (the router forces
+        // kBlock on its replicas, which ignores them anyway).
+        auto ticket = pipeline != nullptr
+                          ? pipeline->SubmitWithDeadline(
+                                request, config_.deadline_ms * 1e-3)
+                          : router->Submit(request);
         if (ticket.ok() && sampled) {
           samples.push_back({request, std::move(ticket).value()});
         }
@@ -454,6 +461,8 @@ ScenarioOutcome ScenarioRunner::Run(const ScenarioConfig& scenario) const {
       stats.rejected_writes += ws.pipeline.rejected_writes;
       stats.shed_reads += ws.pipeline.shed_reads;
       stats.shed_writes += ws.pipeline.shed_writes;
+      stats.fallback_served += ws.pipeline.fallback_served;
+      stats.expired_drops += ws.pipeline.expired_drops;
       stats.max_queue_depth =
           std::max(stats.max_queue_depth, ws.pipeline.max_queue_depth);
       stats.max_writer_queue_depth =
@@ -471,6 +480,8 @@ ScenarioOutcome ScenarioRunner::Run(const ScenarioConfig& scenario) const {
   out.rejected_writes = stats.rejected_writes;
   out.shed_reads = stats.shed_reads;
   out.shed_writes = stats.shed_writes;
+  out.fallback_served = stats.fallback_served;
+  out.expired_drops = stats.expired_drops;
   out.max_queue_depth = stats.max_queue_depth;
   out.max_writer_queue_depth = stats.max_writer_queue_depth;
   out.achieved_rps =
@@ -582,14 +593,27 @@ ScenarioOutcome ScenarioRunner::Run(const ScenarioConfig& scenario) const {
       out.parity = false;
       break;
     }
-    recsys::RecommendRequest request = sample->request;
-    request.emotion_override = snapshot->second;
-    const auto expected = reference.Recommend(request);
-    if (!expected.ok() ||
-        !SameResponse(sample->ticket->response().value(),
-                      expected.value())) {
-      out.parity = false;
-      break;
+    const recsys::RecommendResponse& streamed =
+        sample->ticket->response().value();
+    if (streamed.degraded) {
+      // Deadline-degraded serves come from the popularity fallback
+      // tier: deterministic at the pinned matrix version, independent
+      // of SUM state, and flagged — never silently substituted.
+      const auto expected = reference.RecommendFallback(sample->request);
+      if (!expected.ok() ||
+          !SameResponse(streamed, expected.value())) {
+        out.parity = false;
+        break;
+      }
+    } else {
+      recsys::RecommendRequest request = sample->request;
+      request.emotion_override = snapshot->second;
+      const auto expected = reference.Recommend(request);
+      if (!expected.ok() ||
+          !SameResponse(streamed, expected.value())) {
+        out.parity = false;
+        break;
+      }
     }
     ++out.parity_checked;
   }

@@ -33,7 +33,11 @@
 /// `matrix_version`, the pinned `sum_version`'s snapshot re-attached
 /// via `RecommendRequest::emotion_override`. The streamed bytes must
 /// match exactly; any divergence fails the run's parity bit (which
-/// `bench_scenarios` wires into its exit code).
+/// `bench_scenarios` wires into its exit code). Responses flagged
+/// `degraded` (kDegrade deadline pressure) are instead re-served
+/// against the reference's `RecommendFallback` at the same pin — the
+/// popularity fallback tier is deterministic too, just not the full
+/// blend.
 ///
 /// ## SLO semantics
 ///
@@ -82,6 +86,11 @@ struct RunnerConfig {
   size_t max_batch = 16;
   size_t interaction_shards = 8;
   size_t k = 10;  ///< items per recommendation
+  /// Per-request serve deadline in milliseconds (pipeline backend
+  /// only; 0 = none). Under kDegrade, reads that cannot make their
+  /// deadline are fallback-served (flagged `degraded`) or — once
+  /// expired — dropped; other policies ignore deadlines.
+  double deadline_ms = 0.0;
 
   // ---- pacing -------------------------------------------------------------
   /// Offered load as a fraction of the calibrated mix-weighted
@@ -134,6 +143,11 @@ struct ScenarioOutcome {
   uint64_t rejected_writes = 0;
   uint64_t shed_reads = 0;
   uint64_t shed_writes = 0;
+  /// kDegrade shed-quality split: degraded (popularity fallback)
+  /// responses actually served, vs reads dropped with a status because
+  /// their deadline had already expired (a subset of shed_reads).
+  uint64_t fallback_served = 0;
+  uint64_t expired_drops = 0;
   uint64_t max_queue_depth = 0;
   uint64_t max_writer_queue_depth = 0;
   double cache_hit_rate = 0.0;

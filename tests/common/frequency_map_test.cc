@@ -1,0 +1,231 @@
+#include "common/frequency_map.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+// Property tests for the cache-tiering frequency map: randomized
+// access streams replayed against a naive single-map reference must
+// agree on every count, the live-key set, and the top-K ranking — at
+// every shard count and across interleaved decay epochs. The
+// concurrent suite runs under TSAN in CI (FrequencyMapTest is in the
+// TSAN ctest regex).
+
+namespace spa {
+namespace {
+
+/// The naive reference: one std::map, the same arithmetic.
+class NaiveFrequency {
+ public:
+  explicit NaiveFrequency(double decay_factor, double min_count)
+      : decay_factor_(decay_factor), min_count_(min_count) {}
+
+  void Touch(uint64_t key, double amount) { counts_[key] += amount; }
+
+  void Decay() {
+    for (auto it = counts_.begin(); it != counts_.end();) {
+      it->second *= decay_factor_;
+      if (it->second < min_count_) {
+        it = counts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  double Count(uint64_t key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0.0 : it->second;
+  }
+
+  size_t size() const { return counts_.size(); }
+
+  std::vector<std::pair<uint64_t, double>> TopK(size_t k) const {
+    std::vector<std::pair<uint64_t, double>> entries(counts_.begin(),
+                                                     counts_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (entries.size() > k) entries.resize(k);
+    return entries;
+  }
+
+ private:
+  double decay_factor_;
+  double min_count_;
+  std::map<uint64_t, double> counts_;
+};
+
+TEST(FrequencyMapTest, RandomStreamsMatchNaiveReferenceAtEveryShardCount) {
+  for (const size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+    for (uint32_t seed = 0; seed < 8; ++seed) {
+      FrequencyMapConfig config;
+      config.shards = shards;
+      config.decay_factor = 0.5;
+      config.min_count = 0.5;
+      FrequencyMap map(config);
+      NaiveFrequency naive(config.decay_factor, config.min_count);
+
+      std::mt19937 rng(1234 + seed);
+      // Zipf-ish key universe: small ids are hot.
+      std::geometric_distribution<uint64_t> key_dist(0.05);
+      std::uniform_int_distribution<int> op_dist(0, 99);
+      uint64_t decays = 0;
+      for (int step = 0; step < 5000; ++step) {
+        const int op = op_dist(rng);
+        if (op < 90) {
+          // Integral amounts: FP accumulation is exact, so the sharded
+          // map and the naive fold agree bitwise.
+          const uint64_t key = key_dist(rng);
+          const double amount = 1.0 + static_cast<double>(op % 3);
+          map.Touch(key, amount);
+          naive.Touch(key, amount);
+        } else if (op < 95) {
+          map.Decay();
+          naive.Decay();
+          ++decays;
+        } else {
+          // Spot-check a random key mid-stream.
+          const uint64_t key = key_dist(rng);
+          ASSERT_DOUBLE_EQ(map.Count(key), naive.Count(key))
+              << "shards=" << shards << " seed=" << seed
+              << " step=" << step;
+        }
+      }
+
+      EXPECT_EQ(map.size(), naive.size())
+          << "shards=" << shards << " seed=" << seed;
+      EXPECT_EQ(map.decay_epochs(), decays);
+      // Every surviving key agrees exactly; the ranking (a total order
+      // on (count desc, key asc)) is therefore shard-count-invariant.
+      const auto got = map.TopK(25);
+      const auto want = naive.TopK(25);
+      ASSERT_EQ(got.size(), want.size())
+          << "shards=" << shards << " seed=" << seed;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, want[i].first) << "rank " << i;
+        EXPECT_DOUBLE_EQ(got[i].second, want[i].second) << "rank " << i;
+      }
+    }
+  }
+}
+
+TEST(FrequencyMapTest, DecayHalvesCountsAndEvictsBelowMinCount) {
+  FrequencyMapConfig config;
+  config.shards = 4;
+  config.decay_factor = 0.5;
+  config.min_count = 0.5;
+  FrequencyMap map(config);
+  map.Touch(1, 4.0);  // survives two decays: 4 -> 2 -> 1
+  map.Touch(2, 1.0);  // gone after one: 0.5 < min? no: 0.5 >= 0.5 stays
+  ASSERT_EQ(map.size(), 2u);
+
+  map.Decay();
+  EXPECT_DOUBLE_EQ(map.Count(1), 2.0);
+  EXPECT_DOUBLE_EQ(map.Count(2), 0.5);  // == min_count: retained
+  EXPECT_EQ(map.size(), 2u);
+
+  map.Decay();
+  EXPECT_DOUBLE_EQ(map.Count(1), 1.0);
+  EXPECT_DOUBLE_EQ(map.Count(2), 0.0);  // 0.25 < min_count: erased
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.decay_epochs(), 2u);
+
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_DOUBLE_EQ(map.Count(1), 0.0);
+}
+
+TEST(FrequencyMapTest, TopKOrdersByCountThenKeyAndTruncates) {
+  FrequencyMap map(FrequencyMapConfig{/*shards=*/3, 0.5, 0.5});
+  map.Touch(10, 5.0);
+  map.Touch(7, 5.0);   // ties with 10: lower key ranks first
+  map.Touch(99, 9.0);
+  map.Touch(1, 1.0);
+  const auto top = map.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 99u);
+  EXPECT_EQ(top[1].first, 7u);
+  EXPECT_EQ(top[2].first, 10u);
+  EXPECT_EQ(map.TopK(100).size(), 4u);
+  EXPECT_TRUE(map.TopK(0).empty());
+}
+
+TEST(FrequencyMapTest, StatsCountTouchesEpochsAndEntries) {
+  FrequencyMap map(FrequencyMapConfig{/*shards=*/2, 0.5, 0.5});
+  map.Touch(1);
+  map.Touch(1);
+  map.Touch(2);
+  map.Decay();
+  const FrequencyMapStats stats = map.stats();
+  EXPECT_EQ(stats.touches, 3u);
+  EXPECT_EQ(stats.decay_epochs, 1u);
+  EXPECT_EQ(stats.entries, 2u);  // 1.0 and 0.5 both survive at 0.5
+}
+
+// TSAN target: concurrent touches on a shared hot set, racing Decay
+// and read sweeps. Integral touch totals are order-independent, so
+// the final counts are exact despite the concurrency.
+TEST(FrequencyMapTest, TsanConcurrentTouchDecayAndSweep) {
+  FrequencyMapConfig config;
+  config.shards = 8;
+  config.decay_factor = 0.5;
+  config.min_count = 0.25;
+  FrequencyMap map(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kTouchesPerThread = 2000;
+  constexpr uint64_t kKeys = 64;
+  std::atomic<bool> stop{false};
+
+  std::thread sweeper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)map.size();
+      (void)map.TopK(8);
+      (void)map.Count(3);
+      (void)map.stats();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> touchers;
+  touchers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    touchers.emplace_back([&, t] {
+      std::mt19937 rng(77 + t);
+      std::uniform_int_distribution<uint64_t> key_dist(0, kKeys - 1);
+      for (int i = 0; i < kTouchesPerThread; ++i) {
+        map.Touch(key_dist(rng));
+      }
+    });
+  }
+  for (std::thread& t : touchers) t.join();
+  // One quiescent decay epoch while the sweeper still reads.
+  map.Decay();
+  stop.store(true, std::memory_order_relaxed);
+  sweeper.join();
+
+  // Conservation: total decayed mass == (all touches) * decay_factor,
+  // since every count was above min_count before the single decay.
+  double total = 0.0;
+  for (const auto& [key, count] : map.TopK(kKeys)) {
+    (void)key;
+    total += count;
+  }
+  EXPECT_DOUBLE_EQ(total, kThreads * kTouchesPerThread * 0.5);
+  EXPECT_EQ(map.stats().touches,
+            static_cast<uint64_t>(kThreads) * kTouchesPerThread);
+}
+
+}  // namespace
+}  // namespace spa

@@ -285,6 +285,220 @@ TEST_F(EngineCacheTest, LruEvictsBeyondCapacity) {
   EXPECT_EQ(engine->cache_stats().hits, 1u);  // miss: evicted
 }
 
+// ---- frequency-aware tiering ----------------------------------------------
+
+TEST_F(EngineCacheTest, FrequencyAdmissionProtectsHotSetFromOneHitWonders) {
+  EngineConfig config;
+  config.response_cache_capacity = 2;
+  auto engine = MakeEngine(config);
+
+  // Users 0 and 1 are hot: five accesses each.
+  for (int round = 0; round < 5; ++round) {
+    for (UserId u = 0; u < 2; ++u) {
+      RecommendRequest request;
+      request.user = u;
+      request.k = 3;
+      ASSERT_TRUE(engine->Recommend(request).ok());
+    }
+  }
+  EXPECT_DOUBLE_EQ(engine->user_frequency(0), 5.0);
+  EXPECT_DOUBLE_EQ(engine->user_frequency(1), 5.0);
+  const uint64_t hot_hits = engine->cache_stats().hits;
+
+  // A parade of one-hit wonders. Under plain LRU each would evict a
+  // hot entry; frequency admission refuses them (1 access < 5).
+  for (UserId u = 10; u < 16; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 3;
+    ASSERT_TRUE(engine->Recommend(request).ok());
+  }
+  EXPECT_EQ(engine->cache_stats().admission_rejections, 6u);
+  EXPECT_EQ(engine->cache_stats().capacity_evictions, 0u);
+  EXPECT_EQ(engine->cache_size(), 2u);
+
+  // The hot set is intact: both users still hit.
+  for (UserId u = 0; u < 2; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 3;
+    ASSERT_TRUE(engine->Recommend(request).ok());
+  }
+  EXPECT_EQ(engine->cache_stats().hits, hot_hits + 2);
+}
+
+TEST_F(EngineCacheTest, AdmissionRejectionNeverChangesServedBytes) {
+  // Rejected-from-cache responses are still full computes: the
+  // admission policy controls memoization only, never bytes.
+  EngineConfig tiered;
+  tiered.response_cache_capacity = 2;
+  auto engine = MakeEngine(tiered);
+  EngineConfig uncached;
+  uncached.response_cache_capacity = 0;
+  auto reference = MakeEngine(uncached);
+
+  for (int round = 0; round < 3; ++round) {
+    RecommendRequest request;
+    request.user = 0;
+    request.k = 4;
+    ASSERT_TRUE(engine->Recommend(request).ok());
+    request.user = 1;
+    ASSERT_TRUE(engine->Recommend(request).ok());
+  }
+  for (UserId u = 5; u < 9; ++u) {
+    RecommendRequest request;
+    request.user = u;
+    request.k = 4;
+    const auto got = engine->Recommend(request);
+    const auto want = reference->Recommend(request);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ExpectSameItems(got.value(), want.value());
+    EXPECT_FALSE(got.value().degraded);
+  }
+  EXPECT_GT(engine->cache_stats().admission_rejections, 0u);
+}
+
+TEST_F(EngineCacheTest, DisablingFrequencyAdmissionReproducesPlainLru) {
+  EngineConfig config;
+  config.response_cache_capacity = 2;
+  config.cache_frequency_admission = false;
+  auto engine = MakeEngine(config);
+
+  for (int round = 0; round < 5; ++round) {
+    for (UserId u = 0; u < 2; ++u) {
+      RecommendRequest request;
+      request.user = u;
+      request.k = 3;
+      ASSERT_TRUE(engine->Recommend(request).ok());
+    }
+  }
+  // One cold user displaces the LRU hot entry — plain LRU behavior.
+  RecommendRequest cold;
+  cold.user = 10;
+  cold.k = 3;
+  ASSERT_TRUE(engine->Recommend(cold).ok());
+  EXPECT_EQ(engine->cache_stats().admission_rejections, 0u);
+  EXPECT_EQ(engine->cache_stats().capacity_evictions, 1u);
+
+  RecommendRequest hot;
+  hot.user = 0;  // the older of the two hot entries: evicted
+  hot.k = 3;
+  const uint64_t hits = engine->cache_stats().hits;
+  ASSERT_TRUE(engine->Recommend(hot).ok());
+  EXPECT_EQ(engine->cache_stats().hits, hits);  // miss
+}
+
+TEST_F(EngineCacheTest, FrequencyDecayRunsOnTheLookupCadence) {
+  EngineConfig config;
+  config.response_cache_capacity = 8;
+  config.cache_decay_interval = 4;  // decay every 4th cacheable lookup
+  config.cache_decay_factor = 0.5;
+  auto engine = MakeEngine(config);
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine->Recommend(request).ok());
+  }
+  // Four touches then one decay epoch: 4 * 0.5.
+  EXPECT_EQ(engine->user_frequency_stats().decay_epochs, 1u);
+  EXPECT_DOUBLE_EQ(engine->user_frequency(0), 2.0);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine->Recommend(request).ok());
+  }
+  EXPECT_EQ(engine->user_frequency_stats().decay_epochs, 2u);
+  EXPECT_DOUBLE_EQ(engine->user_frequency(0), 3.0);  // (2 + 4) * 0.5
+}
+
+TEST_F(EngineCacheTest, ItemFrequencyTracksComputedResponses) {
+  EngineConfig config;
+  config.response_cache_capacity = 8;
+  auto engine = MakeEngine(config);
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 3;
+  const auto first = engine->Recommend(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first.value().items.empty());
+  const ItemId top = first.value().items[0].item;
+  EXPECT_DOUBLE_EQ(engine->item_frequency(top), 1.0);
+
+  // A cache hit is not a new computed response: item counts hold.
+  ASSERT_TRUE(engine->Recommend(request).ok());
+  EXPECT_DOUBLE_EQ(engine->item_frequency(top), 1.0);
+}
+
+// ---- popularity fallback tier ---------------------------------------------
+
+TEST_F(EngineCacheTest, FallbackServesDegradedPopularityRanking) {
+  auto engine = MakeEngine();
+  SetItemProfiles(engine.get());
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 4;
+  BatchPin pin;
+  const auto fallback = engine->RecommendFallback(request, &pin);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_TRUE(fallback.value().degraded);
+  EXPECT_FALSE(fallback.value().explained);
+  EXPECT_FALSE(fallback.value().emotion_applied);
+  EXPECT_EQ(pin.matrix_version, matrix_.version());
+  ASSERT_FALSE(fallback.value().items.empty());
+  // Ranked best-first with ties broken by ascending item id — the
+  // popularity contract.
+  for (size_t i = 1; i < fallback.value().items.size(); ++i) {
+    const auto& prev = fallback.value().items[i - 1];
+    const auto& cur = fallback.value().items[i];
+    EXPECT_TRUE(prev.score > cur.score ||
+                (prev.score == cur.score && prev.item < cur.item));
+  }
+
+  // Deterministic: a second engine over the same matrix produces the
+  // same degraded bytes.
+  auto reference = MakeEngine();
+  const auto again = reference->RecommendFallback(request);
+  ASSERT_TRUE(again.ok());
+  ExpectSameItems(fallback.value(), again.value());
+  EXPECT_TRUE(again.value().degraded);
+
+  // The full path is NOT the fallback path: full responses are never
+  // flagged degraded, and the fallback never touches the cache.
+  EXPECT_EQ(engine->cache_size(), 0u);
+  const auto full = engine->Recommend(request);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full.value().degraded);
+}
+
+TEST_F(EngineCacheTest, FallbackHonorsExclusionsAndValidation) {
+  auto engine = MakeEngine();
+
+  RecommendRequest request;
+  request.user = 0;
+  request.k = 50;
+  request.exclude_seen = ExcludeSeen::kNo;
+  const auto all = engine->RecommendFallback(request);
+  ASSERT_TRUE(all.ok());
+  ASSERT_GT(all.value().items.size(), 1u);
+  const ItemId banned = all.value().items[0].item;
+
+  request.exclude_items.insert(banned);
+  const auto filtered = engine->RecommendFallback(request);
+  ASSERT_TRUE(filtered.ok());
+  for (const auto& item : filtered.value().items) {
+    EXPECT_NE(item.item, banned);
+  }
+
+  RecommendRequest invalid;
+  invalid.user = 0;
+  invalid.k = 0;
+  EXPECT_FALSE(engine->RecommendFallback(invalid).ok());
+}
+
 // ---- concurrent serve-while-update ----------------------------------------
 
 TEST_F(EngineCacheTest, PinnedSnapshotServesStableRankingsUnderUpdates) {

@@ -516,6 +516,106 @@ TEST(LiveUpdateEngineTest, OutOfBandStaleEntriesAreNotResurrected) {
   EXPECT_EQ(engine->cache_stats().hits, 0u);  // recomputed, not served
 }
 
+TEST(LiveUpdateEngineTest, RewarmedEntriesMatchColdReserveAfterApply) {
+  // A hot user (frequency >= rewarm_min_frequency) whose cache entry
+  // is invalidated by ApplyInteractions is re-served into the cache
+  // before the writer returns. The re-warmed entry must be a cache
+  // HIT whose bytes equal a cold re-serve at the post-apply state —
+  // re-warming is a latency optimisation, never a staleness hazard.
+  InteractionMatrix matrix = MakeTwoCommunityMatrix();
+  InteractionMatrix reference_matrix = MakeTwoCommunityMatrix();
+  auto engine = MakeKnnEngine(/*cache_capacity=*/64,
+                              /*full_rebuild_fraction=*/1.0);
+  ASSERT_TRUE(engine->Fit(&matrix).ok());
+  // Cache-less reference replaying the same Fit + Apply: every serve
+  // is a cold compute at the current state.
+  auto reference = MakeKnnEngine(/*cache_capacity=*/0,
+                                 /*full_rebuild_fraction=*/1.0);
+  ASSERT_TRUE(reference->Fit(&reference_matrix).ok());
+
+  RecommendRequest hot;
+  hot.user = 1;
+  hot.k = 3;
+  RecommendRequest cold;
+  cold.user = 3;
+  cold.k = 3;
+  // Two serves push user 1 to frequency 2.0 (== the default
+  // rewarm_min_frequency); user 3's single serve stays below it.
+  ASSERT_TRUE(engine->Recommend(hot).ok());
+  ASSERT_TRUE(engine->Recommend(hot).ok());
+  ASSERT_TRUE(engine->Recommend(cold).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+  EXPECT_EQ(engine->user_frequency(1), 2.0);
+  EXPECT_EQ(engine->user_frequency(3), 1.0);
+
+  // Touches community 0: both cached entries invalidate, but only the
+  // hot user is re-warmed.
+  const std::vector<Interaction> batch = {{/*user=*/0, /*item=*/2, 1.0}};
+  const auto report = engine->ApplyInteractions(batch);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(reference->ApplyInteractions(batch).ok());
+  EXPECT_EQ(report.value().cache_entries_invalidated, 2u);
+  EXPECT_EQ(report.value().users_rewarmed, 1u);
+  EXPECT_EQ(report.value().entries_rewarmed, 1u);
+  EXPECT_GE(report.value().rewarm_seconds, 0.0);
+
+  // The hot user hits on the re-warmed entry; bytes match the cold
+  // reference at the post-apply version. The cold user misses.
+  const auto warmed = engine->Recommend(hot);
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_EQ(engine->cache_stats().hits, 2u);
+  const auto recomputed = reference->Recommend(hot);
+  ASSERT_TRUE(recomputed.ok());
+  ExpectSameResponses(warmed.value(), recomputed.value());
+  EXPECT_FALSE(warmed.value().degraded);
+
+  ASSERT_TRUE(engine->Recommend(cold).ok());
+  EXPECT_EQ(engine->cache_stats().hits, 2u);  // miss: not re-warmed
+
+  EXPECT_EQ(engine->live_update_stats().users_rewarmed, 1u);
+  EXPECT_EQ(engine->live_update_stats().entries_rewarmed, 1u);
+}
+
+TEST(LiveUpdateEngineTest, RewarmHonorsLimitAndPrefersHigherFrequency) {
+  // rewarm_limit caps writer-lane work; candidates are taken in
+  // (frequency desc, user asc) order so the hottest users win.
+  EngineConfig config;
+  config.response_cache_capacity = 64;
+  config.rewarm_limit = 1;
+  KnnConfig knn;
+  knn.refresh_full_rebuild_fraction = 1.0;
+  auto engine = std::make_unique<RecsysEngine>(config);
+  engine->AddComponent(std::make_unique<UserKnnRecommender>(knn), 0.6);
+  engine->AddComponent(std::make_unique<ItemKnnRecommender>(knn), 0.4);
+  InteractionMatrix matrix = MakeTwoCommunityMatrix();
+  ASSERT_TRUE(engine->Fit(&matrix).ok());
+
+  RecommendRequest hotter;
+  hotter.user = 1;
+  hotter.k = 3;
+  RecommendRequest warm;
+  warm.user = 2;
+  warm.k = 3;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine->Recommend(hotter).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(engine->Recommend(warm).ok());
+  EXPECT_EQ(engine->user_frequency(1), 3.0);
+  EXPECT_EQ(engine->user_frequency(2), 2.0);
+  const uint64_t hits_before = engine->cache_stats().hits;
+
+  // Both users are eligible (frequency >= 2.0) but the limit admits
+  // only the hotter one.
+  const auto report = engine->ApplyInteractions({{/*user=*/0, 2, 1.0}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().cache_entries_invalidated, 2u);
+  EXPECT_EQ(report.value().users_rewarmed, 1u);
+  EXPECT_EQ(report.value().entries_rewarmed, 1u);
+
+  ASSERT_TRUE(engine->Recommend(hotter).ok());
+  EXPECT_EQ(engine->cache_stats().hits, hits_before + 1);  // re-warmed
+  ASSERT_TRUE(engine->Recommend(warm).ok());
+  EXPECT_EQ(engine->cache_stats().hits, hits_before + 1);  // shed by limit
+}
+
 TEST(LiveUpdateEngineTest, ConstFitRejectsApplyInteractions) {
   InteractionMatrix matrix = MakeTwoCommunityMatrix();
   auto engine = MakeKnnEngine(0);

@@ -27,11 +27,17 @@
 ///    Submit / ApplyInteractions / SumUpdate schedules, runs them
 ///    through the pipeline, then replays the applied writes in order
 ///    on a fresh reference stack and re-serves every response at its
-///    pin (>= 100 seeded schedules across all three backpressure
+///    pin (>= 100 seeded schedules across all four backpressure
 ///    policies).
 ///  * **Admission control**: block / reject-with-status / shed-oldest
 ///    behave exactly as specified when the queue is full (driven
 ///    deterministically by a gated recommender that parks the worker).
+///  * **Deadline degradation**: under kDegrade the pipeline sheds by
+///    remaining slack — expired reads drop with a status, pressed
+///    reads get the popularity fallback tier, flagged `degraded` and
+///    bitwise-equal to `RecommendFallback` at their pinned matrix
+///    version. The differential harness runs with mixed deadline
+///    pressure and classifies every outcome.
 ///  * **Writer priority**: queued writes drain before queued reads.
 ///  * **Race freedom**: the TSAN stress case below runs under TSAN in
 ///    CI (ServingPipeline* is in the TSAN job's ctest regex).
@@ -109,6 +115,7 @@ void ExpectBitwiseEqual(const RecommendResponse& streamed,
   EXPECT_EQ(streamed.emotion_applied, reference.emotion_applied)
       << context;
   EXPECT_EQ(streamed.explained, reference.explained) << context;
+  EXPECT_EQ(streamed.degraded, reference.degraded) << context;
   ASSERT_EQ(streamed.items.size(), reference.items.size()) << context;
   for (size_t i = 0; i < streamed.items.size(); ++i) {
     const RecommendedItem& a = streamed.items[i];
@@ -208,6 +215,7 @@ struct StreamedRead {
   RecommendRequest request;
   RecommendResponse response;
   BatchPin pin;
+  bool degraded = false;
 };
 
 struct AppliedWrite {
@@ -248,17 +256,40 @@ void RunDifferentialSchedule(uint64_t seed, BackpressurePolicy policy,
 
   std::vector<StreamedRead> reads;
   std::vector<AppliedWrite> writes;
+  uint64_t fallback_count = 0;
+  uint64_t dropped_reads = 0;
+  PipelineStats live_stats;
+  // Deadline pressure is only meaningful under kDegrade: a mix of
+  // deadline-free, generous and knife-edge deadlines so every outcome
+  // class (full serve, fallback, drop) shows up across the seeds.
+  Rng deadline_rng(seed, /*stream=*/9);
   {
     ServingPipeline pipeline(live_engine.get(), &live_sums, config);
     std::vector<std::pair<size_t, StreamTicketPtr>> tickets;
     for (size_t i = 0; i < schedule.size(); ++i) {
       const ScheduleOp& op = schedule[i];
-      spa::Result<StreamTicketPtr> admitted =
-          op.kind == OpKind::kRead
-              ? pipeline.Submit(op.request)
-              : (op.kind == OpKind::kInteractions
-                     ? pipeline.SubmitInteractions(op.interactions)
-                     : pipeline.SubmitSumUpdates(op.sum_updates));
+      auto submit = [&]() -> spa::Result<StreamTicketPtr> {
+        if (op.kind == OpKind::kInteractions) {
+          return pipeline.SubmitInteractions(op.interactions);
+        }
+        if (op.kind == OpKind::kSumUpdates) {
+          return pipeline.SubmitSumUpdates(op.sum_updates);
+        }
+        double deadline_seconds = 0.0;
+        if (policy == BackpressurePolicy::kDegrade) {
+          const double roll = deadline_rng.Uniform();
+          if (roll < 0.4) {
+            deadline_seconds = 0.0;  // no deadline
+          } else if (roll < 0.8) {
+            deadline_seconds = 5.0;  // generous: full serve expected
+          } else {
+            // Knife-edge: likely degraded or dropped.
+            deadline_seconds = 0.0002 + 0.0008 * deadline_rng.Uniform();
+          }
+        }
+        return pipeline.SubmitWithDeadline(op.request, deadline_seconds);
+      };
+      spa::Result<StreamTicketPtr> admitted = submit();
       if (!admitted.ok()) {
         // Only the reject policy may refuse an admission.
         EXPECT_EQ(config.policy, BackpressurePolicy::kReject);
@@ -272,7 +303,16 @@ void RunDifferentialSchedule(uint64_t seed, BackpressurePolicy policy,
     for (auto& [index, ticket] : tickets) {
       const TicketState state = ticket->Wait();
       if (state == TicketState::kShed) {
-        EXPECT_EQ(config.policy, BackpressurePolicy::kShedOldest);
+        // kShedOldest sheds anywhere; kDegrade sheds expired reads and
+        // (writer lane only) overflowing writes.
+        EXPECT_TRUE(config.policy == BackpressurePolicy::kShedOldest ||
+                    config.policy == BackpressurePolicy::kDegrade);
+        if (config.policy == BackpressurePolicy::kDegrade &&
+            ticket->kind() == StreamOpKind::kRecommend) {
+          EXPECT_EQ(ticket->response().status().code(),
+                    spa::StatusCode::kResourceExhausted);
+          ++dropped_reads;
+        }
         continue;
       }
       ASSERT_EQ(state, TicketState::kDone);
@@ -280,9 +320,17 @@ void RunDifferentialSchedule(uint64_t seed, BackpressurePolicy policy,
       switch (ticket->kind()) {
         case StreamOpKind::kRecommend: {
           ASSERT_TRUE(ticket->response().ok());
-          reads.push_back({index, op.request,
-                           ticket->response().value(),
-                           ticket->pinned()});
+          StreamedRead read{index, op.request,
+                            ticket->response().value(),
+                            ticket->pinned()};
+          read.degraded = read.response.degraded;
+          if (read.degraded) {
+            // The degraded flag is the ONE sanctioned departure from
+            // bitwise parity, and only kDegrade may raise it.
+            EXPECT_EQ(config.policy, BackpressurePolicy::kDegrade);
+            ++fallback_count;
+          }
+          reads.push_back(std::move(read));
           break;
         }
         case StreamOpKind::kInteractions: {
@@ -299,6 +347,24 @@ void RunDifferentialSchedule(uint64_t seed, BackpressurePolicy policy,
         }
       }
     }
+    live_stats = pipeline.stats();
+  }
+
+  // Shed-quality accounting must agree with the observed tickets:
+  // every degraded response was counted as a served fallback, every
+  // dropped read as an expired drop — and fallbacks ARE responses with
+  // full histogram coverage.
+  if (policy == BackpressurePolicy::kDegrade) {
+    EXPECT_EQ(live_stats.fallback_served, fallback_count);
+    EXPECT_EQ(live_stats.expired_drops, dropped_reads);
+    EXPECT_EQ(live_stats.shed_reads, dropped_reads);
+    EXPECT_EQ(live_stats.responses, reads.size());
+    EXPECT_EQ(live_stats.end_to_end.total(), live_stats.responses);
+    EXPECT_EQ(live_stats.queue_wait.total(),
+              live_stats.responses + live_stats.updates_applied);
+  } else {
+    EXPECT_EQ(live_stats.fallback_served, 0u);
+    EXPECT_EQ(live_stats.expired_drops, 0u);
   }
 
   // Tickets complete out of submission order, but the writer lane
@@ -371,26 +437,44 @@ void RunDifferentialSchedule(uint64_t seed, BackpressurePolicy policy,
     ASSERT_EQ(ref_matrix.version(), target.matrix_version);
     ASSERT_EQ(ref_sums.version(), target.sum_version);
 
-    // Serve every response pinned at this state as one synchronous
-    // RecommendBatch and compare bitwise.
+    // Serve every response pinned at this state: non-degraded ones as
+    // one synchronous RecommendBatch (bitwise parity), degraded ones
+    // against the popularity fallback reference at the same pin —
+    // degradation changes the tier, never the determinism.
     std::vector<RecommendRequest> group;
-    const size_t group_start = i;
+    std::vector<size_t> group_reads;
     while (i < reads.size() &&
            reads[i].pin.matrix_version == target.matrix_version &&
            reads[i].pin.sum_version == target.sum_version) {
-      group.push_back(reads[i].request);
+      if (reads[i].degraded) {
+        BatchPin fb_pin;
+        const auto fallback =
+            ref_engine->RecommendFallback(reads[i].request, &fb_pin);
+        ASSERT_TRUE(fallback.ok());
+        EXPECT_EQ(fb_pin.matrix_version, target.matrix_version);
+        EXPECT_EQ(fb_pin.sum_version, target.sum_version);
+        ExpectBitwiseEqual(
+            reads[i].response, fallback.value(),
+            "degraded op " + std::to_string(reads[i].op_index));
+        ++compared;
+      } else {
+        group.push_back(reads[i].request);
+        group_reads.push_back(i);
+      }
       ++i;
     }
-    BatchPin ref_pin;
-    const auto reference = ref_engine->RecommendBatch(group, &ref_pin);
-    ASSERT_EQ(ref_pin.matrix_version, target.matrix_version);
-    ASSERT_EQ(ref_pin.sum_version, target.sum_version);
-    for (size_t g = 0; g < group.size(); ++g) {
-      ASSERT_TRUE(reference[g].ok());
-      ExpectBitwiseEqual(
-          reads[group_start + g].response, reference[g].value(),
-          "op " + std::to_string(reads[group_start + g].op_index));
-      ++compared;
+    if (!group.empty()) {
+      BatchPin ref_pin;
+      const auto reference = ref_engine->RecommendBatch(group, &ref_pin);
+      ASSERT_EQ(ref_pin.matrix_version, target.matrix_version);
+      ASSERT_EQ(ref_pin.sum_version, target.sum_version);
+      for (size_t g = 0; g < group.size(); ++g) {
+        ASSERT_TRUE(reference[g].ok());
+        ExpectBitwiseEqual(
+            reads[group_reads[g]].response, reference[g].value(),
+            "op " + std::to_string(reads[group_reads[g]].op_index));
+        ++compared;
+      }
     }
   }
   EXPECT_EQ(compared, reads.size());
@@ -402,7 +486,7 @@ class ServingPipelineDifferentialTest
 
 TEST_P(ServingPipelineDifferentialTest,
        StreamedResponsesMatchSynchronousBatchAtPinnedVersions) {
-  // 35 schedules per policy x 3 policies = 105 seeded schedules, with
+  // 35 schedules per policy x 4 policies = 140 seeded schedules, with
   // the shard count varied across them.
   for (uint64_t seed = 0; seed < 35; ++seed) {
     const size_t shards = 1 + seed % 4;
@@ -415,12 +499,14 @@ INSTANTIATE_TEST_SUITE_P(
     AllPolicies, ServingPipelineDifferentialTest,
     ::testing::Values(BackpressurePolicy::kBlock,
                       BackpressurePolicy::kReject,
-                      BackpressurePolicy::kShedOldest),
+                      BackpressurePolicy::kShedOldest,
+                      BackpressurePolicy::kDegrade),
     [](const ::testing::TestParamInfo<BackpressurePolicy>& info) {
       switch (info.param) {
         case BackpressurePolicy::kBlock: return "Block";
         case BackpressurePolicy::kReject: return "Reject";
         case BackpressurePolicy::kShedOldest: return "ShedOldest";
+        case BackpressurePolicy::kDegrade: return "Degrade";
       }
       return "Unknown";
     });
@@ -621,6 +707,155 @@ TEST(ServingPipelineTest, ShedOldestDropsTheOldestQueuedTicket) {
   EXPECT_EQ(tickets[2]->Wait(), TicketState::kDone);
   EXPECT_EQ(r3.value()->Wait(), TicketState::kDone);
   EXPECT_EQ(r3.value()->response().value().user, 3u);
+}
+
+TEST(ServingPipelineTest, DegradeFallbackServesTheMostPressedWhenFull) {
+  GatedStack stack;
+  ServingPipeline pipeline(
+      stack.engine.get(), nullptr,
+      TinyPipelineConfig(BackpressurePolicy::kDegrade));
+  auto tickets = FillQueue(&pipeline, &stack);
+
+  // Queue holds [r1, r2], all deadline-free (infinite slack, ties
+  // prefer the oldest queued). Admitting r3 degrades r1 — but unlike
+  // kShedOldest, r1 gets a real (popularity fallback) response, on the
+  // submitting thread, while the worker is still parked.
+  auto r3 = pipeline.Submit(stack.Request(3));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(tickets[1]->Wait(), TicketState::kDone);
+  ASSERT_TRUE(tickets[1]->response().ok());
+  const RecommendResponse& degraded = tickets[1]->response().value();
+  EXPECT_TRUE(degraded.degraded);
+  // Deterministic vs the engine's own fallback tier at the same state.
+  const auto reference = stack.engine->RecommendFallback(stack.Request(1));
+  ASSERT_TRUE(reference.ok());
+  ExpectBitwiseEqual(degraded, reference.value(), "degraded r1");
+
+  stack.gate.Open();
+  pipeline.Flush();
+  EXPECT_EQ(tickets[0]->Wait(), TicketState::kDone);
+  EXPECT_EQ(tickets[2]->Wait(), TicketState::kDone);
+  EXPECT_EQ(r3.value()->Wait(), TicketState::kDone);
+  EXPECT_FALSE(tickets[0]->response().value().degraded);
+  EXPECT_FALSE(r3.value()->response().value().degraded);
+
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.fallback_served, 1u);
+  EXPECT_EQ(stats.expired_drops, 0u);
+  EXPECT_EQ(stats.shed, 0u);  // a fallback serve is a response, not a shed
+  EXPECT_EQ(stats.responses, 4u);
+  // Fallback serves carry full histogram coverage.
+  EXPECT_EQ(stats.end_to_end.total(), stats.responses);
+  EXPECT_EQ(stats.queue_wait.total(), stats.responses);
+}
+
+TEST(ServingPipelineTest, DegradeDropsExpiredVictimsAtAdmission) {
+  GatedStack stack;
+  ServingPipeline pipeline(
+      stack.engine.get(), nullptr,
+      TinyPipelineConfig(BackpressurePolicy::kDegrade));
+  // Park the worker on a deadline-free read.
+  auto r0 = pipeline.Submit(stack.Request(0));
+  ASSERT_TRUE(r0.ok());
+  while (pipeline.queue_depth() != 0) std::this_thread::yield();
+  // r1 carries a knife-edge deadline and expires while queued; r2 is
+  // deadline-free.
+  auto r1 = pipeline.SubmitWithDeadline(stack.Request(1),
+                                        /*deadline_seconds=*/0.001);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = pipeline.Submit(stack.Request(2));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(pipeline.queue_depth(), 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // r3 overflows the queue: the victim is r1 (least slack, long
+  // expired), and expired work is dropped, not fallback-served.
+  auto r3 = pipeline.Submit(stack.Request(3));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r1.value()->Wait(), TicketState::kShed);
+  ASSERT_FALSE(r1.value()->response().ok());
+  EXPECT_EQ(r1.value()->response().status().code(),
+            spa::StatusCode::kResourceExhausted);
+
+  stack.gate.Open();
+  pipeline.Flush();
+  EXPECT_EQ(r0.value()->Wait(), TicketState::kDone);
+  EXPECT_EQ(r2.value()->Wait(), TicketState::kDone);
+  EXPECT_EQ(r3.value()->Wait(), TicketState::kDone);
+
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.expired_drops, 1u);
+  EXPECT_EQ(stats.shed_reads, 1u);
+  EXPECT_EQ(stats.fallback_served, 0u);
+  EXPECT_EQ(stats.responses, 3u);
+  // Drops record no histograms: totals still reconcile.
+  EXPECT_EQ(stats.queue_wait.total(), stats.responses);
+  EXPECT_EQ(stats.end_to_end.total(), stats.responses);
+}
+
+TEST(ServingPipelineTest, DegradeDropsExpiredReadsAtDrainTime) {
+  GatedStack stack;
+  PipelineConfig config = TinyPipelineConfig(BackpressurePolicy::kDegrade);
+  // Plain Submit inherits the configured default deadline.
+  config.default_deadline_seconds = 0.001;
+  ServingPipeline pipeline(stack.engine.get(), nullptr, config);
+  // The parked read is explicitly deadline-free so it reliably holds
+  // the worker regardless of scheduling delays.
+  auto r0 = pipeline.SubmitWithDeadline(stack.Request(0),
+                                        /*deadline_seconds=*/0.0);
+  ASSERT_TRUE(r0.ok());
+  while (pipeline.queue_depth() != 0) std::this_thread::yield();
+  // r1 expires while queued — the queue never overflows, so the drain
+  // loop's slack classifier (not admission) must catch it.
+  auto r1 = pipeline.Submit(stack.Request(1));
+  ASSERT_TRUE(r1.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  stack.gate.Open();
+  pipeline.Flush();
+  EXPECT_EQ(r0.value()->Wait(), TicketState::kDone);
+  EXPECT_EQ(r1.value()->Wait(), TicketState::kShed);
+  EXPECT_EQ(r1.value()->response().status().code(),
+            spa::StatusCode::kResourceExhausted);
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.expired_drops, 1u);
+  EXPECT_EQ(stats.fallback_served, 0u);
+  EXPECT_EQ(stats.responses, 1u);
+}
+
+TEST(ServingPipelineTest, DegradeWriterLaneShedsOldestWriteDeadlineFree) {
+  GatedStack stack;
+  ServingPipeline pipeline(
+      stack.engine.get(), nullptr,
+      TinyPipelineConfig(BackpressurePolicy::kDegrade));
+  // Writes carry no deadline: a full writer lane under kDegrade falls
+  // back to shed-oldest semantics, never to fallback serving.
+  auto r0 = pipeline.Submit(stack.Request(0));
+  ASSERT_TRUE(r0.ok());
+  while (pipeline.queue_depth() != 0) std::this_thread::yield();
+  std::vector<StreamTicketPtr> writes;
+  for (int i = 0; i < 2; ++i) {
+    auto w = pipeline.SubmitInteractions(
+        {{static_cast<UserId>(i), static_cast<ItemId>(1), 1.0}});
+    ASSERT_TRUE(w.ok());
+    writes.push_back(w.value());
+  }
+  auto overflow = pipeline.SubmitInteractions(
+      {{static_cast<UserId>(3), static_cast<ItemId>(1), 1.0}});
+  ASSERT_TRUE(overflow.ok());
+  EXPECT_EQ(writes[0]->Wait(), TicketState::kShed);
+  EXPECT_EQ(writes[0]->update_report().status().code(),
+            spa::StatusCode::kResourceExhausted);
+
+  stack.gate.Open();
+  pipeline.Flush();
+  EXPECT_EQ(writes[1]->Wait(), TicketState::kDone);
+  EXPECT_EQ(overflow.value()->Wait(), TicketState::kDone);
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.shed_writes, 1u);
+  EXPECT_EQ(stats.fallback_served, 0u);
+  EXPECT_EQ(stats.expired_drops, 0u);
+  EXPECT_EQ(stats.updates_applied, 2u);
 }
 
 TEST(ServingPipelineTest, WriterLaneRejectionsCountInTheWriteLane) {
